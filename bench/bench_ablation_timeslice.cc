@@ -1,0 +1,110 @@
+// E10 (ablation, §5): timeslice threshold sweep. The paper states the
+// threshold is "typically 10-100 µs"; this bench shows why: very small slices
+// pay scheduling overhead (light-task completion barely improves, total
+// rises); very large slices degenerate towards non-cooperative behaviour
+// (light tasks wait behind heavy slices).
+#include <benchmark/benchmark.h>
+
+#include <atomic>
+
+#include "base/time_util.h"
+#include "runtime/scheduler.h"
+
+namespace flick::bench {
+namespace {
+
+class ByteAddTask : public runtime::Task {
+ public:
+  ByteAddTask(std::string name, int items, size_t item_bytes, std::atomic<int>* done)
+      : Task(std::move(name)), remaining_(items), done_(done) {
+    data_.resize(item_bytes, 1);
+  }
+
+  runtime::TaskRunResult Run(runtime::TaskContext& ctx) override {
+    while (remaining_ > 0) {
+      uint64_t sum = 0;
+      for (uint8_t b : data_) {
+        sum += b;
+      }
+      benchmark::DoNotOptimize(sum);
+      --remaining_;
+      ctx.ItemDone();
+      if (remaining_ == 0) {
+        break;
+      }
+      if (ctx.ShouldYield()) {
+        return runtime::TaskRunResult::kMoreWork;
+      }
+    }
+    if (!finished_) {
+      finished_ = true;
+      finish_ns_ = MonotonicNanos();
+      done_->fetch_add(1);
+    }
+    return runtime::TaskRunResult::kIdle;
+  }
+
+  uint64_t finish_ns() const { return finish_ns_; }
+
+ private:
+  int remaining_;
+  std::vector<uint8_t> data_;
+  std::atomic<int>* done_;
+  bool finished_ = false;
+  uint64_t finish_ns_ = 0;
+};
+
+void BM_Timeslice(benchmark::State& state) {
+  const uint64_t timeslice_us = static_cast<uint64_t>(state.range(0));
+  constexpr int kPerClass = 50;
+  constexpr int kItems = 200;
+  for (auto _ : state) {
+    runtime::SchedulerConfig config;
+    config.num_workers = 2;
+    config.policy = runtime::SchedulingPolicy::kCooperative;
+    config.timeslice_ns = timeslice_us * 1000;
+    config.pin_threads = false;
+    runtime::Scheduler scheduler(config);
+
+    std::atomic<int> done{0};
+    std::vector<std::unique_ptr<ByteAddTask>> tasks;
+    for (int i = 0; i < kPerClass; ++i) {
+      tasks.push_back(std::make_unique<ByteAddTask>("light", kItems, 1024, &done));
+      tasks.push_back(std::make_unique<ByteAddTask>("heavy", kItems, 16 * 1024, &done));
+    }
+    const uint64_t start_ns = MonotonicNanos();
+    scheduler.Start();
+    for (auto& t : tasks) {
+      scheduler.NotifyRunnable(t.get());
+    }
+    while (done.load() < 2 * kPerClass) {
+      std::this_thread::sleep_for(std::chrono::microseconds(100));
+    }
+    for (auto& t : tasks) {
+      scheduler.Quiesce(t.get());
+    }
+    scheduler.Stop();
+
+    uint64_t light_done = 0, total_done = 0;
+    for (const auto& t : tasks) {
+      total_done = std::max(total_done, t->finish_ns());
+      if (t->name() == "light") {
+        light_done = std::max(light_done, t->finish_ns());
+      }
+    }
+    state.counters["light_completion_s"] = benchmark::Counter(
+        static_cast<double>(light_done - start_ns) / 1e9, benchmark::Counter::kAvgIterations);
+    state.counters["total_completion_s"] = benchmark::Counter(
+        static_cast<double>(total_done - start_ns) / 1e9, benchmark::Counter::kAvgIterations);
+    state.counters["scheduler_runs"] = benchmark::Counter(
+        static_cast<double>(scheduler.stats().tasks_run), benchmark::Counter::kAvgIterations);
+  }
+}
+
+BENCHMARK(BM_Timeslice)->Arg(1)->Arg(10)->Arg(50)->Arg(100)->Arg(1000)->Iterations(1)
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace flick::bench
+
+BENCHMARK_MAIN();

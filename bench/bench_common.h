@@ -1,0 +1,55 @@
+// Shared harness pieces for the figure-reproduction benches.
+//
+// Each bench point spins up the system under test on a fresh simulated
+// fabric, applies a closed-loop load for a fixed window, and reports
+// requests/sec + mean latency through benchmark counters. Series names follow
+// the paper: FLICK (kernel stack model), FLICK-mTCP, Apache-like, Nginx-like,
+// Moxi-like.
+#ifndef FLICK_BENCH_BENCH_COMMON_H_
+#define FLICK_BENCH_BENCH_COMMON_H_
+
+#include <benchmark/benchmark.h>
+
+#include <memory>
+
+#include "load/http_load.h"
+#include "net/sim_transport.h"
+#include "runtime/platform.h"
+
+namespace flick::bench {
+
+// Load window per measured point. Short enough for a full figure sweep to
+// finish in seconds, long enough to amortise warm-up.
+inline constexpr uint64_t kLoadWindowNs = 1'000'000'000;
+
+// Sim connection ring size: benches run thousands of concurrent connections,
+// so the default 256 KiB/direction rings would cost GBs; 16 KiB suffices for
+// the request/response sizes of every figure workload.
+inline constexpr size_t kSimRingBytes = 16 * 1024;
+
+inline runtime::PlatformConfig MakePlatformConfig(int workers) {
+  runtime::PlatformConfig config;
+  config.scheduler.num_workers = workers;
+  config.scheduler.idle_sleep_ns = 20'000;
+  config.scheduler.pin_threads = false;  // workers may exceed physical cores
+  config.io_buffer_count = 16384;
+  config.io_buffer_size = 4096;
+  config.msg_pool_size = 8192;
+  return config;
+}
+
+inline void ReportLoad(benchmark::State& state, const load::LoadResult& result) {
+  state.counters["reqs_per_s"] =
+      benchmark::Counter(result.RequestsPerSec(), benchmark::Counter::kAvgIterations);
+  state.counters["mean_lat_ms"] =
+      benchmark::Counter(result.MeanLatencyMs(), benchmark::Counter::kAvgIterations);
+  state.counters["p99_lat_ms"] = benchmark::Counter(
+      static_cast<double>(result.latency.Quantile(0.99)) / 1e6,
+      benchmark::Counter::kAvgIterations);
+  state.counters["errors"] =
+      benchmark::Counter(static_cast<double>(result.errors), benchmark::Counter::kAvgIterations);
+}
+
+}  // namespace flick::bench
+
+#endif  // FLICK_BENCH_BENCH_COMMON_H_

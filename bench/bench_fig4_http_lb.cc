@@ -1,0 +1,138 @@
+// Figure 4 (a–d): HTTP load balancer throughput and latency vs concurrent
+// clients (100..1600), persistent (4a/4b) and non-persistent (4c/4d)
+// connections. Series: FLICK, FLICK-mTCP, Apache-like, Nginx-like; ten
+// backends; 137-byte payloads (§6.2/§6.3).
+//
+// Expected shape: persistent — FLICK above both baselines, mTCP above all,
+// FLICK lowest latency; non-persistent — FLICK-kernel BELOW the baselines
+// (no persistent backend connections; §6.3), FLICK-mTCP above everything.
+#include "bench/bench_common.h"
+
+#include "baseline/baseline_proxies.h"
+#include "load/backends.h"
+#include "services/http_lb.h"
+
+namespace flick::bench {
+namespace {
+
+constexpr int kBackends = 10;
+
+struct BackendFarm {
+  std::vector<std::unique_ptr<load::HttpBackend>> servers;
+  std::vector<uint16_t> ports;
+
+  BackendFarm(Transport* transport, const std::string& body) {
+    for (int b = 0; b < kBackends; ++b) {
+      const uint16_t port = static_cast<uint16_t>(8000 + b);
+      servers.push_back(std::make_unique<load::HttpBackend>(transport, port, body));
+      FLICK_CHECK(servers.back()->Start().ok());
+      ports.push_back(port);
+    }
+  }
+  ~BackendFarm() {
+    for (auto& s : servers) {
+      s->Stop();
+    }
+  }
+};
+
+void FlickLb(benchmark::State& state, StackCostModel middlebox_model, bool persistent) {
+  const int concurrency = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    SimNetwork net(kSimRingBytes);
+    SimTransport mb_transport(&net, middlebox_model);
+    SimTransport edge_transport(&net, StackCostModel::Kernel());
+
+    BackendFarm farm(&edge_transport, std::string(137, 'x'));
+    runtime::Platform platform(MakePlatformConfig(2), &mb_transport);
+    services::HttpLbService lb(farm.ports);
+    FLICK_CHECK(platform.RegisterProgram(80, &lb).ok());
+    platform.Start();
+
+    load::HttpLoadConfig cfg;
+    cfg.port = 80;
+    cfg.concurrency = concurrency;
+    cfg.threads = 2;
+    cfg.persistent = persistent;
+    cfg.duration_ns = kLoadWindowNs;
+    const load::LoadResult result = load::RunHttpLoad(&edge_transport, cfg);
+    ReportLoad(state, result);
+    platform.Stop();
+  }
+}
+
+void BaselineLb(benchmark::State& state, bool apache_like, bool persistent) {
+  const int concurrency = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    SimNetwork net(kSimRingBytes);
+    SimTransport mb_transport(&net, StackCostModel::Kernel());
+    SimTransport edge_transport(&net, StackCostModel::Kernel());
+
+    BackendFarm farm(&edge_transport, std::string(137, 'x'));
+    baseline::ProxyConfig cfg;
+    cfg.listen_port = 80;
+    cfg.backend_ports = farm.ports;
+
+    load::HttpLoadConfig load_cfg;
+    load_cfg.port = 80;
+    load_cfg.concurrency = concurrency;
+    load_cfg.threads = 2;
+    load_cfg.persistent = persistent;
+    load_cfg.duration_ns = kLoadWindowNs;
+
+    load::LoadResult result;
+    if (apache_like) {
+      cfg.threads = 16;
+      baseline::ThreadedProxy proxy(&mb_transport, cfg);
+      FLICK_CHECK(proxy.Start().ok());
+      result = load::RunHttpLoad(&edge_transport, load_cfg);
+      proxy.Stop();
+    } else {
+      cfg.threads = 4;
+      baseline::EventProxy proxy(&mb_transport, cfg);
+      FLICK_CHECK(proxy.Start().ok());
+      result = load::RunHttpLoad(&edge_transport, load_cfg);
+      proxy.Stop();
+    }
+    ReportLoad(state, result);
+  }
+}
+
+// Figure 4a/4b: persistent connections.
+void BM_Fig4_Flick_Persistent(benchmark::State& s) {
+  FlickLb(s, StackCostModel::Kernel(), true);
+}
+void BM_Fig4_FlickMtcp_Persistent(benchmark::State& s) {
+  FlickLb(s, StackCostModel::Mtcp(), true);
+}
+void BM_Fig4_ApacheLike_Persistent(benchmark::State& s) { BaselineLb(s, true, true); }
+void BM_Fig4_NginxLike_Persistent(benchmark::State& s) { BaselineLb(s, false, true); }
+
+// Figure 4c/4d: non-persistent connections.
+void BM_Fig4_Flick_NonPersistent(benchmark::State& s) {
+  FlickLb(s, StackCostModel::Kernel(), false);
+}
+void BM_Fig4_FlickMtcp_NonPersistent(benchmark::State& s) {
+  FlickLb(s, StackCostModel::Mtcp(), false);
+}
+void BM_Fig4_ApacheLike_NonPersistent(benchmark::State& s) { BaselineLb(s, true, false); }
+void BM_Fig4_NginxLike_NonPersistent(benchmark::State& s) { BaselineLb(s, false, false); }
+
+void Args(benchmark::internal::Benchmark* b) {
+  b->Arg(100)->Arg(200)->Arg(400)->Arg(800)->Arg(1600)->Iterations(1)
+      ->Unit(benchmark::kMillisecond);
+}
+
+BENCHMARK(BM_Fig4_Flick_Persistent)->Apply(Args);
+BENCHMARK(BM_Fig4_FlickMtcp_Persistent)->Apply(Args);
+BENCHMARK(BM_Fig4_ApacheLike_Persistent)->Apply(Args);
+BENCHMARK(BM_Fig4_NginxLike_Persistent)->Apply(Args);
+BENCHMARK(BM_Fig4_Flick_NonPersistent)->Apply(Args);
+BENCHMARK(BM_Fig4_FlickMtcp_NonPersistent)->Apply(Args);
+BENCHMARK(BM_Fig4_ApacheLike_NonPersistent)->Apply(Args);
+BENCHMARK(BM_Fig4_NginxLike_NonPersistent)->Apply(Args);
+
+}  // namespace
+}  // namespace flick::bench
+
+BENCHMARK_MAIN();

@@ -1,0 +1,118 @@
+// Figure 5 (a, b): Memcached proxy throughput and latency vs CPU cores
+// (1, 2, 4, 8, 16). 128 closed-loop binary-protocol clients, 10 backends
+// (§6.2). Series: FLICK, FLICK-mTCP, Moxi-like.
+//
+// Paper shape: FLICK-kernel peaks ~126k req/s at 8 cores, FLICK-mTCP ~198k at
+// 16; Moxi peaks at 4 cores (~82k) then degrades as its threads contend on
+// shared structures. On this host cores are emulated by worker threads (2
+// physical cores), so absolute scaling flattens early; the Moxi-vs-FLICK
+// ordering and Moxi's contention plateau are the reproduced signal.
+#include "bench/bench_common.h"
+
+#include "baseline/baseline_proxies.h"
+#include "load/backends.h"
+#include "load/memcached_load.h"
+#include "proto/memcached.h"
+#include "services/memcached_proxy.h"
+
+namespace flick::bench {
+namespace {
+
+// Scaled from the paper's 10 backends / 128 clients: each FLICK client graph
+// owns one connection per backend (Figure 3b), so the paper's full scale
+// means 1280+ simultaneously polled connections — more than this repo's
+// 2-core host can drive while also running the middlebox, the backends and
+// the load generator. 4 backends x 64 clients preserves the fan-out > 1
+// structure and the FLICK-vs-Moxi contrast that Figure 5 demonstrates.
+constexpr int kBackends = 4;
+constexpr int kClients = 64;
+constexpr int kKeySpace = 1000;
+
+struct MemcachedFarm {
+  std::vector<std::unique_ptr<load::MemcachedBackend>> servers;
+  std::vector<uint16_t> ports;
+
+  explicit MemcachedFarm(Transport* transport) {
+    for (int b = 0; b < kBackends; ++b) {
+      const uint16_t port = static_cast<uint16_t>(11000 + b);
+      servers.push_back(std::make_unique<load::MemcachedBackend>(transport, port));
+      FLICK_CHECK(servers.back()->Start().ok());
+      for (int k = 0; k < kKeySpace; ++k) {
+        servers.back()->Preload("key-" + std::to_string(k), std::string(32, 'v'));
+      }
+      ports.push_back(port);
+    }
+  }
+  ~MemcachedFarm() {
+    for (auto& s : servers) {
+      s->Stop();
+    }
+  }
+};
+
+load::MemcachedLoadConfig LoadCfg() {
+  load::MemcachedLoadConfig cfg;
+  cfg.port = 11211;
+  cfg.clients = kClients;
+  cfg.threads = 2;
+  cfg.key_space = kKeySpace;
+  cfg.opcode = proto::kMemcachedGet;
+  cfg.duration_ns = kLoadWindowNs;
+  return cfg;
+}
+
+void FlickProxy(benchmark::State& state, StackCostModel middlebox_model) {
+  const int cores = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    SimNetwork net(kSimRingBytes);
+    SimTransport mb_transport(&net, middlebox_model);
+    SimTransport edge_transport(&net, StackCostModel::Kernel());
+
+    MemcachedFarm farm(&edge_transport);
+    runtime::Platform platform(MakePlatformConfig(cores), &mb_transport);
+    services::MemcachedProxyService proxy(farm.ports);
+    FLICK_CHECK(platform.RegisterProgram(11211, &proxy).ok());
+    platform.Start();
+
+    const load::LoadResult result = load::RunMemcachedLoad(&edge_transport, LoadCfg());
+    ReportLoad(state, result);
+    platform.Stop();
+  }
+}
+
+void MoxiLike(benchmark::State& state) {
+  const int cores = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    SimNetwork net(kSimRingBytes);
+    SimTransport mb_transport(&net, StackCostModel::Kernel());
+    SimTransport edge_transport(&net, StackCostModel::Kernel());
+
+    MemcachedFarm farm(&edge_transport);
+    baseline::ProxyConfig cfg;
+    cfg.listen_port = 11211;
+    cfg.backend_ports = farm.ports;
+    cfg.threads = cores;
+    baseline::MoxiProxy proxy(&mb_transport, cfg);
+    FLICK_CHECK(proxy.Start().ok());
+    const load::LoadResult result = load::RunMemcachedLoad(&edge_transport, LoadCfg());
+    ReportLoad(state, result);
+    proxy.Stop();
+  }
+}
+
+void BM_Fig5_Flick(benchmark::State& s) { FlickProxy(s, StackCostModel::Kernel()); }
+void BM_Fig5_FlickMtcp(benchmark::State& s) { FlickProxy(s, StackCostModel::Mtcp()); }
+void BM_Fig5_MoxiLike(benchmark::State& s) { MoxiLike(s); }
+
+void Args(benchmark::internal::Benchmark* b) {
+  b->Arg(1)->Arg(2)->Arg(4)->Arg(8)->Arg(16)->Iterations(1)->Unit(benchmark::kMillisecond);
+}
+
+BENCHMARK(BM_Fig5_Flick)->Apply(Args);
+BENCHMARK(BM_Fig5_FlickMtcp)->Apply(Args);
+BENCHMARK(BM_Fig5_MoxiLike)->Apply(Args);
+
+}  // namespace
+}  // namespace flick::bench
+
+BENCHMARK_MAIN();

@@ -1,0 +1,75 @@
+// Figure 6: Hadoop data aggregator throughput (Mb/s) vs CPU cores (1..16)
+// for wordcount datasets with 8-, 12- and 16-character words (§6.2: 8 GB /
+// 12 GB / 16 GB datasets; scaled down here). 8 mappers feed one combiner
+// task graph (16 tasks: 8 input, 7 merge, 1 output).
+//
+// Paper shape: throughput scales with cores up to the aggregate link
+// capacity (7513 Mb/s at 16 cores); longer words yield slightly higher Mb/s
+// (fewer pairs per byte). Compute-bound graph, so the kernel/mTCP choice is
+// irrelevant (§6.3: "We only present the kernel results because the mTCP
+// results are similar").
+#include "bench/bench_common.h"
+
+#include "load/backends.h"
+#include "load/mapper_load.h"
+#include "services/hadoop_agg.h"
+
+namespace flick::bench {
+namespace {
+
+constexpr int kMappers = 8;
+
+void HadoopAgg(benchmark::State& state) {
+  const int cores = static_cast<int>(state.range(0));
+  const int word_length = static_cast<int>(state.range(1));
+  for (auto _ : state) {
+    SimNetwork net(kSimRingBytes);
+    SimTransport mb_transport(&net, StackCostModel::Kernel());
+    SimTransport edge_transport(&net, StackCostModel::Kernel());
+
+    load::ReducerSink sink(&edge_transport, 9900);
+    FLICK_CHECK(sink.Start().ok());
+
+    runtime::Platform platform(MakePlatformConfig(cores), &mb_transport);
+    services::HadoopAggService agg(kMappers, 9900);
+    FLICK_CHECK(platform.RegisterProgram(9800, &agg).ok());
+    platform.Start();
+
+    load::MapperLoadConfig cfg;
+    cfg.port = 9800;
+    cfg.mappers = kMappers;
+    cfg.word_length = word_length;
+    cfg.vocabulary = 512;
+    cfg.bytes_per_mapper = 2 * 1024 * 1024;  // scaled-down dataset
+    cfg.duration_ns = 8'000'000'000;
+    const load::MapperResult result = load::RunMapperLoad(&edge_transport, cfg);
+
+    state.counters["ingest_mbps"] =
+        benchmark::Counter(result.ThroughputMbps(), benchmark::Counter::kAvgIterations);
+    state.counters["pairs_in"] = benchmark::Counter(
+        static_cast<double>(result.pairs_sent), benchmark::Counter::kAvgIterations);
+    state.counters["pairs_out"] = benchmark::Counter(
+        static_cast<double>(sink.pairs_received()), benchmark::Counter::kAvgIterations);
+    const double reduction =
+        result.pairs_sent > 0
+            ? 1.0 - static_cast<double>(sink.pairs_received()) /
+                        static_cast<double>(result.pairs_sent)
+            : 0.0;
+    state.counters["reduction"] =
+        benchmark::Counter(reduction, benchmark::Counter::kAvgIterations);
+    platform.Stop();
+    sink.Stop();
+  }
+}
+
+void BM_Fig6_Hadoop(benchmark::State& s) { HadoopAgg(s); }
+
+BENCHMARK(BM_Fig6_Hadoop)
+    ->ArgsProduct({{1, 2, 4, 8, 16}, {8, 12, 16}})
+    ->Iterations(1)
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace flick::bench
+
+BENCHMARK_MAIN();

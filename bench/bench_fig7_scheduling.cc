@@ -1,0 +1,132 @@
+// Figure 7 (§6.4, resource sharing): total completion time of 100 "light"
+// tasks (1 KB items) and 100 "heavy" tasks (16 KB items) under the three
+// scheduling policies.
+//
+// Paper shape: with round-robin, light tasks take nearly as long as heavy
+// ones (each heavy item occupies the worker longer per turn); with
+// non-cooperative scheduling, completion order is arbitrary and light tasks
+// wait behind whole heavy tasks; with FLICK's cooperative policy, light
+// tasks finish well before heavy ones WITHOUT increasing total runtime.
+#include <benchmark/benchmark.h>
+
+#include <atomic>
+
+#include "base/time_util.h"
+#include "runtime/scheduler.h"
+
+namespace flick::bench {
+namespace {
+
+using runtime::SchedulingPolicy;
+
+// Consumes `items` data items of `item_bytes` each, one add per byte (§6.4).
+class WorkloadTask : public runtime::Task {
+ public:
+  WorkloadTask(std::string name, int items, size_t item_bytes, std::atomic<int>* done_counter)
+      : Task(std::move(name)),
+        remaining_(items),
+        item_bytes_(item_bytes),
+        done_counter_(done_counter) {
+    data_.resize(item_bytes, 1);
+  }
+
+  runtime::TaskRunResult Run(runtime::TaskContext& ctx) override {
+    while (remaining_ > 0) {
+      uint64_t sum = 0;
+      for (uint8_t b : data_) {
+        sum += b;  // "computing a simple addition for each input byte"
+      }
+      benchmark::DoNotOptimize(sum);
+      --remaining_;
+      ctx.ItemDone();
+      if (remaining_ == 0) {
+        break;
+      }
+      if (ctx.ShouldYield()) {
+        return runtime::TaskRunResult::kMoreWork;
+      }
+    }
+    if (!finished_) {
+      finished_ = true;
+      finish_ns_ = MonotonicNanos();
+      done_counter_->fetch_add(1);
+    }
+    return runtime::TaskRunResult::kIdle;
+  }
+
+  uint64_t finish_ns() const { return finish_ns_; }
+
+ private:
+  int remaining_;
+  size_t item_bytes_;
+  std::vector<uint8_t> data_;
+  std::atomic<int>* done_counter_;
+  bool finished_ = false;
+  uint64_t finish_ns_ = 0;
+};
+
+constexpr int kTasksPerClass = 100;   // "200 tasks ... equally split"
+constexpr int kItemsPerTask = 300;
+constexpr size_t kLightBytes = 1024;       // light: 1 KB items
+constexpr size_t kHeavyBytes = 16 * 1024;  // heavy: 16 KB items
+
+void RunPolicy(benchmark::State& state, SchedulingPolicy policy) {
+  for (auto _ : state) {
+    runtime::SchedulerConfig config;
+    config.num_workers = 2;
+    config.policy = policy;
+    config.timeslice_ns = 50'000;
+    config.pin_threads = false;
+    runtime::Scheduler scheduler(config);
+
+    std::atomic<int> done{0};
+    std::vector<std::unique_ptr<WorkloadTask>> tasks;
+    // Interleave light/heavy so queue order does not favour either class.
+    for (int i = 0; i < kTasksPerClass; ++i) {
+      tasks.push_back(std::make_unique<WorkloadTask>("light", kItemsPerTask, kLightBytes, &done));
+      tasks.push_back(std::make_unique<WorkloadTask>("heavy", kItemsPerTask, kHeavyBytes, &done));
+    }
+
+    const uint64_t start_ns = MonotonicNanos();
+    scheduler.Start();
+    for (auto& t : tasks) {
+      scheduler.NotifyRunnable(t.get());
+    }
+    while (done.load(std::memory_order_acquire) < 2 * kTasksPerClass) {
+      std::this_thread::sleep_for(std::chrono::microseconds(100));
+    }
+    for (auto& t : tasks) {
+      scheduler.Quiesce(t.get());
+    }
+    scheduler.Stop();
+
+    // Completion time per class: last finisher of the class, from t0.
+    uint64_t light_done = 0, heavy_done = 0;
+    for (const auto& t : tasks) {
+      if (t->name() == "light") {
+        light_done = std::max(light_done, t->finish_ns());
+      } else {
+        heavy_done = std::max(heavy_done, t->finish_ns());
+      }
+    }
+    state.counters["light_completion_s"] = benchmark::Counter(
+        static_cast<double>(light_done - start_ns) / 1e9, benchmark::Counter::kAvgIterations);
+    state.counters["heavy_completion_s"] = benchmark::Counter(
+        static_cast<double>(heavy_done - start_ns) / 1e9, benchmark::Counter::kAvgIterations);
+  }
+}
+
+void BM_Fig7_Cooperative(benchmark::State& s) { RunPolicy(s, SchedulingPolicy::kCooperative); }
+void BM_Fig7_NonCooperative(benchmark::State& s) {
+  RunPolicy(s, SchedulingPolicy::kNonCooperative);
+}
+void BM_Fig7_RoundRobin(benchmark::State& s) { RunPolicy(s, SchedulingPolicy::kRoundRobin); }
+
+BENCHMARK(BM_Fig7_Cooperative)->Iterations(1)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_Fig7_NonCooperative)->Iterations(1)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_Fig7_RoundRobin)->Iterations(1)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace flick::bench
+
+BENCHMARK_MAIN();

@@ -1,0 +1,166 @@
+// E11: micro-benchmarks of the platform's primitives, backing the design
+// claims of §4.2/§5: generated (projected) parsers vs full parsing, zero-
+// allocation buffer pools, lock-free task channels, serialisation cost.
+#include <benchmark/benchmark.h>
+
+#include "buffer/buffer_chain.h"
+#include "buffer/buffer_pool.h"
+#include "concurrency/spsc_ring.h"
+#include "grammar/parser.h"
+#include "grammar/serializer.h"
+#include "proto/hadoop.h"
+#include "proto/http.h"
+#include "proto/memcached.h"
+#include "runtime/msg.h"
+
+namespace flick::bench {
+namespace {
+
+// ------------------------------------------------------- memcached parsing ----
+
+std::string MakeMemcachedWire(size_t value_size) {
+  grammar::Message msg;
+  proto::BuildResponse(&msg, proto::kMemcachedGetK, 0, "bench-key",
+                       std::string(value_size, 'v'), 42);
+  return proto::ToWire(msg);
+}
+
+void BM_ParseMemcachedFull(benchmark::State& state) {
+  const std::string wire = MakeMemcachedWire(static_cast<size_t>(state.range(0)));
+  BufferPool pool(64, 64 * 1024);
+  grammar::UnitParser parser(&proto::MemcachedUnit());
+  grammar::Message msg;
+  for (auto _ : state) {
+    BufferChain input(&pool);
+    input.Append(wire);
+    benchmark::DoNotOptimize(parser.Feed(input, &msg));
+  }
+  state.SetBytesProcessed(static_cast<int64_t>(state.iterations() * wire.size()));
+}
+
+// §4.2: the projected unit skips materialising the value payload.
+void BM_ParseMemcachedProjected(benchmark::State& state) {
+  const std::string wire = MakeMemcachedWire(static_cast<size_t>(state.range(0)));
+  BufferPool pool(64, 64 * 1024);
+  grammar::UnitParser parser(&proto::MemcachedRoutingUnit());
+  grammar::Message msg;
+  for (auto _ : state) {
+    BufferChain input(&pool);
+    input.Append(wire);
+    benchmark::DoNotOptimize(parser.Feed(input, &msg));
+  }
+  state.SetBytesProcessed(static_cast<int64_t>(state.iterations() * wire.size()));
+}
+
+BENCHMARK(BM_ParseMemcachedFull)->Arg(64)->Arg(1024)->Arg(16384);
+BENCHMARK(BM_ParseMemcachedProjected)->Arg(64)->Arg(1024)->Arg(16384);
+
+void BM_SerializeMemcached(benchmark::State& state) {
+  grammar::Message msg;
+  proto::BuildResponse(&msg, proto::kMemcachedGetK, 0, "bench-key",
+                       std::string(static_cast<size_t>(state.range(0)), 'v'), 42);
+  BufferPool pool(64, 64 * 1024);
+  grammar::UnitSerializer serializer(&proto::MemcachedUnit());
+  for (auto _ : state) {
+    BufferChain out(&pool);
+    benchmark::DoNotOptimize(serializer.Serialize(msg, out));
+  }
+  state.SetBytesProcessed(
+      static_cast<int64_t>(state.iterations()) *
+      static_cast<int64_t>(serializer.WireSize(msg)));
+}
+BENCHMARK(BM_SerializeMemcached)->Arg(64)->Arg(1024)->Arg(16384);
+
+// ------------------------------------------------------------ HTTP parsing ----
+
+void BM_ParseHttpRequest(benchmark::State& state) {
+  proto::HttpMessage req = proto::MakeRequest("GET", "/index.html");
+  req.SetHeader("Host", "bench.example.com");
+  req.SetHeader("User-Agent", "flick-bench/1.0");
+  req.SetHeader("Accept", "*/*");
+  std::string wire;
+  proto::SerializeRequest(req, &wire);
+
+  BufferPool pool(64, 8192);
+  proto::HttpParser parser(proto::HttpParser::Mode::kRequest);
+  proto::HttpMessage msg;
+  for (auto _ : state) {
+    BufferChain input(&pool);
+    input.Append(wire);
+    benchmark::DoNotOptimize(parser.Feed(input, &msg));
+  }
+  state.SetBytesProcessed(static_cast<int64_t>(state.iterations() * wire.size()));
+}
+BENCHMARK(BM_ParseHttpRequest);
+
+// ----------------------------------------------------------- hadoop parsing ----
+
+void BM_ParseHadoopStream(benchmark::State& state) {
+  std::string wire;
+  for (int i = 0; i < 64; ++i) {
+    proto::EncodeKv("word-" + std::to_string(i % 10), "1", &wire);
+  }
+  BufferPool pool(64, 64 * 1024);
+  grammar::UnitParser parser(&proto::HadoopKvUnit());
+  grammar::Message msg;
+  for (auto _ : state) {
+    BufferChain input(&pool);
+    input.Append(wire);
+    while (parser.Feed(input, &msg) == grammar::ParseStatus::kDone) {
+    }
+  }
+  state.SetBytesProcessed(static_cast<int64_t>(state.iterations() * wire.size()));
+}
+BENCHMARK(BM_ParseHadoopStream);
+
+// -------------------------------------------------------------- buffer pool ----
+
+void BM_BufferPoolAcquireRelease(benchmark::State& state) {
+  BufferPool pool(256, 16 * 1024);
+  for (auto _ : state) {
+    BufferRef ref = pool.Acquire();
+    benchmark::DoNotOptimize(ref.get());
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()));
+}
+BENCHMARK(BM_BufferPoolAcquireRelease);
+
+void BM_BufferChainAppendConsume(benchmark::State& state) {
+  BufferPool pool(256, 16 * 1024);
+  BufferChain chain(&pool);
+  const std::string data(static_cast<size_t>(state.range(0)), 'x');
+  for (auto _ : state) {
+    chain.Append(data);
+    chain.Consume(chain.readable());
+  }
+  state.SetBytesProcessed(static_cast<int64_t>(state.iterations() * data.size()));
+}
+BENCHMARK(BM_BufferChainAppendConsume)->Arg(137)->Arg(4096)->Arg(65536);
+
+// ------------------------------------------------------------- task channel ----
+
+void BM_SpscRingPushPop(benchmark::State& state) {
+  SpscRing<uint64_t> ring(1024);
+  uint64_t v = 0;
+  for (auto _ : state) {
+    ring.TryPush(v++);
+    benchmark::DoNotOptimize(ring.TryPop());
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()));
+}
+BENCHMARK(BM_SpscRingPushPop);
+
+void BM_MsgPoolAcquire(benchmark::State& state) {
+  runtime::MsgPool pool(256);
+  for (auto _ : state) {
+    runtime::MsgRef msg = pool.Acquire();
+    benchmark::DoNotOptimize(msg.get());
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()));
+}
+BENCHMARK(BM_MsgPoolAcquire);
+
+}  // namespace
+}  // namespace flick::bench
+
+BENCHMARK_MAIN();

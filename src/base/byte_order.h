@@ -1,0 +1,47 @@
+// Endian-aware loads/stores used by the grammar engine and protocol parsers.
+// FLICK grammars declare a %byteorder per unit (Listing 2); these helpers do
+// the wire <-> host transformation byte-by-byte so they are safe on any
+// alignment and any host endianness.
+#ifndef FLICK_BASE_BYTE_ORDER_H_
+#define FLICK_BASE_BYTE_ORDER_H_
+
+#include <cstdint>
+#include <cstddef>
+
+namespace flick {
+
+enum class ByteOrder { kBig, kLittle };
+
+// Loads `size` bytes (1..8) starting at `p` as an unsigned integer.
+inline uint64_t LoadUInt(const uint8_t* p, size_t size, ByteOrder order) {
+  uint64_t v = 0;
+  if (order == ByteOrder::kBig) {
+    for (size_t i = 0; i < size; ++i) {
+      v = (v << 8) | p[i];
+    }
+  } else {
+    for (size_t i = size; i > 0; --i) {
+      v = (v << 8) | p[i - 1];
+    }
+  }
+  return v;
+}
+
+// Stores the low `size` bytes of `v` at `p`.
+inline void StoreUInt(uint8_t* p, size_t size, ByteOrder order, uint64_t v) {
+  if (order == ByteOrder::kBig) {
+    for (size_t i = size; i > 0; --i) {
+      p[i - 1] = static_cast<uint8_t>(v & 0xff);
+      v >>= 8;
+    }
+  } else {
+    for (size_t i = 0; i < size; ++i) {
+      p[i] = static_cast<uint8_t>(v & 0xff);
+      v >>= 8;
+    }
+  }
+}
+
+}  // namespace flick
+
+#endif  // FLICK_BASE_BYTE_ORDER_H_

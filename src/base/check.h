@@ -1,0 +1,37 @@
+// Lightweight invariant-checking macros.
+//
+// FLICK_CHECK is always on (fail-fast on broken invariants, per the platform's
+// "no undefined behaviour on the data path" rule); FLICK_DCHECK compiles out
+// in NDEBUG builds and is meant for hot paths.
+#ifndef FLICK_BASE_CHECK_H_
+#define FLICK_BASE_CHECK_H_
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace flick {
+
+[[noreturn]] inline void CheckFailed(const char* file, int line, const char* expr) {
+  std::fprintf(stderr, "FLICK_CHECK failed at %s:%d: %s\n", file, line, expr);
+  std::fflush(stderr);
+  std::abort();
+}
+
+}  // namespace flick
+
+#define FLICK_CHECK(expr)                            \
+  do {                                               \
+    if (!(expr)) {                                   \
+      ::flick::CheckFailed(__FILE__, __LINE__, #expr); \
+    }                                                \
+  } while (false)
+
+#ifdef NDEBUG
+#define FLICK_DCHECK(expr) \
+  do {                     \
+  } while (false)
+#else
+#define FLICK_DCHECK(expr) FLICK_CHECK(expr)
+#endif
+
+#endif  // FLICK_BASE_CHECK_H_

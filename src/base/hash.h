@@ -1,0 +1,37 @@
+// Hashing used for (a) request dispatch in services (backend selection by
+// key / 4-tuple, §6.1) and (b) task->worker-queue affinity (§5).
+#ifndef FLICK_BASE_HASH_H_
+#define FLICK_BASE_HASH_H_
+
+#include <cstdint>
+#include <cstddef>
+#include <string_view>
+
+namespace flick {
+
+// FNV-1a, 64-bit. Deterministic across runs so dispatch decisions are
+// reproducible in tests and benches.
+inline uint64_t Fnv1a64(const void* data, size_t size, uint64_t seed = 0xcbf29ce484222325ull) {
+  const auto* p = static_cast<const uint8_t*>(data);
+  uint64_t h = seed;
+  for (size_t i = 0; i < size; ++i) {
+    h ^= p[i];
+    h *= 0x100000001b3ull;
+  }
+  return h;
+}
+
+inline uint64_t HashBytes(std::string_view s) { return Fnv1a64(s.data(), s.size()); }
+
+// 64->64 bit finalizer (splitmix64); good avalanche for small integer keys
+// such as task ids.
+inline uint64_t MixU64(uint64_t x) {
+  x += 0x9e3779b97f4a7c15ull;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+  return x ^ (x >> 31);
+}
+
+}  // namespace flick
+
+#endif  // FLICK_BASE_HASH_H_

@@ -1,0 +1,104 @@
+#include "base/histogram.h"
+
+#include <bit>
+#include <cstdio>
+
+namespace flick {
+
+int Histogram::BucketIndex(uint64_t value) {
+  if (value < kMinor) {
+    return static_cast<int>(value);
+  }
+  const int log2 = 63 - std::countl_zero(value);
+  const int major = log2 - 3;  // values < 16 handled above; 16..31 -> major 1 block
+  const uint64_t minor = (value >> (log2 - 4)) & (kMinor - 1);
+  int index = major * kMinor + static_cast<int>(minor);
+  if (index >= kMajor * kMinor) {
+    index = kMajor * kMinor - 1;
+  }
+  return index;
+}
+
+uint64_t Histogram::BucketUpperBound(int index) {
+  if (index < kMinor) {
+    return static_cast<uint64_t>(index);
+  }
+  const int major = index / kMinor;
+  const int minor = index % kMinor;
+  // Bucket (major, minor) covers [2^log2 + minor*step, 2^log2 + (minor+1)*step)
+  // with step = 2^(log2-4), i.e. 16 linear sub-buckets per power of two.
+  const int log2 = major + 3;
+  const uint64_t base = 1ull << log2;
+  const uint64_t step = 1ull << (log2 - 4);
+  return base + static_cast<uint64_t>(minor + 1) * step;
+}
+
+void Histogram::Record(uint64_t value) {
+  buckets_[static_cast<size_t>(BucketIndex(value))]++;
+  count_++;
+  sum_ += value;
+  if (count_ == 1 || value < min_) {
+    min_ = value;
+  }
+  if (value > max_) {
+    max_ = value;
+  }
+}
+
+void Histogram::Merge(const Histogram& other) {
+  for (size_t i = 0; i < buckets_.size(); ++i) {
+    buckets_[i] += other.buckets_[i];
+  }
+  if (other.count_ > 0) {
+    if (count_ == 0 || other.min_ < min_) {
+      min_ = other.min_;
+    }
+    if (other.max_ > max_) {
+      max_ = other.max_;
+    }
+  }
+  count_ += other.count_;
+  sum_ += other.sum_;
+}
+
+void Histogram::Reset() {
+  buckets_.fill(0);
+  count_ = 0;
+  sum_ = 0;
+  min_ = 0;
+  max_ = 0;
+}
+
+uint64_t Histogram::Quantile(double q) const {
+  if (count_ == 0) {
+    return 0;
+  }
+  if (q < 0.0) {
+    q = 0.0;
+  }
+  if (q > 1.0) {
+    q = 1.0;
+  }
+  const uint64_t target = static_cast<uint64_t>(q * static_cast<double>(count_ - 1)) + 1;
+  uint64_t seen = 0;
+  for (size_t i = 0; i < buckets_.size(); ++i) {
+    seen += buckets_[i];
+    if (seen >= target) {
+      const uint64_t bound = BucketUpperBound(static_cast<int>(i));
+      return bound < max_ ? bound : max_;
+    }
+  }
+  return max_;
+}
+
+std::string Histogram::Summary() const {
+  char buf[160];
+  std::snprintf(buf, sizeof(buf), "n=%llu mean=%.1f p50=%llu p99=%llu max=%llu",
+                static_cast<unsigned long long>(count_), Mean(),
+                static_cast<unsigned long long>(Quantile(0.5)),
+                static_cast<unsigned long long>(Quantile(0.99)),
+                static_cast<unsigned long long>(max_));
+  return buf;
+}
+
+}  // namespace flick

@@ -1,0 +1,50 @@
+// Log-bucketed latency histogram (HdrHistogram-style, fixed memory).
+// Used by load generators to report mean/percentile latency for the paper's
+// figures without allocating per-sample.
+#ifndef FLICK_BASE_HISTOGRAM_H_
+#define FLICK_BASE_HISTOGRAM_H_
+
+#include <array>
+#include <cstdint>
+#include <string>
+
+namespace flick {
+
+// Records values in [1, ~1e9] (nanoseconds in practice) with <= ~4% relative
+// error: 64 power-of-two major buckets x 16 linear minor buckets.
+class Histogram {
+ public:
+  Histogram() { Reset(); }
+
+  void Record(uint64_t value);
+  void Merge(const Histogram& other);
+  void Reset();
+
+  uint64_t count() const { return count_; }
+  uint64_t sum() const { return sum_; }
+  uint64_t min() const { return count_ == 0 ? 0 : min_; }
+  uint64_t max() const { return max_; }
+  double Mean() const { return count_ == 0 ? 0.0 : static_cast<double>(sum_) / count_; }
+
+  // q in [0, 1]; returns an upper bound of the bucket containing the quantile.
+  uint64_t Quantile(double q) const;
+
+  std::string Summary() const;  // "n=... mean=... p50=... p99=... max=..."
+
+ private:
+  static constexpr int kMajor = 64;
+  static constexpr int kMinor = 16;
+
+  static int BucketIndex(uint64_t value);
+  static uint64_t BucketUpperBound(int index);
+
+  std::array<uint64_t, kMajor * kMinor> buckets_{};
+  uint64_t count_ = 0;
+  uint64_t sum_ = 0;
+  uint64_t min_ = 0;
+  uint64_t max_ = 0;
+};
+
+}  // namespace flick
+
+#endif  // FLICK_BASE_HISTOGRAM_H_

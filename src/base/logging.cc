@@ -1,0 +1,42 @@
+#include "base/logging.h"
+
+#include <atomic>
+#include <cstdio>
+#include <mutex>
+
+namespace flick {
+namespace {
+
+std::atomic<LogLevel> g_level{LogLevel::kInfo};
+std::mutex g_log_mutex;
+
+const char* LevelName(LogLevel level) {
+  switch (level) {
+    case LogLevel::kDebug: return "D";
+    case LogLevel::kInfo: return "I";
+    case LogLevel::kWarning: return "W";
+    case LogLevel::kError: return "E";
+  }
+  return "?";
+}
+
+}  // namespace
+
+void SetLogLevel(LogLevel level) { g_level.store(level, std::memory_order_relaxed); }
+LogLevel GetLogLevel() { return g_level.load(std::memory_order_relaxed); }
+
+namespace internal {
+
+void EmitLog(LogLevel level, const char* file, int line, const std::string& message) {
+  const char* basename = file;
+  for (const char* p = file; *p != '\0'; ++p) {
+    if (*p == '/') {
+      basename = p + 1;
+    }
+  }
+  std::lock_guard<std::mutex> lock(g_log_mutex);
+  std::fprintf(stderr, "[%s %s:%d] %s\n", LevelName(level), basename, line, message.c_str());
+}
+
+}  // namespace internal
+}  // namespace flick

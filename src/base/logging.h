@@ -1,0 +1,43 @@
+// Minimal leveled logging. Thread safe, writes to stderr; meant for control
+// path only (never on the per-message data path).
+#ifndef FLICK_BASE_LOGGING_H_
+#define FLICK_BASE_LOGGING_H_
+
+#include <sstream>
+#include <string>
+
+namespace flick {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarning = 2, kError = 3 };
+
+// Global minimum level; messages below it are discarded.
+void SetLogLevel(LogLevel level);
+LogLevel GetLogLevel();
+
+namespace internal {
+
+void EmitLog(LogLevel level, const char* file, int line, const std::string& message);
+
+class LogMessage {
+ public:
+  LogMessage(LogLevel level, const char* file, int line) : level_(level), file_(file), line_(line) {}
+  ~LogMessage() { EmitLog(level_, file_, line_, stream_.str()); }
+
+  std::ostringstream& stream() { return stream_; }
+
+ private:
+  LogLevel level_;
+  const char* file_;
+  int line_;
+  std::ostringstream stream_;
+};
+
+}  // namespace internal
+}  // namespace flick
+
+#define FLICK_LOG(level)                                                                  \
+  if (::flick::LogLevel::k##level < ::flick::GetLogLevel()) {                             \
+  } else                                                                                  \
+    ::flick::internal::LogMessage(::flick::LogLevel::k##level, __FILE__, __LINE__).stream()
+
+#endif  // FLICK_BASE_LOGGING_H_

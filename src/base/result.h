@@ -1,0 +1,152 @@
+// Error handling vocabulary for the FLICK codebase.
+//
+// The platform avoids exceptions on the data path (Core Guidelines E.*: use
+// error codes where failures are expected and frequent). `Status` carries a
+// code plus a short message; `Result<T>` is a Status-or-value.
+#ifndef FLICK_BASE_RESULT_H_
+#define FLICK_BASE_RESULT_H_
+
+#include <string>
+#include <string_view>
+#include <utility>
+#include <variant>
+
+#include "base/check.h"
+
+namespace flick {
+
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument,
+  kNotFound,
+  kAlreadyExists,
+  kResourceExhausted,  // pool empty, queue full, ...
+  kFailedPrecondition,
+  kOutOfRange,
+  kUnimplemented,
+  kInternal,
+  kUnavailable,        // transient transport failure (e.g. peer closed)
+  kParseError,         // wire data did not match the grammar
+};
+
+inline const char* StatusCodeName(StatusCode code) {
+  switch (code) {
+    case StatusCode::kOk: return "ok";
+    case StatusCode::kInvalidArgument: return "invalid_argument";
+    case StatusCode::kNotFound: return "not_found";
+    case StatusCode::kAlreadyExists: return "already_exists";
+    case StatusCode::kResourceExhausted: return "resource_exhausted";
+    case StatusCode::kFailedPrecondition: return "failed_precondition";
+    case StatusCode::kOutOfRange: return "out_of_range";
+    case StatusCode::kUnimplemented: return "unimplemented";
+    case StatusCode::kInternal: return "internal";
+    case StatusCode::kUnavailable: return "unavailable";
+    case StatusCode::kParseError: return "parse_error";
+  }
+  return "unknown";
+}
+
+class [[nodiscard]] Status {
+ public:
+  Status() : code_(StatusCode::kOk) {}
+  Status(StatusCode code, std::string message) : code_(code), message_(std::move(message)) {}
+
+  static Status Ok() { return Status(); }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  std::string ToString() const {
+    if (ok()) {
+      return "ok";
+    }
+    std::string out = StatusCodeName(code_);
+    if (!message_.empty()) {
+      out += ": ";
+      out += message_;
+    }
+    return out;
+  }
+
+  friend bool operator==(const Status& a, const Status& b) { return a.code_ == b.code_; }
+
+ private:
+  StatusCode code_;
+  std::string message_;
+};
+
+inline Status OkStatus() { return Status::Ok(); }
+inline Status InvalidArgument(std::string_view m) {
+  return Status(StatusCode::kInvalidArgument, std::string(m));
+}
+inline Status NotFound(std::string_view m) { return Status(StatusCode::kNotFound, std::string(m)); }
+inline Status ResourceExhausted(std::string_view m) {
+  return Status(StatusCode::kResourceExhausted, std::string(m));
+}
+inline Status FailedPrecondition(std::string_view m) {
+  return Status(StatusCode::kFailedPrecondition, std::string(m));
+}
+inline Status OutOfRange(std::string_view m) {
+  return Status(StatusCode::kOutOfRange, std::string(m));
+}
+inline Status Internal(std::string_view m) { return Status(StatusCode::kInternal, std::string(m)); }
+inline Status Unavailable(std::string_view m) {
+  return Status(StatusCode::kUnavailable, std::string(m));
+}
+inline Status ParseError(std::string_view m) {
+  return Status(StatusCode::kParseError, std::string(m));
+}
+
+// Status-or-value. `value()` CHECKs on error; callers on fallible paths should
+// test `ok()` first.
+template <typename T>
+class [[nodiscard]] Result {
+ public:
+  Result(T value) : rep_(std::move(value)) {}            // NOLINT(google-explicit-constructor)
+  Result(Status status) : rep_(std::move(status)) {      // NOLINT(google-explicit-constructor)
+    FLICK_CHECK(!std::get<Status>(rep_).ok());           // Ok statuses must carry a value.
+  }
+
+  bool ok() const { return std::holds_alternative<T>(rep_); }
+
+  const T& value() const& {
+    FLICK_CHECK(ok());
+    return std::get<T>(rep_);
+  }
+  T& value() & {
+    FLICK_CHECK(ok());
+    return std::get<T>(rep_);
+  }
+  T&& value() && {
+    FLICK_CHECK(ok());
+    return std::get<T>(std::move(rep_));
+  }
+
+  Status status() const {
+    if (ok()) {
+      return OkStatus();
+    }
+    return std::get<Status>(rep_);
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+ private:
+  std::variant<T, Status> rep_;
+};
+
+}  // namespace flick
+
+#define FLICK_RETURN_IF_ERROR(expr)          \
+  do {                                       \
+    ::flick::Status status_ = (expr);        \
+    if (!status_.ok()) {                     \
+      return status_;                        \
+    }                                        \
+  } while (false)
+
+#endif  // FLICK_BASE_RESULT_H_

@@ -1,0 +1,52 @@
+// Deterministic pseudo-random source for workload generators and property
+// tests. xoshiro256** — fast, seedable, reproducible across platforms.
+#ifndef FLICK_BASE_RNG_H_
+#define FLICK_BASE_RNG_H_
+
+#include <cstdint>
+
+#include "base/hash.h"
+
+namespace flick {
+
+class Rng {
+ public:
+  explicit Rng(uint64_t seed = 0x5eed) {
+    // SplitMix64 expansion of the seed into four non-zero lanes.
+    uint64_t x = seed;
+    for (auto& lane : state_) {
+      x = MixU64(x);
+      lane = x | 1;  // keep lanes non-zero
+    }
+  }
+
+  uint64_t Next() {
+    const uint64_t result = Rotl(state_[1] * 5, 7) * 9;
+    const uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = Rotl(state_[3], 45);
+    return result;
+  }
+
+  // Uniform in [0, bound). bound must be > 0.
+  uint64_t NextBelow(uint64_t bound) { return Next() % bound; }
+
+  // Uniform in [lo, hi] inclusive.
+  uint64_t NextInRange(uint64_t lo, uint64_t hi) { return lo + NextBelow(hi - lo + 1); }
+
+  // Uniform double in [0, 1).
+  double NextDouble() { return static_cast<double>(Next() >> 11) * 0x1.0p-53; }
+
+ private:
+  static uint64_t Rotl(uint64_t x, int k) { return (x << k) | (x >> (64 - k)); }
+
+  uint64_t state_[4];
+};
+
+}  // namespace flick
+
+#endif  // FLICK_BASE_RNG_H_

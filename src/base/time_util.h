@@ -1,0 +1,31 @@
+// Monotonic-clock helpers. All runtime deadlines (timeslice threshold, bench
+// measurement windows) are expressed in nanoseconds off the steady clock.
+#ifndef FLICK_BASE_TIME_UTIL_H_
+#define FLICK_BASE_TIME_UTIL_H_
+
+#include <chrono>
+#include <cstdint>
+
+namespace flick {
+
+inline uint64_t MonotonicNanos() {
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+class Stopwatch {
+ public:
+  Stopwatch() : start_(MonotonicNanos()) {}
+  void Restart() { start_ = MonotonicNanos(); }
+  uint64_t ElapsedNanos() const { return MonotonicNanos() - start_; }
+  double ElapsedSeconds() const { return static_cast<double>(ElapsedNanos()) * 1e-9; }
+
+ private:
+  uint64_t start_;
+};
+
+}  // namespace flick
+
+#endif  // FLICK_BASE_TIME_UTIL_H_

@@ -1,0 +1,528 @@
+#include "baseline/baseline_proxies.h"
+
+#include <chrono>
+
+#include "base/hash.h"
+#include "base/spin_work.h"
+#include "buffer/buffer_pool.h"
+#include "grammar/parser.h"
+#include "proto/http.h"
+#include "proto/memcached.h"
+
+namespace flick::baseline {
+namespace {
+
+using namespace std::chrono_literals;
+
+// General-purpose request handling: fresh parser, fresh message, fresh
+// buffers per request — the allocation/copy profile of a generic server,
+// in contrast to FLICK's pooled, projected parsing.
+struct GenericHttpConn {
+  std::unique_ptr<Connection> conn;
+  std::unique_ptr<BufferPool> pool = std::make_unique<BufferPool>(16, 8192);
+  BufferChain rx;
+  std::string tx;
+  size_t tx_off = 0;
+  std::unique_ptr<proto::HttpParser> parser;
+  proto::HttpMessage msg;  // incremental parse target, lives with the parser
+  std::unique_ptr<Connection> backend;
+
+  explicit GenericHttpConn(std::unique_ptr<Connection> c) : conn(std::move(c)) {
+    rx.set_pool(pool.get());
+    parser = std::make_unique<proto::HttpParser>(proto::HttpParser::Mode::kRequest);
+  }
+};
+
+bool FlushTx(GenericHttpConn& c) {
+  while (c.tx_off < c.tx.size()) {
+    auto wrote = c.conn->Write(c.tx.data() + c.tx_off, c.tx.size() - c.tx_off);
+    if (!wrote.ok()) {
+      return false;
+    }
+    if (*wrote == 0) {
+      return true;
+    }
+    c.tx_off += *wrote;
+  }
+  c.tx.clear();
+  c.tx_off = 0;
+  return true;
+}
+
+// Forwards `request` to the backend and relays the full response (blocking
+// with polling — the Apache worker model).
+bool ProxyRoundTrip(Connection* backend, const std::string& request, std::string* response,
+                    const std::atomic<bool>& running) {
+  size_t off = 0;
+  while (off < request.size()) {
+    auto wrote = backend->Write(request.data() + off, request.size() - off);
+    if (!wrote.ok()) {
+      return false;
+    }
+    if (*wrote == 0) {
+      std::this_thread::sleep_for(5us);
+      continue;
+    }
+    off += *wrote;
+  }
+  // Read one full HTTP response.
+  BufferPool pool(16, 8192);
+  BufferChain rx(&pool);
+  proto::HttpParser parser(proto::HttpParser::Mode::kResponse);
+  proto::HttpMessage msg;
+  char buf[8192];
+  while (running.load(std::memory_order_acquire)) {
+    auto got = backend->Read(buf, sizeof(buf));
+    if (!got.ok()) {
+      return false;
+    }
+    if (*got == 0) {
+      std::this_thread::sleep_for(5us);
+      continue;
+    }
+    rx.Append(buf, *got);
+    const auto status = parser.Feed(rx, &msg);
+    if (status == grammar::ParseStatus::kError) {
+      return false;
+    }
+    if (status == grammar::ParseStatus::kDone) {
+      response->clear();
+      proto::SerializeResponse(msg, response);
+      return true;
+    }
+  }
+  return false;
+}
+
+}  // namespace
+
+// ------------------------------------------------------------ ThreadedProxy ----
+
+ThreadedProxy::ThreadedProxy(Transport* transport, ProxyConfig config)
+    : transport_(transport), config_(config) {}
+
+ThreadedProxy::~ThreadedProxy() { Stop(); }
+
+Status ThreadedProxy::Start() {
+  auto listener = transport_->Listen(config_.listen_port);
+  if (!listener.ok()) {
+    return listener.status();
+  }
+  listener_ = std::move(listener).value();
+  running_.store(true);
+  acceptor_ = std::thread([this] { AcceptLoop(); });
+  const int n = std::min(config_.threads, config_.max_threads);
+  for (int i = 0; i < n; ++i) {
+    workers_.emplace_back([this] { Worker(); });
+  }
+  return OkStatus();
+}
+
+void ThreadedProxy::Stop() {
+  if (!running_.exchange(false)) {
+    return;
+  }
+  pending_.Close();
+  if (acceptor_.joinable()) {
+    acceptor_.join();
+  }
+  for (auto& w : workers_) {
+    if (w.joinable()) {
+      w.join();
+    }
+  }
+  listener_->Close();
+}
+
+void ThreadedProxy::AcceptLoop() {
+  while (running_.load(std::memory_order_acquire)) {
+    auto conn = listener_->Accept();
+    if (conn == nullptr) {
+      std::this_thread::sleep_for(20us);
+      continue;
+    }
+    // Queue for a worker; queue overflow = connection dropped (listen backlog
+    // overflow at high concurrency, the Apache failure mode).
+    if (!pending_.TryPush(std::move(conn))) {
+      continue;
+    }
+  }
+}
+
+void ThreadedProxy::Worker() {
+  while (running_.load(std::memory_order_acquire)) {
+    auto conn = pending_.PopBlocking();
+    if (!conn.has_value()) {
+      return;
+    }
+    ServeConnection(std::move(*conn));
+  }
+}
+
+void ThreadedProxy::ServeConnection(std::unique_ptr<Connection> conn) {
+  GenericHttpConn c(std::move(conn));
+  if (!config_.backend_ports.empty()) {
+    const uint16_t port =
+        config_.backend_ports[MixU64(c.conn->id()) % config_.backend_ports.size()];
+    auto backend = transport_->Connect(port);
+    if (!backend.ok()) {
+      return;
+    }
+    c.backend = std::move(backend).value();
+  }
+  std::string canned;
+  if (config_.backend_ports.empty()) {
+    proto::HttpMessage response = proto::MakeResponse(200, config_.static_body);
+    proto::SerializeResponse(response, &canned);
+  }
+
+  proto::HttpMessage& msg = c.msg;
+  char buf[8192];
+  while (running_.load(std::memory_order_acquire)) {
+    auto got = c.conn->Read(buf, sizeof(buf));
+    if (!got.ok()) {
+      return;  // client closed
+    }
+    if (*got == 0) {
+      std::this_thread::sleep_for(5us);  // blocking-style wait
+      continue;
+    }
+    c.rx.Append(buf, *got);
+    while (true) {
+      const auto status = c.parser->Feed(c.rx, &msg);
+      if (status == grammar::ParseStatus::kError) {
+        return;
+      }
+      if (status != grammar::ParseStatus::kDone) {
+        break;
+      }
+      requests_.fetch_add(1, std::memory_order_relaxed);
+      if (c.backend != nullptr) {
+        std::string request;
+        proto::SerializeRequest(msg, &request);
+        std::string response;
+        if (!ProxyRoundTrip(c.backend.get(), request, &response, running_)) {
+          return;
+        }
+        c.tx += response;
+      } else {
+        c.tx += canned;
+      }
+      const bool keep = msg.keep_alive;
+      if (!FlushTx(c)) {
+        return;
+      }
+      if (!keep) {
+        // Drain writes then drop the connection (non-persistent mode).
+        while (c.tx_off < c.tx.size() && FlushTx(c)) {
+        }
+        c.conn->Close();
+        return;
+      }
+    }
+  }
+}
+
+// --------------------------------------------------------------- EventProxy ----
+
+EventProxy::EventProxy(Transport* transport, ProxyConfig config)
+    : transport_(transport), config_(config) {}
+
+EventProxy::~EventProxy() { Stop(); }
+
+Status EventProxy::Start() {
+  auto listener = transport_->Listen(config_.listen_port);
+  if (!listener.ok()) {
+    return listener.status();
+  }
+  listener_ = std::move(listener).value();
+  running_.store(true);
+  for (int i = 0; i < config_.threads; ++i) {
+    loops_.emplace_back([this, i] { EventLoop(i); });
+  }
+  return OkStatus();
+}
+
+void EventProxy::Stop() {
+  if (!running_.exchange(false)) {
+    return;
+  }
+  for (auto& t : loops_) {
+    if (t.joinable()) {
+      t.join();
+    }
+  }
+  listener_->Close();
+}
+
+void EventProxy::EventLoop(int index) {
+  std::vector<std::unique_ptr<GenericHttpConn>> conns;
+  std::string canned;
+  if (config_.backend_ports.empty()) {
+    proto::HttpMessage response = proto::MakeResponse(200, config_.static_body);
+    proto::SerializeResponse(response, &canned);
+  }
+
+  while (running_.load(std::memory_order_acquire)) {
+    bool did_work = false;
+    // Thread 0 accepts (SO_REUSEPORT-style sharding is not modelled).
+    if (index == 0) {
+      while (auto conn = listener_->Accept()) {
+        auto c = std::make_unique<GenericHttpConn>(std::move(conn));
+        if (!config_.backend_ports.empty()) {
+          const uint16_t port =
+              config_.backend_ports[MixU64(c->conn->id()) % config_.backend_ports.size()];
+          auto backend = transport_->Connect(port);
+          if (backend.ok()) {
+            c->backend = std::move(backend).value();
+          }
+        }
+        conns.push_back(std::move(c));
+        did_work = true;
+      }
+    }
+    char buf[8192];
+    for (size_t i = 0; i < conns.size();) {
+      GenericHttpConn& c = *conns[i];
+      proto::HttpMessage& msg = c.msg;
+      bool dead = false;
+      if (!FlushTx(c)) {
+        dead = true;
+      }
+      while (!dead) {
+        auto got = c.conn->Read(buf, sizeof(buf));
+        if (!got.ok()) {
+          dead = true;
+          break;
+        }
+        if (*got == 0) {
+          break;
+        }
+        did_work = true;
+        c.rx.Append(buf, *got);
+        while (true) {
+          const auto status = c.parser->Feed(c.rx, &msg);
+          if (status == grammar::ParseStatus::kError) {
+            dead = true;
+            break;
+          }
+          if (status != grammar::ParseStatus::kDone) {
+            break;
+          }
+          requests_.fetch_add(1, std::memory_order_relaxed);
+          if (c.backend != nullptr) {
+            std::string request;
+            proto::SerializeRequest(msg, &request);
+            std::string response;
+            if (!ProxyRoundTrip(c.backend.get(), request, &response, running_)) {
+              dead = true;
+              break;
+            }
+            c.tx += response;
+          } else {
+            c.tx += canned;
+          }
+          FlushTx(c);
+          if (!msg.keep_alive) {
+            c.conn->Close();
+            dead = true;
+            break;
+          }
+        }
+      }
+      if (dead) {
+        conns.erase(conns.begin() + static_cast<long>(i));
+      } else {
+        ++i;
+      }
+    }
+    if (!did_work) {
+      std::this_thread::sleep_for(20us);
+    }
+  }
+}
+
+// ---------------------------------------------------------------- MoxiProxy ----
+
+MoxiProxy::MoxiProxy(Transport* transport, ProxyConfig config)
+    : transport_(transport), config_(config) {}
+
+MoxiProxy::~MoxiProxy() { Stop(); }
+
+Status MoxiProxy::Start() {
+  auto listener = transport_->Listen(config_.listen_port);
+  if (!listener.ok()) {
+    return listener.status();
+  }
+  listener_ = std::move(listener).value();
+  running_.store(true);
+  for (int i = 0; i < config_.threads; ++i) {
+    loops_.emplace_back([this, i] { EventLoop(i); });
+  }
+  return OkStatus();
+}
+
+void MoxiProxy::Stop() {
+  if (!running_.exchange(false)) {
+    return;
+  }
+  for (auto& t : loops_) {
+    if (t.joinable()) {
+      t.join();
+    }
+  }
+  listener_->Close();
+}
+
+void MoxiProxy::EventLoop(int index) {
+  struct MoxiConn {
+    std::unique_ptr<Connection> conn;
+    std::unique_ptr<BufferPool> pool = std::make_unique<BufferPool>(16, 8192);
+    BufferChain rx;
+    std::string tx;
+    size_t tx_off = 0;
+    grammar::UnitParser parser{&proto::MemcachedUnit()};
+    grammar::Message msg;  // incremental parse target for the client stream
+    std::vector<std::unique_ptr<Connection>> backends;
+    std::vector<std::unique_ptr<grammar::UnitParser>> backend_parsers;
+    std::vector<std::unique_ptr<grammar::Message>> backend_msgs;
+    std::vector<std::unique_ptr<BufferChain>> backend_rx;
+  };
+
+  std::vector<std::unique_ptr<MoxiConn>> conns;
+
+  auto flush = [](MoxiConn& c) -> bool {
+    while (c.tx_off < c.tx.size()) {
+      auto wrote = c.conn->Write(c.tx.data() + c.tx_off, c.tx.size() - c.tx_off);
+      if (!wrote.ok()) {
+        return false;
+      }
+      if (*wrote == 0) {
+        return true;
+      }
+      c.tx_off += *wrote;
+    }
+    c.tx.clear();
+    c.tx_off = 0;
+    return true;
+  };
+
+  while (running_.load(std::memory_order_acquire)) {
+    bool did_work = false;
+    if (index == 0) {
+      while (auto conn = listener_->Accept()) {
+        auto c = std::make_unique<MoxiConn>();
+        c->conn = std::move(conn);
+        c->rx.set_pool(c->pool.get());
+        bool ok = true;
+        for (uint16_t port : config_.backend_ports) {
+          auto backend = transport_->Connect(port);
+          if (!backend.ok()) {
+            ok = false;
+            break;
+          }
+          c->backends.push_back(std::move(backend).value());
+          c->backend_parsers.push_back(
+              std::make_unique<grammar::UnitParser>(&proto::MemcachedUnit()));
+          c->backend_msgs.push_back(std::make_unique<grammar::Message>());
+          c->backend_rx.push_back(std::make_unique<BufferChain>(c->pool.get()));
+        }
+        if (ok) {
+          conns.push_back(std::move(c));
+          did_work = true;
+        }
+      }
+    }
+    char buf[8192];
+    for (size_t i = 0; i < conns.size();) {
+      MoxiConn& c = *conns[i];
+      bool dead = false;
+      if (!flush(c)) {
+        dead = true;
+      }
+      // Client -> backend direction.
+      while (!dead) {
+        auto got = c.conn->Read(buf, sizeof(buf));
+        if (!got.ok()) {
+          dead = true;
+          break;
+        }
+        if (*got == 0) {
+          break;
+        }
+        did_work = true;
+        c.rx.Append(buf, *got);
+        while (c.parser.Feed(c.rx, &c.msg) == grammar::ParseStatus::kDone) {
+          proto::MemcachedCommand cmd(&c.msg);
+          size_t target = 0;
+          {
+            // The shared-structure bottleneck (Fig. 5: Moxi's threads
+            // "compete over common data structures"): every request takes
+            // the global lock to consult the routing table and update
+            // shared stats. The SpinWork models the cache-missing walk of
+            // those shared structures while the lock is held — this is what
+            // makes Moxi anti-scale once threads exceed the lock's capacity.
+            std::lock_guard<std::mutex> lock(shared_mutex_);
+            SpinWork(8000);
+            target = HashBytes(cmd.key()) % c.backends.size();
+            shared_stats_["requests"]++;
+            shared_stats_["key:" + std::string(cmd.key())]++;
+            if (shared_stats_.size() > 65536) {
+              shared_stats_.clear();
+            }
+          }
+          const std::string wire = proto::ToWire(c.msg);
+          size_t off = 0;
+          while (off < wire.size()) {
+            auto wrote = c.backends[target]->Write(wire.data() + off, wire.size() - off);
+            if (!wrote.ok()) {
+              dead = true;
+              break;
+            }
+            if (*wrote == 0) {
+              std::this_thread::sleep_for(2us);
+              continue;
+            }
+            off += *wrote;
+          }
+          requests_.fetch_add(1, std::memory_order_relaxed);
+        }
+      }
+      // Backend -> client direction.
+      for (size_t b = 0; !dead && b < c.backends.size(); ++b) {
+        while (true) {
+          auto got = c.backends[b]->Read(buf, sizeof(buf));
+          if (!got.ok()) {
+            dead = true;
+            break;
+          }
+          if (*got == 0) {
+            break;
+          }
+          did_work = true;
+          c.backend_rx[b]->Append(buf, *got);
+          grammar::Message& reply = *c.backend_msgs[b];
+          while (c.backend_parsers[b]->Feed(*c.backend_rx[b], &reply) ==
+                 grammar::ParseStatus::kDone) {
+            {
+              std::lock_guard<std::mutex> lock(shared_mutex_);
+              shared_stats_["responses"]++;
+            }
+            c.tx += proto::ToWire(reply);
+          }
+          flush(c);
+        }
+      }
+      if (dead) {
+        conns.erase(conns.begin() + static_cast<long>(i));
+      } else {
+        ++i;
+      }
+    }
+    if (!did_work) {
+      std::this_thread::sleep_for(20us);
+    }
+  }
+}
+
+}  // namespace flick::baseline

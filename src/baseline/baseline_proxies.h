@@ -1,0 +1,113 @@
+// Baseline middleboxes for the paper's comparisons (§6.2/§6.3).
+//
+//   ThreadedProxy ("Apache-like", mod_proxy_balancer / prefork): a bounded
+//   pool of threads, each serving one client connection at a time with
+//   blocking-style IO, general-purpose parsing and per-request heap churn.
+//   Keeps a persistent backend connection per worker thread (this is why the
+//   baselines beat kernel-FLICK on non-persistent workloads, Fig. 4c).
+//
+//   EventProxy ("Nginx-like"): a few event-loop threads multiplexing many
+//   connections, still with general-purpose parsing/allocation, persistent
+//   backend connections per loop.
+//
+//   MoxiProxy: multi-threaded Memcached proxy whose threads contend on
+//   shared routing/stat structures under a single mutex (Fig. 5: "threads
+//   compete over common data structures" beyond 4 cores).
+//
+// All run in "static" mode (serve a fixed response; §6.3 web-server test)
+// when constructed without backends.
+#ifndef FLICK_BASELINE_BASELINE_PROXIES_H_
+#define FLICK_BASELINE_BASELINE_PROXIES_H_
+
+#include <atomic>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#include "concurrency/mpmc_queue.h"
+#include "net/transport.h"
+
+namespace flick::baseline {
+
+struct ProxyConfig {
+  uint16_t listen_port = 0;
+  std::vector<uint16_t> backend_ports;  // empty => static mode
+  std::string static_body = "hello";
+  int threads = 4;          // worker threads (Threaded: max concurrent conns)
+  int max_threads = 256;    // ThreadedProxy: hard cap, Apache-prefork style
+};
+
+class ThreadedProxy {
+ public:
+  ThreadedProxy(Transport* transport, ProxyConfig config);
+  ~ThreadedProxy();
+
+  Status Start();
+  void Stop();
+  uint64_t requests() const { return requests_.load(std::memory_order_relaxed); }
+
+ private:
+  void AcceptLoop();
+  void Worker();
+  void ServeConnection(std::unique_ptr<Connection> conn);
+
+  Transport* transport_;
+  ProxyConfig config_;
+  std::unique_ptr<Listener> listener_;
+  std::thread acceptor_;
+  std::vector<std::thread> workers_;
+  MpmcQueue<std::unique_ptr<Connection>> pending_{1 << 14};
+  std::atomic<bool> running_{false};
+  std::atomic<uint64_t> requests_{0};
+};
+
+class EventProxy {
+ public:
+  EventProxy(Transport* transport, ProxyConfig config);
+  ~EventProxy();
+
+  Status Start();
+  void Stop();
+  uint64_t requests() const { return requests_.load(std::memory_order_relaxed); }
+
+ private:
+  void EventLoop(int index);
+
+  Transport* transport_;
+  ProxyConfig config_;
+  std::unique_ptr<Listener> listener_;
+  std::vector<std::thread> loops_;
+  std::atomic<bool> running_{false};
+  std::atomic<uint64_t> requests_{0};
+};
+
+class MoxiProxy {
+ public:
+  MoxiProxy(Transport* transport, ProxyConfig config);
+  ~MoxiProxy();
+
+  Status Start();
+  void Stop();
+  uint64_t requests() const { return requests_.load(std::memory_order_relaxed); }
+
+ private:
+  void EventLoop(int index);
+
+  Transport* transport_;
+  ProxyConfig config_;
+  std::unique_ptr<Listener> listener_;
+  std::vector<std::thread> loops_;
+  std::atomic<bool> running_{false};
+  std::atomic<uint64_t> requests_{0};
+
+  // Shared structures all threads serialise on (the Moxi bottleneck).
+  std::mutex shared_mutex_;
+  std::unordered_map<std::string, uint64_t> shared_stats_;
+};
+
+}  // namespace flick::baseline
+
+#endif  // FLICK_BASELINE_BASELINE_PROXIES_H_

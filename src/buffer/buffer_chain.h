@@ -1,0 +1,68 @@
+// A byte stream assembled from pooled buffers. Input tasks append network
+// fragments; parsers consume across buffer boundaries without copying except
+// when a field straddles a boundary (then a bounded scratch copy is made by
+// the reader).
+#ifndef FLICK_BUFFER_BUFFER_CHAIN_H_
+#define FLICK_BUFFER_BUFFER_CHAIN_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "buffer/buffer_pool.h"
+
+namespace flick {
+
+class BufferChain {
+ public:
+  BufferChain() = default;
+  explicit BufferChain(BufferPool* pool) : pool_(pool) {}
+
+  void set_pool(BufferPool* pool) { pool_ = pool; }
+  BufferPool* pool() const { return pool_; }
+
+  size_t readable() const { return readable_; }
+  bool empty() const { return readable_ == 0; }
+
+  // Appends `data`; draws buffers from the pool as needed. Returns false if
+  // the pool is exhausted mid-append (already-appended bytes stay).
+  bool Append(const void* data, size_t size);
+  bool Append(std::string_view s) { return Append(s.data(), s.size()); }
+
+  // Moves a filled buffer into the chain (zero copy hand-off from IO).
+  void AppendBuffer(BufferRef buffer);
+
+  // Copies up to `size` bytes at `offset` past the read position into `out`
+  // without consuming. Returns bytes copied.
+  size_t Peek(size_t offset, void* out, size_t size) const;
+
+  // Consumes (discards) `n` readable bytes. n <= readable().
+  void Consume(size_t n);
+
+  // Copies and consumes up to `size` bytes into `out`; returns bytes read.
+  size_t Read(void* out, size_t size);
+
+  // Moves all content of `other` to the end of this chain.
+  void MoveFrom(BufferChain& other);
+
+  // Contiguous view of the first readable buffer (may be shorter than
+  // readable()); empty when the chain is empty.
+  std::string_view FrontView() const;
+
+  std::string ToString() const;  // copies all readable bytes (tests only)
+
+  void Clear();
+
+ private:
+  void Compact();
+
+  BufferPool* pool_ = nullptr;
+  std::vector<BufferRef> buffers_;
+  size_t first_ = 0;  // index of first buffer with readable bytes
+  size_t readable_ = 0;
+};
+
+}  // namespace flick
+
+#endif  // FLICK_BUFFER_BUFFER_CHAIN_H_

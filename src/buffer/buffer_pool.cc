@@ -1,0 +1,71 @@
+#include "buffer/buffer_pool.h"
+
+namespace flick {
+
+BufferRef& BufferRef::operator=(BufferRef&& other) noexcept {
+  if (this != &other) {
+    Release();
+    buffer_ = other.buffer_;
+    other.buffer_ = nullptr;
+  }
+  return *this;
+}
+
+void BufferRef::Release() {
+  if (buffer_ != nullptr) {
+    buffer_->pool_->Release(buffer_);
+    buffer_ = nullptr;
+  }
+}
+
+BufferPool::BufferPool(size_t count, size_t buffer_capacity)
+    : buffer_capacity_(buffer_capacity),
+      slab_(new uint8_t[count * buffer_capacity]),
+      buffers_(count) {
+  FLICK_CHECK(count > 0 && buffer_capacity > 0);
+  for (size_t i = 0; i < count; ++i) {
+    Buffer& b = buffers_[i];
+    b.data_ = slab_.get() + i * buffer_capacity;
+    b.capacity_ = buffer_capacity;
+    b.pool_ = this;
+    free_list_.PushBack(&b);
+  }
+  stats_.total = count;
+}
+
+BufferPool::~BufferPool() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  // All buffers must have been returned; leaking a BufferRef past the pool is
+  // a lifetime bug in the caller.
+  FLICK_CHECK(stats_.in_use == 0);
+}
+
+BufferRef BufferPool::Acquire() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  Buffer* b = free_list_.PopFront();
+  if (b == nullptr) {
+    stats_.exhausted_count++;
+    return BufferRef();
+  }
+  b->Reset();
+  stats_.in_use++;
+  stats_.acquire_count++;
+  if (stats_.in_use > stats_.high_watermark) {
+    stats_.high_watermark = stats_.in_use;
+  }
+  return BufferRef(b);
+}
+
+void BufferPool::Release(Buffer* buffer) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  FLICK_DCHECK(buffer->pool_ == this);
+  free_list_.PushBack(buffer);
+  stats_.in_use--;
+}
+
+BufferPoolStats BufferPool::stats() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return stats_;
+}
+
+}  // namespace flick

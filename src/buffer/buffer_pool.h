@@ -1,0 +1,124 @@
+// Pre-allocated buffer pool (paper §5: "All buffers are drawn from a
+// pre-allocated pool to avoid dynamic memory allocation").
+//
+// The pool carves one contiguous slab into fixed-capacity `Buffer` records at
+// construction time. Acquire/Release never allocate; exhaustion is reported
+// to the caller (kResourceExhausted) instead of growing, which is what gives
+// task graphs their bounded memory footprint.
+#ifndef FLICK_BUFFER_BUFFER_POOL_H_
+#define FLICK_BUFFER_BUFFER_POOL_H_
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "base/check.h"
+#include "base/intrusive_list.h"
+
+namespace flick {
+
+class BufferPool;
+
+// A fixed-capacity byte buffer with read/write cursors. `data[read, write)`
+// is the readable region; `data[write, capacity)` is writable space.
+class Buffer {
+ public:
+  uint8_t* data() { return data_; }
+  const uint8_t* data() const { return data_; }
+  size_t capacity() const { return capacity_; }
+
+  size_t read_offset() const { return read_; }
+  size_t write_offset() const { return write_; }
+  size_t readable() const { return write_ - read_; }
+  size_t writable() const { return capacity_ - write_; }
+
+  const uint8_t* read_ptr() const { return data_ + read_; }
+  uint8_t* write_ptr() { return data_ + write_; }
+
+  void Produce(size_t n) {
+    FLICK_DCHECK(n <= writable());
+    write_ += n;
+  }
+  void Consume(size_t n) {
+    FLICK_DCHECK(n <= readable());
+    read_ += n;
+  }
+  void Reset() {
+    read_ = 0;
+    write_ = 0;
+  }
+
+ private:
+  friend class BufferPool;
+  friend class BufferRef;
+
+  uint8_t* data_ = nullptr;
+  size_t capacity_ = 0;
+  size_t read_ = 0;
+  size_t write_ = 0;
+  IntrusiveListNode free_node_;
+  BufferPool* pool_ = nullptr;
+};
+
+// RAII handle; returns the buffer to its pool on destruction. Movable only.
+class BufferRef {
+ public:
+  BufferRef() = default;
+  explicit BufferRef(Buffer* buffer) : buffer_(buffer) {}
+  BufferRef(BufferRef&& other) noexcept : buffer_(other.buffer_) { other.buffer_ = nullptr; }
+  BufferRef& operator=(BufferRef&& other) noexcept;
+  BufferRef(const BufferRef&) = delete;
+  BufferRef& operator=(const BufferRef&) = delete;
+  ~BufferRef() { Release(); }
+
+  Buffer* get() const { return buffer_; }
+  Buffer* operator->() const { return buffer_; }
+  Buffer& operator*() const { return *buffer_; }
+  explicit operator bool() const { return buffer_ != nullptr; }
+
+  void Release();
+
+ private:
+  Buffer* buffer_ = nullptr;
+};
+
+struct BufferPoolStats {
+  size_t total = 0;
+  size_t in_use = 0;
+  size_t high_watermark = 0;
+  uint64_t acquire_count = 0;
+  uint64_t exhausted_count = 0;
+};
+
+class BufferPool {
+ public:
+  // `count` buffers of `buffer_capacity` bytes each, allocated up front.
+  BufferPool(size_t count, size_t buffer_capacity);
+
+  BufferPool(const BufferPool&) = delete;
+  BufferPool& operator=(const BufferPool&) = delete;
+  ~BufferPool();
+
+  // Returns an empty buffer, or a null ref if the pool is exhausted.
+  BufferRef Acquire();
+
+  size_t buffer_capacity() const { return buffer_capacity_; }
+  BufferPoolStats stats() const;
+
+ private:
+  friend class BufferRef;
+  void Release(Buffer* buffer);
+
+  const size_t buffer_capacity_;
+  std::unique_ptr<uint8_t[]> slab_;
+  std::vector<Buffer> buffers_;
+
+  mutable std::mutex mutex_;
+  IntrusiveList<Buffer, &Buffer::free_node_> free_list_;
+  BufferPoolStats stats_;
+};
+
+}  // namespace flick
+
+#endif  // FLICK_BUFFER_BUFFER_POOL_H_

@@ -1,0 +1,76 @@
+// Mutex-based bounded MPMC queue. Control-path use only (cross-thread
+// hand-off of connections and completion notices); data-path queues are the
+// lock-free SPSC rings.
+#ifndef FLICK_CONCURRENCY_MPMC_QUEUE_H_
+#define FLICK_CONCURRENCY_MPMC_QUEUE_H_
+
+#include <condition_variable>
+#include <deque>
+#include <mutex>
+#include <optional>
+
+namespace flick {
+
+template <typename T>
+class MpmcQueue {
+ public:
+  explicit MpmcQueue(size_t max_size = SIZE_MAX) : max_size_(max_size) {}
+
+  bool TryPush(T value) {
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      if (items_.size() >= max_size_) {
+        return false;
+      }
+      items_.push_back(std::move(value));
+    }
+    cv_.notify_one();
+    return true;
+  }
+
+  std::optional<T> TryPop() {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (items_.empty()) {
+      return std::nullopt;
+    }
+    T value = std::move(items_.front());
+    items_.pop_front();
+    return value;
+  }
+
+  // Blocks until an item arrives or `Close()` is called (then nullopt).
+  std::optional<T> PopBlocking() {
+    std::unique_lock<std::mutex> lock(mutex_);
+    cv_.wait(lock, [&] { return !items_.empty() || closed_; });
+    if (items_.empty()) {
+      return std::nullopt;
+    }
+    T value = std::move(items_.front());
+    items_.pop_front();
+    return value;
+  }
+
+  void Close() {
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      closed_ = true;
+    }
+    cv_.notify_all();
+  }
+
+  size_t Size() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return items_.size();
+  }
+
+ private:
+  const size_t max_size_;
+  mutable std::mutex mutex_;
+  std::condition_variable cv_;
+  std::deque<T> items_;
+  bool closed_ = false;
+};
+
+}  // namespace flick
+
+#endif  // FLICK_CONCURRENCY_MPMC_QUEUE_H_

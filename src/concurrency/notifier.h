@@ -1,0 +1,44 @@
+// Wake-up primitive for idle worker threads (§5: a worker "sleeps until new
+// work arrives"). Notify() is cheap when nobody waits; epoch counting avoids
+// lost wakeups between the work check and the wait.
+#ifndef FLICK_CONCURRENCY_NOTIFIER_H_
+#define FLICK_CONCURRENCY_NOTIFIER_H_
+
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <mutex>
+
+namespace flick {
+
+class Notifier {
+ public:
+  // Returns a token to pass to Wait(); any Notify() after PrepareWait()
+  // cancels the subsequent Wait().
+  uint64_t PrepareWait() {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return epoch_;
+  }
+
+  void Wait(uint64_t token, std::chrono::nanoseconds timeout) {
+    std::unique_lock<std::mutex> lock(mutex_);
+    cv_.wait_for(lock, timeout, [&] { return epoch_ != token; });
+  }
+
+  void Notify() {
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      ++epoch_;
+    }
+    cv_.notify_all();
+  }
+
+ private:
+  std::mutex mutex_;
+  std::condition_variable cv_;
+  uint64_t epoch_ = 0;
+};
+
+}  // namespace flick
+
+#endif  // FLICK_CONCURRENCY_NOTIFIER_H_

@@ -1,0 +1,92 @@
+// Bounded lock-free single-producer/single-consumer ring.
+//
+// Task channels (§5) are SPSC by construction: exactly one upstream task
+// produces and one downstream task consumes. Capacity is fixed at creation,
+// which is what bounds a task graph's in-flight memory.
+#ifndef FLICK_CONCURRENCY_SPSC_RING_H_
+#define FLICK_CONCURRENCY_SPSC_RING_H_
+
+#include <atomic>
+#include <cstddef>
+#include <memory>
+#include <optional>
+#include <utility>
+
+#include "base/check.h"
+
+namespace flick {
+
+template <typename T>
+class SpscRing {
+ public:
+  // Capacity is rounded up to a power of two; usable slots = capacity.
+  explicit SpscRing(size_t capacity) {
+    size_t cap = 1;
+    while (cap < capacity + 1) {  // one slot is sacrificed to distinguish full/empty
+      cap <<= 1;
+    }
+    mask_ = cap - 1;
+    slots_ = std::make_unique<T[]>(cap);
+  }
+
+  SpscRing(const SpscRing&) = delete;
+  SpscRing& operator=(const SpscRing&) = delete;
+
+  // Producer side. Returns false when full; the value is only moved from on
+  // success, so a failed push leaves the caller's object intact (required for
+  // lossless backpressure on move-only payloads).
+  bool TryPush(T&& value) {
+    const size_t head = head_.load(std::memory_order_relaxed);
+    const size_t next = (head + 1) & mask_;
+    if (next == tail_.load(std::memory_order_acquire)) {
+      return false;
+    }
+    slots_[head] = std::move(value);
+    head_.store(next, std::memory_order_release);
+    return true;
+  }
+
+  bool TryPush(const T& value) { return TryPush(T(value)); }
+
+  // Consumer side. Returns nullopt when empty.
+  std::optional<T> TryPop() {
+    const size_t tail = tail_.load(std::memory_order_relaxed);
+    if (tail == head_.load(std::memory_order_acquire)) {
+      return std::nullopt;
+    }
+    T value = std::move(slots_[tail]);
+    tail_.store((tail + 1) & mask_, std::memory_order_release);
+    return value;
+  }
+
+  // Consumer-side peek without consuming.
+  T* Front() {
+    const size_t tail = tail_.load(std::memory_order_relaxed);
+    if (tail == head_.load(std::memory_order_acquire)) {
+      return nullptr;
+    }
+    return &slots_[tail];
+  }
+
+  bool Empty() const {
+    return tail_.load(std::memory_order_acquire) == head_.load(std::memory_order_acquire);
+  }
+
+  size_t SizeApprox() const {
+    const size_t head = head_.load(std::memory_order_acquire);
+    const size_t tail = tail_.load(std::memory_order_acquire);
+    return (head - tail) & mask_;
+  }
+
+  size_t capacity() const { return mask_; }
+
+ private:
+  std::unique_ptr<T[]> slots_;
+  size_t mask_ = 0;
+  alignas(64) std::atomic<size_t> head_{0};  // next write index (producer-owned)
+  alignas(64) std::atomic<size_t> tail_{0};  // next read index (consumer-owned)
+};
+
+}  // namespace flick
+
+#endif  // FLICK_CONCURRENCY_SPSC_RING_H_

@@ -1,0 +1,95 @@
+#include "grammar/parser.h"
+
+namespace flick::grammar {
+
+void UnitParser::Reset() {
+  field_index_ = 0;
+  field_consumed_ = 0;
+  field_size_ = 0;
+  field_started_ = false;
+  message_bytes_ = 0;
+}
+
+ParseStatus UnitParser::Feed(BufferChain& input, Message* out) {
+  FLICK_CHECK(out != nullptr);
+  if (field_index_ == 0 && field_consumed_ == 0 && !field_started_) {
+    // Fresh message: bind (or re-bind) the output.
+    if (out->unit() != unit_) {
+      out->BindUnit(unit_);
+    } else {
+      out->Reset();
+    }
+    message_bytes_ = 0;
+  }
+
+  const auto& fields = unit_->fields();
+  while (field_index_ < fields.size()) {
+    const FieldSpec& f = fields[field_index_];
+    const int index = static_cast<int>(field_index_);
+
+    if (f.kind == FieldKind::kVar) {
+      out->SetUInt(index, f.parse_expr.Eval(out->nums()));
+      ++field_index_;
+      continue;
+    }
+
+    if (!field_started_) {
+      // Resolve this field's size; dynamic lengths depend only on earlier
+      // numeric fields, already present in `out`.
+      if (f.kind == FieldKind::kUInt) {
+        field_size_ = f.fixed_size;
+      } else if (f.length.is_const()) {
+        field_size_ = f.length.const_value();
+      } else {
+        field_size_ = f.length.Eval(out->nums());
+      }
+      if (field_size_ > max_field_size_) {
+        Reset();
+        return ParseStatus::kError;
+      }
+      field_consumed_ = 0;
+      field_started_ = true;
+      if (f.kind == FieldKind::kBytes) {
+        out->BeginBytesField(index);
+      }
+    }
+
+    if (f.kind == FieldKind::kUInt) {
+      // Integers decode atomically: wait for the full width.
+      if (input.readable() < field_size_) {
+        return ParseStatus::kNeedMore;
+      }
+      uint8_t raw[8];
+      input.Read(raw, field_size_);
+      message_bytes_ += field_size_;
+      out->SetUInt(index, LoadUInt(raw, field_size_, unit_->byte_order()));
+      field_started_ = false;
+      ++field_index_;
+      continue;
+    }
+
+    // Bytes field: consume incrementally.
+    while (field_consumed_ < field_size_) {
+      std::string_view front = input.FrontView();
+      if (front.empty()) {
+        return ParseStatus::kNeedMore;
+      }
+      const size_t want = field_size_ - field_consumed_;
+      const size_t take = front.size() < want ? front.size() : want;
+      out->AppendBytes(index, reinterpret_cast<const uint8_t*>(front.data()), take,
+                       f.materialize);
+      input.Consume(take);
+      field_consumed_ += take;
+      message_bytes_ += take;
+    }
+    field_started_ = false;
+    field_consumed_ = 0;
+    ++field_index_;
+  }
+
+  out->set_wire_size(message_bytes_);
+  Reset();
+  return ParseStatus::kDone;
+}
+
+}  // namespace flick::grammar

@@ -1,0 +1,57 @@
+// Incremental unit parser (§4.2: "supports the incremental parsing of
+// messages as new data arrives").
+//
+// Feed() consumes bytes from a BufferChain and fills a Message. If the chain
+// runs dry mid-message, the parser keeps its position (current field, bytes
+// consumed within it) and resumes on the next Feed — input tasks call it once
+// per network read with whatever fragment arrived.
+#ifndef FLICK_GRAMMAR_PARSER_H_
+#define FLICK_GRAMMAR_PARSER_H_
+
+#include <cstdint>
+
+#include "buffer/buffer_chain.h"
+#include "grammar/message.h"
+#include "grammar/unit.h"
+
+namespace flick::grammar {
+
+enum class ParseStatus {
+  kDone,      // a complete message was produced
+  kNeedMore,  // ran out of input mid-message; state kept
+  kError,     // irrecoverable framing error
+};
+
+class UnitParser {
+ public:
+  explicit UnitParser(const Unit* unit) : unit_(unit) { Reset(); }
+
+  const Unit* unit() const { return unit_; }
+
+  // Attempts to complete one message from `input`. On kDone, `out` holds the
+  // message and the consumed bytes are removed from `input`. On kNeedMore,
+  // partial bytes are consumed and parsing resumes on the next call with the
+  // SAME `out` message.
+  ParseStatus Feed(BufferChain& input, Message* out);
+
+  // Abandons any partial message.
+  void Reset();
+
+  bool mid_message() const { return field_index_ > 0 || field_consumed_ > 0; }
+
+  // Guard against absurd lengths from corrupt peers (bounded resource use).
+  void set_max_field_size(size_t n) { max_field_size_ = n; }
+
+ private:
+  const Unit* unit_;
+  size_t field_index_ = 0;     // current field
+  size_t field_consumed_ = 0;  // bytes of current field consumed so far
+  size_t field_size_ = 0;      // resolved size of current field
+  bool field_started_ = false;
+  size_t message_bytes_ = 0;   // wire bytes consumed for this message
+  size_t max_field_size_ = 64 * 1024 * 1024;
+};
+
+}  // namespace flick::grammar
+
+#endif  // FLICK_GRAMMAR_PARSER_H_

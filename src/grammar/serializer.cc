@@ -1,0 +1,79 @@
+#include "grammar/serializer.h"
+
+namespace flick::grammar {
+
+void UnitSerializer::FixupLengths(Message& msg) const {
+  const auto& fields = unit_->fields();
+  // Pass 1: simple length references (key_len := len(key)).
+  for (size_t i = 0; i < fields.size(); ++i) {
+    const FieldSpec& f = fields[i];
+    if (f.kind == FieldKind::kBytes && f.length.is_single_field()) {
+      msg.SetUInt(f.length.single_field_index(),
+                  msg.GetBytes(static_cast<int>(i)).size());
+    }
+  }
+  // Pass 2: declared write-backs, in field order.
+  for (const FieldSpec& f : fields) {
+    if (f.serialize_target.empty()) {
+      continue;
+    }
+    uint64_t dollar = 0;
+    if (!f.dollar_source.empty()) {
+      const int src = unit_->FieldIndex(f.dollar_source);
+      dollar = msg.GetBytes(src).size();
+    }
+    const int target = unit_->FieldIndex(f.serialize_target);
+    msg.SetUInt(target, f.serialize_expr.Eval(msg.nums(), dollar));
+  }
+  // Pass 3: var fields with a parse expression but no write-back are
+  // recomputed so round-tripping keeps them consistent.
+  for (size_t i = 0; i < fields.size(); ++i) {
+    const FieldSpec& f = fields[i];
+    if (f.kind == FieldKind::kVar && f.serialize_target.empty()) {
+      msg.SetUInt(static_cast<int>(i), f.parse_expr.Eval(msg.nums()));
+    }
+  }
+}
+
+size_t UnitSerializer::WireSize(const Message& msg) const {
+  const auto& fields = unit_->fields();
+  size_t total = 0;
+  for (size_t i = 0; i < fields.size(); ++i) {
+    const FieldSpec& f = fields[i];
+    if (f.kind == FieldKind::kUInt) {
+      total += f.fixed_size;
+    } else if (f.kind == FieldKind::kBytes) {
+      total += msg.GetBytes(static_cast<int>(i)).size();
+    }
+  }
+  return total;
+}
+
+Status UnitSerializer::Serialize(Message& msg, BufferChain& out) const {
+  if (msg.unit() != unit_) {
+    return FailedPrecondition("message unit does not match serializer unit");
+  }
+  FixupLengths(msg);
+  const auto& fields = unit_->fields();
+  for (size_t i = 0; i < fields.size(); ++i) {
+    const FieldSpec& f = fields[i];
+    if (f.kind == FieldKind::kVar) {
+      continue;
+    }
+    if (f.kind == FieldKind::kUInt) {
+      uint8_t raw[8];
+      StoreUInt(raw, f.fixed_size, unit_->byte_order(), msg.GetUInt(static_cast<int>(i)));
+      if (!out.Append(raw, f.fixed_size)) {
+        return ResourceExhausted("output buffer pool empty");
+      }
+      continue;
+    }
+    const std::string_view bytes = msg.GetBytes(static_cast<int>(i));
+    if (!out.Append(bytes.data(), bytes.size())) {
+      return ResourceExhausted("output buffer pool empty");
+    }
+  }
+  return OkStatus();
+}
+
+}  // namespace flick::grammar

@@ -1,0 +1,39 @@
+// Unit serializer: converts a Message back to wire bytes (§4.2: output tasks
+// run "efficient serialisation code generated from the FLICK program").
+//
+// Before emitting, length fields are recomputed from the actual sizes of the
+// byte fields that reference them:
+//   * a bytes field whose length expression is a single field reference
+//     drives that field directly (key_len := len(key));
+//   * `var` fields with a SerializeWriteback assign their target from the
+//     declared expression with $$ bound to the named source field's size
+//     (total_len := key_len + extras_len + len(value)).
+#ifndef FLICK_GRAMMAR_SERIALIZER_H_
+#define FLICK_GRAMMAR_SERIALIZER_H_
+
+#include "buffer/buffer_chain.h"
+#include "grammar/message.h"
+
+namespace flick::grammar {
+
+class UnitSerializer {
+ public:
+  explicit UnitSerializer(const Unit* unit) : unit_(unit) {}
+
+  // Recomputes dependent lengths in `msg` (mutating its numeric fields), then
+  // appends the wire representation to `out`. Fails with kResourceExhausted
+  // if the output pool runs dry, kFailedPrecondition on unit mismatch.
+  Status Serialize(Message& msg, BufferChain& out) const;
+
+  // Wire size the message will occupy (after length fix-up).
+  size_t WireSize(const Message& msg) const;
+
+ private:
+  void FixupLengths(Message& msg) const;
+
+  const Unit* unit_;
+};
+
+}  // namespace flick::grammar
+
+#endif  // FLICK_GRAMMAR_SERIALIZER_H_

@@ -1,0 +1,177 @@
+// Abstract syntax tree for the FLICK language (§4; Listings 1 & 3).
+//
+// Program  := {TypeDecl | ProcDecl | FunDecl}
+// TypeDecl := 'type' name ':' 'record' INDENT {FieldDecl} DEDENT
+// FieldDecl:= (name | '_') ':' ('string' | 'integer') '{' annots '}'
+// ProcDecl := 'proc' name ':' '(' channel-params ')' INDENT {Stmt} DEDENT
+// FunDecl  := 'fun' name ':' '(' params ')' '->' '(' [type] ')' INDENT {Stmt} DEDENT
+// Stmt     := global | let | if | assign | send-pipeline | foldt | expr
+#ifndef FLICK_LANG_AST_H_
+#define FLICK_LANG_AST_H_
+
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace flick::lang {
+
+// ------------------------------------------------------------- expressions ----
+
+enum class ExprKind {
+  kIntLit,
+  kStringLit,
+  kBoolLit,
+  kNoneLit,
+  kVar,        // identifier
+  kField,      // base.field
+  kIndex,      // base[index]
+  kCall,       // callee(args...)
+  kBinary,     // lhs op rhs
+  kUnary,      // op operand ('not', '-')
+};
+
+enum class BinOp { kEq, kNeq, kLt, kGt, kLe, kGe, kAdd, kSub, kMul, kDiv, kMod, kAnd, kOr };
+
+struct Expr;
+using ExprPtr = std::unique_ptr<Expr>;
+
+struct Expr {
+  ExprKind kind;
+  int line = 0;
+
+  uint64_t int_value = 0;       // kIntLit
+  bool bool_value = false;      // kBoolLit
+  std::string text;             // kStringLit payload / kVar name / kField name / kCall callee
+  ExprPtr base;                 // kField / kIndex base; kUnary operand; kBinary lhs
+  ExprPtr index;                // kIndex subscript; kBinary rhs
+  std::vector<ExprPtr> args;    // kCall arguments
+  BinOp op = BinOp::kEq;        // kBinary
+  char unary_op = 0;            // '!' (not) or '-'
+};
+
+// -------------------------------------------------------------- statements ----
+
+enum class StmtKind {
+  kGlobal,   // global name := empty_dict
+  kLet,      // let name = expr
+  kAssign,   // target := expr           (dict store / record field write)
+  kSend,     // expr => target { => target2 ... }  (pipeline)
+  kIf,       // if cond: block [else: block]
+  kExpr,     // expression statement (value of last one is the return value)
+  kFoldt,    // foldt on <chan-array> ordering by <field> combine <fun> => <target>
+};
+
+struct Stmt;
+using StmtPtr = std::unique_ptr<Stmt>;
+
+struct SendStage {
+  // Each stage is either a function application (name + extra args) or a
+  // channel target expression.
+  ExprPtr target;
+};
+
+struct Stmt {
+  StmtKind kind;
+  int line = 0;
+
+  std::string name;                 // kGlobal / kLet name
+  ExprPtr value;                    // kLet / kAssign rhs / kExpr / kSend source
+  ExprPtr target;                   // kAssign lhs
+  std::vector<ExprPtr> send_stages; // kSend: stages after the source
+  ExprPtr cond;                     // kIf
+  std::vector<StmtPtr> then_block;  // kIf
+  std::vector<StmtPtr> else_block;  // kIf
+  // kFoldt
+  std::string foldt_channels;       // channel-array param name
+  std::string foldt_order_field;    // record field ordered by
+  std::string foldt_combine_fun;    // binary combine function name
+  ExprPtr foldt_target;             // destination channel
+};
+
+// ------------------------------------------------------------ declarations ----
+
+// Type annotation on a record field: {size=<expr>, signed=<bool>}.
+struct FieldAnnotation {
+  ExprPtr size;        // integer expr over literals and earlier field names
+  bool is_signed = false;
+};
+
+struct FieldDecl {
+  std::string name;    // empty for '_'
+  std::string type;    // "string" | "integer"
+  FieldAnnotation annotation;
+  int line = 0;
+};
+
+struct TypeDecl {
+  std::string name;
+  std::vector<FieldDecl> fields;
+  int line = 0;
+};
+
+// Channel endpoint type: producer/consumer record types; '-' = none.
+struct ChannelType {
+  std::string in_type;   // type read from the channel ('-' if write-only)
+  std::string out_type;  // type written to the channel ('-' if read-only)
+  bool is_array = false;
+};
+
+struct Param {
+  std::string name;
+  // Exactly one of: channel, value type name, or ref-dict.
+  std::optional<ChannelType> channel;
+  std::string value_type;   // record/type name, "integer", "string"
+  bool is_ref_dict = false; // cache: ref dict<string*string>
+  int line = 0;
+};
+
+struct ProcDecl {
+  std::string name;
+  std::vector<Param> params;   // channels only
+  std::vector<StmtPtr> body;
+  int line = 0;
+};
+
+struct FunDecl {
+  std::string name;
+  std::vector<Param> params;
+  std::string return_type;     // empty = unit
+  std::vector<StmtPtr> body;
+  int line = 0;
+};
+
+struct Program {
+  std::vector<TypeDecl> types;
+  std::vector<ProcDecl> procs;
+  std::vector<FunDecl> funs;
+
+  const TypeDecl* FindType(const std::string& name) const {
+    for (const auto& t : types) {
+      if (t.name == name) {
+        return &t;
+      }
+    }
+    return nullptr;
+  }
+  const FunDecl* FindFun(const std::string& name) const {
+    for (const auto& f : funs) {
+      if (f.name == name) {
+        return &f;
+      }
+    }
+    return nullptr;
+  }
+  const ProcDecl* FindProc(const std::string& name) const {
+    for (const auto& p : procs) {
+      if (p.name == name) {
+        return &p;
+      }
+    }
+    return nullptr;
+  }
+};
+
+}  // namespace flick::lang
+
+#endif  // FLICK_LANG_AST_H_

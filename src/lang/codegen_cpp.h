@@ -1,0 +1,25 @@
+// C++ code generation (extension).
+//
+// The paper's compiler emits C++ that links against the platform runtime
+// (§5: "The FLICK compiler translates an input FLICK program to C++"). The
+// primary execution path in this repo is the bounded evaluator; this pass
+// emits the equivalent C++ a generated service would contain — useful for
+// inspection, documentation, and as a migration path to ahead-of-time
+// compilation.
+#ifndef FLICK_LANG_CODEGEN_CPP_H_
+#define FLICK_LANG_CODEGEN_CPP_H_
+
+#include <string>
+
+#include "lang/compile.h"
+
+namespace flick::lang {
+
+// Renders the whole program: unit-builder code for every type and a
+// ComputeTask handler skeleton for every proc, with function bodies lowered
+// to C++ statements.
+std::string GenerateCpp(const CompiledProgram& program);
+
+}  // namespace flick::lang
+
+#endif  // FLICK_LANG_CODEGEN_CPP_H_

@@ -1,0 +1,315 @@
+#include "lang/lexer.h"
+
+#include <cctype>
+#include <map>
+
+namespace flick::lang {
+namespace {
+
+const std::map<std::string, TokenKind>& Keywords() {
+  static const auto* kMap = new std::map<std::string, TokenKind>{
+      {"type", TokenKind::kType},       {"record", TokenKind::kRecord},
+      {"proc", TokenKind::kProc},       {"fun", TokenKind::kFun},
+      {"global", TokenKind::kGlobal},   {"let", TokenKind::kLet},
+      {"if", TokenKind::kIf},           {"else", TokenKind::kElse},
+      {"and", TokenKind::kAnd},         {"or", TokenKind::kOr},
+      {"not", TokenKind::kNot},         {"mod", TokenKind::kMod},
+      {"None", TokenKind::kNone},       {"ref", TokenKind::kRef},
+      {"dict", TokenKind::kDict},       {"foldt", TokenKind::kFoldt},
+      {"on", TokenKind::kOn},           {"ordering", TokenKind::kOrdering},
+      {"by", TokenKind::kBy},           {"combine", TokenKind::kCombine},
+      {"return", TokenKind::kReturn},   {"true", TokenKind::kTrue},
+      {"false", TokenKind::kFalse},
+  };
+  return *kMap;
+}
+
+}  // namespace
+
+const char* TokenKindName(TokenKind kind) {
+  switch (kind) {
+    case TokenKind::kIdent: return "identifier";
+    case TokenKind::kInt: return "integer";
+    case TokenKind::kString: return "string";
+    case TokenKind::kType: return "'type'";
+    case TokenKind::kRecord: return "'record'";
+    case TokenKind::kProc: return "'proc'";
+    case TokenKind::kFun: return "'fun'";
+    case TokenKind::kGlobal: return "'global'";
+    case TokenKind::kLet: return "'let'";
+    case TokenKind::kIf: return "'if'";
+    case TokenKind::kElse: return "'else'";
+    case TokenKind::kAnd: return "'and'";
+    case TokenKind::kOr: return "'or'";
+    case TokenKind::kNot: return "'not'";
+    case TokenKind::kMod: return "'mod'";
+    case TokenKind::kNone: return "'None'";
+    case TokenKind::kRef: return "'ref'";
+    case TokenKind::kDict: return "'dict'";
+    case TokenKind::kFoldt: return "'foldt'";
+    case TokenKind::kOn: return "'on'";
+    case TokenKind::kOrdering: return "'ordering'";
+    case TokenKind::kBy: return "'by'";
+    case TokenKind::kCombine: return "'combine'";
+    case TokenKind::kReturn: return "'return'";
+    case TokenKind::kTrue: return "'true'";
+    case TokenKind::kFalse: return "'false'";
+    case TokenKind::kColon: return "':'";
+    case TokenKind::kComma: return "','";
+    case TokenKind::kLParen: return "'('";
+    case TokenKind::kRParen: return "')'";
+    case TokenKind::kLBracket: return "'['";
+    case TokenKind::kRBracket: return "']'";
+    case TokenKind::kLBrace: return "'{'";
+    case TokenKind::kRBrace: return "'}'";
+    case TokenKind::kArrow: return "'->'";
+    case TokenKind::kSend: return "'=>'";
+    case TokenKind::kAssign: return "':='";
+    case TokenKind::kEq: return "'='";
+    case TokenKind::kNeq: return "'<>'";
+    case TokenKind::kLt: return "'<'";
+    case TokenKind::kGt: return "'>'";
+    case TokenKind::kLe: return "'<='";
+    case TokenKind::kGe: return "'>='";
+    case TokenKind::kPlus: return "'+'";
+    case TokenKind::kMinus: return "'-'";
+    case TokenKind::kStar: return "'*'";
+    case TokenKind::kSlash: return "'/'";
+    case TokenKind::kDot: return "'.'";
+    case TokenKind::kUnderscore: return "'_'";
+    case TokenKind::kNewline: return "newline";
+    case TokenKind::kIndent: return "indent";
+    case TokenKind::kDedent: return "dedent";
+    case TokenKind::kEof: return "end of file";
+    case TokenKind::kError: return "error";
+  }
+  return "?";
+}
+
+Result<std::vector<Token>> Lex(const std::string& source) {
+  std::vector<Token> tokens;
+  std::vector<int> indents{0};
+  int line = 1;
+  size_t i = 0;
+  const size_t n = source.size();
+  bool at_line_start = true;
+  // Bracket depth: newlines inside (...) or [...] are insignificant, which
+  // lets signatures span lines as in the paper's listings.
+  int bracket_depth = 0;
+
+  auto push = [&](TokenKind kind, std::string text = "", uint64_t value = 0, int col = 0) {
+    tokens.push_back(Token{kind, std::move(text), value, line, col});
+  };
+
+  while (i <= n) {
+    if (at_line_start && bracket_depth == 0) {
+      // Measure indentation; skip blank/comment-only lines entirely.
+      size_t j = i;
+      int width = 0;
+      while (j < n && (source[j] == ' ' || source[j] == '\t')) {
+        width += source[j] == '\t' ? 8 : 1;
+        ++j;
+      }
+      if (j >= n) {
+        break;
+      }
+      if (source[j] == '\n') {
+        i = j + 1;
+        ++line;
+        continue;
+      }
+      if (source[j] == '#') {
+        while (j < n && source[j] != '\n') {
+          ++j;
+        }
+        i = j < n ? j + 1 : j;
+        ++line;
+        continue;
+      }
+      if (width > indents.back()) {
+        indents.push_back(width);
+        push(TokenKind::kIndent);
+      } else {
+        while (width < indents.back()) {
+          indents.pop_back();
+          push(TokenKind::kDedent);
+        }
+        if (width != indents.back()) {
+          return InvalidArgument("line " + std::to_string(line) + ": inconsistent indentation");
+        }
+      }
+      i = j;
+      at_line_start = false;
+      continue;
+    }
+
+    if (i >= n) {
+      break;
+    }
+    const char c = source[i];
+    const int col = static_cast<int>(i) + 1;
+
+    if (c == '\n') {
+      ++i;
+      ++line;
+      if (bracket_depth == 0) {
+        push(TokenKind::kNewline);
+        at_line_start = true;
+      }
+      continue;
+    }
+    if (c == ' ' || c == '\t' || c == '\r') {
+      ++i;
+      continue;
+    }
+    if (c == '#') {
+      while (i < n && source[i] != '\n') {
+        ++i;
+      }
+      continue;
+    }
+    if (std::isdigit(static_cast<unsigned char>(c))) {
+      uint64_t value = 0;
+      if (c == '0' && i + 1 < n && (source[i + 1] == 'x' || source[i + 1] == 'X')) {
+        i += 2;
+        while (i < n && std::isxdigit(static_cast<unsigned char>(source[i]))) {
+          const char d = source[i];
+          value = value * 16 +
+                  static_cast<uint64_t>(std::isdigit(static_cast<unsigned char>(d))
+                                            ? d - '0'
+                                            : std::tolower(d) - 'a' + 10);
+          ++i;
+        }
+      } else {
+        while (i < n && std::isdigit(static_cast<unsigned char>(source[i]))) {
+          value = value * 10 + static_cast<uint64_t>(source[i] - '0');
+          ++i;
+        }
+      }
+      push(TokenKind::kInt, "", value, col);
+      continue;
+    }
+    if (std::isalpha(static_cast<unsigned char>(c)) || c == '_') {
+      size_t j = i;
+      while (j < n && (std::isalnum(static_cast<unsigned char>(source[j])) || source[j] == '_')) {
+        ++j;
+      }
+      std::string word = source.substr(i, j - i);
+      i = j;
+      if (word == "_") {
+        push(TokenKind::kUnderscore, "_", 0, col);
+        continue;
+      }
+      const auto it = Keywords().find(word);
+      if (it != Keywords().end()) {
+        push(it->second, word, 0, col);
+      } else {
+        push(TokenKind::kIdent, std::move(word), 0, col);
+      }
+      continue;
+    }
+    if (c == '"') {
+      size_t j = i + 1;
+      std::string text;
+      while (j < n && source[j] != '"') {
+        if (source[j] == '\\' && j + 1 < n) {
+          ++j;
+          switch (source[j]) {
+            case 'n': text.push_back('\n'); break;
+            case 't': text.push_back('\t'); break;
+            default: text.push_back(source[j]);
+          }
+        } else {
+          text.push_back(source[j]);
+        }
+        ++j;
+      }
+      if (j >= n) {
+        return InvalidArgument("line " + std::to_string(line) + ": unterminated string");
+      }
+      i = j + 1;
+      push(TokenKind::kString, std::move(text), 0, col);
+      continue;
+    }
+
+    auto two = [&](char second) { return i + 1 < n && source[i + 1] == second; };
+    switch (c) {
+      case ':':
+        if (two('=')) {
+          push(TokenKind::kAssign, ":=", 0, col);
+          i += 2;
+        } else {
+          push(TokenKind::kColon, ":", 0, col);
+          ++i;
+        }
+        continue;
+      case '=':
+        if (two('>')) {
+          push(TokenKind::kSend, "=>", 0, col);
+          i += 2;
+        } else {
+          push(TokenKind::kEq, "=", 0, col);
+          ++i;
+        }
+        continue;
+      case '-':
+        if (two('>')) {
+          push(TokenKind::kArrow, "->", 0, col);
+          i += 2;
+        } else {
+          push(TokenKind::kMinus, "-", 0, col);
+          ++i;
+        }
+        continue;
+      case '<':
+        if (two('>')) {
+          push(TokenKind::kNeq, "<>", 0, col);
+          i += 2;
+        } else if (two('=')) {
+          push(TokenKind::kLe, "<=", 0, col);
+          i += 2;
+        } else {
+          push(TokenKind::kLt, "<", 0, col);
+          ++i;
+        }
+        continue;
+      case '>':
+        if (two('=')) {
+          push(TokenKind::kGe, ">=", 0, col);
+          i += 2;
+        } else {
+          push(TokenKind::kGt, ">", 0, col);
+          ++i;
+        }
+        continue;
+      case ',': push(TokenKind::kComma, ",", 0, col); ++i; continue;
+      case '(': push(TokenKind::kLParen, "(", 0, col); ++bracket_depth; ++i; continue;
+      case ')': push(TokenKind::kRParen, ")", 0, col); --bracket_depth; ++i; continue;
+      case '[': push(TokenKind::kLBracket, "[", 0, col); ++bracket_depth; ++i; continue;
+      case ']': push(TokenKind::kRBracket, "]", 0, col); --bracket_depth; ++i; continue;
+      case '{': push(TokenKind::kLBrace, "{", 0, col); ++i; continue;
+      case '}': push(TokenKind::kRBrace, "}", 0, col); ++i; continue;
+      case '+': push(TokenKind::kPlus, "+", 0, col); ++i; continue;
+      case '*': push(TokenKind::kStar, "*", 0, col); ++i; continue;
+      case '/': push(TokenKind::kSlash, "/", 0, col); ++i; continue;
+      case '.': push(TokenKind::kDot, ".", 0, col); ++i; continue;
+      case '|': ++i; continue;  // pipeline rule prefix in some listings; cosmetic
+      default:
+        return InvalidArgument("line " + std::to_string(line) + ": unexpected character '" +
+                               std::string(1, c) + "'");
+    }
+  }
+
+  // Close the final line and any open blocks.
+  if (!tokens.empty() && tokens.back().kind != TokenKind::kNewline) {
+    tokens.push_back(Token{TokenKind::kNewline, "", 0, line, 0});
+  }
+  while (indents.size() > 1) {
+    indents.pop_back();
+    tokens.push_back(Token{TokenKind::kDedent, "", 0, line, 0});
+  }
+  tokens.push_back(Token{TokenKind::kEof, "", 0, line, 0});
+  return tokens;
+}
+
+}  // namespace flick::lang

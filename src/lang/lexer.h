@@ -1,0 +1,19 @@
+// Indentation-aware lexer for the FLICK language.
+#ifndef FLICK_LANG_LEXER_H_
+#define FLICK_LANG_LEXER_H_
+
+#include <string>
+#include <vector>
+
+#include "base/result.h"
+#include "lang/token.h"
+
+namespace flick::lang {
+
+// Tokenises `source`. On success the stream ends with matching DEDENTs and a
+// single EOF token. Comments run from '#' to end of line.
+Result<std::vector<Token>> Lex(const std::string& source);
+
+}  // namespace flick::lang
+
+#endif  // FLICK_LANG_LEXER_H_

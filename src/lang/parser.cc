@@ -1,0 +1,631 @@
+#include "lang/parser.h"
+
+#include "lang/lexer.h"
+
+namespace flick::lang {
+namespace {
+
+class Parser {
+ public:
+  explicit Parser(std::vector<Token> tokens) : tokens_(std::move(tokens)) {}
+
+  Result<Program> Run() {
+    Program program;
+    SkipNewlines();
+    while (!At(TokenKind::kEof)) {
+      if (At(TokenKind::kType)) {
+        auto decl = ParseTypeDecl();
+        if (!decl.ok()) {
+          return decl.status();
+        }
+        program.types.push_back(std::move(decl).value());
+      } else if (At(TokenKind::kProc)) {
+        auto decl = ParseProcDecl();
+        if (!decl.ok()) {
+          return decl.status();
+        }
+        program.procs.push_back(std::move(decl).value());
+      } else if (At(TokenKind::kFun)) {
+        auto decl = ParseFunDecl();
+        if (!decl.ok()) {
+          return decl.status();
+        }
+        program.funs.push_back(std::move(decl).value());
+      } else {
+        return Err("expected 'type', 'proc' or 'fun'");
+      }
+      SkipNewlines();
+    }
+    return program;
+  }
+
+ private:
+  // ------------------------------------------------------------- plumbing ----
+  const Token& Cur() const { return tokens_[pos_]; }
+  bool At(TokenKind kind) const { return Cur().kind == kind; }
+  Token Take() { return tokens_[pos_++]; }
+
+  bool Accept(TokenKind kind) {
+    if (At(kind)) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+
+  Status Expect(TokenKind kind) {
+    if (!Accept(kind)) {
+      return Status(StatusCode::kInvalidArgument,
+                    "line " + std::to_string(Cur().line) + ": expected " +
+                        TokenKindName(kind) + ", found " + TokenKindName(Cur().kind));
+    }
+    return OkStatus();
+  }
+
+  Status Err(const std::string& message) const {
+    return Status(StatusCode::kInvalidArgument,
+                  "line " + std::to_string(Cur().line) + ": " + message);
+  }
+
+  void SkipNewlines() {
+    while (At(TokenKind::kNewline)) {
+      ++pos_;
+    }
+  }
+
+#define PARSE_OR_RETURN(var, call)    \
+  auto var##_result = (call);         \
+  if (!var##_result.ok()) {           \
+    return var##_result.status();     \
+  }                                   \
+  auto var = std::move(var##_result).value()
+
+  // ----------------------------------------------------------- type decls ----
+  Result<TypeDecl> ParseTypeDecl() {
+    TypeDecl decl;
+    decl.line = Cur().line;
+    FLICK_RETURN_IF_ERROR(Expect(TokenKind::kType));
+    if (!At(TokenKind::kIdent)) {
+      return Err("expected type name");
+    }
+    decl.name = Take().text;
+    FLICK_RETURN_IF_ERROR(Expect(TokenKind::kColon));
+    FLICK_RETURN_IF_ERROR(Expect(TokenKind::kRecord));
+    FLICK_RETURN_IF_ERROR(Expect(TokenKind::kNewline));
+    FLICK_RETURN_IF_ERROR(Expect(TokenKind::kIndent));
+    while (!At(TokenKind::kDedent) && !At(TokenKind::kEof)) {
+      SkipNewlines();
+      if (At(TokenKind::kDedent)) {
+        break;
+      }
+      PARSE_OR_RETURN(field, ParseFieldDecl());
+      decl.fields.push_back(std::move(field));
+      SkipNewlines();
+    }
+    FLICK_RETURN_IF_ERROR(Expect(TokenKind::kDedent));
+    return decl;
+  }
+
+  Result<FieldDecl> ParseFieldDecl() {
+    FieldDecl field;
+    field.line = Cur().line;
+    if (Accept(TokenKind::kUnderscore)) {
+      field.name.clear();
+    } else if (At(TokenKind::kIdent)) {
+      field.name = Take().text;
+    } else {
+      return Err("expected field name or '_'");
+    }
+    FLICK_RETURN_IF_ERROR(Expect(TokenKind::kColon));
+    if (!At(TokenKind::kIdent)) {
+      return Err("expected field type ('string' or 'integer')");
+    }
+    field.type = Take().text;
+    if (field.type != "string" && field.type != "integer") {
+      return Err("unknown field type '" + field.type + "'");
+    }
+    // Annotation block is optional (Listing 3's kv type omits it entirely).
+    if (!At(TokenKind::kLBrace)) {
+      FLICK_RETURN_IF_ERROR(Expect(TokenKind::kNewline));
+      return field;
+    }
+    Take();  // consume '{'
+    // annotations: key=value, comma separated
+    while (!At(TokenKind::kRBrace)) {
+      if (!At(TokenKind::kIdent)) {
+        return Err("expected annotation name");
+      }
+      const std::string key = Take().text;
+      FLICK_RETURN_IF_ERROR(Expect(TokenKind::kEq));
+      if (key == "size") {
+        PARSE_OR_RETURN(expr, ParseExpr());
+        field.annotation.size = std::move(expr);
+      } else if (key == "signed") {
+        if (Accept(TokenKind::kTrue)) {
+          field.annotation.is_signed = true;
+        } else if (Accept(TokenKind::kFalse)) {
+          field.annotation.is_signed = false;
+        } else {
+          return Err("expected true/false for 'signed'");
+        }
+      } else {
+        return Err("unknown annotation '" + key + "'");
+      }
+      if (!Accept(TokenKind::kComma)) {
+        break;
+      }
+    }
+    FLICK_RETURN_IF_ERROR(Expect(TokenKind::kRBrace));
+    FLICK_RETURN_IF_ERROR(Expect(TokenKind::kNewline));
+    return field;
+  }
+
+  // ----------------------------------------------------------- signatures ----
+  Result<Param> ParseParam() {
+    Param param;
+    param.line = Cur().line;
+
+    // Channel forms:   T/U name   |  -/U name  |  [T/U] name  |  [-/T] name
+    if (At(TokenKind::kLBracket)) {
+      Take();
+      PARSE_OR_RETURN(ct, ParseChannelType());
+      ct.is_array = true;
+      FLICK_RETURN_IF_ERROR(Expect(TokenKind::kRBracket));
+      if (!At(TokenKind::kIdent)) {
+        return Err("expected channel-array parameter name");
+      }
+      param.name = Take().text;
+      param.channel = std::move(ct);
+      return param;
+    }
+
+    // Lookahead: IDENT '/' or '-' '/' begins a scalar channel type.
+    if ((At(TokenKind::kIdent) && Peek(1).kind == TokenKind::kSlash) ||
+        (At(TokenKind::kMinus) && Peek(1).kind == TokenKind::kSlash)) {
+      PARSE_OR_RETURN(ct, ParseChannelType());
+      if (!At(TokenKind::kIdent)) {
+        return Err("expected channel parameter name");
+      }
+      param.name = Take().text;
+      param.channel = std::move(ct);
+      return param;
+    }
+
+    // Value forms:  name : type   |  name : ref dict<string*string>
+    if (!At(TokenKind::kIdent)) {
+      return Err("expected parameter");
+    }
+    param.name = Take().text;
+    FLICK_RETURN_IF_ERROR(Expect(TokenKind::kColon));
+    if (Accept(TokenKind::kRef)) {
+      FLICK_RETURN_IF_ERROR(Expect(TokenKind::kDict));
+      FLICK_RETURN_IF_ERROR(Expect(TokenKind::kLt));
+      // dict<string*string> — element types are currently fixed.
+      FLICK_RETURN_IF_ERROR(Expect(TokenKind::kIdent));
+      FLICK_RETURN_IF_ERROR(Expect(TokenKind::kStar));
+      FLICK_RETURN_IF_ERROR(Expect(TokenKind::kIdent));
+      FLICK_RETURN_IF_ERROR(Expect(TokenKind::kGt));
+      param.is_ref_dict = true;
+      return param;
+    }
+    if (!At(TokenKind::kIdent)) {
+      return Err("expected parameter type");
+    }
+    param.value_type = Take().text;
+    return param;
+  }
+
+  Result<ChannelType> ParseChannelType() {
+    ChannelType ct;
+    if (Accept(TokenKind::kMinus)) {
+      ct.in_type = "-";
+    } else if (At(TokenKind::kIdent)) {
+      ct.in_type = Take().text;
+    } else {
+      return Err("expected channel element type or '-'");
+    }
+    FLICK_RETURN_IF_ERROR(Expect(TokenKind::kSlash));
+    if (Accept(TokenKind::kMinus)) {
+      ct.out_type = "-";
+    } else if (At(TokenKind::kIdent)) {
+      ct.out_type = Take().text;
+    } else {
+      return Err("expected channel element type or '-'");
+    }
+    return ct;
+  }
+
+  Result<std::vector<Param>> ParseParamList() {
+    std::vector<Param> params;
+    FLICK_RETURN_IF_ERROR(Expect(TokenKind::kLParen));
+    if (!At(TokenKind::kRParen)) {
+      while (true) {
+        PARSE_OR_RETURN(param, ParseParam());
+        params.push_back(std::move(param));
+        if (!Accept(TokenKind::kComma)) {
+          break;
+        }
+      }
+    }
+    FLICK_RETURN_IF_ERROR(Expect(TokenKind::kRParen));
+    return params;
+  }
+
+  // ----------------------------------------------------------------- proc ----
+  Result<ProcDecl> ParseProcDecl() {
+    ProcDecl decl;
+    decl.line = Cur().line;
+    FLICK_RETURN_IF_ERROR(Expect(TokenKind::kProc));
+    if (!At(TokenKind::kIdent)) {
+      return Err("expected process name");
+    }
+    decl.name = Take().text;
+    FLICK_RETURN_IF_ERROR(Expect(TokenKind::kColon));
+    PARSE_OR_RETURN(params, ParseParamList());
+    decl.params = std::move(params);
+    Accept(TokenKind::kColon);  // tolerate trailing ':' (Listing 3 style)
+    FLICK_RETURN_IF_ERROR(Expect(TokenKind::kNewline));
+    PARSE_OR_RETURN(body, ParseBlock());
+    decl.body = std::move(body);
+    return decl;
+  }
+
+  Result<FunDecl> ParseFunDecl() {
+    FunDecl decl;
+    decl.line = Cur().line;
+    FLICK_RETURN_IF_ERROR(Expect(TokenKind::kFun));
+    if (!At(TokenKind::kIdent)) {
+      return Err("expected function name");
+    }
+    decl.name = Take().text;
+    FLICK_RETURN_IF_ERROR(Expect(TokenKind::kColon));
+    PARSE_OR_RETURN(params, ParseParamList());
+    decl.params = std::move(params);
+    FLICK_RETURN_IF_ERROR(Expect(TokenKind::kArrow));
+    FLICK_RETURN_IF_ERROR(Expect(TokenKind::kLParen));
+    if (At(TokenKind::kIdent)) {
+      decl.return_type = Take().text;
+    }
+    FLICK_RETURN_IF_ERROR(Expect(TokenKind::kRParen));
+    FLICK_RETURN_IF_ERROR(Expect(TokenKind::kNewline));
+    PARSE_OR_RETURN(body, ParseBlock());
+    decl.body = std::move(body);
+    return decl;
+  }
+
+  // ------------------------------------------------------------ statements ----
+  Result<std::vector<StmtPtr>> ParseBlock() {
+    std::vector<StmtPtr> stmts;
+    FLICK_RETURN_IF_ERROR(Expect(TokenKind::kIndent));
+    while (!At(TokenKind::kDedent) && !At(TokenKind::kEof)) {
+      SkipNewlines();
+      if (At(TokenKind::kDedent)) {
+        break;
+      }
+      PARSE_OR_RETURN(stmt, ParseStmt());
+      stmts.push_back(std::move(stmt));
+      SkipNewlines();
+    }
+    FLICK_RETURN_IF_ERROR(Expect(TokenKind::kDedent));
+    return stmts;
+  }
+
+  Result<StmtPtr> ParseStmt() {
+    auto stmt = std::make_unique<Stmt>();
+    stmt->line = Cur().line;
+
+    if (Accept(TokenKind::kGlobal)) {
+      stmt->kind = StmtKind::kGlobal;
+      if (!At(TokenKind::kIdent)) {
+        return Err("expected global name");
+      }
+      stmt->name = Take().text;
+      FLICK_RETURN_IF_ERROR(Expect(TokenKind::kAssign));
+      if (!At(TokenKind::kIdent) || Cur().text != "empty_dict") {
+        return Err("global initialiser must be 'empty_dict'");
+      }
+      Take();
+      FLICK_RETURN_IF_ERROR(Expect(TokenKind::kNewline));
+      return StmtPtr(std::move(stmt));
+    }
+
+    if (Accept(TokenKind::kLet)) {
+      stmt->kind = StmtKind::kLet;
+      if (!At(TokenKind::kIdent)) {
+        return Err("expected let binding name");
+      }
+      stmt->name = Take().text;
+      FLICK_RETURN_IF_ERROR(Expect(TokenKind::kEq));
+      PARSE_OR_RETURN(value, ParseExpr());
+      stmt->value = std::move(value);
+      FLICK_RETURN_IF_ERROR(Expect(TokenKind::kNewline));
+      return StmtPtr(std::move(stmt));
+    }
+
+    if (Accept(TokenKind::kIf)) {
+      stmt->kind = StmtKind::kIf;
+      PARSE_OR_RETURN(cond, ParseExpr());
+      stmt->cond = std::move(cond);
+      FLICK_RETURN_IF_ERROR(Expect(TokenKind::kColon));
+      FLICK_RETURN_IF_ERROR(Expect(TokenKind::kNewline));
+      PARSE_OR_RETURN(then_block, ParseBlock());
+      stmt->then_block = std::move(then_block);
+      SkipNewlines();
+      if (Accept(TokenKind::kElse)) {
+        FLICK_RETURN_IF_ERROR(Expect(TokenKind::kColon));
+        FLICK_RETURN_IF_ERROR(Expect(TokenKind::kNewline));
+        PARSE_OR_RETURN(else_block, ParseBlock());
+        stmt->else_block = std::move(else_block);
+      }
+      return StmtPtr(std::move(stmt));
+    }
+
+    if (Accept(TokenKind::kFoldt)) {
+      // foldt on <ident> ordering by <ident> combine <ident> => <expr>
+      stmt->kind = StmtKind::kFoldt;
+      FLICK_RETURN_IF_ERROR(Expect(TokenKind::kOn));
+      if (!At(TokenKind::kIdent)) {
+        return Err("expected channel-array name after 'foldt on'");
+      }
+      stmt->foldt_channels = Take().text;
+      FLICK_RETURN_IF_ERROR(Expect(TokenKind::kOrdering));
+      FLICK_RETURN_IF_ERROR(Expect(TokenKind::kBy));
+      if (!At(TokenKind::kIdent)) {
+        return Err("expected ordering field name");
+      }
+      stmt->foldt_order_field = Take().text;
+      FLICK_RETURN_IF_ERROR(Expect(TokenKind::kCombine));
+      if (!At(TokenKind::kIdent)) {
+        return Err("expected combine function name");
+      }
+      stmt->foldt_combine_fun = Take().text;
+      FLICK_RETURN_IF_ERROR(Expect(TokenKind::kSend));
+      PARSE_OR_RETURN(target, ParseExpr());
+      stmt->foldt_target = std::move(target);
+      FLICK_RETURN_IF_ERROR(Expect(TokenKind::kNewline));
+      return StmtPtr(std::move(stmt));
+    }
+
+    // Remaining forms start with an expression:
+    //   expr := expr        assignment
+    //   expr => stage ...   send pipeline
+    //   expr                expression statement / return value
+    PARSE_OR_RETURN(expr, ParseExpr());
+
+    if (Accept(TokenKind::kAssign)) {
+      stmt->kind = StmtKind::kAssign;
+      stmt->target = std::move(expr);
+      PARSE_OR_RETURN(value, ParseExpr());
+      stmt->value = std::move(value);
+      FLICK_RETURN_IF_ERROR(Expect(TokenKind::kNewline));
+      return StmtPtr(std::move(stmt));
+    }
+
+    if (At(TokenKind::kSend)) {
+      stmt->kind = StmtKind::kSend;
+      stmt->value = std::move(expr);
+      while (Accept(TokenKind::kSend)) {
+        PARSE_OR_RETURN(stage, ParseExpr());
+        stmt->send_stages.push_back(std::move(stage));
+      }
+      FLICK_RETURN_IF_ERROR(Expect(TokenKind::kNewline));
+      return StmtPtr(std::move(stmt));
+    }
+
+    stmt->kind = StmtKind::kExpr;
+    stmt->value = std::move(expr);
+    FLICK_RETURN_IF_ERROR(Expect(TokenKind::kNewline));
+    return StmtPtr(std::move(stmt));
+  }
+
+  // ----------------------------------------------------------- expressions ----
+  // Precedence: or < and < comparison < additive < multiplicative < unary
+  //             < postfix (call/field/index) < primary
+  Result<ExprPtr> ParseExpr() { return ParseOr(); }
+
+  Result<ExprPtr> ParseOr() {
+    PARSE_OR_RETURN(lhs, ParseAnd());
+    while (At(TokenKind::kOr)) {
+      const int line = Take().line;
+      PARSE_OR_RETURN(rhs, ParseAnd());
+      lhs = MakeBinary(BinOp::kOr, std::move(lhs), std::move(rhs), line);
+    }
+    return std::move(lhs);
+  }
+
+  Result<ExprPtr> ParseAnd() {
+    PARSE_OR_RETURN(lhs, ParseComparison());
+    while (At(TokenKind::kAnd)) {
+      const int line = Take().line;
+      PARSE_OR_RETURN(rhs, ParseComparison());
+      lhs = MakeBinary(BinOp::kAnd, std::move(lhs), std::move(rhs), line);
+    }
+    return std::move(lhs);
+  }
+
+  Result<ExprPtr> ParseComparison() {
+    PARSE_OR_RETURN(lhs, ParseAdditive());
+    while (true) {
+      BinOp op;
+      if (At(TokenKind::kEq)) {
+        op = BinOp::kEq;
+      } else if (At(TokenKind::kNeq)) {
+        op = BinOp::kNeq;
+      } else if (At(TokenKind::kLt)) {
+        op = BinOp::kLt;
+      } else if (At(TokenKind::kGt)) {
+        op = BinOp::kGt;
+      } else if (At(TokenKind::kLe)) {
+        op = BinOp::kLe;
+      } else if (At(TokenKind::kGe)) {
+        op = BinOp::kGe;
+      } else {
+        return std::move(lhs);
+      }
+      const int line = Take().line;
+      PARSE_OR_RETURN(rhs, ParseAdditive());
+      lhs = MakeBinary(op, std::move(lhs), std::move(rhs), line);
+    }
+  }
+
+  Result<ExprPtr> ParseAdditive() {
+    PARSE_OR_RETURN(lhs, ParseMultiplicative());
+    while (At(TokenKind::kPlus) || At(TokenKind::kMinus)) {
+      const BinOp op = At(TokenKind::kPlus) ? BinOp::kAdd : BinOp::kSub;
+      const int line = Take().line;
+      PARSE_OR_RETURN(rhs, ParseMultiplicative());
+      lhs = MakeBinary(op, std::move(lhs), std::move(rhs), line);
+    }
+    return std::move(lhs);
+  }
+
+  Result<ExprPtr> ParseMultiplicative() {
+    PARSE_OR_RETURN(lhs, ParseUnary());
+    while (At(TokenKind::kStar) || At(TokenKind::kSlash) || At(TokenKind::kMod)) {
+      BinOp op = BinOp::kMul;
+      if (At(TokenKind::kSlash)) {
+        op = BinOp::kDiv;
+      } else if (At(TokenKind::kMod)) {
+        op = BinOp::kMod;
+      }
+      const int line = Take().line;
+      PARSE_OR_RETURN(rhs, ParseUnary());
+      lhs = MakeBinary(op, std::move(lhs), std::move(rhs), line);
+    }
+    return std::move(lhs);
+  }
+
+  Result<ExprPtr> ParseUnary() {
+    if (At(TokenKind::kNot) || At(TokenKind::kMinus)) {
+      const bool is_not = At(TokenKind::kNot);
+      const int line = Take().line;
+      PARSE_OR_RETURN(operand, ParseUnary());
+      auto expr = std::make_unique<Expr>();
+      expr->kind = ExprKind::kUnary;
+      expr->line = line;
+      expr->unary_op = is_not ? '!' : '-';
+      expr->base = std::move(operand);
+      return std::move(expr);
+    }
+    return ParsePostfix();
+  }
+
+  Result<ExprPtr> ParsePostfix() {
+    PARSE_OR_RETURN(expr, ParsePrimary());
+    while (true) {
+      if (Accept(TokenKind::kDot)) {
+        if (!At(TokenKind::kIdent)) {
+          return Err("expected field name after '.'");
+        }
+        auto field = std::make_unique<Expr>();
+        field->kind = ExprKind::kField;
+        field->line = Cur().line;
+        field->text = Take().text;
+        field->base = std::move(expr);
+        expr = std::move(field);
+        continue;
+      }
+      if (Accept(TokenKind::kLBracket)) {
+        auto index = std::make_unique<Expr>();
+        index->kind = ExprKind::kIndex;
+        index->line = Cur().line;
+        index->base = std::move(expr);
+        PARSE_OR_RETURN(sub, ParseExpr());
+        index->index = std::move(sub);
+        FLICK_RETURN_IF_ERROR(Expect(TokenKind::kRBracket));
+        expr = std::move(index);
+        continue;
+      }
+      return std::move(expr);
+    }
+  }
+
+  Result<ExprPtr> ParsePrimary() {
+    auto expr = std::make_unique<Expr>();
+    expr->line = Cur().line;
+
+    if (At(TokenKind::kInt)) {
+      expr->kind = ExprKind::kIntLit;
+      expr->int_value = Take().int_value;
+      return std::move(expr);
+    }
+    if (At(TokenKind::kString)) {
+      expr->kind = ExprKind::kStringLit;
+      expr->text = Take().text;
+      return std::move(expr);
+    }
+    if (Accept(TokenKind::kTrue)) {
+      expr->kind = ExprKind::kBoolLit;
+      expr->bool_value = true;
+      return std::move(expr);
+    }
+    if (Accept(TokenKind::kFalse)) {
+      expr->kind = ExprKind::kBoolLit;
+      expr->bool_value = false;
+      return std::move(expr);
+    }
+    if (Accept(TokenKind::kNone)) {
+      expr->kind = ExprKind::kNoneLit;
+      return std::move(expr);
+    }
+    if (At(TokenKind::kIdent)) {
+      const std::string name = Take().text;
+      if (Accept(TokenKind::kLParen)) {
+        expr->kind = ExprKind::kCall;
+        expr->text = name;
+        if (!At(TokenKind::kRParen)) {
+          while (true) {
+            PARSE_OR_RETURN(arg, ParseExpr());
+            expr->args.push_back(std::move(arg));
+            if (!Accept(TokenKind::kComma)) {
+              break;
+            }
+          }
+        }
+        FLICK_RETURN_IF_ERROR(Expect(TokenKind::kRParen));
+        return std::move(expr);
+      }
+      expr->kind = ExprKind::kVar;
+      expr->text = name;
+      return std::move(expr);
+    }
+    if (Accept(TokenKind::kLParen)) {
+      PARSE_OR_RETURN(inner, ParseExpr());
+      FLICK_RETURN_IF_ERROR(Expect(TokenKind::kRParen));
+      return std::move(inner);
+    }
+    return Err(std::string("unexpected token ") + TokenKindName(Cur().kind));
+  }
+
+  static ExprPtr MakeBinary(BinOp op, ExprPtr lhs, ExprPtr rhs, int line) {
+    auto expr = std::make_unique<Expr>();
+    expr->kind = ExprKind::kBinary;
+    expr->line = line;
+    expr->op = op;
+    expr->base = std::move(lhs);
+    expr->index = std::move(rhs);
+    return expr;
+  }
+
+  const Token& Peek(size_t ahead) const {
+    const size_t j = pos_ + ahead;
+    return j < tokens_.size() ? tokens_[j] : tokens_.back();
+  }
+
+#undef PARSE_OR_RETURN
+
+  std::vector<Token> tokens_;
+  size_t pos_ = 0;
+};
+
+}  // namespace
+
+Result<Program> Parse(const std::string& source) {
+  auto tokens = Lex(source);
+  if (!tokens.ok()) {
+    return tokens.status();
+  }
+  return Parser(std::move(tokens).value()).Run();
+}
+
+}  // namespace flick::lang

@@ -1,0 +1,17 @@
+// Recursive-descent parser for the FLICK language.
+#ifndef FLICK_LANG_PARSER_H_
+#define FLICK_LANG_PARSER_H_
+
+#include <string>
+
+#include "base/result.h"
+#include "lang/ast.h"
+
+namespace flick::lang {
+
+// Parses a full program from source text. Errors carry line information.
+Result<Program> Parse(const std::string& source);
+
+}  // namespace flick::lang
+
+#endif  // FLICK_LANG_PARSER_H_

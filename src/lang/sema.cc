@@ -1,0 +1,424 @@
+#include "lang/sema.h"
+
+#include <map>
+#include <set>
+
+namespace flick::lang {
+namespace {
+
+bool IsBuiltin(const std::string& name) {
+  return name == "hash" || name == "len" || name == "all_ready" || name == "add" ||
+         name == "int" || name == "str";
+}
+
+class Checker {
+ public:
+  explicit Checker(const Program& program) : program_(program) {}
+
+  std::vector<std::string> Run() {
+    CheckTypes();
+    CheckCallGraphAcyclic();
+    for (const FunDecl& fun : program_.funs) {
+      CheckFun(fun);
+    }
+    for (const ProcDecl& proc : program_.procs) {
+      CheckProc(proc);
+    }
+    return std::move(diags_);
+  }
+
+ private:
+  void Diag(int line, const std::string& message) {
+    diags_.push_back("line " + std::to_string(line) + ": " + message);
+  }
+
+  // ------------------------------------------------------------- type decls ----
+  void CheckTypes() {
+    std::set<std::string> names;
+    for (const TypeDecl& type : program_.types) {
+      if (!names.insert(type.name).second) {
+        Diag(type.line, "duplicate type '" + type.name + "'");
+      }
+      std::set<std::string> fields;
+      std::set<std::string> numeric_so_far;
+      for (const FieldDecl& field : type.fields) {
+        if (!field.name.empty() && !fields.insert(field.name).second) {
+          Diag(field.line, "duplicate field '" + field.name + "' in type " + type.name);
+        }
+        // Missing {size=...} is allowed: integers default to 8 bytes and
+        // strings become length-prefixed (auto-framed) on the wire.
+        if (field.annotation.size != nullptr) {
+          CheckSizeExpr(*field.annotation.size, numeric_so_far, field.line);
+        }
+        if (field.type == "integer" && !field.name.empty()) {
+          numeric_so_far.insert(field.name);
+        }
+      }
+    }
+  }
+
+  // Size expressions may use integer literals and earlier integer fields.
+  void CheckSizeExpr(const Expr& expr, const std::set<std::string>& numeric, int line) {
+    switch (expr.kind) {
+      case ExprKind::kIntLit:
+        return;
+      case ExprKind::kVar:
+        if (numeric.count(expr.text) == 0) {
+          Diag(line, "size expression references '" + expr.text +
+                         "', which is not an earlier integer field");
+        }
+        return;
+      case ExprKind::kBinary:
+        if (expr.op != BinOp::kAdd && expr.op != BinOp::kSub && expr.op != BinOp::kMul) {
+          Diag(line, "size expressions support only +, -, *");
+        }
+        CheckSizeExpr(*expr.base, numeric, line);
+        CheckSizeExpr(*expr.index, numeric, line);
+        return;
+      default:
+        Diag(line, "unsupported construct in size expression");
+    }
+  }
+
+  // ----------------------------------------------- boundedness: no recursion ----
+  void CheckCallGraphAcyclic() {
+    // Gather call edges fun -> fun.
+    std::map<std::string, std::set<std::string>> edges;
+    for (const FunDecl& fun : program_.funs) {
+      std::set<std::string> callees;
+      for (const StmtPtr& stmt : fun.body) {
+        CollectCalls(*stmt, &callees);
+      }
+      edges[fun.name] = std::move(callees);
+    }
+    // DFS colouring.
+    std::map<std::string, int> colour;  // 0 white, 1 grey, 2 black
+    for (const FunDecl& fun : program_.funs) {
+      if (HasCycle(fun.name, edges, colour)) {
+        Diag(fun.line, "function '" + fun.name +
+                           "' is (mutually) recursive; FLICK forbids recursion "
+                           "(bounded-resource guarantee, paper §3.2)");
+        return;  // one diagnosis is enough
+      }
+    }
+  }
+
+  bool HasCycle(const std::string& node, std::map<std::string, std::set<std::string>>& edges,
+                std::map<std::string, int>& colour) {
+    if (colour[node] == 1) {
+      return true;
+    }
+    if (colour[node] == 2) {
+      return false;
+    }
+    colour[node] = 1;
+    for (const std::string& next : edges[node]) {
+      if (edges.count(next) != 0 && HasCycle(next, edges, colour)) {
+        return true;
+      }
+    }
+    colour[node] = 2;
+    return false;
+  }
+
+  void CollectCalls(const Stmt& stmt, std::set<std::string>* out) {
+    auto walk_expr = [&](const Expr& e, auto&& self) -> void {
+      if (e.kind == ExprKind::kCall) {
+        out->insert(e.text);
+      }
+      if (e.base) {
+        self(*e.base, self);
+      }
+      if (e.index) {
+        self(*e.index, self);
+      }
+      for (const ExprPtr& a : e.args) {
+        self(*a, self);
+      }
+    };
+    auto walk = [&](const Expr* e) {
+      if (e != nullptr) {
+        walk_expr(*e, walk_expr);
+      }
+    };
+    walk(stmt.value.get());
+    walk(stmt.target.get());
+    walk(stmt.cond.get());
+    walk(stmt.foldt_target.get());
+    for (const ExprPtr& s : stmt.send_stages) {
+      walk(s.get());
+    }
+    if (stmt.kind == StmtKind::kFoldt && !stmt.foldt_combine_fun.empty()) {
+      out->insert(stmt.foldt_combine_fun);
+    }
+    for (const StmtPtr& s : stmt.then_block) {
+      CollectCalls(*s, out);
+    }
+    for (const StmtPtr& s : stmt.else_block) {
+      CollectCalls(*s, out);
+    }
+  }
+
+  // ----------------------------------------------------------------- scopes ----
+  struct Scope {
+    // name -> kind
+    enum class Kind { kChannel, kChannelArray, kRecord, kDict, kInt, kString, kLocal };
+    std::map<std::string, Kind> names;
+    std::map<std::string, ChannelType> channels;  // direction info
+    std::map<std::string, std::string> record_types;
+  };
+
+  Scope ScopeFromParams(const std::vector<Param>& params) {
+    Scope scope;
+    for (const Param& p : params) {
+      if (p.channel.has_value()) {
+        scope.names[p.name] =
+            p.channel->is_array ? Scope::Kind::kChannelArray : Scope::Kind::kChannel;
+        scope.channels[p.name] = *p.channel;
+        CheckChannelElemTypes(*p.channel, p.line);
+      } else if (p.is_ref_dict) {
+        scope.names[p.name] = Scope::Kind::kDict;
+      } else if (p.value_type == "integer") {
+        scope.names[p.name] = Scope::Kind::kInt;
+      } else if (p.value_type == "string") {
+        scope.names[p.name] = Scope::Kind::kString;
+      } else {
+        if (program_.FindType(p.value_type) == nullptr) {
+          Diag(p.line, "unknown type '" + p.value_type + "' for parameter " + p.name);
+        }
+        scope.names[p.name] = Scope::Kind::kRecord;
+        scope.record_types[p.name] = p.value_type;
+      }
+    }
+    return scope;
+  }
+
+  void CheckChannelElemTypes(const ChannelType& ct, int line) {
+    for (const std::string& t : {ct.in_type, ct.out_type}) {
+      if (t != "-" && program_.FindType(t) == nullptr) {
+        Diag(line, "unknown channel element type '" + t + "'");
+      }
+    }
+  }
+
+  // --------------------------------------------------------------- fun/proc ----
+  void CheckFun(const FunDecl& fun) {
+    if (!fun.return_type.empty() && fun.return_type != "integer" &&
+        fun.return_type != "string" && program_.FindType(fun.return_type) == nullptr) {
+      Diag(fun.line, "unknown return type '" + fun.return_type + "'");
+    }
+    Scope scope = ScopeFromParams(fun.params);
+    CheckBlock(fun.body, scope);
+  }
+
+  void CheckProc(const ProcDecl& proc) {
+    for (const Param& p : proc.params) {
+      if (!p.channel.has_value()) {
+        Diag(p.line, "process parameters must be channels");
+      }
+    }
+    Scope scope = ScopeFromParams(proc.params);
+    CheckBlock(proc.body, scope);
+  }
+
+  void CheckBlock(const std::vector<StmtPtr>& block, Scope& scope) {
+    for (const StmtPtr& stmt : block) {
+      CheckStmt(*stmt, scope);
+    }
+  }
+
+  void CheckStmt(const Stmt& stmt, Scope& scope) {
+    switch (stmt.kind) {
+      case StmtKind::kGlobal:
+        scope.names[stmt.name] = Scope::Kind::kDict;
+        return;
+      case StmtKind::kLet:
+        CheckExpr(*stmt.value, scope);
+        scope.names[stmt.name] = Scope::Kind::kLocal;
+        return;
+      case StmtKind::kAssign:
+        // Only dictionary stores are assignable.
+        if (stmt.target->kind != ExprKind::kIndex) {
+          Diag(stmt.line, "assignment target must be a dictionary entry");
+        } else {
+          CheckExpr(*stmt.target->base, scope);
+          CheckExpr(*stmt.target->index, scope);
+          if (stmt.target->base->kind == ExprKind::kVar) {
+            const auto it = scope.names.find(stmt.target->base->text);
+            if (it != scope.names.end() && it->second != Scope::Kind::kDict) {
+              Diag(stmt.line, "assignment target '" + stmt.target->base->text +
+                                  "' is not a dictionary");
+            }
+          }
+        }
+        CheckExpr(*stmt.value, scope);
+        return;
+      case StmtKind::kSend: {
+        CheckExpr(*stmt.value, scope);
+        for (size_t i = 0; i < stmt.send_stages.size(); ++i) {
+          const Expr& stage = *stmt.send_stages[i];
+          if (stage.kind == ExprKind::kCall) {
+            CheckCall(stage, scope, /*is_send_stage=*/true);
+          } else {
+            CheckSendTarget(stage, scope);
+          }
+        }
+        return;
+      }
+      case StmtKind::kIf:
+        CheckExpr(*stmt.cond, scope);
+        {
+          Scope then_scope = scope;
+          CheckBlock(stmt.then_block, then_scope);
+          Scope else_scope = scope;
+          CheckBlock(stmt.else_block, else_scope);
+        }
+        return;
+      case StmtKind::kExpr:
+        CheckExpr(*stmt.value, scope);
+        return;
+      case StmtKind::kFoldt: {
+        const auto it = scope.names.find(stmt.foldt_channels);
+        if (it == scope.names.end() || it->second != Scope::Kind::kChannelArray) {
+          Diag(stmt.line, "'foldt on' requires a channel-array parameter");
+        }
+        if (program_.FindFun(stmt.foldt_combine_fun) == nullptr) {
+          Diag(stmt.line, "unknown combine function '" + stmt.foldt_combine_fun + "'");
+        } else {
+          const FunDecl* combine = program_.FindFun(stmt.foldt_combine_fun);
+          if (combine->params.size() != 2) {
+            Diag(stmt.line, "combine function must take exactly two records");
+          }
+        }
+        CheckSendTarget(*stmt.foldt_target, scope);
+        return;
+      }
+    }
+  }
+
+  // A send target must denote a writable channel (possibly indexed array).
+  void CheckSendTarget(const Expr& target, Scope& scope) {
+    const Expr* base = &target;
+    if (target.kind == ExprKind::kIndex) {
+      base = target.base.get();
+      CheckExpr(*target.index, scope);
+    }
+    if (base->kind != ExprKind::kVar) {
+      Diag(target.line, "send target must be a channel");
+      return;
+    }
+    const auto it = scope.names.find(base->text);
+    if (it == scope.names.end()) {
+      Diag(target.line, "unknown channel '" + base->text + "'");
+      return;
+    }
+    if (it->second != Scope::Kind::kChannel && it->second != Scope::Kind::kChannelArray &&
+        it->second != Scope::Kind::kLocal) {
+      Diag(target.line, "'" + base->text + "' is not a channel");
+      return;
+    }
+    const auto ct = scope.channels.find(base->text);
+    if (ct != scope.channels.end() && ct->second.out_type == "-") {
+      Diag(target.line, "channel '" + base->text + "' is read-only here");
+    }
+    if (it->second == Scope::Kind::kChannelArray && target.kind != ExprKind::kIndex) {
+      // Sending to a whole array is only meaningful as a pipeline source.
+      Diag(target.line, "cannot send to a channel array without an index");
+    }
+  }
+
+  void CheckCall(const Expr& call, Scope& scope, bool is_send_stage = false) {
+    for (const ExprPtr& a : call.args) {
+      CheckExpr(*a, scope);
+    }
+    if (IsBuiltin(call.text)) {
+      return;
+    }
+    if (program_.FindType(call.text) != nullptr) {
+      return;  // record constructor
+    }
+    const FunDecl* fun = program_.FindFun(call.text);
+    if (fun == nullptr) {
+      Diag(call.line, "unknown function '" + call.text + "'");
+      return;
+    }
+    // In a send stage the current pipeline value is appended as the last
+    // argument, so explicit args must be one fewer.
+    const size_t expected = fun->params.size() - (is_send_stage ? 1 : 0);
+    if (call.args.size() != expected) {
+      Diag(call.line, "function '" + call.text + "' expects " + std::to_string(expected) +
+                          " argument(s), got " + std::to_string(call.args.size()));
+    }
+  }
+
+  void CheckExpr(const Expr& expr, Scope& scope) {
+    switch (expr.kind) {
+      case ExprKind::kIntLit:
+      case ExprKind::kStringLit:
+      case ExprKind::kBoolLit:
+      case ExprKind::kNoneLit:
+        return;
+      case ExprKind::kVar: {
+        if (scope.names.count(expr.text) == 0) {
+          Diag(expr.line, "unknown identifier '" + expr.text + "'");
+        }
+        return;
+      }
+      case ExprKind::kField: {
+        CheckExpr(*expr.base, scope);
+        // If the base is a record-typed parameter, validate the field name.
+        if (expr.base->kind == ExprKind::kVar) {
+          const auto rt = scope.record_types.find(expr.base->text);
+          if (rt != scope.record_types.end()) {
+            const TypeDecl* type = program_.FindType(rt->second);
+            if (type != nullptr) {
+              bool found = false;
+              for (const FieldDecl& f : type->fields) {
+                if (!f.name.empty() && f.name == expr.text) {
+                  found = true;
+                  break;
+                }
+              }
+              if (!found) {
+                Diag(expr.line, "type '" + type->name + "' has no accessible field '" +
+                                    expr.text + "' (anonymous '_' fields are sealed)");
+              }
+            }
+          }
+        }
+        return;
+      }
+      case ExprKind::kIndex:
+        CheckExpr(*expr.base, scope);
+        CheckExpr(*expr.index, scope);
+        return;
+      case ExprKind::kCall:
+        CheckCall(expr, scope);
+        return;
+      case ExprKind::kBinary:
+        CheckExpr(*expr.base, scope);
+        CheckExpr(*expr.index, scope);
+        return;
+      case ExprKind::kUnary:
+        CheckExpr(*expr.base, scope);
+        return;
+    }
+  }
+
+  const Program& program_;
+  std::vector<std::string> diags_;
+};
+
+}  // namespace
+
+std::vector<std::string> Check(const Program& program) { return Checker(program).Run(); }
+
+Status CheckOk(const Program& program) {
+  auto diags = Check(program);
+  if (diags.empty()) {
+    return OkStatus();
+  }
+  return InvalidArgument(diags.front());
+}
+
+}  // namespace flick::lang

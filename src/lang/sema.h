@@ -1,0 +1,36 @@
+// Semantic analysis for FLICK programs (§4.3: "The FLICK language is
+// strongly-typed for safety" / §3.2 "restricted to allow only computation
+// guaranteed to terminate").
+//
+// Enforced here:
+//   * name resolution: every referenced type, function, field and variable
+//     exists; calls match arity;
+//   * boundedness: user functions are first-order and non-recursive (call
+//     graph must be acyclic; the grammar has no unbounded loop construct);
+//   * channel direction: values can only be sent into writable channels, and
+//     only channels can be send targets;
+//   * anonymity: '_' record fields are not accessible from code;
+//   * record field annotations: size expressions reference earlier numeric
+//     fields only (checked again structurally when units are built);
+//   * globals: only dictionaries, initialised with empty_dict.
+#ifndef FLICK_LANG_SEMA_H_
+#define FLICK_LANG_SEMA_H_
+
+#include <string>
+#include <vector>
+
+#include "base/result.h"
+#include "lang/ast.h"
+
+namespace flick::lang {
+
+// Returns all diagnostics ("line N: message"); empty means the program is
+// well-formed.
+std::vector<std::string> Check(const Program& program);
+
+// Convenience: first diagnostic as a Status.
+Status CheckOk(const Program& program);
+
+}  // namespace flick::lang
+
+#endif  // FLICK_LANG_SEMA_H_

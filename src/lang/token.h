@@ -1,0 +1,49 @@
+// Token stream for the FLICK language (§4). The surface syntax is
+// indentation-structured (Listings 1 & 3): the lexer emits synthetic INDENT /
+// DEDENT / NEWLINE tokens, Python-style.
+#ifndef FLICK_LANG_TOKEN_H_
+#define FLICK_LANG_TOKEN_H_
+
+#include <cstdint>
+#include <string>
+
+namespace flick::lang {
+
+enum class TokenKind {
+  // literals / identifiers
+  kIdent,
+  kInt,       // decimal or 0x hex
+  kString,    // "..."
+  // keywords
+  kType, kRecord, kProc, kFun, kGlobal, kLet, kIf, kElse, kAnd, kOr, kNot,
+  kMod, kNone, kRef, kDict, kFoldt, kOn, kOrdering, kBy, kCombine, kReturn,
+  kTrue, kFalse,
+  // punctuation / operators
+  kColon, kComma, kLParen, kRParen, kLBracket, kRBracket, kLBrace, kRBrace,
+  kArrow,      // ->
+  kSend,       // =>
+  kAssign,     // :=
+  kEq,         // =
+  kNeq,        // <>
+  kLt, kGt, kLe, kGe,
+  kPlus, kMinus, kStar, kSlash,
+  kDot, kUnderscore,
+  // layout
+  kNewline, kIndent, kDedent,
+  kEof,
+  kError,
+};
+
+const char* TokenKindName(TokenKind kind);
+
+struct Token {
+  TokenKind kind = TokenKind::kEof;
+  std::string text;      // identifier/string payload
+  uint64_t int_value = 0;
+  int line = 0;
+  int column = 0;
+};
+
+}  // namespace flick::lang
+
+#endif  // FLICK_LANG_TOKEN_H_

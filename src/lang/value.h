@@ -1,0 +1,85 @@
+// Runtime values of the FLICK evaluator.
+//
+// Records reference grammar::Message objects (owned either by the incoming
+// runtime::Msg or by the interpreter's temporary arena); channels are
+// resolved to compute-task output indices at graph-binding time.
+#ifndef FLICK_LANG_VALUE_H_
+#define FLICK_LANG_VALUE_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "grammar/message.h"
+#include "lang/ast.h"
+
+namespace flick::lang {
+
+struct Value {
+  enum class Kind {
+    kUnit,
+    kNone,
+    kInt,
+    kBool,
+    kString,
+    kRecord,
+    kChannel,       // writable endpoint(s): outs holds output indices
+    kChannelArray,  // outs holds one output index per element
+    kDict,
+  };
+
+  Kind kind = Kind::kUnit;
+  int64_t i = 0;
+  bool b = false;
+  std::string s;
+  grammar::Message* record = nullptr;
+  const TypeDecl* record_type = nullptr;
+  std::vector<int> outs;
+  std::string dict;
+
+  static Value Unit() { return Value{}; }
+  static Value None() {
+    Value v;
+    v.kind = Kind::kNone;
+    return v;
+  }
+  static Value Int(int64_t x) {
+    Value v;
+    v.kind = Kind::kInt;
+    v.i = x;
+    return v;
+  }
+  static Value Bool(bool x) {
+    Value v;
+    v.kind = Kind::kBool;
+    v.b = x;
+    return v;
+  }
+  static Value Str(std::string x) {
+    Value v;
+    v.kind = Kind::kString;
+    v.s = std::move(x);
+    return v;
+  }
+  static Value Record(grammar::Message* msg, const TypeDecl* type) {
+    Value v;
+    v.kind = Kind::kRecord;
+    v.record = msg;
+    v.record_type = type;
+    return v;
+  }
+
+  bool Truthy() const {
+    switch (kind) {
+      case Kind::kBool: return b;
+      case Kind::kInt: return i != 0;
+      case Kind::kNone: return false;
+      case Kind::kUnit: return false;
+      default: return true;
+    }
+  }
+};
+
+}  // namespace flick::lang
+
+#endif  // FLICK_LANG_VALUE_H_

@@ -1,0 +1,332 @@
+#include "load/backends.h"
+
+#include <chrono>
+
+#include "buffer/buffer_pool.h"
+#include "grammar/parser.h"
+#include "proto/hadoop.h"
+#include "proto/http.h"
+#include "proto/memcached.h"
+
+namespace flick::load {
+namespace {
+
+using namespace std::chrono_literals;
+
+// Per-connection state for the polling server loops below.
+struct ConnState {
+  std::unique_ptr<Connection> conn;
+  BufferChain rx;
+  std::string tx;
+  size_t tx_off = 0;
+};
+
+// Writes as much of state.tx as the transport accepts; false on fatal error.
+bool FlushTx(ConnState& state) {
+  while (state.tx_off < state.tx.size()) {
+    auto wrote = state.conn->Write(state.tx.data() + state.tx_off,
+                                   state.tx.size() - state.tx_off);
+    if (!wrote.ok()) {
+      return false;
+    }
+    if (*wrote == 0) {
+      return true;
+    }
+    state.tx_off += *wrote;
+  }
+  state.tx.clear();
+  state.tx_off = 0;
+  return true;
+}
+
+}  // namespace
+
+// ------------------------------------------------------------- HttpBackend ----
+
+HttpBackend::HttpBackend(Transport* transport, uint16_t port, std::string body)
+    : transport_(transport), port_(port) {
+  proto::HttpMessage response = proto::MakeResponse(200, body);
+  proto::SerializeResponse(response, &response_);
+}
+
+HttpBackend::~HttpBackend() { Stop(); }
+
+Status HttpBackend::Start() {
+  auto listener = transport_->Listen(port_);
+  if (!listener.ok()) {
+    return listener.status();
+  }
+  listener_ = std::move(listener).value();
+  port_ = listener_->port();
+  running_.store(true);
+  thread_ = std::thread([this] { Serve(); });
+  return OkStatus();
+}
+
+void HttpBackend::Stop() {
+  if (running_.exchange(false)) {
+    if (thread_.joinable()) {
+      thread_.join();
+    }
+    listener_->Close();
+  }
+}
+
+void HttpBackend::Serve() {
+  BufferPool pool(512, 8192);
+  std::vector<std::unique_ptr<ConnState>> conns;
+  std::vector<std::unique_ptr<proto::HttpParser>> parsers;
+  std::vector<std::unique_ptr<proto::HttpMessage>> msgs;
+
+  while (running_.load(std::memory_order_acquire)) {
+    bool did_work = false;
+    while (auto conn = listener_->Accept()) {
+      auto state = std::make_unique<ConnState>();
+      state->conn = std::move(conn);
+      state->rx.set_pool(&pool);
+      conns.push_back(std::move(state));
+      parsers.push_back(std::make_unique<proto::HttpParser>(proto::HttpParser::Mode::kRequest));
+      msgs.push_back(std::make_unique<proto::HttpMessage>());
+      did_work = true;
+    }
+    for (size_t i = 0; i < conns.size();) {
+      ConnState& state = *conns[i];
+      bool dead = false;
+      if (!FlushTx(state)) {
+        dead = true;
+      }
+      char buf[4096];
+      while (!dead) {
+        auto got = state.conn->Read(buf, sizeof(buf));
+        if (!got.ok()) {
+          dead = true;
+          break;
+        }
+        if (*got == 0) {
+          break;
+        }
+        did_work = true;
+        state.rx.Append(buf, *got);
+        while (parsers[i]->Feed(state.rx, msgs[i].get()) == grammar::ParseStatus::kDone) {
+          requests_.fetch_add(1, std::memory_order_relaxed);
+          state.tx += response_;
+          if (!msgs[i]->keep_alive) {
+            FlushTx(state);
+            dead = true;
+            break;
+          }
+        }
+        FlushTx(state);
+      }
+      if (dead) {
+        conns.erase(conns.begin() + static_cast<long>(i));
+        parsers.erase(parsers.begin() + static_cast<long>(i));
+        msgs.erase(msgs.begin() + static_cast<long>(i));
+      } else {
+        ++i;
+      }
+    }
+    if (!did_work) {
+      std::this_thread::sleep_for(20us);
+    }
+  }
+}
+
+// -------------------------------------------------------- MemcachedBackend ----
+
+MemcachedBackend::MemcachedBackend(Transport* transport, uint16_t port)
+    : transport_(transport), port_(port) {}
+
+MemcachedBackend::~MemcachedBackend() { Stop(); }
+
+Status MemcachedBackend::Start() {
+  auto listener = transport_->Listen(port_);
+  if (!listener.ok()) {
+    return listener.status();
+  }
+  listener_ = std::move(listener).value();
+  port_ = listener_->port();
+  running_.store(true);
+  thread_ = std::thread([this] { Serve(); });
+  return OkStatus();
+}
+
+void MemcachedBackend::Stop() {
+  if (running_.exchange(false)) {
+    if (thread_.joinable()) {
+      thread_.join();
+    }
+    listener_->Close();
+  }
+}
+
+void MemcachedBackend::Preload(const std::string& key, const std::string& value) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  store_[key] = value;
+}
+
+void MemcachedBackend::Serve() {
+  BufferPool pool(512, 8192);
+  std::vector<std::unique_ptr<ConnState>> conns;
+  std::vector<std::unique_ptr<grammar::UnitParser>> parsers;
+  // One parse target per connection: the incremental parser resumes into the
+  // SAME message across reads, so the message must live with the parser.
+  std::vector<std::unique_ptr<grammar::Message>> parse_msgs;
+
+  while (running_.load(std::memory_order_acquire)) {
+    bool did_work = false;
+    while (auto conn = listener_->Accept()) {
+      auto state = std::make_unique<ConnState>();
+      state->conn = std::move(conn);
+      state->rx.set_pool(&pool);
+      conns.push_back(std::move(state));
+      parsers.push_back(std::make_unique<grammar::UnitParser>(&proto::MemcachedUnit()));
+      parse_msgs.push_back(std::make_unique<grammar::Message>());
+      did_work = true;
+    }
+    for (size_t i = 0; i < conns.size();) {
+      ConnState& state = *conns[i];
+      bool dead = false;
+      if (!FlushTx(state)) {
+        dead = true;
+      }
+      char buf[4096];
+      while (!dead) {
+        auto got = state.conn->Read(buf, sizeof(buf));
+        if (!got.ok()) {
+          dead = true;
+          break;
+        }
+        if (*got == 0) {
+          break;
+        }
+        did_work = true;
+        state.rx.Append(buf, *got);
+        grammar::Message& msg = *parse_msgs[i];
+        while (parsers[i]->Feed(state.rx, &msg) == grammar::ParseStatus::kDone) {
+          requests_.fetch_add(1, std::memory_order_relaxed);
+          proto::MemcachedCommand cmd(&msg);
+          grammar::Message reply;
+          if (cmd.opcode() == proto::kMemcachedSet) {
+            {
+              std::lock_guard<std::mutex> lock(mutex_);
+              store_[std::string(cmd.key())] = std::string(cmd.value());
+            }
+            proto::BuildResponse(&reply, cmd.opcode(), proto::kMemcachedStatusOk, "", "",
+                                 cmd.opaque());
+          } else {
+            std::string value;
+            bool found = false;
+            {
+              std::lock_guard<std::mutex> lock(mutex_);
+              const auto it = store_.find(std::string(cmd.key()));
+              if (it != store_.end()) {
+                value = it->second;
+                found = true;
+              }
+            }
+            const bool echo_key = cmd.opcode() == proto::kMemcachedGetK;
+            proto::BuildResponse(&reply, cmd.opcode(),
+                                 found ? proto::kMemcachedStatusOk
+                                       : proto::kMemcachedStatusKeyNotFound,
+                                 echo_key ? cmd.key() : std::string_view{},
+                                 found ? value : "", cmd.opaque());
+          }
+          state.tx += proto::ToWire(reply);
+        }
+        FlushTx(state);
+      }
+      if (dead) {
+        conns.erase(conns.begin() + static_cast<long>(i));
+        parsers.erase(parsers.begin() + static_cast<long>(i));
+        parse_msgs.erase(parse_msgs.begin() + static_cast<long>(i));
+      } else {
+        ++i;
+      }
+    }
+    if (!did_work) {
+      std::this_thread::sleep_for(20us);
+    }
+  }
+}
+
+// ------------------------------------------------------------- ReducerSink ----
+
+ReducerSink::ReducerSink(Transport* transport, uint16_t port)
+    : transport_(transport), port_(port) {}
+
+ReducerSink::~ReducerSink() { Stop(); }
+
+Status ReducerSink::Start() {
+  auto listener = transport_->Listen(port_);
+  if (!listener.ok()) {
+    return listener.status();
+  }
+  listener_ = std::move(listener).value();
+  port_ = listener_->port();
+  running_.store(true);
+  thread_ = std::thread([this] { Serve(); });
+  return OkStatus();
+}
+
+void ReducerSink::Stop() {
+  if (running_.exchange(false)) {
+    if (thread_.joinable()) {
+      thread_.join();
+    }
+    listener_->Close();
+  }
+}
+
+void ReducerSink::Serve() {
+  BufferPool pool(512, 16 * 1024);
+  std::vector<std::unique_ptr<ConnState>> conns;
+  std::vector<std::unique_ptr<grammar::UnitParser>> parsers;
+  std::vector<std::unique_ptr<grammar::Message>> parse_msgs;  // resume targets
+  while (running_.load(std::memory_order_acquire)) {
+    bool did_work = false;
+    while (auto conn = listener_->Accept()) {
+      auto state = std::make_unique<ConnState>();
+      state->conn = std::move(conn);
+      state->rx.set_pool(&pool);
+      conns.push_back(std::move(state));
+      parsers.push_back(std::make_unique<grammar::UnitParser>(&proto::HadoopKvUnit()));
+      parse_msgs.push_back(std::make_unique<grammar::Message>());
+      did_work = true;
+    }
+    for (size_t i = 0; i < conns.size();) {
+      ConnState& state = *conns[i];
+      bool dead = false;
+      char buf[8192];
+      while (true) {
+        auto got = state.conn->Read(buf, sizeof(buf));
+        if (!got.ok()) {
+          dead = true;
+          break;
+        }
+        if (*got == 0) {
+          break;
+        }
+        did_work = true;
+        bytes_.fetch_add(*got, std::memory_order_relaxed);
+        state.rx.Append(buf, *got);
+        while (parsers[i]->Feed(state.rx, parse_msgs[i].get()) ==
+               grammar::ParseStatus::kDone) {
+          pairs_.fetch_add(1, std::memory_order_relaxed);
+        }
+      }
+      if (dead) {
+        conns.erase(conns.begin() + static_cast<long>(i));
+        parsers.erase(parsers.begin() + static_cast<long>(i));
+        parse_msgs.erase(parse_msgs.begin() + static_cast<long>(i));
+      } else {
+        ++i;
+      }
+    }
+    if (!did_work) {
+      std::this_thread::sleep_for(20us);
+    }
+  }
+}
+
+}  // namespace flick::load

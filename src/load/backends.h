@@ -1,0 +1,92 @@
+// Backend servers for experiments (§6.2): the "10 backend servers running
+// Apache" and "10 Memcached servers" of the paper's testbed, plus the Hadoop
+// reducer sink. Implemented as plain threaded servers over the Transport
+// interface so both SimTransport and KernelTransport work.
+#ifndef FLICK_LOAD_BACKENDS_H_
+#define FLICK_LOAD_BACKENDS_H_
+
+#include <atomic>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#include "net/transport.h"
+
+namespace flick::load {
+
+// Serves a fixed HTTP response to every request (ApacheBench backend).
+class HttpBackend {
+ public:
+  HttpBackend(Transport* transport, uint16_t port, std::string body);
+  ~HttpBackend();
+
+  Status Start();
+  void Stop();
+  uint64_t requests_served() const { return requests_.load(); }
+  uint16_t port() const { return port_; }
+
+ private:
+  void Serve();
+
+  Transport* transport_;
+  uint16_t port_;
+  std::string response_;  // pre-serialized
+  std::unique_ptr<Listener> listener_;
+  std::thread thread_;
+  std::atomic<bool> running_{false};
+  std::atomic<uint64_t> requests_{0};
+};
+
+// Minimal binary-protocol Memcached server: supports GET/GETK/SET.
+class MemcachedBackend {
+ public:
+  MemcachedBackend(Transport* transport, uint16_t port);
+  ~MemcachedBackend();
+
+  Status Start();
+  void Stop();
+  void Preload(const std::string& key, const std::string& value);
+  uint64_t requests_served() const { return requests_.load(); }
+
+ private:
+  void Serve();
+
+  Transport* transport_;
+  uint16_t port_;
+  std::unique_ptr<Listener> listener_;
+  std::thread thread_;
+  std::atomic<bool> running_{false};
+  std::atomic<uint64_t> requests_{0};
+  std::mutex mutex_;
+  std::unordered_map<std::string, std::string> store_;
+};
+
+// Accepts one connection and counts received bytes/pairs (Hadoop reducer).
+class ReducerSink {
+ public:
+  ReducerSink(Transport* transport, uint16_t port);
+  ~ReducerSink();
+
+  Status Start();
+  void Stop();
+  uint64_t bytes_received() const { return bytes_.load(); }
+  uint64_t pairs_received() const { return pairs_.load(); }
+
+ private:
+  void Serve();
+
+  Transport* transport_;
+  uint16_t port_;
+  std::unique_ptr<Listener> listener_;
+  std::thread thread_;
+  std::atomic<bool> running_{false};
+  std::atomic<uint64_t> bytes_{0};
+  std::atomic<uint64_t> pairs_{0};
+};
+
+}  // namespace flick::load
+
+#endif  // FLICK_LOAD_BACKENDS_H_

@@ -1,0 +1,159 @@
+#include "load/http_load.h"
+
+#include <chrono>
+
+#include "base/time_util.h"
+#include "buffer/buffer_pool.h"
+#include "proto/http.h"
+
+namespace flick::load {
+namespace {
+
+using namespace std::chrono_literals;
+
+// One closed-loop connection state machine.
+struct Client {
+  enum State { kConnect, kSend, kReceive };
+
+  std::unique_ptr<Connection> conn;
+  State state = State::kConnect;
+  size_t sent = 0;
+  uint64_t request_start_ns = 0;
+  proto::HttpParser parser{proto::HttpParser::Mode::kResponse};
+  proto::HttpMessage response;
+  BufferChain rx;
+};
+
+struct WorkerResult {
+  uint64_t requests = 0;
+  uint64_t errors = 0;
+  Histogram latency;
+};
+
+void RunWorker(Transport* transport, const HttpLoadConfig& config, int n_clients,
+               const std::string& request_wire, uint64_t deadline_ns, WorkerResult* out) {
+  BufferPool pool(static_cast<size_t>(n_clients) * 4 + 64, 8192);
+  std::vector<Client> clients(static_cast<size_t>(n_clients));
+  for (Client& c : clients) {
+    c.rx.set_pool(&pool);
+  }
+
+  while (MonotonicNanos() < deadline_ns) {
+    bool did_work = false;
+    for (Client& c : clients) {
+      switch (c.state) {
+        case Client::kConnect: {
+          auto conn = transport->Connect(config.port);
+          if (!conn.ok()) {
+            ++out->errors;
+            continue;
+          }
+          c.conn = std::move(conn).value();
+          c.state = Client::kSend;
+          c.sent = 0;
+          did_work = true;
+          [[fallthrough]];
+        }
+        case Client::kSend: {
+          if (c.sent == 0) {
+            c.request_start_ns = MonotonicNanos();
+          }
+          auto wrote = c.conn->Write(request_wire.data() + c.sent,
+                                     request_wire.size() - c.sent);
+          if (!wrote.ok()) {
+            ++out->errors;
+            c.conn.reset();
+            c.state = Client::kConnect;
+            continue;
+          }
+          c.sent += *wrote;
+          if (c.sent < request_wire.size()) {
+            continue;  // transport backpressure
+          }
+          did_work = true;
+          c.state = Client::kReceive;
+          c.parser.Reset();
+          [[fallthrough]];
+        }
+        case Client::kReceive: {
+          char buf[8192];
+          auto got = c.conn->Read(buf, sizeof(buf));
+          if (!got.ok()) {
+            ++out->errors;
+            c.conn.reset();
+            c.state = Client::kConnect;
+            continue;
+          }
+          if (*got == 0) {
+            continue;
+          }
+          did_work = true;
+          c.rx.Append(buf, *got);
+          const auto status = c.parser.Feed(c.rx, &c.response);
+          if (status == grammar::ParseStatus::kError) {
+            ++out->errors;
+            c.conn.reset();
+            c.rx.Clear();
+            c.state = Client::kConnect;
+            continue;
+          }
+          if (status == grammar::ParseStatus::kDone) {
+            ++out->requests;
+            out->latency.Record(MonotonicNanos() - c.request_start_ns);
+            c.sent = 0;
+            if (config.persistent) {
+              c.state = Client::kSend;
+            } else {
+              c.conn->Close();
+              c.conn.reset();
+              c.state = Client::kConnect;
+            }
+          }
+          break;
+        }
+      }
+    }
+    if (!did_work) {
+      std::this_thread::sleep_for(10us);
+    }
+  }
+  for (Client& c : clients) {
+    if (c.conn) {
+      c.conn->Close();
+    }
+  }
+}
+
+}  // namespace
+
+LoadResult RunHttpLoad(Transport* transport, const HttpLoadConfig& config) {
+  proto::HttpMessage request =
+      proto::MakeRequest("GET", config.target, "", config.persistent);
+  request.SetHeader("Host", "bench");
+  std::string wire;
+  proto::SerializeRequest(request, &wire);
+
+  const int threads = std::max(1, config.threads);
+  std::vector<WorkerResult> results(static_cast<size_t>(threads));
+  std::vector<std::thread> workers;
+  const uint64_t deadline = MonotonicNanos() + config.duration_ns;
+  const Stopwatch clock;
+  for (int t = 0; t < threads; ++t) {
+    const int clients = config.concurrency / threads + (t < config.concurrency % threads);
+    workers.emplace_back(RunWorker, transport, std::cref(config), clients, std::cref(wire),
+                         deadline, &results[static_cast<size_t>(t)]);
+  }
+  for (auto& w : workers) {
+    w.join();
+  }
+  LoadResult total;
+  total.seconds = clock.ElapsedSeconds();
+  for (const WorkerResult& r : results) {
+    total.requests += r.requests;
+    total.errors += r.errors;
+    total.latency.Merge(r.latency);
+  }
+  return total;
+}
+
+}  // namespace flick::load

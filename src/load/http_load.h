@@ -1,0 +1,47 @@
+// ApacheBench-style closed-loop HTTP load generator (§6.2: "multiple
+// instances of ApacheBench ... Throughput is measured in terms of connections
+// per second as well as requests per second for HTTP keep-alive
+// connections").
+//
+// `concurrency` connections are multiplexed over a few generator threads;
+// each connection is a closed loop: send request -> await full response ->
+// (persistent: repeat | non-persistent: reconnect). Latency per request lands
+// in a histogram.
+#ifndef FLICK_LOAD_HTTP_LOAD_H_
+#define FLICK_LOAD_HTTP_LOAD_H_
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "base/histogram.h"
+#include "net/transport.h"
+
+namespace flick::load {
+
+struct HttpLoadConfig {
+  uint16_t port = 80;
+  int concurrency = 100;       // concurrent connections
+  int threads = 2;             // generator threads
+  bool persistent = true;      // keep-alive vs connection per request
+  uint64_t duration_ns = 500'000'000;
+  std::string target = "/";
+};
+
+struct LoadResult {
+  uint64_t requests = 0;
+  uint64_t errors = 0;
+  double seconds = 0;
+  Histogram latency;  // nanoseconds
+
+  double RequestsPerSec() const { return seconds > 0 ? requests / seconds : 0; }
+  double MeanLatencyMs() const { return latency.Mean() / 1e6; }
+};
+
+LoadResult RunHttpLoad(Transport* transport, const HttpLoadConfig& config);
+
+}  // namespace flick::load
+
+#endif  // FLICK_LOAD_HTTP_LOAD_H_

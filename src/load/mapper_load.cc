@@ -1,0 +1,108 @@
+#include "load/mapper_load.h"
+
+#include <chrono>
+#include <algorithm>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "base/rng.h"
+#include "base/time_util.h"
+#include "proto/hadoop.h"
+
+namespace flick::load {
+namespace {
+
+using namespace std::chrono_literals;
+
+// Pre-generates a block of encoded kv pairs from a synthetic vocabulary.
+// Hadoop map output is sorted by key, so each block is emitted as a sorted
+// run — that is what gives the combiner tree its reduction opportunities.
+std::string MakeBlock(int word_length, int vocabulary, uint64_t seed, uint64_t* pairs) {
+  Rng rng(seed);
+  // Vocabulary of fixed-length words; wordcount values are "1".
+  std::vector<std::string> words(static_cast<size_t>(vocabulary));
+  for (auto& w : words) {
+    w.resize(static_cast<size_t>(word_length));
+    for (char& c : w) {
+      c = static_cast<char>('a' + rng.NextBelow(26));
+    }
+  }
+  constexpr int kPairsPerBlock = 2048;
+  std::vector<std::string> chosen;
+  chosen.reserve(kPairsPerBlock);
+  for (int i = 0; i < kPairsPerBlock; ++i) {
+    chosen.push_back(words[rng.NextBelow(words.size())]);
+  }
+  std::sort(chosen.begin(), chosen.end());
+  std::string block;
+  for (const std::string& w : chosen) {
+    proto::EncodeKv(w, "1", &block);
+  }
+  *pairs = kPairsPerBlock;
+  return block;
+}
+
+void RunMapper(Transport* transport, const MapperLoadConfig& config, uint64_t seed,
+               uint64_t deadline_ns, uint64_t* bytes_out, uint64_t* pairs_out) {
+  auto conn = transport->Connect(config.port);
+  if (!conn.ok()) {
+    return;
+  }
+  uint64_t pairs_per_block = 0;
+  const std::string block = MakeBlock(config.word_length, config.vocabulary, seed,
+                                      &pairs_per_block);
+  uint64_t sent = 0;
+  uint64_t pairs = 0;
+  while (sent < config.bytes_per_mapper && MonotonicNanos() < deadline_ns) {
+    size_t off = 0;
+    while (off < block.size()) {
+      auto wrote = (*conn)->Write(block.data() + off, block.size() - off);
+      if (!wrote.ok()) {
+        *bytes_out = sent;
+        *pairs_out = pairs;
+        return;
+      }
+      if (*wrote == 0) {
+        std::this_thread::sleep_for(5us);
+        if (MonotonicNanos() >= deadline_ns) {
+          break;
+        }
+        continue;
+      }
+      off += *wrote;
+      sent += *wrote;
+    }
+    pairs += pairs_per_block;
+  }
+  (*conn)->Close();
+  *bytes_out = sent;
+  *pairs_out = pairs;
+}
+
+}  // namespace
+
+MapperResult RunMapperLoad(Transport* transport, const MapperLoadConfig& config) {
+  std::vector<std::thread> threads;
+  std::vector<uint64_t> bytes(static_cast<size_t>(config.mappers), 0);
+  std::vector<uint64_t> pairs(static_cast<size_t>(config.mappers), 0);
+  const uint64_t deadline = MonotonicNanos() + config.duration_ns;
+  const Stopwatch clock;
+  for (int m = 0; m < config.mappers; ++m) {
+    threads.emplace_back(RunMapper, transport, std::cref(config),
+                         static_cast<uint64_t>(m + 1), deadline,
+                         &bytes[static_cast<size_t>(m)], &pairs[static_cast<size_t>(m)]);
+  }
+  for (auto& t : threads) {
+    t.join();
+  }
+  MapperResult result;
+  result.seconds = clock.ElapsedSeconds();
+  for (int m = 0; m < config.mappers; ++m) {
+    result.bytes_sent += bytes[static_cast<size_t>(m)];
+    result.pairs_sent += pairs[static_cast<size_t>(m)];
+  }
+  return result;
+}
+
+}  // namespace flick::load

@@ -1,0 +1,163 @@
+#include "load/memcached_load.h"
+
+#include <chrono>
+#include <thread>
+#include <vector>
+
+#include "base/rng.h"
+#include "base/time_util.h"
+#include "buffer/buffer_pool.h"
+#include "grammar/parser.h"
+#include "proto/memcached.h"
+
+namespace flick::load {
+namespace {
+
+using namespace std::chrono_literals;
+
+struct Client {
+  enum State { kConnect, kSend, kReceive };
+
+  std::unique_ptr<Connection> conn;
+  State state = kConnect;
+  std::string request;
+  size_t sent = 0;
+  uint64_t start_ns = 0;
+  grammar::UnitParser parser{&proto::MemcachedUnit()};
+  grammar::Message response;
+  BufferChain rx;
+};
+
+struct WorkerResult {
+  uint64_t requests = 0;
+  uint64_t errors = 0;
+  Histogram latency;
+};
+
+void RunWorker(Transport* transport, const MemcachedLoadConfig& config, int n_clients,
+               uint64_t seed, uint64_t deadline_ns, WorkerResult* out) {
+  BufferPool pool(static_cast<size_t>(n_clients) * 4 + 64, 4096);
+  Rng rng(seed);
+  std::vector<Client> clients(static_cast<size_t>(n_clients));
+  for (Client& c : clients) {
+    c.rx.set_pool(&pool);
+  }
+
+  auto make_request = [&](Client& c) {
+    grammar::Message msg;
+    const std::string key =
+        "key-" + std::to_string(rng.NextBelow(static_cast<uint64_t>(config.key_space)));
+    proto::BuildRequest(&msg, config.opcode, key);
+    c.request = proto::ToWire(msg);
+    c.sent = 0;
+  };
+
+  while (MonotonicNanos() < deadline_ns) {
+    bool did_work = false;
+    for (Client& c : clients) {
+      switch (c.state) {
+        case Client::kConnect: {
+          auto conn = transport->Connect(config.port);
+          if (!conn.ok()) {
+            ++out->errors;
+            continue;
+          }
+          c.conn = std::move(conn).value();
+          make_request(c);
+          c.state = Client::kSend;
+          did_work = true;
+          [[fallthrough]];
+        }
+        case Client::kSend: {
+          if (c.sent == 0) {
+            c.start_ns = MonotonicNanos();
+          }
+          auto wrote =
+              c.conn->Write(c.request.data() + c.sent, c.request.size() - c.sent);
+          if (!wrote.ok()) {
+            ++out->errors;
+            c.conn.reset();
+            c.state = Client::kConnect;
+            continue;
+          }
+          c.sent += *wrote;
+          if (c.sent < c.request.size()) {
+            continue;
+          }
+          did_work = true;
+          c.state = Client::kReceive;
+          [[fallthrough]];
+        }
+        case Client::kReceive: {
+          char buf[4096];
+          auto got = c.conn->Read(buf, sizeof(buf));
+          if (!got.ok()) {
+            ++out->errors;
+            c.conn.reset();
+            c.rx.Clear();
+            c.parser.Reset();
+            c.state = Client::kConnect;
+            continue;
+          }
+          if (*got == 0) {
+            continue;
+          }
+          did_work = true;
+          c.rx.Append(buf, *got);
+          const auto status = c.parser.Feed(c.rx, &c.response);
+          if (status == grammar::ParseStatus::kError) {
+            ++out->errors;
+            c.conn.reset();
+            c.rx.Clear();
+            c.state = Client::kConnect;
+            continue;
+          }
+          if (status == grammar::ParseStatus::kDone) {
+            ++out->requests;
+            out->latency.Record(MonotonicNanos() - c.start_ns);
+            make_request(c);  // closed loop: next request immediately
+            c.state = Client::kSend;
+          }
+          break;
+        }
+      }
+    }
+    if (!did_work) {
+      std::this_thread::sleep_for(10us);
+    }
+  }
+  for (Client& c : clients) {
+    if (c.conn) {
+      c.conn->Close();
+    }
+  }
+}
+
+}  // namespace
+
+LoadResult RunMemcachedLoad(Transport* transport, const MemcachedLoadConfig& config) {
+  const int threads = std::max(1, config.threads);
+  std::vector<WorkerResult> results(static_cast<size_t>(threads));
+  std::vector<std::thread> workers;
+  const uint64_t deadline = MonotonicNanos() + config.duration_ns;
+  const Stopwatch clock;
+  for (int t = 0; t < threads; ++t) {
+    const int clients = config.clients / threads + (t < config.clients % threads);
+    workers.emplace_back(RunWorker, transport, std::cref(config), clients,
+                         static_cast<uint64_t>(t + 1), deadline,
+                         &results[static_cast<size_t>(t)]);
+  }
+  for (auto& w : workers) {
+    w.join();
+  }
+  LoadResult total;
+  total.seconds = clock.ElapsedSeconds();
+  for (const WorkerResult& r : results) {
+    total.requests += r.requests;
+    total.errors += r.errors;
+    total.latency.Merge(r.latency);
+  }
+  return total;
+}
+
+}  // namespace flick::load

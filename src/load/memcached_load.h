@@ -1,0 +1,28 @@
+// libmemcached-style closed-loop Memcached load generator (§6.2: "128 clients
+// ... Clients send a single request and wait for a response before sending
+// the next request", binary protocol, persistent connections).
+#ifndef FLICK_LOAD_MEMCACHED_LOAD_H_
+#define FLICK_LOAD_MEMCACHED_LOAD_H_
+
+#include <cstdint>
+#include <string>
+
+#include "load/http_load.h"  // LoadResult
+#include "net/transport.h"
+
+namespace flick::load {
+
+struct MemcachedLoadConfig {
+  uint16_t port = 11211;
+  int clients = 128;
+  int threads = 2;
+  int key_space = 1000;        // keys key-0 .. key-(n-1)
+  uint8_t opcode = 0x0c;       // GETK by default (the router's cacheable op)
+  uint64_t duration_ns = 500'000'000;
+};
+
+LoadResult RunMemcachedLoad(Transport* transport, const MemcachedLoadConfig& config);
+
+}  // namespace flick::load
+
+#endif  // FLICK_LOAD_MEMCACHED_LOAD_H_

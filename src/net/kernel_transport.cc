@@ -1,0 +1,156 @@
+#include "net/kernel_transport.h"
+
+#include <arpa/inet.h>
+#include <errno.h>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <string.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <atomic>
+
+namespace flick {
+namespace {
+
+std::atomic<uint64_t> g_next_id{1};
+
+Status Errno(const char* what) {
+  return Status(StatusCode::kUnavailable, std::string(what) + ": " + strerror(errno));
+}
+
+void SetNonBlocking(int fd) {
+  const int flags = fcntl(fd, F_GETFL, 0);
+  fcntl(fd, F_SETFL, flags | O_NONBLOCK);
+}
+
+void SetNoDelay(int fd) {
+  int one = 1;
+  setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+}
+
+}  // namespace
+
+KernelConnection::KernelConnection(int fd, uint64_t id) : fd_(fd), id_(id) {
+  SetNonBlocking(fd_);
+  SetNoDelay(fd_);
+}
+
+KernelConnection::~KernelConnection() { Close(); }
+
+Result<size_t> KernelConnection::Read(void* buf, size_t len) {
+  if (fd_ < 0) {
+    return Status(StatusCode::kUnavailable, "read on closed connection");
+  }
+  const ssize_t n = ::recv(fd_, buf, len, 0);
+  if (n > 0) {
+    return static_cast<size_t>(n);
+  }
+  if (n == 0) {
+    return Status(StatusCode::kUnavailable, "peer closed");
+  }
+  if (errno == EAGAIN || errno == EWOULDBLOCK || errno == EINTR) {
+    return size_t{0};
+  }
+  return Errno("recv");
+}
+
+Result<size_t> KernelConnection::Write(const void* buf, size_t len) {
+  if (fd_ < 0) {
+    return Status(StatusCode::kUnavailable, "write on closed connection");
+  }
+  const ssize_t n = ::send(fd_, buf, len, MSG_NOSIGNAL);
+  if (n >= 0) {
+    return static_cast<size_t>(n);
+  }
+  if (errno == EAGAIN || errno == EWOULDBLOCK || errno == EINTR) {
+    return size_t{0};
+  }
+  return Errno("send");
+}
+
+void KernelConnection::Close() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+bool KernelConnection::ReadReady() const {
+  if (fd_ < 0) {
+    return false;
+  }
+  struct pollfd pfd = {fd_, POLLIN, 0};
+  return ::poll(&pfd, 1, 0) > 0;
+}
+
+KernelListener::~KernelListener() { Close(); }
+
+std::unique_ptr<Connection> KernelListener::Accept() {
+  if (fd_ < 0) {
+    return nullptr;
+  }
+  const int client = ::accept(fd_, nullptr, nullptr);
+  if (client < 0) {
+    return nullptr;
+  }
+  return std::make_unique<KernelConnection>(client,
+                                            g_next_id.fetch_add(1, std::memory_order_relaxed));
+}
+
+void KernelListener::Close() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+Result<std::unique_ptr<Listener>> KernelTransport::Listen(uint16_t port) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) {
+    return Errno("socket");
+  }
+  int one = 1;
+  setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(port);
+  if (::bind(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    ::close(fd);
+    return Errno("bind");
+  }
+  if (::listen(fd, 1024) != 0) {
+    ::close(fd);
+    return Errno("listen");
+  }
+  SetNonBlocking(fd);
+  // Recover the bound port when the caller asked for an ephemeral one.
+  socklen_t len = sizeof(addr);
+  getsockname(fd, reinterpret_cast<sockaddr*>(&addr), &len);
+  return Result<std::unique_ptr<Listener>>(
+      std::make_unique<KernelListener>(fd, ntohs(addr.sin_port)));
+}
+
+Result<std::unique_ptr<Connection>> KernelTransport::Connect(uint16_t port) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) {
+    return Errno("socket");
+  }
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(port);
+  // Blocking connect keeps test code simple; the socket turns non-blocking in
+  // the KernelConnection constructor.
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    ::close(fd);
+    return Errno("connect");
+  }
+  return Result<std::unique_ptr<Connection>>(std::make_unique<KernelConnection>(
+      fd, g_next_id.fetch_add(1, std::memory_order_relaxed)));
+}
+
+}  // namespace flick

@@ -1,0 +1,57 @@
+// Real kernel TCP transport: non-blocking IPv4 sockets on loopback.
+//
+// Used by tests and examples to show the platform running on the actual
+// kernel stack (the paper's non-mTCP configuration). Benches use
+// SimTransport so results are not at the mercy of the host's net stack.
+#ifndef FLICK_NET_KERNEL_TRANSPORT_H_
+#define FLICK_NET_KERNEL_TRANSPORT_H_
+
+#include <cstdint>
+
+#include "net/transport.h"
+
+namespace flick {
+
+class KernelConnection : public Connection {
+ public:
+  explicit KernelConnection(int fd, uint64_t id);
+  ~KernelConnection() override;
+
+  Result<size_t> Read(void* buf, size_t len) override;
+  Result<size_t> Write(const void* buf, size_t len) override;
+  void Close() override;
+  bool IsOpen() const override { return fd_ >= 0; }
+  bool ReadReady() const override;
+  uint64_t id() const override { return id_; }
+
+ private:
+  int fd_;
+  uint64_t id_;
+};
+
+class KernelListener : public Listener {
+ public:
+  KernelListener(int fd, uint16_t port) : fd_(fd), port_(port) {}
+  ~KernelListener() override;
+
+  std::unique_ptr<Connection> Accept() override;
+  uint16_t port() const override { return port_; }
+  void Close() override;
+
+ private:
+  int fd_;
+  uint16_t port_;
+};
+
+class KernelTransport : public Transport {
+ public:
+  KernelTransport() = default;
+
+  Result<std::unique_ptr<Listener>> Listen(uint16_t port) override;
+  Result<std::unique_ptr<Connection>> Connect(uint16_t port) override;
+  const char* name() const override { return "kernel"; }
+};
+
+}  // namespace flick
+
+#endif  // FLICK_NET_KERNEL_TRANSPORT_H_

@@ -1,0 +1,146 @@
+// In-process network fabric with calibrated stack-cost models.
+//
+// Stands in for the paper's testbed (kernel TCP vs modified mTCP + DPDK,
+// §5/§6). Every connection is a pair of lock-free byte rings; the cost model
+// burns real CPU on the calling core for connection setup/teardown, per
+// syscall-equivalent operation, and per byte copied — so the relative cost
+// structure the paper measures (mTCP's cheap connection setup and batched IO)
+// is reproduced on the same code path the scheduler actually runs.
+#ifndef FLICK_NET_SIM_TRANSPORT_H_
+#define FLICK_NET_SIM_TRANSPORT_H_
+
+#include <atomic>
+#include <map>
+#include <memory>
+#include <mutex>
+
+#include "concurrency/mpmc_queue.h"
+#include "concurrency/spsc_byte_ring.h"
+#include "net/transport.h"
+
+namespace flick {
+
+// Costs in SpinWork units (~1 unit = one dependent multiply-add).
+struct StackCostModel {
+  const char* name = "null";
+  uint64_t connect_cost = 0;    // client side of handshake
+  uint64_t accept_cost = 0;     // server side of handshake
+  uint64_t teardown_cost = 0;   // per close
+  uint64_t op_cost = 0;         // per read/write call ("syscall" + VFS work)
+  uint64_t per_kb_cost = 0;     // per KiB copied
+
+  // Kernel TCP: expensive socket setup/teardown (VFS inode + fd table, §5)
+  // and a mode switch per socket call.
+  static StackCostModel Kernel();
+  // mTCP + DPDK: connection setup an order of magnitude cheaper, per-call
+  // overhead amortised by batching.
+  static StackCostModel Mtcp();
+  // Free IO, for microbenchmarks that want to isolate platform costs.
+  static StackCostModel Null();
+};
+
+namespace internal {
+
+// Shared state of one simulated connection: two byte rings + open flags.
+struct SimConnState {
+  explicit SimConnState(size_t ring_capacity)
+      : a_to_b(ring_capacity), b_to_a(ring_capacity) {}
+
+  SpscByteRing a_to_b;
+  SpscByteRing b_to_a;
+  std::atomic<bool> a_open{true};
+  std::atomic<bool> b_open{true};
+};
+
+}  // namespace internal
+
+class SimNetwork;
+
+class SimConnection : public Connection {
+ public:
+  SimConnection(std::shared_ptr<internal::SimConnState> state, bool is_a,
+                const StackCostModel& cost, uint64_t id);
+  ~SimConnection() override;
+
+  Result<size_t> Read(void* buf, size_t len) override;
+  Result<size_t> Write(const void* buf, size_t len) override;
+  void Close() override;
+  bool IsOpen() const override;
+  bool ReadReady() const override;
+  uint64_t id() const override { return id_; }
+
+ private:
+  friend class SimListener;
+
+  SpscByteRing& rx() const { return is_a_ ? state_->b_to_a : state_->a_to_b; }
+  SpscByteRing& tx() const { return is_a_ ? state_->a_to_b : state_->b_to_a; }
+  std::atomic<bool>& my_open() const { return is_a_ ? state_->a_open : state_->b_open; }
+  std::atomic<bool>& peer_open() const { return is_a_ ? state_->b_open : state_->a_open; }
+
+  std::shared_ptr<internal::SimConnState> state_;
+  const bool is_a_;
+  const StackCostModel cost_;  // by value: connections may outlive transports
+  const uint64_t id_;
+};
+
+class SimListener : public Listener {
+ public:
+  SimListener(SimNetwork* network, uint16_t port, StackCostModel cost);
+  ~SimListener() override;
+
+  std::unique_ptr<Connection> Accept() override;
+  uint16_t port() const override { return port_; }
+  void Close() override;
+
+ private:
+  friend class SimNetwork;
+
+  SimNetwork* network_;
+  uint16_t port_;
+  StackCostModel cost_;
+  std::atomic<bool> closed_{false};
+  MpmcQueue<std::unique_ptr<SimConnection>> pending_;
+};
+
+// The fabric. One SimNetwork is shared by all parties of an experiment; the
+// cost model is per-SimTransport, so a FLICK-on-mTCP middlebox can serve
+// clients that run a kernel-model stack.
+class SimNetwork {
+ public:
+  explicit SimNetwork(size_t ring_capacity = 1 << 18) : ring_capacity_(ring_capacity) {}
+
+  Result<std::unique_ptr<Listener>> Listen(uint16_t port, const StackCostModel& cost);
+  Result<std::unique_ptr<Connection>> Connect(uint16_t port, const StackCostModel& cost);
+
+ private:
+  friend class SimListener;
+  void Unregister(uint16_t port, SimListener* listener);
+
+  const size_t ring_capacity_;
+  std::mutex mutex_;
+  std::map<uint16_t, SimListener*> listeners_;
+  std::atomic<uint64_t> next_conn_id_{1};
+};
+
+// Transport facade binding a fabric to a cost model.
+class SimTransport : public Transport {
+ public:
+  SimTransport(SimNetwork* network, StackCostModel cost)
+      : network_(network), cost_(cost) {}
+
+  Result<std::unique_ptr<Listener>> Listen(uint16_t port) override {
+    return network_->Listen(port, cost_);
+  }
+  Result<std::unique_ptr<Connection>> Connect(uint16_t port) override {
+    return network_->Connect(port, cost_);
+  }
+  const char* name() const override { return cost_.name; }
+
+ private:
+  SimNetwork* network_;
+  StackCostModel cost_;
+};
+
+}  // namespace flick
+
+#endif  // FLICK_NET_SIM_TRANSPORT_H_

@@ -1,0 +1,60 @@
+// Transport abstraction the FLICK platform runs on.
+//
+// The paper's platform runs either on the kernel TCP stack or on a modified
+// mTCP + DPDK user-space stack (§5). This repo provides the same seam:
+//   * SimTransport  — in-process fabric with calibrated kernel/mTCP cost
+//                     models (used by benches; see DESIGN.md §2), and
+//   * KernelTransport — real non-blocking sockets on loopback.
+// All IO is non-blocking; the runtime polls readiness cooperatively.
+#ifndef FLICK_NET_TRANSPORT_H_
+#define FLICK_NET_TRANSPORT_H_
+
+#include <cstdint>
+#include <memory>
+
+#include "base/result.h"
+
+namespace flick {
+
+// A bidirectional byte-stream connection endpoint. Non-blocking:
+//   Read/Write return 0 when they would block;
+//   Read returns kUnavailable once the peer has closed and data is drained.
+class Connection {
+ public:
+  virtual ~Connection() = default;
+
+  virtual Result<size_t> Read(void* buf, size_t len) = 0;
+  virtual Result<size_t> Write(const void* buf, size_t len) = 0;
+
+  // Half-close is not modelled; Close tears down both directions.
+  virtual void Close() = 0;
+  virtual bool IsOpen() const = 0;
+
+  // True when a Read would make progress (data buffered or peer closed).
+  virtual bool ReadReady() const = 0;
+
+  virtual uint64_t id() const = 0;
+};
+
+class Listener {
+ public:
+  virtual ~Listener() = default;
+
+  // Non-blocking; nullptr when no pending connection.
+  virtual std::unique_ptr<Connection> Accept() = 0;
+  virtual uint16_t port() const = 0;
+  virtual void Close() = 0;
+};
+
+class Transport {
+ public:
+  virtual ~Transport() = default;
+
+  virtual Result<std::unique_ptr<Listener>> Listen(uint16_t port) = 0;
+  virtual Result<std::unique_ptr<Connection>> Connect(uint16_t port) = 0;
+  virtual const char* name() const = 0;
+};
+
+}  // namespace flick
+
+#endif  // FLICK_NET_TRANSPORT_H_

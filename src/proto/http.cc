@@ -1,0 +1,279 @@
+#include "proto/http.h"
+
+#include <algorithm>
+#include <cstdlib>
+
+namespace flick::proto {
+namespace {
+
+bool EqualsIgnoreCase(std::string_view a, std::string_view b) {
+  if (a.size() != b.size()) {
+    return false;
+  }
+  for (size_t i = 0; i < a.size(); ++i) {
+    if (std::tolower(static_cast<unsigned char>(a[i])) !=
+        std::tolower(static_cast<unsigned char>(b[i]))) {
+      return false;
+    }
+  }
+  return true;
+}
+
+std::string_view Trim(std::string_view s) {
+  while (!s.empty() && (s.front() == ' ' || s.front() == '\t')) {
+    s.remove_prefix(1);
+  }
+  while (!s.empty() && (s.back() == ' ' || s.back() == '\t')) {
+    s.remove_suffix(1);
+  }
+  return s;
+}
+
+}  // namespace
+
+void HttpMessage::Reset() {
+  method.clear();
+  target.clear();
+  status_code = 0;
+  reason.clear();
+  version = "HTTP/1.1";
+  headers.clear();
+  body.clear();
+  content_length = 0;
+  keep_alive = true;
+  wire_size = 0;
+}
+
+std::string_view HttpMessage::Header(std::string_view name) const {
+  for (const HttpHeader& h : headers) {
+    if (EqualsIgnoreCase(h.name, name)) {
+      return h.value;
+    }
+  }
+  return {};
+}
+
+void HttpMessage::SetHeader(std::string_view name, std::string_view value) {
+  for (HttpHeader& h : headers) {
+    if (EqualsIgnoreCase(h.name, name)) {
+      h.value.assign(value);
+      return;
+    }
+  }
+  headers.push_back(HttpHeader{std::string(name), std::string(value)});
+}
+
+void HttpParser::Reset() {
+  state_ = State::kStartLine;
+  line_.clear();
+  line_complete_ = false;
+  header_bytes_ = 0;
+  body_received_ = 0;
+  wire_bytes_ = 0;
+  fresh_ = true;
+}
+
+bool HttpParser::TakeLine(BufferChain& input) {
+  while (!line_complete_) {
+    std::string_view front = input.FrontView();
+    if (front.empty()) {
+      return false;
+    }
+    const size_t nl = front.find('\n');
+    const size_t take = (nl == std::string_view::npos) ? front.size() : nl + 1;
+    line_.append(front.data(), take);
+    input.Consume(take);
+    wire_bytes_ += take;
+    header_bytes_ += take;
+    if (nl != std::string_view::npos) {
+      line_complete_ = true;
+    }
+    if (header_bytes_ > max_header_bytes_) {
+      return true;  // caller will notice the oversize and error out
+    }
+  }
+  return true;
+}
+
+ParseStatus HttpParser::ParseStartLine(HttpMessage* out) {
+  std::string_view line(line_);
+  while (!line.empty() && (line.back() == '\n' || line.back() == '\r')) {
+    line.remove_suffix(1);
+  }
+  if (line.empty()) {
+    // Tolerate leading blank lines between pipelined messages.
+    line_.clear();
+    line_complete_ = false;
+    return ParseStatus::kNeedMore;  // re-enter; not an error
+  }
+  const size_t sp1 = line.find(' ');
+  const size_t sp2 = sp1 == std::string_view::npos ? std::string_view::npos
+                                                   : line.find(' ', sp1 + 1);
+  if (sp1 == std::string_view::npos || sp2 == std::string_view::npos) {
+    return ParseStatus::kError;
+  }
+  if (mode_ == Mode::kRequest) {
+    out->is_request = true;
+    out->method.assign(line.substr(0, sp1));
+    out->target.assign(line.substr(sp1 + 1, sp2 - sp1 - 1));
+    out->version.assign(line.substr(sp2 + 1));
+  } else {
+    out->is_request = false;
+    out->version.assign(line.substr(0, sp1));
+    const std::string code(line.substr(sp1 + 1, sp2 - sp1 - 1));
+    out->status_code = std::atoi(code.c_str());
+    out->reason.assign(line.substr(sp2 + 1));
+  }
+  out->keep_alive = out->version != "HTTP/1.0";
+  line_.clear();
+  line_complete_ = false;
+  state_ = State::kHeaders;
+  return ParseStatus::kNeedMore;  // sentinel meaning "continue"
+}
+
+ParseStatus HttpParser::ParseHeaderLine(HttpMessage* out) {
+  std::string_view line(line_);
+  while (!line.empty() && (line.back() == '\n' || line.back() == '\r')) {
+    line.remove_suffix(1);
+  }
+  if (line.empty()) {
+    // End of headers.
+    line_.clear();
+    line_complete_ = false;
+    const std::string_view cl = out->Header("Content-Length");
+    if (!cl.empty()) {
+      out->content_length = static_cast<size_t>(std::strtoull(std::string(cl).c_str(), nullptr, 10));
+      if (out->content_length > max_body_bytes_) {
+        return ParseStatus::kError;
+      }
+    }
+    const std::string_view conn = out->Header("Connection");
+    if (EqualsIgnoreCase(conn, "close")) {
+      out->keep_alive = false;
+    } else if (EqualsIgnoreCase(conn, "keep-alive")) {
+      out->keep_alive = true;
+    }
+    out->body.clear();
+    out->body.reserve(out->content_length);
+    body_received_ = 0;
+    state_ = State::kBody;
+    return ParseStatus::kNeedMore;
+  }
+  const size_t colon = line.find(':');
+  if (colon == std::string_view::npos) {
+    return ParseStatus::kError;
+  }
+  out->headers.push_back(HttpHeader{std::string(Trim(line.substr(0, colon))),
+                                    std::string(Trim(line.substr(colon + 1)))});
+  line_.clear();
+  line_complete_ = false;
+  return ParseStatus::kNeedMore;
+}
+
+ParseStatus HttpParser::Feed(BufferChain& input, HttpMessage* out) {
+  if (fresh_) {
+    out->Reset();
+    fresh_ = false;
+  }
+  while (true) {
+    switch (state_) {
+      case State::kStartLine:
+      case State::kHeaders: {
+        if (!TakeLine(input)) {
+          return ParseStatus::kNeedMore;
+        }
+        if (header_bytes_ > max_header_bytes_) {
+          Reset();
+          return ParseStatus::kError;
+        }
+        const ParseStatus s = (state_ == State::kStartLine) ? ParseStartLine(out)
+                                                            : ParseHeaderLine(out);
+        if (s == ParseStatus::kError) {
+          Reset();
+          return ParseStatus::kError;
+        }
+        break;  // continue the loop
+      }
+      case State::kBody: {
+        while (body_received_ < out->content_length) {
+          std::string_view front = input.FrontView();
+          if (front.empty()) {
+            return ParseStatus::kNeedMore;
+          }
+          const size_t want = out->content_length - body_received_;
+          const size_t take = front.size() < want ? front.size() : want;
+          out->body.append(front.data(), take);
+          input.Consume(take);
+          body_received_ += take;
+          wire_bytes_ += take;
+        }
+        out->wire_size = wire_bytes_;
+        Reset();
+        return ParseStatus::kDone;
+      }
+    }
+  }
+}
+
+namespace {
+
+void SerializeCommon(const HttpMessage& msg, std::string* out) {
+  bool wrote_content_length = false;
+  for (const HttpHeader& h : msg.headers) {
+    if (EqualsIgnoreCase(h.name, "Content-Length")) {
+      // Rewrite to the actual body size (grammar write-back semantics).
+      out->append("Content-Length: ").append(std::to_string(msg.body.size())).append("\r\n");
+      wrote_content_length = true;
+      continue;
+    }
+    out->append(h.name).append(": ").append(h.value).append("\r\n");
+  }
+  if (!wrote_content_length && (!msg.body.empty() || !msg.is_request)) {
+    out->append("Content-Length: ").append(std::to_string(msg.body.size())).append("\r\n");
+  }
+  out->append("\r\n");
+  out->append(msg.body);
+}
+
+}  // namespace
+
+void SerializeRequest(const HttpMessage& msg, std::string* out) {
+  out->append(msg.method).append(" ").append(msg.target).append(" ").append(msg.version);
+  out->append("\r\n");
+  SerializeCommon(msg, out);
+}
+
+void SerializeResponse(const HttpMessage& msg, std::string* out) {
+  out->append(msg.version).append(" ").append(std::to_string(msg.status_code));
+  out->append(" ").append(msg.reason.empty() ? "OK" : msg.reason).append("\r\n");
+  SerializeCommon(msg, out);
+}
+
+HttpMessage MakeRequest(std::string_view method, std::string_view target,
+                        std::string_view body, bool keep_alive) {
+  HttpMessage msg;
+  msg.is_request = true;
+  msg.method.assign(method);
+  msg.target.assign(target);
+  msg.body.assign(body);
+  msg.keep_alive = keep_alive;
+  if (!keep_alive) {
+    msg.SetHeader("Connection", "close");
+  }
+  return msg;
+}
+
+HttpMessage MakeResponse(int status, std::string_view body, bool keep_alive) {
+  HttpMessage msg;
+  msg.is_request = false;
+  msg.status_code = status;
+  msg.reason = status == 200 ? "OK" : "Error";
+  msg.body.assign(body);
+  msg.keep_alive = keep_alive;
+  if (!keep_alive) {
+    msg.SetHeader("Connection", "close");
+  }
+  return msg;
+}
+
+}  // namespace flick::proto

@@ -1,0 +1,100 @@
+// HTTP/1.x message grammar (§4.2: "the FLICK framework provides reusable
+// grammars for common protocols, such as HTTP and Memcached").
+//
+// This is the incremental parser the FLICK compiler would synthesise for the
+// HTTP unit: resumable across arbitrary fragmentation, allocation-light
+// (message objects are reused by input tasks), with Content-Length framed
+// bodies. Chunked transfer encoding is not implemented (the paper's workloads
+// use fixed-size payloads).
+#ifndef FLICK_PROTO_HTTP_H_
+#define FLICK_PROTO_HTTP_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "buffer/buffer_chain.h"
+#include "grammar/parser.h"  // for ParseStatus
+
+namespace flick::proto {
+
+using grammar::ParseStatus;
+
+struct HttpHeader {
+  std::string name;
+  std::string value;
+};
+
+struct HttpMessage {
+  bool is_request = true;
+
+  // Request line.
+  std::string method;
+  std::string target;
+
+  // Status line.
+  int status_code = 0;
+  std::string reason;
+
+  std::string version = "HTTP/1.1";
+  std::vector<HttpHeader> headers;
+  std::string body;
+
+  size_t content_length = 0;
+  bool keep_alive = true;
+  size_t wire_size = 0;
+
+  void Reset();
+  // Case-insensitive header lookup; empty view when absent.
+  std::string_view Header(std::string_view name) const;
+  void SetHeader(std::string_view name, std::string_view value);
+};
+
+class HttpParser {
+ public:
+  enum class Mode { kRequest, kResponse };
+
+  explicit HttpParser(Mode mode) : mode_(mode) {}
+
+  // Same contract as grammar::UnitParser::Feed.
+  ParseStatus Feed(BufferChain& input, HttpMessage* out);
+  void Reset();
+
+  bool mid_message() const { return state_ != State::kStartLine || !line_.empty(); }
+
+  void set_max_header_bytes(size_t n) { max_header_bytes_ = n; }
+  void set_max_body_bytes(size_t n) { max_body_bytes_ = n; }
+
+ private:
+  enum class State { kStartLine, kHeaders, kBody };
+
+  // Pulls one CRLF/LF-terminated line into line_; false if input ran dry.
+  bool TakeLine(BufferChain& input);
+  ParseStatus ParseStartLine(HttpMessage* out);
+  ParseStatus ParseHeaderLine(HttpMessage* out);
+
+  Mode mode_;
+  State state_ = State::kStartLine;
+  std::string line_;
+  bool line_complete_ = false;
+  size_t header_bytes_ = 0;
+  size_t body_received_ = 0;
+  size_t wire_bytes_ = 0;
+  bool fresh_ = true;
+  size_t max_header_bytes_ = 64 * 1024;
+  size_t max_body_bytes_ = 64 * 1024 * 1024;
+};
+
+// Serialisation (the output-task side).
+void SerializeRequest(const HttpMessage& msg, std::string* out);
+void SerializeResponse(const HttpMessage& msg, std::string* out);
+
+// Canned builders used by services, tests and load generators.
+HttpMessage MakeRequest(std::string_view method, std::string_view target,
+                        std::string_view body = {}, bool keep_alive = true);
+HttpMessage MakeResponse(int status, std::string_view body, bool keep_alive = true);
+
+}  // namespace flick::proto
+
+#endif  // FLICK_PROTO_HTTP_H_

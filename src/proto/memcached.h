@@ -1,0 +1,90 @@
+// Memcached binary protocol grammar (paper Listing 2) and typed wrappers.
+//
+// The unit mirrors the paper's grammar: 24-byte fixed header, a computed
+// value_len var field with a serialize write-back into total_len, and
+// dependent-length extras/key/value fields.
+#ifndef FLICK_PROTO_MEMCACHED_H_
+#define FLICK_PROTO_MEMCACHED_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "grammar/message.h"
+#include "grammar/parser.h"
+#include "grammar/serializer.h"
+#include "grammar/unit.h"
+
+namespace flick::proto {
+
+// Binary protocol opcodes used by the use cases.
+inline constexpr uint8_t kMemcachedGet = 0x00;
+inline constexpr uint8_t kMemcachedSet = 0x01;
+inline constexpr uint8_t kMemcachedGetK = 0x0c;  // GETK: reply echoes the key
+
+inline constexpr uint8_t kMemcachedMagicRequest = 0x80;
+inline constexpr uint8_t kMemcachedMagicResponse = 0x81;
+
+inline constexpr uint16_t kMemcachedStatusOk = 0x0000;
+inline constexpr uint16_t kMemcachedStatusKeyNotFound = 0x0001;
+
+inline constexpr size_t kMemcachedHeaderSize = 24;
+
+// The shared `cmd` unit (requests and replies share the format, §4.1).
+// Field order matches Listing 2.
+const grammar::Unit& MemcachedUnit();
+
+// Projected variant materialising only opcode/key routing needs (§4.2:
+// generated parsers skip fields the program never accesses). value bytes are
+// framed but not copied.
+const grammar::Unit& MemcachedRoutingUnit();
+
+// Typed accessor over a parsed `cmd` message.
+class MemcachedCommand {
+ public:
+  explicit MemcachedCommand(grammar::Message* msg) : msg_(msg) {}
+
+  uint8_t magic() const { return static_cast<uint8_t>(msg_->GetUInt(kMagic)); }
+  uint8_t opcode() const { return static_cast<uint8_t>(msg_->GetUInt(kOpcode)); }
+  uint16_t status() const { return static_cast<uint16_t>(msg_->GetUInt(kStatus)); }
+  uint32_t opaque() const { return static_cast<uint32_t>(msg_->GetUInt(kOpaque)); }
+  uint64_t cas() const { return msg_->GetUInt(kCas); }
+  std::string_view key() const { return msg_->GetBytes(kKey); }
+  std::string_view value() const { return msg_->GetBytes(kValue); }
+  std::string_view extras() const { return msg_->GetBytes(kExtras); }
+  bool is_request() const { return magic() == kMemcachedMagicRequest; }
+  bool is_response() const { return magic() == kMemcachedMagicResponse; }
+
+  grammar::Message* message() { return msg_; }
+
+  // Field indices in MemcachedUnit(), fixed by construction.
+  static constexpr int kMagic = 0;
+  static constexpr int kOpcode = 1;
+  static constexpr int kKeyLen = 2;
+  static constexpr int kExtrasLen = 3;
+  static constexpr int kDataType = 4;
+  static constexpr int kStatus = 5;
+  static constexpr int kTotalLen = 6;
+  static constexpr int kOpaque = 7;
+  static constexpr int kCas = 8;
+  static constexpr int kValueLen = 9;
+  static constexpr int kExtras = 10;
+  static constexpr int kKey = 11;
+  static constexpr int kValue = 12;
+
+ private:
+  grammar::Message* msg_;
+};
+
+// Builders (fill `msg` in place; serialisation fixes up all length fields).
+void BuildRequest(grammar::Message* msg, uint8_t opcode, std::string_view key,
+                  std::string_view value = {}, uint32_t opaque = 0);
+void BuildResponse(grammar::Message* msg, uint8_t opcode, uint16_t status,
+                   std::string_view key, std::string_view value, uint32_t opaque = 0);
+
+// Convenience: serialize a message to a string (tests, load generators).
+std::string ToWire(grammar::Message& msg);
+
+}  // namespace flick::proto
+
+#endif  // FLICK_PROTO_MEMCACHED_H_

@@ -1,0 +1,134 @@
+// Compute tasks: the user-logic nodes of a task graph.
+//
+// ComputeTask drains its input channels round-robin and hands each message to
+// a handler (the FLICK compiler's generated function body, or a native
+// functor in src/services). The handler emits results through EmitContext —
+// possibly to several outputs (fan-out > 1, §6.1 Memcached proxy).
+//
+// MergeTask implements `foldt` (§4.3): a binary merge node over two ordered
+// input streams, combining equal-ordered elements with a user function.
+// Compilers build a balanced tree of MergeTasks for k inputs (k-way merge).
+#ifndef FLICK_RUNTIME_COMPUTE_TASK_H_
+#define FLICK_RUNTIME_COMPUTE_TASK_H_
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "runtime/channel.h"
+#include "runtime/msg.h"
+#include "runtime/task.h"
+
+namespace flick::runtime {
+
+// Handler-facing emission API. Emit returns false on a full output channel;
+// the runtime then re-delivers the SAME input message later, so handlers must
+// be idempotent per message or check CanEmit first.
+class EmitContext {
+ public:
+  EmitContext(std::vector<Channel*>* outputs, MsgPool* msgs)
+      : outputs_(outputs), msgs_(msgs) {}
+
+  size_t output_count() const { return outputs_->size(); }
+
+  bool CanEmit(size_t output_index) const {
+    Channel* ch = (*outputs_)[output_index];
+    return ch->SizeApprox() < ch->capacity();
+  }
+
+  bool Emit(size_t output_index, MsgRef&& msg) {
+    return (*outputs_)[output_index]->TryPush(std::move(msg));
+  }
+
+  MsgRef NewMsg() { return msgs_->Acquire(); }
+
+ private:
+  std::vector<Channel*>* outputs_;
+  MsgPool* msgs_;
+};
+
+// Return value of a handler invocation.
+enum class HandleResult {
+  kConsumed,  // message fully handled
+  kBlocked,   // output full: re-deliver this message later
+};
+
+class ComputeTask : public Task {
+ public:
+  // handler(msg, input_index, emit) — msg ownership passes to the handler
+  // only when it returns kConsumed.
+  using Handler = std::function<HandleResult(Msg& msg, size_t input_index, EmitContext& emit)>;
+
+  ComputeTask(std::string name, Handler handler, MsgPool* msgs);
+
+  // Wiring (before scheduling).
+  void AddInput(Channel* ch, Scheduler* scheduler) {
+    ch->BindConsumer(this, scheduler);
+    inputs_.push_back(ch);
+  }
+  void AddOutput(Channel* ch) {
+    ch->BindProducer(this);
+    outputs_.push_back(ch);
+  }
+
+  size_t input_count() const { return inputs_.size(); }
+  uint64_t messages_handled() const { return messages_handled_; }
+
+  TaskRunResult Run(TaskContext& ctx) override;
+
+ private:
+  Handler handler_;
+  MsgPool* msgs_;
+  std::vector<Channel*> inputs_;
+  std::vector<Channel*> outputs_;
+  MsgRef stalled_msg_;       // message whose handling was blocked
+  size_t stalled_input_ = 0;
+  size_t next_input_ = 0;    // round-robin drain position
+  uint64_t messages_handled_ = 0;
+};
+
+// foldt (§4.3): merges two key-ordered input streams, combining values of
+// equal keys. Emits in key order. Used pairwise to build aggregation trees
+// (Figure 3c).
+class MergeTask : public Task {
+ public:
+  // order(a, b) < 0 | 0 | > 0 ; combine(a, b) -> merged message
+  using OrderFn = std::function<int(const Msg&, const Msg&)>;
+  using CombineFn = std::function<void(Msg& into, const Msg& from)>;
+
+  MergeTask(std::string name, OrderFn order, CombineFn combine);
+
+  void BindInputs(Channel* left, Channel* right, Scheduler* scheduler) {
+    left->BindConsumer(this, scheduler);
+    right->BindConsumer(this, scheduler);
+    left_ = left;
+    right_ = right;
+  }
+  void BindOutput(Channel* out) {
+    out->BindProducer(this);
+    out_ = out;
+  }
+
+  TaskRunResult Run(TaskContext& ctx) override;
+
+ private:
+  // Attempts one merge step; false when blocked on input or output.
+  bool Step(bool* made_progress);
+
+  OrderFn order_;
+  CombineFn combine_;
+  Channel* left_ = nullptr;
+  Channel* right_ = nullptr;
+  Channel* out_ = nullptr;
+  MsgRef left_pending_;
+  MsgRef right_pending_;
+  bool left_eof_ = false;
+  bool right_eof_ = false;
+  bool eof_forwarded_ = false;
+  MsgRef out_pending_;  // emitted but not yet accepted by the channel
+  MsgRef hold_;         // run-length combine buffer (last output element)
+};
+
+}  // namespace flick::runtime
+
+#endif  // FLICK_RUNTIME_COMPUTE_TASK_H_

@@ -1,0 +1,119 @@
+#include "runtime/io_poller.h"
+
+#include <chrono>
+
+namespace flick::runtime {
+
+IoPoller::~IoPoller() { Stop(); }
+
+void IoPoller::Start() {
+  bool expected = false;
+  if (!running_.compare_exchange_strong(expected, true)) {
+    return;
+  }
+  thread_ = std::thread([this] { Loop(); });
+}
+
+void IoPoller::Stop() {
+  bool expected = true;
+  if (!running_.compare_exchange_strong(expected, false)) {
+    return;
+  }
+  if (thread_.joinable()) {
+    thread_.join();
+  }
+}
+
+void IoPoller::AddListener(Listener* listener, AcceptFn on_accept) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  listeners_.push_back(ListenerEntry{listener, std::move(on_accept)});
+}
+
+void IoPoller::RemoveListener(Listener* listener) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::erase_if(listeners_, [&](const ListenerEntry& e) { return e.listener == listener; });
+}
+
+void IoPoller::WatchConnection(Connection* conn, Task* task) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  watches_.push_back(Watch{conn, task});
+}
+
+void IoPoller::UnwatchConnection(Connection* conn) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::erase_if(watches_, [&](const Watch& w) { return w.conn == conn; });
+}
+
+void IoPoller::AddReaper(ReaperFn fn) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  reapers_.push_back(std::move(fn));
+}
+
+void IoPoller::Loop() {
+  while (running_.load(std::memory_order_acquire)) {
+    bool did_work = false;
+
+    // Accept pending connections. The callback may mutate the registries
+    // (WatchConnection etc.), so collect outside the lock.
+    std::vector<std::pair<AcceptFn*, std::unique_ptr<Connection>>> accepted;
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      for (ListenerEntry& entry : listeners_) {
+        // Drain up to a batch per sweep per listener to bound hold time.
+        for (int i = 0; i < 64; ++i) {
+          auto conn = entry.listener->Accept();
+          if (conn == nullptr) {
+            break;
+          }
+          accepted.emplace_back(&entry.on_accept, std::move(conn));
+        }
+      }
+    }
+    for (auto& [fn, conn] : accepted) {
+      (*fn)(std::move(conn));
+      did_work = true;
+    }
+
+    // Readiness notifications. Tasks are only poked when idle; a queued or
+    // running task will see the data itself.
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      for (const Watch& w : watches_) {
+        if (w.conn->ReadReady() &&
+            w.task->sched_state.load(std::memory_order_acquire) ==
+                Task::SchedState::kIdle) {
+          scheduler_->NotifyRunnable(w.task);
+          did_work = true;
+        }
+      }
+    }
+
+    // Retirement checks.
+    std::vector<ReaperFn> reapers;
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      reapers.swap(reapers_);
+    }
+    if (!reapers.empty()) {
+      std::vector<ReaperFn> keep;
+      for (ReaperFn& fn : reapers) {
+        if (!fn()) {
+          keep.push_back(std::move(fn));
+        } else {
+          did_work = true;
+        }
+      }
+      std::lock_guard<std::mutex> lock(mutex_);
+      for (ReaperFn& fn : keep) {
+        reapers_.push_back(std::move(fn));
+      }
+    }
+
+    sweeps_.fetch_add(1, std::memory_order_relaxed);
+    if (!did_work) {
+      std::this_thread::sleep_for(std::chrono::nanoseconds(sweep_interval_ns_));
+    }
+  }
+}
+
+}  // namespace flick::runtime

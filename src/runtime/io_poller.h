@@ -1,0 +1,83 @@
+// IO readiness poller.
+//
+// Plays the role of the event layer under the platform: the application
+// dispatcher's accept path for listening sockets (§5 (i)) and the epoll-like
+// readiness notification for connection-bound tasks ("input tasks use
+// non-blocking sockets and epoll event handlers"). One thread sweeps:
+//   * listeners — accepted connections are handed to the registered callback
+//     (the program's connection-binding logic);
+//   * connections — a ReadReady()/WriteReady-equivalent transition notifies
+//     the registered task via the scheduler;
+//   * reapers — periodic callbacks for graph retirement checks; a reaper
+//     returning true is removed.
+#ifndef FLICK_RUNTIME_IO_POLLER_H_
+#define FLICK_RUNTIME_IO_POLLER_H_
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "net/transport.h"
+#include "runtime/scheduler.h"
+
+namespace flick::runtime {
+
+class IoPoller {
+ public:
+  using AcceptFn = std::function<void(std::unique_ptr<Connection>)>;
+  using ReaperFn = std::function<bool()>;
+
+  IoPoller(Scheduler* scheduler, uint64_t sweep_interval_ns = 5'000)
+      : scheduler_(scheduler), sweep_interval_ns_(sweep_interval_ns) {}
+  ~IoPoller();
+
+  IoPoller(const IoPoller&) = delete;
+  IoPoller& operator=(const IoPoller&) = delete;
+
+  void Start();
+  void Stop();
+
+  // Listener registration; `on_accept` runs on the poller thread.
+  void AddListener(Listener* listener, AcceptFn on_accept);
+  void RemoveListener(Listener* listener);
+
+  // Notify `task` whenever `conn` becomes readable while the task is idle.
+  void WatchConnection(Connection* conn, Task* task);
+  void UnwatchConnection(Connection* conn);
+
+  // Periodic retirement checks (e.g. "all IO tasks of graph X closed?").
+  void AddReaper(ReaperFn fn);
+
+  uint64_t sweeps() const { return sweeps_.load(std::memory_order_relaxed); }
+
+ private:
+  struct Watch {
+    Connection* conn;
+    Task* task;
+  };
+  struct ListenerEntry {
+    Listener* listener;
+    AcceptFn on_accept;
+  };
+
+  void Loop();
+
+  Scheduler* scheduler_;
+  const uint64_t sweep_interval_ns_;
+  std::thread thread_;
+  std::atomic<bool> running_{false};
+  std::atomic<uint64_t> sweeps_{0};
+
+  std::mutex mutex_;
+  std::vector<ListenerEntry> listeners_;
+  std::vector<Watch> watches_;
+  std::vector<ReaperFn> reapers_;
+};
+
+}  // namespace flick::runtime
+
+#endif  // FLICK_RUNTIME_IO_POLLER_H_

@@ -1,0 +1,212 @@
+#include "runtime/io_tasks.h"
+
+namespace flick::runtime {
+
+InputTask::InputTask(std::string name, std::unique_ptr<Connection> conn,
+                     std::unique_ptr<Deserializer> codec, Channel* out, MsgPool* msgs,
+                     BufferPool* buffers)
+    : Task(std::move(name)),
+      conn_(std::move(conn)),
+      codec_(std::move(codec)),
+      out_(out),
+      msgs_(msgs),
+      rx_(buffers) {
+  out_->BindProducer(this);
+}
+
+InputTask::~InputTask() = default;
+
+void InputTask::Rebind(std::unique_ptr<Connection> conn) {
+  conn_ = std::move(conn);
+  codec_->Reset();
+  rx_.Clear();
+  parse_msg_ = MsgRef();
+  pending_ = MsgRef();
+  eof_pending_ = false;
+  eof_sent_ = false;
+  messages_in_ = 0;
+  closed_.store(conn_ == nullptr, std::memory_order_release);
+}
+
+bool InputTask::FlushPending() {
+  if (pending_) {
+    // On failure TryPush leaves `pending_` intact for the next slice.
+    if (!out_->TryPush(std::move(pending_))) {
+      return false;
+    }
+  }
+  return true;
+}
+
+void InputTask::EmitEof() {
+  if (eof_sent_) {
+    return;
+  }
+  MsgRef eof = msgs_->Acquire();
+  eof->kind = Msg::Kind::kEof;
+  eof->conn_id = conn_ != nullptr ? conn_->id() : 0;
+  if (out_->TryPush(std::move(eof))) {
+    eof_sent_ = true;
+    eof_pending_ = false;
+  } else {
+    eof_pending_ = true;
+  }
+}
+
+TaskRunResult InputTask::Run(TaskContext& ctx) {
+  if (eof_pending_) {
+    EmitEof();
+    return TaskRunResult::kIdle;  // channel wakes us if still pending
+  }
+  if (closed_.load(std::memory_order_acquire)) {
+    return TaskRunResult::kIdle;
+  }
+
+  // Deliver a message parsed on a previous slice that the channel rejected.
+  if (pending_ && !FlushPending()) {
+    return TaskRunResult::kIdle;  // channel will wake us
+  }
+
+  while (true) {
+    // Parse as many complete messages as the buffer holds.
+    while (!rx_.empty()) {
+      if (!parse_msg_) {
+        parse_msg_ = msgs_->Acquire();
+        parse_msg_->conn_id = conn_->id();
+      }
+      const ParseStatus s = codec_->Deserialize(rx_, parse_msg_.get());
+      if (s == ParseStatus::kNeedMore) {
+        break;  // keep parse_msg_ (holds partial field data) and read more
+      }
+      if (s == ParseStatus::kError) {
+        // Framing is unrecoverable on a byte stream: drop the connection.
+        conn_->Close();
+        closed_.store(true, std::memory_order_release);
+        EmitEof();
+        return TaskRunResult::kIdle;
+      }
+      ++messages_in_;
+      pending_ = std::move(parse_msg_);
+      if (!FlushPending()) {
+        return TaskRunResult::kIdle;  // backpressure: consumer will wake us
+      }
+      ctx.ItemDone();
+      if (ctx.ShouldYield()) {
+        return TaskRunResult::kMoreWork;
+      }
+    }
+
+    // Buffered bytes exhausted: pull from the network.
+    BufferRef buf = rx_.pool()->Acquire();
+    if (!buf) {
+      // Pool pressure: go idle instead of spinning through the run queue;
+      // the poller re-notifies us while the connection stays readable.
+      return TaskRunResult::kIdle;
+    }
+    auto got = conn_->Read(buf->write_ptr(), buf->writable());
+    if (!got.ok()) {
+      // Peer closed (or transport error): propagate EOF downstream.
+      conn_->Close();
+      closed_.store(true, std::memory_order_release);
+      EmitEof();
+      return TaskRunResult::kIdle;
+    }
+    if (*got == 0) {
+      return TaskRunResult::kIdle;  // would block; poller will wake us
+    }
+    buf->Produce(*got);
+    rx_.AppendBuffer(std::move(buf));
+    if (ctx.ShouldYield()) {
+      return TaskRunResult::kMoreWork;
+    }
+  }
+}
+
+OutputTask::OutputTask(std::string name, std::unique_ptr<Connection> conn,
+                       std::unique_ptr<Serializer> codec, Channel* in, BufferPool* buffers)
+    : Task(std::move(name)),
+      conn_(std::move(conn)),
+      codec_(std::move(codec)),
+      in_(in),
+      tx_(buffers) {
+  in_->BindConsumer(this, nullptr);  // scheduler bound later via TaskGraph
+}
+
+OutputTask::~OutputTask() = default;
+
+void OutputTask::Rebind(std::unique_ptr<Connection> conn) {
+  conn_ = std::move(conn);
+  tx_.Clear();
+  eof_received_ = false;
+  messages_out_ = 0;
+  closed_.store(conn_ == nullptr, std::memory_order_release);
+}
+
+bool OutputTask::FlushWire() {
+  while (!tx_.empty()) {
+    std::string_view front = tx_.FrontView();
+    auto wrote = conn_->Write(front.data(), front.size());
+    if (!wrote.ok()) {
+      return false;
+    }
+    if (*wrote == 0) {
+      return true;  // transport backpressure; retry on next run
+    }
+    tx_.Consume(*wrote);
+  }
+  return true;
+}
+
+TaskRunResult OutputTask::Run(TaskContext& ctx) {
+  if (closed_.load(std::memory_order_acquire)) {
+    // Drain and drop anything still queued so upstream does not stall.
+    while (MsgRef msg = in_->TryPop()) {
+    }
+    return TaskRunResult::kIdle;
+  }
+
+  while (true) {
+    if (!FlushWire()) {
+      conn_->Close();
+      closed_.store(true, std::memory_order_release);
+      return TaskRunResult::kIdle;
+    }
+    if (!tx_.empty()) {
+      // Transport is full: let other tasks run; retry when rescheduled.
+      return TaskRunResult::kMoreWork;
+    }
+    if (eof_received_) {
+      if (close_on_eof_) {
+        conn_->Close();
+        closed_.store(true, std::memory_order_release);
+      } else {
+        eof_received_ = false;  // shared connection stays up
+      }
+      return TaskRunResult::kIdle;
+    }
+
+    MsgRef msg = in_->TryPop();
+    if (!msg) {
+      return TaskRunResult::kIdle;
+    }
+    if (msg->kind == Msg::Kind::kEof) {
+      eof_received_ = true;
+      continue;  // flush then close
+    }
+    const Status status = codec_->Serialize(*msg, tx_);
+    if (!status.ok()) {
+      // Output pool exhausted: treat as fatal for this connection rather than
+      // silently dropping bytes mid-stream.
+      conn_->Close();
+      closed_.store(true, std::memory_order_release);
+      return TaskRunResult::kIdle;
+    }
+    ++messages_out_;
+    ctx.ItemDone();
+    if (ctx.ShouldYield()) {
+      return TaskRunResult::kMoreWork;
+    }
+  }
+}
+
+}  // namespace flick::runtime

@@ -1,0 +1,91 @@
+// Input and output tasks (§3.2): the edges of every task graph.
+//
+//   InputTask:  connection -> deserialiser -> output channel (typed values)
+//   OutputTask: input channel -> serialiser -> connection
+//
+// Both are cooperative: they poll TaskContext::ShouldYield() per message and
+// propagate shutdown with an EOF Msg (input side) / connection close (output
+// side). Connection EOF decrements the owning graph's live-input count.
+#ifndef FLICK_RUNTIME_IO_TASKS_H_
+#define FLICK_RUNTIME_IO_TASKS_H_
+
+#include <memory>
+
+#include "buffer/buffer_chain.h"
+#include "net/transport.h"
+#include "runtime/channel.h"
+#include "runtime/codec.h"
+#include "runtime/msg.h"
+#include "runtime/task.h"
+
+namespace flick::runtime {
+
+class InputTask : public Task {
+ public:
+  InputTask(std::string name, std::unique_ptr<Connection> conn,
+            std::unique_ptr<Deserializer> codec, Channel* out, MsgPool* msgs,
+            BufferPool* buffers);
+  ~InputTask() override;
+
+  TaskRunResult Run(TaskContext& ctx) override;
+
+  Connection* connection() const { return conn_.get(); }
+  bool closed() const { return closed_.load(std::memory_order_acquire); }
+  uint64_t messages_in() const { return messages_in_; }
+
+  // Replaces the connection (graph reuse from the pool).
+  void Rebind(std::unique_ptr<Connection> conn);
+
+ private:
+  // Pushes `pending_` downstream; false if the channel is full.
+  bool FlushPending();
+  void EmitEof();
+
+  std::unique_ptr<Connection> conn_;
+  std::unique_ptr<Deserializer> codec_;
+  Channel* out_;
+  MsgPool* msgs_;
+  BufferChain rx_;
+  MsgRef parse_msg_;      // in-progress parse target (survives kNeedMore)
+  MsgRef pending_;        // parsed but not yet accepted by the channel
+  bool eof_pending_ = false;
+  bool eof_sent_ = false;
+  std::atomic<bool> closed_{false};
+  uint64_t messages_in_ = 0;
+};
+
+class OutputTask : public Task {
+ public:
+  OutputTask(std::string name, std::unique_ptr<Connection> conn,
+             std::unique_ptr<Serializer> codec, Channel* in, BufferPool* buffers);
+  ~OutputTask() override;
+
+  TaskRunResult Run(TaskContext& ctx) override;
+
+  Connection* connection() const { return conn_.get(); }
+  bool closed() const { return closed_.load(std::memory_order_acquire); }
+  uint64_t messages_out() const { return messages_out_; }
+
+  void Rebind(std::unique_ptr<Connection> conn);
+
+  // When set, receiving EOF closes the connection after flushing (default).
+  // Cleared for shared backend connections that outlive one client.
+  void set_close_on_eof(bool v) { close_on_eof_ = v; }
+
+ private:
+  // Writes buffered bytes to the connection; false on fatal transport error.
+  bool FlushWire();
+
+  std::unique_ptr<Connection> conn_;
+  std::unique_ptr<Serializer> codec_;
+  Channel* in_;
+  BufferChain tx_;
+  bool close_on_eof_ = true;
+  bool eof_received_ = false;
+  std::atomic<bool> closed_{false};
+  uint64_t messages_out_ = 0;
+};
+
+}  // namespace flick::runtime
+
+#endif  // FLICK_RUNTIME_IO_TASKS_H_

@@ -1,0 +1,67 @@
+#include "runtime/msg.h"
+
+namespace flick::runtime {
+
+MsgRef& MsgRef::operator=(MsgRef&& other) noexcept {
+  if (this != &other) {
+    Release();
+    msg_ = other.msg_;
+    pool_ = other.pool_;
+    other.msg_ = nullptr;
+    other.pool_ = nullptr;
+  }
+  return *this;
+}
+
+void MsgRef::Release() {
+  if (msg_ != nullptr) {
+    if (pool_ != nullptr) {
+      pool_->Release(msg_);
+    } else {
+      delete msg_;
+    }
+    msg_ = nullptr;
+    pool_ = nullptr;
+  }
+}
+
+MsgPool::MsgPool(size_t count) {
+  storage_.reserve(count);
+  free_.reserve(count);
+  for (size_t i = 0; i < count; ++i) {
+    storage_.push_back(std::make_unique<Msg>());
+    free_.push_back(storage_.back().get());
+  }
+}
+
+MsgPool::~MsgPool() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  FLICK_CHECK(free_.size() == storage_.size());  // all messages returned
+}
+
+MsgRef MsgPool::Acquire() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (!free_.empty()) {
+      Msg* msg = free_.back();
+      free_.pop_back();
+      msg->Clear();
+      return MsgRef(msg, this);
+    }
+    ++overflow_;
+  }
+  // Pool dry: heap-allocate an unpooled message (freed on release).
+  return MsgRef(new Msg(), nullptr);
+}
+
+void MsgPool::Release(Msg* msg) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  free_.push_back(msg);
+}
+
+size_t MsgPool::overflow_count() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return overflow_;
+}
+
+}  // namespace flick::runtime

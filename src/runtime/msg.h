@@ -1,0 +1,97 @@
+// The value that flows through task channels.
+//
+// A Msg carries exactly one of: a parsed grammar message, a parsed HTTP
+// message, or a raw byte chunk (pass-through paths, e.g. the HTTP load
+// balancer's return leg, §6.1: "no computation or parsing is needed").
+// Control metadata rides along: origin connection, selected output index and
+// an EOF marker that propagates connection shutdown through the graph.
+//
+// Msg objects are pooled (MsgPool) so the steady-state data path does not
+// allocate; their internal buffers (grammar arena, HTTP strings) retain
+// capacity across reuse.
+#ifndef FLICK_RUNTIME_MSG_H_
+#define FLICK_RUNTIME_MSG_H_
+
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "grammar/message.h"
+#include "proto/http.h"
+
+namespace flick::runtime {
+
+struct Msg {
+  enum class Kind { kGrammar, kHttp, kBytes, kEof };
+
+  Kind kind = Kind::kBytes;
+  grammar::Message gmsg;
+  proto::HttpMessage http;
+  std::string bytes;
+
+  uint64_t conn_id = 0;   // connection the message arrived on
+  int route = -1;         // compute-task routing decision (output index)
+
+  void Clear() {
+    kind = Kind::kBytes;
+    bytes.clear();
+    http.Reset();
+    conn_id = 0;
+    route = -1;
+  }
+};
+
+class MsgPool;
+
+// unique_ptr-style handle returning the Msg to its pool.
+class MsgRef {
+ public:
+  MsgRef() = default;
+  MsgRef(Msg* msg, MsgPool* pool) : msg_(msg), pool_(pool) {}
+  MsgRef(MsgRef&& other) noexcept : msg_(other.msg_), pool_(other.pool_) {
+    other.msg_ = nullptr;
+    other.pool_ = nullptr;
+  }
+  MsgRef& operator=(MsgRef&& other) noexcept;
+  MsgRef(const MsgRef&) = delete;
+  MsgRef& operator=(const MsgRef&) = delete;
+  ~MsgRef() { Release(); }
+
+  Msg* get() const { return msg_; }
+  Msg* operator->() const { return msg_; }
+  Msg& operator*() const { return *msg_; }
+  explicit operator bool() const { return msg_ != nullptr; }
+
+  void Release();
+
+ private:
+  Msg* msg_ = nullptr;
+  MsgPool* pool_ = nullptr;
+};
+
+// Pre-allocated message pool. Unlike BufferPool, exhaustion falls back to
+// heap allocation with a stat bump (messages are control-plane-sized; hard
+// failure would complicate every compute task for little gain).
+class MsgPool {
+ public:
+  explicit MsgPool(size_t count);
+  ~MsgPool();
+
+  MsgRef Acquire();
+
+  size_t overflow_count() const;
+
+ private:
+  friend class MsgRef;
+  void Release(Msg* msg);
+
+  mutable std::mutex mutex_;
+  std::vector<std::unique_ptr<Msg>> storage_;
+  std::vector<Msg*> free_;
+  size_t overflow_ = 0;
+};
+
+}  // namespace flick::runtime
+
+#endif  // FLICK_RUNTIME_MSG_H_

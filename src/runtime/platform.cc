@@ -1,0 +1,58 @@
+#include "runtime/platform.h"
+
+#include "base/logging.h"
+
+namespace flick::runtime {
+
+Platform::Platform(PlatformConfig config, Transport* transport)
+    : config_(config), transport_(transport) {
+  scheduler_ = std::make_unique<Scheduler>(config_.scheduler);
+  poller_ = std::make_unique<IoPoller>(scheduler_.get(), config_.poll_interval_ns);
+  buffers_ = std::make_unique<BufferPool>(config_.io_buffer_count, config_.io_buffer_size);
+  msgs_ = std::make_unique<MsgPool>(config_.msg_pool_size);
+  state_ = std::make_unique<StateStore>(config_.state_entries_per_dict);
+  env_ = PlatformEnv{scheduler_.get(), poller_.get(), buffers_.get(),
+                     msgs_.get(),      state_.get(),  transport_};
+}
+
+Platform::~Platform() { Stop(); }
+
+Status Platform::RegisterProgram(uint16_t port, ServiceProgram* program) {
+  auto listener = transport_->Listen(port);
+  if (!listener.ok()) {
+    return listener.status();
+  }
+  Listener* raw = listener->get();
+  listeners_.push_back(std::move(listener).value());
+  poller_->AddListener(raw, [this, program](std::unique_ptr<Connection> conn) {
+    program->OnConnection(std::move(conn), env_);
+  });
+  FLICK_LOG(Info) << "program '" << program->name() << "' listening on port "
+                  << raw->port();
+  return OkStatus();
+}
+
+void Platform::Start() {
+  if (started_) {
+    return;
+  }
+  started_ = true;
+  scheduler_->Start();
+  poller_->Start();
+}
+
+void Platform::Stop() {
+  if (!started_) {
+    return;
+  }
+  started_ = false;
+  // Stop accepting/notifying first, then stop workers: no task can be
+  // notified once both are down.
+  poller_->Stop();
+  scheduler_->Stop();
+  for (auto& l : listeners_) {
+    l->Close();
+  }
+}
+
+}  // namespace flick::runtime

@@ -1,0 +1,93 @@
+// The FLICK platform facade (Figure 2).
+//
+// Owns the scheduler, IO poller, buffer/message pools and global state store;
+// hosts program instances. The application dispatcher maps a listening port
+// to a program (§5 (i)); each program's OnConnection implements the graph
+// dispatcher role (§5 (ii)) — typically via a GraphPool.
+//
+// Multiple programs share one platform: that is the multi-tenancy the
+// cooperative scheduler exists for (§6.4).
+#ifndef FLICK_RUNTIME_PLATFORM_H_
+#define FLICK_RUNTIME_PLATFORM_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "buffer/buffer_pool.h"
+#include "net/transport.h"
+#include "runtime/io_poller.h"
+#include "runtime/msg.h"
+#include "runtime/scheduler.h"
+#include "runtime/state_store.h"
+#include "runtime/task_graph.h"
+
+namespace flick::runtime {
+
+struct PlatformConfig {
+  SchedulerConfig scheduler;
+  size_t io_buffer_count = 4096;
+  size_t io_buffer_size = 16 * 1024;
+  size_t msg_pool_size = 4096;
+  uint64_t poll_interval_ns = 5'000;
+  size_t state_entries_per_dict = 65536;
+};
+
+// Everything a program needs to build and run task graphs.
+struct PlatformEnv {
+  Scheduler* scheduler = nullptr;
+  IoPoller* poller = nullptr;
+  BufferPool* buffers = nullptr;
+  MsgPool* msgs = nullptr;
+  StateStore* state = nullptr;
+  Transport* transport = nullptr;
+};
+
+// A network service: receives each accepted client connection (on the poller
+// thread) and wires it into a task graph.
+class ServiceProgram {
+ public:
+  virtual ~ServiceProgram() = default;
+
+  virtual const char* name() const = 0;
+  virtual void OnConnection(std::unique_ptr<Connection> conn, PlatformEnv& env) = 0;
+};
+
+class Platform {
+ public:
+  Platform(PlatformConfig config, Transport* transport);
+  ~Platform();
+
+  Platform(const Platform&) = delete;
+  Platform& operator=(const Platform&) = delete;
+
+  // Application dispatcher: binds `program` to `port`. The platform keeps a
+  // non-owning pointer; programs must outlive Stop().
+  Status RegisterProgram(uint16_t port, ServiceProgram* program);
+
+  void Start();
+  void Stop();
+
+  PlatformEnv& env() { return env_; }
+  Scheduler& scheduler() { return *scheduler_; }
+  IoPoller& poller() { return *poller_; }
+  BufferPool& buffers() { return *buffers_; }
+  MsgPool& msgs() { return *msgs_; }
+  StateStore& state() { return *state_; }
+
+ private:
+  PlatformConfig config_;
+  Transport* transport_;
+  std::unique_ptr<Scheduler> scheduler_;
+  std::unique_ptr<IoPoller> poller_;
+  std::unique_ptr<BufferPool> buffers_;
+  std::unique_ptr<MsgPool> msgs_;
+  std::unique_ptr<StateStore> state_;
+  PlatformEnv env_;
+  std::vector<std::unique_ptr<Listener>> listeners_;
+  bool started_ = false;
+};
+
+}  // namespace flick::runtime
+
+#endif  // FLICK_RUNTIME_PLATFORM_H_

@@ -1,0 +1,180 @@
+#include "runtime/scheduler.h"
+
+#include <pthread.h>
+#include <sched.h>
+
+#include <chrono>
+
+#include "base/hash.h"
+#include "base/logging.h"
+
+namespace flick::runtime {
+
+Scheduler::Scheduler(SchedulerConfig config) : config_(config) {
+  FLICK_CHECK(config_.num_workers > 0);
+  workers_.reserve(static_cast<size_t>(config_.num_workers));
+  for (int i = 0; i < config_.num_workers; ++i) {
+    workers_.push_back(std::make_unique<Worker>());
+  }
+}
+
+Scheduler::~Scheduler() { Stop(); }
+
+void Scheduler::Start() {
+  bool expected = false;
+  if (!running_.compare_exchange_strong(expected, true)) {
+    return;
+  }
+  for (int i = 0; i < config_.num_workers; ++i) {
+    workers_[static_cast<size_t>(i)]->thread = std::thread([this, i] { WorkerLoop(i); });
+    if (config_.pin_threads) {
+      cpu_set_t set;
+      CPU_ZERO(&set);
+      CPU_SET(static_cast<size_t>(i) % std::thread::hardware_concurrency(), &set);
+      // Best effort; pinning failures (e.g. restricted cpusets) are benign.
+      pthread_setaffinity_np(workers_[static_cast<size_t>(i)]->thread.native_handle(),
+                             sizeof(set), &set);
+    }
+  }
+}
+
+void Scheduler::Stop() {
+  bool expected = true;
+  if (!running_.compare_exchange_strong(expected, false)) {
+    return;
+  }
+  for (auto& w : workers_) {
+    w->notifier.Notify();
+  }
+  for (auto& w : workers_) {
+    if (w->thread.joinable()) {
+      w->thread.join();
+    }
+  }
+}
+
+int Scheduler::HomeQueue(const Task* task) const {
+  const uint64_t key = task->affinity_key != 0 ? task->affinity_key : task->id();
+  return static_cast<int>(MixU64(key) % static_cast<uint64_t>(config_.num_workers));
+}
+
+void Scheduler::Enqueue(Task* task) {
+  Worker& w = *workers_[static_cast<size_t>(HomeQueue(task))];
+  {
+    std::lock_guard<std::mutex> lock(w.mutex);
+    w.queue.PushBack(task);
+  }
+  w.notifier.Notify();
+}
+
+void Scheduler::NotifyRunnable(Task* task) {
+  notifications_.fetch_add(1, std::memory_order_relaxed);
+  auto state = task->sched_state.load(std::memory_order_acquire);
+  while (true) {
+    switch (state) {
+      case Task::SchedState::kIdle:
+        if (task->sched_state.compare_exchange_weak(state, Task::SchedState::kQueued,
+                                                    std::memory_order_acq_rel)) {
+          Enqueue(task);
+          return;
+        }
+        break;  // state reloaded; retry
+      case Task::SchedState::kRunning:
+        if (task->sched_state.compare_exchange_weak(state, Task::SchedState::kRunningNotified,
+                                                    std::memory_order_acq_rel)) {
+          return;  // the running worker will requeue on return
+        }
+        break;
+      case Task::SchedState::kQueued:
+      case Task::SchedState::kRunningNotified:
+        return;  // already pending
+    }
+  }
+}
+
+void Scheduler::Quiesce(Task* task) {
+  while (task->sched_state.load(std::memory_order_acquire) != Task::SchedState::kIdle) {
+    std::this_thread::yield();
+  }
+}
+
+Task* Scheduler::PopLocal(Worker& w) {
+  std::lock_guard<std::mutex> lock(w.mutex);
+  return w.queue.PopFront();
+}
+
+Task* Scheduler::Steal(int thief_index) {
+  // Scan siblings round-robin starting after the thief (§5: "the worker
+  // attempts to scavenge work from other queues").
+  const int n = config_.num_workers;
+  for (int d = 1; d < n; ++d) {
+    Worker& victim = *workers_[static_cast<size_t>((thief_index + d) % n)];
+    std::lock_guard<std::mutex> lock(victim.mutex);
+    Task* task = victim.queue.PopFront();
+    if (task != nullptr) {
+      return task;
+    }
+  }
+  return nullptr;
+}
+
+void Scheduler::WorkerLoop(int index) {
+  Worker& self = *workers_[static_cast<size_t>(index)];
+  TaskContext ctx(config_.policy, config_.timeslice_ns, index);
+
+  while (running_.load(std::memory_order_acquire)) {
+    Task* task = PopLocal(self);
+    if (task == nullptr) {
+      task = Steal(index);
+      if (task != nullptr) {
+        self.steals++;
+      }
+    }
+    if (task == nullptr) {
+      const uint64_t token = self.notifier.PrepareWait();
+      // Re-check after arming the waiter to avoid a lost wakeup.
+      {
+        std::lock_guard<std::mutex> lock(self.mutex);
+        if (!self.queue.empty()) {
+          continue;
+        }
+      }
+      if (!running_.load(std::memory_order_acquire)) {
+        break;
+      }
+      self.notifier.Wait(token, std::chrono::nanoseconds(config_.idle_sleep_ns));
+      continue;
+    }
+
+    task->sched_state.store(Task::SchedState::kRunning, std::memory_order_release);
+    ctx.BeginSlice();
+    const uint64_t t0 = MonotonicNanos();
+    const TaskRunResult result = task->Run(ctx);
+    task->run_ns.fetch_add(MonotonicNanos() - t0, std::memory_order_relaxed);
+    task->run_count.fetch_add(1, std::memory_order_relaxed);
+    self.tasks_run++;
+
+    auto state = Task::SchedState::kRunning;
+    if (result == TaskRunResult::kMoreWork) {
+      task->sched_state.store(Task::SchedState::kQueued, std::memory_order_release);
+      Enqueue(task);
+    } else if (!task->sched_state.compare_exchange_strong(state, Task::SchedState::kIdle,
+                                                          std::memory_order_acq_rel)) {
+      // A notification arrived while running: requeue.
+      task->sched_state.store(Task::SchedState::kQueued, std::memory_order_release);
+      Enqueue(task);
+    }
+  }
+}
+
+SchedulerStats Scheduler::stats() const {
+  SchedulerStats s;
+  for (const auto& w : workers_) {
+    s.tasks_run += w->tasks_run;
+    s.steals += w->steals;
+  }
+  s.notifications = notifications_.load(std::memory_order_relaxed);
+  return s;
+}
+
+}  // namespace flick::runtime

@@ -1,0 +1,89 @@
+// Cooperative task scheduler (§5).
+//
+//   * fixed worker pool, one FIFO run queue per worker, threads pinned to
+//     cores (best effort);
+//   * task -> queue affinity by hash of the task id ("when a task is to be
+//     scheduled, it is always added to the same queue to reduce cache
+//     misses");
+//   * idle workers scavenge work from sibling queues, then sleep until
+//     notified;
+//   * the policy (cooperative / non-cooperative / round-robin, §6.4) decides
+//     when TaskContext::ShouldYield() fires inside Task::Run.
+#ifndef FLICK_RUNTIME_SCHEDULER_H_
+#define FLICK_RUNTIME_SCHEDULER_H_
+
+#include <atomic>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "base/intrusive_list.h"
+#include "concurrency/notifier.h"
+#include "runtime/task.h"
+
+namespace flick::runtime {
+
+struct SchedulerConfig {
+  int num_workers = 2;
+  SchedulingPolicy policy = SchedulingPolicy::kCooperative;
+  uint64_t timeslice_ns = 50'000;  // 50us, middle of the paper's 10-100us band
+  bool pin_threads = true;
+  uint64_t idle_sleep_ns = 100'000;  // sleep bound while queues are empty
+};
+
+struct SchedulerStats {
+  uint64_t tasks_run = 0;
+  uint64_t steals = 0;
+  uint64_t notifications = 0;
+};
+
+class Scheduler {
+ public:
+  explicit Scheduler(SchedulerConfig config);
+  ~Scheduler();
+
+  Scheduler(const Scheduler&) = delete;
+  Scheduler& operator=(const Scheduler&) = delete;
+
+  void Start();
+  void Stop();  // drains nothing: pending queue entries are dropped
+
+  // Marks `task` runnable. Safe from any thread, including from inside
+  // Task::Run. The task must outlive the scheduler or be quiesced first
+  // (see Quiesce).
+  void NotifyRunnable(Task* task);
+
+  // Blocks until `task` is neither queued nor running. Callers must ensure no
+  // further notifications for the task arrive; used when retiring graphs.
+  void Quiesce(Task* task);
+
+  const SchedulerConfig& config() const { return config_; }
+  SchedulerStats stats() const;
+  int num_workers() const { return config_.num_workers; }
+
+ private:
+  struct Worker {
+    std::mutex mutex;
+    IntrusiveList<Task, &Task::queue_node> queue;
+    Notifier notifier;
+    std::thread thread;
+    uint64_t tasks_run = 0;
+    uint64_t steals = 0;
+  };
+
+  void WorkerLoop(int index);
+  Task* PopLocal(Worker& w);
+  Task* Steal(int thief_index);
+  int HomeQueue(const Task* task) const;
+  void Enqueue(Task* task);
+
+  SchedulerConfig config_;
+  std::vector<std::unique_ptr<Worker>> workers_;
+  std::atomic<bool> running_{false};
+  std::atomic<uint64_t> notifications_{0};
+};
+
+}  // namespace flick::runtime
+
+#endif  // FLICK_RUNTIME_SCHEDULER_H_

@@ -1,0 +1,100 @@
+// Long-term state shared across task-graph instances (§4.3: "a key/value
+// abstraction ... the programmer declares a dictionary and labels it with a
+// global qualifier. Multiple instances of the service share the key/value
+// store.").
+//
+// Dictionaries are named; entries are bounded per dictionary with FIFO
+// eviction so a FLICK program's memory stays bounded regardless of traffic.
+#ifndef FLICK_RUNTIME_STATE_STORE_H_
+#define FLICK_RUNTIME_STATE_STORE_H_
+
+#include <deque>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <unordered_map>
+
+namespace flick::runtime {
+
+class StateStore {
+ public:
+  explicit StateStore(size_t max_entries_per_dict = 65536)
+      : max_entries_(max_entries_per_dict) {}
+
+  std::optional<std::string> Get(const std::string& dict, const std::string& key) const {
+    const size_t shard = ShardIndex(dict, key);
+    std::lock_guard<std::mutex> lock(shards_[shard].mutex);
+    const auto dict_it = shards_[shard].dicts.find(dict);
+    if (dict_it == shards_[shard].dicts.end()) {
+      return std::nullopt;
+    }
+    const auto it = dict_it->second.map.find(key);
+    if (it == dict_it->second.map.end()) {
+      return std::nullopt;
+    }
+    return it->second;
+  }
+
+  void Put(const std::string& dict, const std::string& key, std::string value) {
+    const size_t shard = ShardIndex(dict, key);
+    std::lock_guard<std::mutex> lock(shards_[shard].mutex);
+    Dict& d = shards_[shard].dicts[dict];
+    auto [it, inserted] = d.map.try_emplace(key, std::move(value));
+    if (!inserted) {
+      it->second = std::move(value);
+      return;
+    }
+    d.fifo.push_back(key);
+    // Bounded: evict oldest insertions. Sharding makes the bound per-shard.
+    while (d.fifo.size() > max_entries_ / kShards + 1) {
+      d.map.erase(d.fifo.front());
+      d.fifo.pop_front();
+    }
+  }
+
+  bool Erase(const std::string& dict, const std::string& key) {
+    const size_t shard = ShardIndex(dict, key);
+    std::lock_guard<std::mutex> lock(shards_[shard].mutex);
+    auto dict_it = shards_[shard].dicts.find(dict);
+    if (dict_it == shards_[shard].dicts.end()) {
+      return false;
+    }
+    return dict_it->second.map.erase(key) > 0;
+  }
+
+  size_t Size(const std::string& dict) const {
+    size_t total = 0;
+    for (const Shard& s : shards_) {
+      std::lock_guard<std::mutex> lock(s.mutex);
+      const auto it = s.dicts.find(dict);
+      if (it != s.dicts.end()) {
+        total += it->second.map.size();
+      }
+    }
+    return total;
+  }
+
+ private:
+  static constexpr size_t kShards = 16;
+
+  struct Dict {
+    std::unordered_map<std::string, std::string> map;
+    std::deque<std::string> fifo;
+  };
+  struct Shard {
+    mutable std::mutex mutex;
+    std::unordered_map<std::string, Dict> dicts;
+  };
+
+  static size_t ShardIndex(const std::string& dict, const std::string& key) {
+    size_t h = std::hash<std::string>{}(key) ^ (std::hash<std::string>{}(dict) << 1);
+    return h % kShards;
+  }
+
+  const size_t max_entries_;
+  Shard shards_[kShards];
+};
+
+}  // namespace flick::runtime
+
+#endif  // FLICK_RUNTIME_STATE_STORE_H_

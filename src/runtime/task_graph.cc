@@ -1,0 +1,43 @@
+#include "runtime/task_graph.h"
+
+namespace flick::runtime {
+
+GraphPool::GraphPool(Factory factory, size_t preallocate) : factory_(std::move(factory)) {
+  for (size_t i = 0; i < preallocate; ++i) {
+    all_.push_back(factory_());
+    free_.PushBack(all_.back().get());
+  }
+}
+
+TaskGraph* GraphPool::Acquire() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    TaskGraph* graph = free_.PopFront();
+    if (graph != nullptr) {
+      return graph;
+    }
+  }
+  // Pool dry: build outside the lock, register under it.
+  auto fresh = factory_();
+  TaskGraph* raw = fresh.get();
+  std::lock_guard<std::mutex> lock(mutex_);
+  all_.push_back(std::move(fresh));
+  return raw;
+}
+
+void GraphPool::Release(TaskGraph* graph) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  free_.PushBack(graph);
+}
+
+size_t GraphPool::available() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return free_.size();
+}
+
+size_t GraphPool::total_built() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return all_.size();
+}
+
+}  // namespace flick::runtime

@@ -1,0 +1,110 @@
+// Task graph container and pre-allocated graph pool (§5 (ii): "The platform
+// maintains a pre-allocated pool of task graphs to avoid the overhead of
+// construction").
+//
+// A TaskGraph owns its tasks and channels. Graphs are built once by a
+// factory, bound to live connections by the program's dispatch logic, and
+// returned to the pool when all their IO tasks have closed.
+#ifndef FLICK_RUNTIME_TASK_GRAPH_H_
+#define FLICK_RUNTIME_TASK_GRAPH_H_
+
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "runtime/channel.h"
+#include "runtime/io_tasks.h"
+#include "runtime/task.h"
+
+namespace flick::runtime {
+
+class TaskGraph {
+ public:
+  explicit TaskGraph(std::string name)
+      : name_(std::move(name)),
+        affinity_key_(next_graph_id_.fetch_add(1, std::memory_order_relaxed)) {}
+
+  const std::string& name() const { return name_; }
+  uint64_t affinity_key() const { return affinity_key_; }
+
+  // --- construction ----------------------------------------------------------
+  Channel* AddChannel(size_t capacity) {
+    channels_.push_back(std::make_unique<Channel>(capacity));
+    return channels_.back().get();
+  }
+
+  template <typename T, typename... Args>
+  T* AddTask(Args&&... args) {
+    auto task = std::make_unique<T>(std::forward<Args>(args)...);
+    T* raw = task.get();
+    raw->affinity_key = affinity_key_;  // co-schedule the whole graph
+    tasks_.push_back(std::move(task));
+    if constexpr (std::is_base_of_v<InputTask, T>) {
+      input_tasks_.push_back(raw);
+    } else if constexpr (std::is_base_of_v<OutputTask, T>) {
+      output_tasks_.push_back(raw);
+    }
+    return raw;
+  }
+
+  const std::vector<std::unique_ptr<Task>>& tasks() const { return tasks_; }
+  const std::vector<InputTask*>& input_tasks() const { return input_tasks_; }
+  const std::vector<OutputTask*>& output_tasks() const { return output_tasks_; }
+  size_t channel_count() const { return channels_.size(); }
+
+  // True when every IO task has closed its connection — the §5 condition
+  // "when a task graph has no more active input channels, it is shut down".
+  bool AllIoClosed() const {
+    for (const InputTask* t : input_tasks_) {
+      if (!t->closed()) {
+        return false;
+      }
+    }
+    for (const OutputTask* t : output_tasks_) {
+      if (!t->closed()) {
+        return false;
+      }
+    }
+    return !input_tasks_.empty() || !output_tasks_.empty();
+  }
+
+  IntrusiveListNode pool_node;  // free-list linkage inside GraphPool
+
+ private:
+  static inline std::atomic<uint64_t> next_graph_id_{1};
+
+  std::string name_;
+  uint64_t affinity_key_;
+  std::vector<std::unique_ptr<Task>> tasks_;
+  std::vector<std::unique_ptr<Channel>> channels_;
+  std::vector<InputTask*> input_tasks_;
+  std::vector<OutputTask*> output_tasks_;
+};
+
+// Pool of ready-built graphs for one program. Thread safe.
+class GraphPool {
+ public:
+  using Factory = std::function<std::unique_ptr<TaskGraph>()>;
+
+  GraphPool(Factory factory, size_t preallocate);
+
+  // Pops a pooled graph or builds a fresh one.
+  TaskGraph* Acquire();
+
+  // Returns a retired graph to the pool.
+  void Release(TaskGraph* graph);
+
+  size_t available() const;
+  size_t total_built() const;
+
+ private:
+  Factory factory_;
+  mutable std::mutex mutex_;
+  std::vector<std::unique_ptr<TaskGraph>> all_;
+  IntrusiveList<TaskGraph, &TaskGraph::pool_node> free_;
+};
+
+}  // namespace flick::runtime
+
+#endif  // FLICK_RUNTIME_TASK_GRAPH_H_

@@ -1,0 +1,166 @@
+#include "services/dsl_service.h"
+
+#include "runtime/compute_task.h"
+#include "runtime/io_tasks.h"
+
+namespace flick::services {
+
+// Listing 1's caching Memcached router, with the `cmd` type declared against
+// the REAL binary protocol header (paper Listing 2 layout: magic, opcode,
+// key/extras lengths, status, 4-byte total body length, opaque, cas) so the
+// service interoperates with genuine Memcached peers. Anonymous '_' fields
+// are framed and preserved but inaccessible to the program.
+const char kMemcachedRouterSource[] = R"(
+type cmd: record
+    _ : string {size=1}
+    opcode : string {size=1}
+    keylen : integer {signed=false, size=2}
+    extraslen : integer {signed=false, size=1}
+    _ : string {size=1}
+    _ : string {size=2}
+    bodylen : integer {signed=false, size=4}
+    _ : string {size=4}
+    _ : string {size=8}
+    _ : string {size=extraslen}
+    key : string {size=keylen}
+    _ : string {size=bodylen-extraslen-keylen}
+
+proc memcached: (cmd/cmd client, [cmd/cmd] backends)
+    global cache := empty_dict
+    backends => update_cache(cache) => client
+    client => test_cache(client, backends, cache)
+
+fun update_cache: (cache: ref dict<string*string>, resp: cmd) -> (cmd)
+    if resp.opcode = 0x0c:
+        cache[resp.key] := resp
+    resp
+
+fun test_cache: (-/cmd client, [-/cmd] backends, cache: ref dict<string*string>, req: cmd) -> ()
+    if cache[req.key] = None or req.opcode <> 0x0c:
+        let target = hash(req.key) mod len(backends)
+        req => backends[target]
+    else:
+        cache[req.key] => client
+)";
+
+Result<std::unique_ptr<DslService>> DslService::Create(const std::string& source,
+                                                       const std::string& proc_name,
+                                                       std::vector<uint16_t> backend_ports) {
+  auto compiled = lang::CompileSource(source);
+  if (!compiled.ok()) {
+    return compiled.status();
+  }
+  auto service = std::unique_ptr<DslService>(new DslService());
+  service->program_ = std::move(compiled).value();
+  service->proc_ = service->program_->ast.FindProc(proc_name);
+  if (service->proc_ == nullptr) {
+    return NotFound("no proc named '" + proc_name + "'");
+  }
+  service->name_ = "dsl:" + proc_name;
+  service->backend_ports_ = std::move(backend_ports);
+
+  // Identify the scalar client channel and the backend channel array, and
+  // the units for their inbound element types.
+  for (const lang::Param& p : service->proc_->params) {
+    if (!p.channel.has_value()) {
+      continue;
+    }
+    if (p.channel->is_array) {
+      service->backends_param_ = p.name;
+      if (p.channel->in_type != "-") {
+        service->backend_in_unit_ = service->program_->UnitFor(p.channel->in_type);
+      }
+    } else {
+      service->client_param_ = p.name;
+      if (p.channel->in_type != "-") {
+        service->client_in_unit_ = service->program_->UnitFor(p.channel->in_type);
+      }
+    }
+  }
+  if (service->client_param_.empty()) {
+    return InvalidArgument("proc must declare a scalar client channel");
+  }
+  if (!service->backends_param_.empty() && service->backend_ports_.empty()) {
+    return InvalidArgument("proc declares a backend array but no backend ports given");
+  }
+  return Result<std::unique_ptr<DslService>>(std::move(service));
+}
+
+void DslService::OnConnection(std::unique_ptr<Connection> conn,
+                              runtime::PlatformEnv& env) {
+  const size_t n = backend_ports_.size();
+  std::vector<std::unique_ptr<Connection>> backend_conns;
+  for (uint16_t port : backend_ports_) {
+    auto bc = env.transport->Connect(port);
+    if (!bc.ok()) {
+      conn->Close();
+      return;
+    }
+    backend_conns.push_back(std::move(bc).value());
+  }
+
+  auto graph = std::make_unique<runtime::TaskGraph>(name_);
+  runtime::Channel* client_in_ch = graph->AddChannel(128);
+  runtime::Channel* client_out_ch = graph->AddChannel(128);
+  std::vector<runtime::Channel*> backend_in_chs, backend_out_chs;
+  for (size_t b = 0; b < n; ++b) {
+    backend_in_chs.push_back(graph->AddChannel(64));
+    backend_out_chs.push_back(graph->AddChannel(64));
+  }
+
+  // Wiring: compute input 0 / output 0 = client; 1..n = backends.
+  lang::ProcWiring wiring;
+  wiring.endpoints[client_param_].inputs = {0};
+  wiring.endpoints[client_param_].outputs = {0};
+  for (size_t b = 0; b < n; ++b) {
+    wiring.endpoints[backends_param_].inputs.push_back(1 + b);
+    wiring.endpoints[backends_param_].outputs.push_back(1 + b);
+  }
+
+  auto* compute = graph->AddTask<runtime::ComputeTask>(
+      "proc:" + proc_->name,
+      lang::MakeProcHandler(program_, proc_, wiring, env.state, proc_->name), env.msgs);
+  compute->AddInput(client_in_ch, env.scheduler);
+  for (runtime::Channel* ch : backend_in_chs) {
+    compute->AddInput(ch, env.scheduler);
+  }
+  compute->AddOutput(client_out_ch);
+  for (runtime::Channel* ch : backend_out_chs) {
+    compute->AddOutput(ch);
+  }
+
+  Connection* client_raw = conn.get();
+  std::vector<Connection*> watch{client_raw};
+
+  auto* client_in = graph->AddTask<runtime::InputTask>(
+      "client-in", std::move(conn),
+      std::make_unique<runtime::GrammarDeserializer>(client_in_unit_), client_in_ch,
+      env.msgs, env.buffers);
+  auto* client_out = graph->AddTask<runtime::OutputTask>(
+      "client-out", std::make_unique<SharedConn>(client_raw),
+      std::make_unique<runtime::GrammarSerializer>(client_in_unit_), client_out_ch,
+      env.buffers);
+  client_out_ch->BindConsumer(client_out, env.scheduler);
+
+  for (size_t b = 0; b < n; ++b) {
+    Connection* braw = backend_conns[b].get();
+    auto* bout = graph->AddTask<runtime::OutputTask>(
+        "backend-out-" + std::to_string(b), std::move(backend_conns[b]),
+        std::make_unique<runtime::GrammarSerializer>(backend_in_unit_),
+        backend_out_chs[b], env.buffers);
+    backend_out_chs[b]->BindConsumer(bout, env.scheduler);
+    auto* bin = graph->AddTask<runtime::InputTask>(
+        "backend-in-" + std::to_string(b), std::make_unique<SharedConn>(braw),
+        std::make_unique<runtime::GrammarDeserializer>(backend_in_unit_),
+        backend_in_chs[b], env.msgs, env.buffers);
+    env.poller->WatchConnection(braw, bin);
+    env.scheduler->NotifyRunnable(bin);
+    watch.push_back(braw);
+  }
+
+  env.poller->WatchConnection(client_raw, client_in);
+  env.scheduler->NotifyRunnable(client_in);
+  registry_.Adopt(std::move(graph), std::move(watch), env);
+}
+
+}  // namespace flick::services

@@ -1,0 +1,55 @@
+// DSL-driven network service: runs a compiled FLICK program (Listing 1's
+// caching Memcached router by default) as a live middlebox.
+//
+// This is the full paper pipeline: FLICK source -> compiler (parser + checker
+// + unit synthesis) -> per-connection task graph whose compute task executes
+// the proc's pipeline rules -> platform.
+#ifndef FLICK_SERVICES_DSL_SERVICE_H_
+#define FLICK_SERVICES_DSL_SERVICE_H_
+
+#include <atomic>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "lang/compile.h"
+#include "runtime/platform.h"
+#include "services/service_util.h"
+
+namespace flick::services {
+
+// The paper's Listing 1 (caching Memcached router) in FLICK source form.
+extern const char kMemcachedRouterSource[];
+
+class DslService : public runtime::ServiceProgram {
+ public:
+  // `client_param` / `backends_param`: names of the proc's channel params.
+  // The service opens one connection per entry of `backend_ports` for each
+  // accepted client connection.
+  static Result<std::unique_ptr<DslService>> Create(const std::string& source,
+                                                    const std::string& proc_name,
+                                                    std::vector<uint16_t> backend_ports);
+
+  const char* name() const override { return name_.c_str(); }
+  void OnConnection(std::unique_ptr<Connection> conn, runtime::PlatformEnv& env) override;
+
+  const lang::CompiledProgram& program() const { return *program_; }
+  size_t live_graphs() const { return registry_.live_graphs(); }
+
+ private:
+  DslService() = default;
+
+  std::shared_ptr<lang::CompiledProgram> program_;
+  const lang::ProcDecl* proc_ = nullptr;
+  std::string name_;
+  std::string client_param_;
+  std::string backends_param_;
+  const grammar::Unit* client_in_unit_ = nullptr;
+  const grammar::Unit* backend_in_unit_ = nullptr;
+  std::vector<uint16_t> backend_ports_;
+  GraphRegistry registry_;
+};
+
+}  // namespace flick::services
+
+#endif  // FLICK_SERVICES_DSL_SERVICE_H_

@@ -1,0 +1,99 @@
+#include "services/hadoop_agg.h"
+
+#include "proto/hadoop.h"
+#include "runtime/compute_task.h"
+#include "runtime/io_tasks.h"
+
+namespace flick::services {
+namespace {
+
+int OrderByKey(const runtime::Msg& a, const runtime::Msg& b) {
+  const auto ka = a.gmsg.GetBytes(proto::HadoopKv::kKey);
+  const auto kb = b.gmsg.GetBytes(proto::HadoopKv::kKey);
+  const int cmp = ka.compare(kb);
+  return cmp < 0 ? -1 : (cmp == 0 ? 0 : 1);
+}
+
+void CombineByAdding(runtime::Msg& into, const runtime::Msg& from) {
+  const std::string combined =
+      proto::CombineCounts(into.gmsg.GetBytes(proto::HadoopKv::kValue),
+                           from.gmsg.GetBytes(proto::HadoopKv::kValue));
+  into.gmsg.SetBytes(proto::HadoopKv::kValue, combined);
+}
+
+}  // namespace
+
+void HadoopAggService::OnConnection(std::unique_ptr<Connection> conn,
+                                    runtime::PlatformEnv& env) {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    pending_.push_back(std::move(conn));
+    if (static_cast<int>(pending_.size()) < expected_mappers_) {
+      return;
+    }
+  }
+  BuildGraph(env);
+}
+
+void HadoopAggService::BuildGraph(runtime::PlatformEnv& env) {
+  std::vector<std::unique_ptr<Connection>> mappers;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    mappers.swap(pending_);
+  }
+
+  auto reducer_conn = env.transport->Connect(reducer_port_);
+  if (!reducer_conn.ok()) {
+    for (auto& m : mappers) {
+      m->Close();
+    }
+    return;
+  }
+
+  auto graph = std::make_unique<runtime::TaskGraph>("hadoop-agg");
+  std::vector<Connection*> watch;
+
+  // Leaves: one input task per mapper connection.
+  std::vector<runtime::Channel*> level;
+  for (size_t m = 0; m < mappers.size(); ++m) {
+    runtime::Channel* ch = graph->AddChannel(256);
+    Connection* raw = mappers[m].get();
+    auto* in = graph->AddTask<runtime::InputTask>(
+        "mapper-in-" + std::to_string(m), std::move(mappers[m]),
+        std::make_unique<runtime::GrammarDeserializer>(&proto::HadoopKvUnit()), ch,
+        env.msgs, env.buffers);
+    env.poller->WatchConnection(raw, in);
+    env.scheduler->NotifyRunnable(in);
+    watch.push_back(raw);
+    level.push_back(ch);
+  }
+
+  // Binary merge tree ("combining elements in a pair-wise manner until only
+  // the result remains", §4.3).
+  int merge_id = 0;
+  while (level.size() > 1) {
+    std::vector<runtime::Channel*> next;
+    for (size_t i = 0; i + 1 < level.size(); i += 2) {
+      runtime::Channel* out = graph->AddChannel(256);
+      auto* merge = graph->AddTask<runtime::MergeTask>(
+          "merge-" + std::to_string(merge_id++), OrderByKey, CombineByAdding);
+      merge->BindInputs(level[i], level[i + 1], env.scheduler);
+      merge->BindOutput(out);
+      next.push_back(out);
+    }
+    if (level.size() % 2 == 1) {
+      next.push_back(level.back());  // odd stream carries to the next level
+    }
+    level = std::move(next);
+  }
+
+  auto* out = graph->AddTask<runtime::OutputTask>(
+      "reducer-out", std::move(reducer_conn).value(),
+      std::make_unique<runtime::GrammarSerializer>(&proto::HadoopKvUnit()), level.front(),
+      env.buffers);
+  level.front()->BindConsumer(out, env.scheduler);
+
+  registry_.Adopt(std::move(graph), std::move(watch), env);
+}
+
+}  // namespace flick::services

@@ -1,0 +1,48 @@
+// Hadoop data aggregator (§6.1, Figure 3c; Listing 3).
+//
+// One task graph per reducer: k mapper connections feed input tasks
+// (deserialising the kv stream); a binary tree of foldt MergeTasks combines
+// values of equal keys pairwise ("Compute tasks combine the data with each
+// compute task taking two input streams and producing one output"); the root
+// serialises back to the Hadoop wire format towards the reducer.
+//
+// The combine is a partial aggregation (a Hadoop combiner): counts of
+// adjacent equal keys are merged, totals are always preserved.
+#ifndef FLICK_SERVICES_HADOOP_AGG_H_
+#define FLICK_SERVICES_HADOOP_AGG_H_
+
+#include <atomic>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "runtime/platform.h"
+#include "services/service_util.h"
+
+namespace flick::services {
+
+class HadoopAggService : public runtime::ServiceProgram {
+ public:
+  // Builds the aggregation graph once `expected_mappers` connections arrived;
+  // the combined stream is written to `reducer_port`.
+  HadoopAggService(int expected_mappers, uint16_t reducer_port)
+      : expected_mappers_(expected_mappers), reducer_port_(reducer_port) {}
+
+  const char* name() const override { return "hadoop-agg"; }
+  void OnConnection(std::unique_ptr<Connection> conn, runtime::PlatformEnv& env) override;
+
+  size_t live_graphs() const { return registry_.live_graphs(); }
+
+ private:
+  void BuildGraph(runtime::PlatformEnv& env);
+
+  const int expected_mappers_;
+  const uint16_t reducer_port_;
+  std::mutex mutex_;
+  std::vector<std::unique_ptr<Connection>> pending_;
+  GraphRegistry registry_;
+};
+
+}  // namespace flick::services
+
+#endif  // FLICK_SERVICES_HADOOP_AGG_H_

@@ -1,0 +1,43 @@
+// HTTP load balancer (§6.1, Figure 3a).
+//
+// Per-connection task graph:
+//   client-in (HTTP parse) -> compute (hash 4-tuple -> backend, sticky per
+//   connection) -> backend-out (serialize)
+//   backend-in (raw) -> client-out (raw)         <- "on their return path no
+//                                                   computation or parsing is
+//                                                   needed"
+// Like the paper's kernel-stack FLICK, a fresh backend connection is opened
+// per client connection (no persistent backend pools — §6.3 explains the
+// resulting Fig. 4c behaviour).
+#ifndef FLICK_SERVICES_HTTP_LB_H_
+#define FLICK_SERVICES_HTTP_LB_H_
+
+#include <atomic>
+#include <vector>
+
+#include "runtime/platform.h"
+#include "services/service_util.h"
+
+namespace flick::services {
+
+class HttpLbService : public runtime::ServiceProgram {
+ public:
+  // `backend_ports`: the web servers to balance across.
+  explicit HttpLbService(std::vector<uint16_t> backend_ports)
+      : backends_(std::move(backend_ports)) {}
+
+  const char* name() const override { return "http-lb"; }
+  void OnConnection(std::unique_ptr<Connection> conn, runtime::PlatformEnv& env) override;
+
+  uint64_t requests() const { return requests_.load(std::memory_order_relaxed); }
+  size_t live_graphs() const { return registry_.live_graphs(); }
+
+ private:
+  std::vector<uint16_t> backends_;
+  std::atomic<uint64_t> requests_{0};
+  GraphRegistry registry_;
+};
+
+}  // namespace flick::services
+
+#endif  // FLICK_SERVICES_HTTP_LB_H_

@@ -1,0 +1,39 @@
+// Memcached proxy (§6.1, Figure 3b; Listing 1 §4.1 variant).
+//
+// Per-client-connection task graph with fan-out > 1: requests are hash-
+// partitioned over the backends ("Requests are forwarded based on hash
+// partitioning to a set of Memcached servers, each storing a disjoint
+// section of the key space"); responses from any backend return to the
+// client. Parsing uses the projected routing unit (opcode + key only) on the
+// request path — the generated-parser optimisation of §4.2.
+#ifndef FLICK_SERVICES_MEMCACHED_PROXY_H_
+#define FLICK_SERVICES_MEMCACHED_PROXY_H_
+
+#include <atomic>
+#include <vector>
+
+#include "runtime/platform.h"
+#include "services/service_util.h"
+
+namespace flick::services {
+
+class MemcachedProxyService : public runtime::ServiceProgram {
+ public:
+  explicit MemcachedProxyService(std::vector<uint16_t> backend_ports)
+      : backends_(std::move(backend_ports)) {}
+
+  const char* name() const override { return "memcached-proxy"; }
+  void OnConnection(std::unique_ptr<Connection> conn, runtime::PlatformEnv& env) override;
+
+  uint64_t requests() const { return requests_.load(std::memory_order_relaxed); }
+  size_t live_graphs() const { return registry_.live_graphs(); }
+
+ private:
+  std::vector<uint16_t> backends_;
+  std::atomic<uint64_t> requests_{0};
+  GraphRegistry registry_;
+};
+
+}  // namespace flick::services
+
+#endif  // FLICK_SERVICES_MEMCACHED_PROXY_H_

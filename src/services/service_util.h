@@ -1,0 +1,89 @@
+// Shared plumbing for FLICK services: per-connection graph construction with
+// automatic retirement (the graph-dispatcher role of §5 (ii)).
+#ifndef FLICK_SERVICES_SERVICE_UTIL_H_
+#define FLICK_SERVICES_SERVICE_UTIL_H_
+
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "runtime/platform.h"
+#include "runtime/task_graph.h"
+
+namespace flick::services {
+
+// Non-owning connection proxy: lets an OutputTask write to a connection whose
+// lifetime is owned by the peer InputTask of the same graph.
+class SharedConn : public Connection {
+ public:
+  explicit SharedConn(Connection* conn) : conn_(conn) {}
+
+  Result<size_t> Read(void* buf, size_t len) override { return conn_->Read(buf, len); }
+  Result<size_t> Write(const void* buf, size_t len) override { return conn_->Write(buf, len); }
+  void Close() override { conn_->Close(); }
+  bool IsOpen() const override { return conn_->IsOpen(); }
+  bool ReadReady() const override { return conn_->ReadReady(); }
+  uint64_t id() const override { return conn_->id(); }
+
+ private:
+  Connection* conn_;
+};
+
+// Tracks live graphs for a service and reaps them (unwatching their
+// connections, quiescing their tasks, destroying the graph) once all IO
+// tasks have closed. Thread-safe; reaping runs on the poller thread.
+class GraphRegistry {
+ public:
+  // Registers `graph` and arms a reaper. `conns` are the connections the
+  // graph's tasks watch (unwatched at retirement).
+  //
+  // Retirement is staged and NON-BLOCKING (the reaper runs on the poller
+  // thread, which must never spin-wait): once all IO tasks have closed the
+  // graph's connections are unwatched; on a later sweep, once every task has
+  // gone idle (no pending notifications can exist then — all inputs are
+  // closed and drained), the graph is destroyed.
+  void Adopt(std::unique_ptr<runtime::TaskGraph> graph,
+             std::vector<Connection*> conns, runtime::PlatformEnv& env) {
+    runtime::TaskGraph* raw = graph.get();
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      graphs_.push_back(std::move(graph));
+    }
+    runtime::IoPoller* poller = env.poller;
+    poller->AddReaper(
+        [this, raw, poller, conns = std::move(conns), unwatched = false]() mutable -> bool {
+          if (!raw->AllIoClosed()) {
+            return false;
+          }
+          if (!unwatched) {
+            for (Connection* conn : conns) {
+              poller->UnwatchConnection(conn);
+            }
+            unwatched = true;
+            return false;  // give in-flight notifications a sweep to settle
+          }
+          for (const auto& task : raw->tasks()) {
+            if (task->sched_state.load(std::memory_order_acquire) !=
+                runtime::Task::SchedState::kIdle) {
+              return false;  // still draining; try next sweep
+            }
+          }
+          std::lock_guard<std::mutex> lock(mutex_);
+          std::erase_if(graphs_, [raw](const auto& g) { return g.get() == raw; });
+          return true;
+        });
+  }
+
+  size_t live_graphs() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return graphs_.size();
+  }
+
+ private:
+  mutable std::mutex mutex_;
+  std::vector<std::unique_ptr<runtime::TaskGraph>> graphs_;
+};
+
+}  // namespace flick::services
+
+#endif  // FLICK_SERVICES_SERVICE_UTIL_H_

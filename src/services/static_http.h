@@ -1,0 +1,37 @@
+// Static web server (§6.3: "a variant of the HTTP load balancer that does not
+// use backend servers but which returns a fixed response to a given request.
+// This is effectively a static web server, which we use to test the system
+// without backends.").
+//
+// Task graph per connection: input(HTTP request) -> compute(fixed response)
+// -> output (same connection).
+#ifndef FLICK_SERVICES_STATIC_HTTP_H_
+#define FLICK_SERVICES_STATIC_HTTP_H_
+
+#include <atomic>
+#include <string>
+
+#include "runtime/platform.h"
+#include "services/service_util.h"
+
+namespace flick::services {
+
+class StaticHttpService : public runtime::ServiceProgram {
+ public:
+  explicit StaticHttpService(std::string body) : body_(std::move(body)) {}
+
+  const char* name() const override { return "static-http"; }
+  void OnConnection(std::unique_ptr<Connection> conn, runtime::PlatformEnv& env) override;
+
+  uint64_t requests() const { return requests_.load(std::memory_order_relaxed); }
+  size_t live_graphs() const { return registry_.live_graphs(); }
+
+ private:
+  std::string body_;
+  std::atomic<uint64_t> requests_{0};
+  GraphRegistry registry_;
+};
+
+}  // namespace flick::services
+
+#endif  // FLICK_SERVICES_STATIC_HTTP_H_

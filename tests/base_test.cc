@@ -1,0 +1,292 @@
+// Unit tests for src/base: Result/Status, hashing, RNG, byte order,
+// histogram, intrusive list.
+#include <gtest/gtest.h>
+
+#include <set>
+#include <thread>
+#include <vector>
+
+#include "base/byte_order.h"
+#include "base/hash.h"
+#include "base/histogram.h"
+#include "base/intrusive_list.h"
+#include "base/result.h"
+#include "base/rng.h"
+#include "base/time_util.h"
+
+namespace flick {
+namespace {
+
+// ---------------------------------------------------------------- Status ----
+
+TEST(StatusTest, DefaultIsOk) {
+  Status s;
+  EXPECT_TRUE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kOk);
+  EXPECT_EQ(s.ToString(), "ok");
+}
+
+TEST(StatusTest, ErrorCarriesCodeAndMessage) {
+  Status s = InvalidArgument("bad port");
+  EXPECT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(s.message(), "bad port");
+  EXPECT_EQ(s.ToString(), "invalid_argument: bad port");
+}
+
+TEST(StatusTest, AllCodesHaveNames) {
+  for (int c = 0; c <= static_cast<int>(StatusCode::kParseError); ++c) {
+    EXPECT_STRNE(StatusCodeName(static_cast<StatusCode>(c)), "unknown");
+  }
+}
+
+TEST(ResultTest, HoldsValue) {
+  Result<int> r(42);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.value(), 42);
+  EXPECT_EQ(*r, 42);
+  EXPECT_TRUE(r.status().ok());
+}
+
+TEST(ResultTest, HoldsError) {
+  Result<int> r(NotFound("missing"));
+  EXPECT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kNotFound);
+}
+
+TEST(ResultTest, MoveOnlyValue) {
+  Result<std::unique_ptr<int>> r(std::make_unique<int>(7));
+  ASSERT_TRUE(r.ok());
+  std::unique_ptr<int> v = std::move(r).value();
+  EXPECT_EQ(*v, 7);
+}
+
+// ------------------------------------------------------------------ Hash ----
+
+TEST(HashTest, Deterministic) {
+  EXPECT_EQ(HashBytes("hello"), HashBytes("hello"));
+  EXPECT_NE(HashBytes("hello"), HashBytes("hellp"));
+  EXPECT_NE(HashBytes(""), HashBytes("a"));
+}
+
+TEST(HashTest, MixAvalanches) {
+  // Consecutive integers should land in different buckets most of the time.
+  std::set<uint64_t> low_bits;
+  for (uint64_t i = 0; i < 64; ++i) {
+    low_bits.insert(MixU64(i) % 64);
+  }
+  EXPECT_GT(low_bits.size(), 32u);
+}
+
+TEST(HashTest, DispatchIsRoughlyUniform) {
+  constexpr int kBackends = 10;
+  constexpr int kKeys = 10000;
+  std::vector<int> counts(kBackends, 0);
+  for (int i = 0; i < kKeys; ++i) {
+    std::string key = "key-" + std::to_string(i);
+    counts[HashBytes(key) % kBackends]++;
+  }
+  for (int c : counts) {
+    EXPECT_GT(c, kKeys / kBackends / 2);
+    EXPECT_LT(c, kKeys / kBackends * 2);
+  }
+}
+
+// ------------------------------------------------------------------- Rng ----
+
+TEST(RngTest, DeterministicForSeed) {
+  Rng a(123), b(123);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.Next(), b.Next());
+  }
+}
+
+TEST(RngTest, DifferentSeedsDiffer) {
+  Rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a.Next() == b.Next()) {
+      same++;
+    }
+  }
+  EXPECT_EQ(same, 0);
+}
+
+TEST(RngTest, NextBelowInRange) {
+  Rng rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_LT(rng.NextBelow(17), 17u);
+  }
+}
+
+TEST(RngTest, NextInRangeInclusive) {
+  Rng rng(9);
+  bool saw_lo = false, saw_hi = false;
+  for (int i = 0; i < 2000; ++i) {
+    const uint64_t v = rng.NextInRange(3, 5);
+    EXPECT_GE(v, 3u);
+    EXPECT_LE(v, 5u);
+    saw_lo |= (v == 3);
+    saw_hi |= (v == 5);
+  }
+  EXPECT_TRUE(saw_lo);
+  EXPECT_TRUE(saw_hi);
+}
+
+TEST(RngTest, DoubleInUnitInterval) {
+  Rng rng(11);
+  for (int i = 0; i < 1000; ++i) {
+    const double d = rng.NextDouble();
+    EXPECT_GE(d, 0.0);
+    EXPECT_LT(d, 1.0);
+  }
+}
+
+// ------------------------------------------------------------- ByteOrder ----
+
+TEST(ByteOrderTest, BigEndianRoundTrip) {
+  uint8_t buf[8];
+  StoreUInt(buf, 4, ByteOrder::kBig, 0x12345678);
+  EXPECT_EQ(buf[0], 0x12);
+  EXPECT_EQ(buf[3], 0x78);
+  EXPECT_EQ(LoadUInt(buf, 4, ByteOrder::kBig), 0x12345678u);
+}
+
+TEST(ByteOrderTest, LittleEndianRoundTrip) {
+  uint8_t buf[8];
+  StoreUInt(buf, 4, ByteOrder::kLittle, 0x12345678);
+  EXPECT_EQ(buf[0], 0x78);
+  EXPECT_EQ(buf[3], 0x12);
+  EXPECT_EQ(LoadUInt(buf, 4, ByteOrder::kLittle), 0x12345678u);
+}
+
+TEST(ByteOrderTest, AllWidthsRoundTrip) {
+  for (size_t width = 1; width <= 8; ++width) {
+    const uint64_t value = 0xfedcba9876543210ull >> (8 * (8 - width));
+    uint8_t buf[8];
+    StoreUInt(buf, width, ByteOrder::kBig, value);
+    EXPECT_EQ(LoadUInt(buf, width, ByteOrder::kBig), value) << "width=" << width;
+    StoreUInt(buf, width, ByteOrder::kLittle, value);
+    EXPECT_EQ(LoadUInt(buf, width, ByteOrder::kLittle), value) << "width=" << width;
+  }
+}
+
+// ------------------------------------------------------------- Histogram ----
+
+TEST(HistogramTest, EmptyIsZero) {
+  Histogram h;
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_EQ(h.Mean(), 0.0);
+  EXPECT_EQ(h.Quantile(0.5), 0u);
+}
+
+TEST(HistogramTest, SingleValue) {
+  Histogram h;
+  h.Record(1000);
+  EXPECT_EQ(h.count(), 1u);
+  EXPECT_EQ(h.min(), 1000u);
+  EXPECT_EQ(h.max(), 1000u);
+  EXPECT_NEAR(static_cast<double>(h.Quantile(0.5)), 1000.0, 1000.0 * 0.10);
+}
+
+TEST(HistogramTest, QuantilesOrdered) {
+  Histogram h;
+  Rng rng(3);
+  for (int i = 0; i < 10000; ++i) {
+    h.Record(rng.NextInRange(1, 1000000));
+  }
+  EXPECT_LE(h.Quantile(0.10), h.Quantile(0.50));
+  EXPECT_LE(h.Quantile(0.50), h.Quantile(0.99));
+  EXPECT_LE(h.Quantile(0.99), h.max());
+}
+
+TEST(HistogramTest, QuantileAccuracyOnUniform) {
+  Histogram h;
+  for (uint64_t v = 1; v <= 100000; ++v) {
+    h.Record(v);
+  }
+  EXPECT_NEAR(static_cast<double>(h.Quantile(0.5)), 50000.0, 50000.0 * 0.10);
+  EXPECT_NEAR(static_cast<double>(h.Quantile(0.9)), 90000.0, 90000.0 * 0.10);
+}
+
+TEST(HistogramTest, MergeCombines) {
+  Histogram a, b;
+  a.Record(10);
+  b.Record(1000);
+  a.Merge(b);
+  EXPECT_EQ(a.count(), 2u);
+  EXPECT_EQ(a.min(), 10u);
+  EXPECT_EQ(a.max(), 1000u);
+  EXPECT_EQ(a.sum(), 1010u);
+}
+
+TEST(HistogramTest, SummaryMentionsCount) {
+  Histogram h;
+  h.Record(5);
+  EXPECT_NE(h.Summary().find("n=1"), std::string::npos);
+}
+
+// --------------------------------------------------------- IntrusiveList ----
+
+struct Item {
+  int value = 0;
+  IntrusiveListNode node;
+};
+
+TEST(IntrusiveListTest, PushPopFifo) {
+  IntrusiveList<Item, &Item::node> list;
+  Item a{1}, b{2}, c{3};
+  list.PushBack(&a);
+  list.PushBack(&b);
+  list.PushBack(&c);
+  EXPECT_EQ(list.size(), 3u);
+  EXPECT_EQ(list.PopFront()->value, 1);
+  EXPECT_EQ(list.PopFront()->value, 2);
+  EXPECT_EQ(list.PopFront()->value, 3);
+  EXPECT_TRUE(list.empty());
+  EXPECT_EQ(list.PopFront(), nullptr);
+}
+
+TEST(IntrusiveListTest, PushFront) {
+  IntrusiveList<Item, &Item::node> list;
+  Item a{1}, b{2};
+  list.PushBack(&a);
+  list.PushFront(&b);
+  EXPECT_EQ(list.PopFront()->value, 2);
+  EXPECT_EQ(list.PopFront()->value, 1);
+}
+
+TEST(IntrusiveListTest, RemoveMiddle) {
+  IntrusiveList<Item, &Item::node> list;
+  Item a{1}, b{2}, c{3};
+  list.PushBack(&a);
+  list.PushBack(&b);
+  list.PushBack(&c);
+  list.Remove(&b);
+  using ItemList = IntrusiveList<Item, &Item::node>;
+  EXPECT_FALSE(ItemList::IsLinked(&b));
+  EXPECT_EQ(list.size(), 2u);
+  EXPECT_EQ(list.PopFront()->value, 1);
+  EXPECT_EQ(list.PopFront()->value, 3);
+}
+
+TEST(IntrusiveListTest, ReinsertAfterPop) {
+  IntrusiveList<Item, &Item::node> list;
+  Item a{1};
+  list.PushBack(&a);
+  EXPECT_EQ(list.PopFront(), &a);
+  list.PushBack(&a);  // must not CHECK: node was unlinked by pop
+  EXPECT_EQ(list.Front(), &a);
+}
+
+// ------------------------------------------------------------- Stopwatch ----
+
+TEST(StopwatchTest, MeasuresElapsed) {
+  Stopwatch sw;
+  std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  EXPECT_GE(sw.ElapsedNanos(), 4'000'000u);
+  EXPECT_GT(sw.ElapsedSeconds(), 0.0);
+}
+
+}  // namespace
+}  // namespace flick

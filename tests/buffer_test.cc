@@ -1,0 +1,209 @@
+// Unit tests for the pre-allocated buffer pool and buffer chains (§5: all
+// buffers come from a pre-allocated pool; exhaustion must be reported, not
+// grown past).
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "base/rng.h"
+#include "buffer/buffer_chain.h"
+#include "buffer/buffer_pool.h"
+
+namespace flick {
+namespace {
+
+TEST(BufferPoolTest, AcquireGivesEmptyBuffer) {
+  BufferPool pool(4, 128);
+  BufferRef b = pool.Acquire();
+  ASSERT_TRUE(b);
+  EXPECT_EQ(b->capacity(), 128u);
+  EXPECT_EQ(b->readable(), 0u);
+  EXPECT_EQ(b->writable(), 128u);
+}
+
+TEST(BufferPoolTest, ProduceConsumeCursors) {
+  BufferPool pool(1, 64);
+  BufferRef b = pool.Acquire();
+  memcpy(b->write_ptr(), "hello", 5);
+  b->Produce(5);
+  EXPECT_EQ(b->readable(), 5u);
+  EXPECT_EQ(std::string(reinterpret_cast<const char*>(b->read_ptr()), 5), "hello");
+  b->Consume(2);
+  EXPECT_EQ(b->readable(), 3u);
+  EXPECT_EQ(std::string(reinterpret_cast<const char*>(b->read_ptr()), 3), "llo");
+}
+
+TEST(BufferPoolTest, ExhaustionReturnsNull) {
+  BufferPool pool(2, 32);
+  BufferRef a = pool.Acquire();
+  BufferRef b = pool.Acquire();
+  BufferRef c = pool.Acquire();
+  EXPECT_TRUE(a);
+  EXPECT_TRUE(b);
+  EXPECT_FALSE(c);
+  EXPECT_EQ(pool.stats().exhausted_count, 1u);
+}
+
+TEST(BufferPoolTest, ReleaseRecycles) {
+  BufferPool pool(1, 32);
+  {
+    BufferRef a = pool.Acquire();
+    ASSERT_TRUE(a);
+    a->Produce(10);
+  }
+  BufferRef b = pool.Acquire();
+  ASSERT_TRUE(b);
+  EXPECT_EQ(b->readable(), 0u) << "recycled buffer must be reset";
+}
+
+TEST(BufferPoolTest, StatsTrackHighWatermark) {
+  BufferPool pool(4, 32);
+  {
+    BufferRef a = pool.Acquire();
+    BufferRef b = pool.Acquire();
+    BufferRef c = pool.Acquire();
+    EXPECT_EQ(pool.stats().in_use, 3u);
+  }
+  EXPECT_EQ(pool.stats().in_use, 0u);
+  EXPECT_EQ(pool.stats().high_watermark, 3u);
+  EXPECT_EQ(pool.stats().acquire_count, 3u);
+}
+
+TEST(BufferPoolTest, MoveTransfersOwnership) {
+  BufferPool pool(1, 32);
+  BufferRef a = pool.Acquire();
+  BufferRef b = std::move(a);
+  EXPECT_FALSE(a);  // NOLINT(bugprone-use-after-move): moved-from is tested null
+  EXPECT_TRUE(b);
+  EXPECT_EQ(pool.stats().in_use, 1u);
+}
+
+// ------------------------------------------------------------ BufferChain ----
+
+class BufferChainTest : public ::testing::Test {
+ protected:
+  BufferPool pool_{64, 64};  // small buffers force multi-buffer chains
+};
+
+TEST_F(BufferChainTest, AppendAndRead) {
+  BufferChain chain(&pool_);
+  ASSERT_TRUE(chain.Append("hello world"));
+  EXPECT_EQ(chain.readable(), 11u);
+  char out[16];
+  EXPECT_EQ(chain.Read(out, 11), 11u);
+  EXPECT_EQ(std::string(out, 11), "hello world");
+  EXPECT_TRUE(chain.empty());
+}
+
+TEST_F(BufferChainTest, AppendSpansMultipleBuffers) {
+  BufferChain chain(&pool_);
+  std::string big(300, 'x');
+  big[0] = 'a';
+  big[299] = 'z';
+  ASSERT_TRUE(chain.Append(big));
+  EXPECT_EQ(chain.readable(), 300u);
+  EXPECT_EQ(chain.ToString(), big);
+}
+
+TEST_F(BufferChainTest, PeekDoesNotConsume) {
+  BufferChain chain(&pool_);
+  ASSERT_TRUE(chain.Append("abcdef"));
+  char out[4];
+  EXPECT_EQ(chain.Peek(2, out, 3), 3u);
+  EXPECT_EQ(std::string(out, 3), "cde");
+  EXPECT_EQ(chain.readable(), 6u);
+}
+
+TEST_F(BufferChainTest, PeekAcrossBufferBoundary) {
+  BufferChain chain(&pool_);
+  std::string data(100, '?');
+  for (int i = 0; i < 100; ++i) {
+    data[static_cast<size_t>(i)] = static_cast<char>('0' + i % 10);
+  }
+  ASSERT_TRUE(chain.Append(data));
+  char out[100];
+  EXPECT_EQ(chain.Peek(60, out, 10), 10u);  // straddles the 64-byte boundary
+  EXPECT_EQ(std::string(out, 10), data.substr(60, 10));
+}
+
+TEST_F(BufferChainTest, ConsumeReleasesDrainedBuffers) {
+  BufferChain chain(&pool_);
+  ASSERT_TRUE(chain.Append(std::string(200, 'x')));
+  const size_t in_use_full = pool_.stats().in_use;
+  chain.Consume(190);
+  EXPECT_LT(pool_.stats().in_use, in_use_full);
+  EXPECT_EQ(chain.readable(), 10u);
+}
+
+TEST_F(BufferChainTest, MoveFromTransfersBytes) {
+  BufferChain a(&pool_), b(&pool_);
+  ASSERT_TRUE(a.Append("front-"));
+  ASSERT_TRUE(b.Append("back"));
+  a.MoveFrom(b);
+  EXPECT_EQ(a.ToString(), "front-back");
+  EXPECT_TRUE(b.empty());
+}
+
+TEST_F(BufferChainTest, FrontViewIsContiguousPrefix) {
+  BufferChain chain(&pool_);
+  ASSERT_TRUE(chain.Append("0123456789"));
+  std::string_view v = chain.FrontView();
+  EXPECT_FALSE(v.empty());
+  EXPECT_EQ(v.substr(0, 5), "01234");
+}
+
+TEST_F(BufferChainTest, AppendFailsWhenPoolExhausted) {
+  BufferPool tiny(1, 16);
+  BufferChain chain(&tiny);
+  EXPECT_TRUE(chain.Append(std::string(16, 'a')));
+  EXPECT_FALSE(chain.Append(std::string(16, 'b')));  // needs a second buffer
+  EXPECT_EQ(chain.readable(), 16u);                  // first append intact
+}
+
+TEST_F(BufferChainTest, AppendBufferZeroCopyHandoff) {
+  BufferChain chain(&pool_);
+  BufferRef b = pool_.Acquire();
+  memcpy(b->write_ptr(), "direct", 6);
+  b->Produce(6);
+  chain.AppendBuffer(std::move(b));
+  EXPECT_EQ(chain.ToString(), "direct");
+}
+
+TEST_F(BufferChainTest, ClearReleasesEverything) {
+  BufferChain chain(&pool_);
+  ASSERT_TRUE(chain.Append(std::string(500, 'x')));
+  chain.Clear();
+  EXPECT_TRUE(chain.empty());
+  EXPECT_EQ(pool_.stats().in_use, 0u);
+}
+
+TEST_F(BufferChainTest, InterleavedAppendConsumeStress) {
+  BufferChain chain(&pool_);
+  Rng rng(42);
+  std::string model;  // reference model of chain contents
+  size_t produced = 0;
+  for (int round = 0; round < 500; ++round) {
+    if (rng.NextBelow(2) == 0) {
+      const size_t n = rng.NextInRange(1, 80);
+      std::string data;
+      for (size_t i = 0; i < n; ++i) {
+        data.push_back(static_cast<char>('a' + (produced + i) % 26));
+      }
+      if (chain.Append(data)) {
+        model += data;
+        produced += n;
+      }
+    } else if (!model.empty()) {
+      const size_t n = rng.NextInRange(1, model.size());
+      std::string out(n, '\0');
+      EXPECT_EQ(chain.Read(out.data(), n), n);
+      EXPECT_EQ(out, model.substr(0, n));
+      model.erase(0, n);
+    }
+    ASSERT_EQ(chain.readable(), model.size());
+  }
+}
+
+}  // namespace
+}  // namespace flick

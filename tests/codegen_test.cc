@@ -1,0 +1,66 @@
+// Tests for the C++ code-generation pass (extension; paper §5: the FLICK
+// compiler emits C++ linked against the platform).
+#include <gtest/gtest.h>
+
+#include "lang/codegen_cpp.h"
+#include "lang/compile.h"
+#include "services/dsl_service.h"
+
+namespace flick::lang {
+namespace {
+
+TEST(CodegenTest, EmitsUnitBuilderForTypes) {
+  auto compiled = CompileSource(services::kMemcachedRouterSource);
+  ASSERT_TRUE(compiled.ok());
+  const std::string cpp = GenerateCpp(**compiled);
+  EXPECT_NE(cpp.find("Make_cmd_Unit"), std::string::npos);
+  EXPECT_NE(cpp.find(".UInt(\"keylen\", 2)"), std::string::npos);
+  EXPECT_NE(cpp.find("grammar::LenExpr::Field(\"keylen\")"), std::string::npos);
+}
+
+TEST(CodegenTest, EmitsHandlersForProcs) {
+  auto compiled = CompileSource(services::kMemcachedRouterSource);
+  ASSERT_TRUE(compiled.ok());
+  const std::string cpp = GenerateCpp(**compiled);
+  EXPECT_NE(cpp.find("Make_memcached_Handler"), std::string::npos);
+  EXPECT_NE(cpp.find("runtime::ComputeTask::Handler"), std::string::npos);
+}
+
+TEST(CodegenTest, EmitsFunctionBodies) {
+  auto compiled = CompileSource(services::kMemcachedRouterSource);
+  ASSERT_TRUE(compiled.ok());
+  const std::string cpp = GenerateCpp(**compiled);
+  // update_cache's conditional and test_cache's hash dispatch must appear.
+  EXPECT_NE(cpp.find("auto update_cache"), std::string::npos);
+  EXPECT_NE(cpp.find("auto test_cache"), std::string::npos);
+  EXPECT_NE(cpp.find("flick::HashBytes("), std::string::npos);
+  EXPECT_NE(cpp.find("% std::size(backends)"), std::string::npos);
+}
+
+TEST(CodegenTest, AutoFramedStringsGetSynthesizedLengths) {
+  auto compiled = CompileSource(
+      "type kv: record\n"
+      "    key : string\n"
+      "    value : string\n");
+  ASSERT_TRUE(compiled.ok());
+  const std::string cpp = GenerateCpp(**compiled);
+  EXPECT_NE(cpp.find("__len_key"), std::string::npos);
+  EXPECT_NE(cpp.find("__len_value"), std::string::npos);
+}
+
+TEST(CodegenTest, FoldtEmitsMergeTreeComment) {
+  auto compiled = CompileSource(
+      "type kv: record\n"
+      "    key : string\n"
+      "    value : string\n"
+      "proc hadoop: ([kv/-] mappers, -/kv reducer)\n"
+      "    foldt on mappers ordering by key combine combine_kv => reducer\n"
+      "fun combine_kv: (e1: kv, e2: kv) -> (kv)\n"
+      "    kv(e1.key, add(e1.value, e2.value))\n");
+  ASSERT_TRUE(compiled.ok()) << compiled.status().ToString();
+  const std::string cpp = GenerateCpp(**compiled);
+  EXPECT_NE(cpp.find("MergeTask tree"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace flick::lang

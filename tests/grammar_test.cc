@@ -1,0 +1,388 @@
+// Tests for the message-grammar engine: unit building/validation, length
+// expressions, incremental parsing under arbitrary fragmentation, projection,
+// and serialisation round-trips.
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "base/rng.h"
+#include "buffer/buffer_chain.h"
+#include "buffer/buffer_pool.h"
+#include "grammar/len_expr.h"
+#include "grammar/message.h"
+#include "grammar/parser.h"
+#include "grammar/serializer.h"
+#include "grammar/unit.h"
+
+namespace flick::grammar {
+namespace {
+
+// ----------------------------------------------------------------- LenExpr ----
+
+TEST(LenExprTest, ConstEval) {
+  EXPECT_EQ(LenExpr::Const(7).Eval({}), 7u);
+  EXPECT_TRUE(LenExpr::Const(7).is_const());
+}
+
+TEST(LenExprTest, Arithmetic) {
+  const LenExpr e = LenExpr::Const(10) + LenExpr::Const(5) * LenExpr::Const(2);
+  EXPECT_EQ(e.Eval({}), 20u);
+  EXPECT_FALSE(e.is_const());
+}
+
+TEST(LenExprTest, SubClampsAtZero) {
+  const LenExpr e = LenExpr::Const(3) - LenExpr::Const(10);
+  EXPECT_EQ(e.Eval({}), 0u) << "malformed lengths must not wrap around";
+}
+
+TEST(LenExprTest, FieldResolutionAndEval) {
+  LenExpr e = LenExpr::Field("a") + LenExpr::Field("b");
+  ASSERT_TRUE(e.Resolve([](const std::string& n) { return n == "a" ? 0 : (n == "b" ? 1 : -1); }));
+  EXPECT_EQ(e.Eval({4, 6}), 10u);
+}
+
+TEST(LenExprTest, UnknownFieldFailsResolve) {
+  LenExpr e = LenExpr::Field("nope");
+  EXPECT_FALSE(e.Resolve([](const std::string&) { return -1; }));
+}
+
+TEST(LenExprTest, DollarSubstitution) {
+  const LenExpr e = LenExpr::Field("a") + LenExpr::Dollar();
+  LenExpr copy = e;
+  ASSERT_TRUE(copy.Resolve([](const std::string&) { return 0; }));
+  EXPECT_EQ(copy.Eval({5}, 37), 42u);
+  EXPECT_TRUE(copy.uses_dollar());
+}
+
+// -------------------------------------------------------------------- Unit ----
+
+TEST(UnitTest, BuildSimple) {
+  auto unit = UnitBuilder("t").UInt("len", 2).Bytes("data", LenExpr::Field("len")).Build();
+  ASSERT_TRUE(unit.ok());
+  EXPECT_EQ(unit->name(), "t");
+  EXPECT_EQ(unit->fields().size(), 2u);
+  EXPECT_EQ(unit->FieldIndex("len"), 0);
+  EXPECT_EQ(unit->FieldIndex("data"), 1);
+  EXPECT_EQ(unit->FieldIndex("missing"), -1);
+  EXPECT_EQ(unit->fixed_prefix_size(), 2u);
+}
+
+TEST(UnitTest, DuplicateNameRejected) {
+  auto unit = UnitBuilder("t").UInt("x", 1).UInt("x", 2).Build();
+  EXPECT_FALSE(unit.ok());
+  EXPECT_EQ(unit.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(UnitTest, AnonymousFieldsMayRepeat) {
+  auto unit = UnitBuilder("t").SkipUInt(1).SkipUInt(2).SkipBytes(LenExpr::Const(3)).Build();
+  EXPECT_TRUE(unit.ok());
+}
+
+TEST(UnitTest, ForwardLengthReferenceRejected) {
+  // LL(1) rule: lengths may only depend on earlier fields.
+  auto unit =
+      UnitBuilder("t").Bytes("data", LenExpr::Field("len")).UInt("len", 2).Build();
+  EXPECT_FALSE(unit.ok());
+}
+
+TEST(UnitTest, LengthReferencingBytesFieldRejected) {
+  auto unit = UnitBuilder("t")
+                  .Bytes("blob", LenExpr::Const(4))
+                  .Bytes("data", LenExpr::Field("blob"))
+                  .Build();
+  EXPECT_FALSE(unit.ok()) << "lengths must reference numeric fields";
+}
+
+TEST(UnitTest, ZeroWidthIntRejected) {
+  auto unit = UnitBuilder("t").UInt("x", 0).Build();
+  EXPECT_FALSE(unit.ok());
+}
+
+TEST(UnitTest, NineByteIntRejected) {
+  auto unit = UnitBuilder("t").UInt("x", 9).Build();
+  EXPECT_FALSE(unit.ok());
+}
+
+TEST(UnitTest, UnknownSerializeTargetRejected) {
+  auto unit = UnitBuilder("t")
+                  .UInt("len", 2)
+                  .Var("v", LenExpr::Field("len"))
+                  .SerializeWriteback("ghost", LenExpr::Dollar(), "len")
+                  .Build();
+  EXPECT_FALSE(unit.ok());
+}
+
+TEST(UnitTest, FixedPrefixStopsAtDynamicField) {
+  auto unit = UnitBuilder("t")
+                  .UInt("a", 4)
+                  .Bytes("pad", 8)
+                  .UInt("len", 2)
+                  .Bytes("data", LenExpr::Field("len"))
+                  .UInt("trailer", 4)
+                  .Build();
+  ASSERT_TRUE(unit.ok());
+  EXPECT_EQ(unit->fixed_prefix_size(), 14u);
+}
+
+// ------------------------------------------------------------ Parse basics ----
+
+class ParserTest : public ::testing::Test {
+ protected:
+  ParserTest() {
+    auto unit = UnitBuilder("msg")
+                    .ByteOrder(ByteOrder::kBig)
+                    .UInt("tag", 1)
+                    .UInt("key_len", 2)
+                    .UInt("val_len", 4)
+                    .Bytes("key", LenExpr::Field("key_len"))
+                    .Bytes("val", LenExpr::Field("val_len"))
+                    .Build();
+    FLICK_CHECK(unit.ok());
+    unit_ = std::move(unit).value();
+  }
+
+  // Wire encoding of (tag, key, val) under unit_.
+  static std::string Encode(uint8_t tag, std::string_view key, std::string_view val) {
+    std::string out;
+    out.push_back(static_cast<char>(tag));
+    uint8_t raw[4];
+    StoreUInt(raw, 2, ByteOrder::kBig, key.size());
+    out.append(reinterpret_cast<char*>(raw), 2);
+    StoreUInt(raw, 4, ByteOrder::kBig, val.size());
+    out.append(reinterpret_cast<char*>(raw), 4);
+    out.append(key);
+    out.append(val);
+    return out;
+  }
+
+  Unit unit_;
+  BufferPool pool_{256, 128};
+};
+
+TEST_F(ParserTest, ParsesWholeMessage) {
+  BufferChain input(&pool_);
+  ASSERT_TRUE(input.Append(Encode(7, "hello", "world!")));
+  UnitParser parser(&unit_);
+  Message msg;
+  ASSERT_EQ(parser.Feed(input, &msg), ParseStatus::kDone);
+  EXPECT_EQ(msg.GetUInt("tag"), 7u);
+  EXPECT_EQ(msg.GetBytes("key"), "hello");
+  EXPECT_EQ(msg.GetBytes("val"), "world!");
+  EXPECT_EQ(msg.wire_size(), 7u + 5 + 6);
+  EXPECT_TRUE(input.empty());
+}
+
+TEST_F(ParserTest, EmptyVariableFields) {
+  BufferChain input(&pool_);
+  ASSERT_TRUE(input.Append(Encode(1, "", "")));
+  UnitParser parser(&unit_);
+  Message msg;
+  ASSERT_EQ(parser.Feed(input, &msg), ParseStatus::kDone);
+  EXPECT_EQ(msg.GetBytes("key"), "");
+  EXPECT_EQ(msg.GetBytes("val"), "");
+}
+
+TEST_F(ParserTest, BackToBackMessages) {
+  BufferChain input(&pool_);
+  ASSERT_TRUE(input.Append(Encode(1, "a", "x") + Encode(2, "b", "y")));
+  UnitParser parser(&unit_);
+  Message m1, m2;
+  ASSERT_EQ(parser.Feed(input, &m1), ParseStatus::kDone);
+  ASSERT_EQ(parser.Feed(input, &m2), ParseStatus::kDone);
+  EXPECT_EQ(m1.GetUInt("tag"), 1u);
+  EXPECT_EQ(m2.GetUInt("tag"), 2u);
+  EXPECT_EQ(m2.GetBytes("key"), "b");
+}
+
+TEST_F(ParserTest, NeedMoreOnPartialHeader) {
+  BufferChain input(&pool_);
+  const std::string wire = Encode(1, "abc", "defg");
+  ASSERT_TRUE(input.Append(wire.substr(0, 3)));  // mid key_len/val_len
+  UnitParser parser(&unit_);
+  Message msg;
+  EXPECT_EQ(parser.Feed(input, &msg), ParseStatus::kNeedMore);
+  ASSERT_TRUE(input.Append(wire.substr(3)));
+  EXPECT_EQ(parser.Feed(input, &msg), ParseStatus::kDone);
+  EXPECT_EQ(msg.GetBytes("key"), "abc");
+  EXPECT_EQ(msg.GetBytes("val"), "defg");
+}
+
+TEST_F(ParserTest, OversizeFieldIsError) {
+  BufferChain input(&pool_);
+  ASSERT_TRUE(input.Append(Encode(1, "k", std::string(2000, 'v'))));
+  UnitParser parser(&unit_);
+  parser.set_max_field_size(1000);
+  Message msg;
+  EXPECT_EQ(parser.Feed(input, &msg), ParseStatus::kError);
+}
+
+// Property: for EVERY split point, feeding the message in two fragments
+// yields the same result as one-shot parsing (§4.2 incremental parsing).
+class FragmentationTest : public ParserTest,
+                          public ::testing::WithParamInterface<size_t> {};
+
+TEST_P(FragmentationTest, SplitAtEveryOffset) {
+  const std::string wire = Encode(9, "fragmented-key", "fragmented-value-bytes");
+  const size_t split = GetParam() % (wire.size() + 1);
+  BufferChain input(&pool_);
+  UnitParser parser(&unit_);
+  Message msg;
+
+  ASSERT_TRUE(input.Append(wire.substr(0, split)));
+  const ParseStatus first = parser.Feed(input, &msg);
+  if (split < wire.size()) {
+    ASSERT_EQ(first, ParseStatus::kNeedMore) << "split=" << split;
+    ASSERT_TRUE(input.Append(wire.substr(split)));
+    ASSERT_EQ(parser.Feed(input, &msg), ParseStatus::kDone) << "split=" << split;
+  } else {
+    ASSERT_EQ(first, ParseStatus::kDone);
+  }
+  EXPECT_EQ(msg.GetUInt("tag"), 9u);
+  EXPECT_EQ(msg.GetBytes("key"), "fragmented-key");
+  EXPECT_EQ(msg.GetBytes("val"), "fragmented-value-bytes");
+}
+
+INSTANTIATE_TEST_SUITE_P(AllSplits, FragmentationTest,
+                         ::testing::Range<size_t>(0, 44));
+
+TEST_F(ParserTest, RandomFragmentationStress) {
+  Rng rng(2024);
+  UnitParser parser(&unit_);
+  for (int round = 0; round < 200; ++round) {
+    const std::string key(rng.NextInRange(0, 40), 'k');
+    const std::string val(rng.NextInRange(0, 60), 'v');
+    const std::string wire = Encode(static_cast<uint8_t>(round), key, val);
+    BufferChain input(&pool_);
+    Message msg;
+    size_t sent = 0;
+    ParseStatus status = ParseStatus::kNeedMore;
+    while (status == ParseStatus::kNeedMore) {
+      if (sent < wire.size()) {
+        const size_t n = rng.NextInRange(1, 7);
+        const size_t take = std::min(n, wire.size() - sent);
+        ASSERT_TRUE(input.Append(wire.substr(sent, take)));
+        sent += take;
+      }
+      status = parser.Feed(input, &msg);
+      ASSERT_NE(status, ParseStatus::kError);
+      if (status == ParseStatus::kNeedMore && sent >= wire.size()) {
+        FAIL() << "parser did not complete after full message";
+      }
+    }
+    ASSERT_EQ(msg.GetBytes("key"), key) << "round " << round;
+    ASSERT_EQ(msg.GetBytes("val"), val) << "round " << round;
+  }
+}
+
+// -------------------------------------------------------------- Projection ----
+
+TEST_F(ParserTest, ProjectionSkipsUnaccessedBytes) {
+  const Unit projected = unit_.Project({"key"});
+  BufferChain input(&pool_);
+  ASSERT_TRUE(input.Append(Encode(3, "wanted", "unwanted-payload")));
+  UnitParser parser(&projected);
+  Message msg;
+  ASSERT_EQ(parser.Feed(input, &msg), ParseStatus::kDone);
+  EXPECT_EQ(msg.GetBytes("key"), "wanted");
+  EXPECT_EQ(msg.GetBytes("val"), "") << "val must not be materialised";
+  EXPECT_EQ(msg.FieldWireSize(unit_.FieldIndex("val")), 16u)
+      << "val must still be framed and counted";
+}
+
+TEST(ProjectionTest, LengthDrivingFieldsAreKept) {
+  auto unit = UnitBuilder("t")
+                  .UInt("len", 2)
+                  .Bytes("data", LenExpr::Field("len"))
+                  .Build();
+  ASSERT_TRUE(unit.ok());
+  const Unit projected = unit->Project({});  // nothing accessed
+  // `len` still drives framing: parsing must consume exactly the message.
+  EXPECT_EQ(projected.fields()[0].materialize, true);
+  EXPECT_EQ(projected.fields()[1].materialize, false);
+}
+
+// ----------------------------------------------------------- Serialisation ----
+
+TEST_F(ParserTest, SerializeRoundTrip) {
+  Message msg;
+  msg.BindUnit(&unit_);
+  msg.SetUInt("tag", 5);
+  msg.SetBytes("key", "round");
+  msg.SetBytes("val", "trip-payload");
+  // Lengths left stale on purpose; serializer must fix them up.
+  BufferChain out(&pool_);
+  UnitSerializer serializer(&unit_);
+  ASSERT_TRUE(serializer.Serialize(msg, out).ok());
+
+  UnitParser parser(&unit_);
+  Message parsed;
+  ASSERT_EQ(parser.Feed(out, &parsed), ParseStatus::kDone);
+  EXPECT_EQ(parsed.GetUInt("tag"), 5u);
+  EXPECT_EQ(parsed.GetBytes("key"), "round");
+  EXPECT_EQ(parsed.GetBytes("val"), "trip-payload");
+  EXPECT_EQ(parsed.GetUInt("key_len"), 5u);
+  EXPECT_EQ(parsed.GetUInt("val_len"), 12u);
+}
+
+TEST_F(ParserTest, SerializeWireSizeMatches) {
+  Message msg;
+  msg.BindUnit(&unit_);
+  msg.SetUInt("tag", 1);
+  msg.SetBytes("key", "abc");
+  msg.SetBytes("val", "defgh");
+  UnitSerializer serializer(&unit_);
+  EXPECT_EQ(serializer.WireSize(msg), 7u + 3 + 5);
+}
+
+TEST_F(ParserTest, SerializeUnitMismatchFails) {
+  auto other = UnitBuilder("other").UInt("x", 1).Build();
+  ASSERT_TRUE(other.ok());
+  Message msg;
+  msg.BindUnit(&*other);
+  msg.SetUInt("x", 1);
+  BufferChain out(&pool_);
+  UnitSerializer serializer(&unit_);
+  EXPECT_EQ(serializer.Serialize(msg, out).code(), StatusCode::kFailedPrecondition);
+}
+
+TEST_F(ParserTest, SerializeFailsOnExhaustedPool) {
+  BufferPool tiny(1, 8);
+  BufferChain out(&tiny);
+  Message msg;
+  msg.BindUnit(&unit_);
+  msg.SetUInt("tag", 1);
+  msg.SetBytes("key", "0123456789");
+  msg.SetBytes("val", "0123456789");
+  UnitSerializer serializer(&unit_);
+  EXPECT_EQ(serializer.Serialize(msg, out).code(), StatusCode::kResourceExhausted);
+}
+
+// Property sweep: random messages round-trip bit-exactly.
+TEST_F(ParserTest, RandomRoundTripProperty) {
+  Rng rng(77);
+  UnitSerializer serializer(&unit_);
+  UnitParser parser(&unit_);
+  for (int i = 0; i < 300; ++i) {
+    std::string key, val;
+    for (size_t k = rng.NextBelow(30); k > 0; --k) {
+      key.push_back(static_cast<char>(rng.NextInRange(32, 126)));
+    }
+    for (size_t v = rng.NextBelow(50); v > 0; --v) {
+      val.push_back(static_cast<char>(rng.NextInRange(0, 255)));
+    }
+    Message msg;
+    msg.BindUnit(&unit_);
+    msg.SetUInt("tag", rng.NextBelow(256));
+    msg.SetBytes("key", key);
+    msg.SetBytes("val", val);
+    BufferChain wire(&pool_);
+    ASSERT_TRUE(serializer.Serialize(msg, wire).ok());
+    Message parsed;
+    ASSERT_EQ(parser.Feed(wire, &parsed), ParseStatus::kDone);
+    ASSERT_EQ(parsed.GetBytes("key"), key);
+    ASSERT_EQ(parsed.GetBytes("val"), val);
+  }
+}
+
+}  // namespace
+}  // namespace flick::grammar

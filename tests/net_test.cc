@@ -1,0 +1,270 @@
+// Tests for both transports: the simulated fabric (cost-model substrate for
+// the benches) and the real kernel loopback transport.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <thread>
+
+#include "net/kernel_transport.h"
+#include "net/sim_transport.h"
+
+namespace flick {
+namespace {
+
+// ------------------------------------------------------------ SimTransport ----
+
+class SimTransportTest : public ::testing::Test {
+ protected:
+  SimNetwork net_;
+  SimTransport transport_{&net_, StackCostModel::Null()};
+};
+
+TEST_F(SimTransportTest, ListenConnectAccept) {
+  auto listener = transport_.Listen(7000);
+  ASSERT_TRUE(listener.ok());
+  EXPECT_EQ((*listener)->port(), 7000);
+
+  auto client = transport_.Connect(7000);
+  ASSERT_TRUE(client.ok());
+
+  auto server = (*listener)->Accept();
+  ASSERT_NE(server, nullptr);
+  EXPECT_TRUE(server->IsOpen());
+}
+
+TEST_F(SimTransportTest, ConnectRefusedWithoutListener) {
+  auto conn = transport_.Connect(7999);
+  EXPECT_FALSE(conn.ok());
+  EXPECT_EQ(conn.status().code(), StatusCode::kUnavailable);
+}
+
+TEST_F(SimTransportTest, DuplicateListenRejected) {
+  auto l1 = transport_.Listen(7001);
+  ASSERT_TRUE(l1.ok());
+  auto l2 = transport_.Listen(7001);
+  EXPECT_FALSE(l2.ok());
+  EXPECT_EQ(l2.status().code(), StatusCode::kAlreadyExists);
+}
+
+TEST_F(SimTransportTest, PortReusableAfterListenerClose) {
+  {
+    auto l1 = transport_.Listen(7002);
+    ASSERT_TRUE(l1.ok());
+  }
+  auto l2 = transport_.Listen(7002);
+  EXPECT_TRUE(l2.ok());
+}
+
+TEST_F(SimTransportTest, BidirectionalData) {
+  auto listener = transport_.Listen(7010);
+  ASSERT_TRUE(listener.ok());
+  auto client = transport_.Connect(7010);
+  ASSERT_TRUE(client.ok());
+  auto server = (*listener)->Accept();
+  ASSERT_NE(server, nullptr);
+
+  auto wrote = (*client)->Write("ping", 4);
+  ASSERT_TRUE(wrote.ok());
+  EXPECT_EQ(*wrote, 4u);
+
+  char buf[8];
+  auto got = server->Read(buf, sizeof(buf));
+  ASSERT_TRUE(got.ok());
+  EXPECT_EQ(std::string(buf, *got), "ping");
+
+  ASSERT_TRUE(server->Write("pong", 4).ok());
+  got = (*client)->Read(buf, sizeof(buf));
+  ASSERT_TRUE(got.ok());
+  EXPECT_EQ(std::string(buf, *got), "pong");
+}
+
+TEST_F(SimTransportTest, ReadOnEmptyReturnsZero) {
+  auto listener = transport_.Listen(7011);
+  auto client = transport_.Connect(7011);
+  auto server = (*listener)->Accept();
+  char buf[8];
+  auto got = server->Read(buf, sizeof(buf));
+  ASSERT_TRUE(got.ok());
+  EXPECT_EQ(*got, 0u);
+  EXPECT_FALSE(server->ReadReady());
+  ASSERT_TRUE((*client)->Write("x", 1).ok());
+  EXPECT_TRUE(server->ReadReady());
+}
+
+TEST_F(SimTransportTest, PeerCloseDrainsThenSignals) {
+  auto listener = transport_.Listen(7012);
+  auto client = transport_.Connect(7012);
+  auto server = (*listener)->Accept();
+  ASSERT_TRUE((*client)->Write("bye", 3).ok());
+  (*client)->Close();
+
+  char buf[8];
+  auto got = server->Read(buf, sizeof(buf));
+  ASSERT_TRUE(got.ok());
+  EXPECT_EQ(std::string(buf, *got), "bye");  // buffered data still readable
+
+  got = server->Read(buf, sizeof(buf));
+  EXPECT_FALSE(got.ok());
+  EXPECT_EQ(got.status().code(), StatusCode::kUnavailable);
+}
+
+TEST_F(SimTransportTest, WriteToClosedPeerFails) {
+  auto listener = transport_.Listen(7013);
+  auto client = transport_.Connect(7013);
+  auto server = (*listener)->Accept();
+  server->Close();
+  auto wrote = (*client)->Write("x", 1);
+  EXPECT_FALSE(wrote.ok());
+}
+
+TEST_F(SimTransportTest, ReadReadyTrueAfterPeerClose) {
+  auto listener = transport_.Listen(7014);
+  auto client = transport_.Connect(7014);
+  auto server = (*listener)->Accept();
+  EXPECT_FALSE(server->ReadReady());
+  (*client)->Close();
+  EXPECT_TRUE(server->ReadReady()) << "close must be observable as readability";
+}
+
+TEST_F(SimTransportTest, BackpressureWhenRingFull) {
+  SimNetwork small_net(/*ring_capacity=*/1024);
+  SimTransport t(&small_net, StackCostModel::Null());
+  auto listener = t.Listen(1);
+  auto client = t.Connect(1);
+  auto server = (*listener)->Accept();
+  (void)server;
+  std::string big(4096, 'x');
+  size_t total = 0;
+  for (int i = 0; i < 10; ++i) {
+    auto wrote = (*client)->Write(big.data(), big.size());
+    ASSERT_TRUE(wrote.ok());
+    total += *wrote;
+    if (*wrote == 0) {
+      break;
+    }
+  }
+  EXPECT_LE(total, 1024u);
+}
+
+TEST_F(SimTransportTest, CostModelsHaveExpectedOrdering) {
+  const auto kernel = StackCostModel::Kernel();
+  const auto mtcp = StackCostModel::Mtcp();
+  EXPECT_GT(kernel.connect_cost, mtcp.connect_cost);
+  EXPECT_GT(kernel.accept_cost, mtcp.accept_cost);
+  EXPECT_GT(kernel.op_cost, mtcp.op_cost);
+  // Data copy cost is stack-independent.
+  EXPECT_EQ(kernel.per_kb_cost, mtcp.per_kb_cost);
+}
+
+TEST_F(SimTransportTest, CrossThreadEcho) {
+  auto listener = transport_.Listen(7020);
+  ASSERT_TRUE(listener.ok());
+  std::thread server_thread([&] {
+    std::unique_ptr<Connection> conn;
+    while (conn == nullptr) {
+      conn = (*listener)->Accept();
+    }
+    char buf[64];
+    size_t echoed = 0;
+    while (echoed < 5) {
+      auto got = conn->Read(buf, sizeof(buf));
+      if (!got.ok()) {
+        break;
+      }
+      if (*got > 0) {
+        size_t off = 0;
+        while (off < *got) {
+          auto w = conn->Write(buf + off, *got - off);
+          if (!w.ok()) {
+            return;
+          }
+          off += *w;
+        }
+        echoed += *got;
+      }
+    }
+  });
+  auto client = transport_.Connect(7020);
+  ASSERT_TRUE(client.ok());
+  ASSERT_TRUE((*client)->Write("hello", 5).ok());
+  std::string response;
+  char buf[64];
+  while (response.size() < 5) {
+    auto got = (*client)->Read(buf, sizeof(buf));
+    ASSERT_TRUE(got.ok());
+    response.append(buf, *got);
+  }
+  EXPECT_EQ(response, "hello");
+  server_thread.join();
+}
+
+// --------------------------------------------------------- KernelTransport ----
+
+TEST(KernelTransportTest, LoopbackEcho) {
+  KernelTransport transport;
+  auto listener = transport.Listen(0);  // ephemeral port
+  ASSERT_TRUE(listener.ok());
+  const uint16_t port = (*listener)->port();
+  ASSERT_NE(port, 0);
+
+  auto client = transport.Connect(port);
+  ASSERT_TRUE(client.ok());
+
+  std::unique_ptr<Connection> server;
+  for (int i = 0; i < 1000 && server == nullptr; ++i) {
+    server = (*listener)->Accept();
+    if (server == nullptr) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
+  }
+  ASSERT_NE(server, nullptr);
+
+  ASSERT_TRUE((*client)->Write("ping", 4).ok());
+  char buf[8];
+  size_t got = 0;
+  for (int i = 0; i < 1000 && got == 0; ++i) {
+    auto r = server->Read(buf, sizeof(buf));
+    ASSERT_TRUE(r.ok());
+    got = *r;
+    if (got == 0) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
+  }
+  EXPECT_EQ(std::string(buf, got), "ping");
+}
+
+TEST(KernelTransportTest, ConnectRefused) {
+  KernelTransport transport;
+  // Port 1 on loopback is almost certainly closed in the test environment.
+  auto conn = transport.Connect(1);
+  EXPECT_FALSE(conn.ok());
+}
+
+TEST(KernelTransportTest, PeerCloseObservedAsUnavailable) {
+  KernelTransport transport;
+  auto listener = transport.Listen(0);
+  ASSERT_TRUE(listener.ok());
+  auto client = transport.Connect((*listener)->port());
+  ASSERT_TRUE(client.ok());
+  std::unique_ptr<Connection> server;
+  for (int i = 0; i < 1000 && server == nullptr; ++i) {
+    server = (*listener)->Accept();
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  ASSERT_NE(server, nullptr);
+  (*client)->Close();
+  char buf[8];
+  Status status = OkStatus();
+  for (int i = 0; i < 1000; ++i) {
+    auto r = server->Read(buf, sizeof(buf));
+    if (!r.ok()) {
+      status = r.status();
+      break;
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  EXPECT_EQ(status.code(), StatusCode::kUnavailable);
+}
+
+}  // namespace
+}  // namespace flick
