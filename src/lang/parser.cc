@@ -430,7 +430,7 @@ class Parser {
       PARSE_OR_RETURN(rhs, ParseAnd());
       lhs = MakeBinary(BinOp::kOr, std::move(lhs), std::move(rhs), line);
     }
-    return std::move(lhs);
+    return lhs;
   }
 
   Result<ExprPtr> ParseAnd() {
@@ -440,7 +440,7 @@ class Parser {
       PARSE_OR_RETURN(rhs, ParseComparison());
       lhs = MakeBinary(BinOp::kAnd, std::move(lhs), std::move(rhs), line);
     }
-    return std::move(lhs);
+    return lhs;
   }
 
   Result<ExprPtr> ParseComparison() {
@@ -460,7 +460,7 @@ class Parser {
       } else if (At(TokenKind::kGe)) {
         op = BinOp::kGe;
       } else {
-        return std::move(lhs);
+        return lhs;
       }
       const int line = Take().line;
       PARSE_OR_RETURN(rhs, ParseAdditive());
@@ -476,7 +476,7 @@ class Parser {
       PARSE_OR_RETURN(rhs, ParseMultiplicative());
       lhs = MakeBinary(op, std::move(lhs), std::move(rhs), line);
     }
-    return std::move(lhs);
+    return lhs;
   }
 
   Result<ExprPtr> ParseMultiplicative() {
@@ -492,7 +492,7 @@ class Parser {
       PARSE_OR_RETURN(rhs, ParseUnary());
       lhs = MakeBinary(op, std::move(lhs), std::move(rhs), line);
     }
-    return std::move(lhs);
+    return lhs;
   }
 
   Result<ExprPtr> ParseUnary() {
@@ -505,7 +505,7 @@ class Parser {
       expr->line = line;
       expr->unary_op = is_not ? '!' : '-';
       expr->base = std::move(operand);
-      return std::move(expr);
+      return expr;
     }
     return ParsePostfix();
   }
@@ -536,7 +536,7 @@ class Parser {
         expr = std::move(index);
         continue;
       }
-      return std::move(expr);
+      return expr;
     }
   }
 
@@ -547,26 +547,26 @@ class Parser {
     if (At(TokenKind::kInt)) {
       expr->kind = ExprKind::kIntLit;
       expr->int_value = Take().int_value;
-      return std::move(expr);
+      return expr;
     }
     if (At(TokenKind::kString)) {
       expr->kind = ExprKind::kStringLit;
       expr->text = Take().text;
-      return std::move(expr);
+      return expr;
     }
     if (Accept(TokenKind::kTrue)) {
       expr->kind = ExprKind::kBoolLit;
       expr->bool_value = true;
-      return std::move(expr);
+      return expr;
     }
     if (Accept(TokenKind::kFalse)) {
       expr->kind = ExprKind::kBoolLit;
       expr->bool_value = false;
-      return std::move(expr);
+      return expr;
     }
     if (Accept(TokenKind::kNone)) {
       expr->kind = ExprKind::kNoneLit;
-      return std::move(expr);
+      return expr;
     }
     if (At(TokenKind::kIdent)) {
       const std::string name = Take().text;
@@ -583,16 +583,16 @@ class Parser {
           }
         }
         FLICK_RETURN_IF_ERROR(Expect(TokenKind::kRParen));
-        return std::move(expr);
+        return expr;
       }
       expr->kind = ExprKind::kVar;
       expr->text = name;
-      return std::move(expr);
+      return expr;
     }
     if (Accept(TokenKind::kLParen)) {
       PARSE_OR_RETURN(inner, ParseExpr());
       FLICK_RETURN_IF_ERROR(Expect(TokenKind::kRParen));
-      return std::move(inner);
+      return inner;
     }
     return Err(std::string("unexpected token ") + TokenKindName(Cur().kind));
   }

@@ -4,6 +4,19 @@
 
 namespace flick::runtime {
 
+void PlatformEnv::ActivateIo(const std::vector<IoBinding>& bindings) {
+  for (const IoBinding& b : bindings) {
+    if (b.conn != nullptr && b.task != nullptr) {
+      poller->WatchConnection(b.conn, b.task);
+    }
+  }
+  for (const IoBinding& b : bindings) {
+    if (b.task != nullptr) {
+      scheduler->NotifyRunnable(b.task);
+    }
+  }
+}
+
 Platform::Platform(PlatformConfig config, Transport* transport)
     : config_(config), transport_(transport) {
   scheduler_ = std::make_unique<Scheduler>(config_.scheduler);

@@ -33,6 +33,13 @@ struct PlatformConfig {
   size_t state_entries_per_dict = 65536;
 };
 
+// One watched connection of a freshly built graph: readiness events on
+// `conn` wake `task` (the graph's input task reading that connection).
+struct IoBinding {
+  Connection* conn = nullptr;
+  Task* task = nullptr;
+};
+
 // Everything a program needs to build and run task graphs.
 struct PlatformEnv {
   Scheduler* scheduler = nullptr;
@@ -41,6 +48,13 @@ struct PlatformEnv {
   MsgPool* msgs = nullptr;
   StateStore* state = nullptr;
   Transport* transport = nullptr;
+
+  // Activates a graph's IO in one correctly ordered step: every watch is
+  // registered before any task is notified, so a readiness event delivered
+  // mid-activation cannot schedule one input task ahead of a sibling's
+  // registration. Graph assembly code (services::GraphBuilder) must use this
+  // instead of interleaving WatchConnection/NotifyRunnable by hand.
+  void ActivateIo(const std::vector<IoBinding>& bindings);
 };
 
 // A network service: receives each accepted client connection (on the poller

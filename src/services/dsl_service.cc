@@ -1,7 +1,6 @@
 #include "services/dsl_service.h"
 
-#include "runtime/compute_task.h"
-#include "runtime/io_tasks.h"
+#include "services/graph_builder.h"
 
 namespace flick::services {
 
@@ -89,78 +88,45 @@ Result<std::unique_ptr<DslService>> DslService::Create(const std::string& source
 void DslService::OnConnection(std::unique_ptr<Connection> conn,
                               runtime::PlatformEnv& env) {
   const size_t n = backend_ports_.size();
-  std::vector<std::unique_ptr<Connection>> backend_conns;
-  for (uint16_t port : backend_ports_) {
-    auto bc = env.transport->Connect(port);
-    if (!bc.ok()) {
-      conn->Close();
-      return;
-    }
-    backend_conns.push_back(std::move(bc).value());
-  }
 
-  auto graph = std::make_unique<runtime::TaskGraph>(name_);
-  runtime::Channel* client_in_ch = graph->AddChannel(128);
-  runtime::Channel* client_out_ch = graph->AddChannel(128);
-  std::vector<runtime::Channel*> backend_in_chs, backend_out_chs;
-  for (size_t b = 0; b < n; ++b) {
-    backend_in_chs.push_back(graph->AddChannel(64));
-    backend_out_chs.push_back(graph->AddChannel(64));
-  }
-
-  // Wiring: compute input 0 / output 0 = client; 1..n = backends.
+  // Wiring: compute input 0 / output 0 = client; 1..n = backends — realised
+  // below by edge declaration order on the proc stage.
   lang::ProcWiring wiring;
   wiring.endpoints[client_param_].inputs = {0};
   wiring.endpoints[client_param_].outputs = {0};
-  for (size_t b = 0; b < n; ++b) {
-    wiring.endpoints[backends_param_].inputs.push_back(1 + b);
-    wiring.endpoints[backends_param_].outputs.push_back(1 + b);
+  for (size_t i = 0; i < n; ++i) {
+    wiring.endpoints[backends_param_].inputs.push_back(1 + i);
+    wiring.endpoints[backends_param_].outputs.push_back(1 + i);
   }
 
-  auto* compute = graph->AddTask<runtime::ComputeTask>(
-      "proc:" + proc_->name,
-      lang::MakeProcHandler(program_, proc_, wiring, env.state, proc_->name), env.msgs);
-  compute->AddInput(client_in_ch, env.scheduler);
-  for (runtime::Channel* ch : backend_in_chs) {
-    compute->AddInput(ch, env.scheduler);
+  GraphBuilder b(name_, env);
+  auto client = b.Adopt(std::move(conn));
+
+  auto request = b.Source(
+      "client-in", client,
+      std::make_unique<runtime::GrammarDeserializer>(client_in_unit_));
+  auto proc = b.Stage("proc:" + proc_->name,
+                      lang::MakeProcHandler(program_, proc_, wiring, env.state,
+                                            proc_->name))
+                  .From(request);
+  b.Sink("client-out", client,
+         std::make_unique<runtime::GrammarSerializer>(client_in_unit_))
+      .From(proc);  // proc output 0
+
+  const grammar::Unit* backend_unit = backend_in_unit_;
+  auto legs = b.FanOut(
+      backend_ports_, "backend",
+      [backend_unit] { return std::make_unique<runtime::GrammarSerializer>(backend_unit); },
+      [backend_unit] { return std::make_unique<runtime::GrammarDeserializer>(backend_unit); },
+      /*capacity=*/64);
+  for (auto& leg : legs) {
+    leg.sink.From(proc);  // proc outputs 1..n
   }
-  compute->AddOutput(client_out_ch);
-  for (runtime::Channel* ch : backend_out_chs) {
-    compute->AddOutput(ch);
-  }
-
-  Connection* client_raw = conn.get();
-  std::vector<Connection*> watch{client_raw};
-
-  auto* client_in = graph->AddTask<runtime::InputTask>(
-      "client-in", std::move(conn),
-      std::make_unique<runtime::GrammarDeserializer>(client_in_unit_), client_in_ch,
-      env.msgs, env.buffers);
-  auto* client_out = graph->AddTask<runtime::OutputTask>(
-      "client-out", std::make_unique<SharedConn>(client_raw),
-      std::make_unique<runtime::GrammarSerializer>(client_in_unit_), client_out_ch,
-      env.buffers);
-  client_out_ch->BindConsumer(client_out, env.scheduler);
-
-  for (size_t b = 0; b < n; ++b) {
-    Connection* braw = backend_conns[b].get();
-    auto* bout = graph->AddTask<runtime::OutputTask>(
-        "backend-out-" + std::to_string(b), std::move(backend_conns[b]),
-        std::make_unique<runtime::GrammarSerializer>(backend_in_unit_),
-        backend_out_chs[b], env.buffers);
-    backend_out_chs[b]->BindConsumer(bout, env.scheduler);
-    auto* bin = graph->AddTask<runtime::InputTask>(
-        "backend-in-" + std::to_string(b), std::make_unique<SharedConn>(braw),
-        std::make_unique<runtime::GrammarDeserializer>(backend_in_unit_),
-        backend_in_chs[b], env.msgs, env.buffers);
-    env.poller->WatchConnection(braw, bin);
-    env.scheduler->NotifyRunnable(bin);
-    watch.push_back(braw);
+  for (auto& leg : legs) {
+    proc.From(leg.source);  // proc inputs 1..n
   }
 
-  env.poller->WatchConnection(client_raw, client_in);
-  env.scheduler->NotifyRunnable(client_in);
-  registry_.Adopt(std::move(graph), std::move(watch), env);
+  (void)b.Launch(registry_);
 }
 
 }  // namespace flick::services

@@ -1,0 +1,247 @@
+// Declarative per-connection task-graph builder: the one place that turns a
+// service's *description* of its graph (Figure 3's shapes) into a correctly
+// wired, watched, scheduled and registered TaskGraph.
+//
+// Services declare connection legs (Adopt / Connect / FanOut), nodes
+// (Source / Stage / Sink / Merge / Tee) and edges (NodeRef::From), then call
+// Launch(). Launch performs, in one audited sequence, everything services
+// used to hand-roll:
+//   * channel allocation with per-edge capacities,
+//   * task construction in declaration order (stage input/output indices
+//     follow edge declaration order),
+//   * consumer/scheduler binding,
+//   * connection ownership: the first node referencing a leg owns the
+//     Connection; every later reference is aliased through SharedConn
+//     (read/write splits on one wire),
+//   * watch-then-notify IO activation via PlatformEnv::ActivateIo,
+//   * staged GraphRegistry adoption, and
+//   * failure-path cleanup — if any Connect() failed, or the graph is
+//     malformed, every already-opened leg (client and backends alike) is
+//     closed instead of leaked.
+//
+// Example (the HTTP load balancer of §6.1, Figure 3a):
+//
+//   GraphBuilder b("http-lb", env);
+//   auto client  = b.Adopt(std::move(conn));
+//   auto backend = b.Connect(port);
+//   auto req = b.Source("client-in", client,
+//                       std::make_unique<runtime::HttpDeserializer>(mode));
+//   auto fwd = b.Stage("dispatch", handler).From(req);
+//   b.Sink("backend-out", backend,
+//          std::make_unique<runtime::HttpSerializer>()).From(fwd);
+//   auto ret = b.Source("backend-in", backend,
+//                       std::make_unique<runtime::RawDeserializer>());
+//   b.Sink("client-out", client,
+//          std::make_unique<runtime::RawSerializer>()).From(ret);
+//   b.Launch(registry);
+#ifndef FLICK_SERVICES_GRAPH_BUILDER_H_
+#define FLICK_SERVICES_GRAPH_BUILDER_H_
+
+#include <cstddef>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "runtime/codec.h"
+#include "runtime/compute_task.h"
+#include "runtime/platform.h"
+#include "services/service_util.h"
+
+namespace flick::services {
+
+class GraphBuilder;
+
+// Handle to a connection leg owned by the builder until Launch().
+class ConnRef {
+ public:
+  ConnRef() = default;
+  bool valid() const { return index_ != kInvalid; }
+
+ private:
+  friend class GraphBuilder;
+  static constexpr size_t kInvalid = static_cast<size_t>(-1);
+  explicit ConnRef(size_t index) : index_(index) {}
+  size_t index_ = kInvalid;
+};
+
+// Handle to a declared node. From(upstream) declares an edge carrying
+// upstream's output stream into this node and returns this node, so
+// declarations chain: b.Stage("f", fn).From(src).
+class NodeRef {
+ public:
+  NodeRef() = default;
+  bool valid() const { return builder_ != nullptr; }
+
+  // Declares an edge upstream -> this node. `capacity` overrides the channel
+  // capacity for this edge (0 = inherit, see GraphBuilder::DefaultCapacity).
+  // Input/output indices of stages follow the order edges are declared.
+  NodeRef From(NodeRef upstream, size_t capacity = 0);
+
+ private:
+  friend class GraphBuilder;
+  NodeRef(GraphBuilder* builder, size_t index) : builder_(builder), index_(index) {}
+  GraphBuilder* builder_ = nullptr;
+  size_t index_ = 0;
+};
+
+// Per-graph construction stats filled in by Launch().
+struct GraphLaunchStats {
+  size_t sources = 0;
+  size_t stages = 0;
+  size_t sinks = 0;
+  size_t merges = 0;
+  size_t tees = 0;
+  size_t tasks = 0;
+  size_t channels = 0;
+  size_t connections = 0;  // legs adopted or dialled
+  size_t watched = 0;      // legs with a read-side input task
+};
+
+class GraphBuilder {
+ public:
+  using SerializerFactory = std::function<std::unique_ptr<runtime::Serializer>()>;
+  using DeserializerFactory = std::function<std::unique_ptr<runtime::Deserializer>()>;
+
+  // One dialled backend leg of a fan-out (Figure 3b): the wire, the sink
+  // carrying requests to it and the source carrying its responses back.
+  struct Leg {
+    ConnRef conn;
+    NodeRef sink;
+    NodeRef source;
+  };
+
+  GraphBuilder(std::string name, runtime::PlatformEnv& env);
+
+  // Closes every adopted/dialled leg that was never handed to a launched
+  // graph — abandoning a builder can not leak connections.
+  ~GraphBuilder();
+
+  GraphBuilder(const GraphBuilder&) = delete;
+  GraphBuilder& operator=(const GraphBuilder&) = delete;
+
+  // Channel capacity used for edges that specify none. Initially 128.
+  GraphBuilder& DefaultCapacity(size_t capacity);
+
+  // --- connection legs -------------------------------------------------------
+
+  // Takes ownership of an accepted connection (the client leg).
+  ConnRef Adopt(std::unique_ptr<Connection> conn);
+
+  // Dials a backend. On failure the builder is poisoned: every later call is
+  // a no-op and Launch() closes all already-opened legs and reports why.
+  ConnRef Connect(uint16_t port);
+
+  bool ok() const { return status_.ok(); }
+  const Status& status() const { return status_; }
+
+  // --- nodes -----------------------------------------------------------------
+
+  // Input task: conn -> deserializer -> typed stream. `capacity` is the
+  // preferred capacity of the source's output channel (0 = default).
+  NodeRef Source(std::string name, ConnRef conn,
+                 std::unique_ptr<runtime::Deserializer> codec, size_t capacity = 0);
+
+  // Compute task running `handler` over all inbound edges (round-robin).
+  NodeRef Stage(std::string name, runtime::ComputeTask::Handler handler);
+
+  // Output task: stream -> serializer -> conn.
+  NodeRef Sink(std::string name, ConnRef conn,
+               std::unique_ptr<runtime::Serializer> codec);
+
+  // foldt node (§4.3): merges two key-ordered streams. Exactly two inbound
+  // edges (left = first declared) and one outbound edge.
+  NodeRef Merge(std::string name, runtime::MergeTask::OrderFn order,
+                runtime::MergeTask::CombineFn combine, size_t capacity = 0);
+
+  // Duplicates one inbound stream to every outbound edge (message copies).
+  NodeRef Tee(std::string name);
+
+  // --- fan-out / fan-in primitives ------------------------------------------
+
+  // Dials one leg per port and declares its sink/source pair named
+  // "<base>-out-<i>" / "<base>-in-<i>". `capacity` becomes the preferred
+  // capacity of each leg's channels. Wiring to a dispatch stage stays with
+  // the caller so input/output index order is explicit.
+  std::vector<Leg> FanOut(const std::vector<uint16_t>& ports, const std::string& base,
+                          const SerializerFactory& make_serializer,
+                          const DeserializerFactory& make_deserializer,
+                          size_t capacity = 0);
+
+  // Pairwise binary merge tree over `streams` ("combining elements in a
+  // pair-wise manner until only the result remains", §4.3). Returns the root
+  // stream; with a single input stream no merge node is created.
+  NodeRef MergeTree(const std::string& base, std::vector<NodeRef> streams,
+                    runtime::MergeTask::OrderFn order,
+                    runtime::MergeTask::CombineFn combine, size_t capacity = 0);
+
+  // --- launch ----------------------------------------------------------------
+
+  // Materialises the graph: validates the topology, allocates channels,
+  // constructs and wires tasks, activates IO (watch-then-notify) and adopts
+  // the graph into `registry`. On any failure all legs are closed and the
+  // error is returned; the builder is single-shot either way.
+  Status Launch(GraphRegistry& registry);
+
+  // Valid after a successful Launch().
+  const GraphLaunchStats& stats() const { return stats_; }
+
+ private:
+  friend class NodeRef;
+
+  enum class NodeKind { kSource, kStage, kSink, kMerge, kTee };
+
+  struct NodeSpec {
+    NodeKind kind;
+    std::string name;
+    size_t conn = ConnRef::kInvalid;  // sources/sinks
+    std::unique_ptr<runtime::Deserializer> deserializer;
+    std::unique_ptr<runtime::Serializer> serializer;
+    runtime::ComputeTask::Handler handler;
+    runtime::MergeTask::OrderFn order;
+    runtime::MergeTask::CombineFn combine;
+    size_t preferred_capacity = 0;  // for edges touching this node
+    std::vector<size_t> in_edges;   // edge indices, declaration order
+    std::vector<size_t> out_edges;
+  };
+
+  struct EdgeSpec {
+    size_t from;
+    size_t to;
+    size_t capacity = 0;  // 0 = resolve from endpoints / default
+  };
+
+  struct ConnSpec {
+    std::unique_ptr<Connection> owned;
+    Connection* raw = nullptr;
+    size_t source_node = static_cast<size_t>(-1);   // reading node, if any
+    size_t sink_node = static_cast<size_t>(-1);     // writing node, if any
+    bool referenced = false;                        // used by any node
+    runtime::InputTask* source_task = nullptr;      // filled during Launch
+  };
+
+  NodeRef AddNode(NodeSpec spec);
+  void AddEdge(size_t from, size_t to, size_t capacity);
+  void Poison(Status status);
+  void CloseAllLegs();
+  Status Validate() const;
+  size_t ResolveCapacity(const EdgeSpec& edge) const;
+
+  // Hands out the leg's Connection: the first taker owns it, later takers
+  // get a SharedConn alias.
+  std::unique_ptr<Connection> TakeConn(size_t conn_index);
+
+  std::string name_;
+  runtime::PlatformEnv& env_;
+  Status status_;
+  bool launched_ = false;
+  size_t default_capacity_ = 128;
+  std::vector<ConnSpec> conns_;
+  std::vector<NodeSpec> nodes_;
+  std::vector<EdgeSpec> edges_;
+  GraphLaunchStats stats_;
+};
+
+}  // namespace flick::services
+
+#endif  // FLICK_SERVICES_GRAPH_BUILDER_H_

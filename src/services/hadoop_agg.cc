@@ -1,8 +1,7 @@
 #include "services/hadoop_agg.h"
 
 #include "proto/hadoop.h"
-#include "runtime/compute_task.h"
-#include "runtime/io_tasks.h"
+#include "services/graph_builder.h"
 
 namespace flick::services {
 namespace {
@@ -42,58 +41,27 @@ void HadoopAggService::BuildGraph(runtime::PlatformEnv& env) {
     mappers.swap(pending_);
   }
 
-  auto reducer_conn = env.transport->Connect(reducer_port_);
-  if (!reducer_conn.ok()) {
-    for (auto& m : mappers) {
-      m->Close();
-    }
-    return;
-  }
+  const grammar::Unit* unit = &proto::HadoopKvUnit();
+  GraphBuilder b("hadoop-agg", env);
+  b.DefaultCapacity(256);
 
-  auto graph = std::make_unique<runtime::TaskGraph>("hadoop-agg");
-  std::vector<Connection*> watch;
-
-  // Leaves: one input task per mapper connection.
-  std::vector<runtime::Channel*> level;
+  // Leaves: one input task per mapper connection. If the reducer dial below
+  // fails, Launch() closes every adopted mapper connection.
+  std::vector<NodeRef> streams;
   for (size_t m = 0; m < mappers.size(); ++m) {
-    runtime::Channel* ch = graph->AddChannel(256);
-    Connection* raw = mappers[m].get();
-    auto* in = graph->AddTask<runtime::InputTask>(
-        "mapper-in-" + std::to_string(m), std::move(mappers[m]),
-        std::make_unique<runtime::GrammarDeserializer>(&proto::HadoopKvUnit()), ch,
-        env.msgs, env.buffers);
-    env.poller->WatchConnection(raw, in);
-    env.scheduler->NotifyRunnable(in);
-    watch.push_back(raw);
-    level.push_back(ch);
+    auto mapper = b.Adopt(std::move(mappers[m]));
+    streams.push_back(b.Source("mapper-in-" + std::to_string(m), mapper,
+                               std::make_unique<runtime::GrammarDeserializer>(unit)));
   }
 
   // Binary merge tree ("combining elements in a pair-wise manner until only
-  // the result remains", §4.3).
-  int merge_id = 0;
-  while (level.size() > 1) {
-    std::vector<runtime::Channel*> next;
-    for (size_t i = 0; i + 1 < level.size(); i += 2) {
-      runtime::Channel* out = graph->AddChannel(256);
-      auto* merge = graph->AddTask<runtime::MergeTask>(
-          "merge-" + std::to_string(merge_id++), OrderByKey, CombineByAdding);
-      merge->BindInputs(level[i], level[i + 1], env.scheduler);
-      merge->BindOutput(out);
-      next.push_back(out);
-    }
-    if (level.size() % 2 == 1) {
-      next.push_back(level.back());  // odd stream carries to the next level
-    }
-    level = std::move(next);
-  }
+  // the result remains", §4.3), rooted at the reducer connection.
+  auto root = b.MergeTree("merge", std::move(streams), OrderByKey, CombineByAdding);
+  auto reducer = b.Connect(reducer_port_);
+  b.Sink("reducer-out", reducer, std::make_unique<runtime::GrammarSerializer>(unit))
+      .From(root);
 
-  auto* out = graph->AddTask<runtime::OutputTask>(
-      "reducer-out", std::move(reducer_conn).value(),
-      std::make_unique<runtime::GrammarSerializer>(&proto::HadoopKvUnit()), level.front(),
-      env.buffers);
-  level.front()->BindConsumer(out, env.scheduler);
-
-  registry_.Adopt(std::move(graph), std::move(watch), env);
+  (void)b.Launch(registry_);
 }
 
 }  // namespace flick::services

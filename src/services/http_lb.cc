@@ -1,8 +1,7 @@
 #include "services/http_lb.h"
 
 #include "base/hash.h"
-#include "runtime/compute_task.h"
-#include "runtime/io_tasks.h"
+#include "services/graph_builder.h"
 
 namespace flick::services {
 
@@ -12,67 +11,45 @@ void HttpLbService::OnConnection(std::unique_ptr<Connection> conn,
   // destination IP and port" — the connection id plays the 4-tuple's role on
   // the simulated fabric. Sticky for the connection's lifetime.
   const size_t backend_index = MixU64(conn->id()) % backends_.size();
-  auto backend_conn = env.transport->Connect(backends_[backend_index]);
-  if (!backend_conn.ok()) {
-    conn->Close();
-    return;
-  }
 
-  auto graph = std::make_unique<runtime::TaskGraph>("http-lb");
-  runtime::Channel* req_ch = graph->AddChannel(128);     // client -> compute
-  runtime::Channel* fwd_ch = graph->AddChannel(128);     // compute -> backend
-  runtime::Channel* ret_ch = graph->AddChannel(128);     // backend -> client
-
-  Connection* client_raw = conn.get();
-  Connection* backend_raw = backend_conn->get();
+  GraphBuilder b("http-lb", env);
+  auto client = b.Adopt(std::move(conn));
+  auto backend = b.Connect(backends_[backend_index]);
 
   // Request path: parse -> pick backend -> forward.
-  auto* client_in = graph->AddTask<runtime::InputTask>(
-      "client-in", std::move(conn),
-      std::make_unique<runtime::HttpDeserializer>(proto::HttpParser::Mode::kRequest),
-      req_ch, env.msgs, env.buffers);
-
-  auto* compute = graph->AddTask<runtime::ComputeTask>(
-      "dispatch",
-      [this](runtime::Msg& msg, size_t, runtime::EmitContext& emit) {
-        if (msg.kind == runtime::Msg::Kind::kEof) {
-          runtime::MsgRef eof = emit.NewMsg();
-          eof->kind = runtime::Msg::Kind::kEof;
-          return emit.Emit(0, std::move(eof)) ? runtime::HandleResult::kConsumed
-                                              : runtime::HandleResult::kBlocked;
-        }
-        runtime::MsgRef fwd = emit.NewMsg();
-        fwd->kind = runtime::Msg::Kind::kHttp;
-        fwd->http = msg.http;
-        if (!emit.Emit(0, std::move(fwd))) {
-          return runtime::HandleResult::kBlocked;
-        }
-        requests_.fetch_add(1, std::memory_order_relaxed);
-        return runtime::HandleResult::kConsumed;
-      },
-      env.msgs);
-  compute->AddInput(req_ch, env.scheduler);
-  compute->AddOutput(fwd_ch);
-
-  auto* backend_out = graph->AddTask<runtime::OutputTask>(
-      "backend-out", std::move(backend_conn).value(),
-      std::make_unique<runtime::HttpSerializer>(), fwd_ch, env.buffers);
-  fwd_ch->BindConsumer(backend_out, env.scheduler);
+  auto request = b.Source(
+      "client-in", client,
+      std::make_unique<runtime::HttpDeserializer>(proto::HttpParser::Mode::kRequest));
+  auto dispatch =
+      b.Stage("dispatch",
+              [this](runtime::Msg& msg, size_t, runtime::EmitContext& emit) {
+                if (msg.kind == runtime::Msg::Kind::kEof) {
+                  runtime::MsgRef eof = emit.NewMsg();
+                  eof->kind = runtime::Msg::Kind::kEof;
+                  return emit.Emit(0, std::move(eof))
+                             ? runtime::HandleResult::kConsumed
+                             : runtime::HandleResult::kBlocked;
+                }
+                runtime::MsgRef fwd = emit.NewMsg();
+                fwd->kind = runtime::Msg::Kind::kHttp;
+                fwd->http = msg.http;
+                if (!emit.Emit(0, std::move(fwd))) {
+                  return runtime::HandleResult::kBlocked;
+                }
+                requests_.fetch_add(1, std::memory_order_relaxed);
+                return runtime::HandleResult::kConsumed;
+              })
+          .From(request);
+  b.Sink("backend-out", backend, std::make_unique<runtime::HttpSerializer>())
+      .From(dispatch);
 
   // Return path: raw pass-through, no parsing (Figure 3a).
-  auto* backend_in = graph->AddTask<runtime::InputTask>(
-      "backend-in", std::make_unique<SharedConn>(backend_raw),
-      std::make_unique<runtime::RawDeserializer>(), ret_ch, env.msgs, env.buffers);
-  auto* client_out = graph->AddTask<runtime::OutputTask>(
-      "client-out", std::make_unique<SharedConn>(client_raw),
-      std::make_unique<runtime::RawSerializer>(), ret_ch, env.buffers);
-  ret_ch->BindConsumer(client_out, env.scheduler);
+  auto response =
+      b.Source("backend-in", backend, std::make_unique<runtime::RawDeserializer>());
+  b.Sink("client-out", client, std::make_unique<runtime::RawSerializer>())
+      .From(response);
 
-  env.poller->WatchConnection(client_raw, client_in);
-  env.poller->WatchConnection(backend_raw, backend_in);
-  env.scheduler->NotifyRunnable(client_in);
-  env.scheduler->NotifyRunnable(backend_in);
-  registry_.Adopt(std::move(graph), {client_raw, backend_raw}, env);
+  (void)b.Launch(registry_);
 }
 
 }  // namespace flick::services

@@ -2,121 +2,84 @@
 
 #include "base/hash.h"
 #include "proto/memcached.h"
-#include "runtime/compute_task.h"
-#include "runtime/io_tasks.h"
+#include "services/graph_builder.h"
 
 namespace flick::services {
 
 void MemcachedProxyService::OnConnection(std::unique_ptr<Connection> conn,
                                          runtime::PlatformEnv& env) {
   const size_t n = backends_.size();
-  // One persistent connection per backend for this client (Figure 3b).
-  std::vector<std::unique_ptr<Connection>> backend_conns;
-  backend_conns.reserve(n);
-  for (uint16_t port : backends_) {
-    auto bc = env.transport->Connect(port);
-    if (!bc.ok()) {
-      conn->Close();
-      return;
-    }
-    backend_conns.push_back(std::move(bc).value());
-  }
+  const grammar::Unit* unit = &proto::MemcachedUnit();
 
-  auto graph = std::make_unique<runtime::TaskGraph>("memcached-proxy");
-  runtime::Channel* req_ch = graph->AddChannel(128);
-  runtime::Channel* client_out_ch = graph->AddChannel(128);
-  // Channels are SPSC: one response channel per backend input task.
-  std::vector<runtime::Channel*> fwd_chs;
-  std::vector<runtime::Channel*> resp_chs;
-  for (size_t b = 0; b < n; ++b) {
-    fwd_chs.push_back(graph->AddChannel(64));
-    resp_chs.push_back(graph->AddChannel(64));
-  }
-
-  Connection* client_raw = conn.get();
+  GraphBuilder b("memcached-proxy", env);
+  auto client = b.Adopt(std::move(conn));
 
   // Request path: parse with the projected unit (opcode/key only).
-  auto* client_in = graph->AddTask<runtime::InputTask>(
-      "client-in", std::move(conn),
-      std::make_unique<runtime::GrammarDeserializer>(&proto::MemcachedUnit()), req_ch,
-      env.msgs, env.buffers);
+  auto request = b.Source("client-in", client,
+                          std::make_unique<runtime::GrammarDeserializer>(unit));
 
-  // Dispatch: `hash(req.key) mod len(backends)` (Listing 1).
-  auto* dispatch = graph->AddTask<runtime::ComputeTask>(
-      "dispatch",
-      [this, n](runtime::Msg& msg, size_t input_index, runtime::EmitContext& emit) {
-        if (msg.kind == runtime::Msg::Kind::kEof) {
-          if (input_index == 0) {
-            // Client left: close all backend legs.
-            for (size_t b = 0; b < n; ++b) {
-              runtime::MsgRef eof = emit.NewMsg();
-              eof->kind = runtime::Msg::Kind::kEof;
-              (void)emit.Emit(b, std::move(eof));
-            }
-            runtime::MsgRef eof = emit.NewMsg();
-            eof->kind = runtime::Msg::Kind::kEof;
-            (void)emit.Emit(n, std::move(eof));  // and the client leg
-          }
-          return runtime::HandleResult::kConsumed;
-        }
-        if (input_index == 0) {
-          // Request from the client: route by key hash.
-          proto::MemcachedCommand cmd(&msg.gmsg);
-          const size_t target = HashBytes(cmd.key()) % n;
-          runtime::MsgRef fwd = emit.NewMsg();
-          fwd->kind = runtime::Msg::Kind::kGrammar;
-          fwd->gmsg = msg.gmsg;
-          if (!emit.Emit(target, std::move(fwd))) {
-            return runtime::HandleResult::kBlocked;
-          }
-          requests_.fetch_add(1, std::memory_order_relaxed);
-          return runtime::HandleResult::kConsumed;
-        }
-        // Response from a backend: forward to the client (output n).
-        runtime::MsgRef resp = emit.NewMsg();
-        resp->kind = runtime::Msg::Kind::kGrammar;
-        resp->gmsg = msg.gmsg;
-        return emit.Emit(n, std::move(resp)) ? runtime::HandleResult::kConsumed
-                                             : runtime::HandleResult::kBlocked;
-      },
-      env.msgs);
-  dispatch->AddInput(req_ch, env.scheduler);          // input 0: client
-  for (runtime::Channel* ch : resp_chs) {
-    dispatch->AddInput(ch, env.scheduler);            // inputs 1..n: backends
-  }
-  for (runtime::Channel* ch : fwd_chs) {
-    dispatch->AddOutput(ch);            // outputs 0..n-1: backends
-  }
-  dispatch->AddOutput(client_out_ch);   // output n: client
+  // Dispatch: `hash(req.key) mod len(backends)` (Listing 1). Outputs 0..n-1
+  // are the backend legs, output n the client; input 0 is the client,
+  // inputs 1..n the backends — fixed below by edge declaration order.
+  auto dispatch =
+      b.Stage("dispatch",
+              [this, n](runtime::Msg& msg, size_t input_index,
+                        runtime::EmitContext& emit) {
+                if (msg.kind == runtime::Msg::Kind::kEof) {
+                  if (input_index == 0) {
+                    // Client left: close all backend legs.
+                    for (size_t o = 0; o < n; ++o) {
+                      runtime::MsgRef eof = emit.NewMsg();
+                      eof->kind = runtime::Msg::Kind::kEof;
+                      (void)emit.Emit(o, std::move(eof));
+                    }
+                    runtime::MsgRef eof = emit.NewMsg();
+                    eof->kind = runtime::Msg::Kind::kEof;
+                    (void)emit.Emit(n, std::move(eof));  // and the client leg
+                  }
+                  return runtime::HandleResult::kConsumed;
+                }
+                if (input_index == 0) {
+                  // Request from the client: route by key hash.
+                  proto::MemcachedCommand cmd(&msg.gmsg);
+                  const size_t target = HashBytes(cmd.key()) % n;
+                  runtime::MsgRef fwd = emit.NewMsg();
+                  fwd->kind = runtime::Msg::Kind::kGrammar;
+                  fwd->gmsg = msg.gmsg;
+                  if (!emit.Emit(target, std::move(fwd))) {
+                    return runtime::HandleResult::kBlocked;
+                  }
+                  requests_.fetch_add(1, std::memory_order_relaxed);
+                  return runtime::HandleResult::kConsumed;
+                }
+                // Response from a backend: forward to the client (output n).
+                runtime::MsgRef resp = emit.NewMsg();
+                resp->kind = runtime::Msg::Kind::kGrammar;
+                resp->gmsg = msg.gmsg;
+                return emit.Emit(n, std::move(resp))
+                           ? runtime::HandleResult::kConsumed
+                           : runtime::HandleResult::kBlocked;
+              })
+          .From(request);
 
-  // Backend legs.
-  std::vector<Connection*> watch;
-  watch.push_back(client_raw);
-  for (size_t b = 0; b < n; ++b) {
-    Connection* braw = backend_conns[b].get();
-    auto* bout = graph->AddTask<runtime::OutputTask>(
-        "backend-out-" + std::to_string(b), std::move(backend_conns[b]),
-        std::make_unique<runtime::GrammarSerializer>(&proto::MemcachedUnit()), fwd_chs[b],
-        env.buffers);
-    fwd_chs[b]->BindConsumer(bout, env.scheduler);
-    auto* bin = graph->AddTask<runtime::InputTask>(
-        "backend-in-" + std::to_string(b), std::make_unique<SharedConn>(braw),
-        std::make_unique<runtime::GrammarDeserializer>(&proto::MemcachedUnit()),
-        resp_chs[b], env.msgs, env.buffers);
-    env.poller->WatchConnection(braw, bin);
-    env.scheduler->NotifyRunnable(bin);
-    watch.push_back(braw);
+  // One persistent connection per backend for this client (Figure 3b). A dial
+  // failure poisons the builder and Launch() closes the already-established
+  // legs as well as the client.
+  auto legs = b.FanOut(
+      backends_, "backend",
+      [unit] { return std::make_unique<runtime::GrammarSerializer>(unit); },
+      [unit] { return std::make_unique<runtime::GrammarDeserializer>(unit); },
+      /*capacity=*/64);
+  for (auto& leg : legs) {
+    leg.sink.From(dispatch);  // dispatch outputs 0..n-1
+  }
+  b.Sink("client-out", client, std::make_unique<runtime::GrammarSerializer>(unit))
+      .From(dispatch);  // dispatch output n
+  for (auto& leg : legs) {
+    dispatch.From(leg.source);  // dispatch inputs 1..n
   }
 
-  auto* client_out = graph->AddTask<runtime::OutputTask>(
-      "client-out", std::make_unique<SharedConn>(client_raw),
-      std::make_unique<runtime::GrammarSerializer>(&proto::MemcachedUnit()),
-      client_out_ch, env.buffers);
-  client_out_ch->BindConsumer(client_out, env.scheduler);
-
-  env.poller->WatchConnection(client_raw, client_in);
-  env.scheduler->NotifyRunnable(client_in);
-  registry_.Adopt(std::move(graph), std::move(watch), env);
+  (void)b.Launch(registry_);
 }
 
 }  // namespace flick::services

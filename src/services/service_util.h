@@ -3,6 +3,8 @@
 #ifndef FLICK_SERVICES_SERVICE_UTIL_H_
 #define FLICK_SERVICES_SERVICE_UTIL_H_
 
+#include <atomic>
+#include <cstdint>
 #include <memory>
 #include <mutex>
 #include <vector>
@@ -29,6 +31,17 @@ class SharedConn : public Connection {
   Connection* conn_;
 };
 
+// Registry-wide construction/retirement counters, exposed so scaling work
+// (sharded dispatchers, pooled backends) can observe graph churn without
+// instrumenting every service.
+struct RegistryStats {
+  uint64_t graphs_adopted = 0;
+  uint64_t graphs_unwatched = 0;  // passed retirement stage 1 (unwatch sweep)
+  uint64_t graphs_retired = 0;    // passed stage 2 (drained and destroyed)
+  uint64_t tasks_adopted = 0;
+  uint64_t channels_adopted = 0;
+};
+
 // Tracks live graphs for a service and reaps them (unwatching their
 // connections, quiescing their tasks, destroying the graph) once all IO
 // tasks have closed. Thread-safe; reaping runs on the poller thread.
@@ -45,6 +58,9 @@ class GraphRegistry {
   void Adopt(std::unique_ptr<runtime::TaskGraph> graph,
              std::vector<Connection*> conns, runtime::PlatformEnv& env) {
     runtime::TaskGraph* raw = graph.get();
+    graphs_adopted_.fetch_add(1, std::memory_order_relaxed);
+    tasks_adopted_.fetch_add(raw->tasks().size(), std::memory_order_relaxed);
+    channels_adopted_.fetch_add(raw->channel_count(), std::memory_order_relaxed);
     {
       std::lock_guard<std::mutex> lock(mutex_);
       graphs_.push_back(std::move(graph));
@@ -60,6 +76,7 @@ class GraphRegistry {
               poller->UnwatchConnection(conn);
             }
             unwatched = true;
+            graphs_unwatched_.fetch_add(1, std::memory_order_relaxed);
             return false;  // give in-flight notifications a sweep to settle
           }
           for (const auto& task : raw->tasks()) {
@@ -68,8 +85,11 @@ class GraphRegistry {
               return false;  // still draining; try next sweep
             }
           }
-          std::lock_guard<std::mutex> lock(mutex_);
-          std::erase_if(graphs_, [raw](const auto& g) { return g.get() == raw; });
+          {
+            std::lock_guard<std::mutex> lock(mutex_);
+            std::erase_if(graphs_, [raw](const auto& g) { return g.get() == raw; });
+          }
+          graphs_retired_.fetch_add(1, std::memory_order_relaxed);
           return true;
         });
   }
@@ -79,9 +99,24 @@ class GraphRegistry {
     return graphs_.size();
   }
 
+  RegistryStats stats() const {
+    RegistryStats s;
+    s.graphs_adopted = graphs_adopted_.load(std::memory_order_relaxed);
+    s.graphs_unwatched = graphs_unwatched_.load(std::memory_order_relaxed);
+    s.graphs_retired = graphs_retired_.load(std::memory_order_relaxed);
+    s.tasks_adopted = tasks_adopted_.load(std::memory_order_relaxed);
+    s.channels_adopted = channels_adopted_.load(std::memory_order_relaxed);
+    return s;
+  }
+
  private:
   mutable std::mutex mutex_;
   std::vector<std::unique_ptr<runtime::TaskGraph>> graphs_;
+  std::atomic<uint64_t> graphs_adopted_{0};
+  std::atomic<uint64_t> graphs_unwatched_{0};
+  std::atomic<uint64_t> graphs_retired_{0};
+  std::atomic<uint64_t> tasks_adopted_{0};
+  std::atomic<uint64_t> channels_adopted_{0};
 };
 
 }  // namespace flick::services

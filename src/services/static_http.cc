@@ -1,52 +1,41 @@
 #include "services/static_http.h"
 
-#include "runtime/compute_task.h"
-#include "runtime/io_tasks.h"
+#include "services/graph_builder.h"
 
 namespace flick::services {
 
 void StaticHttpService::OnConnection(std::unique_ptr<Connection> conn,
                                      runtime::PlatformEnv& env) {
-  auto graph = std::make_unique<runtime::TaskGraph>("static-http");
-  runtime::Channel* req_ch = graph->AddChannel(128);
-  runtime::Channel* resp_ch = graph->AddChannel(128);
+  GraphBuilder b("static-http", env);
+  auto client = b.Adopt(std::move(conn));
 
-  Connection* raw = conn.get();
-  auto* in = graph->AddTask<runtime::InputTask>(
-      "http-in", std::move(conn),
-      std::make_unique<runtime::HttpDeserializer>(proto::HttpParser::Mode::kRequest),
-      req_ch, env.msgs, env.buffers);
+  auto request = b.Source(
+      "http-in", client,
+      std::make_unique<runtime::HttpDeserializer>(proto::HttpParser::Mode::kRequest));
+  auto respond =
+      b.Stage("respond",
+              [this](runtime::Msg& msg, size_t, runtime::EmitContext& emit) {
+                if (msg.kind == runtime::Msg::Kind::kEof) {
+                  runtime::MsgRef eof = emit.NewMsg();
+                  eof->kind = runtime::Msg::Kind::kEof;
+                  return emit.Emit(0, std::move(eof))
+                             ? runtime::HandleResult::kConsumed
+                             : runtime::HandleResult::kBlocked;
+                }
+                runtime::MsgRef resp = emit.NewMsg();
+                resp->kind = runtime::Msg::Kind::kHttp;
+                resp->http = proto::MakeResponse(200, body_, msg.http.keep_alive);
+                if (!emit.Emit(0, std::move(resp))) {
+                  return runtime::HandleResult::kBlocked;
+                }
+                requests_.fetch_add(1, std::memory_order_relaxed);
+                return runtime::HandleResult::kConsumed;
+              })
+          .From(request);
+  b.Sink("http-out", client, std::make_unique<runtime::HttpSerializer>())
+      .From(respond);
 
-  auto* compute = graph->AddTask<runtime::ComputeTask>(
-      "respond",
-      [this](runtime::Msg& msg, size_t, runtime::EmitContext& emit) {
-        if (msg.kind == runtime::Msg::Kind::kEof) {
-          runtime::MsgRef eof = emit.NewMsg();
-          eof->kind = runtime::Msg::Kind::kEof;
-          return emit.Emit(0, std::move(eof)) ? runtime::HandleResult::kConsumed
-                                              : runtime::HandleResult::kBlocked;
-        }
-        runtime::MsgRef resp = emit.NewMsg();
-        resp->kind = runtime::Msg::Kind::kHttp;
-        resp->http = proto::MakeResponse(200, body_, msg.http.keep_alive);
-        if (!emit.Emit(0, std::move(resp))) {
-          return runtime::HandleResult::kBlocked;
-        }
-        requests_.fetch_add(1, std::memory_order_relaxed);
-        return runtime::HandleResult::kConsumed;
-      },
-      env.msgs);
-  compute->AddInput(req_ch, env.scheduler);
-  compute->AddOutput(resp_ch);
-
-  auto* out = graph->AddTask<runtime::OutputTask>(
-      "http-out", std::make_unique<SharedConn>(raw),
-      std::make_unique<runtime::HttpSerializer>(), resp_ch, env.buffers);
-  resp_ch->BindConsumer(out, env.scheduler);
-
-  env.poller->WatchConnection(raw, in);
-  env.scheduler->NotifyRunnable(in);
-  registry_.Adopt(std::move(graph), {raw}, env);
+  (void)b.Launch(registry_);
 }
 
 }  // namespace flick::services

@@ -1,0 +1,449 @@
+// GraphBuilder unit/integration tests: declarative graphs over the sim
+// fabric, launch stats, failure-path leg cleanup, tee duplication, and the
+// staged GraphRegistry retirement sequence (unwatch sweep -> drain sweep ->
+// destruction) for both hand-wired and builder-constructed graphs.
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <string>
+#include <thread>
+
+#include "net/sim_transport.h"
+#include "runtime/io_tasks.h"
+#include "runtime/platform.h"
+#include "services/graph_builder.h"
+#include "services/memcached_proxy.h"
+#include "services/service_util.h"
+
+namespace flick {
+namespace {
+
+using namespace std::chrono_literals;
+
+template <typename Cond>
+bool WaitFor(Cond cond, std::chrono::milliseconds timeout = 3000ms) {
+  const auto deadline = std::chrono::steady_clock::now() + timeout;
+  while (std::chrono::steady_clock::now() < deadline) {
+    if (cond()) {
+      return true;
+    }
+    std::this_thread::sleep_for(200us);
+  }
+  return cond();
+}
+
+// Drains whatever is readable into `out`; true once `expected` bytes arrived.
+bool ReadInto(Connection& conn, std::string* out, size_t expected) {
+  char buf[4096];
+  auto got = conn.Read(buf, sizeof(buf));
+  if (got.ok() && *got > 0) {
+    out->append(buf, *got);
+  }
+  return out->size() >= expected;
+}
+
+// Raw echo: client-in -> echo stage -> client-out, all on one connection.
+class BuilderEchoService : public runtime::ServiceProgram {
+ public:
+  const char* name() const override { return "builder-echo"; }
+
+  void OnConnection(std::unique_ptr<Connection> conn,
+                    runtime::PlatformEnv& env) override {
+    services::GraphBuilder b("echo", env);
+    auto client = b.Adopt(std::move(conn));
+    auto in = b.Source("in", client, std::make_unique<runtime::RawDeserializer>());
+    auto echo = b.Stage("echo",
+                        [](runtime::Msg& msg, size_t, runtime::EmitContext& emit) {
+                          runtime::MsgRef out = emit.NewMsg();
+                          out->kind = msg.kind;
+                          out->bytes = msg.bytes;
+                          return emit.Emit(0, std::move(out))
+                                     ? runtime::HandleResult::kConsumed
+                                     : runtime::HandleResult::kBlocked;
+                        })
+                    .From(in);
+    b.Sink("out", client, std::make_unique<runtime::RawSerializer>()).From(echo);
+    last_status = b.Launch(registry);
+    last_stats = b.stats();
+  }
+
+  services::GraphRegistry registry;
+  Status last_status;
+  services::GraphLaunchStats last_stats;
+};
+
+// Mirrors the client stream to two dialled backends through a Tee.
+class TeeMirrorService : public runtime::ServiceProgram {
+ public:
+  TeeMirrorService(uint16_t mirror_a, uint16_t mirror_b)
+      : mirror_a_(mirror_a), mirror_b_(mirror_b) {}
+
+  const char* name() const override { return "tee-mirror"; }
+
+  void OnConnection(std::unique_ptr<Connection> conn,
+                    runtime::PlatformEnv& env) override {
+    services::GraphBuilder b("tee-mirror", env);
+    auto client = b.Adopt(std::move(conn));
+    auto a = b.Connect(mirror_a_);
+    auto bb = b.Connect(mirror_b_);
+    auto in = b.Source("in", client, std::make_unique<runtime::RawDeserializer>());
+    auto tee = b.Tee("tee").From(in);
+    b.Sink("mirror-a", a, std::make_unique<runtime::RawSerializer>()).From(tee);
+    b.Sink("mirror-b", bb, std::make_unique<runtime::RawSerializer>()).From(tee);
+    last_status = b.Launch(registry);
+    last_stats = b.stats();
+  }
+
+  services::GraphRegistry registry;
+  Status last_status;
+  services::GraphLaunchStats last_stats;
+
+ private:
+  uint16_t mirror_a_;
+  uint16_t mirror_b_;
+};
+
+// Old-style hand wiring, kept here (and only here) to pin down the staged
+// retirement contract independently of the builder.
+class ManualEchoService : public runtime::ServiceProgram {
+ public:
+  const char* name() const override { return "manual-echo"; }
+
+  void OnConnection(std::unique_ptr<Connection> conn,
+                    runtime::PlatformEnv& env) override {
+    auto graph = std::make_unique<runtime::TaskGraph>("manual-echo");
+    runtime::Channel* ch = graph->AddChannel(64);
+    Connection* raw = conn.get();
+    auto* in = graph->AddTask<runtime::InputTask>(
+        "in", std::move(conn), std::make_unique<runtime::RawDeserializer>(), ch,
+        env.msgs, env.buffers);
+    auto* out = graph->AddTask<runtime::OutputTask>(
+        "out", std::make_unique<services::SharedConn>(raw),
+        std::make_unique<runtime::RawSerializer>(), ch, env.buffers);
+    ch->BindConsumer(out, env.scheduler);
+    env.ActivateIo({{raw, in}});
+    registry.Adopt(std::move(graph), {raw}, env);
+  }
+
+  services::GraphRegistry registry;
+};
+
+class GraphBuilderTest : public ::testing::Test {
+ protected:
+  GraphBuilderTest() : transport_(&net_, StackCostModel::Null()) {
+    config_.scheduler.num_workers = 2;
+  }
+
+  runtime::Platform& MakePlatform() {
+    platform_ = std::make_unique<runtime::Platform>(config_, &transport_);
+    return *platform_;
+  }
+
+  SimNetwork net_;
+  SimTransport transport_;
+  runtime::PlatformConfig config_;
+  std::unique_ptr<runtime::Platform> platform_;
+};
+
+TEST_F(GraphBuilderTest, EchoGraphServesAndReportsStats) {
+  auto& platform = MakePlatform();
+  BuilderEchoService service;
+  ASSERT_TRUE(platform.RegisterProgram(7000, &service).ok());
+  platform.Start();
+
+  auto conn = transport_.Connect(7000);
+  ASSERT_TRUE(conn.ok());
+  const std::string payload = "ping";
+  ASSERT_TRUE((*conn)->Write(payload.data(), payload.size()).ok());
+  std::string echoed;
+  ASSERT_TRUE(WaitFor([&] { return ReadInto(**conn, &echoed, payload.size()); }));
+  EXPECT_EQ(echoed, payload);
+
+  EXPECT_TRUE(service.last_status.ok());
+  EXPECT_EQ(service.last_stats.sources, 1u);
+  EXPECT_EQ(service.last_stats.stages, 1u);
+  EXPECT_EQ(service.last_stats.sinks, 1u);
+  EXPECT_EQ(service.last_stats.tasks, 3u);
+  EXPECT_EQ(service.last_stats.channels, 2u);
+  EXPECT_EQ(service.last_stats.connections, 1u);
+  EXPECT_EQ(service.last_stats.watched, 1u);
+
+  (*conn)->Close();
+  platform.Stop();
+}
+
+TEST_F(GraphBuilderTest, BuilderGraphRetiresThroughStagedSweeps) {
+  auto& platform = MakePlatform();
+  BuilderEchoService service;
+  ASSERT_TRUE(platform.RegisterProgram(7000, &service).ok());
+  platform.Start();
+
+  auto conn = transport_.Connect(7000);
+  ASSERT_TRUE(conn.ok());
+  const std::string payload = "retire-me";
+  ASSERT_TRUE((*conn)->Write(payload.data(), payload.size()).ok());
+  std::string echoed;
+  ASSERT_TRUE(WaitFor([&] { return ReadInto(**conn, &echoed, payload.size()); }));
+  ASSERT_EQ(service.registry.stats().graphs_adopted, 1u);
+
+  (*conn)->Close();
+  // Stage 1: connections unwatched once all IO tasks closed; stage 2: graph
+  // destroyed once every task drained to idle. Both must complete.
+  ASSERT_TRUE(WaitFor([&] { return service.registry.stats().graphs_retired == 1; }));
+  const services::RegistryStats stats = service.registry.stats();
+  EXPECT_EQ(stats.graphs_adopted, 1u);
+  EXPECT_EQ(stats.graphs_unwatched, 1u);
+  EXPECT_EQ(stats.graphs_retired, 1u);
+  EXPECT_EQ(stats.tasks_adopted, 3u);
+  EXPECT_EQ(stats.channels_adopted, 2u);
+  EXPECT_EQ(service.registry.live_graphs(), 0u);
+  platform.Stop();
+}
+
+TEST_F(GraphBuilderTest, ManualGraphRetiresThroughSameStages) {
+  auto& platform = MakePlatform();
+  ManualEchoService service;
+  ASSERT_TRUE(platform.RegisterProgram(7000, &service).ok());
+  platform.Start();
+
+  auto conn = transport_.Connect(7000);
+  ASSERT_TRUE(conn.ok());
+  const std::string payload = "manual";
+  ASSERT_TRUE((*conn)->Write(payload.data(), payload.size()).ok());
+  std::string echoed;
+  ASSERT_TRUE(WaitFor([&] { return ReadInto(**conn, &echoed, payload.size()); }));
+  EXPECT_EQ(echoed, payload);
+
+  (*conn)->Close();
+  ASSERT_TRUE(WaitFor([&] { return service.registry.stats().graphs_retired == 1; }));
+  const services::RegistryStats stats = service.registry.stats();
+  EXPECT_EQ(stats.graphs_adopted, 1u);
+  EXPECT_EQ(stats.graphs_unwatched, 1u);
+  EXPECT_EQ(stats.graphs_retired, 1u);
+  EXPECT_EQ(service.registry.live_graphs(), 0u);
+  platform.Stop();
+}
+
+TEST_F(GraphBuilderTest, TeeDuplicatesStreamToAllSinks) {
+  auto mirror_a = transport_.Listen(7101);
+  auto mirror_b = transport_.Listen(7102);
+  ASSERT_TRUE(mirror_a.ok() && mirror_b.ok());
+
+  auto& platform = MakePlatform();
+  TeeMirrorService service(7101, 7102);
+  ASSERT_TRUE(platform.RegisterProgram(7100, &service).ok());
+  platform.Start();
+
+  auto conn = transport_.Connect(7100);
+  ASSERT_TRUE(conn.ok());
+  std::unique_ptr<Connection> peer_a, peer_b;
+  ASSERT_TRUE(WaitFor([&] {
+    if (peer_a == nullptr) peer_a = (*mirror_a)->Accept();
+    if (peer_b == nullptr) peer_b = (*mirror_b)->Accept();
+    return peer_a != nullptr && peer_b != nullptr;
+  }));
+
+  const std::string payload = "duplicate-this";
+  ASSERT_TRUE((*conn)->Write(payload.data(), payload.size()).ok());
+  std::string got_a, got_b;
+  ASSERT_TRUE(WaitFor([&] { return ReadInto(*peer_a, &got_a, payload.size()); }));
+  ASSERT_TRUE(WaitFor([&] { return ReadInto(*peer_b, &got_b, payload.size()); }));
+  EXPECT_EQ(got_a, payload);
+  EXPECT_EQ(got_b, payload);
+
+  EXPECT_TRUE(service.last_status.ok());
+  EXPECT_EQ(service.last_stats.tees, 1u);
+  EXPECT_EQ(service.last_stats.sinks, 2u);
+  EXPECT_EQ(service.last_stats.connections, 3u);
+  EXPECT_EQ(service.last_stats.watched, 1u);  // only the client leg is read
+
+  // Client close propagates EOF through the tee to both mirror legs and the
+  // graph retires through the staged sweeps.
+  (*conn)->Close();
+  ASSERT_TRUE(WaitFor([&] { return service.registry.stats().graphs_retired == 1; }));
+  EXPECT_EQ(service.registry.live_graphs(), 0u);
+  platform.Stop();
+}
+
+TEST_F(GraphBuilderTest, FailedConnectClosesEstablishedLegs) {
+  auto backend = transport_.Listen(7201);
+  ASSERT_TRUE(backend.ok());
+  auto& platform = MakePlatform();
+  platform.Start();
+  runtime::PlatformEnv& env = platform.env();
+
+  // A client leg (accepted side of a dialled pair).
+  auto listener = transport_.Listen(7200);
+  ASSERT_TRUE(listener.ok());
+  auto client_side = transport_.Connect(7200);
+  ASSERT_TRUE(client_side.ok());
+  std::unique_ptr<Connection> accepted;
+  ASSERT_TRUE(WaitFor([&] {
+    accepted = (*listener)->Accept();
+    return accepted != nullptr;
+  }));
+
+  services::GraphRegistry registry;
+  services::GraphBuilder b("doomed", env);
+  b.Adopt(std::move(accepted));  // the client leg
+  auto good = b.Connect(7201);   // establishes a leg
+  auto bad = b.Connect(7299);    // nobody listens here -> poisons the builder
+  EXPECT_FALSE(b.ok());
+  EXPECT_TRUE(good.valid());
+  EXPECT_FALSE(bad.valid());
+
+  std::unique_ptr<Connection> backend_peer;
+  ASSERT_TRUE(WaitFor([&] {
+    backend_peer = (*backend)->Accept();
+    return backend_peer != nullptr;
+  }));
+
+  const Status status = b.Launch(registry);
+  EXPECT_FALSE(status.ok());
+  EXPECT_EQ(registry.stats().graphs_adopted, 0u);
+
+  // Both already-open legs must be closed: peers observe EOF.
+  char buf[16];
+  EXPECT_TRUE(WaitFor([&] { return !backend_peer->Read(buf, sizeof(buf)).ok(); }));
+  EXPECT_TRUE(WaitFor([&] { return !(*client_side)->Read(buf, sizeof(buf)).ok(); }));
+  platform.Stop();
+}
+
+TEST_F(GraphBuilderTest, AbandonedBuilderClosesLegsOnDestruction) {
+  auto& platform = MakePlatform();
+  platform.Start();
+  runtime::PlatformEnv& env = platform.env();
+
+  auto listener = transport_.Listen(7300);
+  ASSERT_TRUE(listener.ok());
+  auto client_side = transport_.Connect(7300);
+  ASSERT_TRUE(client_side.ok());
+  std::unique_ptr<Connection> accepted;
+  ASSERT_TRUE(WaitFor([&] {
+    accepted = (*listener)->Accept();
+    return accepted != nullptr;
+  }));
+
+  {
+    services::GraphBuilder b("abandoned", env);
+    b.Adopt(std::move(accepted));
+    // No Launch: the builder goes out of scope with an un-launched leg.
+  }
+  char buf[16];
+  EXPECT_TRUE(WaitFor([&] { return !(*client_side)->Read(buf, sizeof(buf)).ok(); }));
+  platform.Stop();
+}
+
+TEST_F(GraphBuilderTest, ValidationRejectsMalformedTopology) {
+  auto& platform = MakePlatform();
+  platform.Start();
+  runtime::PlatformEnv& env = platform.env();
+
+  auto listener = transport_.Listen(7400);
+  ASSERT_TRUE(listener.ok());
+  auto client_side = transport_.Connect(7400);
+  ASSERT_TRUE(client_side.ok());
+  std::unique_ptr<Connection> accepted;
+  ASSERT_TRUE(WaitFor([&] {
+    accepted = (*listener)->Accept();
+    return accepted != nullptr;
+  }));
+
+  services::GraphRegistry registry;
+  services::GraphBuilder b("dangling", env);
+  auto client = b.Adopt(std::move(accepted));
+  // Source with no consumer: must be rejected, not launched half-wired.
+  b.Source("in", client, std::make_unique<runtime::RawDeserializer>());
+  const Status status = b.Launch(registry);
+  EXPECT_FALSE(status.ok());
+  EXPECT_EQ(status.code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(registry.live_graphs(), 0u);
+  char buf[16];
+  EXPECT_TRUE(WaitFor([&] { return !(*client_side)->Read(buf, sizeof(buf)).ok(); }));
+
+  // Stage with no outputs: its handler's first Emit(0, ...) would index an
+  // empty vector at run time, so Launch must reject it up front.
+  auto client2_side = transport_.Connect(7400);
+  ASSERT_TRUE(client2_side.ok());
+  std::unique_ptr<Connection> accepted2;
+  ASSERT_TRUE(WaitFor([&] {
+    accepted2 = (*listener)->Accept();
+    return accepted2 != nullptr;
+  }));
+  services::GraphBuilder b2("sinkless", env);
+  auto client2 = b2.Adopt(std::move(accepted2));
+  auto in2 = b2.Source("in", client2, std::make_unique<runtime::RawDeserializer>());
+  b2.Stage("drop",
+           [](runtime::Msg&, size_t, runtime::EmitContext&) {
+             return runtime::HandleResult::kConsumed;
+           })
+      .From(in2);
+  const Status status2 = b2.Launch(registry);
+  EXPECT_EQ(status2.code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(registry.live_graphs(), 0u);
+  EXPECT_TRUE(WaitFor([&] { return !(*client2_side)->Read(buf, sizeof(buf)).ok(); }));
+  platform.Stop();
+}
+
+TEST_F(GraphBuilderTest, RejectsSecondWriterOnOneConnection) {
+  auto& platform = MakePlatform();
+  platform.Start();
+  runtime::PlatformEnv& env = platform.env();
+
+  auto listener = transport_.Listen(7450);
+  ASSERT_TRUE(listener.ok());
+  auto client_side = transport_.Connect(7450);
+  ASSERT_TRUE(client_side.ok());
+  std::unique_ptr<Connection> accepted;
+  ASSERT_TRUE(WaitFor([&] {
+    accepted = (*listener)->Accept();
+    return accepted != nullptr;
+  }));
+
+  services::GraphRegistry registry;
+  services::GraphBuilder b("double-writer", env);
+  auto client = b.Adopt(std::move(accepted));
+  auto in = b.Source("in", client, std::make_unique<runtime::RawDeserializer>());
+  auto tee = b.Tee("tee").From(in);
+  b.Sink("out-1", client, std::make_unique<runtime::RawSerializer>()).From(tee);
+  // A second OutputTask on the same wire would interleave partial writes;
+  // the builder must reject it at declaration time.
+  b.Sink("out-2", client, std::make_unique<runtime::RawSerializer>()).From(tee);
+  EXPECT_FALSE(b.ok());
+  const Status status = b.Launch(registry);
+  EXPECT_EQ(status.code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(registry.live_graphs(), 0u);
+  platform.Stop();
+}
+
+TEST_F(GraphBuilderTest, MemcachedProxyBackendConnectFailureClosesAllLegs) {
+  // One real backend; the second port is dead. The k-th connect failure must
+  // close the established leg AND the client (the pre-builder code leaked
+  // the established backend connections).
+  auto backend = transport_.Listen(7501);
+  ASSERT_TRUE(backend.ok());
+
+  auto& platform = MakePlatform();
+  services::MemcachedProxyService proxy({7501, 7599});
+  ASSERT_TRUE(platform.RegisterProgram(7500, &proxy).ok());
+  platform.Start();
+
+  auto conn = transport_.Connect(7500);
+  ASSERT_TRUE(conn.ok());
+
+  std::unique_ptr<Connection> backend_peer;
+  ASSERT_TRUE(WaitFor([&] {
+    backend_peer = (*backend)->Accept();
+    return backend_peer != nullptr;
+  }));
+
+  char buf[16];
+  EXPECT_TRUE(WaitFor([&] { return !backend_peer->Read(buf, sizeof(buf)).ok(); }))
+      << "established backend leg must be closed when a later connect fails";
+  EXPECT_TRUE(WaitFor([&] { return !(*conn)->Read(buf, sizeof(buf)).ok(); }));
+  EXPECT_EQ(proxy.live_graphs(), 0u);
+  platform.Stop();
+}
+
+}  // namespace
+}  // namespace flick
