@@ -36,7 +36,8 @@ struct BackendFarm {
   }
 };
 
-void FlickLb(benchmark::State& state, StackCostModel middlebox_model, bool persistent) {
+void FlickLb(benchmark::State& state, StackCostModel middlebox_model, bool persistent,
+             services::BackendMode mode = services::BackendMode::kPerClient) {
   const int concurrency = static_cast<int>(state.range(0));
   for (auto _ : state) {
     SimNetwork net(kSimRingBytes);
@@ -45,7 +46,12 @@ void FlickLb(benchmark::State& state, StackCostModel middlebox_model, bool persi
 
     BackendFarm farm(&edge_transport, std::string(137, 'x'));
     runtime::Platform platform(MakePlatformConfig(2), &mb_transport);
-    services::HttpLbService lb(farm.ports);
+    // Figure 4 reproduces the paper's per-client backend shape (§6.3 explains
+    // Fig. 4c through it) — pooled transport is its own series, not a silent
+    // replacement.
+    services::HttpLbService::Options options;
+    options.mode = mode;
+    services::HttpLbService lb(farm.ports, options);
     FLICK_CHECK(platform.RegisterProgram(80, &lb).ok());
     platform.Start();
 
@@ -105,6 +111,9 @@ void BM_Fig4_Flick_Persistent(benchmark::State& s) {
 void BM_Fig4_FlickMtcp_Persistent(benchmark::State& s) {
   FlickLb(s, StackCostModel::Mtcp(), true);
 }
+void BM_Fig4_FlickPooled_Persistent(benchmark::State& s) {
+  FlickLb(s, StackCostModel::Kernel(), true, services::BackendMode::kPooled);
+}
 void BM_Fig4_ApacheLike_Persistent(benchmark::State& s) { BaselineLb(s, true, true); }
 void BM_Fig4_NginxLike_Persistent(benchmark::State& s) { BaselineLb(s, false, true); }
 
@@ -125,6 +134,7 @@ void Args(benchmark::internal::Benchmark* b) {
 
 BENCHMARK(BM_Fig4_Flick_Persistent)->Apply(Args);
 BENCHMARK(BM_Fig4_FlickMtcp_Persistent)->Apply(Args);
+BENCHMARK(BM_Fig4_FlickPooled_Persistent)->Apply(Args);
 BENCHMARK(BM_Fig4_ApacheLike_Persistent)->Apply(Args);
 BENCHMARK(BM_Fig4_NginxLike_Persistent)->Apply(Args);
 BENCHMARK(BM_Fig4_Flick_NonPersistent)->Apply(Args);

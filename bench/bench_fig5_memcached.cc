@@ -48,6 +48,15 @@ struct MemcachedFarm {
       s->Stop();
     }
   }
+
+  // Connections the farm ever accepted == backend fds the middlebox consumed.
+  uint64_t TotalAccepted() const {
+    uint64_t total = 0;
+    for (const auto& s : servers) {
+      total += s->connections_accepted();
+    }
+    return total;
+  }
 };
 
 load::MemcachedLoadConfig LoadCfg() {
@@ -61,7 +70,8 @@ load::MemcachedLoadConfig LoadCfg() {
   return cfg;
 }
 
-void FlickProxy(benchmark::State& state, StackCostModel middlebox_model) {
+void FlickProxy(benchmark::State& state, StackCostModel middlebox_model,
+                services::BackendMode mode) {
   const int cores = static_cast<int>(state.range(0));
   for (auto _ : state) {
     SimNetwork net(kSimRingBytes);
@@ -70,12 +80,17 @@ void FlickProxy(benchmark::State& state, StackCostModel middlebox_model) {
 
     MemcachedFarm farm(&edge_transport);
     runtime::Platform platform(MakePlatformConfig(cores), &mb_transport);
-    services::MemcachedProxyService proxy(farm.ports);
+    services::MemcachedProxyService::Options options;
+    options.mode = mode;
+    options.conns_per_backend = 2;
+    services::MemcachedProxyService proxy(farm.ports, options);
     FLICK_CHECK(platform.RegisterProgram(11211, &proxy).ok());
     platform.Start();
 
     const load::LoadResult result = load::RunMemcachedLoad(&edge_transport, LoadCfg());
     ReportLoad(state, result);
+    state.counters["backend_conns"] = benchmark::Counter(
+        static_cast<double>(farm.TotalAccepted()), benchmark::Counter::kAvgIterations);
     platform.Stop();
   }
 }
@@ -100,17 +115,70 @@ void MoxiLike(benchmark::State& state) {
   }
 }
 
-void BM_Fig5_Flick(benchmark::State& s) { FlickProxy(s, StackCostModel::Kernel()); }
-void BM_Fig5_FlickMtcp(benchmark::State& s) { FlickProxy(s, StackCostModel::Mtcp()); }
+// Backend connection scaling: the pooled proxy's backend fd count must stay
+// at ports * conns_per_backend while the per-client proxy (the paper's
+// Figure 3b shape) scales linearly with client concurrency. arg = concurrent
+// clients; `backend_conns` is the reproduced signal, throughput rides along.
+// These points use a short load window so the CI bench smoke stays fast.
+void Fig5Conns(benchmark::State& state, services::BackendMode mode) {
+  const int clients = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    SimNetwork net(kSimRingBytes);
+    SimTransport mb_transport(&net, StackCostModel::Kernel());
+    SimTransport edge_transport(&net, StackCostModel::Kernel());
+
+    MemcachedFarm farm(&edge_transport);
+    runtime::Platform platform(MakePlatformConfig(2), &mb_transport);
+    services::MemcachedProxyService::Options options;
+    options.mode = mode;
+    options.conns_per_backend = 2;
+    services::MemcachedProxyService proxy(farm.ports, options);
+    FLICK_CHECK(platform.RegisterProgram(11211, &proxy).ok());
+    platform.Start();
+
+    load::MemcachedLoadConfig cfg = LoadCfg();
+    cfg.clients = clients;
+    cfg.duration_ns = 250'000'000;
+    const load::LoadResult result = load::RunMemcachedLoad(&edge_transport, cfg);
+    ReportLoad(state, result);
+    state.counters["backend_conns"] = benchmark::Counter(
+        static_cast<double>(farm.TotalAccepted()), benchmark::Counter::kAvgIterations);
+    platform.Stop();
+  }
+}
+
+void BM_Fig5_Flick(benchmark::State& s) {
+  FlickProxy(s, StackCostModel::Kernel(), services::BackendMode::kPerClient);
+}
+void BM_Fig5_FlickMtcp(benchmark::State& s) {
+  FlickProxy(s, StackCostModel::Mtcp(), services::BackendMode::kPerClient);
+}
+void BM_Fig5_FlickPooled(benchmark::State& s) {
+  FlickProxy(s, StackCostModel::Kernel(), services::BackendMode::kPooled);
+}
 void BM_Fig5_MoxiLike(benchmark::State& s) { MoxiLike(s); }
+
+void BM_Fig5Conns_Pooled(benchmark::State& s) {
+  Fig5Conns(s, services::BackendMode::kPooled);
+}
+void BM_Fig5Conns_PerClient(benchmark::State& s) {
+  Fig5Conns(s, services::BackendMode::kPerClient);
+}
 
 void Args(benchmark::internal::Benchmark* b) {
   b->Arg(1)->Arg(2)->Arg(4)->Arg(8)->Arg(16)->Iterations(1)->Unit(benchmark::kMillisecond);
 }
 
+void ConnsArgs(benchmark::internal::Benchmark* b) {
+  b->Arg(8)->Arg(32)->Arg(64)->Iterations(1)->Unit(benchmark::kMillisecond);
+}
+
 BENCHMARK(BM_Fig5_Flick)->Apply(Args);
 BENCHMARK(BM_Fig5_FlickMtcp)->Apply(Args);
+BENCHMARK(BM_Fig5_FlickPooled)->Apply(Args);
 BENCHMARK(BM_Fig5_MoxiLike)->Apply(Args);
+BENCHMARK(BM_Fig5Conns_Pooled)->Apply(ConnsArgs);
+BENCHMARK(BM_Fig5Conns_PerClient)->Apply(ConnsArgs);
 
 }  // namespace
 }  // namespace flick::bench

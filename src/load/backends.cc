@@ -87,6 +87,7 @@ void HttpBackend::Serve() {
       conns.push_back(std::move(state));
       parsers.push_back(std::make_unique<proto::HttpParser>(proto::HttpParser::Mode::kRequest));
       msgs.push_back(std::make_unique<proto::HttpMessage>());
+      accepts_.fetch_add(1, std::memory_order_relaxed);
       did_work = true;
     }
     for (size_t i = 0; i < conns.size();) {
@@ -182,6 +183,7 @@ void MemcachedBackend::Serve() {
       conns.push_back(std::move(state));
       parsers.push_back(std::make_unique<grammar::UnitParser>(&proto::MemcachedUnit()));
       parse_msgs.push_back(std::make_unique<grammar::Message>());
+      accepts_.fetch_add(1, std::memory_order_relaxed);
       did_work = true;
     }
     for (size_t i = 0; i < conns.size();) {

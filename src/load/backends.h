@@ -26,6 +26,9 @@ class HttpBackend {
   Status Start();
   void Stop();
   uint64_t requests_served() const { return requests_.load(); }
+  // Lifetime accepts: how many connections this backend has ever seen —
+  // the pooled-vs-per-client contrast benches measure exactly this.
+  uint64_t connections_accepted() const { return accepts_.load(); }
   uint16_t port() const { return port_; }
 
  private:
@@ -38,6 +41,7 @@ class HttpBackend {
   std::thread thread_;
   std::atomic<bool> running_{false};
   std::atomic<uint64_t> requests_{0};
+  std::atomic<uint64_t> accepts_{0};
 };
 
 // Minimal binary-protocol Memcached server: supports GET/GETK/SET.
@@ -50,6 +54,7 @@ class MemcachedBackend {
   void Stop();
   void Preload(const std::string& key, const std::string& value);
   uint64_t requests_served() const { return requests_.load(); }
+  uint64_t connections_accepted() const { return accepts_.load(); }
 
  private:
   void Serve();
@@ -60,6 +65,7 @@ class MemcachedBackend {
   std::thread thread_;
   std::atomic<bool> running_{false};
   std::atomic<uint64_t> requests_{0};
+  std::atomic<uint64_t> accepts_{0};
   std::mutex mutex_;
   std::unordered_map<std::string, std::string> store_;
 };

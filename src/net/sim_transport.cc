@@ -124,14 +124,17 @@ Result<std::unique_ptr<Connection>> SimNetwork::Connect(uint16_t port,
   std::lock_guard<std::mutex> lock(mutex_);
   auto it = listeners_.find(port);
   if (it == listeners_.end()) {
+    failed_connects_.fetch_add(1, std::memory_order_relaxed);
     return Status(StatusCode::kUnavailable, "connection refused");
   }
   SimListener* listener = it->second;
   auto server = std::make_unique<SimConnection>(std::move(state), /*is_a=*/false,
                                                 listener->cost_, base_id + 1);
   if (!listener->pending_.TryPush(std::move(server))) {
+    failed_connects_.fetch_add(1, std::memory_order_relaxed);
     return Status(StatusCode::kUnavailable, "listener closed");
   }
+  total_connects_.fetch_add(1, std::memory_order_relaxed);
   return Result<std::unique_ptr<Connection>>(std::move(client));
 }
 

@@ -112,6 +112,16 @@ class SimNetwork {
   Result<std::unique_ptr<Listener>> Listen(uint16_t port, const StackCostModel& cost);
   Result<std::unique_ptr<Connection>> Connect(uint16_t port, const StackCostModel& cost);
 
+  // Fabric-wide connection accounting: cumulative successful dials and dials
+  // that found no listener. Benches use these to show pooled backend fan-in
+  // (connection count independent of client concurrency).
+  uint64_t total_connects() const {
+    return total_connects_.load(std::memory_order_relaxed);
+  }
+  uint64_t failed_connects() const {
+    return failed_connects_.load(std::memory_order_relaxed);
+  }
+
  private:
   friend class SimListener;
   void Unregister(uint16_t port, SimListener* listener);
@@ -120,6 +130,8 @@ class SimNetwork {
   std::mutex mutex_;
   std::map<uint16_t, SimListener*> listeners_;
   std::atomic<uint64_t> next_conn_id_{1};
+  std::atomic<uint64_t> total_connects_{0};
+  std::atomic<uint64_t> failed_connects_{0};
 };
 
 // Transport facade binding a fabric to a cost model.

@@ -1,0 +1,521 @@
+#include "services/backend_pool.h"
+
+#include <deque>
+#include <string>
+#include <unordered_map>
+#include <utility>
+
+#include "base/check.h"
+#include "base/time_util.h"
+#include "buffer/buffer_chain.h"
+#include "runtime/channel.h"
+#include "runtime/io_poller.h"
+#include "runtime/msg.h"
+#include "runtime/task.h"
+
+namespace flick::services {
+namespace internal {
+
+// Drives one persistent backend connection: drains the request channels of
+// every attached lease (round-robin), pipelines the serialized requests onto
+// the wire with a FIFO of pending lease ids, parses responses and routes
+// each to the reply channel of the lease at the FIFO head. Owns redial after
+// a lost wire. All state is guarded by mutex_, shared with attach/detach.
+class PoolConnTask : public runtime::Task {
+ public:
+  PoolConnTask(std::string name, BackendPool* pool, uint16_t port,
+               runtime::PlatformEnv& env)
+      : Task(std::move(name)),
+        pool_(pool),
+        port_(port),
+        transport_(env.transport),
+        poller_(env.poller),
+        msgs_(env.msgs),
+        rx_(env.buffers),
+        tx_(env.buffers),
+        serializer_(pool->config_.make_serializer()),
+        deserializer_(pool->config_.make_deserializer()) {}
+
+  ~PoolConnTask() override {
+    // Platform is stopped by the time the pool dies (documented contract),
+    // so unwatch is bookkeeping, not a race with the poller sweep.
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (wire_ != nullptr) {
+      poller_->UnwatchConnection(wire_.get());
+      wire_->Close();
+      wire_.reset();
+    }
+  }
+
+  void AttachLease(uint64_t lease_id, runtime::Channel* requests,
+                   runtime::Channel* replies, runtime::Scheduler* scheduler) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    requests->BindConsumer(this, scheduler);
+    replies->BindProducer(this);
+    lease_index_[lease_id] = leases_.size();
+    leases_.push_back(LeaseSlot{lease_id, requests, replies});
+  }
+
+  // After this returns the task never touches the lease's channels again.
+  // Pending FIFO entries for the lease stay queued (correlation slots); their
+  // responses are dropped on arrival.
+  void DetachLease(uint64_t lease_id) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    const auto it = lease_index_.find(lease_id);
+    if (it == lease_index_.end()) {
+      return;
+    }
+    const size_t index = it->second;
+    lease_index_.erase(it);
+    if (index + 1 != leases_.size()) {
+      leases_[index] = leases_.back();  // swap-pop keeps lookups O(1)
+      lease_index_[leases_[index].lease_id] = index;
+    }
+    leases_.pop_back();
+    if (next_lease_ >= leases_.size()) {
+      next_lease_ = 0;
+    }
+  }
+
+  bool connected() const { return connected_flag_.load(std::memory_order_acquire); }
+
+  // Redial ticker hook (poller thread): true when a dial attempt is due.
+  bool WantsRedialKick() const {
+    if (connected()) {
+      return false;
+    }
+    return MonotonicNanos() >= next_dial_at_ns_.load(std::memory_order_acquire);
+  }
+
+  runtime::TaskRunResult Run(runtime::TaskContext& ctx) override;
+
+  // --- stats (relaxed; summed by BackendPool::stats) -------------------------
+  std::atomic<uint64_t> dials_ok{0};
+  std::atomic<uint64_t> dial_failures{0};
+  std::atomic<uint64_t> reconnects{0};
+  std::atomic<uint64_t> disconnects{0};
+  std::atomic<uint64_t> requests_forwarded{0};
+  std::atomic<uint64_t> responses_routed{0};
+  std::atomic<uint64_t> responses_dropped{0};
+  std::atomic<uint64_t> pipeline_hwm{0};
+
+ private:
+  struct LeaseSlot {
+    uint64_t lease_id;
+    runtime::Channel* requests;
+    runtime::Channel* replies;
+  };
+
+  // All helpers below run under mutex_.
+
+  bool EnsureWire() {
+    if (wire_ != nullptr) {
+      return true;
+    }
+    if (MonotonicNanos() < next_dial_at_ns_.load(std::memory_order_relaxed)) {
+      return false;
+    }
+    auto conn = transport_->Connect(port_);
+    if (!conn.ok()) {
+      dial_failures.fetch_add(1, std::memory_order_relaxed);
+      next_dial_at_ns_.store(MonotonicNanos() + pool_->config_.redial_interval_ns,
+                             std::memory_order_release);
+      return false;
+    }
+    wire_ = std::move(conn).value();
+    dials_ok.fetch_add(1, std::memory_order_relaxed);
+    if (ever_connected_) {
+      reconnects.fetch_add(1, std::memory_order_relaxed);
+    }
+    ever_connected_ = true;
+    connected_flag_.store(true, std::memory_order_release);
+    poller_->WatchConnection(wire_.get(), this);
+    return true;
+  }
+
+  // Tears the wire down and abandons correlation state: every in-flight
+  // request's response is gone with the old byte stream, so the FIFO must be
+  // cleared or later responses would be routed to the wrong lease.
+  void Disconnect() {
+    if (wire_ != nullptr) {
+      poller_->UnwatchConnection(wire_.get());
+      wire_->Close();
+      wire_.reset();
+    }
+    connected_flag_.store(false, std::memory_order_release);
+    disconnects.fetch_add(1, std::memory_order_relaxed);
+    responses_dropped.fetch_add(pending_.size(), std::memory_order_relaxed);
+    pending_.clear();
+    rx_.Clear();
+    tx_.Clear();
+    deserializer_->Reset();
+    parse_msg_ = runtime::MsgRef();
+    next_dial_at_ns_.store(MonotonicNanos() + pool_->config_.redial_interval_ns,
+                           std::memory_order_release);
+  }
+
+  // Delivers a parsed response to its lease. False when the reply channel is
+  // full (the channel wakes us as its bound producer once drained).
+  bool RouteReply(runtime::MsgRef&& msg, uint64_t lease_id) {
+    const auto it = lease_index_.find(lease_id);
+    if (it == lease_index_.end()) {
+      responses_dropped.fetch_add(1, std::memory_order_relaxed);  // lease gone
+      return true;
+    }
+    const LeaseSlot& slot = leases_[it->second];
+    if (!slot.replies->TryPush(std::move(msg))) {
+      stalled_reply_ = std::move(msg);
+      stalled_reply_lease_ = lease_id;
+      return false;
+    }
+    responses_routed.fetch_add(1, std::memory_order_relaxed);
+    return true;
+  }
+
+  // Writes buffered bytes; false on a fatal wire error.
+  bool FlushWire() {
+    while (!tx_.empty()) {
+      std::string_view front = tx_.FrontView();
+      auto wrote = wire_->Write(front.data(), front.size());
+      if (!wrote.ok()) {
+        return false;
+      }
+      if (*wrote == 0) {
+        return true;  // transport backpressure; retry next run
+      }
+      tx_.Consume(*wrote);
+    }
+    return true;
+  }
+
+  BackendPool* pool_;
+  const uint16_t port_;
+  Transport* transport_;
+  runtime::IoPoller* poller_;
+  runtime::MsgPool* msgs_;
+
+  std::mutex mutex_;
+  std::unique_ptr<Connection> wire_;
+  bool ever_connected_ = false;
+  std::atomic<bool> connected_flag_{false};
+  std::atomic<uint64_t> next_dial_at_ns_{0};
+
+  BufferChain rx_;
+  BufferChain tx_;
+  std::unique_ptr<runtime::Serializer> serializer_;
+  std::unique_ptr<runtime::Deserializer> deserializer_;
+
+  std::vector<LeaseSlot> leases_;
+  std::unordered_map<uint64_t, size_t> lease_index_;  // lease id -> leases_ slot
+  size_t next_lease_ = 0;              // round-robin drain cursor
+  std::deque<uint64_t> pending_;       // lease id per in-flight request (FIFO)
+  runtime::MsgRef parse_msg_;          // in-progress response parse target
+  runtime::MsgRef stalled_reply_;      // parsed response its channel rejected
+  uint64_t stalled_reply_lease_ = 0;
+};
+
+runtime::TaskRunResult PoolConnTask::Run(runtime::TaskContext& ctx) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (!EnsureWire()) {
+    return runtime::TaskRunResult::kIdle;  // redial ticker re-kicks us
+  }
+
+  // A response parsed on a previous slice that its reply channel rejected
+  // gates all further reads (per-lease ordering).
+  if (stalled_reply_) {
+    runtime::MsgRef msg = std::move(stalled_reply_);
+    if (!RouteReply(std::move(msg), stalled_reply_lease_)) {
+      return runtime::TaskRunResult::kIdle;  // reply channel wakes its producer
+    }
+  }
+
+  while (true) {
+    bool progress = false;
+
+    // --- read side: free pipeline slots first ------------------------------
+    while (!rx_.empty() || wire_->ReadReady()) {
+      // Parse every complete response buffered so far.
+      bool parsed = false;
+      while (!rx_.empty()) {
+        if (!parse_msg_) {
+          parse_msg_ = msgs_->Acquire();
+          parse_msg_->conn_id = wire_->id();
+        }
+        const runtime::ParseStatus s = deserializer_->Deserialize(rx_, parse_msg_.get());
+        if (s == runtime::ParseStatus::kNeedMore) {
+          break;
+        }
+        if (s == runtime::ParseStatus::kError) {
+          // Framing lost on a shared byte stream: correlation is
+          // unrecoverable, drop the wire and redial clean.
+          Disconnect();
+          return runtime::TaskRunResult::kMoreWork;
+        }
+        parsed = true;
+        progress = true;
+        runtime::MsgRef msg = std::move(parse_msg_);
+        uint64_t lease_id = 0;
+        if (!pending_.empty()) {
+          lease_id = pending_.front();
+          pending_.pop_front();
+        }
+        if (!RouteReply(std::move(msg), lease_id)) {
+          return runtime::TaskRunResult::kIdle;  // backpressure: stop reading
+        }
+        ctx.ItemDone();
+        if (ctx.ShouldYield()) {
+          return runtime::TaskRunResult::kMoreWork;
+        }
+      }
+      if (!wire_->ReadReady()) {
+        break;
+      }
+      BufferRef buf = rx_.pool()->Acquire();
+      if (!buf) {
+        // Buffer pressure: parse what we have next run; the poller
+        // re-notifies while the wire stays readable.
+        return parsed ? runtime::TaskRunResult::kMoreWork
+                      : runtime::TaskRunResult::kIdle;
+      }
+      auto got = wire_->Read(buf->write_ptr(), buf->writable());
+      if (!got.ok()) {
+        Disconnect();  // peer closed; redial next run / ticker kick
+        return runtime::TaskRunResult::kMoreWork;
+      }
+      if (*got == 0) {
+        break;
+      }
+      buf->Produce(*got);
+      rx_.AppendBuffer(std::move(buf));
+      progress = true;
+    }
+
+    // --- write side: pipeline requests up to the depth cap ------------------
+    const size_t depth_cap = pool_->config_.max_pipeline_depth;
+    size_t idle_leases = 0;
+    while (!leases_.empty() && idle_leases < leases_.size() &&
+           pending_.size() < depth_cap) {
+      if (next_lease_ >= leases_.size()) {
+        next_lease_ = 0;
+      }
+      LeaseSlot& slot = leases_[next_lease_];
+      next_lease_ = (next_lease_ + 1) % leases_.size();
+      runtime::MsgRef msg = slot.requests->TryPop();
+      if (!msg) {
+        ++idle_leases;
+        continue;
+      }
+      idle_leases = 0;
+      progress = true;
+      if (msg->kind == runtime::Msg::Kind::kEof) {
+        continue;  // client-side done; lease lifecycle is the registry's job
+      }
+      if (!serializer_->Serialize(*msg, tx_).ok()) {
+        // Partial serialization would corrupt the shared stream for every
+        // lease on this wire: drop it and redial clean.
+        Disconnect();
+        return runtime::TaskRunResult::kMoreWork;
+      }
+      pending_.push_back(slot.lease_id);
+      requests_forwarded.fetch_add(1, std::memory_order_relaxed);
+      uint64_t hwm = pipeline_hwm.load(std::memory_order_relaxed);
+      while (pending_.size() > hwm &&
+             !pipeline_hwm.compare_exchange_weak(hwm, pending_.size(),
+                                                 std::memory_order_relaxed)) {
+      }
+      ctx.ItemDone();
+      if (ctx.ShouldYield()) {
+        if (!FlushWire()) {
+          Disconnect();
+        }
+        return runtime::TaskRunResult::kMoreWork;
+      }
+    }
+
+    if (!FlushWire()) {
+      Disconnect();
+      return runtime::TaskRunResult::kMoreWork;
+    }
+
+    if (!progress) {
+      break;
+    }
+  }
+
+  // Unsent bytes with a writable transport mean more work now; everything
+  // else waits on a notification (wire readable, channel push, drain wake).
+  return tx_.empty() ? runtime::TaskRunResult::kIdle : runtime::TaskRunResult::kMoreWork;
+}
+
+}  // namespace internal
+
+// Destruction ABANDONS the lease instead of releasing it: the last holder of
+// an unreleased lease is a reaper closure inside the IoPoller, which may be
+// destroyed during platform teardown after the owning pool is already gone.
+// Every live path releases explicitly — GraphBuilder::ReleaseAllLegs on
+// failure, the registry's on_unwatch hook at retirement.
+PoolLease::~PoolLease() = default;
+
+PoolLease& PoolLease::operator=(PoolLease&& other) noexcept {
+  if (this != &other) {
+    pool_ = other.pool_;
+    id_ = other.id_;
+    conn_index_ = std::move(other.conn_index_);
+    other.pool_ = nullptr;
+    other.id_ = 0;
+    other.conn_index_.clear();
+  }
+  return *this;
+}
+
+BackendPool::BackendPool(BackendPoolConfig config) : config_(std::move(config)) {
+  if (config_.conns_per_backend == 0) {
+    config_.conns_per_backend = 1;
+  }
+  if (config_.max_pipeline_depth == 0) {
+    config_.max_pipeline_depth = 1;
+  }
+}
+
+BackendPool::~BackendPool() = default;
+
+Status BackendPool::EnsureStarted(runtime::PlatformEnv& env) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (started_) {
+    return OkStatus();
+  }
+  if (config_.ports.empty()) {
+    return InvalidArgument("BackendPool: no backend ports");
+  }
+  if (config_.make_serializer == nullptr || config_.make_deserializer == nullptr) {
+    return InvalidArgument("BackendPool: missing codec factories");
+  }
+  scheduler_ = env.scheduler;
+  poller_ = env.poller;
+  backends_.reserve(config_.ports.size());
+  for (size_t b = 0; b < config_.ports.size(); ++b) {
+    Backend backend;
+    backend.port = config_.ports[b];
+    for (size_t c = 0; c < config_.conns_per_backend; ++c) {
+      backend.conns.push_back(std::make_unique<internal::PoolConnTask>(
+          "pool-" + std::to_string(config_.ports[b]) + "-" + std::to_string(c), this,
+          config_.ports[b], env));
+    }
+    backends_.push_back(std::move(backend));
+  }
+  started_ = true;
+
+  // Initial dials run on worker threads; the ticker keeps kicking any
+  // connection that is down until its backend answers (reconnect-after-close
+  // works the same way). The reaper is permanent: it holds only `this`, and
+  // the pool outlives the poller's last sweep by contract.
+  for (Backend& backend : backends_) {
+    for (auto& conn : backend.conns) {
+      scheduler_->NotifyRunnable(conn.get());
+    }
+  }
+  runtime::Scheduler* scheduler = scheduler_;
+  poller_->AddReaper([this, scheduler]() {
+    for (Backend& backend : backends_) {
+      for (auto& conn : backend.conns) {
+        if (conn->WantsRedialKick() &&
+            conn->sched_state.load(std::memory_order_acquire) ==
+                runtime::Task::SchedState::kIdle) {
+          scheduler->NotifyRunnable(conn.get());
+        }
+      }
+    }
+    return false;  // permanent
+  });
+  return OkStatus();
+}
+
+Result<PoolLease> BackendPool::Acquire() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (!started_) {
+    return FailedPrecondition("BackendPool: not started");
+  }
+  PoolLease lease;
+  lease.pool_ = this;
+  lease.id_ = next_lease_id_++;
+  lease.conn_index_.reserve(backends_.size());
+  bool waited = false;
+  for (Backend& backend : backends_) {
+    const size_t slot = backend.next_rr;
+    backend.next_rr = (backend.next_rr + 1) % backend.conns.size();
+    if (!backend.conns[slot]->connected()) {
+      waited = true;  // requests queue until the redial ticker succeeds
+    }
+    lease.conn_index_.push_back(slot);
+  }
+  leases_acquired_.fetch_add(1, std::memory_order_relaxed);
+  if (waited) {
+    lease_waits_.fetch_add(1, std::memory_order_relaxed);
+  }
+  return lease;
+}
+
+void BackendPool::Attach(const PoolLease& lease, size_t backend_index,
+                         runtime::Channel* requests, runtime::Channel* replies) {
+  FLICK_CHECK(lease.valid() && lease.pool_ == this);
+  FLICK_CHECK(backend_index < backends_.size());
+  backends_[backend_index]
+      .conns[lease.conn_index_[backend_index]]
+      ->AttachLease(lease.id_, requests, replies, scheduler_);
+}
+
+void BackendPool::Release(PoolLease& lease) {
+  if (!lease.valid() || lease.pool_ != this) {
+    return;
+  }
+  for (size_t b = 0; b < lease.conn_index_.size(); ++b) {
+    backends_[b].conns[lease.conn_index_[b]]->DetachLease(lease.id_);
+  }
+  leases_released_.fetch_add(1, std::memory_order_relaxed);
+  lease.pool_ = nullptr;
+  lease.id_ = 0;
+  lease.conn_index_.clear();
+}
+
+bool BackendPool::started() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return started_;
+}
+
+size_t BackendPool::live_connections() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  size_t live = 0;
+  for (const Backend& backend : backends_) {
+    for (const auto& conn : backend.conns) {
+      live += conn->connected() ? 1 : 0;
+    }
+  }
+  return live;
+}
+
+BackendPoolStats BackendPool::stats() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  BackendPoolStats s;
+  s.leases_acquired = leases_acquired_.load(std::memory_order_relaxed);
+  s.leases_released = leases_released_.load(std::memory_order_relaxed);
+  s.lease_waits = lease_waits_.load(std::memory_order_relaxed);
+  for (const Backend& backend : backends_) {
+    for (const auto& conn : backend.conns) {
+      s.conns_dialed += conn->dials_ok.load(std::memory_order_relaxed);
+      s.dial_failures += conn->dial_failures.load(std::memory_order_relaxed);
+      s.reconnects += conn->reconnects.load(std::memory_order_relaxed);
+      s.disconnects += conn->disconnects.load(std::memory_order_relaxed);
+      s.requests_forwarded += conn->requests_forwarded.load(std::memory_order_relaxed);
+      s.responses_routed += conn->responses_routed.load(std::memory_order_relaxed);
+      s.responses_dropped += conn->responses_dropped.load(std::memory_order_relaxed);
+      const uint64_t hwm = conn->pipeline_hwm.load(std::memory_order_relaxed);
+      if (hwm > s.max_pipeline_depth) {
+        s.max_pipeline_depth = hwm;
+      }
+      s.live_connections += conn->connected() ? 1 : 0;
+    }
+  }
+  return s;
+}
+
+}  // namespace flick::services

@@ -1,0 +1,183 @@
+// Shared backend connection pool with request pipelining.
+//
+// The paper's middlebox scenarios (Figure 3b, Listing 1) dispatch each client
+// request to a set of backends. Dedicated legs — one dialled connection per
+// backend per client graph — make backend fd count and dial latency scale
+// with client concurrency. A BackendPool inverts that: each (pool, backend)
+// pair keeps a fixed set of persistent, multiplexed connections; client
+// graphs claim a lightweight PoolLease instead of dialling, and requests
+// from many graphs are pipelined onto one wire. Responses are correlated
+// back to the issuing graph through a per-connection FIFO of pending lease
+// ids — valid because both supported protocols answer in request order on a
+// single connection (memcached binary responses are FIFO; HTTP/1.1 pipelines
+// via content-length framing, which is why the pooled HTTP return path must
+// parse responses instead of raw-forwarding them).
+//
+// Integration: services never touch this class's channel plumbing directly.
+// GraphBuilder::FanOutPooled / PoolLeg declare pooled legs; Launch() binds
+// the legs' edge channels to the lease and GraphRegistry detaches the lease
+// at graph retirement (stage 1, before the idle sweep, so no external
+// producer can notify a graph task once destruction is possible).
+//
+// Threading: every pooled connection is driven by one PoolConnTask scheduled
+// like any other task. All per-connection state is guarded by a per-
+// connection mutex; attach/detach (poller thread) and Run (worker threads)
+// serialise on it. Wire readability wakes the task through the normal poller
+// watch; a pool-level reaper ticks disconnected connections so a backend
+// that comes back is redialled without client involvement.
+#ifndef FLICK_SERVICES_BACKEND_POOL_H_
+#define FLICK_SERVICES_BACKEND_POOL_H_
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "runtime/codec.h"
+#include "runtime/platform.h"
+
+namespace flick::services {
+
+class BackendPool;
+
+namespace internal {
+class PoolConnTask;
+}  // namespace internal
+
+// How a service reaches its backends: through a shared BackendPool lease, or
+// through dedicated per-client-graph connections (the paper's original
+// kernel-stack shape).
+enum class BackendMode { kPooled, kPerClient };
+
+struct BackendPoolConfig {
+  std::vector<uint16_t> ports;
+
+  // Multiplexed connections kept per backend. Backend connection count is
+  // ports.size() * conns_per_backend, independent of client concurrency.
+  size_t conns_per_backend = 1;
+
+  // In-flight (sent, unanswered) requests allowed per connection. When the
+  // cap is hit the connection stops draining request channels; channel
+  // backpressure propagates to the issuing graphs.
+  size_t max_pipeline_depth = 256;
+
+  // Minimum spacing between redial attempts for a disconnected connection.
+  uint64_t redial_interval_ns = 1'000'000;
+
+  // Wire codecs: requests out, responses in. The deserializer must frame
+  // complete responses (response correlation is per-message).
+  std::function<std::unique_ptr<runtime::Serializer>()> make_serializer;
+  std::function<std::unique_ptr<runtime::Deserializer>()> make_deserializer;
+};
+
+// Pool health, aggregated over all connections. Monotonic except where noted.
+struct BackendPoolStats {
+  uint64_t conns_dialed = 0;        // successful dials, including redials
+  uint64_t dial_failures = 0;
+  uint64_t reconnects = 0;          // dials after a lost connection
+  uint64_t disconnects = 0;         // wire losses (peer close / wire error)
+  uint64_t leases_acquired = 0;
+  uint64_t leases_released = 0;
+  uint64_t lease_waits = 0;         // leases that landed on a disconnected conn
+  uint64_t requests_forwarded = 0;
+  uint64_t responses_routed = 0;
+  uint64_t responses_dropped = 0;   // lease already detached, or wire lost
+  uint64_t max_pipeline_depth = 0;  // high-water in-flight requests (any conn)
+  uint64_t live_connections = 0;    // snapshot, not monotonic
+};
+
+// Move-only claim on one pooled connection per backend. Handed out by
+// BackendPool::Acquire (via GraphBuilder::FanOutPooled) and returned either
+// by GraphRegistry at graph retirement or by the builder's failure cleanup —
+// never by closing the underlying wire. Destruction does NOT auto-release
+// (the pool may already be gone during platform teardown); holders release
+// explicitly while the pool is alive.
+class PoolLease {
+ public:
+  PoolLease() = default;
+  ~PoolLease();
+
+  PoolLease(PoolLease&& other) noexcept { *this = std::move(other); }
+  PoolLease& operator=(PoolLease&& other) noexcept;
+  PoolLease(const PoolLease&) = delete;
+  PoolLease& operator=(const PoolLease&) = delete;
+
+  bool valid() const { return pool_ != nullptr; }
+  uint64_t id() const { return id_; }
+  size_t backend_count() const { return conn_index_.size(); }
+
+ private:
+  friend class BackendPool;
+
+  BackendPool* pool_ = nullptr;
+  uint64_t id_ = 0;
+  std::vector<size_t> conn_index_;  // per backend: claimed connection slot
+};
+
+class BackendPool {
+ public:
+  explicit BackendPool(BackendPoolConfig config);
+  ~BackendPool();
+
+  BackendPool(const BackendPool&) = delete;
+  BackendPool& operator=(const BackendPool&) = delete;
+
+  // Idempotent. Creates the per-connection tasks, registers the redial
+  // ticker and kicks the initial dials (performed on worker threads). The
+  // pool must be destroyed only after the platform has stopped — the same
+  // lifetime contract services already have with GraphRegistry.
+  Status EnsureStarted(runtime::PlatformEnv& env);
+
+  // Claims one connection per backend, round-robin over the slots. Fails
+  // only if the pool has no backends or was never started; a temporarily
+  // disconnected backend still yields a lease (requests queue until redial).
+  Result<PoolLease> Acquire();
+
+  // Binds one backend's slice of `lease` to a graph's edge channels:
+  // `requests` (graph -> pool) and `replies` (pool -> graph). Must happen
+  // before the graph's IO is activated. Called by GraphBuilder::Launch.
+  void Attach(const PoolLease& lease, size_t backend_index,
+              runtime::Channel* requests, runtime::Channel* replies);
+
+  // Detaches every attached leg and invalidates the lease. Idempotent. After
+  // Release returns, the pool no longer reads from or writes to any channel
+  // of the leasing graph. In-flight responses for the lease are dropped on
+  // arrival (the FIFO correlation slot is kept so later responses still
+  // route correctly).
+  void Release(PoolLease& lease);
+
+  size_t backend_count() const { return config_.ports.size(); }
+  size_t conns_per_backend() const { return config_.conns_per_backend; }
+  bool started() const;
+  size_t live_connections() const;
+  BackendPoolStats stats() const;
+
+ private:
+  friend class internal::PoolConnTask;
+
+  struct Backend {
+    uint16_t port = 0;
+    std::vector<std::unique_ptr<internal::PoolConnTask>> conns;
+    size_t next_rr = 0;  // round-robin lease placement; guarded by mutex_
+  };
+
+  BackendPoolConfig config_;
+
+  mutable std::mutex mutex_;  // guards started_/backends_ layout + lease ids
+  bool started_ = false;
+  std::vector<Backend> backends_;
+  uint64_t next_lease_id_ = 1;
+
+  runtime::Scheduler* scheduler_ = nullptr;
+  runtime::IoPoller* poller_ = nullptr;
+
+  std::atomic<uint64_t> leases_acquired_{0};
+  std::atomic<uint64_t> leases_released_{0};
+  std::atomic<uint64_t> lease_waits_{0};
+};
+
+}  // namespace flick::services
+
+#endif  // FLICK_SERVICES_BACKEND_POOL_H_

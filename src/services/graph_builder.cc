@@ -64,7 +64,7 @@ NodeRef NodeRef::From(NodeRef upstream, size_t capacity) {
 GraphBuilder::GraphBuilder(std::string name, runtime::PlatformEnv& env)
     : name_(std::move(name)), env_(env) {}
 
-GraphBuilder::~GraphBuilder() { CloseAllLegs(); }
+GraphBuilder::~GraphBuilder() { ReleaseAllLegs(); }
 
 GraphBuilder& GraphBuilder::DefaultCapacity(size_t capacity) {
   if (capacity > 0) {
@@ -193,6 +193,79 @@ NodeRef GraphBuilder::Tee(std::string name) {
   return AddNode(std::move(spec));
 }
 
+size_t GraphBuilder::PoolUseIndex(BackendPool& pool) {
+  for (size_t i = 0; i < pool_uses_.size(); ++i) {
+    if (pool_uses_[i].pool == &pool) {
+      return i;
+    }
+  }
+  auto lease = pool.Acquire();
+  if (!lease.ok()) {
+    Poison(lease.status());
+    return static_cast<size_t>(-1);
+  }
+  pool_uses_.push_back(PoolUse{&pool, std::move(lease).value()});
+  return pool_uses_.size() - 1;
+}
+
+GraphBuilder::PooledLeg GraphBuilder::PoolLeg(BackendPool& pool, size_t backend_index,
+                                              size_t capacity) {
+  if (!status_.ok()) {
+    return PooledLeg{};
+  }
+  if (Status s = pool.EnsureStarted(env_); !s.ok()) {
+    Poison(std::move(s));
+    return PooledLeg{};
+  }
+  if (backend_index >= pool.backend_count()) {
+    Poison(InvalidArgument("PoolLeg: backend index out of range"));
+    return PooledLeg{};
+  }
+  const size_t use = PoolUseIndex(pool);
+  if (!status_.ok()) {
+    return PooledLeg{};
+  }
+  const std::string suffix = "-" + std::to_string(backend_index);
+  PooledLeg leg;
+  {
+    NodeSpec spec;
+    spec.kind = NodeKind::kPoolSink;
+    spec.name = "pool-out" + suffix;
+    spec.preferred_capacity = capacity;
+    leg.sink = AddNode(std::move(spec));
+  }
+  {
+    NodeSpec spec;
+    spec.kind = NodeKind::kPoolSource;
+    spec.name = "pool-in" + suffix;
+    spec.preferred_capacity = capacity;
+    leg.source = AddNode(std::move(spec));
+  }
+  pool_bindings_.push_back(
+      PoolBinding{use, backend_index, leg.sink.index_, leg.source.index_});
+  return leg;
+}
+
+std::vector<GraphBuilder::PooledLeg> GraphBuilder::FanOutPooled(BackendPool& pool,
+                                                                size_t capacity) {
+  std::vector<PooledLeg> legs;
+  if (!status_.ok()) {
+    return legs;
+  }
+  if (Status s = pool.EnsureStarted(env_); !s.ok()) {
+    Poison(std::move(s));
+    return legs;
+  }
+  legs.reserve(pool.backend_count());
+  for (size_t i = 0; i < pool.backend_count(); ++i) {
+    legs.push_back(PoolLeg(pool, i, capacity));
+    if (!status_.ok()) {
+      break;
+    }
+  }
+  return legs;
+}
+
 std::vector<GraphBuilder::Leg> GraphBuilder::FanOut(
     const std::vector<uint16_t>& ports, const std::string& base,
     const SerializerFactory& make_serializer,
@@ -270,13 +343,19 @@ void GraphBuilder::Poison(Status status) {
   }
 }
 
-void GraphBuilder::CloseAllLegs() {
+void GraphBuilder::ReleaseAllLegs() {
   for (ConnSpec& conn : conns_) {
     if (conn.owned != nullptr) {
       conn.owned->Close();
       conn.owned.reset();
     }
   }
+  // Pooled legs are returned, not closed: the wires belong to the pool and
+  // keep serving other graphs.
+  for (PoolUse& use : pool_uses_) {
+    use.pool->Release(use.lease);
+  }
+  pool_uses_.clear();
 }
 
 Status GraphBuilder::Validate() const {
@@ -311,6 +390,17 @@ Status GraphBuilder::Validate() const {
       case NodeKind::kTee:
         if (in != 1 || out == 0) {
           return InvalidArgument("tee '" + node.name + "' needs one input and >=1 outputs");
+        }
+        break;
+      case NodeKind::kPoolSink:
+        if (in != 1 || out != 0) {
+          return InvalidArgument("pool sink '" + node.name + "' needs exactly one producer");
+        }
+        break;
+      case NodeKind::kPoolSource:
+        if (in != 0 || out != 1) {
+          return InvalidArgument("pool source '" + node.name +
+                                 "' needs exactly one consumer");
         }
         break;
     }
@@ -351,12 +441,12 @@ Status GraphBuilder::Launch(GraphRegistry& registry) {
   }
   launched_ = true;
   if (!status_.ok()) {
-    CloseAllLegs();
+    ReleaseAllLegs();
     return status_;
   }
   if (Status v = Validate(); !v.ok()) {
     status_ = v;
-    CloseAllLegs();
+    ReleaseAllLegs();
     return v;
   }
 
@@ -412,12 +502,28 @@ Status GraphBuilder::Launch(GraphRegistry& registry) {
         ++stats_.merges;
         break;
       }
+      case NodeKind::kPoolSink:
+        // No task: the edge channel is consumed by the pool's connection
+        // task, bound below once all graph tasks exist.
+        ++stats_.pooled_legs;
+        break;
+      case NodeKind::kPoolSource:
+        break;  // produced by the pool's connection task, bound below
     }
   }
 
   stats_.tasks = graph->tasks().size();
   stats_.channels = graph->channel_count();
   stats_.connections = conns_.size();
+
+  // Bind pooled legs before IO activation: once a graph task is notified it
+  // may push requests, and the pool must already be the consumer.
+  for (const PoolBinding& binding : pool_bindings_) {
+    PoolUse& use = pool_uses_[binding.pool_use];
+    runtime::Channel* requests = channels[nodes_[binding.sink_node].in_edges[0]];
+    runtime::Channel* replies = channels[nodes_[binding.source_node].out_edges[0]];
+    use.pool->Attach(use.lease, binding.backend_index, requests, replies);
+  }
 
   std::vector<runtime::IoBinding> bindings;
   std::vector<Connection*> watched;
@@ -429,8 +535,22 @@ Status GraphBuilder::Launch(GraphRegistry& registry) {
   }
   stats_.watched = watched.size();
 
+  // Lease ownership moves to the registry: the on_unwatch hook returns every
+  // lease at retirement stage 1, severing the pool's hold on graph channels
+  // before destruction becomes possible.
+  std::function<void()> on_unwatch;
+  if (!pool_uses_.empty()) {
+    auto uses = std::make_shared<std::vector<PoolUse>>(std::move(pool_uses_));
+    pool_uses_.clear();
+    on_unwatch = [uses]() {
+      for (PoolUse& use : *uses) {
+        use.pool->Release(use.lease);
+      }
+    };
+  }
+
   env_.ActivateIo(bindings);
-  registry.Adopt(std::move(graph), std::move(watched), env_);
+  registry.Adopt(std::move(graph), std::move(watched), env_, std::move(on_unwatch));
   return OkStatus();
 }
 

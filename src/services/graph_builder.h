@@ -46,6 +46,7 @@
 #include "runtime/codec.h"
 #include "runtime/compute_task.h"
 #include "runtime/platform.h"
+#include "services/backend_pool.h"
 #include "services/service_util.h"
 
 namespace flick::services {
@@ -94,8 +95,9 @@ struct GraphLaunchStats {
   size_t tees = 0;
   size_t tasks = 0;
   size_t channels = 0;
-  size_t connections = 0;  // legs adopted or dialled
+  size_t connections = 0;  // legs adopted or dialled (dedicated wires)
   size_t watched = 0;      // legs with a read-side input task
+  size_t pooled_legs = 0;  // legs served by a BackendPool lease (no dial)
 };
 
 class GraphBuilder {
@@ -111,10 +113,19 @@ class GraphBuilder {
     NodeRef source;
   };
 
+  // One pooled backend leg: same sink/source shape as Leg, but the wire is a
+  // shared BackendPool connection claimed through a lease — nothing is
+  // dialled and nothing is closed when the graph retires.
+  struct PooledLeg {
+    NodeRef sink;    // requests into the pool
+    NodeRef source;  // correlated responses back from the pool
+  };
+
   GraphBuilder(std::string name, runtime::PlatformEnv& env);
 
-  // Closes every adopted/dialled leg that was never handed to a launched
-  // graph — abandoning a builder can not leak connections.
+  // Closes every adopted/dialled leg and returns every pool lease that was
+  // never handed to a launched graph — abandoning a builder can not leak
+  // connections or leases.
   ~GraphBuilder();
 
   GraphBuilder(const GraphBuilder&) = delete;
@@ -168,6 +179,20 @@ class GraphBuilder {
                           const DeserializerFactory& make_deserializer,
                           size_t capacity = 0);
 
+  // Declares one pooled leg per backend of `pool` under a single lease
+  // (Figure 3b with shared transport): leg i carries requests to backend i
+  // and receives that backend's correlated responses. The pool is started on
+  // first use; a start or lease failure poisons the builder, and a poisoned
+  // Launch RETURNS the lease to the pool — pooled wires are never closed by
+  // graph cleanup. `capacity` is the preferred capacity of each leg's
+  // channels.
+  std::vector<PooledLeg> FanOutPooled(BackendPool& pool, size_t capacity = 0);
+
+  // Single pooled leg to one backend of `pool` (the HTTP LB's sticky-backend
+  // shape). Multiple PoolLeg/FanOutPooled calls against the same pool share
+  // one lease per builder.
+  PooledLeg PoolLeg(BackendPool& pool, size_t backend_index, size_t capacity = 0);
+
   // Pairwise binary merge tree over `streams` ("combining elements in a
   // pair-wise manner until only the result remains", §4.3). Returns the root
   // stream; with a single input stream no merge node is created.
@@ -189,7 +214,7 @@ class GraphBuilder {
  private:
   friend class NodeRef;
 
-  enum class NodeKind { kSource, kStage, kSink, kMerge, kTee };
+  enum class NodeKind { kSource, kStage, kSink, kMerge, kTee, kPoolSink, kPoolSource };
 
   struct NodeSpec {
     NodeKind kind;
@@ -220,10 +245,29 @@ class GraphBuilder {
     runtime::InputTask* source_task = nullptr;      // filled during Launch
   };
 
+  // One lease per (builder, pool); legs record which lease slot they bind.
+  struct PoolUse {
+    BackendPool* pool;
+    PoolLease lease;
+  };
+  struct PoolBinding {
+    size_t pool_use;       // index into pool_uses_
+    size_t backend_index;  // backend within the pool
+    size_t sink_node;      // kPoolSink node index
+    size_t source_node;    // kPoolSource node index
+  };
+
   NodeRef AddNode(NodeSpec spec);
   void AddEdge(size_t from, size_t to, size_t capacity);
   void Poison(Status status);
-  void CloseAllLegs();
+
+  // The ONE failure/abandon path: closes every owned leg (adopted or
+  // dialled) and returns every pool lease. Partial FanOut dials and failed
+  // FanOutPooled acquisitions are cleaned up identically — dedicated wires
+  // close, pooled wires go back to their pool.
+  void ReleaseAllLegs();
+
+  size_t PoolUseIndex(BackendPool& pool);
   Status Validate() const;
   size_t ResolveCapacity(const EdgeSpec& edge) const;
 
@@ -239,6 +283,8 @@ class GraphBuilder {
   std::vector<ConnSpec> conns_;
   std::vector<NodeSpec> nodes_;
   std::vector<EdgeSpec> edges_;
+  std::vector<PoolUse> pool_uses_;
+  std::vector<PoolBinding> pool_bindings_;
   GraphLaunchStats stats_;
 };
 

@@ -1,9 +1,29 @@
 #include "services/http_lb.h"
 
 #include "base/hash.h"
+#include "proto/http.h"
 #include "services/graph_builder.h"
 
 namespace flick::services {
+
+HttpLbService::HttpLbService(std::vector<uint16_t> backend_ports)
+    : HttpLbService(std::move(backend_ports), Options()) {}
+
+HttpLbService::HttpLbService(std::vector<uint16_t> backend_ports, Options options)
+    : backends_(std::move(backend_ports)), options_(options) {
+  if (options_.mode == BackendMode::kPooled) {
+    BackendPoolConfig cfg;
+    cfg.ports = backends_;
+    cfg.conns_per_backend = options_.conns_per_backend;
+    cfg.max_pipeline_depth = options_.max_pipeline_depth;
+    cfg.make_serializer = [] { return std::make_unique<runtime::HttpSerializer>(); };
+    cfg.make_deserializer = [] {
+      return std::make_unique<runtime::HttpDeserializer>(
+          proto::HttpParser::Mode::kResponse);
+    };
+    pool_ = std::make_unique<BackendPool>(std::move(cfg));
+  }
+}
 
 void HttpLbService::OnConnection(std::unique_ptr<Connection> conn,
                                  runtime::PlatformEnv& env) {
@@ -14,40 +34,90 @@ void HttpLbService::OnConnection(std::unique_ptr<Connection> conn,
 
   GraphBuilder b("http-lb", env);
   auto client = b.Adopt(std::move(conn));
-  auto backend = b.Connect(backends_[backend_index]);
 
-  // Request path: parse -> pick backend -> forward.
   auto request = b.Source(
       "client-in", client,
       std::make_unique<runtime::HttpDeserializer>(proto::HttpParser::Mode::kRequest));
-  auto dispatch =
-      b.Stage("dispatch",
-              [this](runtime::Msg& msg, size_t, runtime::EmitContext& emit) {
-                if (msg.kind == runtime::Msg::Kind::kEof) {
-                  runtime::MsgRef eof = emit.NewMsg();
-                  eof->kind = runtime::Msg::Kind::kEof;
-                  return emit.Emit(0, std::move(eof))
-                             ? runtime::HandleResult::kConsumed
-                             : runtime::HandleResult::kBlocked;
-                }
-                runtime::MsgRef fwd = emit.NewMsg();
-                fwd->kind = runtime::Msg::Kind::kHttp;
-                fwd->http = msg.http;
-                if (!emit.Emit(0, std::move(fwd))) {
-                  return runtime::HandleResult::kBlocked;
-                }
-                requests_.fetch_add(1, std::memory_order_relaxed);
-                return runtime::HandleResult::kConsumed;
-              })
-          .From(request);
-  b.Sink("backend-out", backend, std::make_unique<runtime::HttpSerializer>())
-      .From(dispatch);
 
-  // Return path: raw pass-through, no parsing (Figure 3a).
-  auto response =
-      b.Source("backend-in", backend, std::make_unique<runtime::RawDeserializer>());
-  b.Sink("client-out", client, std::make_unique<runtime::RawSerializer>())
-      .From(response);
+  if (options_.mode == BackendMode::kPooled) {
+    // Pooled shape: dispatch sits on both directions because the shared
+    // return path delivers framed responses, not raw bytes. Input 0 is the
+    // client, input 1 the pooled responses; output 0 the pooled requests,
+    // output 1 the client.
+    auto leg = b.PoolLeg(*pool_, backend_index, /*capacity=*/64);
+    auto dispatch =
+        b.Stage("dispatch",
+                [this](runtime::Msg& msg, size_t input_index,
+                       runtime::EmitContext& emit) {
+                  if (msg.kind == runtime::Msg::Kind::kEof) {
+                    if (input_index != 0) {
+                      return runtime::HandleResult::kConsumed;
+                    }
+                    // All-or-nothing broadcast: a dropped EOF would leave
+                    // client-out open forever (the graph never retires), so
+                    // block until every output has room. Safe to pre-check:
+                    // this stage is each output's only producer.
+                    for (size_t o = 0; o < 2; ++o) {
+                      if (!emit.CanEmit(o)) {
+                        return runtime::HandleResult::kBlocked;
+                      }
+                    }
+                    for (size_t o = 0; o < 2; ++o) {
+                      runtime::MsgRef eof = emit.NewMsg();
+                      eof->kind = runtime::Msg::Kind::kEof;
+                      emit.Emit(o, std::move(eof));
+                    }
+                    return runtime::HandleResult::kConsumed;
+                  }
+                  const size_t out = input_index == 0 ? 0 : 1;
+                  runtime::MsgRef fwd = emit.NewMsg();
+                  fwd->kind = runtime::Msg::Kind::kHttp;
+                  fwd->http = msg.http;
+                  if (!emit.Emit(out, std::move(fwd))) {
+                    return runtime::HandleResult::kBlocked;
+                  }
+                  if (input_index == 0) {
+                    requests_.fetch_add(1, std::memory_order_relaxed);
+                  }
+                  return runtime::HandleResult::kConsumed;
+                })
+            .From(request);
+    leg.sink.From(dispatch);  // output 0: requests into the pool
+    b.Sink("client-out", client, std::make_unique<runtime::HttpSerializer>())
+        .From(dispatch);       // output 1: responses to the client
+    dispatch.From(leg.source);  // input 1: correlated responses
+  } else {
+    // Dedicated shape (Figure 3a): request path parses and forwards; the
+    // return path is raw pass-through. The leg is dialled by FanOut — the
+    // builder owns dial failures and cleanup.
+    auto legs = b.FanOut(
+        {backends_[backend_index]}, "backend",
+        [] { return std::make_unique<runtime::HttpSerializer>(); },
+        [] { return std::make_unique<runtime::RawDeserializer>(); });
+    auto dispatch =
+        b.Stage("dispatch",
+                [this](runtime::Msg& msg, size_t, runtime::EmitContext& emit) {
+                  if (msg.kind == runtime::Msg::Kind::kEof) {
+                    runtime::MsgRef eof = emit.NewMsg();
+                    eof->kind = runtime::Msg::Kind::kEof;
+                    return emit.Emit(0, std::move(eof))
+                               ? runtime::HandleResult::kConsumed
+                               : runtime::HandleResult::kBlocked;
+                  }
+                  runtime::MsgRef fwd = emit.NewMsg();
+                  fwd->kind = runtime::Msg::Kind::kHttp;
+                  fwd->http = msg.http;
+                  if (!emit.Emit(0, std::move(fwd))) {
+                    return runtime::HandleResult::kBlocked;
+                  }
+                  requests_.fetch_add(1, std::memory_order_relaxed);
+                  return runtime::HandleResult::kConsumed;
+                })
+            .From(request);
+    legs[0].sink.From(dispatch);
+    b.Sink("client-out", client, std::make_unique<runtime::RawSerializer>())
+        .From(legs[0].source);
+  }
 
   (void)b.Launch(registry_);
 }

@@ -1,39 +1,57 @@
 // HTTP load balancer (§6.1, Figure 3a).
 //
-// Per-connection task graph:
-//   client-in (HTTP parse) -> compute (hash 4-tuple -> backend, sticky per
-//   connection) -> backend-out (serialize)
-//   backend-in (raw) -> client-out (raw)         <- "on their return path no
-//                                                   computation or parsing is
-//                                                   needed"
-// Like the paper's kernel-stack FLICK, a fresh backend connection is opened
-// per client connection (no persistent backend pools — §6.3 explains the
-// resulting Fig. 4c behaviour).
+// Backend selection is a naive hash of the connection 4-tuple (the sim
+// connection id), sticky for the connection's lifetime.
+//
+// Two backend transport modes:
+//   * kPerClient (the paper's kernel-stack shape): a fresh backend
+//     connection per client connection, and a raw pass-through return path
+//     ("on their return path no computation or parsing is needed") — §6.3
+//     explains the resulting Fig. 4c behaviour.
+//   * kPooled (default): the client's sticky backend is reached through a
+//     shared BackendPool connection. Sharing one wire between clients makes
+//     raw forwarding impossible — responses must be framed (content-length)
+//     to correlate them back to the issuing graph — so the pooled return
+//     path parses responses and re-serialises them to the client.
 #ifndef FLICK_SERVICES_HTTP_LB_H_
 #define FLICK_SERVICES_HTTP_LB_H_
 
 #include <atomic>
+#include <memory>
 #include <vector>
 
 #include "runtime/platform.h"
+#include "services/backend_pool.h"
 #include "services/service_util.h"
 
 namespace flick::services {
 
 class HttpLbService : public runtime::ServiceProgram {
  public:
+  struct Options {
+    BackendMode mode = BackendMode::kPooled;
+    size_t conns_per_backend = 2;
+    size_t max_pipeline_depth = 256;
+  };
+
   // `backend_ports`: the web servers to balance across.
-  explicit HttpLbService(std::vector<uint16_t> backend_ports)
-      : backends_(std::move(backend_ports)) {}
+  explicit HttpLbService(std::vector<uint16_t> backend_ports);
+  HttpLbService(std::vector<uint16_t> backend_ports, Options options);
 
   const char* name() const override { return "http-lb"; }
   void OnConnection(std::unique_ptr<Connection> conn, runtime::PlatformEnv& env) override;
 
   uint64_t requests() const { return requests_.load(std::memory_order_relaxed); }
   size_t live_graphs() const { return registry_.live_graphs(); }
+  const GraphRegistry& registry() const { return registry_; }
+
+  // Null in kPerClient mode.
+  const BackendPool* pool() const { return pool_.get(); }
 
  private:
   std::vector<uint16_t> backends_;
+  Options options_;
+  std::unique_ptr<BackendPool> pool_;
   std::atomic<uint64_t> requests_{0};
   GraphRegistry registry_;
 };

@@ -2,9 +2,82 @@
 
 #include "base/hash.h"
 #include "proto/memcached.h"
-#include "services/graph_builder.h"
 
 namespace flick::services {
+
+MemcachedProxyService::MemcachedProxyService(std::vector<uint16_t> backend_ports)
+    : MemcachedProxyService(std::move(backend_ports), Options()) {}
+
+MemcachedProxyService::MemcachedProxyService(std::vector<uint16_t> backend_ports,
+                                             Options options)
+    : backends_(std::move(backend_ports)), options_(options) {
+  if (options_.mode == BackendMode::kPooled) {
+    const grammar::Unit* unit = &proto::MemcachedUnit();
+    BackendPoolConfig cfg;
+    cfg.ports = backends_;
+    cfg.conns_per_backend = options_.conns_per_backend;
+    cfg.max_pipeline_depth = options_.max_pipeline_depth;
+    cfg.make_serializer = [unit] {
+      return std::make_unique<runtime::GrammarSerializer>(unit);
+    };
+    cfg.make_deserializer = [unit] {
+      return std::make_unique<runtime::GrammarDeserializer>(unit);
+    };
+    pool_ = std::make_unique<BackendPool>(std::move(cfg));
+  }
+}
+
+// Dispatch: `hash(req.key) mod len(backends)` (Listing 1). Outputs 0..n-1
+// are the backend legs (pooled or dedicated), output n the client; input 0
+// is the client, inputs 1..n the backends — fixed by edge declaration order
+// in OnConnection.
+NodeRef MemcachedProxyService::DispatchStage(GraphBuilder& b, size_t n) {
+  return b.Stage(
+      "dispatch", [this, n](runtime::Msg& msg, size_t input_index,
+                            runtime::EmitContext& emit) {
+        if (msg.kind == runtime::Msg::Kind::kEof) {
+          if (input_index != 0) {
+            return runtime::HandleResult::kConsumed;
+          }
+          // Client left: signal all backend legs and the client leg (a
+          // pooled leg treats the EOF as "this graph is done" without
+          // touching the shared wire). All-or-nothing: a dropped EOF would
+          // leave client-out open and the graph unretirable, so block until
+          // every output has room — safe to pre-check, this stage is each
+          // output's only producer.
+          for (size_t o = 0; o <= n; ++o) {
+            if (!emit.CanEmit(o)) {
+              return runtime::HandleResult::kBlocked;
+            }
+          }
+          for (size_t o = 0; o <= n; ++o) {
+            runtime::MsgRef eof = emit.NewMsg();
+            eof->kind = runtime::Msg::Kind::kEof;
+            emit.Emit(o, std::move(eof));
+          }
+          return runtime::HandleResult::kConsumed;
+        }
+        if (input_index == 0) {
+          // Request from the client: route by key hash.
+          proto::MemcachedCommand cmd(&msg.gmsg);
+          const size_t target = HashBytes(cmd.key()) % n;
+          runtime::MsgRef fwd = emit.NewMsg();
+          fwd->kind = runtime::Msg::Kind::kGrammar;
+          fwd->gmsg = msg.gmsg;
+          if (!emit.Emit(target, std::move(fwd))) {
+            return runtime::HandleResult::kBlocked;
+          }
+          requests_.fetch_add(1, std::memory_order_relaxed);
+          return runtime::HandleResult::kConsumed;
+        }
+        // Response from a backend: forward to the client (output n).
+        runtime::MsgRef resp = emit.NewMsg();
+        resp->kind = runtime::Msg::Kind::kGrammar;
+        resp->gmsg = msg.gmsg;
+        return emit.Emit(n, std::move(resp)) ? runtime::HandleResult::kConsumed
+                                             : runtime::HandleResult::kBlocked;
+      });
+}
 
 void MemcachedProxyService::OnConnection(std::unique_ptr<Connection> conn,
                                          runtime::PlatformEnv& env) {
@@ -17,66 +90,38 @@ void MemcachedProxyService::OnConnection(std::unique_ptr<Connection> conn,
   // Request path: parse with the projected unit (opcode/key only).
   auto request = b.Source("client-in", client,
                           std::make_unique<runtime::GrammarDeserializer>(unit));
+  auto dispatch = DispatchStage(b, n).From(request);
 
-  // Dispatch: `hash(req.key) mod len(backends)` (Listing 1). Outputs 0..n-1
-  // are the backend legs, output n the client; input 0 is the client,
-  // inputs 1..n the backends — fixed below by edge declaration order.
-  auto dispatch =
-      b.Stage("dispatch",
-              [this, n](runtime::Msg& msg, size_t input_index,
-                        runtime::EmitContext& emit) {
-                if (msg.kind == runtime::Msg::Kind::kEof) {
-                  if (input_index == 0) {
-                    // Client left: close all backend legs.
-                    for (size_t o = 0; o < n; ++o) {
-                      runtime::MsgRef eof = emit.NewMsg();
-                      eof->kind = runtime::Msg::Kind::kEof;
-                      (void)emit.Emit(o, std::move(eof));
-                    }
-                    runtime::MsgRef eof = emit.NewMsg();
-                    eof->kind = runtime::Msg::Kind::kEof;
-                    (void)emit.Emit(n, std::move(eof));  // and the client leg
-                  }
-                  return runtime::HandleResult::kConsumed;
-                }
-                if (input_index == 0) {
-                  // Request from the client: route by key hash.
-                  proto::MemcachedCommand cmd(&msg.gmsg);
-                  const size_t target = HashBytes(cmd.key()) % n;
-                  runtime::MsgRef fwd = emit.NewMsg();
-                  fwd->kind = runtime::Msg::Kind::kGrammar;
-                  fwd->gmsg = msg.gmsg;
-                  if (!emit.Emit(target, std::move(fwd))) {
-                    return runtime::HandleResult::kBlocked;
-                  }
-                  requests_.fetch_add(1, std::memory_order_relaxed);
-                  return runtime::HandleResult::kConsumed;
-                }
-                // Response from a backend: forward to the client (output n).
-                runtime::MsgRef resp = emit.NewMsg();
-                resp->kind = runtime::Msg::Kind::kGrammar;
-                resp->gmsg = msg.gmsg;
-                return emit.Emit(n, std::move(resp))
-                           ? runtime::HandleResult::kConsumed
-                           : runtime::HandleResult::kBlocked;
-              })
-          .From(request);
-
-  // One persistent connection per backend for this client (Figure 3b). A dial
-  // failure poisons the builder and Launch() closes the already-established
-  // legs as well as the client.
-  auto legs = b.FanOut(
-      backends_, "backend",
-      [unit] { return std::make_unique<runtime::GrammarSerializer>(unit); },
-      [unit] { return std::make_unique<runtime::GrammarDeserializer>(unit); },
-      /*capacity=*/64);
-  for (auto& leg : legs) {
-    leg.sink.From(dispatch);  // dispatch outputs 0..n-1
-  }
-  b.Sink("client-out", client, std::make_unique<runtime::GrammarSerializer>(unit))
-      .From(dispatch);  // dispatch output n
-  for (auto& leg : legs) {
-    dispatch.From(leg.source);  // dispatch inputs 1..n
+  if (options_.mode == BackendMode::kPooled) {
+    // Shared transport: one lease over the pool's persistent connections.
+    // Nothing is dialled; a pool failure poisons the builder and Launch()
+    // returns the lease.
+    auto legs = b.FanOutPooled(*pool_, /*capacity=*/64);
+    for (auto& leg : legs) {
+      leg.sink.From(dispatch);  // dispatch outputs 0..n-1
+    }
+    b.Sink("client-out", client, std::make_unique<runtime::GrammarSerializer>(unit))
+        .From(dispatch);  // dispatch output n
+    for (auto& leg : legs) {
+      dispatch.From(leg.source);  // dispatch inputs 1..n
+    }
+  } else {
+    // One persistent connection per backend for this client (Figure 3b). A
+    // dial failure poisons the builder and Launch() closes the established
+    // legs as well as the client.
+    auto legs = b.FanOut(
+        backends_, "backend",
+        [unit] { return std::make_unique<runtime::GrammarSerializer>(unit); },
+        [unit] { return std::make_unique<runtime::GrammarDeserializer>(unit); },
+        /*capacity=*/64);
+    for (auto& leg : legs) {
+      leg.sink.From(dispatch);
+    }
+    b.Sink("client-out", client, std::make_unique<runtime::GrammarSerializer>(unit))
+        .From(dispatch);
+    for (auto& leg : legs) {
+      dispatch.From(leg.source);
+    }
   }
 
   (void)b.Launch(registry_);

@@ -6,30 +6,55 @@
 // section of the key space"); responses from any backend return to the
 // client. Parsing uses the projected routing unit (opcode + key only) on the
 // request path — the generated-parser optimisation of §4.2.
+//
+// Backend transport comes in two modes:
+//   * kPooled (default): all client graphs share one BackendPool —
+//     conns_per_backend persistent pipelined connections per backend,
+//     claimed via a PoolLease. Backend fd count is independent of client
+//     concurrency.
+//   * kPerClient: the paper's original shape — one dedicated connection per
+//     backend per client graph (Figure 3b), dialled by the builder's FanOut.
 #ifndef FLICK_SERVICES_MEMCACHED_PROXY_H_
 #define FLICK_SERVICES_MEMCACHED_PROXY_H_
 
 #include <atomic>
+#include <memory>
 #include <vector>
 
 #include "runtime/platform.h"
+#include "services/backend_pool.h"
+#include "services/graph_builder.h"
 #include "services/service_util.h"
 
 namespace flick::services {
 
 class MemcachedProxyService : public runtime::ServiceProgram {
  public:
-  explicit MemcachedProxyService(std::vector<uint16_t> backend_ports)
-      : backends_(std::move(backend_ports)) {}
+  struct Options {
+    BackendMode mode = BackendMode::kPooled;
+    size_t conns_per_backend = 2;
+    size_t max_pipeline_depth = 256;
+  };
+
+  explicit MemcachedProxyService(std::vector<uint16_t> backend_ports);
+  MemcachedProxyService(std::vector<uint16_t> backend_ports, Options options);
 
   const char* name() const override { return "memcached-proxy"; }
   void OnConnection(std::unique_ptr<Connection> conn, runtime::PlatformEnv& env) override;
 
   uint64_t requests() const { return requests_.load(std::memory_order_relaxed); }
   size_t live_graphs() const { return registry_.live_graphs(); }
+  const GraphRegistry& registry() const { return registry_; }
+
+  // Null in kPerClient mode.
+  const BackendPool* pool() const { return pool_.get(); }
 
  private:
+  NodeRef DispatchStage(GraphBuilder& b, size_t fan_out);
+
   std::vector<uint16_t> backends_;
+  Options options_;
+  std::unique_ptr<BackendPool> pool_;
   std::atomic<uint64_t> requests_{0};
   GraphRegistry registry_;
 };

@@ -5,6 +5,7 @@
 
 #include <atomic>
 #include <cstdint>
+#include <functional>
 #include <memory>
 #include <mutex>
 #include <vector>
@@ -40,6 +41,7 @@ struct RegistryStats {
   uint64_t graphs_retired = 0;    // passed stage 2 (drained and destroyed)
   uint64_t tasks_adopted = 0;
   uint64_t channels_adopted = 0;
+  uint64_t detaches_run = 0;      // on_unwatch hooks executed (pool leases)
 };
 
 // Tracks live graphs for a service and reaps them (unwatching their
@@ -48,15 +50,21 @@ struct RegistryStats {
 class GraphRegistry {
  public:
   // Registers `graph` and arms a reaper. `conns` are the connections the
-  // graph's tasks watch (unwatched at retirement).
+  // graph's tasks watch (unwatched at retirement). `on_unwatch`, when set,
+  // runs exactly once at retirement stage 1 — GraphBuilder uses it to return
+  // pool leases, severing every producer/consumer the graph shares with
+  // external tasks.
   //
   // Retirement is staged and NON-BLOCKING (the reaper runs on the poller
-  // thread, which must never spin-wait): once all IO tasks have closed the
-  // graph's connections are unwatched; on a later sweep, once every task has
-  // gone idle (no pending notifications can exist then — all inputs are
-  // closed and drained), the graph is destroyed.
+  // thread, which must never spin-wait): once all IO tasks have closed, the
+  // graph's connections are unwatched and `on_unwatch` runs — after that no
+  // external party (poller or backend pool) can notify a graph task; on a
+  // later sweep, once every task has gone idle (no pending notifications can
+  // exist then — all inputs are closed, drained or detached), the graph is
+  // destroyed.
   void Adopt(std::unique_ptr<runtime::TaskGraph> graph,
-             std::vector<Connection*> conns, runtime::PlatformEnv& env) {
+             std::vector<Connection*> conns, runtime::PlatformEnv& env,
+             std::function<void()> on_unwatch = {}) {
     runtime::TaskGraph* raw = graph.get();
     graphs_adopted_.fetch_add(1, std::memory_order_relaxed);
     tasks_adopted_.fetch_add(raw->tasks().size(), std::memory_order_relaxed);
@@ -67,13 +75,19 @@ class GraphRegistry {
     }
     runtime::IoPoller* poller = env.poller;
     poller->AddReaper(
-        [this, raw, poller, conns = std::move(conns), unwatched = false]() mutable -> bool {
+        [this, raw, poller, conns = std::move(conns),
+         on_unwatch = std::move(on_unwatch), unwatched = false]() mutable -> bool {
           if (!raw->AllIoClosed()) {
             return false;
           }
           if (!unwatched) {
             for (Connection* conn : conns) {
               poller->UnwatchConnection(conn);
+            }
+            if (on_unwatch != nullptr) {
+              on_unwatch();
+              on_unwatch = nullptr;
+              detaches_run_.fetch_add(1, std::memory_order_relaxed);
             }
             unwatched = true;
             graphs_unwatched_.fetch_add(1, std::memory_order_relaxed);
@@ -106,6 +120,7 @@ class GraphRegistry {
     s.graphs_retired = graphs_retired_.load(std::memory_order_relaxed);
     s.tasks_adopted = tasks_adopted_.load(std::memory_order_relaxed);
     s.channels_adopted = channels_adopted_.load(std::memory_order_relaxed);
+    s.detaches_run = detaches_run_.load(std::memory_order_relaxed);
     return s;
   }
 
@@ -117,6 +132,7 @@ class GraphRegistry {
   std::atomic<uint64_t> graphs_retired_{0};
   std::atomic<uint64_t> tasks_adopted_{0};
   std::atomic<uint64_t> channels_adopted_{0};
+  std::atomic<uint64_t> detaches_run_{0};
 };
 
 }  // namespace flick::services

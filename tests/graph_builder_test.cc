@@ -4,6 +4,7 @@
 // destruction) for both hand-wired and builder-constructed graphs.
 #include <gtest/gtest.h>
 
+#include <atomic>
 #include <chrono>
 #include <string>
 #include <thread>
@@ -14,6 +15,7 @@
 #include "services/graph_builder.h"
 #include "services/memcached_proxy.h"
 #include "services/service_util.h"
+#include "platform_stop_guard.h"
 
 namespace flick {
 namespace {
@@ -65,11 +67,15 @@ class BuilderEchoService : public runtime::ServiceProgram {
     b.Sink("out", client, std::make_unique<runtime::RawSerializer>()).From(echo);
     last_status = b.Launch(registry);
     last_stats = b.stats();
+    // Launch activates IO before returning, so data can reach the test
+    // thread before the assignments above: publish them explicitly.
+    launched.store(true, std::memory_order_release);
   }
 
   services::GraphRegistry registry;
   Status last_status;
   services::GraphLaunchStats last_stats;
+  std::atomic<bool> launched{false};
 };
 
 // Mirrors the client stream to two dialled backends through a Tee.
@@ -92,11 +98,13 @@ class TeeMirrorService : public runtime::ServiceProgram {
     b.Sink("mirror-b", bb, std::make_unique<runtime::RawSerializer>()).From(tee);
     last_status = b.Launch(registry);
     last_stats = b.stats();
+    launched.store(true, std::memory_order_release);
   }
 
   services::GraphRegistry registry;
   Status last_status;
   services::GraphLaunchStats last_stats;
+  std::atomic<bool> launched{false};
 
  private:
   uint16_t mirror_a_;
@@ -150,6 +158,7 @@ TEST_F(GraphBuilderTest, EchoGraphServesAndReportsStats) {
   BuilderEchoService service;
   ASSERT_TRUE(platform.RegisterProgram(7000, &service).ok());
   platform.Start();
+  ScopedPlatformStop stop_guard(platform);
 
   auto conn = transport_.Connect(7000);
   ASSERT_TRUE(conn.ok());
@@ -159,6 +168,8 @@ TEST_F(GraphBuilderTest, EchoGraphServesAndReportsStats) {
   ASSERT_TRUE(WaitFor([&] { return ReadInto(**conn, &echoed, payload.size()); }));
   EXPECT_EQ(echoed, payload);
 
+  ASSERT_TRUE(WaitFor(
+      [&] { return service.launched.load(std::memory_order_acquire); }));
   EXPECT_TRUE(service.last_status.ok());
   EXPECT_EQ(service.last_stats.sources, 1u);
   EXPECT_EQ(service.last_stats.stages, 1u);
@@ -177,6 +188,7 @@ TEST_F(GraphBuilderTest, BuilderGraphRetiresThroughStagedSweeps) {
   BuilderEchoService service;
   ASSERT_TRUE(platform.RegisterProgram(7000, &service).ok());
   platform.Start();
+  ScopedPlatformStop stop_guard(platform);
 
   auto conn = transport_.Connect(7000);
   ASSERT_TRUE(conn.ok());
@@ -205,6 +217,7 @@ TEST_F(GraphBuilderTest, ManualGraphRetiresThroughSameStages) {
   ManualEchoService service;
   ASSERT_TRUE(platform.RegisterProgram(7000, &service).ok());
   platform.Start();
+  ScopedPlatformStop stop_guard(platform);
 
   auto conn = transport_.Connect(7000);
   ASSERT_TRUE(conn.ok());
@@ -233,6 +246,7 @@ TEST_F(GraphBuilderTest, TeeDuplicatesStreamToAllSinks) {
   TeeMirrorService service(7101, 7102);
   ASSERT_TRUE(platform.RegisterProgram(7100, &service).ok());
   platform.Start();
+  ScopedPlatformStop stop_guard(platform);
 
   auto conn = transport_.Connect(7100);
   ASSERT_TRUE(conn.ok());
@@ -251,6 +265,8 @@ TEST_F(GraphBuilderTest, TeeDuplicatesStreamToAllSinks) {
   EXPECT_EQ(got_a, payload);
   EXPECT_EQ(got_b, payload);
 
+  ASSERT_TRUE(WaitFor(
+      [&] { return service.launched.load(std::memory_order_acquire); }));
   EXPECT_TRUE(service.last_status.ok());
   EXPECT_EQ(service.last_stats.tees, 1u);
   EXPECT_EQ(service.last_stats.sinks, 2u);
@@ -270,6 +286,7 @@ TEST_F(GraphBuilderTest, FailedConnectClosesEstablishedLegs) {
   ASSERT_TRUE(backend.ok());
   auto& platform = MakePlatform();
   platform.Start();
+  ScopedPlatformStop stop_guard(platform);
   runtime::PlatformEnv& env = platform.env();
 
   // A client leg (accepted side of a dialled pair).
@@ -312,6 +329,7 @@ TEST_F(GraphBuilderTest, FailedConnectClosesEstablishedLegs) {
 TEST_F(GraphBuilderTest, AbandonedBuilderClosesLegsOnDestruction) {
   auto& platform = MakePlatform();
   platform.Start();
+  ScopedPlatformStop stop_guard(platform);
   runtime::PlatformEnv& env = platform.env();
 
   auto listener = transport_.Listen(7300);
@@ -337,6 +355,7 @@ TEST_F(GraphBuilderTest, AbandonedBuilderClosesLegsOnDestruction) {
 TEST_F(GraphBuilderTest, ValidationRejectsMalformedTopology) {
   auto& platform = MakePlatform();
   platform.Start();
+  ScopedPlatformStop stop_guard(platform);
   runtime::PlatformEnv& env = platform.env();
 
   auto listener = transport_.Listen(7400);
@@ -388,6 +407,7 @@ TEST_F(GraphBuilderTest, ValidationRejectsMalformedTopology) {
 TEST_F(GraphBuilderTest, RejectsSecondWriterOnOneConnection) {
   auto& platform = MakePlatform();
   platform.Start();
+  ScopedPlatformStop stop_guard(platform);
   runtime::PlatformEnv& env = platform.env();
 
   auto listener = transport_.Listen(7450);
@@ -424,9 +444,12 @@ TEST_F(GraphBuilderTest, MemcachedProxyBackendConnectFailureClosesAllLegs) {
   ASSERT_TRUE(backend.ok());
 
   auto& platform = MakePlatform();
-  services::MemcachedProxyService proxy({7501, 7599});
+  services::MemcachedProxyService::Options options;
+  options.mode = services::BackendMode::kPerClient;  // dedicated dialled legs
+  services::MemcachedProxyService proxy({7501, 7599}, options);
   ASSERT_TRUE(platform.RegisterProgram(7500, &proxy).ok());
   platform.Start();
+  ScopedPlatformStop stop_guard(platform);
 
   auto conn = transport_.Connect(7500);
   ASSERT_TRUE(conn.ok());

@@ -1,0 +1,29 @@
+// Test helper: stops the platform when the enclosing scope unwinds — even
+// through a failed ASSERT's early return. Without this, a test-local service
+// (and its GraphRegistry / BackendPool) is destroyed while the poller and
+// scheduler threads still run, racing reapers against the destructors.
+// Declare AFTER the services under test (destroyed first) and right after
+// Platform::Start(); the explicit platform.Stop() at a test's end stays
+// valid because Stop() is idempotent.
+#ifndef FLICK_TESTS_PLATFORM_STOP_GUARD_H_
+#define FLICK_TESTS_PLATFORM_STOP_GUARD_H_
+
+#include "runtime/platform.h"
+
+namespace flick {
+
+class ScopedPlatformStop {
+ public:
+  explicit ScopedPlatformStop(runtime::Platform& platform) : platform_(&platform) {}
+  ~ScopedPlatformStop() { platform_->Stop(); }
+
+  ScopedPlatformStop(const ScopedPlatformStop&) = delete;
+  ScopedPlatformStop& operator=(const ScopedPlatformStop&) = delete;
+
+ private:
+  runtime::Platform* platform_;
+};
+
+}  // namespace flick
+
+#endif  // FLICK_TESTS_PLATFORM_STOP_GUARD_H_

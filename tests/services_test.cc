@@ -19,6 +19,7 @@
 #include "services/http_lb.h"
 #include "services/memcached_proxy.h"
 #include "services/static_http.h"
+#include "platform_stop_guard.h"
 
 namespace flick {
 namespace {
@@ -61,6 +62,7 @@ TEST_F(ServiceTest, StaticHttpServesFixedResponse) {
   services::StaticHttpService service("static-body-137-bytes");
   ASSERT_TRUE(platform.RegisterProgram(80, &service).ok());
   platform.Start();
+  ScopedPlatformStop stop_guard(platform);
 
   load::HttpLoadConfig cfg;
   cfg.port = 80;
@@ -79,6 +81,7 @@ TEST_F(ServiceTest, StaticHttpNonPersistentConnections) {
   services::StaticHttpService service("body");
   ASSERT_TRUE(platform.RegisterProgram(80, &service).ok());
   platform.Start();
+  ScopedPlatformStop stop_guard(platform);
 
   load::HttpLoadConfig cfg;
   cfg.port = 80;
@@ -111,6 +114,7 @@ TEST_F(ServiceTest, HttpLbBalancesAcrossBackends) {
   services::HttpLbService lb(ports);
   ASSERT_TRUE(platform.RegisterProgram(80, &lb).ok());
   platform.Start();
+  ScopedPlatformStop stop_guard(platform);
 
   load::HttpLoadConfig cfg;
   cfg.port = 80;
@@ -140,6 +144,7 @@ TEST_F(ServiceTest, HttpLbNonPersistentMode) {
   services::HttpLbService lb({8000});
   ASSERT_TRUE(platform.RegisterProgram(80, &lb).ok());
   platform.Start();
+  ScopedPlatformStop stop_guard(platform);
 
   load::HttpLoadConfig cfg;
   cfg.port = 80;
@@ -223,6 +228,7 @@ TEST_F(MemcachedProxyTest, RoutesGetToOwningBackend) {
   services::MemcachedProxyService proxy(ports_);
   ASSERT_TRUE(platform.RegisterProgram(11211, &proxy).ok());
   platform.Start();
+  ScopedPlatformStop stop_guard(platform);
 
   for (int k = 0; k < 16; ++k) {
     grammar::Message resp = RoundTrip(11211, proto::kMemcachedGet, "key-" + std::to_string(k));
@@ -242,6 +248,7 @@ TEST_F(MemcachedProxyTest, SameKeyAlwaysSameBackend) {
   services::MemcachedProxyService proxy(ports_);
   ASSERT_TRUE(platform.RegisterProgram(11211, &proxy).ok());
   platform.Start();
+  ScopedPlatformStop stop_guard(platform);
 
   // SET then GET through the proxy: the GET must find the SET's backend.
   {
@@ -291,6 +298,7 @@ TEST_F(MemcachedProxyTest, SustainedClosedLoopLoad) {
   services::MemcachedProxyService proxy(ports_);
   ASSERT_TRUE(platform.RegisterProgram(11211, &proxy).ok());
   platform.Start();
+  ScopedPlatformStop stop_guard(platform);
 
   load::MemcachedLoadConfig cfg;
   cfg.port = 11211;
@@ -320,6 +328,7 @@ TEST_F(MemcachedProxyTest, DslRouterServesAndCaches) {
   ASSERT_TRUE(service.ok()) << service.status().ToString();
   ASSERT_TRUE(platform.RegisterProgram(11211, service->get()).ok());
   platform.Start();
+  ScopedPlatformStop stop_guard(platform);
 
   // First GETK goes to a backend and populates the router cache.
   grammar::Message r1 = RoundTrip(11211, proto::kMemcachedGetK, "cached-key");
@@ -354,6 +363,7 @@ TEST_F(ServiceTest, HadoopAggregatorPreservesCounts) {
   services::HadoopAggService agg(/*expected_mappers=*/4, /*reducer_port=*/9900);
   ASSERT_TRUE(platform.RegisterProgram(9800, &agg).ok());
   platform.Start();
+  ScopedPlatformStop stop_guard(platform);
 
   load::MapperLoadConfig cfg;
   cfg.port = 9800;
