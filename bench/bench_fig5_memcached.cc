@@ -70,8 +70,11 @@ load::MemcachedLoadConfig LoadCfg() {
   return cfg;
 }
 
+// `flush_watermark`: 1 = write per pipelined request (PR 2's pooled shape,
+// kept as the un-batched comparison series); larger = requests drained per
+// run slice coalesce into vectored writes (the batched series).
 void FlickProxy(benchmark::State& state, StackCostModel middlebox_model,
-                services::BackendMode mode) {
+                services::BackendMode mode, size_t flush_watermark = 1) {
   const int cores = static_cast<int>(state.range(0));
   for (auto _ : state) {
     SimNetwork net(kSimRingBytes);
@@ -83,6 +86,7 @@ void FlickProxy(benchmark::State& state, StackCostModel middlebox_model,
     services::MemcachedProxyService::Options options;
     options.mode = mode;
     options.conns_per_backend = 2;
+    options.flush_watermark_bytes = flush_watermark;
     services::MemcachedProxyService proxy(farm.ports, options);
     FLICK_CHECK(platform.RegisterProgram(11211, &proxy).ok());
     platform.Start();
@@ -91,6 +95,16 @@ void FlickProxy(benchmark::State& state, StackCostModel middlebox_model,
     ReportLoad(state, result);
     state.counters["backend_conns"] = benchmark::Counter(
         static_cast<double>(farm.TotalAccepted()), benchmark::Counter::kAvgIterations);
+    if (proxy.pool() != nullptr) {
+      const services::BackendPoolStats pstats = proxy.pool()->stats();
+      state.counters["pool_writev_calls"] = benchmark::Counter(
+          static_cast<double>(pstats.writev_calls), benchmark::Counter::kAvgIterations);
+      state.counters["pool_requests"] = benchmark::Counter(
+          static_cast<double>(pstats.requests_forwarded),
+          benchmark::Counter::kAvgIterations);
+      state.counters["pool_msgs_per_writev"] =
+          benchmark::Counter(static_cast<double>(pstats.msgs_per_writev));
+    }
     platform.Stop();
   }
 }
@@ -143,6 +157,20 @@ void Fig5Conns(benchmark::State& state, services::BackendMode mode) {
     ReportLoad(state, result);
     state.counters["backend_conns"] = benchmark::Counter(
         static_cast<double>(farm.TotalAccepted()), benchmark::Counter::kAvgIterations);
+    if (proxy.pool() != nullptr) {
+      // Coalescing counters for the CI smoke: batching must keep vectored
+      // writes below the request count once graphs share the pooled wires.
+      const services::BackendPoolStats pstats = proxy.pool()->stats();
+      state.counters["pool_writev_calls"] = benchmark::Counter(
+          static_cast<double>(pstats.writev_calls), benchmark::Counter::kAvgIterations);
+      state.counters["pool_requests"] = benchmark::Counter(
+          static_cast<double>(pstats.requests_forwarded),
+          benchmark::Counter::kAvgIterations);
+      state.counters["pool_msgs_per_writev"] =
+          benchmark::Counter(static_cast<double>(pstats.msgs_per_writev));
+      state.counters["pool_flushes_forced"] = benchmark::Counter(
+          static_cast<double>(pstats.flushes_forced), benchmark::Counter::kAvgIterations);
+    }
     platform.Stop();
   }
 }
@@ -154,7 +182,15 @@ void BM_Fig5_FlickMtcp(benchmark::State& s) {
   FlickProxy(s, StackCostModel::Mtcp(), services::BackendMode::kPerClient);
 }
 void BM_Fig5_FlickPooled(benchmark::State& s) {
-  FlickProxy(s, StackCostModel::Kernel(), services::BackendMode::kPooled);
+  // Watermark 1 = write per request: PR 2's pooled shape, the un-batched
+  // comparison point for the series below.
+  FlickProxy(s, StackCostModel::Kernel(), services::BackendMode::kPooled,
+             /*flush_watermark=*/1);
+}
+void BM_Fig5_FlickPooledBatched(benchmark::State& s) {
+  // The batched output path: per-slice vectored writes on the pooled wires.
+  FlickProxy(s, StackCostModel::Kernel(), services::BackendMode::kPooled,
+             /*flush_watermark=*/32 * 1024);
 }
 void BM_Fig5_MoxiLike(benchmark::State& s) { MoxiLike(s); }
 
@@ -176,6 +212,7 @@ void ConnsArgs(benchmark::internal::Benchmark* b) {
 BENCHMARK(BM_Fig5_Flick)->Apply(Args);
 BENCHMARK(BM_Fig5_FlickMtcp)->Apply(Args);
 BENCHMARK(BM_Fig5_FlickPooled)->Apply(Args);
+BENCHMARK(BM_Fig5_FlickPooledBatched)->Apply(Args);
 BENCHMARK(BM_Fig5_MoxiLike)->Apply(Args);
 BENCHMARK(BM_Fig5Conns_Pooled)->Apply(ConnsArgs);
 BENCHMARK(BM_Fig5Conns_PerClient)->Apply(ConnsArgs);

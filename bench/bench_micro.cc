@@ -8,6 +8,7 @@
 #include "concurrency/spsc_ring.h"
 #include "grammar/parser.h"
 #include "grammar/serializer.h"
+#include "net/sim_transport.h"
 #include "proto/hadoop.h"
 #include "proto/http.h"
 #include "proto/memcached.h"
@@ -136,6 +137,106 @@ void BM_BufferChainAppendConsume(benchmark::State& state) {
   state.SetBytesProcessed(static_cast<int64_t>(state.iterations() * data.size()));
 }
 BENCHMARK(BM_BufferChainAppendConsume)->Arg(137)->Arg(4096)->Arg(65536);
+
+// ---------------------------------------------------------- write coalescing ----
+//
+// The batched output path's claim: N small messages coalesced into one
+// vectored write cost ONE transport op instead of N. Both variants push the
+// same bytes (arg = messages per run slice) through a sim connection under
+// the kernel cost model, whose per-op charge dominates at memcached request
+// sizes; `writes_issued` makes the syscall-count contrast explicit.
+
+struct CoalescingRig {
+  SimNetwork net;
+  SimTransport transport{&net, StackCostModel::Kernel()};
+  std::unique_ptr<Listener> listener;
+  std::unique_ptr<Connection> sender;
+  std::unique_ptr<Connection> receiver;
+  BufferPool pool{256, 16 * 1024};
+  BufferChain tx{&pool};
+  std::string wire;  // one serialized memcached GET request
+
+  CoalescingRig() {
+    listener = std::move(transport.Listen(9100)).value();
+    sender = std::move(transport.Connect(9100)).value();
+    receiver = listener->Accept();
+    grammar::Message req;
+    proto::BuildRequest(&req, proto::kMemcachedGet, "bench-key");
+    wire = proto::ToWire(req);
+  }
+
+  void FillBatch(size_t msgs) {
+    for (size_t i = 0; i < msgs; ++i) {
+      tx.Append(wire);
+    }
+  }
+
+  void DrainReceiver() {
+    char buf[16 * 1024];
+    while (true) {
+      auto got = receiver->Read(buf, sizeof(buf));
+      if (!got.ok() || *got == 0) {
+        break;
+      }
+    }
+  }
+};
+
+void BM_WriteMessagePerSyscall(benchmark::State& state) {
+  const size_t msgs = static_cast<size_t>(state.range(0));
+  CoalescingRig rig;
+  uint64_t writes = 0;
+  for (auto _ : state) {
+    rig.FillBatch(msgs);
+    // One transport write per message: the pre-batching shape.
+    size_t sent = 0;
+    while (!rig.tx.empty()) {
+      const size_t n = rig.wire.size();
+      char scratch[512];
+      rig.tx.Read(scratch, n);
+      size_t off = 0;
+      while (off < n) {
+        auto wrote = rig.sender->Write(scratch + off, n - off);
+        ++writes;
+        off += *wrote;
+      }
+      ++sent;
+    }
+    benchmark::DoNotOptimize(sent);
+    rig.DrainReceiver();
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations() * msgs));
+  state.counters["writes_issued"] =
+      benchmark::Counter(static_cast<double>(writes), benchmark::Counter::kAvgIterations);
+}
+
+void BM_WriteCoalescedWritev(benchmark::State& state) {
+  const size_t msgs = static_cast<size_t>(state.range(0));
+  CoalescingRig rig;
+  uint64_t writes = 0;
+  for (auto _ : state) {
+    rig.FillBatch(msgs);
+    // The batched path: the whole backlog in vectored writes.
+    while (!rig.tx.empty()) {
+      IoSlice slices[kMaxIoSlices];
+      const size_t n = rig.tx.PeekSlices(slices, kMaxIoSlices);
+      auto wrote = rig.sender->Writev(slices, n);
+      ++writes;
+      if (*wrote == 0) {
+        rig.DrainReceiver();
+        continue;
+      }
+      rig.tx.Consume(*wrote);
+    }
+    rig.DrainReceiver();
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations() * msgs));
+  state.counters["writes_issued"] =
+      benchmark::Counter(static_cast<double>(writes), benchmark::Counter::kAvgIterations);
+}
+
+BENCHMARK(BM_WriteMessagePerSyscall)->Arg(1)->Arg(8)->Arg(32)->Arg(128);
+BENCHMARK(BM_WriteCoalescedWritev)->Arg(1)->Arg(8)->Arg(32)->Arg(128);
 
 // ------------------------------------------------------------- task channel ----
 

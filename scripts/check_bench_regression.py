@@ -1,0 +1,104 @@
+#!/usr/bin/env python3
+"""CI perf-regression gate for the bench smoke.
+
+Compares the smoke run's merged JSON (google-benchmark format) against the
+checked-in BENCH_BASELINE.json and fails when a gated series point regresses
+by more than the threshold on its throughput counter. Gated series: the fig5
+pooled connection-scaling points — the pooled+batched output path whose
+trajectory this repo optimises for.
+
+Rules:
+  * a gated point slower than baseline * (1 - threshold)  -> FAIL
+  * a gated baseline point missing from the current run   -> FAIL
+    (a silently dropped series is a regression too)
+  * a gated current point missing from the baseline       -> WARN only
+    (new points enter the gate when the baseline is regenerated)
+
+Regenerate the baseline via the workflow_dispatch input `regen_baseline`
+(uploads a fresh BENCH_BASELINE.json artifact to commit), or locally with:
+  ./build/bench_micro --benchmark_min_time=0.1 \
+      --benchmark_out=bench_micro_smoke.json --benchmark_out_format=json
+  ./build/bench_fig5_memcached --benchmark_filter='Fig5Conns' \
+      --benchmark_out=bench_fig5_conns_smoke.json --benchmark_out_format=json
+  python3 scripts/merge_bench_smoke.py bench_micro_smoke.json \
+      bench_fig5_conns_smoke.json   # writes bench_smoke.json
+"""
+
+import argparse
+import json
+import sys
+
+GATED_PREFIXES = ("BM_Fig5Conns_Pooled",)
+METRIC = "reqs_per_s"
+
+
+def load_points(path):
+    with open(path) as f:
+        data = json.load(f)
+    points = {}
+    for bench in data.get("benchmarks", []):
+        name = bench["name"]
+        if not name.startswith(GATED_PREFIXES):
+            continue
+        # Counters live under "counters" on newer libbenchmark, top-level on
+        # older ones.
+        counters = bench.get("counters", bench)
+        if METRIC in counters:
+            points[name] = float(counters[METRIC])
+    return points
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("baseline", help="checked-in BENCH_BASELINE.json")
+    parser.add_argument("current", help="merged bench_smoke.json from this run")
+    parser.add_argument("--threshold", type=float, default=0.30,
+                        help="allowed fractional throughput drop (default 0.30)")
+    args = parser.parse_args()
+
+    baseline = load_points(args.baseline)
+    current = load_points(args.current)
+    if not baseline:
+        print(f"FAIL: no gated points ({GATED_PREFIXES}) in {args.baseline}")
+        return 1
+
+    failures = []
+    for name, base_val in sorted(baseline.items()):
+        if name not in current:
+            failures.append(f"{name}: present in baseline but missing from this run")
+            continue
+        cur_val = current[name]
+        floor = base_val * (1.0 - args.threshold)
+        delta = (cur_val - base_val) / base_val
+        verdict = "FAIL" if cur_val < floor else "ok"
+        print(f"{verdict:>4}  {name}: {METRIC} {cur_val:,.0f} vs baseline "
+              f"{base_val:,.0f} ({delta:+.1%}, floor {floor:,.0f})")
+        if cur_val < floor:
+            failures.append(f"{name}: {METRIC} {cur_val:,.0f} < floor {floor:,.0f} "
+                            f"({delta:+.1%} vs baseline)")
+        elif cur_val > base_val * 2.0:
+            # Absolute throughput comparisons only mean something when the
+            # baseline came from comparable hardware/build settings. A 2x+
+            # gap means this runner far outruns whatever produced the
+            # baseline — real regressions could hide entirely above the
+            # floor, so tell the operator to regenerate.
+            print(f"WARN  {name}: current is {cur_val / base_val:.1f}x the "
+                  "baseline — baseline looks stale for this runner; "
+                  "regenerate via the workflow_dispatch 'regen_baseline' "
+                  "input so the gate has teeth")
+    for name in sorted(set(current) - set(baseline)):
+        print(f"WARN  {name}: not in baseline (gated after next regeneration)")
+
+    if failures:
+        print("\nPerf regression gate FAILED:")
+        for f in failures:
+            print(f"  - {f}")
+        print("If this slowdown is intended, regenerate BENCH_BASELINE.json via "
+              "the workflow_dispatch 'regen_baseline' input and commit it.")
+        return 1
+    print("\nPerf regression gate passed.")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

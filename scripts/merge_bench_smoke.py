@@ -1,0 +1,88 @@
+#!/usr/bin/env python3
+"""Merge the bench-smoke JSON fragments and assert the smoke invariants.
+
+Inputs (google-benchmark --benchmark_out files, in order):
+    bench_micro_smoke.json bench_fig5_conns_smoke.json ...
+Outputs:
+    bench_smoke.json        merged run, the per-PR perf-trajectory artifact
+    batching_counters.json  the write-coalescing counters of every pooled
+                            fig5 point + the micro coalescing pair, uploaded
+                            alongside so the batching win is scannable
+                            without parsing the full run
+
+Asserted invariants (smoke fails on violation):
+  1. Pooling: pooled backend connection count does not grow with client
+     concurrency (>= 2 pooled fig5 points, all with equal backend_conns).
+  2. Batching: on every pooled fig5 point (8+ concurrent client graphs) the
+     pooled wires issue FEWER vectored writes than requests forwarded —
+     writev batching must actually coalesce, not degenerate to per-message.
+"""
+
+import json
+import sys
+
+
+def counters_of(bench):
+    # Counters live under "counters" on newer libbenchmark, top-level on
+    # older ones.
+    return bench.get("counters", bench)
+
+
+def main(argv):
+    if len(argv) < 2:
+        print("usage: merge_bench_smoke.py <smoke.json>...", file=sys.stderr)
+        return 2
+    merged = {}
+    for name in argv[1:]:
+        with open(name) as f:
+            data = json.load(f)
+        if not merged:
+            merged = data
+        else:
+            merged["benchmarks"].extend(data["benchmarks"])
+    with open("bench_smoke.json", "w") as f:
+        json.dump(merged, f, indent=1)
+
+    pooled = [b for b in merged["benchmarks"]
+              if b["name"].startswith("BM_Fig5Conns_Pooled")]
+
+    # 1. Pooling: backend connection count independent of client concurrency.
+    conns = {counters_of(b)["backend_conns"] for b in pooled}
+    assert len(pooled) >= 2, "pooled fig5 points missing from smoke"
+    assert len(conns) == 1, f"pooled backend conns vary with clients: {conns}"
+
+    # 2. Batching: vectored writes < requests on every pooled point.
+    batching = {}
+    for b in pooled:
+        c = counters_of(b)
+        writev = c.get("pool_writev_calls")
+        requests = c.get("pool_requests")
+        assert writev is not None and requests is not None, \
+            f"{b['name']}: batching counters missing from pooled fig5 point"
+        assert writev < requests, (
+            f"{b['name']}: writev_calls ({writev}) not below requests "
+            f"({requests}) — output batching is not coalescing")
+        batching[b["name"]] = {
+            "pool_writev_calls": writev,
+            "pool_requests": requests,
+            "pool_msgs_per_writev": c.get("pool_msgs_per_writev"),
+            "pool_flushes_forced": c.get("pool_flushes_forced"),
+            "reqs_per_s": c.get("reqs_per_s"),
+        }
+    for b in merged["benchmarks"]:
+        if b["name"].startswith(("BM_WriteCoalescedWritev",
+                                 "BM_WriteMessagePerSyscall")):
+            c = counters_of(b)
+            batching[b["name"]] = {
+                "writes_issued": c.get("writes_issued"),
+                "items_per_second": c.get("items_per_second"),
+            }
+    with open("batching_counters.json", "w") as f:
+        json.dump(batching, f, indent=1)
+    print(f"merged {len(merged['benchmarks'])} benchmarks; "
+          f"{len(pooled)} pooled fig5 points batching-checked")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

@@ -1,0 +1,25 @@
+// A non-owning view of one contiguous byte segment, used to hand scatter-
+// gather lists across layers: BufferChain exposes its readable buffers as
+// IoSlices without flattening, and Connection::Writev turns them into one
+// vectored transport write (kernel `writev`/`sendmsg`, or a segment-
+// preserving copy on the sim fabric). Layout mirrors `struct iovec`.
+#ifndef FLICK_BASE_IO_SLICE_H_
+#define FLICK_BASE_IO_SLICE_H_
+
+#include <cstddef>
+
+namespace flick {
+
+struct IoSlice {
+  const void* data = nullptr;
+  size_t len = 0;
+};
+
+// Slices gathered per vectored write. Small enough for a stack array and
+// below every platform's IOV_MAX; callers loop when a chain has more
+// segments than this.
+inline constexpr size_t kMaxIoSlices = 64;
+
+}  // namespace flick
+
+#endif  // FLICK_BASE_IO_SLICE_H_

@@ -107,6 +107,18 @@ std::string_view BufferChain::FrontView() const {
   return {};
 }
 
+size_t BufferChain::PeekSlices(IoSlice* out, size_t max_slices) const {
+  size_t n = 0;
+  for (size_t i = first_; i < buffers_.size() && n < max_slices; ++i) {
+    const Buffer& b = *buffers_[i];
+    if (b.readable() == 0) {
+      continue;
+    }
+    out[n++] = IoSlice{b.read_ptr(), b.readable()};
+  }
+  return n;
+}
+
 std::string BufferChain::ToString() const {
   std::string out(readable_, '\0');
   Peek(0, out.data(), out.size());

@@ -10,6 +10,7 @@
 #include <string_view>
 #include <vector>
 
+#include "base/io_slice.h"
 #include "buffer/buffer_pool.h"
 
 namespace flick {
@@ -49,6 +50,13 @@ class BufferChain {
   // Contiguous view of the first readable buffer (may be shorter than
   // readable()); empty when the chain is empty.
   std::string_view FrontView() const;
+
+  // Scatter-gather view: fills `out[0..max_slices)` with the readable
+  // segments in stream order, starting at the read position, WITHOUT
+  // flattening or copying. Returns the number of slices filled; fewer than
+  // max_slices means the whole chain is covered. The views stay valid until
+  // the next mutating call (Append/Consume/Clear/...).
+  size_t PeekSlices(IoSlice* out, size_t max_slices) const;
 
   std::string ToString() const;  // copies all readable bytes (tests only)
 

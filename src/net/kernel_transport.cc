@@ -8,6 +8,7 @@
 #include <poll.h>
 #include <string.h>
 #include <sys/socket.h>
+#include <sys/uio.h>
 #include <unistd.h>
 
 #include <atomic>
@@ -69,6 +70,38 @@ Result<size_t> KernelConnection::Write(const void* buf, size_t len) {
     return size_t{0};
   }
   return Errno("send");
+}
+
+Result<size_t> KernelConnection::Writev(const IoSlice* slices, size_t count) {
+  if (fd_ < 0) {
+    return Status(StatusCode::kUnavailable, "write on closed connection");
+  }
+  // sendmsg instead of writev for MSG_NOSIGNAL; short-write semantics let the
+  // caller loop when a chain has more than kMaxIoSlices segments.
+  struct iovec iov[kMaxIoSlices];
+  size_t n_iov = 0;
+  for (size_t i = 0; i < count && n_iov < kMaxIoSlices; ++i) {
+    if (slices[i].len == 0) {
+      continue;
+    }
+    iov[n_iov].iov_base = const_cast<void*>(slices[i].data);
+    iov[n_iov].iov_len = slices[i].len;
+    ++n_iov;
+  }
+  if (n_iov == 0) {
+    return size_t{0};
+  }
+  struct msghdr msg = {};
+  msg.msg_iov = iov;
+  msg.msg_iovlen = n_iov;
+  const ssize_t n = ::sendmsg(fd_, &msg, MSG_NOSIGNAL);
+  if (n >= 0) {
+    return static_cast<size_t>(n);
+  }
+  if (errno == EAGAIN || errno == EWOULDBLOCK || errno == EINTR) {
+    return size_t{0};
+  }
+  return Errno("sendmsg");
 }
 
 void KernelConnection::Close() {

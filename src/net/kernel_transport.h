@@ -19,6 +19,7 @@ class KernelConnection : public Connection {
 
   Result<size_t> Read(void* buf, size_t len) override;
   Result<size_t> Write(const void* buf, size_t len) override;
+  Result<size_t> Writev(const IoSlice* slices, size_t count) override;
   void Close() override;
   bool IsOpen() const override { return fd_ >= 0; }
   bool ReadReady() const override;

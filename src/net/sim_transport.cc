@@ -52,6 +52,9 @@ Result<size_t> SimConnection::Write(const void* buf, size_t len) {
   if (!peer_open().load(std::memory_order_acquire)) {
     return Status(StatusCode::kUnavailable, "peer closed");
   }
+  if (cost_.max_bytes_per_op > 0 && len > cost_.max_bytes_per_op) {
+    len = cost_.max_bytes_per_op;
+  }
   const size_t n = tx().Write(buf, len);
   if (n == 0) {
     SpinWork(cost_.op_cost / 8);  // transport full: would-block probe
@@ -59,6 +62,39 @@ Result<size_t> SimConnection::Write(const void* buf, size_t len) {
   }
   SpinWork(cost_.op_cost + cost_.per_kb_cost * ((n + 1023) / 1024));
   return n;
+}
+
+// The point of the vectored path: every segment is copied in order under ONE
+// op_cost charge, so batching N messages costs N fewer simulated syscalls —
+// the same cost structure a real writev gives over per-message send.
+Result<size_t> SimConnection::Writev(const IoSlice* slices, size_t count) {
+  if (!my_open().load(std::memory_order_acquire)) {
+    return Status(StatusCode::kUnavailable, "write on closed connection");
+  }
+  if (!peer_open().load(std::memory_order_acquire)) {
+    return Status(StatusCode::kUnavailable, "peer closed");
+  }
+  const size_t budget =
+      cost_.max_bytes_per_op > 0 ? cost_.max_bytes_per_op : static_cast<size_t>(-1);
+  size_t total = 0;
+  for (size_t i = 0; i < count && total < budget; ++i) {
+    const auto* p = static_cast<const uint8_t*>(slices[i].data);
+    size_t remaining = slices[i].len;
+    if (remaining > budget - total) {
+      remaining = budget - total;  // partial-write injection lands mid-iovec
+    }
+    const size_t n = tx().Write(p, remaining);
+    total += n;
+    if (n < slices[i].len) {
+      break;  // ring full (or injected cap): short write
+    }
+  }
+  if (total == 0) {
+    SpinWork(cost_.op_cost / 8);  // transport full: would-block probe
+    return total;
+  }
+  SpinWork(cost_.op_cost + cost_.per_kb_cost * ((total + 1023) / 1024));
+  return total;
 }
 
 void SimConnection::Close() {

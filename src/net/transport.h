@@ -12,6 +12,7 @@
 #include <cstdint>
 #include <memory>
 
+#include "base/io_slice.h"
 #include "base/result.h"
 
 namespace flick {
@@ -25,6 +26,32 @@ class Connection {
 
   virtual Result<size_t> Read(void* buf, size_t len) = 0;
   virtual Result<size_t> Write(const void* buf, size_t len) = 0;
+
+  // Scatter-gather write: sends the slices in order as one byte stream, with
+  // short-write semantics — the return value is total bytes accepted, which
+  // may end mid-slice (0 when the transport would block). Transports override
+  // this to make the whole batch cost ONE kernel crossing (`writev`); the
+  // base implementation degrades to one Write per slice so every Connection
+  // stays correct.
+  virtual Result<size_t> Writev(const IoSlice* slices, size_t count) {
+    size_t total = 0;
+    for (size_t i = 0; i < count; ++i) {
+      if (slices[i].len == 0) {
+        continue;
+      }
+      auto wrote = Write(slices[i].data, slices[i].len);
+      if (!wrote.ok()) {
+        // Bytes already accepted are on the wire; surface them and let the
+        // caller hit the error on its next flush.
+        return total > 0 ? Result<size_t>(total) : wrote;
+      }
+      total += *wrote;
+      if (*wrote < slices[i].len) {
+        break;  // transport backpressure mid-slice
+      }
+    }
+    return total;
+  }
 
   // Half-close is not modelled; Close tears down both directions.
   virtual void Close() = 0;

@@ -15,7 +15,7 @@ TaskRunResult ComputeTask::Run(TaskContext& ctx) {
       return TaskRunResult::kIdle;  // output consumer will wake us
     }
     stalled_msg_ = MsgRef();
-    ++messages_handled_;
+    messages_handled_.fetch_add(1, std::memory_order_relaxed);
     ctx.ItemDone();
   }
 
@@ -37,7 +37,7 @@ TaskRunResult ComputeTask::Run(TaskContext& ctx) {
       stalled_input_ = input_index;
       return TaskRunResult::kIdle;  // woken when the output drains
     }
-    ++messages_handled_;
+    messages_handled_.fetch_add(1, std::memory_order_relaxed);
     ctx.ItemDone();
     if (ctx.ShouldYield()) {
       return TaskRunResult::kMoreWork;

@@ -72,7 +72,9 @@ class ComputeTask : public Task {
   }
 
   size_t input_count() const { return inputs_.size(); }
-  uint64_t messages_handled() const { return messages_handled_; }
+  uint64_t messages_handled() const {
+    return messages_handled_.load(std::memory_order_relaxed);
+  }
 
   TaskRunResult Run(TaskContext& ctx) override;
 
@@ -84,7 +86,7 @@ class ComputeTask : public Task {
   MsgRef stalled_msg_;       // message whose handling was blocked
   size_t stalled_input_ = 0;
   size_t next_input_ = 0;    // round-robin drain position
-  uint64_t messages_handled_ = 0;
+  std::atomic<uint64_t> messages_handled_{0};  // read off-thread by tests/stats
 };
 
 // foldt (§4.3): merges two key-ordered input streams, combining values of

@@ -24,7 +24,7 @@ void InputTask::Rebind(std::unique_ptr<Connection> conn) {
   pending_ = MsgRef();
   eof_pending_ = false;
   eof_sent_ = false;
-  messages_in_ = 0;
+  messages_in_.store(0, std::memory_order_relaxed);
   closed_.store(conn_ == nullptr, std::memory_order_release);
 }
 
@@ -85,7 +85,7 @@ TaskRunResult InputTask::Run(TaskContext& ctx) {
         EmitEof();
         return TaskRunResult::kIdle;
       }
-      ++messages_in_;
+      messages_in_.fetch_add(1, std::memory_order_relaxed);
       pending_ = std::move(parse_msg_);
       if (!FlushPending()) {
         return TaskRunResult::kIdle;  // backpressure: consumer will wake us
@@ -137,24 +137,10 @@ OutputTask::~OutputTask() = default;
 void OutputTask::Rebind(std::unique_ptr<Connection> conn) {
   conn_ = std::move(conn);
   tx_.Clear();
+  msgs_since_flush_ = 0;
   eof_received_ = false;
-  messages_out_ = 0;
+  messages_out_.store(0, std::memory_order_relaxed);
   closed_.store(conn_ == nullptr, std::memory_order_release);
-}
-
-bool OutputTask::FlushWire() {
-  while (!tx_.empty()) {
-    std::string_view front = tx_.FrontView();
-    auto wrote = conn_->Write(front.data(), front.size());
-    if (!wrote.ok()) {
-      return false;
-    }
-    if (*wrote == 0) {
-      return true;  // transport backpressure; retry on next run
-    }
-    tx_.Consume(*wrote);
-  }
-  return true;
 }
 
 TaskRunResult OutputTask::Run(TaskContext& ctx) {
@@ -167,9 +153,7 @@ TaskRunResult OutputTask::Run(TaskContext& ctx) {
 
   while (true) {
     if (!FlushWire()) {
-      conn_->Close();
-      closed_.store(true, std::memory_order_release);
-      return TaskRunResult::kIdle;
+      return CloseFatal();
     }
     if (!tx_.empty()) {
       // Transport is full: let other tasks run; retry when rescheduled.
@@ -185,27 +169,52 @@ TaskRunResult OutputTask::Run(TaskContext& ctx) {
       return TaskRunResult::kIdle;
     }
 
-    MsgRef msg = in_->TryPop();
-    if (!msg) {
-      return TaskRunResult::kIdle;
+    // Drain the channel backlog into tx_ WITHOUT flushing per message: every
+    // message waiting in this run slice coalesces into one vectored write.
+    // Flush triggers: backlog high-water (forced), slice end (yield), and
+    // channel drained (the loop-top flush after `break`).
+    while (true) {
+      MsgRef msg = in_->TryPop();
+      if (!msg) {
+        break;  // slice end: loop top flushes the batch, then goes idle
+      }
+      if (msg->kind == Msg::Kind::kEof) {
+        eof_received_ = true;
+        break;  // loop top flushes, then closes
+      }
+      const Status status = codec_->Serialize(*msg, tx_);
+      if (!status.ok()) {
+        // Output pool exhausted: treat as fatal for this connection rather
+        // than silently dropping bytes mid-stream.
+        return CloseFatal();
+      }
+      messages_out_.fetch_add(1, std::memory_order_relaxed);
+      ++msgs_since_flush_;
+      ctx.ItemDone();
+      if (flush_watermark_ > 0 && tx_.readable() >= flush_watermark_) {
+        batch_.flushes_forced.fetch_add(1, std::memory_order_relaxed);
+        if (!FlushWire()) {
+          return CloseFatal();
+        }
+        if (!tx_.empty()) {
+          return TaskRunResult::kMoreWork;  // transport full mid-batch
+        }
+      }
+      if (ctx.ShouldYield()) {
+        if (!FlushWire()) {
+          return CloseFatal();
+        }
+        return TaskRunResult::kMoreWork;
+      }
     }
-    if (msg->kind == Msg::Kind::kEof) {
-      eof_received_ = true;
-      continue;  // flush then close
+    if (!eof_received_) {
+      // Channel drained: flush the batch and wait for the next push.
+      if (!FlushWire()) {
+        return CloseFatal();
+      }
+      return tx_.empty() ? TaskRunResult::kIdle : TaskRunResult::kMoreWork;
     }
-    const Status status = codec_->Serialize(*msg, tx_);
-    if (!status.ok()) {
-      // Output pool exhausted: treat as fatal for this connection rather than
-      // silently dropping bytes mid-stream.
-      conn_->Close();
-      closed_.store(true, std::memory_order_release);
-      return TaskRunResult::kIdle;
-    }
-    ++messages_out_;
-    ctx.ItemDone();
-    if (ctx.ShouldYield()) {
-      return TaskRunResult::kMoreWork;
-    }
+    // EOF: loop to the top, which flushes then closes (or re-arms).
   }
 }
 

@@ -17,6 +17,7 @@
 #include "runtime/codec.h"
 #include "runtime/msg.h"
 #include "runtime/task.h"
+#include "runtime/wire_batch.h"
 
 namespace flick::runtime {
 
@@ -31,7 +32,7 @@ class InputTask : public Task {
 
   Connection* connection() const { return conn_.get(); }
   bool closed() const { return closed_.load(std::memory_order_acquire); }
-  uint64_t messages_in() const { return messages_in_; }
+  uint64_t messages_in() const { return messages_in_.load(std::memory_order_relaxed); }
 
   // Replaces the connection (graph reuse from the pool).
   void Rebind(std::unique_ptr<Connection> conn);
@@ -51,8 +52,15 @@ class InputTask : public Task {
   bool eof_pending_ = false;
   bool eof_sent_ = false;
   std::atomic<bool> closed_{false};
-  uint64_t messages_in_ = 0;
+  std::atomic<uint64_t> messages_in_{0};  // read off-thread by tests/stats
 };
+
+// Backlog bytes an OutputTask (or pooled connection) accumulates before a
+// forced mid-slice flush. Small messages batch into one vectored write per
+// run slice; the watermark bounds buffer-pool pressure when a slice carries
+// bulk data. 1 = flush after every message (the pre-batching shape);
+// 0 = never force (slice-end flushes only).
+inline constexpr size_t kDefaultFlushWatermark = 32 * 1024;
 
 class OutputTask : public Task {
  public:
@@ -64,7 +72,7 @@ class OutputTask : public Task {
 
   Connection* connection() const { return conn_.get(); }
   bool closed() const { return closed_.load(std::memory_order_acquire); }
-  uint64_t messages_out() const { return messages_out_; }
+  uint64_t messages_out() const { return messages_out_.load(std::memory_order_relaxed); }
 
   void Rebind(std::unique_ptr<Connection> conn);
 
@@ -72,9 +80,35 @@ class OutputTask : public Task {
   // Cleared for shared backend connections that outlive one client.
   void set_close_on_eof(bool v) { close_on_eof_ = v; }
 
+  // Forced-flush threshold (see kDefaultFlushWatermark). Set before IO
+  // activation; GraphBuilder applies its FlushWatermark() here.
+  void set_flush_watermark(size_t bytes) { flush_watermark_ = bytes; }
+  size_t flush_watermark() const { return flush_watermark_; }
+
+  // --- batching counters (atomic: read by registry/tests off-thread) --------
+  uint64_t writev_calls() const {
+    return batch_.writev_calls.load(std::memory_order_relaxed);
+  }
+  uint64_t flushes_forced() const {
+    return batch_.flushes_forced.load(std::memory_order_relaxed);
+  }
+  // High-water of messages drained into a single flush (≈ msgs per writev).
+  uint64_t msgs_per_writev() const {
+    return batch_.msgs_per_writev.load(std::memory_order_relaxed);
+  }
+
  private:
-  // Writes buffered bytes to the connection; false on fatal transport error.
-  bool FlushWire();
+  // Writes buffered bytes to the connection as vectored batches; false on
+  // fatal transport error.
+  bool FlushWire() { return FlushChainVectored(tx_, *conn_, batch_, msgs_since_flush_); }
+
+  // Fatal error: tear the connection down and go idle (EOF already
+  // propagated upstream via closed()).
+  TaskRunResult CloseFatal() {
+    conn_->Close();
+    closed_.store(true, std::memory_order_release);
+    return TaskRunResult::kIdle;
+  }
 
   std::unique_ptr<Connection> conn_;
   std::unique_ptr<Serializer> codec_;
@@ -83,7 +117,10 @@ class OutputTask : public Task {
   bool close_on_eof_ = true;
   bool eof_received_ = false;
   std::atomic<bool> closed_{false};
-  uint64_t messages_out_ = 0;
+  std::atomic<uint64_t> messages_out_{0};  // read off-thread by tests/stats
+  size_t flush_watermark_ = kDefaultFlushWatermark;
+  uint64_t msgs_since_flush_ = 0;
+  WriteBatchCounters batch_;
 };
 
 }  // namespace flick::runtime

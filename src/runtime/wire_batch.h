@@ -1,0 +1,66 @@
+// Shared machinery of the batched output path: the vectored chain flush used
+// by every writer (OutputTask sinks, BackendPool connection tasks) and the
+// counters it maintains. One implementation, so the counters mean the same
+// thing on every wire and a fix lands everywhere at once.
+#ifndef FLICK_RUNTIME_WIRE_BATCH_H_
+#define FLICK_RUNTIME_WIRE_BATCH_H_
+
+#include <atomic>
+#include <cstdint>
+
+#include "base/io_slice.h"
+#include "buffer/buffer_chain.h"
+#include "net/transport.h"
+
+namespace flick::runtime {
+
+// Lock-free monotonic max (relaxed: these are statistics, not ordering).
+inline void AtomicStoreMax(std::atomic<uint64_t>& target, uint64_t value) {
+  uint64_t cur = target.load(std::memory_order_relaxed);
+  while (value > cur &&
+         !target.compare_exchange_weak(cur, value, std::memory_order_relaxed)) {
+  }
+}
+
+// Batching statistics, atomic because registries/tests/stats read them while
+// worker threads write.
+struct WriteBatchCounters {
+  std::atomic<uint64_t> writev_calls{0};    // vectored writes that moved bytes
+  std::atomic<uint64_t> flushes_forced{0};  // flushes triggered by high-water
+  std::atomic<uint64_t> msgs_per_writev{0}; // high-water msgs coalesced per flush
+};
+
+// Flushes `chain` to `conn` as vectored writes (up to kMaxIoSlices segments
+// per transport call). Returns false on a fatal wire error; returns true on
+// full drain OR transport backpressure (unwritten bytes stay in the chain
+// for the next run). `msgs_since_flush` is the caller's count of messages
+// serialized since the last successful write: it is attributed to the first
+// writev that moves bytes — would-block probes neither count as writes nor
+// consume the attribution, so the counters stay meaningful under sustained
+// backpressure.
+inline bool FlushChainVectored(BufferChain& chain, Connection& conn,
+                               WriteBatchCounters& counters,
+                               uint64_t& msgs_since_flush) {
+  while (!chain.empty()) {
+    IoSlice slices[kMaxIoSlices];
+    const size_t n = chain.PeekSlices(slices, kMaxIoSlices);
+    auto wrote = conn.Writev(slices, n);
+    if (!wrote.ok()) {
+      return false;
+    }
+    if (*wrote == 0) {
+      return true;  // transport backpressure; retry next run
+    }
+    counters.writev_calls.fetch_add(1, std::memory_order_relaxed);
+    if (msgs_since_flush > 0) {
+      AtomicStoreMax(counters.msgs_per_writev, msgs_since_flush);
+      msgs_since_flush = 0;
+    }
+    chain.Consume(*wrote);
+  }
+  return true;
+}
+
+}  // namespace flick::runtime
+
+#endif  // FLICK_RUNTIME_WIRE_BATCH_H_

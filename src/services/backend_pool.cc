@@ -12,6 +12,7 @@
 #include "runtime/io_poller.h"
 #include "runtime/msg.h"
 #include "runtime/task.h"
+#include "runtime/wire_batch.h"
 
 namespace flick::services {
 namespace internal {
@@ -47,13 +48,19 @@ class PoolConnTask : public runtime::Task {
     }
   }
 
+  // `replies == nullptr` marks a streaming (write-only) leg: no correlation
+  // slot is consumed per request and the leg finishes on its EOF.
   void AttachLease(uint64_t lease_id, runtime::Channel* requests,
                    runtime::Channel* replies, runtime::Scheduler* scheduler) {
     std::lock_guard<std::mutex> lock(mutex_);
     requests->BindConsumer(this, scheduler);
-    replies->BindProducer(this);
+    if (replies != nullptr) {
+      replies->BindProducer(this);
+    }
     lease_index_[lease_id] = leases_.size();
-    leases_.push_back(LeaseSlot{lease_id, requests, replies});
+    leases_.push_back(LeaseSlot{lease_id, requests, replies,
+                                /*streaming=*/replies == nullptr,
+                                /*finished=*/false});
   }
 
   // After this returns the task never touches the lease's channels again.
@@ -77,7 +84,45 @@ class PoolConnTask : public runtime::Task {
     }
   }
 
-  bool connected() const { return connected_flag_.load(std::memory_order_acquire); }
+  // One atomic wire state instead of separate connected/ever-connected flags:
+  // LeaseFinished's lock-free fast path must see a CONSISTENT snapshot (two
+  // flags stored in sequence gave a window where "was up" was visible before
+  // "is up", reading as a lost wire mid-first-dial).
+  enum class WireState : uint8_t { kNeverTried, kConnected, kDead };
+
+  bool connected() const {
+    return wire_state_.load(std::memory_order_acquire) == WireState::kConnected;
+  }
+
+  // True once the lease's leg on this connection has consumed its EOF (the
+  // request channel is FIFO, so everything the graph committed is already
+  // serialized toward the wire) or is already detached. A DEAD wire also
+  // counts as finished — one that was lost after being up (delivery is per
+  // byte stream, and the stream is gone) or whose dials are PERSISTENTLY
+  // failing (kDialFailuresUntilDead in a row; a never-answering backend must
+  // not pin departing graphs forever). "Not connected" merely because the
+  // first dial has not run yet — or missed once — does NOT count: graphs
+  // routinely finish before the initial dial on a loaded host, and their
+  // queued requests must survive until the wire comes up.
+  //
+  // Runs on the poller thread per reaper sweep, so it must never wait on
+  // mutex_ (held across whole run slices, including transport writes): a
+  // contended lock means the task is mid-Run and the leg can simply be
+  // re-polled next sweep.
+  bool LeaseFinished(uint64_t lease_id) {
+    if (wire_state_.load(std::memory_order_acquire) == WireState::kDead) {
+      return true;
+    }
+    std::unique_lock<std::mutex> lock(mutex_, std::try_to_lock);
+    if (!lock.owns_lock()) {
+      return false;  // conn task mid-Run; answer next sweep
+    }
+    const auto it = lease_index_.find(lease_id);
+    if (it == lease_index_.end()) {
+      return true;
+    }
+    return leases_[it->second].finished;
+  }
 
   // Redial ticker hook (poller thread): true when a dial attempt is due.
   bool WantsRedialKick() const {
@@ -98,12 +143,15 @@ class PoolConnTask : public runtime::Task {
   std::atomic<uint64_t> responses_routed{0};
   std::atomic<uint64_t> responses_dropped{0};
   std::atomic<uint64_t> pipeline_hwm{0};
+  runtime::WriteBatchCounters batch;
 
  private:
   struct LeaseSlot {
     uint64_t lease_id;
     runtime::Channel* requests;
-    runtime::Channel* replies;
+    runtime::Channel* replies;  // null for streaming (write-only) legs
+    bool streaming;
+    bool finished;  // streaming leg consumed its EOF
   };
 
   // All helpers below run under mutex_.
@@ -118,6 +166,14 @@ class PoolConnTask : public runtime::Task {
     auto conn = transport_->Connect(port_);
     if (!conn.ok()) {
       dial_failures.fetch_add(1, std::memory_order_relaxed);
+      // PERSISTENTLY failing wires are dead for retirement purposes (a
+      // backend that never answers must not pin departing graphs), but one
+      // transient miss is not death — queued requests survive a blip and
+      // flush on the next dial, as Acquire()'s "requests queue until
+      // redial" promises.
+      if (++consecutive_dial_failures_ >= kDialFailuresUntilDead) {
+        wire_state_.store(WireState::kDead, std::memory_order_release);
+      }
       next_dial_at_ns_.store(MonotonicNanos() + pool_->config_.redial_interval_ns,
                              std::memory_order_release);
       return false;
@@ -128,7 +184,8 @@ class PoolConnTask : public runtime::Task {
       reconnects.fetch_add(1, std::memory_order_relaxed);
     }
     ever_connected_ = true;
-    connected_flag_.store(true, std::memory_order_release);
+    consecutive_dial_failures_ = 0;
+    wire_state_.store(WireState::kConnected, std::memory_order_release);
     poller_->WatchConnection(wire_.get(), this);
     return true;
   }
@@ -142,12 +199,13 @@ class PoolConnTask : public runtime::Task {
       wire_->Close();
       wire_.reset();
     }
-    connected_flag_.store(false, std::memory_order_release);
+    wire_state_.store(WireState::kDead, std::memory_order_release);
     disconnects.fetch_add(1, std::memory_order_relaxed);
     responses_dropped.fetch_add(pending_.size(), std::memory_order_relaxed);
     pending_.clear();
     rx_.Clear();
     tx_.Clear();
+    msgs_since_flush_ = 0;
     deserializer_->Reset();
     parse_msg_ = runtime::MsgRef();
     next_dial_at_ns_.store(MonotonicNanos() + pool_->config_.redial_interval_ns,
@@ -163,6 +221,11 @@ class PoolConnTask : public runtime::Task {
       return true;
     }
     const LeaseSlot& slot = leases_[it->second];
+    if (slot.replies == nullptr) {
+      // Streaming leg: nothing expects responses; drop without stalling.
+      responses_dropped.fetch_add(1, std::memory_order_relaxed);
+      return true;
+    }
     if (!slot.replies->TryPush(std::move(msg))) {
       stalled_reply_ = std::move(msg);
       stalled_reply_lease_ = lease_id;
@@ -172,20 +235,10 @@ class PoolConnTask : public runtime::Task {
     return true;
   }
 
-  // Writes buffered bytes; false on a fatal wire error.
+  // Writes buffered bytes as vectored batches (one transport call covers up
+  // to kMaxIoSlices segments); false on a fatal wire error.
   bool FlushWire() {
-    while (!tx_.empty()) {
-      std::string_view front = tx_.FrontView();
-      auto wrote = wire_->Write(front.data(), front.size());
-      if (!wrote.ok()) {
-        return false;
-      }
-      if (*wrote == 0) {
-        return true;  // transport backpressure; retry next run
-      }
-      tx_.Consume(*wrote);
-    }
-    return true;
+    return runtime::FlushChainVectored(tx_, *wire_, batch, msgs_since_flush_);
   }
 
   BackendPool* pool_;
@@ -196,8 +249,14 @@ class PoolConnTask : public runtime::Task {
 
   std::mutex mutex_;
   std::unique_ptr<Connection> wire_;
-  bool ever_connected_ = false;
-  std::atomic<bool> connected_flag_{false};
+  // Consecutive failed dials before the wire counts as dead for the
+  // retirement gate. With millisecond redial pacing a truly dead backend
+  // crosses this within a few ms; a single blip does not.
+  static constexpr uint32_t kDialFailuresUntilDead = 3;
+
+  bool ever_connected_ = false;  // guarded by mutex_ (reconnect accounting)
+  uint32_t consecutive_dial_failures_ = 0;  // guarded by mutex_
+  std::atomic<WireState> wire_state_{WireState::kNeverTried};
   std::atomic<uint64_t> next_dial_at_ns_{0};
 
   BufferChain rx_;
@@ -208,6 +267,7 @@ class PoolConnTask : public runtime::Task {
   std::vector<LeaseSlot> leases_;
   std::unordered_map<uint64_t, size_t> lease_index_;  // lease id -> leases_ slot
   size_t next_lease_ = 0;              // round-robin drain cursor
+  uint64_t msgs_since_flush_ = 0;      // requests in the current write batch
   std::deque<uint64_t> pending_;       // lease id per in-flight request (FIFO)
   runtime::MsgRef parse_msg_;          // in-progress response parse target
   runtime::MsgRef stalled_reply_;      // parsed response its channel rejected
@@ -290,16 +350,39 @@ runtime::TaskRunResult PoolConnTask::Run(runtime::TaskContext& ctx) {
       progress = true;
     }
 
-    // --- write side: pipeline requests up to the depth cap ------------------
+    // --- write side: drain the backlog into ONE batch ------------------------
+    // Requests from every attached lease coalesce in tx_ and hit the wire as
+    // vectored writes: per run slice instead of per message. Flush triggers:
+    // the high-water mark (forced, bounds buffer pressure), yield (slice
+    // end), and the loop-bottom flush once the channels are drained.
     const size_t depth_cap = pool_->config_.max_pipeline_depth;
+    const size_t watermark = pool_->config_.flush_watermark_bytes;
+    // The backlog cap is the flow control for streaming legs, which never
+    // occupy pipeline slots: when the wire is backpressured the forced flush
+    // below cannot drain tx_, this loop stops popping, and the pressure
+    // propagates to the issuing graphs through their full request channels.
+    const size_t backlog_cap =
+        watermark > 0 ? watermark : static_cast<size_t>(-1);
     size_t idle_leases = 0;
-    while (!leases_.empty() && idle_leases < leases_.size() &&
-           pending_.size() < depth_cap) {
+    while (!leases_.empty() && idle_leases < leases_.size()) {
+      // EOFs cost neither a pipeline slot nor tx bytes, and retirement
+      // waits on them — so when the caps close the drain, an EOF at a
+      // channel head may still pass (a wedged backend must not pin a
+      // departing graph behind a full pipeline).
+      const bool caps_open =
+          pending_.size() < depth_cap && tx_.readable() < backlog_cap;
       if (next_lease_ >= leases_.size()) {
         next_lease_ = 0;
       }
       LeaseSlot& slot = leases_[next_lease_];
       next_lease_ = (next_lease_ + 1) % leases_.size();
+      if (!caps_open) {
+        runtime::MsgRef* head = slot.requests->Front();
+        if (head == nullptr || (*head)->kind != runtime::Msg::Kind::kEof) {
+          ++idle_leases;
+          continue;
+        }
+      }
       runtime::MsgRef msg = slot.requests->TryPop();
       if (!msg) {
         ++idle_leases;
@@ -308,7 +391,12 @@ runtime::TaskRunResult PoolConnTask::Run(runtime::TaskContext& ctx) {
       idle_leases = 0;
       progress = true;
       if (msg->kind == runtime::Msg::Kind::kEof) {
-        continue;  // client-side done; lease lifecycle is the registry's job
+        // Channel order makes EOF the leg's last message: everything the
+        // graph committed is serialized toward the wire, so the lease may
+        // detach (LeaseFinished gates retirement stage 1 on this). Lease
+        // lifecycle itself stays the registry's job.
+        slot.finished = true;
+        continue;
       }
       if (!serializer_->Serialize(*msg, tx_).ok()) {
         // Partial serialization would corrupt the shared stream for every
@@ -316,14 +404,22 @@ runtime::TaskRunResult PoolConnTask::Run(runtime::TaskContext& ctx) {
         Disconnect();
         return runtime::TaskRunResult::kMoreWork;
       }
-      pending_.push_back(slot.lease_id);
-      requests_forwarded.fetch_add(1, std::memory_order_relaxed);
-      uint64_t hwm = pipeline_hwm.load(std::memory_order_relaxed);
-      while (pending_.size() > hwm &&
-             !pipeline_hwm.compare_exchange_weak(hwm, pending_.size(),
-                                                 std::memory_order_relaxed)) {
+      ++msgs_since_flush_;
+      if (!slot.streaming) {
+        // Streaming legs expect no response: no correlation slot, no
+        // pipeline-depth charge — that is the "non-pipelined" mode.
+        pending_.push_back(slot.lease_id);
+        runtime::AtomicStoreMax(pipeline_hwm, pending_.size());
       }
+      requests_forwarded.fetch_add(1, std::memory_order_relaxed);
       ctx.ItemDone();
+      if (watermark > 0 && tx_.readable() >= watermark) {
+        batch.flushes_forced.fetch_add(1, std::memory_order_relaxed);
+        if (!FlushWire()) {
+          Disconnect();
+          return runtime::TaskRunResult::kMoreWork;
+        }
+      }
       if (ctx.ShouldYield()) {
         if (!FlushWire()) {
           Disconnect();
@@ -360,9 +456,11 @@ PoolLease& PoolLease::operator=(PoolLease&& other) noexcept {
   if (this != &other) {
     pool_ = other.pool_;
     id_ = other.id_;
+    exclusive_ = other.exclusive_;
     conn_index_ = std::move(other.conn_index_);
     other.pool_ = nullptr;
     other.id_ = 0;
+    other.exclusive_ = false;
     other.conn_index_.clear();
   }
   return *this;
@@ -401,6 +499,8 @@ Status BackendPool::EnsureStarted(runtime::PlatformEnv& env) {
           "pool-" + std::to_string(config_.ports[b]) + "-" + std::to_string(c), this,
           config_.ports[b], env));
     }
+    backend.exclusive_claimed.assign(backend.conns.size(), 0);
+    backend.active_leases.assign(backend.conns.size(), 0);
     backends_.push_back(std::move(backend));
   }
   started_ = true;
@@ -435,21 +535,82 @@ Result<PoolLease> BackendPool::Acquire() {
   if (!started_) {
     return FailedPrecondition("BackendPool: not started");
   }
-  PoolLease lease;
-  lease.pool_ = this;
-  lease.id_ = next_lease_id_++;
-  lease.conn_index_.reserve(backends_.size());
+  // Two phases: pick every backend's slot first, mutate lease bookkeeping
+  // only once the whole acquisition is known to succeed — a mid-loop failure
+  // must not strand active_leases increments (an abandoned partial PoolLease
+  // never releases; see ~PoolLease).
+  std::vector<size_t> slots;
+  slots.reserve(backends_.size());
   bool waited = false;
   for (Backend& backend : backends_) {
-    const size_t slot = backend.next_rr;
-    backend.next_rr = (backend.next_rr + 1) % backend.conns.size();
+    // Round-robin over the slots an exclusive lease has not claimed.
+    size_t slot = PoolLease::kNoSlot;
+    for (size_t tries = 0; tries < backend.conns.size(); ++tries) {
+      const size_t cand = backend.next_rr;
+      backend.next_rr = (backend.next_rr + 1) % backend.conns.size();
+      if (!backend.exclusive_claimed[cand]) {
+        slot = cand;
+        break;
+      }
+    }
+    if (slot == PoolLease::kNoSlot) {
+      return ResourceExhausted("BackendPool: every connection to port " +
+                               std::to_string(backend.port) +
+                               " is exclusively claimed");
+    }
     if (!backend.conns[slot]->connected()) {
       waited = true;  // requests queue until the redial ticker succeeds
     }
-    lease.conn_index_.push_back(slot);
+    slots.push_back(slot);
+  }
+  PoolLease lease;
+  lease.pool_ = this;
+  lease.id_ = next_lease_id_++;
+  lease.conn_index_ = std::move(slots);
+  for (size_t b = 0; b < backends_.size(); ++b) {
+    ++backends_[b].active_leases[lease.conn_index_[b]];
   }
   leases_acquired_.fetch_add(1, std::memory_order_relaxed);
   if (waited) {
+    lease_waits_.fetch_add(1, std::memory_order_relaxed);
+  }
+  return lease;
+}
+
+Result<PoolLease> BackendPool::AcquireExclusive(size_t backend_index) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (!started_) {
+    return FailedPrecondition("BackendPool: not started");
+  }
+  if (backend_index >= backends_.size()) {
+    return InvalidArgument("BackendPool: backend index out of range");
+  }
+  Backend& backend = backends_[backend_index];
+  // Sole use means sole use: only a slot with no live leases (shared or
+  // exclusive) is eligible, or the stream would interleave with pipelined
+  // traffic already on that wire.
+  size_t slot = PoolLease::kNoSlot;
+  for (size_t c = 0; c < backend.conns.size(); ++c) {
+    if (!backend.exclusive_claimed[c] && backend.active_leases[c] == 0) {
+      slot = c;
+      break;
+    }
+  }
+  if (slot == PoolLease::kNoSlot) {
+    return ResourceExhausted("BackendPool: every connection to port " +
+                             std::to_string(backend.port) +
+                             " is claimed or carrying live leases");
+  }
+  backend.exclusive_claimed[slot] = 1;
+  ++backend.active_leases[slot];
+  PoolLease lease;
+  lease.pool_ = this;
+  lease.id_ = next_lease_id_++;
+  lease.exclusive_ = true;
+  lease.conn_index_.assign(backends_.size(), PoolLease::kNoSlot);
+  lease.conn_index_[backend_index] = slot;
+  leases_acquired_.fetch_add(1, std::memory_order_relaxed);
+  if (!backend.conns[slot]->connected()) {
     lease_waits_.fetch_add(1, std::memory_order_relaxed);
   }
   return lease;
@@ -459,9 +620,26 @@ void BackendPool::Attach(const PoolLease& lease, size_t backend_index,
                          runtime::Channel* requests, runtime::Channel* replies) {
   FLICK_CHECK(lease.valid() && lease.pool_ == this);
   FLICK_CHECK(backend_index < backends_.size());
-  backends_[backend_index]
-      .conns[lease.conn_index_[backend_index]]
-      ->AttachLease(lease.id_, requests, replies, scheduler_);
+  const size_t slot = lease.conn_index_[backend_index];
+  FLICK_CHECK(slot != PoolLease::kNoSlot);
+  backends_[backend_index].conns[slot]->AttachLease(lease.id_, requests, replies,
+                                                    scheduler_);
+}
+
+bool BackendPool::LeaseFinished(const PoolLease& lease) const {
+  if (!lease.valid() || lease.pool_ != this) {
+    return true;  // released (or foreign): nothing left to wait for
+  }
+  for (size_t b = 0; b < lease.conn_index_.size(); ++b) {
+    const size_t slot = lease.conn_index_[b];
+    if (slot == PoolLease::kNoSlot) {
+      continue;
+    }
+    if (!backends_[b].conns[slot]->LeaseFinished(lease.id_)) {
+      return false;
+    }
+  }
+  return true;
 }
 
 void BackendPool::Release(PoolLease& lease) {
@@ -469,11 +647,33 @@ void BackendPool::Release(PoolLease& lease) {
     return;
   }
   for (size_t b = 0; b < lease.conn_index_.size(); ++b) {
-    backends_[b].conns[lease.conn_index_[b]]->DetachLease(lease.id_);
+    const size_t slot = lease.conn_index_[b];
+    if (slot == PoolLease::kNoSlot) {
+      continue;
+    }
+    backends_[b].conns[slot]->DetachLease(lease.id_);
+  }
+  {
+    // Return the slots to circulation; the wires stay up and keep their
+    // place in the pool (the next lease reuses them without a dial).
+    std::lock_guard<std::mutex> lock(mutex_);
+    for (size_t b = 0; b < lease.conn_index_.size(); ++b) {
+      const size_t slot = lease.conn_index_[b];
+      if (slot == PoolLease::kNoSlot) {
+        continue;
+      }
+      if (backends_[b].active_leases[slot] > 0) {
+        --backends_[b].active_leases[slot];
+      }
+      if (lease.exclusive_) {
+        backends_[b].exclusive_claimed[slot] = 0;
+      }
+    }
   }
   leases_released_.fetch_add(1, std::memory_order_relaxed);
   lease.pool_ = nullptr;
   lease.id_ = 0;
+  lease.exclusive_ = false;
   lease.conn_index_.clear();
 }
 
@@ -511,6 +711,13 @@ BackendPoolStats BackendPool::stats() const {
       const uint64_t hwm = conn->pipeline_hwm.load(std::memory_order_relaxed);
       if (hwm > s.max_pipeline_depth) {
         s.max_pipeline_depth = hwm;
+      }
+      s.writev_calls += conn->batch.writev_calls.load(std::memory_order_relaxed);
+      s.flushes_forced += conn->batch.flushes_forced.load(std::memory_order_relaxed);
+      const uint64_t batch_hwm =
+          conn->batch.msgs_per_writev.load(std::memory_order_relaxed);
+      if (batch_hwm > s.msgs_per_writev) {
+        s.msgs_per_writev = batch_hwm;
       }
       s.live_connections += conn->connected() ? 1 : 0;
     }

@@ -63,6 +63,13 @@ struct BackendPoolConfig {
   // backpressure propagates to the issuing graphs.
   size_t max_pipeline_depth = 256;
 
+  // Backlog bytes a connection batches before a forced mid-slice flush.
+  // Requests drained in one run slice coalesce into one vectored write (the
+  // pooled wire is where many graphs' small writes pile up); the watermark
+  // bounds buffer-pool pressure. 1 = write per message (the pre-batching
+  // shape, kept for the fig5 comparison series); 0 = slice-end flushes only.
+  size_t flush_watermark_bytes = runtime::kDefaultFlushWatermark;
+
   // Minimum spacing between redial attempts for a disconnected connection.
   uint64_t redial_interval_ns = 1'000'000;
 
@@ -85,6 +92,9 @@ struct BackendPoolStats {
   uint64_t responses_routed = 0;
   uint64_t responses_dropped = 0;   // lease already detached, or wire lost
   uint64_t max_pipeline_depth = 0;  // high-water in-flight requests (any conn)
+  uint64_t writev_calls = 0;        // vectored transport writes issued
+  uint64_t flushes_forced = 0;      // flushes triggered by the high-water mark
+  uint64_t msgs_per_writev = 0;     // high-water requests coalesced per flush
   uint64_t live_connections = 0;    // snapshot, not monotonic
 };
 
@@ -96,6 +106,10 @@ struct BackendPoolStats {
 // explicitly while the pool is alive.
 class PoolLease {
  public:
+  // Backends an exclusive lease does not cover (and, for any lease, slots
+  // that are not claimed).
+  static constexpr size_t kNoSlot = static_cast<size_t>(-1);
+
   PoolLease() = default;
   ~PoolLease();
 
@@ -108,11 +122,18 @@ class PoolLease {
   uint64_t id() const { return id_; }
   size_t backend_count() const { return conn_index_.size(); }
 
+  // Exclusive leases (AcquireExclusive) hold sole future use of one
+  // connection slot: no later lease — shared or exclusive — lands on that
+  // slot until this one is released. Used for long-lived streaming sinks
+  // that must not interleave with pipelined request/response traffic.
+  bool exclusive() const { return exclusive_; }
+
  private:
   friend class BackendPool;
 
   BackendPool* pool_ = nullptr;
   uint64_t id_ = 0;
+  bool exclusive_ = false;
   std::vector<size_t> conn_index_;  // per backend: claimed connection slot
 };
 
@@ -130,16 +151,41 @@ class BackendPool {
   // lifetime contract services already have with GraphRegistry.
   Status EnsureStarted(runtime::PlatformEnv& env);
 
-  // Claims one connection per backend, round-robin over the slots. Fails
-  // only if the pool has no backends or was never started; a temporarily
-  // disconnected backend still yields a lease (requests queue until redial).
+  // Claims one connection per backend, round-robin over the slots that are
+  // not exclusively held. Fails if the pool has no backends, was never
+  // started, or some backend has every slot exclusively claimed; a
+  // temporarily disconnected backend still yields a lease (requests queue
+  // until redial).
   Result<PoolLease> Acquire();
+
+  // Claims sole use of one connection slot of `backend_index` (the ROADMAP's
+  // non-pipelined mode for long-lived streaming sinks, e.g. the hadoop
+  // reducer leg). Only a slot with NO live leases — shared or exclusive — is
+  // eligible, so the stream never interleaves with pipelined traffic already
+  // on the wire; the wire itself persists across leases (release returns the
+  // slot, it never closes the connection). Fails with kResourceExhausted
+  // when every slot of that backend is claimed or carrying live leases.
+  Result<PoolLease> AcquireExclusive(size_t backend_index);
 
   // Binds one backend's slice of `lease` to a graph's edge channels:
   // `requests` (graph -> pool) and `replies` (pool -> graph). Must happen
   // before the graph's IO is activated. Called by GraphBuilder::Launch.
+  // `replies == nullptr` declares a streaming (write-only) leg: requests are
+  // serialized onto the wire without occupying pipeline-correlation slots,
+  // and an EOF popped from `requests` marks the leg's stream finished.
   void Attach(const PoolLease& lease, size_t backend_index,
               runtime::Channel* requests, runtime::Channel* replies);
+
+  // True once every attached leg of `lease` has consumed its EOF — the
+  // request channel is FIFO, so everything the graph committed before EOF is
+  // already serialized toward the wire (flushing continues independently of
+  // the lease). Already-detached legs count as finished. The GraphRegistry
+  // gates retirement-stage-1 detach on this so a lease is never returned
+  // while committed requests still sit in the graph's channels — which is
+  // also the contract pooled legs impose on services: the graph must
+  // propagate EOF into every pool sink (all builder services' dispatch
+  // stages do) or retirement stalls.
+  bool LeaseFinished(const PoolLease& lease) const;
 
   // Detaches every attached leg and invalidates the lease. Idempotent. After
   // Release returns, the pool no longer reads from or writes to any channel
@@ -161,6 +207,8 @@ class BackendPool {
     uint16_t port = 0;
     std::vector<std::unique_ptr<internal::PoolConnTask>> conns;
     size_t next_rr = 0;  // round-robin lease placement; guarded by mutex_
+    std::vector<uint8_t> exclusive_claimed;  // per slot; guarded by mutex_
+    std::vector<uint32_t> active_leases;     // per slot; guarded by mutex_
   };
 
   BackendPoolConfig config_;

@@ -73,6 +73,11 @@ GraphBuilder& GraphBuilder::DefaultCapacity(size_t capacity) {
   return *this;
 }
 
+GraphBuilder& GraphBuilder::FlushWatermark(size_t bytes) {
+  flush_watermark_ = bytes;
+  return *this;
+}
+
 ConnRef GraphBuilder::Adopt(std::unique_ptr<Connection> conn) {
   if (conn == nullptr) {
     Poison(InvalidArgument("Adopt: null connection"));
@@ -195,7 +200,8 @@ NodeRef GraphBuilder::Tee(std::string name) {
 
 size_t GraphBuilder::PoolUseIndex(BackendPool& pool) {
   for (size_t i = 0; i < pool_uses_.size(); ++i) {
-    if (pool_uses_[i].pool == &pool) {
+    // Exclusive legs own their lease; only the shared lease is reused.
+    if (pool_uses_[i].pool == &pool && !pool_uses_[i].lease.exclusive()) {
       return i;
     }
   }
@@ -244,6 +250,51 @@ GraphBuilder::PooledLeg GraphBuilder::PoolLeg(BackendPool& pool, size_t backend_
   pool_bindings_.push_back(
       PoolBinding{use, backend_index, leg.sink.index_, leg.source.index_});
   return leg;
+}
+
+NodeRef GraphBuilder::ExclusivePoolLeg(BackendPool& pool, size_t backend_index,
+                                       size_t capacity) {
+  if (!status_.ok()) {
+    return NodeRef();
+  }
+  if (Status s = pool.EnsureStarted(env_); !s.ok()) {
+    Poison(std::move(s));
+    return NodeRef();
+  }
+  if (backend_index >= pool.backend_count()) {
+    Poison(InvalidArgument("ExclusivePoolLeg: backend index out of range"));
+    return NodeRef();
+  }
+  // Own lease per exclusive leg — never shared with the builder's pooled
+  // fan-out lease, so the claimed slot is this stream's alone.
+  auto lease = pool.AcquireExclusive(backend_index);
+  if (!lease.ok()) {
+    Poison(lease.status());
+    return NodeRef();
+  }
+  return ExclusivePoolLeg(pool, std::move(lease).value(), backend_index, capacity);
+}
+
+NodeRef GraphBuilder::ExclusivePoolLeg(BackendPool& pool, PoolLease lease,
+                                       size_t backend_index, size_t capacity) {
+  if (!status_.ok()) {
+    pool.Release(lease);  // poisoned builders must not strand a caller's lease
+    return NodeRef();
+  }
+  if (!lease.valid() || !lease.exclusive() || backend_index >= pool.backend_count()) {
+    pool.Release(lease);
+    Poison(InvalidArgument("ExclusivePoolLeg: invalid lease or backend index"));
+    return NodeRef();
+  }
+  pool_uses_.push_back(PoolUse{&pool, std::move(lease)});
+  NodeSpec spec;
+  spec.kind = NodeKind::kPoolSink;
+  spec.name = "pool-stream-out-" + std::to_string(backend_index);
+  spec.preferred_capacity = capacity;
+  NodeRef sink = AddNode(std::move(spec));
+  pool_bindings_.push_back(PoolBinding{pool_uses_.size() - 1, backend_index,
+                                       sink.index_, PoolBinding::kInvalid});
+  return sink;
 }
 
 std::vector<GraphBuilder::PooledLeg> GraphBuilder::FanOutPooled(BackendPool& pool,
@@ -489,6 +540,7 @@ Status GraphBuilder::Launch(GraphRegistry& registry) {
         auto* task = graph->AddTask<runtime::OutputTask>(
             node.name, TakeConn(node.conn), std::move(node.serializer), in,
             env_.buffers);
+        task->set_flush_watermark(flush_watermark_);
         in->BindConsumer(task, env_.scheduler);
         ++stats_.sinks;
         break;
@@ -515,13 +567,21 @@ Status GraphBuilder::Launch(GraphRegistry& registry) {
   stats_.tasks = graph->tasks().size();
   stats_.channels = graph->channel_count();
   stats_.connections = conns_.size();
+  stats_.flush_watermark = flush_watermark_;
 
   // Bind pooled legs before IO activation: once a graph task is notified it
-  // may push requests, and the pool must already be the consumer.
+  // may push requests, and the pool must already be the consumer. Streaming
+  // legs (no source node) attach without a reply channel.
   for (const PoolBinding& binding : pool_bindings_) {
     PoolUse& use = pool_uses_[binding.pool_use];
     runtime::Channel* requests = channels[nodes_[binding.sink_node].in_edges[0]];
-    runtime::Channel* replies = channels[nodes_[binding.source_node].out_edges[0]];
+    runtime::Channel* replies =
+        binding.source_node == PoolBinding::kInvalid
+            ? nullptr
+            : channels[nodes_[binding.source_node].out_edges[0]];
+    if (replies == nullptr) {
+      ++stats_.exclusive_legs;
+    }
     use.pool->Attach(use.lease, binding.backend_index, requests, replies);
   }
 
@@ -537,8 +597,12 @@ Status GraphBuilder::Launch(GraphRegistry& registry) {
 
   // Lease ownership moves to the registry: the on_unwatch hook returns every
   // lease at retirement stage 1, severing the pool's hold on graph channels
-  // before destruction becomes possible.
+  // before destruction becomes possible. Stage 1 is additionally gated on the
+  // pool having consumed each leg's EOF (the channel's last message), so a
+  // lease is never returned while requests the graph committed still sit in
+  // its channels — the EOF-mid-batch case flushes instead of dropping.
   std::function<void()> on_unwatch;
+  std::function<bool()> detach_ready;
   if (!pool_uses_.empty()) {
     auto uses = std::make_shared<std::vector<PoolUse>>(std::move(pool_uses_));
     pool_uses_.clear();
@@ -547,10 +611,19 @@ Status GraphBuilder::Launch(GraphRegistry& registry) {
         use.pool->Release(use.lease);
       }
     };
+    detach_ready = [uses]() {
+      for (const PoolUse& use : *uses) {
+        if (!use.pool->LeaseFinished(use.lease)) {
+          return false;
+        }
+      }
+      return true;
+    };
   }
 
   env_.ActivateIo(bindings);
-  registry.Adopt(std::move(graph), std::move(watched), env_, std::move(on_unwatch));
+  registry.Adopt(std::move(graph), std::move(watched), env_, std::move(on_unwatch),
+                 std::move(detach_ready));
   return OkStatus();
 }
 

@@ -86,7 +86,10 @@ class NodeRef {
   size_t index_ = 0;
 };
 
-// Per-graph construction stats filled in by Launch().
+// Per-graph construction stats filled in by Launch(). Runtime batching
+// counters (writev_calls / msgs_per_writev / flushes_forced) accumulate on
+// the OutputTasks and are aggregated by RegistryStats; launch stats record
+// the batching *configuration* the graph was built with.
 struct GraphLaunchStats {
   size_t sources = 0;
   size_t stages = 0;
@@ -98,6 +101,8 @@ struct GraphLaunchStats {
   size_t connections = 0;  // legs adopted or dialled (dedicated wires)
   size_t watched = 0;      // legs with a read-side input task
   size_t pooled_legs = 0;  // legs served by a BackendPool lease (no dial)
+  size_t exclusive_legs = 0;  // streaming legs on an exclusive lease
+  size_t flush_watermark = 0; // forced-flush threshold applied to the sinks
 };
 
 class GraphBuilder {
@@ -133,6 +138,14 @@ class GraphBuilder {
 
   // Channel capacity used for edges that specify none. Initially 128.
   GraphBuilder& DefaultCapacity(size_t capacity);
+
+  // Forced-flush threshold applied to every Sink's OutputTask at Launch:
+  // messages drained in one run slice coalesce into one vectored write, with
+  // a mid-slice flush once the backlog reaches `bytes`
+  // (runtime::kDefaultFlushWatermark initially; 1 = write per message,
+  // 0 = slice-end flushes only). This is the builder-leg flush control the
+  // batched output path is steered with.
+  GraphBuilder& FlushWatermark(size_t bytes);
 
   // --- connection legs -------------------------------------------------------
 
@@ -193,6 +206,23 @@ class GraphBuilder {
   // one lease per builder.
   PooledLeg PoolLeg(BackendPool& pool, size_t backend_index, size_t capacity = 0);
 
+  // Streaming (write-only) pooled leg on its OWN exclusive lease: sole future
+  // use of one connection slot, no pipelining with other graphs' traffic, no
+  // response path — the long-lived streaming-sink shape (hadoop_agg's reducer
+  // leg). Returns the sink node to wire `.From(stream)`. Retirement waits for
+  // the stream's EOF to reach the pool before the lease is returned, so no
+  // in-channel data is ever dropped; the wire persists for the next lease.
+  NodeRef ExclusivePoolLeg(BackendPool& pool, size_t backend_index,
+                           size_t capacity = 0);
+
+  // Same, over a lease the caller already holds (AcquireExclusive) — for
+  // services that acquire BEFORE wiring so an exhausted pool can fall back
+  // to a dedicated leg instead of poisoning the whole graph (hadoop_agg).
+  // The builder takes ownership; on a poisoned builder or invalid lease the
+  // lease is returned to the pool.
+  NodeRef ExclusivePoolLeg(BackendPool& pool, PoolLease lease, size_t backend_index,
+                           size_t capacity = 0);
+
   // Pairwise binary merge tree over `streams` ("combining elements in a
   // pair-wise manner until only the result remains", §4.3). Returns the root
   // stream; with a single input stream no merge node is created.
@@ -245,7 +275,8 @@ class GraphBuilder {
     runtime::InputTask* source_task = nullptr;      // filled during Launch
   };
 
-  // One lease per (builder, pool); legs record which lease slot they bind.
+  // One lease per (builder, pool) for shared legs; exclusive legs each carry
+  // their own lease. Legs record which lease slot they bind.
   struct PoolUse {
     BackendPool* pool;
     PoolLease lease;
@@ -254,7 +285,8 @@ class GraphBuilder {
     size_t pool_use;       // index into pool_uses_
     size_t backend_index;  // backend within the pool
     size_t sink_node;      // kPoolSink node index
-    size_t source_node;    // kPoolSource node index
+    size_t source_node;    // kPoolSource node index; kInvalid = streaming leg
+    static constexpr size_t kInvalid = static_cast<size_t>(-1);
   };
 
   NodeRef AddNode(NodeSpec spec);
@@ -280,6 +312,7 @@ class GraphBuilder {
   Status status_;
   bool launched_ = false;
   size_t default_capacity_ = 128;
+  size_t flush_watermark_ = runtime::kDefaultFlushWatermark;
   std::vector<ConnSpec> conns_;
   std::vector<NodeSpec> nodes_;
   std::vector<EdgeSpec> edges_;

@@ -22,6 +22,29 @@ void CombineByAdding(runtime::Msg& into, const runtime::Msg& from) {
 
 }  // namespace
 
+HadoopAggService::HadoopAggService(int expected_mappers, uint16_t reducer_port,
+                                   Options options)
+    : expected_mappers_(expected_mappers),
+      reducer_port_(reducer_port),
+      options_(options) {
+  if (options_.mode == BackendMode::kPooled) {
+    const grammar::Unit* unit = &proto::HadoopKvUnit();
+    BackendPoolConfig cfg;
+    cfg.ports = {reducer_port_};
+    cfg.conns_per_backend = options_.reducer_conns;
+    cfg.flush_watermark_bytes = options_.flush_watermark_bytes;
+    cfg.make_serializer = [unit] {
+      return std::make_unique<runtime::GrammarSerializer>(unit);
+    };
+    // The reducer never answers; the codec is required by the pool contract
+    // and would only run if the peer (unexpectedly) wrote back.
+    cfg.make_deserializer = [unit] {
+      return std::make_unique<runtime::GrammarDeserializer>(unit);
+    };
+    pool_ = std::make_unique<BackendPool>(std::move(cfg));
+  }
+}
+
 void HadoopAggService::OnConnection(std::unique_ptr<Connection> conn,
                                     runtime::PlatformEnv& env) {
   {
@@ -41,11 +64,26 @@ void HadoopAggService::BuildGraph(runtime::PlatformEnv& env) {
     mappers.swap(pending_);
   }
 
+  // Claim the reducer slot BEFORE wiring anything: if every pool slot is
+  // busy (more concurrent batches than reducer_conns), this batch falls back
+  // to a dedicated dialled leg instead of being dropped — slot pressure must
+  // never lose data the mappers already sent.
+  PoolLease reducer_lease;
+  if (pool_ != nullptr && pool_->EnsureStarted(env).ok()) {
+    auto lease = pool_->AcquireExclusive(/*backend_index=*/0);
+    if (lease.ok()) {
+      reducer_lease = std::move(lease).value();
+    }
+  }
+  if (pool_ != nullptr && !reducer_lease.valid()) {
+    dedicated_fallbacks_.fetch_add(1, std::memory_order_relaxed);
+  }
+
   const grammar::Unit* unit = &proto::HadoopKvUnit();
   GraphBuilder b("hadoop-agg", env);
-  b.DefaultCapacity(256);
+  b.DefaultCapacity(256).FlushWatermark(options_.flush_watermark_bytes);
 
-  // Leaves: one input task per mapper connection. If the reducer dial below
+  // Leaves: one input task per mapper connection. If the reducer leg below
   // fails, Launch() closes every adopted mapper connection.
   std::vector<NodeRef> streams;
   for (size_t m = 0; m < mappers.size(); ++m) {
@@ -55,11 +93,18 @@ void HadoopAggService::BuildGraph(runtime::PlatformEnv& env) {
   }
 
   // Binary merge tree ("combining elements in a pair-wise manner until only
-  // the result remains", §4.3), rooted at the reducer connection.
+  // the result remains", §4.3), rooted at the reducer leg.
   auto root = b.MergeTree("merge", std::move(streams), OrderByKey, CombineByAdding);
-  auto reducer = b.Connect(reducer_port_);
-  b.Sink("reducer-out", reducer, std::make_unique<runtime::GrammarSerializer>(unit))
-      .From(root);
+  if (reducer_lease.valid()) {
+    // Streaming sink on an exclusive lease: the reducer wire outlives this
+    // graph and the next batch's graph claims it again without a dial.
+    b.ExclusivePoolLeg(*pool_, std::move(reducer_lease), /*backend_index=*/0)
+        .From(root);
+  } else {
+    auto reducer = b.Connect(reducer_port_);
+    b.Sink("reducer-out", reducer, std::make_unique<runtime::GrammarSerializer>(unit))
+        .From(root);
+  }
 
   (void)b.Launch(registry_);
 }

@@ -8,6 +8,14 @@
 //
 // The combine is a partial aggregation (a Hadoop combiner): counts of
 // adjacent equal keys are merged, totals are always preserved.
+//
+// The reducer leg defaults to a pooled EXCLUSIVE lease (BackendPool in
+// non-pipelined streaming mode): the reducer wire persists across
+// aggregation graphs — successive mapper batches reuse it instead of
+// redialling — while exclusivity keeps the long-lived stream from
+// interleaving with any other lease's traffic. Retirement waits for the
+// stream's EOF to reach the pool, so no combined pair is dropped. The
+// paper-shape dedicated dial remains available via Options.
 #ifndef FLICK_SERVICES_HADOOP_AGG_H_
 #define FLICK_SERVICES_HADOOP_AGG_H_
 
@@ -17,27 +25,56 @@
 #include <vector>
 
 #include "runtime/platform.h"
+#include "services/backend_pool.h"
 #include "services/service_util.h"
 
 namespace flick::services {
 
 class HadoopAggService : public runtime::ServiceProgram {
  public:
+  struct Options {
+    // kPooled: stream to the reducer over an exclusive BackendPool lease.
+    // kPerClient: dial a dedicated reducer connection per graph (paper shape).
+    BackendMode mode = BackendMode::kPooled;
+
+    // Pool slots to the reducer == aggregation graphs that may stream
+    // concurrently (each claims one exclusively).
+    size_t reducer_conns = 2;
+
+    // Forced-flush threshold for the stream's batched writes (see
+    // BackendPoolConfig::flush_watermark_bytes).
+    size_t flush_watermark_bytes = runtime::kDefaultFlushWatermark;
+  };
+
   // Builds the aggregation graph once `expected_mappers` connections arrived;
   // the combined stream is written to `reducer_port`.
   HadoopAggService(int expected_mappers, uint16_t reducer_port)
-      : expected_mappers_(expected_mappers), reducer_port_(reducer_port) {}
+      : HadoopAggService(expected_mappers, reducer_port, Options{}) {}
+  HadoopAggService(int expected_mappers, uint16_t reducer_port, Options options);
 
   const char* name() const override { return "hadoop-agg"; }
   void OnConnection(std::unique_ptr<Connection> conn, runtime::PlatformEnv& env) override;
 
   size_t live_graphs() const { return registry_.live_graphs(); }
+  const GraphRegistry& registry() const { return registry_; }
+
+  // Null in kPerClient mode.
+  const BackendPool* pool() const { return pool_.get(); }
+
+  // Batches that fell back to a dedicated dialled reducer leg because every
+  // pool slot was exclusively held (concurrent batches > reducer_conns).
+  uint64_t dedicated_fallbacks() const {
+    return dedicated_fallbacks_.load(std::memory_order_relaxed);
+  }
 
  private:
   void BuildGraph(runtime::PlatformEnv& env);
 
   const int expected_mappers_;
   const uint16_t reducer_port_;
+  const Options options_;
+  std::unique_ptr<BackendPool> pool_;
+  std::atomic<uint64_t> dedicated_fallbacks_{0};
   std::mutex mutex_;
   std::vector<std::unique_ptr<Connection>> pending_;
   GraphRegistry registry_;

@@ -16,6 +16,7 @@ HttpLbService::HttpLbService(std::vector<uint16_t> backend_ports, Options option
     cfg.ports = backends_;
     cfg.conns_per_backend = options_.conns_per_backend;
     cfg.max_pipeline_depth = options_.max_pipeline_depth;
+    cfg.flush_watermark_bytes = options_.flush_watermark_bytes;
     cfg.make_serializer = [] { return std::make_unique<runtime::HttpSerializer>(); };
     cfg.make_deserializer = [] {
       return std::make_unique<runtime::HttpDeserializer>(
@@ -33,6 +34,9 @@ void HttpLbService::OnConnection(std::unique_ptr<Connection> conn,
   const size_t backend_index = MixU64(conn->id()) % backends_.size();
 
   GraphBuilder b("http-lb", env);
+  // One watermark for the whole write path: the pool config batches the
+  // backend wires, this batches the client-facing sinks.
+  b.FlushWatermark(options_.flush_watermark_bytes);
   auto client = b.Adopt(std::move(conn));
 
   auto request = b.Source(

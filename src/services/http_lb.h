@@ -32,6 +32,9 @@ class HttpLbService : public runtime::ServiceProgram {
     BackendMode mode = BackendMode::kPooled;
     size_t conns_per_backend = 2;
     size_t max_pipeline_depth = 256;
+    // Forced-flush threshold for the pool's batched request writes (see
+    // BackendPoolConfig::flush_watermark_bytes; 1 = write per message).
+    size_t flush_watermark_bytes = runtime::kDefaultFlushWatermark;
   };
 
   // `backend_ports`: the web servers to balance across.

@@ -17,6 +17,7 @@ MemcachedProxyService::MemcachedProxyService(std::vector<uint16_t> backend_ports
     cfg.ports = backends_;
     cfg.conns_per_backend = options_.conns_per_backend;
     cfg.max_pipeline_depth = options_.max_pipeline_depth;
+    cfg.flush_watermark_bytes = options_.flush_watermark_bytes;
     cfg.make_serializer = [unit] {
       return std::make_unique<runtime::GrammarSerializer>(unit);
     };
@@ -85,6 +86,9 @@ void MemcachedProxyService::OnConnection(std::unique_ptr<Connection> conn,
   const grammar::Unit* unit = &proto::MemcachedUnit();
 
   GraphBuilder b("memcached-proxy", env);
+  // One watermark for the whole write path: the pool config batches the
+  // backend wires, this batches the client-facing sinks.
+  b.FlushWatermark(options_.flush_watermark_bytes);
   auto client = b.Adopt(std::move(conn));
 
   // Request path: parse with the projected unit (opcode/key only).

@@ -34,6 +34,9 @@ class MemcachedProxyService : public runtime::ServiceProgram {
     BackendMode mode = BackendMode::kPooled;
     size_t conns_per_backend = 2;
     size_t max_pipeline_depth = 256;
+    // Forced-flush threshold for the pool's batched request writes (see
+    // BackendPoolConfig::flush_watermark_bytes; 1 = write per message).
+    size_t flush_watermark_bytes = runtime::kDefaultFlushWatermark;
   };
 
   explicit MemcachedProxyService(std::vector<uint16_t> backend_ports);

@@ -10,6 +10,8 @@
 #include <mutex>
 #include <vector>
 
+#include "base/time_util.h"
+#include "runtime/io_tasks.h"
 #include "runtime/platform.h"
 #include "runtime/task_graph.h"
 
@@ -23,6 +25,9 @@ class SharedConn : public Connection {
 
   Result<size_t> Read(void* buf, size_t len) override { return conn_->Read(buf, len); }
   Result<size_t> Write(const void* buf, size_t len) override { return conn_->Write(buf, len); }
+  Result<size_t> Writev(const IoSlice* slices, size_t count) override {
+    return conn_->Writev(slices, count);  // keep the underlying vectored path
+  }
   void Close() override { conn_->Close(); }
   bool IsOpen() const override { return conn_->IsOpen(); }
   bool ReadReady() const override { return conn_->ReadReady(); }
@@ -42,6 +47,17 @@ struct RegistryStats {
   uint64_t tasks_adopted = 0;
   uint64_t channels_adopted = 0;
   uint64_t detaches_run = 0;      // on_unwatch hooks executed (pool leases)
+  uint64_t detaches_timed_out = 0;  // stage 1 forced past a stuck detach_ready
+
+  // Output-batching counters aggregated over every OutputTask this registry
+  // has hosted (live graphs summed at stats() time, retired graphs folded in
+  // at destruction): vectored writes issued, high-water-forced flushes, and
+  // the high-water of messages coalesced into one flush. With writev batching
+  // writev_calls stays well below the message count — the per-PR perf
+  // trajectory tracks that ratio.
+  uint64_t writev_calls = 0;
+  uint64_t flushes_forced = 0;
+  uint64_t msgs_per_writev = 0;  // high-water, not a sum
 };
 
 // Tracks live graphs for a service and reaps them (unwatching their
@@ -49,22 +65,36 @@ struct RegistryStats {
 // tasks have closed. Thread-safe; reaping runs on the poller thread.
 class GraphRegistry {
  public:
+  // Upper bound on how long a graph's detach_ready gate may hold retirement
+  // stage 1 open. Generous against real drains (which finish in
+  // milliseconds) while keeping graph lifetime bounded when the gated
+  // dependency is wedged.
+  static constexpr uint64_t kDetachReadyTimeoutNs = 30'000'000'000;
+
   // Registers `graph` and arms a reaper. `conns` are the connections the
   // graph's tasks watch (unwatched at retirement). `on_unwatch`, when set,
   // runs exactly once at retirement stage 1 — GraphBuilder uses it to return
   // pool leases, severing every producer/consumer the graph shares with
-  // external tasks.
+  // external tasks. `detach_ready`, when set, DELAYS stage 1 until it returns
+  // true — pooled graphs use it (BackendPool::LeaseFinished) so a lease is
+  // not returned while requests the graph committed still sit in its
+  // channels. It must be cheap and non-blocking; it is polled per sweep.
+  // The delay is BOUNDED: after kDetachReadyTimeoutNs of refusals stage 1
+  // proceeds anyway (counted in detaches_timed_out) — a pathologically
+  // wedged dependency may cost a graph its queued output, never an unbounded
+  // graph leak.
   //
   // Retirement is staged and NON-BLOCKING (the reaper runs on the poller
-  // thread, which must never spin-wait): once all IO tasks have closed, the
-  // graph's connections are unwatched and `on_unwatch` runs — after that no
-  // external party (poller or backend pool) can notify a graph task; on a
-  // later sweep, once every task has gone idle (no pending notifications can
-  // exist then — all inputs are closed, drained or detached), the graph is
-  // destroyed.
+  // thread, which must never spin-wait): once all IO tasks have closed (and
+  // `detach_ready` holds), the graph's connections are unwatched and
+  // `on_unwatch` runs — after that no external party (poller or backend pool)
+  // can notify a graph task; on a later sweep, once every task has gone idle
+  // (no pending notifications can exist then — all inputs are closed, drained
+  // or detached), the graph is destroyed.
   void Adopt(std::unique_ptr<runtime::TaskGraph> graph,
              std::vector<Connection*> conns, runtime::PlatformEnv& env,
-             std::function<void()> on_unwatch = {}) {
+             std::function<void()> on_unwatch = {},
+             std::function<bool()> detach_ready = {}) {
     runtime::TaskGraph* raw = graph.get();
     graphs_adopted_.fetch_add(1, std::memory_order_relaxed);
     tasks_adopted_.fetch_add(raw->tasks().size(), std::memory_order_relaxed);
@@ -76,11 +106,23 @@ class GraphRegistry {
     runtime::IoPoller* poller = env.poller;
     poller->AddReaper(
         [this, raw, poller, conns = std::move(conns),
-         on_unwatch = std::move(on_unwatch), unwatched = false]() mutable -> bool {
+         on_unwatch = std::move(on_unwatch), detach_ready = std::move(detach_ready),
+         unwatched = false, detach_deadline_ns = uint64_t{0}]() mutable -> bool {
           if (!raw->AllIoClosed()) {
             return false;
           }
           if (!unwatched) {
+            if (detach_ready != nullptr && !detach_ready()) {
+              const uint64_t now = MonotonicNanos();
+              if (detach_deadline_ns == 0) {
+                detach_deadline_ns = now + kDetachReadyTimeoutNs;
+              }
+              if (now < detach_deadline_ns) {
+                return false;  // stream still draining into the pool
+              }
+              detaches_timed_out_.fetch_add(1, std::memory_order_relaxed);
+            }
+            detach_ready = nullptr;
             for (Connection* conn : conns) {
               poller->UnwatchConnection(conn);
             }
@@ -100,7 +142,10 @@ class GraphRegistry {
             }
           }
           {
+            // Fold + erase under one lock: a concurrent stats() must never
+            // see the counters both folded in AND still live in graphs_.
             std::lock_guard<std::mutex> lock(mutex_);
+            AccumulateBatchStats(*raw);
             std::erase_if(graphs_, [raw](const auto& g) { return g.get() == raw; });
           }
           graphs_retired_.fetch_add(1, std::memory_order_relaxed);
@@ -121,10 +166,38 @@ class GraphRegistry {
     s.tasks_adopted = tasks_adopted_.load(std::memory_order_relaxed);
     s.channels_adopted = channels_adopted_.load(std::memory_order_relaxed);
     s.detaches_run = detaches_run_.load(std::memory_order_relaxed);
+    s.detaches_timed_out = detaches_timed_out_.load(std::memory_order_relaxed);
+    // Batching counters: accumulators AND live-graph fold-in are read under
+    // the same lock the reaper folds+erases under, so a retiring graph is
+    // counted by exactly one of the two paths and the aggregate never
+    // transiently dips.
+    std::lock_guard<std::mutex> lock(mutex_);
+    s.writev_calls = writev_calls_.load(std::memory_order_relaxed);
+    s.flushes_forced = flushes_forced_.load(std::memory_order_relaxed);
+    s.msgs_per_writev = msgs_per_writev_.load(std::memory_order_relaxed);
+    for (const auto& graph : graphs_) {
+      for (const runtime::OutputTask* out : graph->output_tasks()) {
+        s.writev_calls += out->writev_calls();
+        s.flushes_forced += out->flushes_forced();
+        if (out->msgs_per_writev() > s.msgs_per_writev) {
+          s.msgs_per_writev = out->msgs_per_writev();
+        }
+      }
+    }
     return s;
   }
 
  private:
+  // Caller holds mutex_ (folded and erased in one critical section so a
+  // concurrent stats() never counts a retiring graph twice).
+  void AccumulateBatchStats(const runtime::TaskGraph& graph) {
+    for (const runtime::OutputTask* out : graph.output_tasks()) {
+      writev_calls_.fetch_add(out->writev_calls(), std::memory_order_relaxed);
+      flushes_forced_.fetch_add(out->flushes_forced(), std::memory_order_relaxed);
+      runtime::AtomicStoreMax(msgs_per_writev_, out->msgs_per_writev());
+    }
+  }
+
   mutable std::mutex mutex_;
   std::vector<std::unique_ptr<runtime::TaskGraph>> graphs_;
   std::atomic<uint64_t> graphs_adopted_{0};
@@ -133,6 +206,10 @@ class GraphRegistry {
   std::atomic<uint64_t> tasks_adopted_{0};
   std::atomic<uint64_t> channels_adopted_{0};
   std::atomic<uint64_t> detaches_run_{0};
+  std::atomic<uint64_t> detaches_timed_out_{0};
+  std::atomic<uint64_t> writev_calls_{0};
+  std::atomic<uint64_t> flushes_forced_{0};
+  std::atomic<uint64_t> msgs_per_writev_{0};
 };
 
 }  // namespace flick::services

@@ -14,11 +14,13 @@
 #include "buffer/buffer_pool.h"
 #include "grammar/parser.h"
 #include "load/backends.h"
+#include "load/mapper_load.h"
 #include "net/sim_transport.h"
 #include "proto/memcached.h"
 #include "runtime/platform.h"
 #include "services/backend_pool.h"
 #include "services/graph_builder.h"
+#include "services/hadoop_agg.h"
 #include "services/memcached_proxy.h"
 #include "platform_stop_guard.h"
 
@@ -54,6 +56,48 @@ class TestClient {
 
   bool ok() const { return ok_; }
   Connection& conn() { return *conn_; }
+
+  // Pipelined burst: writes `count` GETs back to back (giving the pooled
+  // wire a backlog to coalesce), then reads all `count` responses. Returns
+  // responses whose value matched `expected`.
+  size_t GetBurst(const std::string& key, const std::string& expected, size_t count,
+                  std::chrono::milliseconds timeout = 5000ms) {
+    grammar::Message req;
+    proto::BuildRequest(&req, proto::kMemcachedGet, key);
+    const std::string one = proto::ToWire(req);
+    std::string wire;
+    for (size_t i = 0; i < count; ++i) {
+      wire += one;
+    }
+    size_t off = 0;
+    while (off < wire.size()) {
+      auto wrote = conn_->Write(wire.data() + off, wire.size() - off);
+      if (!wrote.ok()) {
+        return 0;
+      }
+      off += *wrote;
+    }
+    size_t matched = 0;
+    const auto deadline = std::chrono::steady_clock::now() + timeout;
+    while (matched < count && std::chrono::steady_clock::now() < deadline) {
+      char buf[4096];
+      auto got = conn_->Read(buf, sizeof(buf));
+      if (!got.ok()) {
+        return matched;
+      }
+      if (*got > 0) {
+        rx_.Append(buf, *got);
+        while (parser_.Feed(rx_, &msg_) == grammar::ParseStatus::kDone) {
+          if (proto::MemcachedCommand(&msg_).value() == expected) {
+            ++matched;
+          }
+        }
+      } else {
+        std::this_thread::sleep_for(100us);
+      }
+    }
+    return matched;
+  }
 
   // Sends one GET and blocks (polling) for its response value.
   bool Get(const std::string& key, std::string* value_out,
@@ -170,11 +214,13 @@ class PoolProbeService : public runtime::ServiceProgram {
 };
 
 services::BackendPoolConfig MemcachedPoolConfig(std::vector<uint16_t> ports,
-                                                size_t conns_per_backend) {
+                                                size_t conns_per_backend,
+                                                size_t flush_watermark = 32 * 1024) {
   const grammar::Unit* unit = &proto::MemcachedUnit();
   services::BackendPoolConfig cfg;
   cfg.ports = std::move(ports);
   cfg.conns_per_backend = conns_per_backend;
+  cfg.flush_watermark_bytes = flush_watermark;
   cfg.make_serializer = [unit] {
     return std::make_unique<runtime::GrammarSerializer>(unit);
   };
@@ -433,6 +479,285 @@ TEST_F(BackendPoolTest, LaunchAndRegistryStatsCoverPooledLegs) {
   // The second (unused) connection's initial dial is asynchronous — it may
   // land well after the traffic above on a loaded host.
   EXPECT_TRUE(WaitFor([&] { return pool.live_connections() == 2; }));
+  platform.Stop();
+}
+
+// --- batched output path -------------------------------------------------------
+
+// Pipelined bursts from several clients onto one pooled wire must coalesce:
+// strictly fewer vectored writes than requests, batches > 1, and with the
+// default watermark no forced flush (slice-end flushing carries the load).
+TEST_F(BackendPoolTest, BatchedWritesCoalesceOnPooledWire) {
+  constexpr int kThreads = 4;
+  constexpr size_t kBurst = 32;
+  load::MemcachedBackend backend(&transport_, 11001);
+  ASSERT_TRUE(backend.Start().ok());
+  backend.Preload("key", "value");
+
+  auto& platform = MakePlatform();
+  services::MemcachedProxyService::Options options;
+  options.conns_per_backend = 1;  // force full sharing
+  services::MemcachedProxyService proxy({11001}, options);
+  ASSERT_TRUE(platform.RegisterProgram(11211, &proxy).ok());
+  platform.Start();
+  ScopedPlatformStop stop_guard(platform);
+
+  std::atomic<size_t> matched{0};
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&] {
+      TestClient client(&transport_, 11211);
+      if (!client.ok()) {
+        return;
+      }
+      for (int round = 0; round < 3; ++round) {
+        matched.fetch_add(client.GetBurst("key", "value", kBurst));
+      }
+      client.conn().Close();
+    });
+  }
+  for (auto& t : threads) {
+    t.join();
+  }
+  EXPECT_EQ(matched.load(), static_cast<size_t>(kThreads * 3) * kBurst);
+
+  const services::BackendPoolStats stats = proxy.pool()->stats();
+  EXPECT_GE(stats.requests_forwarded, matched.load());
+  EXPECT_LT(stats.writev_calls, stats.requests_forwarded)
+      << "vectored writes must stay below the message count";
+  EXPECT_GE(stats.msgs_per_writev, 2u) << "no batch ever exceeded one message";
+  EXPECT_EQ(stats.flushes_forced, 0u)
+      << "small requests must never hit the default high-water mark";
+  platform.Stop();
+}
+
+// A tiny watermark must force mid-slice flushes — the knob that bounds
+// buffer-pool pressure when a slice carries bulk data.
+TEST_F(BackendPoolTest, TinyWatermarkForcesMidSliceFlushes) {
+  load::MemcachedBackend backend(&transport_, 11001);
+  ASSERT_TRUE(backend.Start().ok());
+  backend.Preload("key", "value");
+
+  auto& platform = MakePlatform();
+  services::MemcachedProxyService::Options options;
+  options.conns_per_backend = 1;
+  options.flush_watermark_bytes = 48;  // below two serialized GETs
+  services::MemcachedProxyService proxy({11001}, options);
+  ASSERT_TRUE(platform.RegisterProgram(11211, &proxy).ok());
+  platform.Start();
+  ScopedPlatformStop stop_guard(platform);
+
+  TestClient client(&transport_, 11211);
+  ASSERT_TRUE(client.ok());
+  EXPECT_EQ(client.GetBurst("key", "value", 64), 64u);
+  client.conn().Close();
+
+  const services::BackendPoolStats stats = proxy.pool()->stats();
+  EXPECT_GT(stats.flushes_forced, 0u);
+  platform.Stop();
+}
+
+// EOF arriving while a batch is still pending must not strand it: every
+// request written before the client vanished reaches the backend.
+TEST_F(BackendPoolTest, EofWhileBatchPendingStillFlushes) {
+  constexpr size_t kRequests = 48;
+  load::MemcachedBackend backend(&transport_, 11001);
+  ASSERT_TRUE(backend.Start().ok());
+  backend.Preload("key", "value");
+
+  auto& platform = MakePlatform();
+  services::MemcachedProxyService::Options options;
+  options.conns_per_backend = 1;
+  services::MemcachedProxyService proxy({11001}, options);
+  ASSERT_TRUE(platform.RegisterProgram(11211, &proxy).ok());
+  platform.Start();
+  ScopedPlatformStop stop_guard(platform);
+
+  {
+    // Fire-and-close: the burst and the EOF land in the same run slices.
+    auto conn = transport_.Connect(11211);
+    ASSERT_TRUE(conn.ok());
+    grammar::Message req;
+    proto::BuildRequest(&req, proto::kMemcachedGet, "key");
+    const std::string one = proto::ToWire(req);
+    std::string wire;
+    for (size_t i = 0; i < kRequests; ++i) {
+      wire += one;
+    }
+    size_t off = 0;
+    while (off < wire.size()) {
+      auto wrote = (*conn)->Write(wire.data() + off, wire.size() - off);
+      ASSERT_TRUE(wrote.ok());
+      off += *wrote;
+    }
+    (*conn)->Close();
+  }
+
+  const services::BackendPoolStats mid = proxy.pool()->stats();
+  ASSERT_TRUE(WaitFor([&] { return backend.requests_served() >= kRequests; }))
+      << "served " << backend.requests_served() << " of " << kRequests
+      << " (forwarded " << proxy.pool()->stats().requests_forwarded
+      << ", writev " << proxy.pool()->stats().writev_calls << ", hwm depth "
+      << proxy.pool()->stats().max_pipeline_depth << ", disconnects "
+      << proxy.pool()->stats().disconnects << ", at-start forwarded "
+      << mid.requests_forwarded << ", released "
+      << proxy.pool()->stats().leases_released << ", unwatched "
+      << proxy.registry().stats().graphs_unwatched << ", routed "
+      << proxy.pool()->stats().responses_routed << ", dropped "
+      << proxy.pool()->stats().responses_dropped << ", live_conns "
+      << proxy.pool()->live_connections() << ")";
+  ASSERT_TRUE(WaitFor([&] { return proxy.live_graphs() == 0; }));
+  EXPECT_EQ(proxy.pool()->stats().disconnects, 0u);
+  platform.Stop();
+}
+
+// Short writes injected mid-iovec (max_bytes_per_op) must never corrupt the
+// shared stream: correlation and framing survive every partial flush.
+TEST_F(BackendPoolTest, PartialWritevMidIovecKeepsStreamCorrect) {
+  StackCostModel capped = StackCostModel::Null();
+  capped.max_bytes_per_op = 7;  // every flush is a short write mid-batch
+  SimTransport capped_transport(&net_, capped);
+
+  load::MemcachedBackend backend(&transport_, 11001);
+  ASSERT_TRUE(backend.Start().ok());
+  for (int t = 0; t < 3; ++t) {
+    backend.Preload("key-" + std::to_string(t), "value-" + std::to_string(t));
+  }
+
+  config_.scheduler.num_workers = 2;
+  platform_ = std::make_unique<runtime::Platform>(config_, &capped_transport);
+  auto& platform = *platform_;
+  services::MemcachedProxyService::Options options;
+  options.conns_per_backend = 1;
+  services::MemcachedProxyService proxy({11001}, options);
+  ASSERT_TRUE(platform.RegisterProgram(11211, &proxy).ok());
+  platform.Start();
+  ScopedPlatformStop stop_guard(platform);
+
+  std::atomic<int> failures{0};
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 3; ++t) {
+    threads.emplace_back([&, t] {
+      TestClient client(&transport_, 11211);
+      if (!client.ok()) {
+        failures.fetch_add(1);
+        return;
+      }
+      const std::string key = "key-" + std::to_string(t);
+      const std::string expected = "value-" + std::to_string(t);
+      if (client.GetBurst(key, expected, 24) != 24) {
+        failures.fetch_add(1);
+      }
+      client.conn().Close();
+    });
+  }
+  for (auto& t : threads) {
+    t.join();
+  }
+  EXPECT_EQ(failures.load(), 0);
+  EXPECT_EQ(proxy.pool()->stats().disconnects, 0u)
+      << "partial writes must not be mistaken for wire errors";
+  platform.Stop();
+}
+
+// --- exclusive (streaming) leases ----------------------------------------------
+
+// An exclusive claim takes the slot out of circulation for everyone until
+// released; release returns it without touching the wire.
+TEST_F(BackendPoolTest, ExclusiveLeaseExcludesOtherAcquires) {
+  auto& platform = MakePlatform();
+  services::BackendPool pool(MemcachedPoolConfig({11001}, 1));
+  platform.Start();
+  ScopedPlatformStop stop_guard(platform);
+  ASSERT_TRUE(pool.EnsureStarted(platform.env()).ok());
+
+  auto exclusive = pool.AcquireExclusive(0);
+  ASSERT_TRUE(exclusive.ok());
+  EXPECT_TRUE(exclusive->exclusive());
+
+  auto shared = pool.Acquire();
+  EXPECT_FALSE(shared.ok());
+  EXPECT_EQ(shared.status().code(), StatusCode::kResourceExhausted);
+  auto second = pool.AcquireExclusive(0);
+  EXPECT_FALSE(second.ok());
+  EXPECT_EQ(second.status().code(), StatusCode::kResourceExhausted);
+
+  services::PoolLease lease = std::move(exclusive).value();
+  pool.Release(lease);
+  EXPECT_TRUE(pool.Acquire().ok()) << "released slot must re-enter circulation";
+  platform.Stop();
+}
+
+// A failed shared Acquire (a later backend fully claimed) must roll back
+// cleanly: no stranded per-slot lease accounting that would block future
+// exclusive claims on the earlier backends.
+TEST_F(BackendPoolTest, FailedSharedAcquireLeavesNoLeaseResidue) {
+  auto& platform = MakePlatform();
+  services::BackendPool pool(MemcachedPoolConfig({11001, 11002}, 1));
+  platform.Start();
+  ScopedPlatformStop stop_guard(platform);
+  ASSERT_TRUE(pool.EnsureStarted(platform.env()).ok());
+
+  auto exclusive_b = pool.AcquireExclusive(1);  // backend 1's only slot
+  ASSERT_TRUE(exclusive_b.ok());
+
+  // Shared acquire picks backend 0's slot, then fails on backend 1 — the
+  // pick on backend 0 must not count as a live lease.
+  auto shared = pool.Acquire();
+  ASSERT_FALSE(shared.ok());
+
+  services::PoolLease lease_b = std::move(exclusive_b).value();
+  pool.Release(lease_b);
+  EXPECT_TRUE(pool.AcquireExclusive(0).ok())
+      << "backend 0's slot must be idle after the aborted shared acquire";
+  platform.Stop();
+}
+
+// The hadoop shape end to end: aggregation graphs stream to the reducer over
+// an exclusive pooled lease. Successive batches must REUSE the persistent
+// reducer wire (one dial total), retire cleanly (the detach gate waits for
+// each stream's EOF), and deliver every batch's pairs.
+TEST_F(BackendPoolTest, ExclusiveStreamingLegReusesReducerWireAcrossGraphs) {
+  load::ReducerSink sink(&transport_, 9900);
+  ASSERT_TRUE(sink.Start().ok());
+
+  auto& platform = MakePlatform();
+  services::HadoopAggService::Options options;
+  options.reducer_conns = 1;  // both batches must land on the SAME wire
+  services::HadoopAggService agg(/*expected_mappers=*/2, /*reducer_port=*/9900,
+                                 options);
+  ASSERT_TRUE(platform.RegisterProgram(9800, &agg).ok());
+  platform.Start();
+  ScopedPlatformStop stop_guard(platform);
+
+  load::MapperLoadConfig cfg;
+  cfg.port = 9800;
+  cfg.mappers = 2;
+  cfg.vocabulary = 32;
+  cfg.bytes_per_mapper = 64 * 1024;
+
+  const load::MapperResult first = load::RunMapperLoad(&transport_, cfg);
+  ASSERT_GT(first.pairs_sent, 0u);
+  ASSERT_TRUE(WaitFor([&] { return sink.pairs_received() > 0; }, 10'000ms));
+  // graphs_retired (not live_graphs): the second graph is adopted on the
+  // poller thread, so "no live graphs" is trivially true before adoption.
+  ASSERT_TRUE(WaitFor(
+      [&] { return agg.registry().stats().graphs_retired == 1; }, 10'000ms));
+
+  const load::MapperResult second = load::RunMapperLoad(&transport_, cfg);
+  ASSERT_GT(second.pairs_sent, 0u);
+  ASSERT_TRUE(WaitFor(
+      [&] { return agg.registry().stats().graphs_retired == 2; }, 10'000ms));
+
+  ASSERT_NE(agg.pool(), nullptr);
+  EXPECT_GT(sink.pairs_received(), 0u);
+  const services::BackendPoolStats stats = agg.pool()->stats();
+  EXPECT_EQ(stats.conns_dialed, 1u) << "second batch must reuse the reducer wire";
+  EXPECT_EQ(stats.leases_acquired, 2u);
+  EXPECT_EQ(stats.leases_released, 2u);
+  EXPECT_EQ(stats.disconnects, 0u);
+  EXPECT_GE(stats.requests_forwarded, 2u);
+  EXPECT_EQ(agg.registry().stats().detaches_run, 2u);
   platform.Stop();
 }
 

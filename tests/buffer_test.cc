@@ -178,6 +178,43 @@ TEST_F(BufferChainTest, ClearReleasesEverything) {
   EXPECT_EQ(pool_.stats().in_use, 0u);
 }
 
+TEST_F(BufferChainTest, PeekSlicesExposesSegmentsWithoutFlattening) {
+  BufferChain chain(&pool_);
+  // 150 bytes over 64-byte buffers -> three segments (64 + 64 + 22).
+  std::string data;
+  for (int i = 0; i < 150; ++i) {
+    data.push_back(static_cast<char>('a' + i % 26));
+  }
+  ASSERT_TRUE(chain.Append(data));
+
+  IoSlice slices[8];
+  const size_t n = chain.PeekSlices(slices, 8);
+  ASSERT_EQ(n, 3u);
+  EXPECT_EQ(slices[0].len, 64u);
+  EXPECT_EQ(slices[1].len, 64u);
+  EXPECT_EQ(slices[2].len, 22u);
+  // The slices point INTO the chain's buffers (zero copy) and concatenate to
+  // the stream in order.
+  std::string joined;
+  for (size_t i = 0; i < n; ++i) {
+    joined.append(static_cast<const char*>(slices[i].data), slices[i].len);
+  }
+  EXPECT_EQ(joined, data);
+  EXPECT_EQ(slices[0].data, chain.FrontView().data());
+
+  // A partial consume shifts the first slice past the read position.
+  chain.Consume(10);
+  const size_t n2 = chain.PeekSlices(slices, 8);
+  ASSERT_EQ(n2, 3u);
+  EXPECT_EQ(slices[0].len, 54u);
+  EXPECT_EQ(std::string(static_cast<const char*>(slices[0].data), 4), data.substr(10, 4));
+
+  // max_slices caps the view without losing stream order.
+  const size_t n3 = chain.PeekSlices(slices, 2);
+  ASSERT_EQ(n3, 2u);
+  EXPECT_EQ(slices[0].len + slices[1].len, 54u + 64u);
+}
+
 TEST_F(BufferChainTest, InterleavedAppendConsumeStress) {
   BufferChain chain(&pool_);
   Rng rng(42);
