@@ -15,6 +15,7 @@
 #include "load/http_load.h"
 #include "net/sim_transport.h"
 #include "runtime/platform.h"
+#include "services/backend_pool.h"
 
 namespace flick::bench {
 
@@ -36,6 +37,27 @@ inline runtime::PlatformConfig MakePlatformConfig(int workers) {
   config.io_buffer_size = 4096;
   config.msg_pool_size = 8192;
   return config;
+}
+
+// Exports a pool's wire-coalescing counters (write batching + readv fills)
+// as benchmark counters — the one mapping merge_bench_smoke.py asserts over,
+// so every pooled series exports the same set.
+inline void ReportPoolCounters(benchmark::State& state,
+                               const services::BackendPoolStats& pstats) {
+  auto avg = [](uint64_t v) {
+    return benchmark::Counter(static_cast<double>(v), benchmark::Counter::kAvgIterations);
+  };
+  state.counters["pool_writev_calls"] = avg(pstats.writev_calls);
+  state.counters["pool_requests"] = avg(pstats.requests_forwarded);
+  state.counters["pool_msgs_per_writev"] =
+      benchmark::Counter(static_cast<double>(pstats.msgs_per_writev));
+  state.counters["pool_flushes_forced"] = avg(pstats.flushes_forced);
+  state.counters["pool_readv_calls"] = avg(pstats.readv_calls);
+  state.counters["pool_bytes_per_readv"] =
+      benchmark::Counter(static_cast<double>(pstats.bytes_per_readv));
+  state.counters["pool_fills_short"] = avg(pstats.fills_short);
+  state.counters["pool_reads_legacy_equivalent"] = avg(pstats.reads_legacy_equivalent);
+  state.counters["pool_responses"] = avg(pstats.responses_routed);
 }
 
 inline void ReportLoad(benchmark::State& state, const load::LoadResult& result) {

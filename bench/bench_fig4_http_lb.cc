@@ -104,6 +104,41 @@ void BaselineLb(benchmark::State& state, bool apache_like, bool persistent) {
   }
 }
 
+// Cheap CI variant of the fig4 HTTP series: the same middlebox and backend
+// farm as the figure, but a short load window and two concurrency points so
+// the bench-smoke job can gate HTTP throughput against BENCH_BASELINE.json
+// next to the fig5 pooled series. The pooled point also exports the wire
+// coalescing counters so the smoke's batching/fill asserts cover HTTP.
+void Fig4Smoke(benchmark::State& state, services::BackendMode mode) {
+  const int concurrency = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    SimNetwork net(kSimRingBytes);
+    SimTransport mb_transport(&net, StackCostModel::Kernel());
+    SimTransport edge_transport(&net, StackCostModel::Kernel());
+
+    BackendFarm farm(&edge_transport, std::string(137, 'x'));
+    runtime::Platform platform(MakePlatformConfig(2), &mb_transport);
+    services::HttpLbService::Options options;
+    options.mode = mode;
+    services::HttpLbService lb(farm.ports, options);
+    FLICK_CHECK(platform.RegisterProgram(80, &lb).ok());
+    platform.Start();
+
+    load::HttpLoadConfig cfg;
+    cfg.port = 80;
+    cfg.concurrency = concurrency;
+    cfg.threads = 2;
+    cfg.persistent = true;
+    cfg.duration_ns = 250'000'000;
+    const load::LoadResult result = load::RunHttpLoad(&edge_transport, cfg);
+    ReportLoad(state, result);
+    if (lb.pool() != nullptr) {
+      ReportPoolCounters(state, lb.pool()->stats());
+    }
+    platform.Stop();
+  }
+}
+
 // Figure 4a/4b: persistent connections.
 void BM_Fig4_Flick_Persistent(benchmark::State& s) {
   FlickLb(s, StackCostModel::Kernel(), true);
@@ -127,9 +162,20 @@ void BM_Fig4_FlickMtcp_NonPersistent(benchmark::State& s) {
 void BM_Fig4_ApacheLike_NonPersistent(benchmark::State& s) { BaselineLb(s, true, false); }
 void BM_Fig4_NginxLike_NonPersistent(benchmark::State& s) { BaselineLb(s, false, false); }
 
+void BM_Fig4Smoke_FlickPooled(benchmark::State& s) {
+  Fig4Smoke(s, services::BackendMode::kPooled);
+}
+void BM_Fig4Smoke_FlickPerClient(benchmark::State& s) {
+  Fig4Smoke(s, services::BackendMode::kPerClient);
+}
+
 void Args(benchmark::internal::Benchmark* b) {
   b->Arg(100)->Arg(200)->Arg(400)->Arg(800)->Arg(1600)->Iterations(1)
       ->Unit(benchmark::kMillisecond);
+}
+
+void SmokeArgs(benchmark::internal::Benchmark* b) {
+  b->Arg(50)->Arg(200)->Iterations(1)->Unit(benchmark::kMillisecond);
 }
 
 BENCHMARK(BM_Fig4_Flick_Persistent)->Apply(Args);
@@ -141,6 +187,8 @@ BENCHMARK(BM_Fig4_Flick_NonPersistent)->Apply(Args);
 BENCHMARK(BM_Fig4_FlickMtcp_NonPersistent)->Apply(Args);
 BENCHMARK(BM_Fig4_ApacheLike_NonPersistent)->Apply(Args);
 BENCHMARK(BM_Fig4_NginxLike_NonPersistent)->Apply(Args);
+BENCHMARK(BM_Fig4Smoke_FlickPooled)->Apply(SmokeArgs);
+BENCHMARK(BM_Fig4Smoke_FlickPerClient)->Apply(SmokeArgs);
 
 }  // namespace
 }  // namespace flick::bench

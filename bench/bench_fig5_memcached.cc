@@ -96,14 +96,7 @@ void FlickProxy(benchmark::State& state, StackCostModel middlebox_model,
     state.counters["backend_conns"] = benchmark::Counter(
         static_cast<double>(farm.TotalAccepted()), benchmark::Counter::kAvgIterations);
     if (proxy.pool() != nullptr) {
-      const services::BackendPoolStats pstats = proxy.pool()->stats();
-      state.counters["pool_writev_calls"] = benchmark::Counter(
-          static_cast<double>(pstats.writev_calls), benchmark::Counter::kAvgIterations);
-      state.counters["pool_requests"] = benchmark::Counter(
-          static_cast<double>(pstats.requests_forwarded),
-          benchmark::Counter::kAvgIterations);
-      state.counters["pool_msgs_per_writev"] =
-          benchmark::Counter(static_cast<double>(pstats.msgs_per_writev));
+      ReportPoolCounters(state, proxy.pool()->stats());
     }
     platform.Stop();
   }
@@ -159,17 +152,9 @@ void Fig5Conns(benchmark::State& state, services::BackendMode mode) {
         static_cast<double>(farm.TotalAccepted()), benchmark::Counter::kAvgIterations);
     if (proxy.pool() != nullptr) {
       // Coalescing counters for the CI smoke: batching must keep vectored
-      // writes below the request count once graphs share the pooled wires.
-      const services::BackendPoolStats pstats = proxy.pool()->stats();
-      state.counters["pool_writev_calls"] = benchmark::Counter(
-          static_cast<double>(pstats.writev_calls), benchmark::Counter::kAvgIterations);
-      state.counters["pool_requests"] = benchmark::Counter(
-          static_cast<double>(pstats.requests_forwarded),
-          benchmark::Counter::kAvgIterations);
-      state.counters["pool_msgs_per_writev"] =
-          benchmark::Counter(static_cast<double>(pstats.msgs_per_writev));
-      state.counters["pool_flushes_forced"] = benchmark::Counter(
-          static_cast<double>(pstats.flushes_forced), benchmark::Counter::kAvgIterations);
+      // writes below the request count once graphs share the pooled wires,
+      // and vectored fills below the one-read-per-buffer legacy count.
+      ReportPoolCounters(state, proxy.pool()->stats());
     }
     platform.Stop();
   }

@@ -13,6 +13,7 @@
 #include "proto/http.h"
 #include "proto/memcached.h"
 #include "runtime/msg.h"
+#include "runtime/wire_fill.h"
 
 namespace flick::bench {
 namespace {
@@ -237,6 +238,101 @@ void BM_WriteCoalescedWritev(benchmark::State& state) {
 
 BENCHMARK(BM_WriteMessagePerSyscall)->Arg(1)->Arg(8)->Arg(32)->Arg(128);
 BENCHMARK(BM_WriteCoalescedWritev)->Arg(1)->Arg(8)->Arg(32)->Arg(128);
+
+// ------------------------------------------------------------ read coalescing ----
+//
+// The coalesced ingest path's claim: a stream spanning N rx buffers costs ONE
+// scatter read instead of N. Both variants pull the same message stream
+// (arg = messages per batch) from a sim connection; the receiving side runs
+// the kernel cost model (its per-op charge dominates at memcached request
+// sizes) while the sender runs a free stack, so the timer sees the
+// receive-side syscall contrast. Small rx buffers make the stream span many
+// buffers, the shape a loaded wire has; `reads_issued` makes the contrast
+// explicit.
+
+struct FillRig {
+  SimNetwork net;
+  SimTransport rx_transport{&net, StackCostModel::Kernel()};
+  SimTransport tx_transport{&net, StackCostModel::Null()};
+  std::unique_ptr<Listener> listener;
+  std::unique_ptr<Connection> sender;
+  std::unique_ptr<Connection> receiver;
+  BufferPool pool{64, 128};  // small rx buffers: the stream spans many
+  BufferChain rx{&pool};
+  std::string wire;  // one serialized memcached GET request
+
+  FillRig() {
+    listener = std::move(rx_transport.Listen(9200)).value();
+    sender = std::move(tx_transport.Connect(9200)).value();
+    receiver = listener->Accept();
+    grammar::Message req;
+    proto::BuildRequest(&req, proto::kMemcachedGet, "bench-key");
+    wire = proto::ToWire(req);
+  }
+
+  size_t SendBatch(size_t msgs) {
+    for (size_t i = 0; i < msgs; ++i) {
+      size_t off = 0;
+      while (off < wire.size()) {
+        auto wrote = sender->Write(wire.data() + off, wire.size() - off);
+        off += *wrote;
+      }
+    }
+    return wire.size() * msgs;
+  }
+};
+
+void BM_ReadPerSyscall(benchmark::State& state) {
+  const size_t msgs = static_cast<size_t>(state.range(0));
+  FillRig rig;
+  uint64_t reads = 0;
+  for (auto _ : state) {
+    const size_t total = rig.SendBatch(msgs);
+    // One transport read per rx buffer: the pre-coalescing InputTask shape.
+    size_t got_total = 0;
+    while (got_total < total) {
+      BufferRef buf = rig.pool.Acquire();
+      auto got = rig.receiver->Read(buf->write_ptr(), buf->writable());
+      ++reads;
+      if (*got == 0) {
+        continue;
+      }
+      buf->Produce(*got);
+      rig.rx.AppendBuffer(std::move(buf));
+      got_total += *got;
+    }
+    rig.rx.Consume(rig.rx.readable());
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations() * msgs));
+  state.counters["reads_issued"] =
+      benchmark::Counter(static_cast<double>(reads), benchmark::Counter::kAvgIterations);
+}
+
+void BM_ReadScatteredReadv(benchmark::State& state) {
+  const size_t msgs = static_cast<size_t>(state.range(0));
+  FillRig rig;
+  uint64_t reads = 0;
+  for (auto _ : state) {
+    const size_t total = rig.SendBatch(msgs);
+    // The coalesced path: one scatter read fills a whole window of buffers.
+    size_t got_total = 0;
+    while (got_total < total) {
+      MutIoSlice slices[runtime::kDefaultFillWindow];
+      const size_t n = rig.rx.ReserveSlices(slices, runtime::kDefaultFillWindow);
+      auto got = rig.receiver->Readv(slices, n);
+      ++reads;
+      rig.rx.CommitFill(*got);
+      got_total += *got;
+    }
+    rig.rx.Consume(rig.rx.readable());
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations() * msgs));
+  state.counters["reads_issued"] =
+      benchmark::Counter(static_cast<double>(reads), benchmark::Counter::kAvgIterations);
+}
+
+BENCHMARK(BM_ReadPerSyscall)->Arg(1)->Arg(8)->Arg(32)->Arg(128);
+BENCHMARK(BM_ReadScatteredReadv)->Arg(1)->Arg(8)->Arg(32)->Arg(128);
 
 // ------------------------------------------------------------- task channel ----
 

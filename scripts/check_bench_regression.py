@@ -4,8 +4,9 @@
 Compares the smoke run's merged JSON (google-benchmark format) against the
 checked-in BENCH_BASELINE.json and fails when a gated series point regresses
 by more than the threshold on its throughput counter. Gated series: the fig5
-pooled connection-scaling points — the pooled+batched output path whose
-trajectory this repo optimises for.
+pooled connection-scaling points (the pooled+batched wire path whose
+trajectory this repo optimises for) and the fig4 HTTP smoke points (the
+HTTP load-balancer series, pooled and per-client).
 
 Rules:
   * a gated point slower than baseline * (1 - threshold)  -> FAIL
@@ -20,15 +21,17 @@ Regenerate the baseline via the workflow_dispatch input `regen_baseline`
       --benchmark_out=bench_micro_smoke.json --benchmark_out_format=json
   ./build/bench_fig5_memcached --benchmark_filter='Fig5Conns' \
       --benchmark_out=bench_fig5_conns_smoke.json --benchmark_out_format=json
+  ./build/bench_fig4_http_lb --benchmark_filter='Fig4Smoke' \
+      --benchmark_out=bench_fig4_smoke.json --benchmark_out_format=json
   python3 scripts/merge_bench_smoke.py bench_micro_smoke.json \
-      bench_fig5_conns_smoke.json   # writes bench_smoke.json
+      bench_fig5_conns_smoke.json bench_fig4_smoke.json  # -> bench_smoke.json
 """
 
 import argparse
 import json
 import sys
 
-GATED_PREFIXES = ("BM_Fig5Conns_Pooled",)
+GATED_PREFIXES = ("BM_Fig5Conns_Pooled", "BM_Fig4Smoke")
 METRIC = "reqs_per_s"
 
 

@@ -2,20 +2,28 @@
 """Merge the bench-smoke JSON fragments and assert the smoke invariants.
 
 Inputs (google-benchmark --benchmark_out files, in order):
-    bench_micro_smoke.json bench_fig5_conns_smoke.json ...
+    bench_micro_smoke.json bench_fig5_conns_smoke.json \
+        bench_fig4_smoke.json ...
 Outputs:
     bench_smoke.json        merged run, the per-PR perf-trajectory artifact
-    batching_counters.json  the write-coalescing counters of every pooled
-                            fig5 point + the micro coalescing pair, uploaded
-                            alongside so the batching win is scannable
-                            without parsing the full run
+    batching_counters.json  the wire-coalescing counters (writev batching AND
+                            readv fills) of every pooled point + the micro
+                            coalescing pairs, uploaded alongside so the
+                            batching win is scannable without parsing the
+                            full run
 
 Asserted invariants (smoke fails on violation):
   1. Pooling: pooled backend connection count does not grow with client
      concurrency (>= 2 pooled fig5 points, all with equal backend_conns).
-  2. Batching: on every pooled fig5 point (8+ concurrent client graphs) the
-     pooled wires issue FEWER vectored writes than requests forwarded —
-     writev batching must actually coalesce, not degenerate to per-message.
+  2. Write batching: on every pooled fig5 point (8+ concurrent client
+     graphs) the pooled wires issue FEWER vectored writes than requests
+     forwarded — writev batching must actually coalesce, not degenerate to
+     per-message.
+  3. Read coalescing: on every pooled point exporting fill counters (fig5
+     and the fig4 HTTP smoke) the pooled wires issue FEWER vectored reads
+     than the legacy one-read-per-buffer loop would have (one read per
+     buffer filled, plus the trailing would-block probe every drain paid) —
+     the vectored fills must actually amortise.
 """
 
 import json
@@ -62,6 +70,11 @@ def main(argv):
         assert writev < requests, (
             f"{b['name']}: writev_calls ({writev}) not below requests "
             f"({requests}) — output batching is not coalescing")
+        # The fig5 pooled points must also carry the fill counters (checked
+        # in the amortisation pass below); asserted here so fig4 points can
+        # never mask a dropped fig5 export.
+        assert counters_of(b).get("pool_readv_calls") is not None, \
+            f"{b['name']}: fill counters missing from pooled fig5 point"
         batching[b["name"]] = {
             "pool_writev_calls": writev,
             "pool_requests": requests,
@@ -69,6 +82,34 @@ def main(argv):
             "pool_flushes_forced": c.get("pool_flushes_forced"),
             "reqs_per_s": c.get("reqs_per_s"),
         }
+
+    # 3. Read coalescing: vectored fills < legacy reads on every pooled point
+    # that exports the fill counters (fig5 pooled + fig4 HTTP smoke pooled).
+    fills_checked = 0
+    for b in merged["benchmarks"]:
+        c = counters_of(b)
+        readv = c.get("pool_readv_calls")
+        if readv is None:
+            continue
+        legacy = c.get("pool_reads_legacy_equivalent")
+        assert legacy is not None, \
+            f"{b['name']}: pool_reads_legacy_equivalent missing"
+        assert readv > 0, f"{b['name']}: no vectored fills ran at all"
+        assert readv < legacy, (
+            f"{b['name']}: readv_calls ({readv}) not below the legacy "
+            f"one-read-per-buffer count ({legacy}) — ingest coalescing is "
+            f"not amortising")
+        fills_checked += 1
+        batching.setdefault(b["name"], {}).update({
+            "pool_readv_calls": readv,
+            "pool_reads_legacy_equivalent": legacy,
+            "pool_bytes_per_readv": c.get("pool_bytes_per_readv"),
+            "pool_fills_short": c.get("pool_fills_short"),
+            "pool_responses": c.get("pool_responses"),
+        })
+    assert fills_checked >= len(pooled), \
+        "fewer fill-checked points than pooled fig5 points"
+
     for b in merged["benchmarks"]:
         if b["name"].startswith(("BM_WriteCoalescedWritev",
                                  "BM_WriteMessagePerSyscall")):
@@ -77,10 +118,18 @@ def main(argv):
                 "writes_issued": c.get("writes_issued"),
                 "items_per_second": c.get("items_per_second"),
             }
+        elif b["name"].startswith(("BM_ReadScatteredReadv",
+                                   "BM_ReadPerSyscall")):
+            c = counters_of(b)
+            batching[b["name"]] = {
+                "reads_issued": c.get("reads_issued"),
+                "items_per_second": c.get("items_per_second"),
+            }
     with open("batching_counters.json", "w") as f:
         json.dump(batching, f, indent=1)
     print(f"merged {len(merged['benchmarks'])} benchmarks; "
-          f"{len(pooled)} pooled fig5 points batching-checked")
+          f"{len(pooled)} pooled fig5 points batching-checked; "
+          f"{fills_checked} pooled points fill-checked")
     return 0
 
 

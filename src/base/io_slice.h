@@ -15,6 +15,15 @@ struct IoSlice {
   size_t len = 0;
 };
 
+// Writable counterpart for the scatter (read) direction: BufferChain hands
+// out its reserved buffers' writable space as MutIoSlices and
+// Connection::Readv fills them in order (kernel `readv`/`recvmsg`, or a
+// segment-preserving copy on the sim fabric).
+struct MutIoSlice {
+  void* data = nullptr;
+  size_t len = 0;
+};
+
 // Slices gathered per vectored write. Small enough for a stack array and
 // below every platform's IOV_MAX; callers loop when a chain has more
 // segments than this.

@@ -119,6 +119,45 @@ size_t BufferChain::PeekSlices(IoSlice* out, size_t max_slices) const {
   return n;
 }
 
+size_t BufferChain::ReserveSlices(MutIoSlice* out, size_t max_buffers) {
+  FLICK_CHECK(pool_ != nullptr);
+  if (reserve_.size() > max_buffers) {
+    reserve_.resize(max_buffers);  // window shrank: excess returns to the pool
+  }
+  while (reserve_.size() < max_buffers) {
+    BufferRef b = pool_->Acquire();
+    if (!b) {
+      break;  // pool pressure: the fill runs over what we have
+    }
+    reserve_.push_back(std::move(b));
+  }
+  for (size_t i = 0; i < reserve_.size(); ++i) {
+    out[i] = MutIoSlice{reserve_[i]->write_ptr(), reserve_[i]->writable()};
+  }
+  return reserve_.size();
+}
+
+void BufferChain::CommitFill(size_t bytes) {
+  size_t taken = 0;
+  while (bytes > 0) {
+    FLICK_CHECK(taken < reserve_.size());  // commit may not exceed the reserve
+    Buffer& b = *reserve_[taken];
+    const size_t n = bytes < b.writable() ? bytes : b.writable();
+    b.Produce(n);
+    readable_ += n;
+    bytes -= n;
+    buffers_.push_back(std::move(reserve_[taken]));
+    ++taken;
+  }
+  reserve_.erase(reserve_.begin(), reserve_.begin() + static_cast<long>(taken));
+  // Unfilled buffers stay reserved for the next fill: a would-block wakeup
+  // costs no pool traffic at all. The excess drains back to the pool through
+  // ReserveSlices as the caller's fill window shrinks — release-only, never
+  // a release-then-reacquire round-trip.
+}
+
+void BufferChain::ReleaseReserve() { reserve_.clear(); }
+
 std::string BufferChain::ToString() const {
   std::string out(readable_, '\0');
   Peek(0, out.data(), out.size());
@@ -127,6 +166,7 @@ std::string BufferChain::ToString() const {
 
 void BufferChain::Clear() {
   buffers_.clear();
+  reserve_.clear();
   first_ = 0;
   readable_ = 0;
 }

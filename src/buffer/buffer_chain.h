@@ -58,6 +58,35 @@ class BufferChain {
   // the next mutating call (Append/Consume/Clear/...).
   size_t PeekSlices(IoSlice* out, size_t max_slices) const;
 
+  // --- vectored fill window (the write-side of a scatter read) --------------
+  //
+  // ReserveSlices + CommitFill bracket one Connection::Readv: reserve hands
+  // out writable iovecs over up to `max_buffers` empty pool buffers, the
+  // caller fills a prefix of them, and CommitFill appends exactly the
+  // produced prefix to the chain. Unfilled buffers persist inside the chain
+  // between calls, so a fill that produces nothing — the would-block wakeup
+  // — consumes NO pool buffers: the old acquire-then-release-empty
+  // round-trip per wakeup is gone. The cache drains back to the pool as the
+  // caller's window shrinks (ReserveSlices trims to `max_buffers`), ending
+  // at one buffer per idle connection.
+
+  // Ensures up to `max_buffers` empty buffers are reserved (reusing the
+  // cached reservation first, acquiring the rest) and exposes their writable
+  // space as iovecs in fill order. Returns the number of slices; fewer than
+  // `max_buffers` means pool pressure, 0 means nothing could be reserved.
+  size_t ReserveSlices(MutIoSlice* out, size_t max_buffers);
+
+  // Appends exactly the first `bytes` of the reserved window to the chain
+  // (bytes <= reserved writable space). Buffers the fill never reached stay
+  // reserved for the next fill.
+  void CommitFill(size_t bytes);
+
+  // Returns every reserved buffer to the pool (also done by Clear). Call
+  // when the connection dies so an idle chain pins nothing.
+  void ReleaseReserve();
+
+  size_t reserved_buffers() const { return reserve_.size(); }
+
   std::string ToString() const;  // copies all readable bytes (tests only)
 
   void Clear();
@@ -67,6 +96,7 @@ class BufferChain {
 
   BufferPool* pool_ = nullptr;
   std::vector<BufferRef> buffers_;
+  std::vector<BufferRef> reserve_;  // empty buffers staged for the next fill
   size_t first_ = 0;  // index of first buffer with readable bytes
   size_t readable_ = 0;
 };

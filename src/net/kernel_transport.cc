@@ -58,6 +58,42 @@ Result<size_t> KernelConnection::Read(void* buf, size_t len) {
   return Errno("recv");
 }
 
+Result<size_t> KernelConnection::Readv(const MutIoSlice* slices, size_t count) {
+  if (fd_ < 0) {
+    return Status(StatusCode::kUnavailable, "read on closed connection");
+  }
+  // recvmsg scatter fill: every slice is filled in stream order under one
+  // kernel crossing; short-read semantics let the caller treat a partial
+  // window as proof the socket is drained.
+  struct iovec iov[kMaxIoSlices];
+  size_t n_iov = 0;
+  for (size_t i = 0; i < count && n_iov < kMaxIoSlices; ++i) {
+    if (slices[i].len == 0) {
+      continue;
+    }
+    iov[n_iov].iov_base = slices[i].data;
+    iov[n_iov].iov_len = slices[i].len;
+    ++n_iov;
+  }
+  if (n_iov == 0) {
+    return size_t{0};
+  }
+  struct msghdr msg = {};
+  msg.msg_iov = iov;
+  msg.msg_iovlen = n_iov;
+  const ssize_t n = ::recvmsg(fd_, &msg, 0);
+  if (n > 0) {
+    return static_cast<size_t>(n);
+  }
+  if (n == 0) {
+    return Status(StatusCode::kUnavailable, "peer closed");
+  }
+  if (errno == EAGAIN || errno == EWOULDBLOCK || errno == EINTR) {
+    return size_t{0};
+  }
+  return Errno("recvmsg");
+}
+
 Result<size_t> KernelConnection::Write(const void* buf, size_t len) {
   if (fd_ < 0) {
     return Status(StatusCode::kUnavailable, "write on closed connection");

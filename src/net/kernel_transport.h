@@ -18,6 +18,7 @@ class KernelConnection : public Connection {
   ~KernelConnection() override;
 
   Result<size_t> Read(void* buf, size_t len) override;
+  Result<size_t> Readv(const MutIoSlice* slices, size_t count) override;
   Result<size_t> Write(const void* buf, size_t len) override;
   Result<size_t> Writev(const IoSlice* slices, size_t count) override;
   void Close() override;

@@ -45,6 +45,42 @@ Result<size_t> SimConnection::Read(void* buf, size_t len) {
   return n;
 }
 
+// The read-side mirror of Writev: every segment is filled in order under ONE
+// op_cost charge, so a window of N rx buffers costs N-1 fewer simulated
+// syscalls than per-buffer reads — the cost structure a real readv/recvmsg
+// gives. `max_bytes_per_op` caps the fill total so tests can inject short
+// reads mid-iovec.
+Result<size_t> SimConnection::Readv(const MutIoSlice* slices, size_t count) {
+  if (!my_open().load(std::memory_order_acquire)) {
+    return Status(StatusCode::kUnavailable, "read on closed connection");
+  }
+  const size_t budget =
+      cost_.max_bytes_per_op > 0 ? cost_.max_bytes_per_op : static_cast<size_t>(-1);
+  size_t total = 0;
+  for (size_t i = 0; i < count && total < budget; ++i) {
+    auto* p = static_cast<uint8_t*>(slices[i].data);
+    size_t want = slices[i].len;
+    if (want > budget - total) {
+      want = budget - total;  // short-read injection lands mid-iovec
+    }
+    const size_t n = rx().Read(p, want);
+    total += n;
+    if (n < slices[i].len) {
+      break;  // ring drained (or injected cap): short read
+    }
+  }
+  if (total == 0) {
+    // Empty poll: a readiness probe, not a full syscall.
+    SpinWork(cost_.op_cost / 8);
+    if (!peer_open().load(std::memory_order_acquire) && rx().ReadableBytes() == 0) {
+      return Status(StatusCode::kUnavailable, "peer closed");
+    }
+    return total;
+  }
+  SpinWork(cost_.op_cost + cost_.per_kb_cost * ((total + 1023) / 1024));
+  return total;
+}
+
 Result<size_t> SimConnection::Write(const void* buf, size_t len) {
   if (!my_open().load(std::memory_order_acquire)) {
     return Status(StatusCode::kUnavailable, "write on closed connection");

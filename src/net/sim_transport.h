@@ -29,9 +29,9 @@ struct StackCostModel {
   uint64_t op_cost = 0;         // per read/write call ("syscall" + VFS work)
   uint64_t per_kb_cost = 0;     // per KiB copied
 
-  // Test hook: caps bytes accepted per Write/Writev call (0 = unlimited).
-  // Lets tests inject short writes — including mid-iovec — deterministically,
-  // the way a real socket buffer boundary would land.
+  // Test hook: caps bytes moved per Write/Writev/Readv call (0 = unlimited).
+  // Lets tests inject short writes AND short reads — including mid-iovec —
+  // deterministically, the way a real socket buffer boundary would land.
   size_t max_bytes_per_op = 0;
 
   // Kernel TCP: expensive socket setup/teardown (VFS inode + fd table, §5)
@@ -68,6 +68,7 @@ class SimConnection : public Connection {
   ~SimConnection() override;
 
   Result<size_t> Read(void* buf, size_t len) override;
+  Result<size_t> Readv(const MutIoSlice* slices, size_t count) override;
   Result<size_t> Write(const void* buf, size_t len) override;
   Result<size_t> Writev(const IoSlice* slices, size_t count) override;
   void Close() override;

@@ -53,6 +53,32 @@ class Connection {
     return total;
   }
 
+  // Scatter read: fills the slices in order from the byte stream, with
+  // short-read semantics — the return value is total bytes filled, which may
+  // end mid-slice (0 when the transport would block). Transports override
+  // this to make the whole fill cost ONE kernel crossing (`readv`/`recvmsg`);
+  // the base implementation degrades to one Read per slice so every
+  // Connection stays correct.
+  virtual Result<size_t> Readv(const MutIoSlice* slices, size_t count) {
+    size_t total = 0;
+    for (size_t i = 0; i < count; ++i) {
+      if (slices[i].len == 0) {
+        continue;
+      }
+      auto got = Read(slices[i].data, slices[i].len);
+      if (!got.ok()) {
+        // Bytes already filled belong to the stream; surface them and let the
+        // caller hit the EOF/error on its next fill.
+        return total > 0 ? Result<size_t>(total) : got;
+      }
+      total += *got;
+      if (*got < slices[i].len) {
+        break;  // stream drained mid-slice
+      }
+    }
+    return total;
+  }
+
   // Half-close is not modelled; Close tears down both directions.
   virtual void Close() = 0;
   virtual bool IsOpen() const = 0;

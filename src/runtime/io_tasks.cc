@@ -20,6 +20,7 @@ void InputTask::Rebind(std::unique_ptr<Connection> conn) {
   conn_ = std::move(conn);
   codec_->Reset();
   rx_.Clear();
+  fill_window_.Reset();  // a fresh wire earns its window back
   parse_msg_ = MsgRef();
   pending_ = MsgRef();
   eof_pending_ = false;
@@ -68,58 +69,86 @@ TaskRunResult InputTask::Run(TaskContext& ctx) {
   }
 
   while (true) {
-    // Parse as many complete messages as the buffer holds.
-    while (!rx_.empty()) {
-      if (!parse_msg_) {
-        parse_msg_ = msgs_->Acquire();
-        parse_msg_->conn_id = conn_->id();
-      }
-      const ParseStatus s = codec_->Deserialize(rx_, parse_msg_.get());
-      if (s == ParseStatus::kNeedMore) {
-        break;  // keep parse_msg_ (holds partial field data) and read more
-      }
-      if (s == ParseStatus::kError) {
-        // Framing is unrecoverable on a byte stream: drop the connection.
-        conn_->Close();
-        closed_.store(true, std::memory_order_release);
-        EmitEof();
+    switch (ParseBuffered(ctx)) {
+      case ParseOutcome::kIdle:
         return TaskRunResult::kIdle;
-      }
-      messages_in_.fetch_add(1, std::memory_order_relaxed);
-      pending_ = std::move(parse_msg_);
-      if (!FlushPending()) {
-        return TaskRunResult::kIdle;  // backpressure: consumer will wake us
-      }
-      ctx.ItemDone();
-      if (ctx.ShouldYield()) {
+      case ParseOutcome::kMoreWork:
         return TaskRunResult::kMoreWork;
-      }
+      case ParseOutcome::kContinue:
+        break;
     }
 
-    // Buffered bytes exhausted: pull from the network.
-    BufferRef buf = rx_.pool()->Acquire();
-    if (!buf) {
-      // Pool pressure: go idle instead of spinning through the run queue;
-      // the poller re-notifies us while the connection stays readable.
-      return TaskRunResult::kIdle;
-    }
-    auto got = conn_->Read(buf->write_ptr(), buf->writable());
-    if (!got.ok()) {
+    // Buffered bytes exhausted: ONE vectored fill spanning the adaptive
+    // window pulls everything the transport has buffered (up to the window).
+    size_t fill_bytes = 0;
+    const FillOutcome fill =
+        FillChainVectored(rx_, *conn_, fill_window_, read_batch_, &fill_bytes);
+    if (fill == FillOutcome::kError) {
       // Peer closed (or transport error): propagate EOF downstream.
+      rx_.ReleaseReserve();
       conn_->Close();
       closed_.store(true, std::memory_order_release);
       EmitEof();
       return TaskRunResult::kIdle;
     }
-    if (*got == 0) {
-      return TaskRunResult::kIdle;  // would block; poller will wake us
+    if (fill == FillOutcome::kNoBuffers) {
+      // Pool pressure: go idle instead of spinning through the run queue;
+      // the poller re-notifies us while the connection stays readable.
+      return TaskRunResult::kIdle;
     }
-    buf->Produce(*got);
-    rx_.AppendBuffer(std::move(buf));
+    if (fill == FillOutcome::kDrained) {
+      if (fill_bytes == 0) {
+        return TaskRunResult::kIdle;  // would block; poller will wake us
+      }
+      // Short fill: parse the tail, then go idle WITHOUT a trailing
+      // would-block probe — the fill itself proved the wire is drained, and
+      // the poller re-notifies when new bytes land.
+      switch (ParseBuffered(ctx)) {
+        case ParseOutcome::kIdle:
+          return TaskRunResult::kIdle;
+        case ParseOutcome::kMoreWork:
+          return TaskRunResult::kMoreWork;
+        case ParseOutcome::kContinue:
+          return TaskRunResult::kIdle;
+      }
+    }
+    // Full fill: the transport may hold more; parse, then fill again.
     if (ctx.ShouldYield()) {
       return TaskRunResult::kMoreWork;
     }
   }
+}
+
+InputTask::ParseOutcome InputTask::ParseBuffered(TaskContext& ctx) {
+  // Parse as many complete messages as the buffer holds.
+  while (!rx_.empty()) {
+    if (!parse_msg_) {
+      parse_msg_ = msgs_->Acquire();
+      parse_msg_->conn_id = conn_->id();
+    }
+    const ParseStatus s = codec_->Deserialize(rx_, parse_msg_.get());
+    if (s == ParseStatus::kNeedMore) {
+      break;  // keep parse_msg_ (holds partial field data) and read more
+    }
+    if (s == ParseStatus::kError) {
+      // Framing is unrecoverable on a byte stream: drop the connection.
+      rx_.ReleaseReserve();
+      conn_->Close();
+      closed_.store(true, std::memory_order_release);
+      EmitEof();
+      return ParseOutcome::kIdle;
+    }
+    messages_in_.fetch_add(1, std::memory_order_relaxed);
+    pending_ = std::move(parse_msg_);
+    if (!FlushPending()) {
+      return ParseOutcome::kIdle;  // backpressure: consumer will wake us
+    }
+    ctx.ItemDone();
+    if (ctx.ShouldYield()) {
+      return ParseOutcome::kMoreWork;
+    }
+  }
+  return ParseOutcome::kContinue;
 }
 
 OutputTask::OutputTask(std::string name, std::unique_ptr<Connection> conn,

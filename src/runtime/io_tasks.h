@@ -18,6 +18,7 @@
 #include "runtime/msg.h"
 #include "runtime/task.h"
 #include "runtime/wire_batch.h"
+#include "runtime/wire_fill.h"
 
 namespace flick::runtime {
 
@@ -37,10 +38,40 @@ class InputTask : public Task {
   // Replaces the connection (graph reuse from the pool).
   void Rebind(std::unique_ptr<Connection> conn);
 
+  // Caps the adaptive fill window: pool buffers one vectored read may span
+  // (see runtime::kDefaultFillWindow; 1 = legacy one-buffer reads). Set
+  // before IO activation; GraphBuilder applies its FillWindow() here.
+  void set_fill_window(size_t buffers) { fill_window_.set_max(buffers); }
+  size_t fill_window() const { return fill_window_.max(); }
+  // Current adapted window. NOT synchronised with Run — only meaningful when
+  // the task is quiescent (tests driving Run on their own thread).
+  size_t fill_window_current() const { return fill_window_.next(); }
+
+  // --- ingest counters (atomic: read by registry/tests off-thread) ----------
+  uint64_t readv_calls() const {
+    return read_batch_.readv_calls.load(std::memory_order_relaxed);
+  }
+  // High-water of bytes moved by a single vectored fill.
+  uint64_t bytes_per_readv() const {
+    return read_batch_.bytes_per_readv.load(std::memory_order_relaxed);
+  }
+  uint64_t fills_short() const {
+    return read_batch_.fills_short.load(std::memory_order_relaxed);
+  }
+  uint64_t reads_legacy_equivalent() const {
+    return read_batch_.reads_legacy_equivalent.load(std::memory_order_relaxed);
+  }
+
  private:
   // Pushes `pending_` downstream; false if the channel is full.
   bool FlushPending();
   void EmitEof();
+
+  // Parses every complete message buffered in rx_. kContinue = caller may
+  // pull more bytes; anything else is the TaskRunResult to return (error and
+  // EOF handling already done).
+  enum class ParseOutcome { kContinue, kIdle, kMoreWork };
+  ParseOutcome ParseBuffered(TaskContext& ctx);
 
   std::unique_ptr<Connection> conn_;
   std::unique_ptr<Deserializer> codec_;
@@ -53,6 +84,8 @@ class InputTask : public Task {
   bool eof_sent_ = false;
   std::atomic<bool> closed_{false};
   std::atomic<uint64_t> messages_in_{0};  // read off-thread by tests/stats
+  AdaptiveFillWindow fill_window_;
+  ReadBatchCounters read_batch_;
 };
 
 // Backlog bytes an OutputTask (or pooled connection) accumulates before a

@@ -1,0 +1,152 @@
+// Shared machinery of the coalesced ingest path: the vectored chain fill used
+// by every reader (InputTask sources, BackendPool connection tasks), the
+// adaptive fill window that sizes it, and the counters it maintains. One
+// implementation — the read-side mirror of wire_batch.h — so the counters
+// mean the same thing on every wire and a fix lands everywhere at once.
+#ifndef FLICK_RUNTIME_WIRE_FILL_H_
+#define FLICK_RUNTIME_WIRE_FILL_H_
+
+#include <atomic>
+#include <cstdint>
+
+#include "base/io_slice.h"
+#include "buffer/buffer_chain.h"
+#include "net/transport.h"
+#include "runtime/wire_batch.h"
+
+namespace flick::runtime {
+
+// Max pool buffers one vectored fill may span. An idle connection never
+// reserves more than one; a hot one amortises up to this many buffers per
+// transport read.
+inline constexpr size_t kDefaultFillWindow = 8;
+
+// Ingest statistics, atomic because registries/tests/stats read them while
+// worker threads write.
+struct ReadBatchCounters {
+  std::atomic<uint64_t> readv_calls{0};      // vectored fills that moved bytes
+  std::atomic<uint64_t> bytes_per_readv{0};  // high-water bytes per fill
+  std::atomic<uint64_t> fills_short{0};      // fills that proved the wire drained
+  // Reads the legacy one-read-per-buffer path would have issued for the same
+  // traffic: one per buffer a fill spanned, plus the trailing would-block
+  // probe a short fill makes unnecessary (the legacy loop always paid it).
+  // readv_calls staying strictly below this is the amortisation invariant
+  // the CI smoke asserts.
+  std::atomic<uint64_t> reads_legacy_equivalent{0};
+};
+
+// Adaptive fill window (per wire, single-writer): starts at one buffer so an
+// idle connection costs one buffer, doubles after every full fill — the
+// window, not the socket, was the limiting factor — up to `max`, and halves
+// after a short or empty fill. Pool pressure clamps it to what the pool
+// could actually reserve.
+class AdaptiveFillWindow {
+ public:
+  AdaptiveFillWindow() = default;
+  explicit AdaptiveFillWindow(size_t max) { set_max(max); }
+
+  // Buffers the next fill should reserve.
+  size_t next() const { return window_; }
+  size_t max() const { return max_; }
+
+  void set_max(size_t max) {
+    max_ = max == 0 ? 1 : max;
+    if (max_ > kMaxIoSlices) {
+      max_ = kMaxIoSlices;
+    }
+    if (window_ > max_) {
+      window_ = max_;
+    }
+  }
+
+  void Reset() { window_ = 1; }
+
+  void OnFullFill() { window_ = window_ * 2 > max_ ? max_ : window_ * 2; }
+  void OnShortFill() { window_ = window_ > 1 ? window_ / 2 : 1; }
+  void ClampTo(size_t reserved) {
+    if (reserved > 0 && window_ > reserved) {
+      window_ = reserved;  // pool pressure: do not ask for more than exists
+    }
+  }
+
+ private:
+  size_t max_ = kDefaultFillWindow;
+  size_t window_ = 1;
+};
+
+enum class FillOutcome {
+  kMore,      // full fill: the wire may hold more; fill again
+  kDrained,   // short or empty fill: the wire is drained for now
+  kNoBuffers, // pool exhausted: nothing reserved, try again when notified
+  kError,     // transport EOF/error: caller tears the wire down
+};
+
+// One vectored fill of `chain` from `conn`: reserves `window.next()` pool
+// buffers, issues ONE scatter read across them, commits exactly the produced
+// prefix, and adapts the window. `*bytes_out` (optional) receives the bytes
+// moved. A short fill proves the wire is drained in the same call that moved
+// the bytes — callers go idle on kDrained without a trailing would-block
+// probe; the poller re-notifies when new data lands.
+inline FillOutcome FillChainVectored(BufferChain& chain, Connection& conn,
+                                     AdaptiveFillWindow& window,
+                                     ReadBatchCounters& counters,
+                                     size_t* bytes_out = nullptr) {
+  if (bytes_out != nullptr) {
+    *bytes_out = 0;
+  }
+  MutIoSlice slices[kMaxIoSlices];
+  const size_t n = chain.ReserveSlices(slices, window.next());
+  if (n == 0) {
+    return FillOutcome::kNoBuffers;
+  }
+  window.ClampTo(n);
+  size_t capacity = 0;
+  for (size_t i = 0; i < n; ++i) {
+    capacity += slices[i].len;
+  }
+  auto got = conn.Readv(slices, n);
+  if (!got.ok()) {
+    return FillOutcome::kError;
+  }
+  chain.CommitFill(*got);
+  if (bytes_out != nullptr) {
+    *bytes_out = *got;
+  }
+  if (*got == 0) {
+    // Would-block probe: not a counted fill (would-block writes are not
+    // counted writevs either), but the window shrinks — this wire is not
+    // keeping it busy. The legacy path paid the same probe read, so the
+    // equivalence counter moves for NEITHER side: savings come only from
+    // segment amortisation and avoided drain probes, never from probes both
+    // paths issued.
+    window.OnShortFill();
+    return FillOutcome::kDrained;
+  }
+  counters.readv_calls.fetch_add(1, std::memory_order_relaxed);
+  AtomicStoreMax(counters.bytes_per_readv, *got);
+  // One legacy read per buffer the fill spanned (the old path read exactly
+  // one buffer per transport call).
+  uint64_t segments = 0;
+  for (size_t i = 0, rem = *got; i < n && rem > 0; ++i) {
+    ++segments;
+    rem -= rem < slices[i].len ? rem : slices[i].len;
+  }
+  if (*got == capacity) {
+    // Full fill: more data may be buffered; grow the window so the next fill
+    // amortises further. The legacy loop would also come straight back.
+    counters.reads_legacy_equivalent.fetch_add(segments, std::memory_order_relaxed);
+    window.OnFullFill();
+    return FillOutcome::kMore;
+  }
+  // Short fill: drained mid-window. The legacy path needed a trailing
+  // would-block read to learn what this call already proved — that probe is
+  // the per-wakeup syscall the coalesced path saves even at window 1.
+  counters.fills_short.fetch_add(1, std::memory_order_relaxed);
+  counters.reads_legacy_equivalent.fetch_add(segments + 1, std::memory_order_relaxed);
+  window.OnShortFill();
+  return FillOutcome::kDrained;
+}
+
+}  // namespace flick::runtime
+
+#endif  // FLICK_RUNTIME_WIRE_FILL_H_

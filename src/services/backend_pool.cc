@@ -13,6 +13,7 @@
 #include "runtime/msg.h"
 #include "runtime/task.h"
 #include "runtime/wire_batch.h"
+#include "runtime/wire_fill.h"
 
 namespace flick::services {
 namespace internal {
@@ -35,7 +36,9 @@ class PoolConnTask : public runtime::Task {
         rx_(env.buffers),
         tx_(env.buffers),
         serializer_(pool->config_.make_serializer()),
-        deserializer_(pool->config_.make_deserializer()) {}
+        deserializer_(pool->config_.make_deserializer()) {
+    fill_window_.set_max(pool->config_.fill_window);
+  }
 
   ~PoolConnTask() override {
     // Platform is stopped by the time the pool dies (documented contract),
@@ -144,6 +147,7 @@ class PoolConnTask : public runtime::Task {
   std::atomic<uint64_t> responses_dropped{0};
   std::atomic<uint64_t> pipeline_hwm{0};
   runtime::WriteBatchCounters batch;
+  runtime::ReadBatchCounters read_batch;
 
  private:
   struct LeaseSlot {
@@ -203,8 +207,9 @@ class PoolConnTask : public runtime::Task {
     disconnects.fetch_add(1, std::memory_order_relaxed);
     responses_dropped.fetch_add(pending_.size(), std::memory_order_relaxed);
     pending_.clear();
-    rx_.Clear();
+    rx_.Clear();  // also returns the reserved fill window to the pool
     tx_.Clear();
+    fill_window_.Reset();  // the next wire earns its window back
     msgs_since_flush_ = 0;
     deserializer_->Reset();
     parse_msg_ = runtime::MsgRef();
@@ -261,6 +266,7 @@ class PoolConnTask : public runtime::Task {
 
   BufferChain rx_;
   BufferChain tx_;
+  runtime::AdaptiveFillWindow fill_window_;  // guarded by mutex_ (Run-side state)
   std::unique_ptr<runtime::Serializer> serializer_;
   std::unique_ptr<runtime::Deserializer> deserializer_;
 
@@ -293,7 +299,12 @@ runtime::TaskRunResult PoolConnTask::Run(runtime::TaskContext& ctx) {
     bool progress = false;
 
     // --- read side: free pipeline slots first ------------------------------
-    while (!rx_.empty() || wire_->ReadReady()) {
+    // Replies pipelined by every lease on this wire drain through ONE
+    // vectored fill per pass: the adaptive window sizes the scatter read, a
+    // short fill proves the wire drained (no trailing would-block probe),
+    // and every complete response parsed is routed before the next fill.
+    bool fill_drained = false;  // a short fill already proved the wire empty
+    while (!rx_.empty() || (!fill_drained && wire_->ReadReady())) {
       // Parse every complete response buffered so far.
       bool parsed = false;
       while (!rx_.empty()) {
@@ -327,26 +338,28 @@ runtime::TaskRunResult PoolConnTask::Run(runtime::TaskContext& ctx) {
           return runtime::TaskRunResult::kMoreWork;
         }
       }
-      if (!wire_->ReadReady()) {
+      if (fill_drained || !wire_->ReadReady()) {
         break;
       }
-      BufferRef buf = rx_.pool()->Acquire();
-      if (!buf) {
+      size_t fill_bytes = 0;
+      const runtime::FillOutcome fill = runtime::FillChainVectored(
+          rx_, *wire_, fill_window_, read_batch, &fill_bytes);
+      if (fill == runtime::FillOutcome::kError) {
+        Disconnect();  // peer closed; redial next run / ticker kick
+        return runtime::TaskRunResult::kMoreWork;
+      }
+      if (fill == runtime::FillOutcome::kNoBuffers) {
         // Buffer pressure: parse what we have next run; the poller
         // re-notifies while the wire stays readable.
         return parsed ? runtime::TaskRunResult::kMoreWork
                       : runtime::TaskRunResult::kIdle;
       }
-      auto got = wire_->Read(buf->write_ptr(), buf->writable());
-      if (!got.ok()) {
-        Disconnect();  // peer closed; redial next run / ticker kick
-        return runtime::TaskRunResult::kMoreWork;
+      if (fill == runtime::FillOutcome::kDrained) {
+        if (fill_bytes == 0) {
+          break;
+        }
+        fill_drained = true;  // parse the tail, then move to the write side
       }
-      if (*got == 0) {
-        break;
-      }
-      buf->Produce(*got);
-      rx_.AppendBuffer(std::move(buf));
       progress = true;
     }
 
@@ -718,6 +731,15 @@ BackendPoolStats BackendPool::stats() const {
           conn->batch.msgs_per_writev.load(std::memory_order_relaxed);
       if (batch_hwm > s.msgs_per_writev) {
         s.msgs_per_writev = batch_hwm;
+      }
+      s.readv_calls += conn->read_batch.readv_calls.load(std::memory_order_relaxed);
+      s.fills_short += conn->read_batch.fills_short.load(std::memory_order_relaxed);
+      s.reads_legacy_equivalent +=
+          conn->read_batch.reads_legacy_equivalent.load(std::memory_order_relaxed);
+      const uint64_t fill_hwm =
+          conn->read_batch.bytes_per_readv.load(std::memory_order_relaxed);
+      if (fill_hwm > s.bytes_per_readv) {
+        s.bytes_per_readv = fill_hwm;
       }
       s.live_connections += conn->connected() ? 1 : 0;
     }

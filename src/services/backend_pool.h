@@ -70,6 +70,12 @@ struct BackendPoolConfig {
   // shape, kept for the fig5 comparison series); 0 = slice-end flushes only.
   size_t flush_watermark_bytes = runtime::kDefaultFlushWatermark;
 
+  // Cap on the adaptive rx fill window: pool buffers one vectored read may
+  // span when draining pipelined replies (the read-side mirror of the flush
+  // watermark; 1 = legacy one-buffer reads). An idle wire holds one buffer;
+  // a hot one amortises up to this many buffers per transport read.
+  size_t fill_window = runtime::kDefaultFillWindow;
+
   // Minimum spacing between redial attempts for a disconnected connection.
   uint64_t redial_interval_ns = 1'000'000;
 
@@ -95,6 +101,10 @@ struct BackendPoolStats {
   uint64_t writev_calls = 0;        // vectored transport writes issued
   uint64_t flushes_forced = 0;      // flushes triggered by the high-water mark
   uint64_t msgs_per_writev = 0;     // high-water requests coalesced per flush
+  uint64_t readv_calls = 0;         // vectored transport reads that moved bytes
+  uint64_t bytes_per_readv = 0;     // high-water bytes moved by one fill
+  uint64_t fills_short = 0;         // fills that proved the wire drained
+  uint64_t reads_legacy_equivalent = 0;  // reads the per-buffer path would issue
   uint64_t live_connections = 0;    // snapshot, not monotonic
 };
 

@@ -78,6 +78,14 @@ GraphBuilder& GraphBuilder::FlushWatermark(size_t bytes) {
   return *this;
 }
 
+GraphBuilder& GraphBuilder::FillWindow(size_t buffers) {
+  // 0 normalises to 1 (legacy one-buffer reads), matching
+  // AdaptiveFillWindow::set_max so the knob means the same thing on client
+  // sources and pooled wires.
+  fill_window_ = buffers == 0 ? 1 : buffers;
+  return *this;
+}
+
 ConnRef GraphBuilder::Adopt(std::unique_ptr<Connection> conn) {
   if (conn == nullptr) {
     Poison(InvalidArgument("Adopt: null connection"));
@@ -516,6 +524,7 @@ Status GraphBuilder::Launch(GraphRegistry& registry) {
         auto* task = graph->AddTask<runtime::InputTask>(
             node.name, TakeConn(node.conn), std::move(node.deserializer),
             channels[node.out_edges[0]], env_.msgs, env_.buffers);
+        task->set_fill_window(fill_window_);
         conns_[node.conn].source_task = task;
         ++stats_.sources;
         break;
@@ -568,6 +577,7 @@ Status GraphBuilder::Launch(GraphRegistry& registry) {
   stats_.channels = graph->channel_count();
   stats_.connections = conns_.size();
   stats_.flush_watermark = flush_watermark_;
+  stats_.fill_window = fill_window_;
 
   // Bind pooled legs before IO activation: once a graph task is notified it
   // may push requests, and the pool must already be the consumer. Streaming

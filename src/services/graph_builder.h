@@ -103,6 +103,7 @@ struct GraphLaunchStats {
   size_t pooled_legs = 0;  // legs served by a BackendPool lease (no dial)
   size_t exclusive_legs = 0;  // streaming legs on an exclusive lease
   size_t flush_watermark = 0; // forced-flush threshold applied to the sinks
+  size_t fill_window = 0;     // rx fill-window cap applied to the sources
 };
 
 class GraphBuilder {
@@ -146,6 +147,12 @@ class GraphBuilder {
   // 0 = slice-end flushes only). This is the builder-leg flush control the
   // batched output path is steered with.
   GraphBuilder& FlushWatermark(size_t bytes);
+
+  // Cap on every Source's adaptive rx fill window: pool buffers one vectored
+  // read may span (runtime::kDefaultFillWindow initially; 0 or 1 = legacy
+  // one-buffer reads, matching BackendPoolConfig::fill_window). The
+  // read-side mirror of FlushWatermark.
+  GraphBuilder& FillWindow(size_t buffers);
 
   // --- connection legs -------------------------------------------------------
 
@@ -313,6 +320,7 @@ class GraphBuilder {
   bool launched_ = false;
   size_t default_capacity_ = 128;
   size_t flush_watermark_ = runtime::kDefaultFlushWatermark;
+  size_t fill_window_ = runtime::kDefaultFillWindow;
   std::vector<ConnSpec> conns_;
   std::vector<NodeSpec> nodes_;
   std::vector<EdgeSpec> edges_;

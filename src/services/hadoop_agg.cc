@@ -33,6 +33,7 @@ HadoopAggService::HadoopAggService(int expected_mappers, uint16_t reducer_port,
     cfg.ports = {reducer_port_};
     cfg.conns_per_backend = options_.reducer_conns;
     cfg.flush_watermark_bytes = options_.flush_watermark_bytes;
+    cfg.fill_window = options_.fill_window;
     cfg.make_serializer = [unit] {
       return std::make_unique<runtime::GrammarSerializer>(unit);
     };
@@ -81,7 +82,9 @@ void HadoopAggService::BuildGraph(runtime::PlatformEnv& env) {
 
   const grammar::Unit* unit = &proto::HadoopKvUnit();
   GraphBuilder b("hadoop-agg", env);
-  b.DefaultCapacity(256).FlushWatermark(options_.flush_watermark_bytes);
+  b.DefaultCapacity(256)
+      .FlushWatermark(options_.flush_watermark_bytes)
+      .FillWindow(options_.fill_window);
 
   // Leaves: one input task per mapper connection. If the reducer leg below
   // fails, Launch() closes every adopted mapper connection.

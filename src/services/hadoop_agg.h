@@ -44,6 +44,9 @@ class HadoopAggService : public runtime::ServiceProgram {
     // Forced-flush threshold for the stream's batched writes (see
     // BackendPoolConfig::flush_watermark_bytes).
     size_t flush_watermark_bytes = runtime::kDefaultFlushWatermark;
+    // Adaptive rx fill-window cap for the mapper sources (see
+    // GraphBuilder::FillWindow; 1 = one-buffer reads).
+    size_t fill_window = runtime::kDefaultFillWindow;
   };
 
   // Builds the aggregation graph once `expected_mappers` connections arrived;

@@ -17,6 +17,7 @@ HttpLbService::HttpLbService(std::vector<uint16_t> backend_ports, Options option
     cfg.conns_per_backend = options_.conns_per_backend;
     cfg.max_pipeline_depth = options_.max_pipeline_depth;
     cfg.flush_watermark_bytes = options_.flush_watermark_bytes;
+    cfg.fill_window = options_.fill_window;
     cfg.make_serializer = [] { return std::make_unique<runtime::HttpSerializer>(); };
     cfg.make_deserializer = [] {
       return std::make_unique<runtime::HttpDeserializer>(
@@ -36,7 +37,7 @@ void HttpLbService::OnConnection(std::unique_ptr<Connection> conn,
   GraphBuilder b("http-lb", env);
   // One watermark for the whole write path: the pool config batches the
   // backend wires, this batches the client-facing sinks.
-  b.FlushWatermark(options_.flush_watermark_bytes);
+  b.FlushWatermark(options_.flush_watermark_bytes).FillWindow(options_.fill_window);
   auto client = b.Adopt(std::move(conn));
 
   auto request = b.Source(

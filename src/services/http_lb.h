@@ -35,6 +35,9 @@ class HttpLbService : public runtime::ServiceProgram {
     // Forced-flush threshold for the pool's batched request writes (see
     // BackendPoolConfig::flush_watermark_bytes; 1 = write per message).
     size_t flush_watermark_bytes = runtime::kDefaultFlushWatermark;
+    // Adaptive rx fill-window cap for client sources and pooled reply legs
+    // (see BackendPoolConfig::fill_window; 1 = one-buffer reads).
+    size_t fill_window = runtime::kDefaultFillWindow;
   };
 
   // `backend_ports`: the web servers to balance across.

@@ -18,6 +18,7 @@ MemcachedProxyService::MemcachedProxyService(std::vector<uint16_t> backend_ports
     cfg.conns_per_backend = options_.conns_per_backend;
     cfg.max_pipeline_depth = options_.max_pipeline_depth;
     cfg.flush_watermark_bytes = options_.flush_watermark_bytes;
+    cfg.fill_window = options_.fill_window;
     cfg.make_serializer = [unit] {
       return std::make_unique<runtime::GrammarSerializer>(unit);
     };
@@ -88,7 +89,7 @@ void MemcachedProxyService::OnConnection(std::unique_ptr<Connection> conn,
   GraphBuilder b("memcached-proxy", env);
   // One watermark for the whole write path: the pool config batches the
   // backend wires, this batches the client-facing sinks.
-  b.FlushWatermark(options_.flush_watermark_bytes);
+  b.FlushWatermark(options_.flush_watermark_bytes).FillWindow(options_.fill_window);
   auto client = b.Adopt(std::move(conn));
 
   // Request path: parse with the projected unit (opcode/key only).

@@ -37,6 +37,9 @@ class MemcachedProxyService : public runtime::ServiceProgram {
     // Forced-flush threshold for the pool's batched request writes (see
     // BackendPoolConfig::flush_watermark_bytes; 1 = write per message).
     size_t flush_watermark_bytes = runtime::kDefaultFlushWatermark;
+    // Adaptive rx fill-window cap for client sources and pooled reply legs
+    // (see BackendPoolConfig::fill_window; 1 = one-buffer reads).
+    size_t fill_window = runtime::kDefaultFillWindow;
   };
 
   explicit MemcachedProxyService(std::vector<uint16_t> backend_ports);

@@ -24,6 +24,9 @@ class SharedConn : public Connection {
   explicit SharedConn(Connection* conn) : conn_(conn) {}
 
   Result<size_t> Read(void* buf, size_t len) override { return conn_->Read(buf, len); }
+  Result<size_t> Readv(const MutIoSlice* slices, size_t count) override {
+    return conn_->Readv(slices, count);  // keep the underlying vectored path
+  }
   Result<size_t> Write(const void* buf, size_t len) override { return conn_->Write(buf, len); }
   Result<size_t> Writev(const IoSlice* slices, size_t count) override {
     return conn_->Writev(slices, count);  // keep the underlying vectored path
@@ -58,6 +61,14 @@ struct RegistryStats {
   uint64_t writev_calls = 0;
   uint64_t flushes_forced = 0;
   uint64_t msgs_per_writev = 0;  // high-water, not a sum
+
+  // Ingest-coalescing counters, aggregated the same way over every InputTask:
+  // vectored fills that moved bytes, the high-water of bytes one fill moved,
+  // and fills that proved the wire drained (each one a would-block probe the
+  // legacy per-buffer read loop would have paid).
+  uint64_t readv_calls = 0;
+  uint64_t bytes_per_readv = 0;  // high-water, not a sum
+  uint64_t fills_short = 0;
 };
 
 // Tracks live graphs for a service and reaps them (unwatching their
@@ -175,12 +186,22 @@ class GraphRegistry {
     s.writev_calls = writev_calls_.load(std::memory_order_relaxed);
     s.flushes_forced = flushes_forced_.load(std::memory_order_relaxed);
     s.msgs_per_writev = msgs_per_writev_.load(std::memory_order_relaxed);
+    s.readv_calls = readv_calls_.load(std::memory_order_relaxed);
+    s.bytes_per_readv = bytes_per_readv_.load(std::memory_order_relaxed);
+    s.fills_short = fills_short_.load(std::memory_order_relaxed);
     for (const auto& graph : graphs_) {
       for (const runtime::OutputTask* out : graph->output_tasks()) {
         s.writev_calls += out->writev_calls();
         s.flushes_forced += out->flushes_forced();
         if (out->msgs_per_writev() > s.msgs_per_writev) {
           s.msgs_per_writev = out->msgs_per_writev();
+        }
+      }
+      for (const runtime::InputTask* in : graph->input_tasks()) {
+        s.readv_calls += in->readv_calls();
+        s.fills_short += in->fills_short();
+        if (in->bytes_per_readv() > s.bytes_per_readv) {
+          s.bytes_per_readv = in->bytes_per_readv();
         }
       }
     }
@@ -196,6 +217,11 @@ class GraphRegistry {
       flushes_forced_.fetch_add(out->flushes_forced(), std::memory_order_relaxed);
       runtime::AtomicStoreMax(msgs_per_writev_, out->msgs_per_writev());
     }
+    for (const runtime::InputTask* in : graph.input_tasks()) {
+      readv_calls_.fetch_add(in->readv_calls(), std::memory_order_relaxed);
+      fills_short_.fetch_add(in->fills_short(), std::memory_order_relaxed);
+      runtime::AtomicStoreMax(bytes_per_readv_, in->bytes_per_readv());
+    }
   }
 
   mutable std::mutex mutex_;
@@ -210,6 +236,9 @@ class GraphRegistry {
   std::atomic<uint64_t> writev_calls_{0};
   std::atomic<uint64_t> flushes_forced_{0};
   std::atomic<uint64_t> msgs_per_writev_{0};
+  std::atomic<uint64_t> readv_calls_{0};
+  std::atomic<uint64_t> bytes_per_readv_{0};
+  std::atomic<uint64_t> fills_short_{0};
 };
 
 }  // namespace flick::services

@@ -465,6 +465,7 @@ TEST_F(BackendPoolTest, LaunchAndRegistryStatsCoverPooledLegs) {
   EXPECT_EQ(probe.last_stats.pooled_legs, 1u);
   EXPECT_EQ(probe.last_stats.sources, 1u);
   EXPECT_EQ(probe.last_stats.sinks, 1u);
+  EXPECT_EQ(probe.last_stats.fill_window, runtime::kDefaultFillWindow);
   EXPECT_EQ(probe.last_stats.connections, 1u);  // only the client wire
   EXPECT_EQ(probe.last_stats.watched, 1u);
   // 4 edges: client-in->dispatch, dispatch->pool, pool->dispatch,
@@ -528,6 +529,108 @@ TEST_F(BackendPoolTest, BatchedWritesCoalesceOnPooledWire) {
   EXPECT_GE(stats.msgs_per_writev, 2u) << "no batch ever exceeded one message";
   EXPECT_EQ(stats.flushes_forced, 0u)
       << "small requests must never hit the default high-water mark";
+  platform.Stop();
+}
+
+// The read-side mirror of the batching test: pipelined replies from many
+// client graphs drain the shared wire through vectored fills that each span
+// several responses, so transport reads stay below both the response count
+// and the legacy one-read-per-buffer count.
+TEST_F(BackendPoolTest, PipelinedRepliesCoalesceIntoVectoredFills) {
+  constexpr int kThreads = 4;
+  constexpr size_t kBurst = 32;
+  load::MemcachedBackend backend(&transport_, 11001);
+  ASSERT_TRUE(backend.Start().ok());
+  backend.Preload("key", "value");
+
+  auto& platform = MakePlatform();
+  services::MemcachedProxyService::Options options;
+  options.conns_per_backend = 1;  // force full sharing
+  services::MemcachedProxyService proxy({11001}, options);
+  ASSERT_TRUE(platform.RegisterProgram(11211, &proxy).ok());
+  platform.Start();
+  ScopedPlatformStop stop_guard(platform);
+
+  std::atomic<size_t> matched{0};
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&] {
+      TestClient client(&transport_, 11211);
+      if (!client.ok()) {
+        return;
+      }
+      for (int round = 0; round < 3; ++round) {
+        matched.fetch_add(client.GetBurst("key", "value", kBurst));
+      }
+      client.conn().Close();
+    });
+  }
+  for (auto& t : threads) {
+    t.join();
+  }
+  EXPECT_EQ(matched.load(), static_cast<size_t>(kThreads * 3) * kBurst);
+
+  const services::BackendPoolStats stats = proxy.pool()->stats();
+  EXPECT_GE(stats.responses_routed, matched.load());
+  EXPECT_GT(stats.readv_calls, 0u);
+  EXPECT_LT(stats.readv_calls, stats.responses_routed)
+      << "vectored fills must span multiple pipelined responses";
+  EXPECT_LT(stats.readv_calls, stats.reads_legacy_equivalent)
+      << "the coalesced ingest path must amortise the per-buffer read loop";
+  // At least one fill carried more than one ~35-byte response.
+  EXPECT_GE(stats.bytes_per_readv, 70u);
+
+  // The client-side InputTasks fill the same way, and the registry folds
+  // their counters in at graph retirement exactly like the write side.
+  ASSERT_TRUE(WaitFor([&] { return proxy.live_graphs() == 0; }));
+  const services::RegistryStats rstats = proxy.registry().stats();
+  EXPECT_GT(rstats.readv_calls, 0u);
+  EXPECT_GT(rstats.bytes_per_readv, 0u);
+  platform.Stop();
+}
+
+// Forced short reads (injected socket-buffer boundaries smaller than one
+// response) split replies mid-fill on the shared wire; framing and FIFO
+// correlation must survive every boundary.
+TEST_F(BackendPoolTest, RepliesSplitMidFillStayCorrelated) {
+  StackCostModel capped = StackCostModel::Null();
+  capped.max_bytes_per_op = 20;  // below one serialized response
+  SimTransport capped_transport(&net_, capped);
+
+  load::MemcachedBackend backend(&transport_, 11001);
+  ASSERT_TRUE(backend.Start().ok());
+  backend.Preload("key-a", "value-a");
+  backend.Preload("key-b", "value-b");
+
+  runtime::Platform platform(config_, &capped_transport);
+  services::MemcachedProxyService::Options options;
+  options.conns_per_backend = 1;
+  services::MemcachedProxyService proxy({11001}, options);
+  ASSERT_TRUE(platform.RegisterProgram(11211, &proxy).ok());
+  platform.Start();
+  ScopedPlatformStop stop_guard(platform);
+
+  std::atomic<size_t> matched{0};
+  std::thread a([&] {
+    TestClient client(&transport_, 11211);
+    if (client.ok()) {
+      matched.fetch_add(client.GetBurst("key-a", "value-a", 24));
+      client.conn().Close();
+    }
+  });
+  std::thread b([&] {
+    TestClient client(&transport_, 11211);
+    if (client.ok()) {
+      matched.fetch_add(client.GetBurst("key-b", "value-b", 24));
+      client.conn().Close();
+    }
+  });
+  a.join();
+  b.join();
+  EXPECT_EQ(matched.load(), 48u);
+  const services::BackendPoolStats stats = proxy.pool()->stats();
+  EXPECT_GE(stats.responses_routed, 48u);
+  EXPECT_EQ(stats.responses_dropped, 0u);
   platform.Stop();
 }
 

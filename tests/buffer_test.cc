@@ -3,6 +3,7 @@
 // grown past).
 #include <gtest/gtest.h>
 
+#include <cstring>
 #include <string>
 #include <vector>
 
@@ -213,6 +214,92 @@ TEST_F(BufferChainTest, PeekSlicesExposesSegmentsWithoutFlattening) {
   const size_t n3 = chain.PeekSlices(slices, 2);
   ASSERT_EQ(n3, 2u);
   EXPECT_EQ(slices[0].len + slices[1].len, 54u + 64u);
+}
+
+TEST_F(BufferChainTest, ReserveSlicesExposesWritableWindows) {
+  BufferChain chain(&pool_);
+  MutIoSlice slices[4];
+  ASSERT_EQ(chain.ReserveSlices(slices, 3), 3u);
+  for (int i = 0; i < 3; ++i) {
+    ASSERT_NE(slices[i].data, nullptr);
+    EXPECT_EQ(slices[i].len, 64u);  // fresh pool buffers: full capacity
+  }
+  // Fill the window like a scatter read would: 64 + 36 bytes.
+  std::memset(slices[0].data, 'x', 64);
+  std::memset(slices[1].data, 'y', 36);
+  chain.CommitFill(100);
+  EXPECT_EQ(chain.readable(), 100u);
+  std::string s = chain.ToString();
+  EXPECT_EQ(s.substr(0, 64), std::string(64, 'x'));
+  EXPECT_EQ(s.substr(64), std::string(36, 'y'));
+}
+
+TEST_F(BufferChainTest, CommitFillAppendsExactPrefixAndKeepsTailReserved) {
+  BufferChain chain(&pool_);
+  MutIoSlice slices[4];
+  ASSERT_EQ(chain.ReserveSlices(slices, 4), 4u);
+  EXPECT_EQ(pool_.stats().in_use, 4u);
+  std::memset(slices[0].data, 'a', 10);
+  chain.CommitFill(10);  // short fill: only a prefix of the first buffer
+  EXPECT_EQ(chain.readable(), 10u);
+  EXPECT_EQ(chain.ToString(), std::string(10, 'a'));
+  // Unfilled buffers stay reserved for the next fill; a shrinking window is
+  // what returns them — release-only, never release-then-reacquire.
+  EXPECT_EQ(chain.reserved_buffers(), 3u);
+  const uint64_t acquires = pool_.stats().acquire_count;
+  ASSERT_EQ(chain.ReserveSlices(slices, 1), 1u);  // window halved to 1
+  EXPECT_EQ(pool_.stats().in_use, 2u);            // 1 in the chain + 1 reserved
+  EXPECT_EQ(pool_.stats().acquire_count, acquires);
+}
+
+TEST_F(BufferChainTest, WouldBlockFillConsumesNoPoolBuffers) {
+  BufferChain chain(&pool_);
+  MutIoSlice slices[2];
+  ASSERT_EQ(chain.ReserveSlices(slices, 1), 1u);
+  chain.CommitFill(0);  // would-block: nothing produced
+  const uint64_t acquires_after_first = pool_.stats().acquire_count;
+  // Every further would-block wakeup reuses the cached reservation: the
+  // pool-churn counter must not move — this is the per-wakeup
+  // acquire-then-release-empty round-trip the fill window eliminates.
+  for (int i = 0; i < 100; ++i) {
+    ASSERT_EQ(chain.ReserveSlices(slices, 1), 1u);
+    chain.CommitFill(0);
+  }
+  EXPECT_EQ(pool_.stats().acquire_count, acquires_after_first);
+  EXPECT_EQ(pool_.stats().in_use, 1u);  // the cached spare, nothing else
+  chain.ReleaseReserve();
+  EXPECT_EQ(pool_.stats().in_use, 0u);
+}
+
+TEST_F(BufferChainTest, ReserveShrinksWhenWindowShrinks) {
+  BufferChain chain(&pool_);
+  MutIoSlice slices[8];
+  ASSERT_EQ(chain.ReserveSlices(slices, 4), 4u);
+  // The adaptive window halved: the reservation must shrink with it instead
+  // of pinning buffers the fill will never use.
+  ASSERT_EQ(chain.ReserveSlices(slices, 2), 2u);
+  EXPECT_EQ(pool_.stats().in_use, 2u);
+}
+
+TEST_F(BufferChainTest, ReserveSlicesReportsPoolPressure) {
+  BufferPool tiny(2, 64);
+  BufferChain chain(&tiny);
+  MutIoSlice slices[4];
+  EXPECT_EQ(chain.ReserveSlices(slices, 4), 2u);  // all the pool has
+  // A shrinking window hands the excess back to the pool...
+  EXPECT_EQ(chain.ReserveSlices(slices, 1), 1u);
+  BufferChain other(&tiny);
+  MutIoSlice more[4];
+  // ...where another connection's fill can pick it up.
+  EXPECT_EQ(other.ReserveSlices(more, 4), 1u);
+}
+
+TEST_F(BufferChainTest, ClearReturnsReservedBuffers) {
+  BufferChain chain(&pool_);
+  MutIoSlice slices[4];
+  ASSERT_EQ(chain.ReserveSlices(slices, 3), 3u);
+  chain.Clear();
+  EXPECT_EQ(pool_.stats().in_use, 0u);
 }
 
 TEST_F(BufferChainTest, InterleavedAppendConsumeStress) {

@@ -223,6 +223,93 @@ TEST_F(SimTransportTest, WritevToClosedPeerFails) {
   EXPECT_FALSE((*client)->Writev(slices, 1).ok());
 }
 
+TEST_F(SimTransportTest, ReadvScatterFillsSlicesInOrder) {
+  auto listener = transport_.Listen(7040);
+  auto client = transport_.Connect(7040);
+  auto server = (*listener)->Accept();
+  ASSERT_NE(server, nullptr);
+  ASSERT_TRUE((*client)->Write("alphabetagamma!", 15).ok());
+
+  char a[5], b[4], c[32];
+  MutIoSlice slices[] = {{a, 5}, {nullptr, 0}, {b, 4}, {c, sizeof(c)}};
+  auto got = server->Readv(slices, 4);
+  ASSERT_TRUE(got.ok());
+  EXPECT_EQ(*got, 15u);  // empty slice contributes nothing
+  EXPECT_EQ(std::string(a, 5), "alpha");
+  EXPECT_EQ(std::string(b, 4), "beta");
+  EXPECT_EQ(std::string(c, 6), "gamma!");
+}
+
+TEST_F(SimTransportTest, ReadvShortReadEndsMidIovec) {
+  auto listener = transport_.Listen(7041);
+  auto client = transport_.Connect(7041);
+  auto server = (*listener)->Accept();
+  ASSERT_NE(server, nullptr);
+  // Only 10 bytes buffered: the fill stops mid-second-slice and reports
+  // exactly what it moved — the caller's proof the wire is drained.
+  ASSERT_TRUE((*client)->Write("12345678ab", 10).ok());
+
+  char a[8], b[8];
+  MutIoSlice slices[] = {{a, 8}, {b, 8}};
+  auto got = server->Readv(slices, 2);
+  ASSERT_TRUE(got.ok());
+  EXPECT_EQ(*got, 10u);
+  EXPECT_EQ(std::string(a, 8), "12345678");
+  EXPECT_EQ(std::string(b, 2), "ab");
+
+  got = server->Readv(slices, 2);
+  ASSERT_TRUE(got.ok());
+  EXPECT_EQ(*got, 0u);  // would block
+}
+
+TEST_F(SimTransportTest, ReadvInjectedCapLandsMidIovec) {
+  // Cap every read call at 10 bytes on the ACCEPTING side (accepted
+  // connections inherit the listener's cost model); the writer stays
+  // uncapped. The first Readv must stop mid-second-slice even though 16
+  // bytes are buffered; the retry completes the stream.
+  StackCostModel capped = StackCostModel::Null();
+  capped.max_bytes_per_op = 10;
+  SimTransport capped_t(&net_, capped);
+  auto listener = capped_t.Listen(7042);
+  auto client = transport_.Connect(7042);
+  auto server = (*listener)->Accept();
+  ASSERT_NE(server, nullptr);
+  ASSERT_TRUE((*client)->Write("0123456789abcdef", 16).ok());
+
+  char a[8], b[8];
+  MutIoSlice slices[] = {{a, 8}, {b, 8}};
+  auto got = server->Readv(slices, 2);
+  ASSERT_TRUE(got.ok());
+  EXPECT_EQ(*got, 10u);  // 8 from slice 0 + 2 from slice 1
+  EXPECT_EQ(std::string(a, 8), "01234567");
+  EXPECT_EQ(std::string(b, 2), "89");
+
+  got = server->Readv(slices, 2);
+  ASSERT_TRUE(got.ok());
+  EXPECT_EQ(*got, 6u);
+  EXPECT_EQ(std::string(a, 6), "abcdef");
+}
+
+TEST_F(SimTransportTest, ReadvEofMidFillDeliversTailThenSignals) {
+  auto listener = transport_.Listen(7043);
+  auto client = transport_.Connect(7043);
+  auto server = (*listener)->Accept();
+  ASSERT_NE(server, nullptr);
+  ASSERT_TRUE((*client)->Write("bye", 3).ok());
+  (*client)->Close();
+
+  char a[8], b[8];
+  MutIoSlice slices[] = {{a, 8}, {b, 8}};
+  auto got = server->Readv(slices, 2);
+  ASSERT_TRUE(got.ok());
+  EXPECT_EQ(*got, 3u);  // buffered tail still delivered after peer close
+  EXPECT_EQ(std::string(a, 3), "bye");
+
+  got = server->Readv(slices, 2);
+  EXPECT_FALSE(got.ok());
+  EXPECT_EQ(got.status().code(), StatusCode::kUnavailable);
+}
+
 TEST_F(SimTransportTest, CostModelsHaveExpectedOrdering) {
   const auto kernel = StackCostModel::Kernel();
   const auto mtcp = StackCostModel::Mtcp();
@@ -345,6 +432,43 @@ TEST(KernelTransportTest, WritevGatherLoopback) {
     }
   }
   EXPECT_EQ(std::string(buf, got), "scatter-gather-write");
+}
+
+TEST(KernelTransportTest, ReadvScatterLoopback) {
+  KernelTransport transport;
+  auto listener = transport.Listen(0);
+  ASSERT_TRUE(listener.ok());
+  auto client = transport.Connect((*listener)->port());
+  ASSERT_TRUE(client.ok());
+  std::unique_ptr<Connection> server;
+  for (int i = 0; i < 1000 && server == nullptr; ++i) {
+    server = (*listener)->Accept();
+    if (server == nullptr) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
+  }
+  ASSERT_NE(server, nullptr);
+
+  ASSERT_TRUE((*client)->Write("scatter-gather-read!", 20).ok());
+
+  // One recvmsg spreads the stream across three segments in order.
+  char a[8], b[7], c[8];
+  std::string assembled;
+  for (int i = 0; i < 1000 && assembled.size() < 20; ++i) {
+    MutIoSlice slices[] = {{a, sizeof(a)}, {b, sizeof(b)}, {c, sizeof(c)}};
+    auto got = server->Readv(slices, 3);
+    ASSERT_TRUE(got.ok());
+    size_t rem = *got;
+    for (const MutIoSlice& s : slices) {
+      const size_t n = rem < s.len ? rem : s.len;
+      assembled.append(static_cast<const char*>(s.data), n);
+      rem -= n;
+    }
+    if (assembled.size() < 20) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
+  }
+  EXPECT_EQ(assembled, "scatter-gather-read!");
 }
 
 TEST(KernelTransportTest, ConnectRefused) {

@@ -621,6 +621,198 @@ TEST(StateStoreTest, ConcurrentAccessIsSafe) {
   EXPECT_LE(store.Size("shared"), 50u);
 }
 
+// ------------------------------------------------------------ vectored fill ----
+
+TEST(AdaptiveFillWindowTest, DoublesOnFullHalvesOnShort) {
+  AdaptiveFillWindow w;
+  EXPECT_EQ(w.next(), 1u);
+  w.OnFullFill();
+  EXPECT_EQ(w.next(), 2u);
+  w.OnFullFill();
+  w.OnFullFill();
+  EXPECT_EQ(w.next(), 8u);
+  w.OnFullFill();
+  EXPECT_EQ(w.next(), 8u) << "capped at kDefaultFillWindow";
+  w.OnShortFill();
+  EXPECT_EQ(w.next(), 4u);
+  w.OnShortFill();
+  w.OnShortFill();
+  w.OnShortFill();
+  EXPECT_EQ(w.next(), 1u) << "floor is one buffer";
+
+  w.ClampTo(3);  // pool pressure while at 1: no-op upward
+  EXPECT_EQ(w.next(), 1u);
+  w.OnFullFill();
+  w.OnFullFill();
+  w.ClampTo(3);  // pool could only reserve 3 of 4
+  EXPECT_EQ(w.next(), 3u);
+
+  AdaptiveFillWindow capped(2);
+  capped.OnFullFill();
+  capped.OnFullFill();
+  EXPECT_EQ(capped.next(), 2u) << "configured cap respected";
+  AdaptiveFillWindow legacy(1);
+  legacy.OnFullFill();
+  EXPECT_EQ(legacy.next(), 1u) << "window 1 = legacy one-buffer reads";
+}
+
+class WireFillTest : public ::testing::Test {
+ protected:
+  // Streams `data` into the sink ring; Null-cost stack on both ends unless a
+  // capped listener injected otherwise.
+  static void Pump(Connection& conn, std::string_view data) {
+    size_t off = 0;
+    while (off < data.size()) {
+      auto wrote = conn.Write(data.data() + off, data.size() - off);
+      ASSERT_TRUE(wrote.ok());
+      off += *wrote;
+    }
+  }
+
+  SimNetwork net_;
+  SimTransport transport_{&net_, StackCostModel::Null()};
+};
+
+TEST_F(WireFillTest, FillGrowsWindowUnderBacklogAndProvesDrain) {
+  auto listener = transport_.Listen(7100);
+  auto client = transport_.Connect(7100);
+  auto server = (*listener)->Accept();
+  ASSERT_NE(server, nullptr);
+
+  BufferPool pool(16, 1024);
+  BufferChain rx(&pool);
+  AdaptiveFillWindow window;
+  ReadBatchCounters counters;
+
+  // 8 KiB backlog against 1 KiB buffers: fills of 1+2+4 KiB are full (the
+  // window is the limit), growing it 1 -> 2 -> 4 -> 8; the 1 KiB remainder is
+  // a short fill that proves the drain and halves the window.
+  Pump(**client, std::string(8192, 'x'));
+  size_t bytes = 0;
+  EXPECT_EQ(FillChainVectored(rx, *server, window, counters, &bytes),
+            FillOutcome::kMore);
+  EXPECT_EQ(bytes, 1024u);
+  EXPECT_EQ(window.next(), 2u);
+  rx.Consume(rx.readable());
+  EXPECT_EQ(FillChainVectored(rx, *server, window, counters, &bytes),
+            FillOutcome::kMore);
+  EXPECT_EQ(bytes, 2048u);
+  EXPECT_EQ(window.next(), 4u);
+  rx.Consume(rx.readable());
+  EXPECT_EQ(FillChainVectored(rx, *server, window, counters, &bytes),
+            FillOutcome::kMore);
+  EXPECT_EQ(bytes, 4096u);
+  EXPECT_EQ(window.next(), 8u);
+  rx.Consume(rx.readable());
+  EXPECT_EQ(FillChainVectored(rx, *server, window, counters, &bytes),
+            FillOutcome::kDrained);
+  EXPECT_EQ(bytes, 1024u);  // the tail: short fill, no probe needed
+  EXPECT_EQ(window.next(), 4u);
+  rx.Consume(rx.readable());
+
+  EXPECT_EQ(counters.readv_calls.load(), 4u);
+  EXPECT_EQ(counters.bytes_per_readv.load(), 4096u);
+  EXPECT_EQ(counters.fills_short.load(), 1u);
+  // Legacy: one read per 1 KiB buffer (8) + the avoided trailing probe (1).
+  EXPECT_EQ(counters.reads_legacy_equivalent.load(), 9u);
+  EXPECT_LT(counters.readv_calls.load(), counters.reads_legacy_equivalent.load());
+
+  // Empty wire: a would-block fill is not a counted readv but shrinks the
+  // window and consumes NO pool buffer (the reserve is cached).
+  const uint64_t acquires = pool.stats().acquire_count;
+  EXPECT_EQ(FillChainVectored(rx, *server, window, counters, &bytes),
+            FillOutcome::kDrained);
+  EXPECT_EQ(bytes, 0u);
+  EXPECT_EQ(window.next(), 2u);
+  EXPECT_EQ(counters.readv_calls.load(), 4u);
+  EXPECT_EQ(pool.stats().acquire_count, acquires);
+}
+
+TEST_F(WireFillTest, ShortReadInjectionKeepsWindowAdapting) {
+  // max_bytes_per_op = one buffer: every fill at window 1 comes back exactly
+  // full (grow), every fill at window 2 comes back short (halve) — the
+  // window must oscillate between 1 and 2 and never run away, and every
+  // injected short read must be counted.
+  StackCostModel capped = StackCostModel::Null();
+  capped.max_bytes_per_op = 1024;
+  SimTransport capped_t(&net_, capped);
+  auto listener = capped_t.Listen(7101);
+  auto client = transport_.Connect(7101);
+  auto server = (*listener)->Accept();
+  ASSERT_NE(server, nullptr);
+
+  BufferPool pool(16, 1024);
+  BufferChain rx(&pool);
+  AdaptiveFillWindow window;
+  ReadBatchCounters counters;
+
+  Pump(**client, std::string(8192, 'y'));
+  size_t max_window = 0;
+  size_t total = 0;
+  while (total < 8192) {
+    size_t bytes = 0;
+    const FillOutcome outcome =
+        FillChainVectored(rx, *server, window, counters, &bytes);
+    ASSERT_NE(outcome, FillOutcome::kError);
+    ASSERT_NE(outcome, FillOutcome::kNoBuffers);
+    total += bytes;
+    max_window = window.next() > max_window ? window.next() : max_window;
+    rx.Consume(rx.readable());
+  }
+  EXPECT_EQ(total, 8192u);
+  EXPECT_LE(max_window, 2u) << "injected short reads must hold the window down";
+  EXPECT_GT(counters.fills_short.load(), 0u);
+  EXPECT_EQ(counters.readv_calls.load(), 8u);  // 8192 / 1024 per injected cap
+}
+
+TEST_F(WireFillTest, InputTaskVectoredFillAmortisesReads) {
+  auto listener = transport_.Listen(7102);
+  auto client = transport_.Connect(7102);
+  auto server = (*listener)->Accept();
+  ASSERT_NE(server, nullptr);
+
+  BufferPool buffers(32, 1024);
+  MsgPool msgs(64);
+  Channel out(256);
+  InputTask task("in", std::move(server), std::make_unique<RawDeserializer>(),
+                 &out, &msgs, &buffers);
+  TaskContext ctx(SchedulingPolicy::kNonCooperative, 1'000'000'000, 0);
+
+  Pump(**client, std::string(8192, 'z'));
+  ctx.BeginSlice();
+  EXPECT_EQ(task.Run(ctx), TaskRunResult::kIdle);
+
+  // All bytes arrived downstream...
+  size_t received = 0;
+  while (MsgRef msg = out.TryPop()) {
+    received += msg->bytes.size();
+  }
+  EXPECT_EQ(received, 8192u);
+  // ...through amortised fills: 4 vectored reads (1+2+4+1 KiB as the window
+  // grew) where the per-buffer loop needed 8 reads + a trailing probe.
+  EXPECT_EQ(task.readv_calls(), 4u);
+  EXPECT_EQ(task.reads_legacy_equivalent(), 9u);
+  EXPECT_EQ(task.fills_short(), 1u);
+  EXPECT_GE(task.bytes_per_readv(), 4096u);
+  EXPECT_EQ(task.messages_in(), 4u);  // one raw chunk per fill
+
+  // Idle wakeup on a silent wire: one would-block fill, zero pool churn.
+  const uint64_t acquires = buffers.stats().acquire_count;
+  ctx.BeginSlice();
+  EXPECT_EQ(task.Run(ctx), TaskRunResult::kIdle);
+  EXPECT_EQ(task.readv_calls(), 4u);
+  EXPECT_EQ(buffers.stats().acquire_count, acquires);
+
+  // EOF still propagates through the vectored path.
+  (*client)->Close();
+  ctx.BeginSlice();
+  EXPECT_EQ(task.Run(ctx), TaskRunResult::kIdle);
+  EXPECT_TRUE(task.closed());
+  MsgRef eof = out.TryPop();
+  ASSERT_TRUE(eof);
+  EXPECT_EQ(eof->kind, Msg::Kind::kEof);
+}
+
 // ------------------------------------------------- Platform e2e (echo svc) ----
 
 // Minimal service: per-connection graph In(raw) -> Out(raw) echoing bytes.
