@@ -28,7 +28,7 @@ inline constexpr uint64_t kLoadWindowNs = 1'000'000'000;
 // the request/response sizes of every figure workload.
 inline constexpr size_t kSimRingBytes = 16 * 1024;
 
-inline runtime::PlatformConfig MakePlatformConfig(int workers) {
+inline runtime::PlatformConfig MakePlatformConfig(int workers, size_t io_shards = 1) {
   runtime::PlatformConfig config;
   config.scheduler.num_workers = workers;
   config.scheduler.idle_sleep_ns = 20'000;
@@ -36,6 +36,7 @@ inline runtime::PlatformConfig MakePlatformConfig(int workers) {
   config.io_buffer_count = 16384;
   config.io_buffer_size = 4096;
   config.msg_pool_size = 8192;
+  config.io_shards = io_shards;
   return config;
 }
 
@@ -58,6 +59,9 @@ inline void ReportPoolCounters(benchmark::State& state,
   state.counters["pool_fills_short"] = avg(pstats.fills_short);
   state.counters["pool_reads_legacy_equivalent"] = avg(pstats.reads_legacy_equivalent);
   state.counters["pool_responses"] = avg(pstats.responses_routed);
+  state.counters["pool_stripes"] =
+      benchmark::Counter(static_cast<double>(pstats.stripes));
+  state.counters["pool_stripe_spills"] = avg(pstats.stripe_spills);
 }
 
 inline void ReportLoad(benchmark::State& state, const load::LoadResult& result) {

@@ -169,6 +169,36 @@ void BM_Fig4Smoke_FlickPerClient(benchmark::State& s) {
   Fig4Smoke(s, services::BackendMode::kPerClient);
 }
 
+// IO-plane shard scaling for the HTTP series: the pooled fig4 smoke point at
+// io_shards = arg (accept groups + striped pool; see BM_Fig5Shards).
+void BM_Fig4Shards(benchmark::State& state) {
+  const size_t shards = static_cast<size_t>(state.range(0));
+  for (auto _ : state) {
+    SimNetwork net(kSimRingBytes);
+    SimTransport mb_transport(&net, StackCostModel::Kernel());
+    SimTransport edge_transport(&net, StackCostModel::Kernel());
+
+    BackendFarm farm(&edge_transport, std::string(137, 'x'));
+    runtime::Platform platform(MakePlatformConfig(2, shards), &mb_transport);
+    services::HttpLbService::Options options;
+    options.mode = services::BackendMode::kPooled;
+    services::HttpLbService lb(farm.ports, options);
+    FLICK_CHECK(platform.RegisterProgram(80, &lb).ok());
+    platform.Start();
+
+    load::HttpLoadConfig cfg;
+    cfg.port = 80;
+    cfg.concurrency = 100;
+    cfg.threads = 2;
+    cfg.persistent = true;
+    cfg.duration_ns = 250'000'000;
+    const load::LoadResult result = load::RunHttpLoad(&edge_transport, cfg);
+    ReportLoad(state, result);
+    ReportPoolCounters(state, lb.pool()->stats());
+    platform.Stop();
+  }
+}
+
 void Args(benchmark::internal::Benchmark* b) {
   b->Arg(100)->Arg(200)->Arg(400)->Arg(800)->Arg(1600)->Iterations(1)
       ->Unit(benchmark::kMillisecond);
@@ -189,6 +219,7 @@ BENCHMARK(BM_Fig4_ApacheLike_NonPersistent)->Apply(Args);
 BENCHMARK(BM_Fig4_NginxLike_NonPersistent)->Apply(Args);
 BENCHMARK(BM_Fig4Smoke_FlickPooled)->Apply(SmokeArgs);
 BENCHMARK(BM_Fig4Smoke_FlickPerClient)->Apply(SmokeArgs);
+BENCHMARK(BM_Fig4Shards)->Arg(1)->Arg(4)->Iterations(1)->Unit(benchmark::kMillisecond);
 
 }  // namespace
 }  // namespace flick::bench

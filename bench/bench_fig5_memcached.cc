@@ -186,12 +186,52 @@ void BM_Fig5Conns_PerClient(benchmark::State& s) {
   Fig5Conns(s, services::BackendMode::kPerClient);
 }
 
+// IO-plane shard scaling: the fig5 pooled point at io_shards = arg. With one
+// shard every accept, watch sweep and pool lease funnels through ONE poller
+// thread + ONE pool mutex; with N shards each connection's graph and its
+// pool stripe live on the accepting shard. `pool_stripe_spills` must stay 0
+// in steady state (every lease served by its home stripe) — the smoke
+// asserts that and that shards > 1 never lose to shards = 1 beyond noise.
+void Fig5Shards(benchmark::State& state) {
+  const size_t shards = static_cast<size_t>(state.range(0));
+  for (auto _ : state) {
+    SimNetwork net(kSimRingBytes);
+    SimTransport mb_transport(&net, StackCostModel::Kernel());
+    SimTransport edge_transport(&net, StackCostModel::Kernel());
+
+    MemcachedFarm farm(&edge_transport);
+    runtime::Platform platform(MakePlatformConfig(2, shards), &mb_transport);
+    services::MemcachedProxyService::Options options;
+    options.mode = services::BackendMode::kPooled;
+    options.conns_per_backend = 2;  // per stripe
+    services::MemcachedProxyService proxy(farm.ports, options);
+    FLICK_CHECK(platform.RegisterProgram(11211, &proxy).ok());
+    platform.Start();
+
+    load::MemcachedLoadConfig cfg = LoadCfg();
+    cfg.clients = 32;
+    cfg.duration_ns = 250'000'000;
+    const load::LoadResult result = load::RunMemcachedLoad(&edge_transport, cfg);
+    ReportLoad(state, result);
+    state.counters["backend_conns"] = benchmark::Counter(
+        static_cast<double>(farm.TotalAccepted()), benchmark::Counter::kAvgIterations);
+    ReportPoolCounters(state, proxy.pool()->stats());
+    platform.Stop();
+  }
+}
+
+void BM_Fig5Shards(benchmark::State& s) { Fig5Shards(s); }
+
 void Args(benchmark::internal::Benchmark* b) {
   b->Arg(1)->Arg(2)->Arg(4)->Arg(8)->Arg(16)->Iterations(1)->Unit(benchmark::kMillisecond);
 }
 
 void ConnsArgs(benchmark::internal::Benchmark* b) {
   b->Arg(8)->Arg(32)->Arg(64)->Iterations(1)->Unit(benchmark::kMillisecond);
+}
+
+void ShardArgs(benchmark::internal::Benchmark* b) {
+  b->Arg(1)->Arg(2)->Arg(4)->Iterations(1)->Unit(benchmark::kMillisecond);
 }
 
 BENCHMARK(BM_Fig5_Flick)->Apply(Args);
@@ -201,6 +241,7 @@ BENCHMARK(BM_Fig5_FlickPooledBatched)->Apply(Args);
 BENCHMARK(BM_Fig5_MoxiLike)->Apply(Args);
 BENCHMARK(BM_Fig5Conns_Pooled)->Apply(ConnsArgs);
 BENCHMARK(BM_Fig5Conns_PerClient)->Apply(ConnsArgs);
+BENCHMARK(BM_Fig5Shards)->Apply(ShardArgs);
 
 }  // namespace
 }  // namespace flick::bench

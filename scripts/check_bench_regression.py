@@ -5,8 +5,9 @@ Compares the smoke run's merged JSON (google-benchmark format) against the
 checked-in BENCH_BASELINE.json and fails when a gated series point regresses
 by more than the threshold on its throughput counter. Gated series: the fig5
 pooled connection-scaling points (the pooled+batched wire path whose
-trajectory this repo optimises for) and the fig4 HTTP smoke points (the
-HTTP load-balancer series, pooled and per-client).
+trajectory this repo optimises for), the fig4 HTTP smoke points (the HTTP
+load-balancer series, pooled and per-client), and the fig5/fig4 IO-shard
+scaling points (the sharded-plane series at io_shards 1/2/4).
 
 Rules:
   * a gated point slower than baseline * (1 - threshold)  -> FAIL
@@ -19,9 +20,9 @@ Regenerate the baseline via the workflow_dispatch input `regen_baseline`
 (uploads a fresh BENCH_BASELINE.json artifact to commit), or locally with:
   ./build/bench_micro --benchmark_min_time=0.1 \
       --benchmark_out=bench_micro_smoke.json --benchmark_out_format=json
-  ./build/bench_fig5_memcached --benchmark_filter='Fig5Conns' \
+  ./build/bench_fig5_memcached --benchmark_filter='Fig5Conns|Fig5Shards' \
       --benchmark_out=bench_fig5_conns_smoke.json --benchmark_out_format=json
-  ./build/bench_fig4_http_lb --benchmark_filter='Fig4Smoke' \
+  ./build/bench_fig4_http_lb --benchmark_filter='Fig4Smoke|Fig4Shards' \
       --benchmark_out=bench_fig4_smoke.json --benchmark_out_format=json
   python3 scripts/merge_bench_smoke.py bench_micro_smoke.json \
       bench_fig5_conns_smoke.json bench_fig4_smoke.json  # -> bench_smoke.json
@@ -31,7 +32,8 @@ import argparse
 import json
 import sys
 
-GATED_PREFIXES = ("BM_Fig5Conns_Pooled", "BM_Fig4Smoke")
+GATED_PREFIXES = ("BM_Fig5Conns_Pooled", "BM_Fig4Smoke", "BM_Fig5Shards",
+                  "BM_Fig4Shards")
 METRIC = "reqs_per_s"
 
 

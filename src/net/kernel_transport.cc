@@ -183,6 +183,9 @@ Result<std::unique_ptr<Listener>> KernelTransport::Listen(uint16_t port) {
   }
   int one = 1;
   setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  // Every member of a sharded accept group must set SO_REUSEPORT before
+  // bind — including the first socket — so it is set unconditionally.
+  setsockopt(fd, SOL_SOCKET, SO_REUSEPORT, &one, sizeof(one));
   sockaddr_in addr{};
   addr.sin_family = AF_INET;
   addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);

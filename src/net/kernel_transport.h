@@ -50,6 +50,15 @@ class KernelTransport : public Transport {
   KernelTransport() = default;
 
   Result<std::unique_ptr<Listener>> Listen(uint16_t port) override;
+  // Every kernel listening socket is opened with SO_REUSEPORT (the kernel
+  // requires it on EVERY group member, including the first, before bind),
+  // so a sharded accept group is just another Listen on the same port: the
+  // kernel hashes new connections across the group's sockets. Trade-off:
+  // the kernel no longer rejects a duplicate same-user bind of an occupied
+  // port — Platform::RegisterProgram guards same-process duplicates itself.
+  Result<std::unique_ptr<Listener>> ListenShared(uint16_t port) override {
+    return Listen(port);
+  }
   Result<std::unique_ptr<Connection>> Connect(uint16_t port) override;
   const char* name() const override { return "kernel"; }
 };

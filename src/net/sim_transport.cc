@@ -1,5 +1,7 @@
 #include "net/sim_transport.h"
 
+#include <algorithm>
+
 #include "base/spin_work.h"
 
 namespace flick {
@@ -173,12 +175,20 @@ void SimListener::Close() {
 Result<std::unique_ptr<Listener>> SimNetwork::Listen(uint16_t port,
                                                      const StackCostModel& cost) {
   std::lock_guard<std::mutex> lock(mutex_);
-  auto [it, inserted] = listeners_.try_emplace(port, nullptr);
+  auto [it, inserted] = listeners_.try_emplace(port);
   if (!inserted) {
     return Status(StatusCode::kAlreadyExists, "port in use");
   }
   auto listener = std::make_unique<SimListener>(this, port, cost);
-  it->second = listener.get();
+  it->second.members.push_back(listener.get());
+  return Result<std::unique_ptr<Listener>>(std::move(listener));
+}
+
+Result<std::unique_ptr<Listener>> SimNetwork::ListenShared(uint16_t port,
+                                                           const StackCostModel& cost) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto listener = std::make_unique<SimListener>(this, port, cost);
+  listeners_[port].members.push_back(listener.get());
   return Result<std::unique_ptr<Listener>>(std::move(listener));
 }
 
@@ -195,25 +205,43 @@ Result<std::unique_ptr<Connection>> SimNetwork::Connect(uint16_t port,
   // destroyed between lookup and enqueue (lock order: fabric -> queue).
   std::lock_guard<std::mutex> lock(mutex_);
   auto it = listeners_.find(port);
-  if (it == listeners_.end()) {
+  if (it == listeners_.end() || it->second.members.empty()) {
     failed_connects_.fetch_add(1, std::memory_order_relaxed);
     return Status(StatusCode::kUnavailable, "connection refused");
   }
-  SimListener* listener = it->second;
-  auto server = std::make_unique<SimConnection>(std::move(state), /*is_a=*/false,
-                                                listener->cost_, base_id + 1);
-  if (!listener->pending_.TryPush(std::move(server))) {
-    failed_connects_.fetch_add(1, std::memory_order_relaxed);
-    return Status(StatusCode::kUnavailable, "listener closed");
+  // Round-robin placement over the port's accept group (one member per
+  // poller shard under a sharded IO plane); a closing member is skipped.
+  PortGroup& group = it->second;
+  for (size_t tries = 0; tries < group.members.size(); ++tries) {
+    SimListener* listener = group.members[group.next_rr % group.members.size()];
+    group.next_rr = (group.next_rr + 1) % group.members.size();
+    if (listener->closed_.load(std::memory_order_acquire)) {
+      continue;  // mid-close: Unregister removes it after the flag flips
+    }
+    auto server = std::make_unique<SimConnection>(state, /*is_a=*/false,
+                                                  listener->cost_, base_id + 1);
+    if (listener->pending_.TryPush(std::move(server))) {
+      total_connects_.fetch_add(1, std::memory_order_relaxed);
+      return Result<std::unique_ptr<Connection>>(std::move(client));
+    }
+    // TryPush consumed and destroyed the candidate; its destructor closed
+    // the SHARED state's server side — reopen before offering the same
+    // state to the next member, or the accepted connection is born dead.
+    state->b_open.store(true, std::memory_order_release);
   }
-  total_connects_.fetch_add(1, std::memory_order_relaxed);
-  return Result<std::unique_ptr<Connection>>(std::move(client));
+  failed_connects_.fetch_add(1, std::memory_order_relaxed);
+  return Status(StatusCode::kUnavailable, "listener closed");
 }
 
 void SimNetwork::Unregister(uint16_t port, SimListener* listener) {
   std::lock_guard<std::mutex> lock(mutex_);
   auto it = listeners_.find(port);
-  if (it != listeners_.end() && it->second == listener) {
+  if (it == listeners_.end()) {
+    return;
+  }
+  auto& members = it->second.members;
+  members.erase(std::remove(members.begin(), members.end(), listener), members.end());
+  if (members.empty()) {
     listeners_.erase(it);
   }
 }

@@ -13,6 +13,7 @@
 #include <map>
 #include <memory>
 #include <mutex>
+#include <vector>
 
 #include "concurrency/mpmc_queue.h"
 #include "concurrency/spsc_byte_ring.h"
@@ -117,6 +118,14 @@ class SimNetwork {
   explicit SimNetwork(size_t ring_capacity = 1 << 18) : ring_capacity_(ring_capacity) {}
 
   Result<std::unique_ptr<Listener>> Listen(uint16_t port, const StackCostModel& cost);
+
+  // Joins (or opens) `port`'s accept group: the sim's SO_REUSEPORT
+  // equivalent. New connections are placed round-robin across the group's
+  // members, so each poller shard draining its own member sees an even share
+  // of accepts. Plain Listen still rejects an occupied port.
+  Result<std::unique_ptr<Listener>> ListenShared(uint16_t port,
+                                                 const StackCostModel& cost);
+
   Result<std::unique_ptr<Connection>> Connect(uint16_t port, const StackCostModel& cost);
 
   // Fabric-wide connection accounting: cumulative successful dials and dials
@@ -133,9 +142,16 @@ class SimNetwork {
   friend class SimListener;
   void Unregister(uint16_t port, SimListener* listener);
 
+  // All listeners sharing one port (size 1 without ListenShared); next_rr
+  // round-robins connection placement across them.
+  struct PortGroup {
+    std::vector<SimListener*> members;
+    size_t next_rr = 0;
+  };
+
   const size_t ring_capacity_;
   std::mutex mutex_;
-  std::map<uint16_t, SimListener*> listeners_;
+  std::map<uint16_t, PortGroup> listeners_;
   std::atomic<uint64_t> next_conn_id_{1};
   std::atomic<uint64_t> total_connects_{0};
   std::atomic<uint64_t> failed_connects_{0};
@@ -149,6 +165,9 @@ class SimTransport : public Transport {
 
   Result<std::unique_ptr<Listener>> Listen(uint16_t port) override {
     return network_->Listen(port, cost_);
+  }
+  Result<std::unique_ptr<Listener>> ListenShared(uint16_t port) override {
+    return network_->ListenShared(port, cost_);
   }
   Result<std::unique_ptr<Connection>> Connect(uint16_t port) override {
     return network_->Connect(port, cost_);

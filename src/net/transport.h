@@ -104,6 +104,20 @@ class Transport {
   virtual ~Transport() = default;
 
   virtual Result<std::unique_ptr<Listener>> Listen(uint16_t port) = 0;
+
+  // Additional accept socket on a port this transport already listens on —
+  // the sharded-IO-plane accept path: each poller shard drains its own
+  // listener, so one accepted connection's whole graph stays on one shard.
+  // Kernel: an SO_REUSEPORT member socket (the kernel hash-distributes new
+  // connections over the group). Sim: joins the port's accept group;
+  // connections are placed round-robin across members. Transports that
+  // cannot share a port keep this default; the platform then registers the
+  // single listener with every shard and lets sweep order distribute.
+  virtual Result<std::unique_ptr<Listener>> ListenShared(uint16_t port) {
+    (void)port;
+    return Status(StatusCode::kUnimplemented, "transport cannot share a port");
+  }
+
   virtual Result<std::unique_ptr<Connection>> Connect(uint16_t port) = 0;
   virtual const char* name() const = 0;
 };

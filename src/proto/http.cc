@@ -1,6 +1,7 @@
 #include "proto/http.h"
 
 #include <algorithm>
+#include <charconv>
 #include <cstdlib>
 
 namespace flick::proto {
@@ -27,6 +28,24 @@ std::string_view Trim(std::string_view s) {
     s.remove_suffix(1);
   }
   return s;
+}
+
+// Strict unsigned decimal: every character a digit, no sign/whitespace, no
+// overflow. atoi/strtoull silently accept garbage ("abc" -> 0-length body)
+// or wrap huge values into a bogus size_t the framing loop then waits on —
+// on a pooled wire that stalls every lease sharing the connection, so
+// malformed numeric fields must be parse ERRORS, not best-effort zeros.
+bool ParseStrictUint(std::string_view s, uint64_t* out) {
+  if (s.empty()) {
+    return false;
+  }
+  uint64_t value = 0;
+  const auto [end, ec] = std::from_chars(s.data(), s.data() + s.size(), value);
+  if (ec != std::errc() || end != s.data() + s.size()) {
+    return false;  // non-digit, trailing junk, or overflow
+  }
+  *out = value;
+  return true;
 }
 
 }  // namespace
@@ -120,8 +139,14 @@ ParseStatus HttpParser::ParseStartLine(HttpMessage* out) {
   } else {
     out->is_request = false;
     out->version.assign(line.substr(0, sp1));
-    const std::string code(line.substr(sp1 + 1, sp2 - sp1 - 1));
-    out->status_code = std::atoi(code.c_str());
+    // RFC 7230: the status code is exactly three digits. Reject anything
+    // else instead of atoi's garbage-to-0 coercion.
+    const std::string_view code = line.substr(sp1 + 1, sp2 - sp1 - 1);
+    uint64_t status = 0;
+    if (code.size() != 3 || !ParseStrictUint(code, &status) || status < 100) {
+      return ParseStatus::kError;
+    }
+    out->status_code = static_cast<int>(status);
     out->reason.assign(line.substr(sp2 + 1));
   }
   out->keep_alive = out->version != "HTTP/1.0";
@@ -142,10 +167,13 @@ ParseStatus HttpParser::ParseHeaderLine(HttpMessage* out) {
     line_complete_ = false;
     const std::string_view cl = out->Header("Content-Length");
     if (!cl.empty()) {
-      out->content_length = static_cast<size_t>(std::strtoull(std::string(cl).c_str(), nullptr, 10));
-      if (out->content_length > max_body_bytes_) {
+      // Compared as uint64 BEFORE the size_t narrowing so an overflowing
+      // value can never wrap into a small bogus body length.
+      uint64_t length = 0;
+      if (!ParseStrictUint(cl, &length) || length > max_body_bytes_) {
         return ParseStatus::kError;
       }
+      out->content_length = static_cast<size_t>(length);
     }
     const std::string_view conn = out->Header("Connection");
     if (EqualsIgnoreCase(conn, "close")) {

@@ -3,7 +3,9 @@
 // Plays the role of the event layer under the platform: the application
 // dispatcher's accept path for listening sockets (§5 (i)) and the epoll-like
 // readiness notification for connection-bound tasks ("input tasks use
-// non-blocking sockets and epoll event handlers"). One thread sweeps:
+// non-blocking sockets and epoll event handlers"). The platform runs
+// `io_shards` instances — each is ONE SHARD of the IO plane owning its own
+// listeners, watches and reapers (see runtime/platform.h). One thread sweeps:
 //   * listeners — accepted connections are handed to the registered callback
 //     (the program's connection-binding logic);
 //   * connections — a ReadReady()/WriteReady-equivalent transition notifies

@@ -19,29 +19,76 @@ void PlatformEnv::ActivateIo(const std::vector<IoBinding>& bindings) {
 
 Platform::Platform(PlatformConfig config, Transport* transport)
     : config_(config), transport_(transport) {
+  if (config_.io_shards == 0) {
+    config_.io_shards = 1;
+  }
   scheduler_ = std::make_unique<Scheduler>(config_.scheduler);
-  poller_ = std::make_unique<IoPoller>(scheduler_.get(), config_.poll_interval_ns);
   buffers_ = std::make_unique<BufferPool>(config_.io_buffer_count, config_.io_buffer_size);
   msgs_ = std::make_unique<MsgPool>(config_.msg_pool_size);
   state_ = std::make_unique<StateStore>(config_.state_entries_per_dict);
-  env_ = PlatformEnv{scheduler_.get(), poller_.get(), buffers_.get(),
-                     msgs_.get(),      state_.get(),  transport_};
+  pollers_.reserve(config_.io_shards);
+  for (size_t s = 0; s < config_.io_shards; ++s) {
+    pollers_.push_back(
+        std::make_unique<IoPoller>(scheduler_.get(), config_.poll_interval_ns));
+    poller_ptrs_.push_back(pollers_.back().get());
+  }
+  envs_.reserve(config_.io_shards);  // stable: env(k) references survive
+  for (size_t s = 0; s < config_.io_shards; ++s) {
+    PlatformEnv env{scheduler_.get(), pollers_[s].get(), buffers_.get(),
+                    msgs_.get(),      state_.get(),      transport_};
+    env.io_shard = s;
+    env.io_pollers = &poller_ptrs_;
+    envs_.push_back(env);
+  }
 }
 
 Platform::~Platform() { Stop(); }
 
+void Platform::AddAccept(size_t shard, Listener* listener, ServiceProgram* program) {
+  pollers_[shard]->AddListener(
+      listener, [this, program, shard](std::unique_ptr<Connection> conn) {
+        // The accepting shard's env: the whole graph lives on this shard.
+        program->OnConnection(std::move(conn), envs_[shard]);
+      });
+}
+
 Status Platform::RegisterProgram(uint16_t port, ServiceProgram* program) {
+  // Reject duplicate registration HERE: with SO_REUSEPORT on every kernel
+  // listening socket (the sharded accept group needs it on the first socket
+  // too), the kernel no longer fails the second bind — it would silently
+  // split the port's clients between two programs.
+  for (uint16_t registered : registered_ports_) {
+    if (registered == port) {
+      return Status(StatusCode::kAlreadyExists,
+                    "port " + std::to_string(port) + " already registered");
+    }
+  }
   auto listener = transport_->Listen(port);
   if (!listener.ok()) {
     return listener.status();
   }
-  Listener* raw = listener->get();
+  Listener* first = listener->get();
+  const uint16_t bound_port = first->port();  // resolved if `port` was ephemeral
+  registered_ports_.push_back(bound_port);
   listeners_.push_back(std::move(listener).value());
-  poller_->AddListener(raw, [this, program](std::unique_ptr<Connection> conn) {
-    program->OnConnection(std::move(conn), env_);
-  });
+  AddAccept(0, first, program);
+  size_t sharded_listeners = 1;
+  for (size_t s = 1; s < pollers_.size(); ++s) {
+    auto shared = transport_->ListenShared(bound_port);
+    if (shared.ok()) {
+      Listener* raw = shared->get();
+      listeners_.push_back(std::move(shared).value());
+      AddAccept(s, raw, program);
+      ++sharded_listeners;
+    } else {
+      // Transport cannot shard the port: every shard drains the one accept
+      // queue instead; sweep order distributes the connections.
+      AddAccept(s, first, program);
+    }
+  }
   FLICK_LOG(Info) << "program '" << program->name() << "' listening on port "
-                  << raw->port();
+                  << bound_port << " across " << pollers_.size() << " io shard(s) ("
+                  << sharded_listeners << " listener(s))";
   return OkStatus();
 }
 
@@ -51,7 +98,9 @@ void Platform::Start() {
   }
   started_ = true;
   scheduler_->Start();
-  poller_->Start();
+  for (auto& poller : pollers_) {
+    poller->Start();
+  }
 }
 
 void Platform::Stop() {
@@ -61,7 +110,9 @@ void Platform::Stop() {
   started_ = false;
   // Stop accepting/notifying first, then stop workers: no task can be
   // notified once both are down.
-  poller_->Stop();
+  for (auto& poller : pollers_) {
+    poller->Stop();
+  }
   scheduler_->Stop();
   for (auto& l : listeners_) {
     l->Close();

@@ -1,9 +1,17 @@
 // The FLICK platform facade (Figure 2).
 //
-// Owns the scheduler, IO poller, buffer/message pools and global state store;
-// hosts program instances. The application dispatcher maps a listening port
-// to a program (§5 (i)); each program's OnConnection implements the graph
+// Owns the scheduler, the IO plane, buffer/message pools and global state
+// store; hosts program instances. The application dispatcher maps a listening
+// port to a program (§5 (i)); each program's OnConnection implements the graph
 // dispatcher role (§5 (ii)) — typically via a GraphPool.
+//
+// The IO plane is SHARDED (§5's many-small-task-graphs-across-cores scaling):
+// `io_shards` IoPoller threads, each owning a slice of the listeners and all
+// the connection watches of the graphs launched from it. A connection accepted
+// on shard k is wired, watched and retired entirely on shard k's poller —
+// the share-nothing per-core event-loop shape (Seastar, mTCP) — so accept
+// rate and readiness sweeping scale with shards instead of funnelling through
+// one dispatcher thread. Worker threads (the scheduler) stay shared.
 //
 // Multiple programs share one platform: that is the multi-tenancy the
 // cooperative scheduler exists for (§6.4).
@@ -31,6 +39,13 @@ struct PlatformConfig {
   size_t msg_pool_size = 4096;
   uint64_t poll_interval_ns = 5'000;
   size_t state_entries_per_dict = 65536;
+
+  // IO poller shards. Each shard accepts on its own listener (SO_REUSEPORT
+  // on the kernel transport, round-robin accept groups in the sim) and owns
+  // the watches of the graphs launched from it; a BackendPool started
+  // through a sharded env stripes its wires one-per-shard. 1 = the single-
+  // dispatcher shape.
+  size_t io_shards = 1;
 };
 
 // One watched connection of a freshly built graph: readiness events on
@@ -40,7 +55,10 @@ struct IoBinding {
   Task* task = nullptr;
 };
 
-// Everything a program needs to build and run task graphs.
+// Everything a program needs to build and run task graphs. Under a sharded
+// IO plane the platform hands each accepted connection the env of the shard
+// that accepted it: `poller` is that shard's poller, so every watch, reaper
+// and pool stripe derived from this env stays on the accepting shard.
 struct PlatformEnv {
   Scheduler* scheduler = nullptr;
   IoPoller* poller = nullptr;
@@ -48,6 +66,20 @@ struct PlatformEnv {
   MsgPool* msgs = nullptr;
   StateStore* state = nullptr;
   Transport* transport = nullptr;
+
+  // Which shard this env views the platform from, and the whole IO plane
+  // (null for hand-built single-poller envs, e.g. in tests).
+  size_t io_shard = 0;
+  const std::vector<IoPoller*>* io_pollers = nullptr;
+
+  size_t io_shard_count() const {
+    return io_pollers != nullptr && !io_pollers->empty() ? io_pollers->size() : 1;
+  }
+  IoPoller* shard_poller(size_t shard) const {
+    return io_pollers != nullptr && !io_pollers->empty()
+               ? (*io_pollers)[shard % io_pollers->size()]
+               : poller;
+  }
 
   // Activates a graph's IO in one correctly ordered step: every watch is
   // registered before any task is notified, so a readiness event delivered
@@ -57,8 +89,8 @@ struct PlatformEnv {
   void ActivateIo(const std::vector<IoBinding>& bindings);
 };
 
-// A network service: receives each accepted client connection (on the poller
-// thread) and wires it into a task graph.
+// A network service: receives each accepted client connection (on the
+// accepting shard's poller thread) and wires it into a task graph.
 class ServiceProgram {
  public:
   virtual ~ServiceProgram() = default;
@@ -75,30 +107,40 @@ class Platform {
   Platform(const Platform&) = delete;
   Platform& operator=(const Platform&) = delete;
 
-  // Application dispatcher: binds `program` to `port`. The platform keeps a
-  // non-owning pointer; programs must outlive Stop().
+  // Application dispatcher: binds `program` to `port` on EVERY shard. The
+  // platform keeps a non-owning pointer; programs must outlive Stop().
+  // A port already registered on this platform is rejected here — the
+  // sharded accept path sets SO_REUSEPORT on every kernel listening socket,
+  // so the kernel would otherwise happily hash clients across two programs.
   Status RegisterProgram(uint16_t port, ServiceProgram* program);
 
   void Start();
   void Stop();
 
-  PlatformEnv& env() { return env_; }
+  // Shard 0's view — the single-shard shape every existing caller expects.
+  PlatformEnv& env() { return envs_[0]; }
+  PlatformEnv& env(size_t shard) { return envs_[shard]; }
   Scheduler& scheduler() { return *scheduler_; }
-  IoPoller& poller() { return *poller_; }
+  IoPoller& poller(size_t shard = 0) { return *pollers_[shard]; }
+  size_t io_shards() const { return pollers_.size(); }
   BufferPool& buffers() { return *buffers_; }
   MsgPool& msgs() { return *msgs_; }
   StateStore& state() { return *state_; }
 
  private:
+  void AddAccept(size_t shard, Listener* listener, ServiceProgram* program);
+
   PlatformConfig config_;
   Transport* transport_;
   std::unique_ptr<Scheduler> scheduler_;
-  std::unique_ptr<IoPoller> poller_;
+  std::vector<std::unique_ptr<IoPoller>> pollers_;
+  std::vector<IoPoller*> poller_ptrs_;  // the plane view shared by every env
   std::unique_ptr<BufferPool> buffers_;
   std::unique_ptr<MsgPool> msgs_;
   std::unique_ptr<StateStore> state_;
-  PlatformEnv env_;
+  std::vector<PlatformEnv> envs_;  // one per shard; stable after construction
   std::vector<std::unique_ptr<Listener>> listeners_;
+  std::vector<uint16_t> registered_ports_;
   bool started_ = false;
 };
 

@@ -5,14 +5,27 @@
 //
 // Dictionaries are named; entries are bounded per dictionary with FIFO
 // eviction so a FLICK program's memory stays bounded regardless of traffic.
+//
+// Eviction bookkeeping: every live entry carries the generation stamped when
+// it was inserted, and the FIFO records (key, generation) pairs. Erase leaves
+// its FIFO record behind (lazy delete); a record whose generation no longer
+// matches the live entry is STALE and is skipped by eviction — without the
+// stamp, an erase→re-put of the same key would leave two FIFO records for
+// one live entry, and the first eviction to reach the stale record would
+// erase the live entry prematurely (and the per-dict bound would drift with
+// the FIFO's phantom size). Stale records are reclaimed when they reach the
+// FIFO front, and the FIFO is compacted outright when stale records
+// outnumber live entries, so erase-heavy workloads stay bounded too.
 #ifndef FLICK_RUNTIME_STATE_STORE_H_
 #define FLICK_RUNTIME_STATE_STORE_H_
 
+#include <cstdint>
 #include <deque>
 #include <mutex>
 #include <optional>
 #include <string>
 #include <unordered_map>
+#include <utility>
 
 namespace flick::runtime {
 
@@ -32,23 +45,36 @@ class StateStore {
     if (it == dict_it->second.map.end()) {
       return std::nullopt;
     }
-    return it->second;
+    return it->second.value;
   }
 
   void Put(const std::string& dict, const std::string& key, std::string value) {
     const size_t shard = ShardIndex(dict, key);
     std::lock_guard<std::mutex> lock(shards_[shard].mutex);
     Dict& d = shards_[shard].dicts[dict];
-    auto [it, inserted] = d.map.try_emplace(key, std::move(value));
-    if (!inserted) {
-      it->second = std::move(value);
+    if (const auto it = d.map.find(key); it != d.map.end()) {
+      // Overwrite keeps the original FIFO position AND generation: exactly
+      // one FIFO record stays live per entry.
+      it->second.value = std::move(value);
       return;
     }
-    d.fifo.push_back(key);
-    // Bounded: evict oldest insertions. Sharding makes the bound per-shard.
-    while (d.fifo.size() > max_entries_ / kShards + 1) {
-      d.map.erase(d.fifo.front());
+    const auto it = d.map.emplace(key, Entry{std::move(value), ++d.gen}).first;
+    d.fifo.emplace_back(key, it->second.gen);
+
+    // Bounded: evict oldest live insertions. Sharding makes the bound
+    // per-shard. The bound is on LIVE entries (map size), not FIFO length —
+    // stale records must not count against it.
+    const size_t bound = max_entries_ / kShards + 1;
+    while (d.map.size() > bound && !d.fifo.empty()) {
+      PopFront(d);
+    }
+    // Reclaim stale records that reached the front, then compact if erases
+    // have left more stale records than live entries.
+    while (!d.fifo.empty() && !IsLive(d, d.fifo.front())) {
       d.fifo.pop_front();
+    }
+    if (d.fifo.size() > 2 * d.map.size() + 8) {
+      Compact(d);
     }
   }
 
@@ -59,6 +85,8 @@ class StateStore {
     if (dict_it == shards_[shard].dicts.end()) {
       return false;
     }
+    // The FIFO record turns stale (its generation no longer resolves) and is
+    // reclaimed lazily; see the header comment.
     return dict_it->second.map.erase(key) > 0;
   }
 
@@ -77,14 +105,44 @@ class StateStore {
  private:
   static constexpr size_t kShards = 16;
 
+  struct Entry {
+    std::string value;
+    uint64_t gen = 0;  // generation of the FIFO record that owns this entry
+  };
   struct Dict {
-    std::unordered_map<std::string, std::string> map;
-    std::deque<std::string> fifo;
+    std::unordered_map<std::string, Entry> map;
+    std::deque<std::pair<std::string, uint64_t>> fifo;  // (key, generation)
+    uint64_t gen = 0;
   };
   struct Shard {
     mutable std::mutex mutex;
     std::unordered_map<std::string, Dict> dicts;
   };
+
+  static bool IsLive(const Dict& d, const std::pair<std::string, uint64_t>& rec) {
+    const auto it = d.map.find(rec.first);
+    return it != d.map.end() && it->second.gen == rec.second;
+  }
+
+  // Pops the FIFO front; erases the live entry it owns, skips it if stale.
+  static void PopFront(Dict& d) {
+    const auto& rec = d.fifo.front();
+    const auto it = d.map.find(rec.first);
+    if (it != d.map.end() && it->second.gen == rec.second) {
+      d.map.erase(it);
+    }
+    d.fifo.pop_front();
+  }
+
+  static void Compact(Dict& d) {
+    std::deque<std::pair<std::string, uint64_t>> live;
+    for (auto& rec : d.fifo) {
+      if (IsLive(d, rec)) {
+        live.push_back(std::move(rec));
+      }
+    }
+    d.fifo.swap(live);
+  }
 
   static size_t ShardIndex(const std::string& dict, const std::string& key) {
     size_t h = std::hash<std::string>{}(key) ^ (std::hash<std::string>{}(dict) << 1);

@@ -25,13 +25,15 @@ namespace internal {
 // a lost wire. All state is guarded by mutex_, shared with attach/detach.
 class PoolConnTask : public runtime::Task {
  public:
+  // `poller` is the owning stripe's shard poller: this wire's watches and
+  // redial kicks stay on that shard.
   PoolConnTask(std::string name, BackendPool* pool, uint16_t port,
-               runtime::PlatformEnv& env)
+               runtime::PlatformEnv& env, runtime::IoPoller* poller)
       : Task(std::move(name)),
         pool_(pool),
         port_(port),
         transport_(env.transport),
-        poller_(env.poller),
+        poller_(poller),
         msgs_(env.msgs),
         rx_(env.buffers),
         tx_(env.buffers),
@@ -97,6 +99,23 @@ class PoolConnTask : public runtime::Task {
     return wire_state_.load(std::memory_order_acquire) == WireState::kConnected;
   }
 
+  WireState wire_state() const { return wire_state_.load(std::memory_order_acquire); }
+
+  // Test hook (BackendPool::CloseConnectionForTest): drops the wire as a
+  // peer close would and defers the redial so the dead state is observable.
+  void ForceDropWireForTest(uint64_t redial_hold_ns) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (wire_ != nullptr) {
+      Disconnect();
+    } else {
+      wire_state_.store(WireState::kDead, std::memory_order_release);
+    }
+    if (redial_hold_ns > 0) {
+      next_dial_at_ns_.store(MonotonicNanos() + redial_hold_ns,
+                             std::memory_order_release);
+    }
+  }
+
   // True once the lease's leg on this connection has consumed its EOF (the
   // request channel is FIFO, so everything the graph committed is already
   // serialized toward the wire) or is already detached. A DEAD wire also
@@ -145,6 +164,7 @@ class PoolConnTask : public runtime::Task {
   std::atomic<uint64_t> requests_forwarded{0};
   std::atomic<uint64_t> responses_routed{0};
   std::atomic<uint64_t> responses_dropped{0};
+  std::atomic<uint64_t> response_parse_errors{0};
   std::atomic<uint64_t> pipeline_hwm{0};
   runtime::WriteBatchCounters batch;
   runtime::ReadBatchCounters read_batch;
@@ -317,8 +337,11 @@ runtime::TaskRunResult PoolConnTask::Run(runtime::TaskContext& ctx) {
           break;
         }
         if (s == runtime::ParseStatus::kError) {
-          // Framing lost on a shared byte stream: correlation is
-          // unrecoverable, drop the wire and redial clean.
+          // Framing lost on a shared byte stream (malformed status line,
+          // rejected Content-Length, ...): correlation is unrecoverable.
+          // Surface it — count, drop the wire, redial clean — instead of
+          // waiting on bytes that will never frame.
+          response_parse_errors.fetch_add(1, std::memory_order_relaxed);
           Disconnect();
           return runtime::TaskRunResult::kMoreWork;
         }
@@ -470,10 +493,12 @@ PoolLease& PoolLease::operator=(PoolLease&& other) noexcept {
     pool_ = other.pool_;
     id_ = other.id_;
     exclusive_ = other.exclusive_;
+    stripe_ = other.stripe_;
     conn_index_ = std::move(other.conn_index_);
     other.pool_ = nullptr;
     other.id_ = 0;
     other.exclusive_ = false;
+    other.stripe_ = 0;
     other.conn_index_.clear();
   }
   return *this;
@@ -492,7 +517,7 @@ BackendPool::~BackendPool() = default;
 
 Status BackendPool::EnsureStarted(runtime::PlatformEnv& env) {
   std::lock_guard<std::mutex> lock(mutex_);
-  if (started_) {
+  if (started_.load(std::memory_order_relaxed)) {
     return OkStatus();
   }
   if (config_.ports.empty()) {
@@ -502,86 +527,122 @@ Status BackendPool::EnsureStarted(runtime::PlatformEnv& env) {
     return InvalidArgument("BackendPool: missing codec factories");
   }
   scheduler_ = env.scheduler;
-  poller_ = env.poller;
-  backends_.reserve(config_.ports.size());
-  for (size_t b = 0; b < config_.ports.size(); ++b) {
-    Backend backend;
-    backend.port = config_.ports[b];
-    for (size_t c = 0; c < config_.conns_per_backend; ++c) {
-      backend.conns.push_back(std::make_unique<internal::PoolConnTask>(
-          "pool-" + std::to_string(config_.ports[b]) + "-" + std::to_string(c), this,
-          config_.ports[b], env));
+  const size_t n_stripes =
+      config_.io_shards > 0 ? config_.io_shards : env.io_shard_count();
+  stripes_.reserve(n_stripes);
+  for (size_t s = 0; s < n_stripes; ++s) {
+    auto stripe = std::make_unique<Stripe>();
+    runtime::IoPoller* poller = env.shard_poller(s);
+    stripe->backends.reserve(config_.ports.size());
+    for (size_t b = 0; b < config_.ports.size(); ++b) {
+      StripeBackend backend;
+      backend.port = config_.ports[b];
+      for (size_t c = 0; c < config_.conns_per_backend; ++c) {
+        backend.conns.push_back(std::make_unique<internal::PoolConnTask>(
+            "pool-" + std::to_string(config_.ports[b]) + "-s" + std::to_string(s) +
+                "-" + std::to_string(c),
+            this, config_.ports[b], env, poller));
+      }
+      backend.exclusive_claimed.assign(backend.conns.size(), 0);
+      backend.active_leases.assign(backend.conns.size(), 0);
+      stripe->backends.push_back(std::move(backend));
     }
-    backend.exclusive_claimed.assign(backend.conns.size(), 0);
-    backend.active_leases.assign(backend.conns.size(), 0);
-    backends_.push_back(std::move(backend));
+    stripes_.push_back(std::move(stripe));
   }
-  started_ = true;
+  // Layout is complete: publish. Acquire's lock-free started_ check pairs
+  // with this release store, so a racing acquirer sees the full stripes_.
+  started_.store(true, std::memory_order_release);
 
-  // Initial dials run on worker threads; the ticker keeps kicking any
-  // connection that is down until its backend answers (reconnect-after-close
-  // works the same way). The reaper is permanent: it holds only `this`, and
-  // the pool outlives the poller's last sweep by contract.
-  for (Backend& backend : backends_) {
-    for (auto& conn : backend.conns) {
-      scheduler_->NotifyRunnable(conn.get());
-    }
-  }
+  // Initial dials run on worker threads; each stripe's ticker (on that
+  // stripe's shard poller) keeps kicking any connection that is down until
+  // its backend answers (reconnect-after-close works the same way). The
+  // reapers are permanent: they hold only `this`, and the pool outlives the
+  // pollers' last sweep by contract.
   runtime::Scheduler* scheduler = scheduler_;
-  poller_->AddReaper([this, scheduler]() {
-    for (Backend& backend : backends_) {
+  for (size_t s = 0; s < stripes_.size(); ++s) {
+    for (StripeBackend& backend : stripes_[s]->backends) {
       for (auto& conn : backend.conns) {
-        if (conn->WantsRedialKick() &&
-            conn->sched_state.load(std::memory_order_acquire) ==
-                runtime::Task::SchedState::kIdle) {
-          scheduler->NotifyRunnable(conn.get());
-        }
+        scheduler->NotifyRunnable(conn.get());
       }
     }
-    return false;  // permanent
-  });
+    env.shard_poller(s)->AddReaper([this, scheduler, s]() {
+      for (StripeBackend& backend : stripes_[s]->backends) {
+        for (auto& conn : backend.conns) {
+          if (conn->WantsRedialKick() &&
+              conn->sched_state.load(std::memory_order_acquire) ==
+                  runtime::Task::SchedState::kIdle) {
+            scheduler->NotifyRunnable(conn.get());
+          }
+        }
+      }
+      return false;  // permanent
+    });
+  }
   return OkStatus();
 }
 
-Result<PoolLease> BackendPool::Acquire() {
-  std::lock_guard<std::mutex> lock(mutex_);
-  if (!started_) {
-    return FailedPrecondition("BackendPool: not started");
-  }
+Result<PoolLease> BackendPool::AcquireFromStripe(size_t stripe_index) {
+  Stripe& stripe = *stripes_[stripe_index];
+  std::lock_guard<std::mutex> lock(stripe.mutex);
   // Two phases: pick every backend's slot first, mutate lease bookkeeping
   // only once the whole acquisition is known to succeed — a mid-loop failure
   // must not strand active_leases increments (an abandoned partial PoolLease
   // never releases; see ~PoolLease).
   std::vector<size_t> slots;
-  slots.reserve(backends_.size());
+  slots.reserve(stripe.backends.size());
   bool waited = false;
-  for (Backend& backend : backends_) {
-    // Round-robin over the slots an exclusive lease has not claimed.
+  for (StripeBackend& backend : stripe.backends) {
+    // Guard the cursor before use: a layout that shrank (or a cursor that
+    // drifted) must never index past the slot vector or pin placement to a
+    // stale position.
+    if (backend.next_rr >= backend.conns.size()) {
+      backend.next_rr = 0;
+    }
+    // One round-robin sweep from the cursor over the slots no exclusive
+    // lease holds, preferring (0) connected wires, then (1) wires still
+    // dialling (requests queue until the dial lands), then (2) dead wires
+    // (the lease still queues for the redial) — so a redial-lagged slot
+    // never captures placement while a live sibling sits idle.
     size_t slot = PoolLease::kNoSlot;
-    for (size_t tries = 0; tries < backend.conns.size(); ++tries) {
-      const size_t cand = backend.next_rr;
-      backend.next_rr = (backend.next_rr + 1) % backend.conns.size();
-      if (!backend.exclusive_claimed[cand]) {
+    int slot_tier = 3;
+    for (size_t t = 0; t < backend.conns.size(); ++t) {
+      const size_t cand = (backend.next_rr + t) % backend.conns.size();
+      if (backend.exclusive_claimed[cand]) {
+        continue;
+      }
+      int tier = 2;
+      switch (backend.conns[cand]->wire_state()) {
+        case internal::PoolConnTask::WireState::kConnected: tier = 0; break;
+        case internal::PoolConnTask::WireState::kNeverTried: tier = 1; break;
+        case internal::PoolConnTask::WireState::kDead: tier = 2; break;
+      }
+      if (tier < slot_tier) {
         slot = cand;
-        break;
+        slot_tier = tier;
+        if (tier == 0) {
+          break;  // first connected candidate in rr order wins
+        }
       }
     }
     if (slot == PoolLease::kNoSlot) {
       return ResourceExhausted("BackendPool: every connection to port " +
-                               std::to_string(backend.port) +
+                               std::to_string(backend.port) + " in stripe " +
+                               std::to_string(stripe_index) +
                                " is exclusively claimed");
     }
-    if (!backend.conns[slot]->connected()) {
+    backend.next_rr = (slot + 1) % backend.conns.size();
+    if (slot_tier != 0) {
       waited = true;  // requests queue until the redial ticker succeeds
     }
     slots.push_back(slot);
   }
   PoolLease lease;
   lease.pool_ = this;
-  lease.id_ = next_lease_id_++;
+  lease.id_ = next_lease_id_.fetch_add(1, std::memory_order_relaxed);
+  lease.stripe_ = stripe_index;
   lease.conn_index_ = std::move(slots);
-  for (size_t b = 0; b < backends_.size(); ++b) {
-    ++backends_[b].active_leases[lease.conn_index_[b]];
+  for (size_t b = 0; b < stripe.backends.size(); ++b) {
+    ++stripe.backends[b].active_leases[lease.conn_index_[b]];
   }
   leases_acquired_.fetch_add(1, std::memory_order_relaxed);
   if (waited) {
@@ -590,65 +651,121 @@ Result<PoolLease> BackendPool::Acquire() {
   return lease;
 }
 
-Result<PoolLease> BackendPool::AcquireExclusive(size_t backend_index) {
-  std::lock_guard<std::mutex> lock(mutex_);
-  if (!started_) {
+Result<PoolLease> BackendPool::Acquire(size_t preferred_stripe) {
+  if (!started_.load(std::memory_order_acquire)) {
     return FailedPrecondition("BackendPool: not started");
   }
-  if (backend_index >= backends_.size()) {
-    return InvalidArgument("BackendPool: backend index out of range");
+  // Home stripe first — the hot path locks nothing but that stripe's mutex.
+  // Spill to neighbours only when the home stripe cannot serve the lease.
+  const size_t n = stripes_.size();
+  const size_t home = preferred_stripe % n;
+  Status last_error = OkStatus();
+  for (size_t k = 0; k < n; ++k) {
+    auto lease = AcquireFromStripe((home + k) % n);
+    if (lease.ok()) {
+      if (k > 0) {
+        stripe_spills_.fetch_add(1, std::memory_order_relaxed);
+      }
+      return lease;
+    }
+    last_error = lease.status();
   }
-  Backend& backend = backends_[backend_index];
+  return last_error;
+}
+
+Result<PoolLease> BackendPool::AcquireExclusiveFromStripe(size_t backend_index,
+                                                          size_t stripe_index) {
+  Stripe& stripe = *stripes_[stripe_index];
+  std::lock_guard<std::mutex> lock(stripe.mutex);
+  StripeBackend& backend = stripe.backends[backend_index];
   // Sole use means sole use: only a slot with no live leases (shared or
   // exclusive) is eligible, or the stream would interleave with pipelined
-  // traffic already on that wire.
+  // traffic already on that wire. Prefer a connected slot so a persistent
+  // streaming wire is reused instead of a dead sibling redialled.
   size_t slot = PoolLease::kNoSlot;
+  int slot_tier = 3;
   for (size_t c = 0; c < backend.conns.size(); ++c) {
-    if (!backend.exclusive_claimed[c] && backend.active_leases[c] == 0) {
+    if (backend.exclusive_claimed[c] || backend.active_leases[c] != 0) {
+      continue;
+    }
+    const int tier = backend.conns[c]->connected() ? 0 : 1;
+    if (tier < slot_tier) {
       slot = c;
-      break;
+      slot_tier = tier;
+      if (tier == 0) {
+        break;
+      }
     }
   }
   if (slot == PoolLease::kNoSlot) {
     return ResourceExhausted("BackendPool: every connection to port " +
-                             std::to_string(backend.port) +
+                             std::to_string(backend.port) + " in stripe " +
+                             std::to_string(stripe_index) +
                              " is claimed or carrying live leases");
   }
   backend.exclusive_claimed[slot] = 1;
   ++backend.active_leases[slot];
   PoolLease lease;
   lease.pool_ = this;
-  lease.id_ = next_lease_id_++;
+  lease.id_ = next_lease_id_.fetch_add(1, std::memory_order_relaxed);
   lease.exclusive_ = true;
-  lease.conn_index_.assign(backends_.size(), PoolLease::kNoSlot);
+  lease.stripe_ = stripe_index;
+  lease.conn_index_.assign(stripe.backends.size(), PoolLease::kNoSlot);
   lease.conn_index_[backend_index] = slot;
   leases_acquired_.fetch_add(1, std::memory_order_relaxed);
-  if (!backend.conns[slot]->connected()) {
+  if (slot_tier != 0) {
     lease_waits_.fetch_add(1, std::memory_order_relaxed);
   }
   return lease;
 }
 
+Result<PoolLease> BackendPool::AcquireExclusive(size_t backend_index,
+                                                size_t preferred_stripe) {
+  if (!started_.load(std::memory_order_acquire)) {
+    return FailedPrecondition("BackendPool: not started");
+  }
+  if (backend_index >= config_.ports.size()) {
+    return InvalidArgument("BackendPool: backend index out of range");
+  }
+  const size_t n = stripes_.size();
+  const size_t home = preferred_stripe % n;
+  Status last_error = OkStatus();
+  for (size_t k = 0; k < n; ++k) {
+    auto lease = AcquireExclusiveFromStripe(backend_index, (home + k) % n);
+    if (lease.ok()) {
+      if (k > 0) {
+        stripe_spills_.fetch_add(1, std::memory_order_relaxed);
+      }
+      return lease;
+    }
+    last_error = lease.status();
+  }
+  return last_error;
+}
+
 void BackendPool::Attach(const PoolLease& lease, size_t backend_index,
                          runtime::Channel* requests, runtime::Channel* replies) {
   FLICK_CHECK(lease.valid() && lease.pool_ == this);
-  FLICK_CHECK(backend_index < backends_.size());
+  FLICK_CHECK(lease.stripe_ < stripes_.size());
+  Stripe& stripe = *stripes_[lease.stripe_];
+  FLICK_CHECK(backend_index < stripe.backends.size());
   const size_t slot = lease.conn_index_[backend_index];
   FLICK_CHECK(slot != PoolLease::kNoSlot);
-  backends_[backend_index].conns[slot]->AttachLease(lease.id_, requests, replies,
-                                                    scheduler_);
+  stripe.backends[backend_index].conns[slot]->AttachLease(lease.id_, requests,
+                                                          replies, scheduler_);
 }
 
 bool BackendPool::LeaseFinished(const PoolLease& lease) const {
   if (!lease.valid() || lease.pool_ != this) {
     return true;  // released (or foreign): nothing left to wait for
   }
+  const Stripe& stripe = *stripes_[lease.stripe_];
   for (size_t b = 0; b < lease.conn_index_.size(); ++b) {
     const size_t slot = lease.conn_index_[b];
     if (slot == PoolLease::kNoSlot) {
       continue;
     }
-    if (!backends_[b].conns[slot]->LeaseFinished(lease.id_)) {
+    if (!stripe.backends[b].conns[slot]->LeaseFinished(lease.id_)) {
       return false;
     }
   }
@@ -659,27 +776,28 @@ void BackendPool::Release(PoolLease& lease) {
   if (!lease.valid() || lease.pool_ != this) {
     return;
   }
+  Stripe& stripe = *stripes_[lease.stripe_];
   for (size_t b = 0; b < lease.conn_index_.size(); ++b) {
     const size_t slot = lease.conn_index_[b];
     if (slot == PoolLease::kNoSlot) {
       continue;
     }
-    backends_[b].conns[slot]->DetachLease(lease.id_);
+    stripe.backends[b].conns[slot]->DetachLease(lease.id_);
   }
   {
     // Return the slots to circulation; the wires stay up and keep their
-    // place in the pool (the next lease reuses them without a dial).
-    std::lock_guard<std::mutex> lock(mutex_);
+    // place in the stripe (the next lease reuses them without a dial).
+    std::lock_guard<std::mutex> lock(stripe.mutex);
     for (size_t b = 0; b < lease.conn_index_.size(); ++b) {
       const size_t slot = lease.conn_index_[b];
       if (slot == PoolLease::kNoSlot) {
         continue;
       }
-      if (backends_[b].active_leases[slot] > 0) {
-        --backends_[b].active_leases[slot];
+      if (stripe.backends[b].active_leases[slot] > 0) {
+        --stripe.backends[b].active_leases[slot];
       }
       if (lease.exclusive_) {
-        backends_[b].exclusive_claimed[slot] = 0;
+        stripe.backends[b].exclusive_claimed[slot] = 0;
       }
     }
   }
@@ -687,23 +805,49 @@ void BackendPool::Release(PoolLease& lease) {
   lease.pool_ = nullptr;
   lease.id_ = 0;
   lease.exclusive_ = false;
+  lease.stripe_ = 0;
   lease.conn_index_.clear();
 }
 
-bool BackendPool::started() const {
+size_t BackendPool::stripes() const {
   std::lock_guard<std::mutex> lock(mutex_);
-  return started_;
+  return stripes_.size();
 }
 
 size_t BackendPool::live_connections() const {
   std::lock_guard<std::mutex> lock(mutex_);
   size_t live = 0;
-  for (const Backend& backend : backends_) {
-    for (const auto& conn : backend.conns) {
-      live += conn->connected() ? 1 : 0;
+  for (const auto& stripe : stripes_) {
+    for (const StripeBackend& backend : stripe->backends) {
+      for (const auto& conn : backend.conns) {
+        live += conn->connected() ? 1 : 0;
+      }
     }
   }
   return live;
+}
+
+std::vector<uint32_t> BackendPool::SlotActiveLeases(size_t backend_index,
+                                                    size_t stripe_index) const {
+  if (!started() || stripe_index >= stripes_.size()) {
+    return {};
+  }
+  const Stripe& stripe = *stripes_[stripe_index];
+  if (backend_index >= stripe.backends.size()) {
+    return {};
+  }
+  std::lock_guard<std::mutex> lock(stripe.mutex);
+  return stripe.backends[backend_index].active_leases;
+}
+
+void BackendPool::CloseConnectionForTest(size_t backend_index, size_t slot,
+                                         size_t stripe_index,
+                                         uint64_t redial_hold_ns) {
+  FLICK_CHECK(started() && stripe_index < stripes_.size());
+  Stripe& stripe = *stripes_[stripe_index];
+  FLICK_CHECK(backend_index < stripe.backends.size());
+  FLICK_CHECK(slot < stripe.backends[backend_index].conns.size());
+  stripe.backends[backend_index].conns[slot]->ForceDropWireForTest(redial_hold_ns);
 }
 
 BackendPoolStats BackendPool::stats() const {
@@ -712,36 +856,42 @@ BackendPoolStats BackendPool::stats() const {
   s.leases_acquired = leases_acquired_.load(std::memory_order_relaxed);
   s.leases_released = leases_released_.load(std::memory_order_relaxed);
   s.lease_waits = lease_waits_.load(std::memory_order_relaxed);
-  for (const Backend& backend : backends_) {
-    for (const auto& conn : backend.conns) {
-      s.conns_dialed += conn->dials_ok.load(std::memory_order_relaxed);
-      s.dial_failures += conn->dial_failures.load(std::memory_order_relaxed);
-      s.reconnects += conn->reconnects.load(std::memory_order_relaxed);
-      s.disconnects += conn->disconnects.load(std::memory_order_relaxed);
-      s.requests_forwarded += conn->requests_forwarded.load(std::memory_order_relaxed);
-      s.responses_routed += conn->responses_routed.load(std::memory_order_relaxed);
-      s.responses_dropped += conn->responses_dropped.load(std::memory_order_relaxed);
-      const uint64_t hwm = conn->pipeline_hwm.load(std::memory_order_relaxed);
-      if (hwm > s.max_pipeline_depth) {
-        s.max_pipeline_depth = hwm;
+  s.stripes = stripes_.size();
+  s.stripe_spills = stripe_spills_.load(std::memory_order_relaxed);
+  for (const auto& stripe : stripes_) {
+    for (const StripeBackend& backend : stripe->backends) {
+      for (const auto& conn : backend.conns) {
+        s.conns_dialed += conn->dials_ok.load(std::memory_order_relaxed);
+        s.dial_failures += conn->dial_failures.load(std::memory_order_relaxed);
+        s.reconnects += conn->reconnects.load(std::memory_order_relaxed);
+        s.disconnects += conn->disconnects.load(std::memory_order_relaxed);
+        s.requests_forwarded += conn->requests_forwarded.load(std::memory_order_relaxed);
+        s.responses_routed += conn->responses_routed.load(std::memory_order_relaxed);
+        s.responses_dropped += conn->responses_dropped.load(std::memory_order_relaxed);
+        s.response_parse_errors +=
+            conn->response_parse_errors.load(std::memory_order_relaxed);
+        const uint64_t hwm = conn->pipeline_hwm.load(std::memory_order_relaxed);
+        if (hwm > s.max_pipeline_depth) {
+          s.max_pipeline_depth = hwm;
+        }
+        s.writev_calls += conn->batch.writev_calls.load(std::memory_order_relaxed);
+        s.flushes_forced += conn->batch.flushes_forced.load(std::memory_order_relaxed);
+        const uint64_t batch_hwm =
+            conn->batch.msgs_per_writev.load(std::memory_order_relaxed);
+        if (batch_hwm > s.msgs_per_writev) {
+          s.msgs_per_writev = batch_hwm;
+        }
+        s.readv_calls += conn->read_batch.readv_calls.load(std::memory_order_relaxed);
+        s.fills_short += conn->read_batch.fills_short.load(std::memory_order_relaxed);
+        s.reads_legacy_equivalent +=
+            conn->read_batch.reads_legacy_equivalent.load(std::memory_order_relaxed);
+        const uint64_t fill_hwm =
+            conn->read_batch.bytes_per_readv.load(std::memory_order_relaxed);
+        if (fill_hwm > s.bytes_per_readv) {
+          s.bytes_per_readv = fill_hwm;
+        }
+        s.live_connections += conn->connected() ? 1 : 0;
       }
-      s.writev_calls += conn->batch.writev_calls.load(std::memory_order_relaxed);
-      s.flushes_forced += conn->batch.flushes_forced.load(std::memory_order_relaxed);
-      const uint64_t batch_hwm =
-          conn->batch.msgs_per_writev.load(std::memory_order_relaxed);
-      if (batch_hwm > s.msgs_per_writev) {
-        s.msgs_per_writev = batch_hwm;
-      }
-      s.readv_calls += conn->read_batch.readv_calls.load(std::memory_order_relaxed);
-      s.fills_short += conn->read_batch.fills_short.load(std::memory_order_relaxed);
-      s.reads_legacy_equivalent +=
-          conn->read_batch.reads_legacy_equivalent.load(std::memory_order_relaxed);
-      const uint64_t fill_hwm =
-          conn->read_batch.bytes_per_readv.load(std::memory_order_relaxed);
-      if (fill_hwm > s.bytes_per_readv) {
-        s.bytes_per_readv = fill_hwm;
-      }
-      s.live_connections += conn->connected() ? 1 : 0;
     }
   }
   return s;

@@ -25,6 +25,15 @@
 // serialise on it. Wire readability wakes the task through the normal poller
 // watch; a pool-level reaper ticks disconnected connections so a backend
 // that comes back is redialled without client involvement.
+//
+// Sharding: under a sharded IO plane the pool is STRIPED — one stripe per IO
+// shard, each with its own slice of wires (watched by that shard's poller,
+// redialled by that shard's reaper), its own mutex and its own round-robin
+// cursor. A graph launched on shard k leases from stripe k, so the hot
+// acquire/release path never contends with other shards; it spills to a
+// neighbour stripe only when its own is exhausted (counted in
+// stripe_spills). The global mutex survives only for the cold path: start
+// and layout-wide folds (stats, live_connections).
 #ifndef FLICK_SERVICES_BACKEND_POOL_H_
 #define FLICK_SERVICES_BACKEND_POOL_H_
 
@@ -54,9 +63,18 @@ enum class BackendMode { kPooled, kPerClient };
 struct BackendPoolConfig {
   std::vector<uint16_t> ports;
 
-  // Multiplexed connections kept per backend. Backend connection count is
-  // ports.size() * conns_per_backend, independent of client concurrency.
+  // Multiplexed connections kept per backend PER STRIPE. Backend connection
+  // count is ports.size() * conns_per_backend * stripes, independent of
+  // client concurrency.
   size_t conns_per_backend = 1;
+
+  // Stripes the pool's wires are partitioned into — one per IO shard, each
+  // with its own lease mutex and round-robin cursor, its connections watched
+  // by that shard's poller. The hot lease path (Acquire/Release from a
+  // graph on shard k) touches only stripe k's lock; it crosses stripes only
+  // when the home stripe is exhausted (counted in stripe_spills). 0 =
+  // derive from the platform's shard count at EnsureStarted.
+  size_t io_shards = 0;
 
   // In-flight (sent, unanswered) requests allowed per connection. When the
   // cap is hit the connection stops draining request channels; channel
@@ -97,6 +115,7 @@ struct BackendPoolStats {
   uint64_t requests_forwarded = 0;
   uint64_t responses_routed = 0;
   uint64_t responses_dropped = 0;   // lease already detached, or wire lost
+  uint64_t response_parse_errors = 0;  // malformed responses that cost a wire
   uint64_t max_pipeline_depth = 0;  // high-water in-flight requests (any conn)
   uint64_t writev_calls = 0;        // vectored transport writes issued
   uint64_t flushes_forced = 0;      // flushes triggered by the high-water mark
@@ -105,6 +124,8 @@ struct BackendPoolStats {
   uint64_t bytes_per_readv = 0;     // high-water bytes moved by one fill
   uint64_t fills_short = 0;         // fills that proved the wire drained
   uint64_t reads_legacy_equivalent = 0;  // reads the per-buffer path would issue
+  uint64_t stripes = 0;             // layout: stripes the pool was started with
+  uint64_t stripe_spills = 0;       // leases that left their home stripe
   uint64_t live_connections = 0;    // snapshot, not monotonic
 };
 
@@ -132,6 +153,11 @@ class PoolLease {
   uint64_t id() const { return id_; }
   size_t backend_count() const { return conn_index_.size(); }
 
+  // The stripe every claimed slot of this lease lives in. Normally the
+  // acquiring graph's IO shard; differs only when the home stripe was
+  // exhausted and the acquisition spilled.
+  size_t stripe() const { return stripe_; }
+
   // Exclusive leases (AcquireExclusive) hold sole future use of one
   // connection slot: no later lease — shared or exclusive — lands on that
   // slot until this one is released. Used for long-lived streaming sinks
@@ -144,7 +170,8 @@ class PoolLease {
   BackendPool* pool_ = nullptr;
   uint64_t id_ = 0;
   bool exclusive_ = false;
-  std::vector<size_t> conn_index_;  // per backend: claimed connection slot
+  size_t stripe_ = 0;
+  std::vector<size_t> conn_index_;  // per backend: claimed slot within stripe_
 };
 
 class BackendPool {
@@ -161,21 +188,28 @@ class BackendPool {
   // lifetime contract services already have with GraphRegistry.
   Status EnsureStarted(runtime::PlatformEnv& env);
 
-  // Claims one connection per backend, round-robin over the slots that are
-  // not exclusively held. Fails if the pool has no backends, was never
-  // started, or some backend has every slot exclusively claimed; a
+  // Claims one connection per backend within one stripe — `preferred_stripe`
+  // (the caller's IO shard; GraphBuilder passes env.io_shard) when it has a
+  // free slot for every backend, else the nearest stripe that does (counted
+  // in stripe_spills). Within a stripe placement is round-robin over the
+  // slots that are not exclusively held, preferring connected wires over
+  // dead ones. Fails if the pool has no backends, was never started, or
+  // EVERY stripe has a backend with all slots exclusively claimed; a
   // temporarily disconnected backend still yields a lease (requests queue
   // until redial).
-  Result<PoolLease> Acquire();
+  Result<PoolLease> Acquire(size_t preferred_stripe = 0);
 
   // Claims sole use of one connection slot of `backend_index` (the ROADMAP's
   // non-pipelined mode for long-lived streaming sinks, e.g. the hadoop
-  // reducer leg). Only a slot with NO live leases — shared or exclusive — is
+  // reducer leg), from `preferred_stripe` with the same spill rule as
+  // Acquire. Only a slot with NO live leases — shared or exclusive — is
   // eligible, so the stream never interleaves with pipelined traffic already
   // on the wire; the wire itself persists across leases (release returns the
   // slot, it never closes the connection). Fails with kResourceExhausted
-  // when every slot of that backend is claimed or carrying live leases.
-  Result<PoolLease> AcquireExclusive(size_t backend_index);
+  // when every stripe's slots for that backend are claimed or carrying live
+  // leases.
+  Result<PoolLease> AcquireExclusive(size_t backend_index,
+                                     size_t preferred_stripe = 0);
 
   // Binds one backend's slice of `lease` to a graph's edge channels:
   // `requests` (graph -> pool) and `replies` (pool -> graph). Must happen
@@ -206,34 +240,64 @@ class BackendPool {
 
   size_t backend_count() const { return config_.ports.size(); }
   size_t conns_per_backend() const { return config_.conns_per_backend; }
-  bool started() const;
+  // Stripes the pool was started with (0 before EnsureStarted).
+  size_t stripes() const;
+  bool started() const { return started_.load(std::memory_order_acquire); }
   size_t live_connections() const;
   BackendPoolStats stats() const;
+
+  // --- test/ops introspection ------------------------------------------------
+
+  // Live-lease count per slot of one backend's stripe (placement fairness /
+  // dead-slot-skew checks).
+  std::vector<uint32_t> SlotActiveLeases(size_t backend_index, size_t stripe = 0) const;
+
+  // Forcibly drops one wire (as a peer close would) and defers its redial by
+  // `redial_hold_ns`. Test hook for constructing mixed live/dead slot states
+  // deterministically.
+  void CloseConnectionForTest(size_t backend_index, size_t slot, size_t stripe = 0,
+                              uint64_t redial_hold_ns = 0);
 
  private:
   friend class internal::PoolConnTask;
 
-  struct Backend {
+  // One backend's slice of one stripe. All fields are guarded by the owning
+  // stripe's mutex except `conns`, whose LAYOUT is immutable after
+  // EnsureStarted (the tasks themselves carry their own locks/atomics).
+  struct StripeBackend {
     uint16_t port = 0;
     std::vector<std::unique_ptr<internal::PoolConnTask>> conns;
-    size_t next_rr = 0;  // round-robin lease placement; guarded by mutex_
-    std::vector<uint8_t> exclusive_claimed;  // per slot; guarded by mutex_
-    std::vector<uint32_t> active_leases;     // per slot; guarded by mutex_
+    size_t next_rr = 0;  // round-robin lease placement cursor
+    std::vector<uint8_t> exclusive_claimed;  // per slot
+    std::vector<uint32_t> active_leases;     // per slot
   };
+
+  // One IO shard's share of the pool: its own lock and cursors, its wires
+  // watched by that shard's poller. The hot lease path locks exactly one of
+  // these; the global mutex_ survives only for start and layout reads.
+  struct Stripe {
+    mutable std::mutex mutex;
+    std::vector<StripeBackend> backends;  // one per backend port
+  };
+
+  // Picks one non-exclusive slot per backend inside `stripe`; commits the
+  // lease bookkeeping only when every backend yielded a slot.
+  Result<PoolLease> AcquireFromStripe(size_t stripe);
+  Result<PoolLease> AcquireExclusiveFromStripe(size_t backend_index, size_t stripe);
 
   BackendPoolConfig config_;
 
-  mutable std::mutex mutex_;  // guards started_/backends_ layout + lease ids
-  bool started_ = false;
-  std::vector<Backend> backends_;
-  uint64_t next_lease_id_ = 1;
+  mutable std::mutex mutex_;  // guards EnsureStarted + cold-path layout
+  std::atomic<bool> started_{false};  // release-published after stripes_ built
+  std::vector<std::unique_ptr<Stripe>> stripes_;
 
   runtime::Scheduler* scheduler_ = nullptr;
-  runtime::IoPoller* poller_ = nullptr;
 
+  std::atomic<uint64_t> next_lease_id_{1};
   std::atomic<uint64_t> leases_acquired_{0};
   std::atomic<uint64_t> leases_released_{0};
   std::atomic<uint64_t> lease_waits_{0};
+  std::atomic<uint64_t> stripe_spills_{0};
 };
 
 }  // namespace flick::services

@@ -213,7 +213,9 @@ size_t GraphBuilder::PoolUseIndex(BackendPool& pool) {
       return i;
     }
   }
-  auto lease = pool.Acquire();
+  // Lease from the launching shard's stripe: the whole leg — graph tasks,
+  // watches, pooled wire — stays on one shard unless the stripe is exhausted.
+  auto lease = pool.Acquire(env_.io_shard);
   if (!lease.ok()) {
     Poison(lease.status());
     return static_cast<size_t>(-1);
@@ -275,7 +277,7 @@ NodeRef GraphBuilder::ExclusivePoolLeg(BackendPool& pool, size_t backend_index,
   }
   // Own lease per exclusive leg — never shared with the builder's pooled
   // fan-out lease, so the claimed slot is this stream's alone.
-  auto lease = pool.AcquireExclusive(backend_index);
+  auto lease = pool.AcquireExclusive(backend_index, env_.io_shard);
   if (!lease.ok()) {
     Poison(lease.status());
     return NodeRef();
@@ -578,6 +580,7 @@ Status GraphBuilder::Launch(GraphRegistry& registry) {
   stats_.connections = conns_.size();
   stats_.flush_watermark = flush_watermark_;
   stats_.fill_window = fill_window_;
+  stats_.io_shard = env_.io_shard;
 
   // Bind pooled legs before IO activation: once a graph task is notified it
   // may push requests, and the pool must already be the consumer. Streaming

@@ -104,6 +104,7 @@ struct GraphLaunchStats {
   size_t exclusive_legs = 0;  // streaming legs on an exclusive lease
   size_t flush_watermark = 0; // forced-flush threshold applied to the sinks
   size_t fill_window = 0;     // rx fill-window cap applied to the sources
+  size_t io_shard = 0;        // IO shard the graph's legs are pinned to
 };
 
 class GraphBuilder {

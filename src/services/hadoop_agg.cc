@@ -34,6 +34,7 @@ HadoopAggService::HadoopAggService(int expected_mappers, uint16_t reducer_port,
     cfg.conns_per_backend = options_.reducer_conns;
     cfg.flush_watermark_bytes = options_.flush_watermark_bytes;
     cfg.fill_window = options_.fill_window;
+    cfg.io_shards = options_.io_shards;
     cfg.make_serializer = [unit] {
       return std::make_unique<runtime::GrammarSerializer>(unit);
     };
@@ -71,7 +72,7 @@ void HadoopAggService::BuildGraph(runtime::PlatformEnv& env) {
   // never lose data the mappers already sent.
   PoolLease reducer_lease;
   if (pool_ != nullptr && pool_->EnsureStarted(env).ok()) {
-    auto lease = pool_->AcquireExclusive(/*backend_index=*/0);
+    auto lease = pool_->AcquireExclusive(/*backend_index=*/0, env.io_shard);
     if (lease.ok()) {
       reducer_lease = std::move(lease).value();
     }

@@ -47,6 +47,9 @@ class HadoopAggService : public runtime::ServiceProgram {
     // Adaptive rx fill-window cap for the mapper sources (see
     // GraphBuilder::FillWindow; 1 = one-buffer reads).
     size_t fill_window = runtime::kDefaultFillWindow;
+    // Pool stripes (see BackendPoolConfig::io_shards; 0 = one stripe per
+    // platform IO shard, derived when the pool starts).
+    size_t io_shards = 0;
   };
 
   // Builds the aggregation graph once `expected_mappers` connections arrived;

@@ -18,6 +18,7 @@ HttpLbService::HttpLbService(std::vector<uint16_t> backend_ports, Options option
     cfg.max_pipeline_depth = options_.max_pipeline_depth;
     cfg.flush_watermark_bytes = options_.flush_watermark_bytes;
     cfg.fill_window = options_.fill_window;
+    cfg.io_shards = options_.io_shards;
     cfg.make_serializer = [] { return std::make_unique<runtime::HttpSerializer>(); };
     cfg.make_deserializer = [] {
       return std::make_unique<runtime::HttpDeserializer>(

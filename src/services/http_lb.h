@@ -38,6 +38,9 @@ class HttpLbService : public runtime::ServiceProgram {
     // Adaptive rx fill-window cap for client sources and pooled reply legs
     // (see BackendPoolConfig::fill_window; 1 = one-buffer reads).
     size_t fill_window = runtime::kDefaultFillWindow;
+    // Pool stripes (see BackendPoolConfig::io_shards; 0 = one stripe per
+    // platform IO shard, derived when the pool starts).
+    size_t io_shards = 0;
   };
 
   // `backend_ports`: the web servers to balance across.

@@ -19,6 +19,7 @@ MemcachedProxyService::MemcachedProxyService(std::vector<uint16_t> backend_ports
     cfg.max_pipeline_depth = options_.max_pipeline_depth;
     cfg.flush_watermark_bytes = options_.flush_watermark_bytes;
     cfg.fill_window = options_.fill_window;
+    cfg.io_shards = options_.io_shards;
     cfg.make_serializer = [unit] {
       return std::make_unique<runtime::GrammarSerializer>(unit);
     };

@@ -40,6 +40,9 @@ class MemcachedProxyService : public runtime::ServiceProgram {
     // Adaptive rx fill-window cap for client sources and pooled reply legs
     // (see BackendPoolConfig::fill_window; 1 = one-buffer reads).
     size_t fill_window = runtime::kDefaultFillWindow;
+    // Pool stripes (see BackendPoolConfig::io_shards; 0 = one stripe per
+    // platform IO shard, derived when the pool starts).
+    size_t io_shards = 0;
   };
 
   explicit MemcachedProxyService(std::vector<uint16_t> backend_ports);

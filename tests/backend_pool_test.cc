@@ -864,5 +864,250 @@ TEST_F(BackendPoolTest, ExclusiveStreamingLegReusesReducerWireAcrossGraphs) {
   platform.Stop();
 }
 
+// --- striped pool (sharded IO plane) -------------------------------------------
+
+// Leases land on the caller's home stripe; each stripe carries its own
+// conns_per_backend wires, cursors and lease bookkeeping.
+TEST_F(BackendPoolTest, StripedPoolKeepsLeasesOnHomeStripe) {
+  auto& platform = MakePlatform();
+  auto cfg = MemcachedPoolConfig({11001}, 1);
+  cfg.io_shards = 2;
+  services::BackendPool pool(std::move(cfg));
+  platform.Start();
+  ScopedPlatformStop stop_guard(platform);
+  ASSERT_TRUE(pool.EnsureStarted(platform.env()).ok());
+  EXPECT_EQ(pool.stripes(), 2u);
+
+  auto lease0 = pool.Acquire(/*preferred_stripe=*/0);
+  auto lease1 = pool.Acquire(/*preferred_stripe=*/1);
+  ASSERT_TRUE(lease0.ok() && lease1.ok());
+  EXPECT_EQ(lease0->stripe(), 0u);
+  EXPECT_EQ(lease1->stripe(), 1u);
+  EXPECT_EQ(pool.stats().stripe_spills, 0u);
+  // Each stripe accounts its own lease.
+  EXPECT_EQ(pool.SlotActiveLeases(0, 0), std::vector<uint32_t>{1});
+  EXPECT_EQ(pool.SlotActiveLeases(0, 1), std::vector<uint32_t>{1});
+
+  services::PoolLease l0 = std::move(lease0).value();
+  services::PoolLease l1 = std::move(lease1).value();
+  pool.Release(l0);
+  pool.Release(l1);
+  EXPECT_EQ(pool.SlotActiveLeases(0, 0), std::vector<uint32_t>{0});
+  EXPECT_EQ(pool.SlotActiveLeases(0, 1), std::vector<uint32_t>{0});
+  platform.Stop();
+}
+
+// An exhausted home stripe spills to the neighbour (counted); once the home
+// stripe frees up, later leases stay home again.
+TEST_F(BackendPoolTest, ExhaustedStripeSpillsToNeighbourAndCounts) {
+  auto& platform = MakePlatform();
+  auto cfg = MemcachedPoolConfig({11001}, 1);
+  cfg.io_shards = 2;
+  services::BackendPool pool(std::move(cfg));
+  platform.Start();
+  ScopedPlatformStop stop_guard(platform);
+  ASSERT_TRUE(pool.EnsureStarted(platform.env()).ok());
+
+  // Claim stripe 0's only slot exclusively: shared acquires preferring
+  // stripe 0 must spill to stripe 1.
+  auto exclusive = pool.AcquireExclusive(0, /*preferred_stripe=*/0);
+  ASSERT_TRUE(exclusive.ok());
+  EXPECT_EQ(exclusive->stripe(), 0u);
+
+  auto spilled = pool.Acquire(/*preferred_stripe=*/0);
+  ASSERT_TRUE(spilled.ok());
+  EXPECT_EQ(spilled->stripe(), 1u);
+  EXPECT_EQ(pool.stats().stripe_spills, 1u);
+
+  services::PoolLease ex = std::move(exclusive).value();
+  pool.Release(ex);
+  auto home_again = pool.Acquire(/*preferred_stripe=*/0);
+  ASSERT_TRUE(home_again.ok());
+  EXPECT_EQ(home_again->stripe(), 0u);
+  EXPECT_EQ(pool.stats().stripe_spills, 1u) << "no spill once home has room";
+
+  services::PoolLease s = std::move(spilled).value();
+  services::PoolLease h = std::move(home_again).value();
+  pool.Release(s);
+  pool.Release(h);
+  platform.Stop();
+}
+
+// Every stripe exhausted -> the acquire fails instead of silently blocking.
+TEST_F(BackendPoolTest, AllStripesExclusivelyClaimedFailsAcquire) {
+  auto& platform = MakePlatform();
+  auto cfg = MemcachedPoolConfig({11001}, 1);
+  cfg.io_shards = 2;
+  services::BackendPool pool(std::move(cfg));
+  platform.Start();
+  ScopedPlatformStop stop_guard(platform);
+  ASSERT_TRUE(pool.EnsureStarted(platform.env()).ok());
+
+  auto ex0 = pool.AcquireExclusive(0, 0);
+  auto ex1 = pool.AcquireExclusive(0, 1);
+  ASSERT_TRUE(ex0.ok() && ex1.ok());
+  EXPECT_EQ(ex0->stripe(), 0u);
+  EXPECT_EQ(ex1->stripe(), 1u);
+  EXPECT_EQ(pool.stats().stripe_spills, 0u) << "both went to their home stripe";
+
+  auto shared = pool.Acquire(0);
+  EXPECT_FALSE(shared.ok());
+  EXPECT_EQ(shared.status().code(), StatusCode::kResourceExhausted);
+
+  services::PoolLease a = std::move(ex0).value();
+  services::PoolLease b = std::move(ex1).value();
+  pool.Release(a);
+  pool.Release(b);
+  platform.Stop();
+}
+
+// Round-robin placement must spread leases evenly over connected slots, and
+// the cursor must keep cycling in bounds (the next_rr guard).
+TEST_F(BackendPoolTest, RoundRobinSpreadsLeasesOverConnectedSlots) {
+  load::MemcachedBackend backend(&transport_, 11001);
+  ASSERT_TRUE(backend.Start().ok());
+
+  auto& platform = MakePlatform();
+  services::BackendPool pool(MemcachedPoolConfig({11001}, 2));
+  platform.Start();
+  ScopedPlatformStop stop_guard(platform);
+  ASSERT_TRUE(pool.EnsureStarted(platform.env()).ok());
+  ASSERT_TRUE(WaitFor([&] { return pool.live_connections() == 2; }));
+
+  std::vector<services::PoolLease> leases;
+  for (int i = 0; i < 4; ++i) {
+    auto lease = pool.Acquire();
+    ASSERT_TRUE(lease.ok()) << i;
+    leases.push_back(std::move(lease).value());
+  }
+  EXPECT_EQ(pool.SlotActiveLeases(0), (std::vector<uint32_t>{2, 2}));
+  for (auto& lease : leases) {
+    pool.Release(lease);
+  }
+  // Many acquire/release cycles keep the cursor cycling without ever
+  // indexing out of bounds (ASan guards the indexing).
+  for (int i = 0; i < 100; ++i) {
+    auto lease = pool.Acquire();
+    ASSERT_TRUE(lease.ok());
+    services::PoolLease l = std::move(lease).value();
+    pool.Release(l);
+  }
+  EXPECT_EQ(pool.SlotActiveLeases(0), (std::vector<uint32_t>{0, 0}));
+  platform.Stop();
+}
+
+// A dead slot must not capture placement while a connected sibling exists —
+// the "redial-shrunk" skew: the cursor keeps rotating over the full slot
+// vector, but placement prefers live wires.
+TEST_F(BackendPoolTest, DeadSlotDoesNotCapturePlacement) {
+  load::MemcachedBackend backend(&transport_, 11001);
+  ASSERT_TRUE(backend.Start().ok());
+
+  auto& platform = MakePlatform();
+  services::BackendPool pool(MemcachedPoolConfig({11001}, 2));
+  platform.Start();
+  ScopedPlatformStop stop_guard(platform);
+  ASSERT_TRUE(pool.EnsureStarted(platform.env()).ok());
+  ASSERT_TRUE(WaitFor([&] { return pool.live_connections() == 2; }));
+
+  // Kill slot 0 and hold its redial far in the future: a mixed dead/live
+  // state the placement loop must route around.
+  pool.CloseConnectionForTest(/*backend_index=*/0, /*slot=*/0, /*stripe=*/0,
+                              /*redial_hold_ns=*/60'000'000'000);
+  ASSERT_TRUE(WaitFor([&] { return pool.live_connections() == 1; }));
+
+  std::vector<services::PoolLease> leases;
+  for (int i = 0; i < 4; ++i) {
+    auto lease = pool.Acquire();
+    ASSERT_TRUE(lease.ok()) << i;
+    leases.push_back(std::move(lease).value());
+  }
+  EXPECT_EQ(pool.SlotActiveLeases(0), (std::vector<uint32_t>{0, 4}))
+      << "placement skewed onto the dead slot";
+  EXPECT_EQ(pool.stats().lease_waits, 0u)
+      << "no lease should have had to wait while a live slot existed";
+  for (auto& lease : leases) {
+    pool.Release(lease);
+  }
+  platform.Stop();
+}
+
+// A malformed response on a pooled HTTP wire (non-numeric status, garbage
+// Content-Length) must surface — parse-error counter + wire drop — instead
+// of stalling the wire (pre-fix, an overflowed Content-Length wrapped into a
+// bogus body size the framing loop waited on forever).
+TEST_F(BackendPoolTest, MalformedHttpResponseSurfacesInsteadOfStalling) {
+  auto listener = transport_.Listen(8088);
+  ASSERT_TRUE(listener.ok());
+  std::atomic<bool> stop{false};
+  std::thread backend([&] {
+    std::vector<std::unique_ptr<Connection>> conns;
+    while (!stop.load(std::memory_order_acquire)) {
+      if (auto c = (*listener)->Accept()) {
+        conns.push_back(std::move(c));
+      }
+      for (auto& c : conns) {
+        char buf[512];
+        auto got = c->Read(buf, sizeof(buf));
+        if (got.ok() && *got > 0) {
+          // Content-Length overflows uint64: the parser must reject it.
+          const std::string resp =
+              "HTTP/1.1 200 OK\r\nContent-Length: 99999999999999999999\r\n\r\n";
+          (void)c->Write(resp.data(), resp.size());
+        }
+      }
+      std::this_thread::sleep_for(200us);
+    }
+  });
+  // Joins the backend thread on ANY exit path (incl. failed ASSERTs) before
+  // the listener above unwinds.
+  struct BackendGuard {
+    std::atomic<bool>& stop;
+    std::thread& thread;
+    ~BackendGuard() {
+      stop.store(true, std::memory_order_release);
+      if (thread.joinable()) {
+        thread.join();
+      }
+    }
+  } backend_guard{stop, backend};
+
+  auto& platform = MakePlatform();
+  services::BackendPoolConfig cfg;
+  cfg.ports = {8088};
+  cfg.conns_per_backend = 1;
+  cfg.make_serializer = [] { return std::make_unique<runtime::HttpSerializer>(); };
+  cfg.make_deserializer = [] {
+    return std::make_unique<runtime::HttpDeserializer>(
+        proto::HttpParser::Mode::kResponse);
+  };
+  services::BackendPool pool(std::move(cfg));
+  platform.Start();
+  ScopedPlatformStop stop_guard(platform);
+  ASSERT_TRUE(pool.EnsureStarted(platform.env()).ok());
+
+  auto lease = pool.Acquire();
+  ASSERT_TRUE(lease.ok());
+  runtime::Channel requests(16);
+  runtime::Channel replies(16);
+  pool.Attach(*lease, /*backend_index=*/0, &requests, &replies);
+
+  runtime::MsgPool msgs(16);
+  runtime::MsgRef req = msgs.Acquire();
+  req->kind = runtime::Msg::Kind::kHttp;
+  req->http = proto::MakeRequest("GET", "/");
+  ASSERT_TRUE(requests.TryPush(std::move(req)));
+
+  // The malformed response must be SURFACED: counted and the wire dropped —
+  // not silently waited on.
+  ASSERT_TRUE(WaitFor([&] { return pool.stats().response_parse_errors >= 1; }));
+  EXPECT_GE(pool.stats().disconnects, 1u);
+  EXPECT_EQ(pool.stats().responses_routed, 0u);
+
+  services::PoolLease l = std::move(lease).value();
+  pool.Release(l);
+  platform.Stop();
+}
+
 }  // namespace
 }  // namespace flick

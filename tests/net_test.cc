@@ -2,8 +2,10 @@
 // the benches) and the real kernel loopback transport.
 #include <gtest/gtest.h>
 
+#include <memory>
 #include <string>
 #include <thread>
+#include <vector>
 
 #include "net/kernel_transport.h"
 #include "net/sim_transport.h"
@@ -44,6 +46,50 @@ TEST_F(SimTransportTest, DuplicateListenRejected) {
   auto l2 = transport_.Listen(7001);
   EXPECT_FALSE(l2.ok());
   EXPECT_EQ(l2.status().code(), StatusCode::kAlreadyExists);
+}
+
+// The sharded-accept path: ListenShared joins the port's accept group and
+// connections are placed round-robin across the members — the sim's
+// SO_REUSEPORT equivalent.
+TEST_F(SimTransportTest, ListenSharedRoundRobinsAcceptPlacement) {
+  auto l1 = transport_.Listen(7400);
+  ASSERT_TRUE(l1.ok());
+  auto l2 = transport_.ListenShared(7400);
+  ASSERT_TRUE(l2.ok());
+
+  std::vector<std::unique_ptr<Connection>> clients;
+  for (int i = 0; i < 6; ++i) {
+    auto c = transport_.Connect(7400);
+    ASSERT_TRUE(c.ok()) << i;
+    clients.push_back(std::move(c).value());
+  }
+  size_t accepted1 = 0, accepted2 = 0;
+  while ((*l1)->Accept() != nullptr) {
+    ++accepted1;
+  }
+  while ((*l2)->Accept() != nullptr) {
+    ++accepted2;
+  }
+  EXPECT_EQ(accepted1, 3u);
+  EXPECT_EQ(accepted2, 3u);
+}
+
+// A closed group member is skipped; the survivors keep accepting.
+TEST_F(SimTransportTest, ListenSharedSurvivesMemberClose) {
+  auto l1 = transport_.Listen(7401);
+  ASSERT_TRUE(l1.ok());
+  auto l2 = transport_.ListenShared(7401);
+  ASSERT_TRUE(l2.ok());
+  (*l1)->Close();
+
+  for (int i = 0; i < 4; ++i) {
+    ASSERT_TRUE(transport_.Connect(7401).ok()) << i;
+  }
+  size_t accepted2 = 0;
+  while ((*l2)->Accept() != nullptr) {
+    ++accepted2;
+  }
+  EXPECT_EQ(accepted2, 4u);
 }
 
 TEST_F(SimTransportTest, PortReusableAfterListenerClose) {
@@ -395,6 +441,33 @@ TEST(KernelTransportTest, LoopbackEcho) {
     }
   }
   EXPECT_EQ(std::string(buf, got), "ping");
+}
+
+// SO_REUSEPORT accept group: a second listener on the same port must bind,
+// and a connection lands on exactly one member.
+TEST(KernelTransportTest, ListenSharedBindsSamePort) {
+  KernelTransport transport;
+  auto l1 = transport.Listen(0);  // ephemeral port
+  ASSERT_TRUE(l1.ok());
+  const uint16_t port = (*l1)->port();
+  auto l2 = transport.ListenShared(port);
+  ASSERT_TRUE(l2.ok()) << l2.status().message();
+  EXPECT_EQ((*l2)->port(), port);
+
+  auto client = transport.Connect(port);
+  ASSERT_TRUE(client.ok());
+  std::unique_ptr<Connection> server;
+  for (int i = 0; i < 1000 && server == nullptr; ++i) {
+    server = (*l1)->Accept();
+    if (server == nullptr) {
+      server = (*l2)->Accept();
+    }
+    if (server == nullptr) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
+  }
+  ASSERT_NE(server, nullptr);
+  EXPECT_TRUE(server->IsOpen());
 }
 
 TEST(KernelTransportTest, WritevGatherLoopback) {

@@ -241,6 +241,74 @@ TEST_F(HttpTest, HeaderWithoutColonIsError) {
   EXPECT_EQ(parser.Feed(input, &msg), ParseStatus::kError);
 }
 
+// --- strict numeric fields -----------------------------------------------
+// atoi/strtoull used to coerce garbage into 0 (a phantom zero-length body
+// desyncing the stream) or wrap overflow into a bogus size_t the framing
+// loop then waited on forever — on a pooled wire that stalled every lease.
+// Malformed values must be parse ERRORS so the pool drops the wire instead.
+
+TEST_F(HttpTest, NonNumericStatusCodeIsError) {
+  BufferChain input(&pool_);
+  ASSERT_TRUE(input.Append("HTTP/1.1 2x0 OK\r\n\r\n"));
+  HttpParser parser(HttpParser::Mode::kResponse);
+  HttpMessage msg;
+  EXPECT_EQ(parser.Feed(input, &msg), ParseStatus::kError);
+}
+
+TEST_F(HttpTest, StatusCodeMustBeThreeDigits) {
+  for (const char* code : {"20", "2000", "099", "", "-20"}) {
+    BufferChain input(&pool_);
+    ASSERT_TRUE(input.Append(std::string("HTTP/1.1 ") + code + " OK\r\n\r\n"));
+    HttpParser parser(HttpParser::Mode::kResponse);
+    HttpMessage msg;
+    EXPECT_EQ(parser.Feed(input, &msg), ParseStatus::kError) << code;
+  }
+}
+
+TEST_F(HttpTest, NonNumericContentLengthIsError) {
+  // (A whitespace-only value trims to empty and means "no header".)
+  for (const char* cl : {"abc", "12abc", "-1", "+5", "1e3"}) {
+    BufferChain input(&pool_);
+    ASSERT_TRUE(input.Append(std::string("HTTP/1.1 200 OK\r\nContent-Length: ") +
+                             cl + "\r\n\r\n"));
+    HttpParser parser(HttpParser::Mode::kResponse);
+    HttpMessage msg;
+    EXPECT_EQ(parser.Feed(input, &msg), ParseStatus::kError) << cl;
+  }
+}
+
+TEST_F(HttpTest, OverflowingContentLengthIsError) {
+  // 2^64 and beyond: strtoull wrapped these into a bogus size_t; they must
+  // be rejected outright, before any narrowing.
+  for (const char* cl : {"18446744073709551616", "99999999999999999999999999"}) {
+    BufferChain input(&pool_);
+    ASSERT_TRUE(input.Append(std::string("GET / HTTP/1.1\r\nContent-Length: ") +
+                             cl + "\r\n\r\n"));
+    HttpParser parser(HttpParser::Mode::kRequest);
+    HttpMessage msg;
+    EXPECT_EQ(parser.Feed(input, &msg), ParseStatus::kError) << cl;
+  }
+}
+
+TEST_F(HttpTest, ContentLengthAboveBodyCapIsError) {
+  BufferChain input(&pool_);
+  HttpParser parser(HttpParser::Mode::kResponse);
+  parser.set_max_body_bytes(1024);
+  ASSERT_TRUE(input.Append("HTTP/1.1 200 OK\r\nContent-Length: 2048\r\n\r\n"));
+  HttpMessage msg;
+  EXPECT_EQ(parser.Feed(input, &msg), ParseStatus::kError);
+}
+
+TEST_F(HttpTest, ValidContentLengthStillFramesBody) {
+  BufferChain input(&pool_);
+  ASSERT_TRUE(input.Append("HTTP/1.1 404 Not Found\r\nContent-Length: 4\r\n\r\ngone"));
+  HttpParser parser(HttpParser::Mode::kResponse);
+  HttpMessage msg;
+  ASSERT_EQ(parser.Feed(input, &msg), ParseStatus::kDone);
+  EXPECT_EQ(msg.status_code, 404);
+  EXPECT_EQ(msg.body, "gone");
+}
+
 TEST_F(HttpTest, OversizeHeadersRejected) {
   BufferChain input(&pool_);
   HttpParser parser(HttpParser::Mode::kRequest);

@@ -850,10 +850,24 @@ class EchoService : public ServiceProgram {
 
     std::lock_guard<std::mutex> lock(mutex_);
     graphs_.push_back(std::move(graph));
+    shards_seen_.push_back(env.io_shard);
+  }
+
+  // How many connections each IO shard accepted (index = shard).
+  std::vector<size_t> ShardCounts(size_t shards) {
+    std::vector<size_t> counts(shards, 0);
+    std::lock_guard<std::mutex> lock(mutex_);
+    for (size_t s : shards_seen_) {
+      if (s < shards) {
+        ++counts[s];
+      }
+    }
+    return counts;
   }
 
   std::mutex mutex_;
   std::vector<std::unique_ptr<TaskGraph>> graphs_;
+  std::vector<size_t> shards_seen_;
 };
 
 TEST(PlatformTest, EchoServiceEndToEnd) {
@@ -915,6 +929,71 @@ TEST(PlatformTest, TwoProgramsShareThePlatform) {
   EXPECT_EQ(read_all(ca->get(), 3), "aaa");
   EXPECT_EQ(read_all(cb->get(), 3), "bbb");
   platform.Stop();
+}
+
+// Sharded IO plane: every shard must accept its share of the connections
+// (sim accept groups place round-robin) and serve them end to end — each
+// connection's graph is watched and driven entirely by its accepting shard.
+TEST(PlatformTest, ShardedAcceptDistributesAndServesEndToEnd) {
+  SimNetwork net;
+  SimTransport transport(&net, StackCostModel::Null());
+  PlatformConfig config;
+  config.scheduler.num_workers = 2;
+  config.io_shards = 2;
+  Platform platform(config, &transport);
+  EXPECT_EQ(platform.io_shards(), 2u);
+  EchoService echo;
+  ASSERT_TRUE(platform.RegisterProgram(9400, &echo).ok());
+  platform.Start();
+
+  constexpr int kClients = 6;
+  std::vector<std::unique_ptr<Connection>> clients;
+  for (int i = 0; i < kClients; ++i) {
+    auto c = transport.Connect(9400);
+    ASSERT_TRUE(c.ok()) << i;
+    clients.push_back(std::move(c).value());
+  }
+  for (int i = 0; i < kClients; ++i) {
+    const std::string payload = "msg-" + std::to_string(i);
+    ASSERT_TRUE(clients[i]->Write(payload.data(), payload.size()).ok());
+    std::string response;
+    char buf[64];
+    ASSERT_TRUE(WaitFor([&] {
+      auto got = clients[i]->Read(buf, sizeof(buf));
+      if (got.ok() && *got > 0) {
+        response.append(buf, *got);
+      }
+      return response.size() >= payload.size();
+    })) << i;
+    EXPECT_EQ(response, payload);
+  }
+
+  const std::vector<size_t> counts = echo.ShardCounts(2);
+  EXPECT_EQ(counts[0], 3u) << "round-robin accept placement";
+  EXPECT_EQ(counts[1], 3u);
+  platform.Stop();
+}
+
+// Per-shard envs view the same shared components but their own poller.
+TEST(PlatformTest, ShardEnvsShareStateButOwnPoller) {
+  SimNetwork net;
+  SimTransport transport(&net, StackCostModel::Null());
+  PlatformConfig config;
+  config.io_shards = 3;
+  Platform platform(config, &transport);
+  ASSERT_EQ(platform.io_shards(), 3u);
+  for (size_t s = 0; s < 3; ++s) {
+    PlatformEnv& env = platform.env(s);
+    EXPECT_EQ(env.io_shard, s);
+    EXPECT_EQ(env.io_shard_count(), 3u);
+    EXPECT_EQ(env.poller, &platform.poller(s));
+    EXPECT_EQ(env.shard_poller(s), env.poller);
+    EXPECT_EQ(env.scheduler, &platform.scheduler());
+    EXPECT_EQ(env.state, &platform.state());
+  }
+  // Distinct pollers per shard.
+  EXPECT_NE(&platform.poller(0), &platform.poller(1));
+  EXPECT_NE(&platform.poller(1), &platform.poller(2));
 }
 
 TEST(PlatformTest, RegisterOnBusyPortFails) {
