@@ -1,0 +1,130 @@
+// The million-idle-connection scenario (paper §2: middleboxes hold large
+// numbers of mostly-idle persistent connections; the platform must keep
+// per-idle-connection cost — memory AND wakeup work — near zero so active
+// flows get the cycles).
+//
+// One IO shard carries N mostly-idle keep-alive HTTP connections, every one
+// with an armed idle-timeout timer on the shard's wheel. A small active
+// subset proves the shard still serves while the idle mass sits. Gated
+// economics, per idle conn:
+//   sweep_ns_per_idle_conn — poller sweep cost normalised by conn count;
+//     must stay FLAT from 10k to 100k (linear total, no superlinear blowup).
+//   rx_bytes_per_idle_conn — pool buffer bytes pinned per idle conn; the
+//     quiescent reserve release should keep this near zero.
+//   admissions_shed — must be 0: the cap is above N, nothing may shed.
+// Plus wheel occupancy (timers_armed ≈ conns) and the idle-sweep fraction
+// showing the adaptive sleep engaged.
+#include "bench/bench_common.h"
+
+#include <string>
+#include <vector>
+
+#include "services/static_http.h"
+
+namespace flick::bench {
+namespace {
+
+// Idle conns move a 137 B request/response once; 1 KiB rings keep 100k
+// connections' fabric footprint in the tens of MBs, not tens of GBs.
+constexpr size_t kIdleRingBytes = 1024;
+constexpr size_t kActiveConns = 512;
+
+void BM_IdleConns(benchmark::State& state) {
+  const size_t conns = static_cast<size_t>(state.range(0));
+  const std::string req = "GET / HTTP/1.1\r\nHost: idle\r\n\r\n";
+  for (auto _ : state) {
+    SimNetwork net(kIdleRingBytes);
+    SimTransport server_transport(&net, StackCostModel::Null());
+    SimTransport client_transport(&net, StackCostModel::Null());
+
+    runtime::PlatformConfig config = MakePlatformConfig(2);
+    config.idle_timeout_ns = 60'000'000'000;    // armed on every conn, never due
+    config.header_deadline_ns = 10'000'000'000;
+    config.max_conns_per_shard = conns + 64;    // cap present, never exceeded
+    runtime::Platform platform(config, &server_transport);
+    services::StaticHttpService service("ok");
+    FLICK_CHECK(platform.RegisterProgram(80, &service).ok());
+    platform.Start();
+
+    std::vector<std::unique_ptr<Connection>> clients;
+    clients.reserve(conns);
+    for (size_t i = 0; i < conns; ++i) {
+      auto c = client_transport.Connect(80);
+      FLICK_CHECK(c.ok());
+      clients.push_back(std::move(c).value());
+    }
+    // Every conn admitted, watched, and its idle timer armed by the first
+    // (would-block) input slice.
+    runtime::IoPoller& poller = platform.poller(0);
+    while (poller.admission().live() < conns ||
+           poller.wheel().armed_count() < conns) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
+    // Active subset: one keep-alive request each, pipelined then drained, so
+    // the measurement window starts from a realistic served-then-idle state.
+    const size_t active = std::min(conns, kActiveConns);
+    for (size_t i = 0; i < active; ++i) {
+      FLICK_CHECK(clients[i]->Write(req.data(), req.size()).ok());
+    }
+    size_t responded = 0;
+    std::vector<std::string> acc(active);  // terminator may split across reads
+    while (responded < active) {
+      for (size_t i = 0; i < active; ++i) {
+        if (acc[i].find("\r\n\r\n") != std::string::npos) {
+          continue;
+        }
+        char buf[256];
+        auto got = clients[i]->Read(buf, sizeof(buf));
+        FLICK_CHECK(got.ok());
+        if (*got > 0) {
+          acc[i].append(buf, *got);
+          if (acc[i].find("\r\n\r\n") != std::string::npos) {
+            ++responded;
+          }
+        }
+      }
+    }
+
+    // Quiet window: everything idle, timers armed, nothing due.
+    std::this_thread::sleep_for(std::chrono::milliseconds(100));
+    const uint64_t busy0 = poller.busy_ns();
+    const uint64_t sweeps0 = poller.sweeps();
+    const uint64_t idle0 = poller.sweeps_idle();
+    std::this_thread::sleep_for(std::chrono::milliseconds(400));
+    const uint64_t busy_d = poller.busy_ns() - busy0;
+    const uint64_t sweeps_d = poller.sweeps() - sweeps0;
+    const uint64_t idle_d = poller.sweeps_idle() - idle0;
+
+    const BufferPoolStats pstats = platform.buffers().stats();
+    const double sweep_ns_per_conn =
+        static_cast<double>(busy_d) /
+        static_cast<double>(std::max<uint64_t>(sweeps_d, 1)) /
+        static_cast<double>(conns);
+    state.counters["idle_conns"] = benchmark::Counter(static_cast<double>(conns));
+    state.counters["sweep_ns_per_idle_conn"] = benchmark::Counter(sweep_ns_per_conn);
+    state.counters["idle_sweep_frac"] = benchmark::Counter(
+        static_cast<double>(idle_d) /
+        static_cast<double>(std::max<uint64_t>(sweeps_d, 1)));
+    state.counters["rx_bytes_per_idle_conn"] = benchmark::Counter(
+        static_cast<double>(pstats.in_use) * static_cast<double>(config.io_buffer_size) /
+        static_cast<double>(conns));
+    state.counters["timers_armed"] =
+        benchmark::Counter(static_cast<double>(poller.wheel().armed_count()));
+    state.counters["timers_fired"] = benchmark::Counter(
+        static_cast<double>(poller.wheel().stats().fired));
+    state.counters["admissions_shed"] =
+        benchmark::Counter(static_cast<double>(poller.admission().shed()));
+    state.counters["requests_served"] =
+        benchmark::Counter(static_cast<double>(service.requests()));
+
+    clients.clear();
+    platform.Stop();
+  }
+}
+
+BENCHMARK(BM_IdleConns)->Arg(10'000)->Arg(100'000)->Iterations(1)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace flick::bench
+
+BENCHMARK_MAIN();

@@ -24,8 +24,11 @@ Regenerate the baseline via the workflow_dispatch input `regen_baseline`
       --benchmark_out=bench_fig5_conns_smoke.json --benchmark_out_format=json
   ./build/bench_fig4_http_lb --benchmark_filter='Fig4Smoke|Fig4Shards' \
       --benchmark_out=bench_fig4_smoke.json --benchmark_out_format=json
+  ./build/bench_idle_conns \
+      --benchmark_out=bench_idle_smoke.json --benchmark_out_format=json
   python3 scripts/merge_bench_smoke.py bench_micro_smoke.json \
-      bench_fig5_conns_smoke.json bench_fig4_smoke.json  # -> bench_smoke.json
+      bench_fig5_conns_smoke.json bench_fig4_smoke.json \
+      bench_idle_smoke.json  # -> bench_smoke.json
 """
 
 import argparse
@@ -36,21 +39,28 @@ GATED_PREFIXES = ("BM_Fig5Conns_Pooled", "BM_Fig4Smoke", "BM_Fig5Shards",
                   "BM_Fig4Shards")
 METRIC = "reqs_per_s"
 
+# Lower-is-better series: the idle-conn points gate the pool bytes PINNED per
+# idle connection (the per-connection memory economics of the million-idle
+# scenario). A point exceeding baseline * (1 + threshold) fails.
+GATED_LOW_PREFIXES = ("BM_IdleConns",)
+LOW_METRIC = "rx_bytes_per_idle_conn"
+
 
 def load_points(path):
     with open(path) as f:
         data = json.load(f)
     points = {}
+    low_points = {}
     for bench in data.get("benchmarks", []):
         name = bench["name"]
-        if not name.startswith(GATED_PREFIXES):
-            continue
         # Counters live under "counters" on newer libbenchmark, top-level on
         # older ones.
         counters = bench.get("counters", bench)
-        if METRIC in counters:
+        if name.startswith(GATED_PREFIXES) and METRIC in counters:
             points[name] = float(counters[METRIC])
-    return points
+        elif name.startswith(GATED_LOW_PREFIXES) and LOW_METRIC in counters:
+            low_points[name] = float(counters[LOW_METRIC])
+    return points, low_points
 
 
 def main():
@@ -61,8 +71,8 @@ def main():
                         help="allowed fractional throughput drop (default 0.30)")
     args = parser.parse_args()
 
-    baseline = load_points(args.baseline)
-    current = load_points(args.current)
+    baseline, baseline_low = load_points(args.baseline)
+    current, current_low = load_points(args.current)
     if not baseline:
         print(f"FAIL: no gated points ({GATED_PREFIXES}) in {args.baseline}")
         return 1
@@ -92,6 +102,24 @@ def main():
                   "regenerate via the workflow_dispatch 'regen_baseline' "
                   "input so the gate has teeth")
     for name in sorted(set(current) - set(baseline)):
+        print(f"WARN  {name}: not in baseline (gated after next regeneration)")
+
+    # Lower-is-better: idle-conn per-connection byte cost must not grow.
+    for name, base_val in sorted(baseline_low.items()):
+        if name not in current_low:
+            failures.append(f"{name}: present in baseline but missing from this run")
+            continue
+        cur_val = current_low[name]
+        ceiling = base_val * (1.0 + args.threshold)
+        delta = (cur_val - base_val) / base_val if base_val else 0.0
+        verdict = "FAIL" if cur_val > ceiling else "ok"
+        print(f"{verdict:>4}  {name}: {LOW_METRIC} {cur_val:,.1f} vs baseline "
+              f"{base_val:,.1f} ({delta:+.1%}, ceiling {ceiling:,.1f})")
+        if cur_val > ceiling:
+            failures.append(f"{name}: {LOW_METRIC} {cur_val:,.1f} > ceiling "
+                            f"{ceiling:,.1f} ({delta:+.1%} vs baseline) — "
+                            f"idle connections are pinning more pool bytes")
+    for name in sorted(set(current_low) - set(baseline_low)):
         print(f"WARN  {name}: not in baseline (gated after next regeneration)")
 
     if failures:

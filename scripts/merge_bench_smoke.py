@@ -32,6 +32,12 @@ Asserted invariants (smoke fails on violation):
   5. Stripe locality: every pooled point exporting pool_stripe_spills must
      report 0 — in steady state every lease is served by its home stripe;
      spills mean the striping is mis-sized or the spill path is leaking.
+  6. Idle-conn plane: on every BM_IdleConns point the poller's quiescent
+     sweep cost per idle connection stays near zero (edge-triggered
+     readiness means the sweep never scans the idle mass), the cost does not
+     blow up from 10k to 100k conns, the adaptive sleep engages
+     (idle_sweep_frac), one idle timer is armed per conn, and
+     admissions_shed == 0 — the shard cap sits above N, nothing may shed.
 """
 
 import json
@@ -44,6 +50,17 @@ import sys
 # cannot win, it just must not collapse — so the floor loosens.
 SHARD_NOISE_FLOOR = 0.35
 SHARD_OVERSUBSCRIBED_FLOOR = 0.55
+
+# Idle-conn plane (invariant 6). The absolute cap is the teeth: the legacy
+# O(n) readiness scan costs ~100-250 ns per idle conn per sweep (memory
+# bound), the edge-triggered poller ~2-8 ns; anything above the cap means the
+# sweep is touching the idle mass again. The ratio bound catches superlinear
+# growth between the 10k and 100k points, waived while both sit under the
+# noise floor where single cache misses dominate the division.
+IDLE_SWEEP_NS_CAP = 40.0
+IDLE_SWEEP_FLAT_RATIO = 8.0
+IDLE_SWEEP_NOISE_NS = 15.0
+IDLE_SLEEP_FRAC_FLOOR = 0.5
 
 
 def counters_of(bench):
@@ -168,6 +185,48 @@ def main(argv):
         spills_checked += 1
         batching.setdefault(b["name"], {}).setdefault("pool_stripe_spills", spills)
 
+    # 6. Idle-conn plane: near-zero flat sweep cost, no shedding under cap.
+    idle_points = {}
+    for b in merged["benchmarks"]:
+        if not b["name"].startswith("BM_IdleConns/"):
+            continue
+        c = counters_of(b)
+        n = int(c["idle_conns"])
+        idle_points[n] = c
+        sweep = c["sweep_ns_per_idle_conn"]
+        assert sweep <= IDLE_SWEEP_NS_CAP, (
+            f"{b['name']}: {sweep:.1f} ns sweep cost per idle conn (cap "
+            f"{IDLE_SWEEP_NS_CAP}) — the poller is scanning the idle mass")
+        assert c["admissions_shed"] == 0, (
+            f"{b['name']}: {c['admissions_shed']:.0f} admissions shed with "
+            f"the cap above N — the shard is shedding conns it should admit")
+        assert c["idle_sweep_frac"] >= IDLE_SLEEP_FRAC_FLOOR, (
+            f"{b['name']}: idle_sweep_frac {c['idle_sweep_frac']:.2f} below "
+            f"{IDLE_SLEEP_FRAC_FLOOR} — the adaptive sleep is not engaging")
+        assert c["timers_armed"] >= n, (
+            f"{b['name']}: {c['timers_armed']:.0f} timers armed for {n} "
+            f"conns — idle deadlines are not being armed per connection")
+        batching[b["name"]] = {
+            "idle_conns": n,
+            "sweep_ns_per_idle_conn": sweep,
+            "idle_sweep_frac": c["idle_sweep_frac"],
+            "rx_bytes_per_idle_conn": c.get("rx_bytes_per_idle_conn"),
+            "timers_armed": c["timers_armed"],
+            "timers_fired": c.get("timers_fired"),
+            "admissions_shed": c["admissions_shed"],
+        }
+    if idle_points:
+        lo, hi = min(idle_points), max(idle_points)
+        assert hi > lo, "idle-conn series needs at least two scale points"
+        lo_ns = idle_points[lo]["sweep_ns_per_idle_conn"]
+        hi_ns = idle_points[hi]["sweep_ns_per_idle_conn"]
+        flat = (hi_ns <= IDLE_SWEEP_NOISE_NS or
+                hi_ns <= max(lo_ns, 0.1) * IDLE_SWEEP_FLAT_RATIO)
+        assert flat, (
+            f"idle sweep cost blows up with scale: {lo_ns:.1f} ns/conn at "
+            f"{lo} conns vs {hi_ns:.1f} at {hi} — per-idle-conn wakeup work "
+            f"must stay flat")
+
     for b in merged["benchmarks"]:
         if b["name"].startswith(("BM_WriteCoalescedWritev",
                                  "BM_WriteMessagePerSyscall")):
@@ -189,7 +248,8 @@ def main(argv):
           f"{len(pooled)} pooled fig5 points batching-checked; "
           f"{fills_checked} pooled points fill-checked; "
           f"{len(shard_points)} shard-scaling points checked; "
-          f"{spills_checked} points spill-checked")
+          f"{spills_checked} points spill-checked; "
+          f"{len(idle_points)} idle-conn points checked")
     return 0
 
 

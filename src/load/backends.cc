@@ -1,5 +1,7 @@
 #include "load/backends.h"
 
+#include <pthread.h>
+
 #include <chrono>
 
 #include "buffer/buffer_pool.h"
@@ -73,6 +75,7 @@ void HttpBackend::Stop() {
 }
 
 void HttpBackend::Serve() {
+  pthread_setname_np(pthread_self(), "lb-http-be");
   BufferPool pool(512, 8192);
   std::vector<std::unique_ptr<ConnState>> conns;
   std::vector<std::unique_ptr<proto::HttpParser>> parsers;
@@ -167,6 +170,7 @@ void MemcachedBackend::Preload(const std::string& key, const std::string& value)
 }
 
 void MemcachedBackend::Serve() {
+  pthread_setname_np(pthread_self(), "lb-mc-be");
   BufferPool pool(512, 8192);
   std::vector<std::unique_ptr<ConnState>> conns;
   std::vector<std::unique_ptr<grammar::UnitParser>> parsers;
@@ -281,6 +285,7 @@ void ReducerSink::Stop() {
 }
 
 void ReducerSink::Serve() {
+  pthread_setname_np(pthread_self(), "lb-red-be");
   BufferPool pool(512, 16 * 1024);
   std::vector<std::unique_ptr<ConnState>> conns;
   std::vector<std::unique_ptr<grammar::UnitParser>> parsers;

@@ -1,5 +1,7 @@
 #include "load/http_load.h"
 
+#include <pthread.h>
+
 #include <chrono>
 
 #include "base/time_util.h"
@@ -32,6 +34,7 @@ struct WorkerResult {
 
 void RunWorker(Transport* transport, const HttpLoadConfig& config, int n_clients,
                const std::string& request_wire, uint64_t deadline_ns, WorkerResult* out) {
+  pthread_setname_np(pthread_self(), "lb-http-load");
   BufferPool pool(static_cast<size_t>(n_clients) * 4 + 64, 8192);
   std::vector<Client> clients(static_cast<size_t>(n_clients));
   for (Client& c : clients) {

@@ -1,5 +1,7 @@
 #include "load/memcached_load.h"
 
+#include <pthread.h>
+
 #include <chrono>
 #include <thread>
 #include <vector>
@@ -36,6 +38,7 @@ struct WorkerResult {
 
 void RunWorker(Transport* transport, const MemcachedLoadConfig& config, int n_clients,
                uint64_t seed, uint64_t deadline_ns, WorkerResult* out) {
+  pthread_setname_np(pthread_self(), "lb-mc-load");
   BufferPool pool(static_cast<size_t>(n_clients) * 4 + 64, 4096);
   Rng rng(seed);
   std::vector<Client> clients(static_cast<size_t>(n_clients));

@@ -44,6 +44,9 @@ Result<size_t> SimConnection::Read(void* buf, size_t len) {
     return size_t{0};
   }
   SpinWork(cost_.op_cost + cost_.per_kb_cost * ((n + 1023) / 1024));
+  if (cost_.max_bytes_per_op > 0) {
+    RearmIfResidual();
+  }
   return n;
 }
 
@@ -80,6 +83,9 @@ Result<size_t> SimConnection::Readv(const MutIoSlice* slices, size_t count) {
     return total;
   }
   SpinWork(cost_.op_cost + cost_.per_kb_cost * ((total + 1023) / 1024));
+  if (cost_.max_bytes_per_op > 0) {
+    RearmIfResidual();
+  }
   return total;
 }
 
@@ -99,6 +105,7 @@ Result<size_t> SimConnection::Write(const void* buf, size_t len) {
     return n;
   }
   SpinWork(cost_.op_cost + cost_.per_kb_cost * ((n + 1023) / 1024));
+  FirePeerHook();
   return n;
 }
 
@@ -132,6 +139,7 @@ Result<size_t> SimConnection::Writev(const IoSlice* slices, size_t count) {
     return total;
   }
   SpinWork(cost_.op_cost + cost_.per_kb_cost * ((total + 1023) / 1024));
+  FirePeerHook();
   return total;
 }
 
@@ -139,6 +147,7 @@ void SimConnection::Close() {
   bool was_open = my_open().exchange(false, std::memory_order_acq_rel);
   if (was_open) {
     SpinWork(cost_.teardown_cost);
+    FirePeerHook();  // peer is now "readable": its reads return kUnavailable
   }
 }
 
@@ -149,6 +158,45 @@ bool SimConnection::ReadReady() const {
     return false;
   }
   return rx().ReadableBytes() > 0 || !peer_open().load(std::memory_order_acquire);
+}
+
+namespace {
+
+void FireHook(internal::ReadyHook& hook) {
+  std::lock_guard<std::mutex> lock(hook.mu);
+  if (hook.fn != nullptr) {
+    hook.fn();
+  }
+}
+
+}  // namespace
+
+// Fired on EVERY successful write, not just the empty->nonempty edge: the
+// SPSC ring is lock-free, so a writer cannot atomically pair "was the ring
+// empty" with its publish — a reader draining between the two would swallow
+// the edge and strand the bytes. Unconditional fire is race-free because the
+// receiver (Scheduler::NotifyRunnable) coalesces duplicate notifications.
+void SimConnection::FirePeerHook() const { FireHook(peer_hook()); }
+
+// An injected short read (max_bytes_per_op below what the ring holds) breaks
+// the "short fill proves the wire drained" contract readers rely on — and the
+// leftover bytes may never see another write, hence never another edge. Re-arm
+// by firing our OWN hook, the way level-triggered epoll keeps reporting a
+// socket with residual bytes.
+void SimConnection::RearmIfResidual() const {
+  if (rx().ReadableBytes() > 0) {
+    FireHook(my_hook());
+  }
+}
+
+bool SimConnection::SetReadReadyHook(std::function<void()> hook) {
+  internal::ReadyHook& slot = my_hook();
+  std::lock_guard<std::mutex> lock(slot.mu);
+  slot.fn = std::move(hook);
+  if (slot.fn != nullptr && ReadReady()) {
+    slot.fn();  // catch-up: bytes (or an EOF) that predate the install
+  }
+  return true;
 }
 
 SimListener::SimListener(SimNetwork* network, uint16_t port, StackCostModel cost)

@@ -47,7 +47,16 @@ struct StackCostModel {
 
 namespace internal {
 
-// Shared state of one simulated connection: two byte rings + open flags.
+// One side's readiness hook (see Connection::SetReadReadyHook). The mutex
+// serializes install/clear against invocation: writers fire under it, so
+// after SetReadReadyHook(nullptr) returns no invocation is in flight.
+struct ReadyHook {
+  std::mutex mu;
+  std::function<void()> fn;
+};
+
+// Shared state of one simulated connection: two byte rings + open flags +
+// per-side readiness hooks.
 struct SimConnState {
   explicit SimConnState(size_t ring_capacity)
       : a_to_b(ring_capacity), b_to_a(ring_capacity) {}
@@ -56,6 +65,8 @@ struct SimConnState {
   SpscByteRing b_to_a;
   std::atomic<bool> a_open{true};
   std::atomic<bool> b_open{true};
+  ReadyHook a_hook;  // fired by b's writes into b_to_a (and b's close)
+  ReadyHook b_hook;  // fired by a's writes into a_to_b (and a's close)
 };
 
 }  // namespace internal
@@ -75,6 +86,7 @@ class SimConnection : public Connection {
   void Close() override;
   bool IsOpen() const override;
   bool ReadReady() const override;
+  bool SetReadReadyHook(std::function<void()> hook) override;
   uint64_t id() const override { return id_; }
 
  private:
@@ -84,6 +96,12 @@ class SimConnection : public Connection {
   SpscByteRing& tx() const { return is_a_ ? state_->a_to_b : state_->b_to_a; }
   std::atomic<bool>& my_open() const { return is_a_ ? state_->a_open : state_->b_open; }
   std::atomic<bool>& peer_open() const { return is_a_ ? state_->b_open : state_->a_open; }
+  internal::ReadyHook& my_hook() const { return is_a_ ? state_->a_hook : state_->b_hook; }
+  internal::ReadyHook& peer_hook() const { return is_a_ ? state_->b_hook : state_->a_hook; }
+  // Wakes the peer's watcher after bytes landed in tx() or this side closed.
+  void FirePeerHook() const;
+  // Wakes OUR watcher when a capped (injected-short) read left bytes in rx().
+  void RearmIfResidual() const;
 
   std::shared_ptr<internal::SimConnState> state_;
   const bool is_a_;

@@ -10,6 +10,7 @@
 #define FLICK_NET_TRANSPORT_H_
 
 #include <cstdint>
+#include <functional>
 #include <memory>
 
 #include "base/io_slice.h"
@@ -85,6 +86,23 @@ class Connection {
 
   // True when a Read would make progress (data buffered or peer closed).
   virtual bool ReadReady() const = 0;
+
+  // Event-driven readiness (the epoll seam): transports that can deliver
+  // readiness EDGES invoke `hook` from the peer's writer thread whenever
+  // bytes land or the peer closes, and return true — the watcher then never
+  // has to poll ReadReady() for this connection. Contract:
+  //   * installing a hook on an already-readable connection invokes it once
+  //     immediately (bytes that predate the hook are not lost);
+  //   * SetReadReadyHook(nullptr) clears the hook and guarantees no
+  //     invocation is in flight once it returns (safe to free the watcher);
+  //   * the hook must be cheap and must never call back into this connection
+  //     (it runs under the transport's hook lock).
+  // The default declines: pure-polling transports (kernel loopback) return
+  // false and the poller falls back to the ReadReady() scan.
+  virtual bool SetReadReadyHook(std::function<void()> hook) {
+    (void)hook;
+    return false;
+  }
 
   virtual uint64_t id() const = 0;
 };

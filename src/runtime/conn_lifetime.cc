@@ -1,0 +1,118 @@
+#include "runtime/conn_lifetime.h"
+
+namespace flick::runtime {
+
+void ConnDeadline::Enable(TimerWheel* wheel, Scheduler* scheduler, Task* task,
+                          const ConnLifetimeConfig& config,
+                          ConnLifetimeCounters* counters) {
+  if (!config.deadlines_enabled()) {
+    return;
+  }
+  wheel_ = wheel;
+  scheduler_ = scheduler;
+  task_ = task;
+  idle_timeout_ns_ = config.idle_timeout_ns;
+  progress_deadline_ns_ = config.header_deadline_ns;
+  counters_ = counters;
+  // Poller thread. Record which window ran out and wake the owner; the owner
+  // closes its own wire on its next slice (never a cross-thread Close).
+  entry_.on_fire = [this] {
+    expired_.store(armed_kind_.load(std::memory_order_acquire),
+                   std::memory_order_release);
+    scheduler_->NotifyRunnable(task_);
+  };
+}
+
+void ConnDeadline::OnQuiescent(uint64_t now_ns) {
+  if (wheel_ == nullptr) {
+    return;
+  }
+  expired_.store(Expiry::kNone, std::memory_order_relaxed);
+  if (idle_timeout_ns_ == 0) {
+    Cancel();
+    return;
+  }
+  // Already guarding the idle window: let it run down instead of sliding it
+  // on every spurious wake.
+  if (armed_kind_.load(std::memory_order_relaxed) == Expiry::kIdle &&
+      entry_.pending()) {
+    return;
+  }
+  armed_kind_.store(Expiry::kIdle, std::memory_order_release);
+  wheel_->Rearm(&entry_, now_ns + idle_timeout_ns_);
+}
+
+void ConnDeadline::OnPartialMessage(uint64_t now_ns, bool progressed) {
+  if (wheel_ == nullptr) {
+    return;
+  }
+  expired_.store(Expiry::kNone, std::memory_order_relaxed);
+  if (progress_deadline_ns_ == 0) {
+    Cancel();
+    return;
+  }
+  // A stalled slice must not extend the window — that is the whole point.
+  if (!progressed &&
+      armed_kind_.load(std::memory_order_relaxed) == Expiry::kProgress &&
+      entry_.pending()) {
+    return;
+  }
+  armed_kind_.store(Expiry::kProgress, std::memory_order_release);
+  wheel_->Rearm(&entry_, now_ns + progress_deadline_ns_);
+}
+
+void ConnDeadline::Cancel() {
+  if (wheel_ == nullptr) {
+    return;
+  }
+  wheel_->Cancel(&entry_);
+  armed_kind_.store(Expiry::kNone, std::memory_order_relaxed);
+  expired_.store(Expiry::kNone, std::memory_order_relaxed);
+}
+
+ConnDeadline::Expiry ConnDeadline::ConsumeExpiry(bool idle_plausible,
+                                                 bool progress_plausible) {
+  if (wheel_ == nullptr) {
+    return Expiry::kNone;
+  }
+  const Expiry e = expired_.exchange(Expiry::kNone, std::memory_order_acq_rel);
+  if (e == Expiry::kIdle && idle_plausible) {
+    return e;
+  }
+  if (e == Expiry::kProgress && progress_plausible) {
+    return e;
+  }
+  // Stale fire (bytes raced the deadline): drop it; the slice-end hook
+  // re-arms the right window.
+  return Expiry::kNone;
+}
+
+void ConnDeadline::CountClose(Expiry expiry) {
+  if (counters_ == nullptr) {
+    return;
+  }
+  if (expiry == Expiry::kIdle) {
+    counters_->idle_closed.fetch_add(1, std::memory_order_relaxed);
+  } else if (expiry == Expiry::kProgress) {
+    counters_->deadline_closed.fetch_add(1, std::memory_order_relaxed);
+  }
+}
+
+bool ShardAdmission::TryAdmit() {
+  if (cap_ == 0) {
+    live_.fetch_add(1, std::memory_order_relaxed);
+    admitted_.fetch_add(1, std::memory_order_relaxed);
+    return true;
+  }
+  size_t cur = live_.load(std::memory_order_relaxed);
+  while (cur < cap_) {
+    if (live_.compare_exchange_weak(cur, cur + 1, std::memory_order_relaxed)) {
+      admitted_.fetch_add(1, std::memory_order_relaxed);
+      return true;
+    }
+  }
+  counters_.admissions_shed.fetch_add(1, std::memory_order_relaxed);
+  return false;
+}
+
+}  // namespace flick::runtime

@@ -1,0 +1,171 @@
+// Per-connection lifetime plane: deadlines + admission, layered on the
+// timer wheel.
+//
+// "Millions of users" mostly means millions of mostly-idle keep-alive
+// connections punctuated by bursts — and nothing in the runtime could expire
+// an idle wire, bound a stalled request, or cap how many connections a shard
+// accepts. This module supplies the three missing pieces, as per-shard state
+// the IO plane owns (The Socket Store's argument: connection lifetime
+// bookkeeping belongs in one runtime layer, not scattered per service):
+//
+//   * ConnDeadline — one connection's deadline state machine: an idle
+//     keep-alive window while the wire is quiescent, and a slowloris-style
+//     progress deadline while a message is partially parsed (armed on first
+//     byte, re-armed on progress). Fires NEVER touch the connection: the
+//     timer callback records which window expired and notifies the owning
+//     task, which closes its own wire on its next run slice and counts the
+//     reason — so a deadline close is exactly as race-free as an EOF.
+//   * ShardAdmission — a shard-local connection cap with shed-on-overflow:
+//     accept-then-close, counted, so a full shard degrades by refusing new
+//     wires instead of collapsing under them.
+//   * AdmittedConn — RAII: the admission slot is released when the accepted
+//     connection is destroyed, whichever path (graph retirement, poisoned
+//     launch, service drop) destroys it.
+#ifndef FLICK_RUNTIME_CONN_LIFETIME_H_
+#define FLICK_RUNTIME_CONN_LIFETIME_H_
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+
+#include "net/transport.h"
+#include "runtime/scheduler.h"
+#include "runtime/task.h"
+#include "runtime/timer_wheel.h"
+
+namespace flick::runtime {
+
+// Platform-level lifetime policy, handed to services through PlatformEnv and
+// overridable per GraphBuilder/service Options. 0 always means "disabled".
+struct ConnLifetimeConfig {
+  // Close a client connection with no in-flight message after this long
+  // without bytes (keep-alive reclamation).
+  uint64_t idle_timeout_ns = 0;
+  // Close a client connection holding a PARTIAL message that makes no
+  // progress for this long (slowloris: a half-sent request line must never
+  // pin a graph). Progress re-arms the window.
+  uint64_t header_deadline_ns = 0;
+  // Admission cap per IO shard; connections accepted past it are shed
+  // (accept-then-close, counted).
+  size_t max_conns_per_shard = 0;
+
+  bool deadlines_enabled() const {
+    return idle_timeout_ns != 0 || header_deadline_ns != 0;
+  }
+};
+
+// Lifetime counters (relaxed atomics: bumped by worker tasks and the accept
+// path, read off-thread by registries/benches).
+struct ConnLifetimeCounters {
+  std::atomic<uint64_t> idle_closed{0};      // idle keep-alive window expired
+  std::atomic<uint64_t> deadline_closed{0};  // header/body progress deadline
+  std::atomic<uint64_t> admissions_shed{0};  // accepted past the cap, closed
+};
+
+// One connection's deadline state machine. Embedded in the owning IO task;
+// all hooks except the timer fire run inside the task's Run (serialized).
+// Disabled (zero-cost beyond a few words) until Enable is called.
+class ConnDeadline {
+ public:
+  enum class Expiry : uint8_t { kNone = 0, kIdle, kProgress };
+
+  ~ConnDeadline() { Cancel(); }
+
+  // Arms nothing yet; `wheel` is the owning shard's, `task` is notified on
+  // fire, `counters` receives the close reasons. Call before IO activation.
+  void Enable(TimerWheel* wheel, Scheduler* scheduler, Task* task,
+              const ConnLifetimeConfig& config, ConnLifetimeCounters* counters);
+  bool enabled() const { return wheel_ != nullptr; }
+
+  // Run-side transitions. `now_ns` is the caller's clock read.
+  // Quiescent: no partial message buffered — guard the idle window.
+  void OnQuiescent(uint64_t now_ns);
+  // A message is partially parsed; `progressed` = this slice moved bytes.
+  // First byte arms the progress window, progress re-arms it, a stalled
+  // slice leaves it running down.
+  void OnPartialMessage(uint64_t now_ns, bool progressed);
+  // Wire closed / owner teardown: no further fires for this entry.
+  void Cancel();
+
+  // Consumes a pending expiry. The owner passes whether each reason is still
+  // PLAUSIBLE given what it can see now (a fire that raced fresh bytes is
+  // stale — dropped here, and the slice-end hook re-arms).
+  Expiry ConsumeExpiry(bool idle_plausible, bool progress_plausible);
+
+  // Records the close. The owner closes its own wire; this only counts.
+  void CountClose(Expiry expiry);
+
+ private:
+  TimerWheel* wheel_ = nullptr;
+  Scheduler* scheduler_ = nullptr;
+  Task* task_ = nullptr;
+  uint64_t idle_timeout_ns_ = 0;
+  uint64_t progress_deadline_ns_ = 0;
+  ConnLifetimeCounters* counters_ = nullptr;
+  TimerEntry entry_;
+  // Which window the pending entry guards (written Run-side, read by the
+  // fire callback on the poller thread).
+  std::atomic<Expiry> armed_kind_{Expiry::kNone};
+  std::atomic<Expiry> expired_{Expiry::kNone};
+};
+
+// Shard-local admission: one per IoPoller. TryAdmit runs on the poller
+// thread's accept path; Release runs from whatever thread destroys the
+// admitted connection.
+class ShardAdmission {
+ public:
+  void set_cap(size_t max_conns) { cap_ = max_conns; }
+  size_t cap() const { return cap_; }
+
+  // Claims a slot. False = over cap; the caller closes the connection (the
+  // shed is counted here).
+  bool TryAdmit();
+  void Release() { live_.fetch_sub(1, std::memory_order_relaxed); }
+
+  size_t live() const { return live_.load(std::memory_order_relaxed); }
+  uint64_t admitted() const { return admitted_.load(std::memory_order_relaxed); }
+  uint64_t shed() const { return counters_.admissions_shed.load(std::memory_order_relaxed); }
+  ConnLifetimeCounters& counters() { return counters_; }
+
+ private:
+  size_t cap_ = 0;  // 0 = unlimited
+  std::atomic<size_t> live_{0};
+  std::atomic<uint64_t> admitted_{0};
+  ConnLifetimeCounters counters_;  // only admissions_shed is used here
+};
+
+// Forwarding Connection that returns its admission slot on destruction. The
+// platform wraps every admitted accept in one before the service sees it, so
+// no service/builder path can leak a slot.
+class AdmittedConn : public Connection {
+ public:
+  AdmittedConn(std::unique_ptr<Connection> inner, ShardAdmission* admission)
+      : inner_(std::move(inner)), admission_(admission) {}
+  ~AdmittedConn() override { admission_->Release(); }
+
+  Result<size_t> Read(void* buf, size_t len) override { return inner_->Read(buf, len); }
+  Result<size_t> Readv(const MutIoSlice* slices, size_t count) override {
+    return inner_->Readv(slices, count);
+  }
+  Result<size_t> Write(const void* buf, size_t len) override {
+    return inner_->Write(buf, len);
+  }
+  Result<size_t> Writev(const IoSlice* slices, size_t count) override {
+    return inner_->Writev(slices, count);
+  }
+  void Close() override { inner_->Close(); }
+  bool IsOpen() const override { return inner_->IsOpen(); }
+  bool ReadReady() const override { return inner_->ReadReady(); }
+  bool SetReadReadyHook(std::function<void()> hook) override {
+    return inner_->SetReadReadyHook(std::move(hook));
+  }
+  uint64_t id() const override { return inner_->id(); }
+
+ private:
+  std::unique_ptr<Connection> inner_;
+  ShardAdmission* admission_;
+};
+
+}  // namespace flick::runtime
+
+#endif  // FLICK_RUNTIME_CONN_LIFETIME_H_

@@ -1,8 +1,20 @@
 #include "runtime/io_poller.h"
 
+#include <pthread.h>
+
+#include <algorithm>
 #include <chrono>
 
+#include "base/time_util.h"
+
 namespace flick::runtime {
+
+IoPoller::IoPoller(Scheduler* scheduler, uint64_t sweep_interval_ns,
+                   uint64_t idle_sleep_cap_ns)
+    : scheduler_(scheduler),
+      sweep_interval_ns_(sweep_interval_ns == 0 ? 1 : sweep_interval_ns),
+      idle_sleep_cap_ns_(std::max(idle_sleep_cap_ns, sweep_interval_ns_)),
+      wheel_(MonotonicNanos()) {}
 
 IoPoller::~IoPoller() { Stop(); }
 
@@ -35,23 +47,44 @@ void IoPoller::RemoveListener(Listener* listener) {
 }
 
 void IoPoller::WatchConnection(Connection* conn, Task* task) {
+  // Prefer the transport's edge hook (sim fabric): the writer notifies the
+  // task directly and this connection costs the sweep NOTHING while idle —
+  // the property the idle-conn bench gates. The install itself delivers a
+  // catch-up notification if bytes already wait. Pure-polling transports
+  // decline and join the per-sweep ReadReady() scan.
+  const bool hooked = conn->SetReadReadyHook(
+      [scheduler = scheduler_, task] { scheduler->NotifyRunnable(task); });
   std::lock_guard<std::mutex> lock(mutex_);
-  watches_.push_back(Watch{conn, task});
+  watches_.push_back(Watch{conn, task, hooked});
 }
 
 void IoPoller::UnwatchConnection(Connection* conn) {
   std::lock_guard<std::mutex> lock(mutex_);
-  std::erase_if(watches_, [&](const Watch& w) { return w.conn == conn; });
-}
-
-void IoPoller::AddReaper(ReaperFn fn) {
-  std::lock_guard<std::mutex> lock(mutex_);
-  reapers_.push_back(std::move(fn));
+  std::erase_if(watches_, [&](const Watch& w) {
+    if (w.conn != conn) {
+      return false;
+    }
+    if (w.hooked) {
+      // Blocks until no hook invocation is in flight: after this, nothing
+      // can touch the task, so the graph may be destroyed.
+      conn->SetReadReadyHook(nullptr);
+    }
+    return true;
+  });
 }
 
 void IoPoller::Loop() {
+  pthread_setname_np(pthread_self(), "flick-poller");
+  // Consecutive idle sweeps; resets to zero the moment a sweep does work.
+  uint64_t idle_streak = 0;
   while (running_.load(std::memory_order_acquire)) {
+    const uint64_t sweep_start = MonotonicNanos();
     bool did_work = false;
+
+    // Fire every deadline the clock has crossed since the last sweep.
+    if (wheel_.Advance(sweep_start) > 0) {
+      did_work = true;
+    }
 
     // Accept pending connections. The callback may mutate the registries
     // (WatchConnection etc.), so collect outside the lock.
@@ -74,11 +107,16 @@ void IoPoller::Loop() {
       did_work = true;
     }
 
-    // Readiness notifications. Tasks are only poked when idle; a queued or
-    // running task will see the data itself.
+    // Readiness notifications for hook-less (pure-polling) transports only;
+    // hooked connections are notified by the writer at the write itself.
+    // Tasks are only poked when idle; a queued or running task will see the
+    // data itself.
     {
       std::lock_guard<std::mutex> lock(mutex_);
       for (const Watch& w : watches_) {
+        if (w.hooked) {
+          continue;
+        }
         if (w.conn->ReadReady() &&
             w.task->sched_state.load(std::memory_order_acquire) ==
                 Task::SchedState::kIdle) {
@@ -88,31 +126,28 @@ void IoPoller::Loop() {
       }
     }
 
-    // Retirement checks.
-    std::vector<ReaperFn> reapers;
-    {
-      std::lock_guard<std::mutex> lock(mutex_);
-      reapers.swap(reapers_);
-    }
-    if (!reapers.empty()) {
-      std::vector<ReaperFn> keep;
-      for (ReaperFn& fn : reapers) {
-        if (!fn()) {
-          keep.push_back(std::move(fn));
-        } else {
-          did_work = true;
-        }
-      }
-      std::lock_guard<std::mutex> lock(mutex_);
-      for (ReaperFn& fn : keep) {
-        reapers_.push_back(std::move(fn));
-      }
-    }
-
     sweeps_.fetch_add(1, std::memory_order_relaxed);
-    if (!did_work) {
-      std::this_thread::sleep_for(std::chrono::nanoseconds(sweep_interval_ns_));
+    busy_ns_.fetch_add(MonotonicNanos() - sweep_start, std::memory_order_relaxed);
+    if (did_work) {
+      idle_streak = 0;
+      continue;
     }
+    sweeps_idle_.fetch_add(1, std::memory_order_relaxed);
+
+    // Adaptive idle sleep: double from the base interval per consecutive idle
+    // sweep up to the cap, but never past the wheel's next deadline — an
+    // all-idle shard with 100k armed keep-alive timers wakes at the cap's
+    // cadence, not every 5µs, and still fires each timer within a tick.
+    uint64_t sleep_ns = sweep_interval_ns_ << std::min<uint64_t>(idle_streak, 20);
+    sleep_ns = std::min(sleep_ns, idle_sleep_cap_ns_);
+    const uint64_t next_deadline = wheel_.NextDeadlineNs();
+    if (next_deadline != TimerWheel::kNoDeadline) {
+      const uint64_t now = MonotonicNanos();
+      sleep_ns = std::min(
+          sleep_ns, next_deadline > now ? next_deadline - now : uint64_t{1});
+    }
+    ++idle_streak;
+    std::this_thread::sleep_for(std::chrono::nanoseconds(sleep_ns));
   }
 }
 

@@ -1,5 +1,7 @@
 #include "runtime/io_tasks.h"
 
+#include "base/time_util.h"
+
 namespace flick::runtime {
 
 InputTask::InputTask(std::string name, std::unique_ptr<Connection> conn,
@@ -17,6 +19,7 @@ InputTask::InputTask(std::string name, std::unique_ptr<Connection> conn,
 InputTask::~InputTask() = default;
 
 void InputTask::Rebind(std::unique_ptr<Connection> conn) {
+  deadline_.Cancel();  // the old wire's windows must not outlive it
   conn_ = std::move(conn);
   codec_->Reset();
   rx_.Clear();
@@ -55,6 +58,55 @@ void InputTask::EmitEof() {
 }
 
 TaskRunResult InputTask::Run(TaskContext& ctx) {
+  // Deadline check first: a fired window closes the wire from OUR slice (the
+  // one thread allowed to touch conn_). A fire that raced fresh bytes or a
+  // completed parse is stale and dropped; the epilogue re-arms the right
+  // window.
+  if (deadline_.enabled() && !closed_.load(std::memory_order_acquire)) {
+    const bool stalled = !conn_->ReadReady();
+    const ConnDeadline::Expiry expiry = deadline_.ConsumeExpiry(
+        /*idle_plausible=*/stalled && rx_.empty() && !parse_msg_ && !pending_,
+        /*progress_plausible=*/stalled && parse_msg_);
+    if (expiry != ConnDeadline::Expiry::kNone) {
+      deadline_.CountClose(expiry);
+      deadline_.Cancel();
+      rx_.ReleaseReserve();
+      conn_->Close();
+      closed_.store(true, std::memory_order_release);
+      EmitEof();
+      return TaskRunResult::kIdle;
+    }
+  }
+
+  size_t fill_bytes = 0;
+  const TaskRunResult result = RunInner(ctx, fill_bytes);
+
+  if (deadline_.enabled()) {
+    if (closed_.load(std::memory_order_acquire)) {
+      deadline_.Cancel();
+    } else {
+      const uint64_t now = MonotonicNanos();
+      if (parse_msg_) {
+        // Mid-message (any return reason): the progress window slides only
+        // when this slice actually moved bytes.
+        deadline_.OnPartialMessage(now, fill_bytes > 0);
+      } else if (result == TaskRunResult::kIdle && !pending_ && !eof_pending_ &&
+                 rx_.empty()) {
+        // Fully between messages on a lifetime-managed (client) leg: return
+        // the cached fill reserve so an idle connection pins ZERO pool
+        // buffers — the per-idle-conn byte cost the bench gates. The next
+        // burst re-acquires once: churn per burst, not per sweep. Legs
+        // without a lifetime plane keep the PR-4 zero-churn caching (few,
+        // transient idle periods; reserve reuse wins there).
+        rx_.ReleaseReserve();
+        deadline_.OnQuiescent(now);
+      }
+    }
+  }
+  return result;
+}
+
+TaskRunResult InputTask::RunInner(TaskContext& ctx, size_t& fill_bytes) {
   if (eof_pending_) {
     EmitEof();
     return TaskRunResult::kIdle;  // channel wakes us if still pending
@@ -80,9 +132,10 @@ TaskRunResult InputTask::Run(TaskContext& ctx) {
 
     // Buffered bytes exhausted: ONE vectored fill spanning the adaptive
     // window pulls everything the transport has buffered (up to the window).
-    size_t fill_bytes = 0;
+    size_t moved = 0;
     const FillOutcome fill =
-        FillChainVectored(rx_, *conn_, fill_window_, read_batch_, &fill_bytes);
+        FillChainVectored(rx_, *conn_, fill_window_, read_batch_, &moved);
+    fill_bytes += moved;
     if (fill == FillOutcome::kError) {
       // Peer closed (or transport error): propagate EOF downstream.
       rx_.ReleaseReserve();
@@ -92,23 +145,32 @@ TaskRunResult InputTask::Run(TaskContext& ctx) {
       return TaskRunResult::kIdle;
     }
     if (fill == FillOutcome::kNoBuffers) {
-      // Pool pressure: go idle instead of spinning through the run queue;
-      // the poller re-notifies us while the connection stays readable.
-      return TaskRunResult::kIdle;
+      // Pool pressure: requeue and retry next slice. Going idle would strand
+      // the buffered bytes on edge-notified transports (no new write, no new
+      // edge); the requeue loop is bounded by the consumers whose progress
+      // frees the pool.
+      return TaskRunResult::kMoreWork;
     }
     if (fill == FillOutcome::kDrained) {
-      if (fill_bytes == 0) {
+      if (moved == 0) {
         return TaskRunResult::kIdle;  // would block; poller will wake us
       }
       // Short fill: parse the tail, then go idle WITHOUT a trailing
       // would-block probe — the fill itself proved the wire is drained, and
-      // the poller re-notifies when new bytes land.
+      // the transport's next readiness edge brings us back.
       switch (ParseBuffered(ctx)) {
         case ParseOutcome::kIdle:
           return TaskRunResult::kIdle;
         case ParseOutcome::kMoreWork:
           return TaskRunResult::kMoreWork;
         case ParseOutcome::kContinue:
+          // EOF guard: a peer close whose edge COALESCED into this run's
+          // notification leaves no future edge — if the conn still reads
+          // ready (peer closed, or capped-read residue), loop for another
+          // fill so the close surfaces now instead of stranding the graph.
+          if (conn_->ReadReady()) {
+            break;
+          }
           return TaskRunResult::kIdle;
       }
     }

@@ -15,6 +15,7 @@
 #include "net/transport.h"
 #include "runtime/channel.h"
 #include "runtime/codec.h"
+#include "runtime/conn_lifetime.h"
 #include "runtime/msg.h"
 #include "runtime/task.h"
 #include "runtime/wire_batch.h"
@@ -37,6 +38,18 @@ class InputTask : public Task {
 
   // Replaces the connection (graph reuse from the pool).
   void Rebind(std::unique_ptr<Connection> conn);
+
+  // Arms the connection-lifetime plane for this leg (client legs only; see
+  // runtime/conn_lifetime.h): idle keep-alive timeout while the wire is
+  // quiescent, progress deadline while a message is partially parsed. A
+  // fired deadline closes the connection from this task's own Run slice and
+  // counts the reason into `counters`. Call before IO activation; `wheel` is
+  // the owning shard's.
+  void EnableLifetime(TimerWheel* wheel, Scheduler* scheduler,
+                      const ConnLifetimeConfig& config,
+                      ConnLifetimeCounters* counters) {
+    deadline_.Enable(wheel, scheduler, this, config, counters);
+  }
 
   // Caps the adaptive fill window: pool buffers one vectored read may span
   // (see runtime::kDefaultFillWindow; 1 = legacy one-buffer reads). Set
@@ -67,6 +80,10 @@ class InputTask : public Task {
   bool FlushPending();
   void EmitEof();
 
+  // The ingest loop proper; `fill_bytes` accumulates bytes moved off the
+  // wire this slice (Run's deadline epilogue uses it as the progress signal).
+  TaskRunResult RunInner(TaskContext& ctx, size_t& fill_bytes);
+
   // Parses every complete message buffered in rx_. kContinue = caller may
   // pull more bytes; anything else is the TaskRunResult to return (error and
   // EOF handling already done).
@@ -86,6 +103,8 @@ class InputTask : public Task {
   std::atomic<uint64_t> messages_in_{0};  // read off-thread by tests/stats
   AdaptiveFillWindow fill_window_;
   ReadBatchCounters read_batch_;
+  // Last member: destroyed first, so its Cancel runs while conn_ is alive.
+  ConnDeadline deadline_;
 };
 
 // Backlog bytes an OutputTask (or pooled connection) accumulates before a

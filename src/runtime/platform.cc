@@ -26,10 +26,14 @@ Platform::Platform(PlatformConfig config, Transport* transport)
   buffers_ = std::make_unique<BufferPool>(config_.io_buffer_count, config_.io_buffer_size);
   msgs_ = std::make_unique<MsgPool>(config_.msg_pool_size);
   state_ = std::make_unique<StateStore>(config_.state_entries_per_dict);
+  lifetime_config_.idle_timeout_ns = config_.idle_timeout_ns;
+  lifetime_config_.header_deadline_ns = config_.header_deadline_ns;
+  lifetime_config_.max_conns_per_shard = config_.max_conns_per_shard;
   pollers_.reserve(config_.io_shards);
   for (size_t s = 0; s < config_.io_shards; ++s) {
-    pollers_.push_back(
-        std::make_unique<IoPoller>(scheduler_.get(), config_.poll_interval_ns));
+    pollers_.push_back(std::make_unique<IoPoller>(
+        scheduler_.get(), config_.poll_interval_ns, config_.poll_idle_cap_ns));
+    pollers_.back()->admission().set_cap(config_.max_conns_per_shard);
     poller_ptrs_.push_back(pollers_.back().get());
   }
   envs_.reserve(config_.io_shards);  // stable: env(k) references survive
@@ -38,6 +42,7 @@ Platform::Platform(PlatformConfig config, Transport* transport)
                     msgs_.get(),      state_.get(),      transport_};
     env.io_shard = s;
     env.io_pollers = &poller_ptrs_;
+    env.lifetime = &lifetime_config_;
     envs_.push_back(env);
   }
 }
@@ -47,8 +52,21 @@ Platform::~Platform() { Stop(); }
 void Platform::AddAccept(size_t shard, Listener* listener, ServiceProgram* program) {
   pollers_[shard]->AddListener(
       listener, [this, program, shard](std::unique_ptr<Connection> conn) {
+        // Admission gate: past the shard cap the connection is shed —
+        // accepted (so the peer gets a deterministic close, not a SYN
+        // backlog stall) then closed, with the shed counted on the shard.
+        ShardAdmission& admission = pollers_[shard]->admission();
+        if (!admission.TryAdmit()) {
+          conn->Close();
+          return;
+        }
+        // The slot travels with the connection: released on destruction,
+        // whichever path (retirement, poisoned launch, service drop) gets
+        // there.
+        auto admitted =
+            std::make_unique<AdmittedConn>(std::move(conn), &admission);
         // The accepting shard's env: the whole graph lives on this shard.
-        program->OnConnection(std::move(conn), envs_[shard]);
+        program->OnConnection(std::move(admitted), envs_[shard]);
       });
 }
 

@@ -38,7 +38,22 @@ struct PlatformConfig {
   size_t io_buffer_size = 16 * 1024;
   size_t msg_pool_size = 4096;
   uint64_t poll_interval_ns = 5'000;
+  // Cap on a poller shard's adaptive idle sleep (see IoPoller): consecutive
+  // idle sweeps back off from poll_interval_ns toward this, bounded by the
+  // shard's next timer deadline.
+  uint64_t poll_idle_cap_ns = 200'000;
   size_t state_entries_per_dict = 65536;
+
+  // Connection lifetime plane (see runtime/conn_lifetime.h). All zero by
+  // default: no deadlines, unlimited admission — existing behaviour.
+  // Close accepted connections idle longer than this (0 = never).
+  uint64_t idle_timeout_ns = 0;
+  // Close accepted connections whose partial request makes no progress for
+  // this long (0 = never).
+  uint64_t header_deadline_ns = 0;
+  // Shed (accept-then-close, counted) connections past this per-shard cap
+  // (0 = unlimited).
+  size_t max_conns_per_shard = 0;
 
   // IO poller shards. Each shard accepts on its own listener (SO_REUSEPORT
   // on the kernel transport, round-robin accept groups in the sim) and owns
@@ -57,7 +72,7 @@ struct IoBinding {
 
 // Everything a program needs to build and run task graphs. Under a sharded
 // IO plane the platform hands each accepted connection the env of the shard
-// that accepted it: `poller` is that shard's poller, so every watch, reaper
+// that accepted it: `poller` is that shard's poller, so every watch, timer
 // and pool stripe derived from this env stays on the accepting shard.
 struct PlatformEnv {
   Scheduler* scheduler = nullptr;
@@ -71,6 +86,10 @@ struct PlatformEnv {
   // (null for hand-built single-poller envs, e.g. in tests).
   size_t io_shard = 0;
   const std::vector<IoPoller*>* io_pollers = nullptr;
+
+  // Platform-wide connection lifetime policy; null for hand-built envs means
+  // "all disabled". Services/builders may override per graph.
+  const ConnLifetimeConfig* lifetime = nullptr;
 
   size_t io_shard_count() const {
     return io_pollers != nullptr && !io_pollers->empty() ? io_pollers->size() : 1;
@@ -138,6 +157,7 @@ class Platform {
   std::unique_ptr<BufferPool> buffers_;
   std::unique_ptr<MsgPool> msgs_;
   std::unique_ptr<StateStore> state_;
+  ConnLifetimeConfig lifetime_config_;  // referenced by every env
   std::vector<PlatformEnv> envs_;  // one per shard; stable after construction
   std::vector<std::unique_ptr<Listener>> listeners_;
   std::vector<uint16_t> registered_ports_;

@@ -88,6 +88,11 @@ void Scheduler::NotifyRunnable(Task* task) {
       case Task::SchedState::kQueued:
       case Task::SchedState::kRunningNotified:
         return;  // already pending
+      default:
+        // Out-of-range state: the task memory is not a live Task (freed or
+        // corrupted). Crash loudly — spinning here turns a lifecycle bug
+        // into a silent 100%-CPU hang.
+        FLICK_CHECK(false && "NotifyRunnable: corrupt sched_state");
     }
   }
 }
@@ -119,6 +124,8 @@ Task* Scheduler::Steal(int thief_index) {
 }
 
 void Scheduler::WorkerLoop(int index) {
+  pthread_setname_np(pthread_self(),
+                     ("flick-wrk-" + std::to_string(index)).c_str());
   Worker& self = *workers_[static_cast<size_t>(index)];
   TaskContext ctx(config_.policy, config_.timeslice_ns, index);
 

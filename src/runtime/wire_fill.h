@@ -77,7 +77,7 @@ class AdaptiveFillWindow {
 enum class FillOutcome {
   kMore,      // full fill: the wire may hold more; fill again
   kDrained,   // short or empty fill: the wire is drained for now
-  kNoBuffers, // pool exhausted: nothing reserved, try again when notified
+  kNoBuffers, // pool exhausted: nothing reserved, requeue and retry
   kError,     // transport EOF/error: caller tears the wire down
 };
 
@@ -86,7 +86,8 @@ enum class FillOutcome {
 // prefix, and adapts the window. `*bytes_out` (optional) receives the bytes
 // moved. A short fill proves the wire is drained in the same call that moved
 // the bytes — callers go idle on kDrained without a trailing would-block
-// probe; the poller re-notifies when new data lands.
+// probe; the transport's readiness edge (or the poller's scan, for hook-less
+// transports) re-notifies when new data lands.
 inline FillOutcome FillChainVectored(BufferChain& chain, Connection& conn,
                                      AdaptiveFillWindow& window,
                                      ReadBatchCounters& counters,

@@ -127,7 +127,7 @@ class PoolConnTask : public runtime::Task {
   // routinely finish before the initial dial on a loaded host, and their
   // queued requests must survive until the wire comes up.
   //
-  // Runs on the poller thread per reaper sweep, so it must never wait on
+  // Runs on the poller thread from a wheel timer, so it must never wait on
   // mutex_ (held across whole run slices, including transport writes): a
   // contended lock means the task is mid-Run and the leg can simply be
   // re-polled next sweep.
@@ -326,7 +326,6 @@ runtime::TaskRunResult PoolConnTask::Run(runtime::TaskContext& ctx) {
     bool fill_drained = false;  // a short fill already proved the wire empty
     while (!rx_.empty() || (!fill_drained && wire_->ReadReady())) {
       // Parse every complete response buffered so far.
-      bool parsed = false;
       while (!rx_.empty()) {
         if (!parse_msg_) {
           parse_msg_ = msgs_->Acquire();
@@ -341,11 +340,13 @@ runtime::TaskRunResult PoolConnTask::Run(runtime::TaskContext& ctx) {
           // rejected Content-Length, ...): correlation is unrecoverable.
           // Surface it — count, drop the wire, redial clean — instead of
           // waiting on bytes that will never frame.
-          response_parse_errors.fetch_add(1, std::memory_order_relaxed);
+          // Disconnect BEFORE counting: tests (and operators) key off the
+          // error counter, so the wire drop must already be visible when the
+          // counter moves.
           Disconnect();
+          response_parse_errors.fetch_add(1, std::memory_order_relaxed);
           return runtime::TaskRunResult::kMoreWork;
         }
-        parsed = true;
         progress = true;
         runtime::MsgRef msg = std::move(parse_msg_);
         uint64_t lease_id = 0;
@@ -372,10 +373,10 @@ runtime::TaskRunResult PoolConnTask::Run(runtime::TaskContext& ctx) {
         return runtime::TaskRunResult::kMoreWork;
       }
       if (fill == runtime::FillOutcome::kNoBuffers) {
-        // Buffer pressure: parse what we have next run; the poller
-        // re-notifies while the wire stays readable.
-        return parsed ? runtime::TaskRunResult::kMoreWork
-                      : runtime::TaskRunResult::kIdle;
+        // Buffer pressure: requeue and retry next run. Idling would strand
+        // the wire's buffered bytes on edge-notified transports (no new
+        // response, no new edge).
+        return runtime::TaskRunResult::kMoreWork;
       }
       if (fill == runtime::FillOutcome::kDrained) {
         if (fill_bytes == 0) {
@@ -482,8 +483,8 @@ runtime::TaskRunResult PoolConnTask::Run(runtime::TaskContext& ctx) {
 }  // namespace internal
 
 // Destruction ABANDONS the lease instead of releasing it: the last holder of
-// an unreleased lease is a reaper closure inside the IoPoller, which may be
-// destroyed during platform teardown after the owning pool is already gone.
+// an unreleased lease is a timer closure inside the IoPoller's wheel, which
+// may be destroyed during platform teardown after the owning pool is gone.
 // Every live path releases explicitly — GraphBuilder::ReleaseAllLegs on
 // failure, the registry's on_unwatch hook at retirement.
 PoolLease::~PoolLease() = default;
@@ -513,7 +514,11 @@ BackendPool::BackendPool(BackendPoolConfig config) : config_(std::move(config)) 
   }
 }
 
-BackendPool::~BackendPool() = default;
+BackendPool::~BackendPool() {
+  for (const RedialTicker& ticker : redial_tickers_) {
+    ticker.wheel->CancelPeriodic(ticker.token);
+  }
+}
 
 Status BackendPool::EnsureStarted(runtime::PlatformEnv& env) {
   std::lock_guard<std::mutex> lock(mutex_);
@@ -553,11 +558,12 @@ Status BackendPool::EnsureStarted(runtime::PlatformEnv& env) {
   // with this release store, so a racing acquirer sees the full stripes_.
   started_.store(true, std::memory_order_release);
 
-  // Initial dials run on worker threads; each stripe's ticker (on that
-  // stripe's shard poller) keeps kicking any connection that is down until
-  // its backend answers (reconnect-after-close works the same way). The
-  // reapers are permanent: they hold only `this`, and the pool outlives the
-  // pollers' last sweep by contract.
+  // Initial dials run on worker threads; each stripe's redial ticker — a
+  // periodic timer on that stripe's shard wheel, paced at the redial
+  // interval — keeps kicking any connection that is down until its backend
+  // answers (reconnect-after-close works the same way). The periodics hold
+  // only `this`: they are cancelled in ~BackendPool, and the pool outlives
+  // the pollers' last sweep by contract.
   runtime::Scheduler* scheduler = scheduler_;
   for (size_t s = 0; s < stripes_.size(); ++s) {
     for (StripeBackend& backend : stripes_[s]->backends) {
@@ -565,18 +571,21 @@ Status BackendPool::EnsureStarted(runtime::PlatformEnv& env) {
         scheduler->NotifyRunnable(conn.get());
       }
     }
-    env.shard_poller(s)->AddReaper([this, scheduler, s]() {
-      for (StripeBackend& backend : stripes_[s]->backends) {
-        for (auto& conn : backend.conns) {
-          if (conn->WantsRedialKick() &&
-              conn->sched_state.load(std::memory_order_acquire) ==
-                  runtime::Task::SchedState::kIdle) {
-            scheduler->NotifyRunnable(conn.get());
+    runtime::TimerWheel& wheel = env.shard_poller(s)->wheel();
+    const uint64_t ticker_token =
+        wheel.AddPeriodic(config_.redial_interval_ns, [this, scheduler, s]() {
+          for (StripeBackend& backend : stripes_[s]->backends) {
+            for (auto& conn : backend.conns) {
+              if (conn->WantsRedialKick() &&
+                  conn->sched_state.load(std::memory_order_acquire) ==
+                      runtime::Task::SchedState::kIdle) {
+                scheduler->NotifyRunnable(conn.get());
+              }
+            }
           }
-        }
-      }
-      return false;  // permanent
-    });
+          return false;  // permanent until cancelled
+        });
+    redial_tickers_.push_back({&wheel, ticker_token});
   }
   return OkStatus();
 }

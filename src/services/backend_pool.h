@@ -23,12 +23,13 @@
 // like any other task. All per-connection state is guarded by a per-
 // connection mutex; attach/detach (poller thread) and Run (worker threads)
 // serialise on it. Wire readability wakes the task through the normal poller
-// watch; a pool-level reaper ticks disconnected connections so a backend
-// that comes back is redialled without client involvement.
+// watch; a per-stripe periodic timer on the shard's wheel ticks disconnected
+// connections so a backend that comes back is redialled without client
+// involvement.
 //
 // Sharding: under a sharded IO plane the pool is STRIPED — one stripe per IO
 // shard, each with its own slice of wires (watched by that shard's poller,
-// redialled by that shard's reaper), its own mutex and its own round-robin
+// redialled by that shard's wheel ticker), its own mutex and its own round-robin
 // cursor. A graph launched on shard k leases from stripe k, so the hot
 // acquire/release path never contends with other shards; it spills to a
 // neighbour stripe only when its own is exhausted (counted in
@@ -290,6 +291,15 @@ class BackendPool {
   mutable std::mutex mutex_;  // guards EnsureStarted + cold-path layout
   std::atomic<bool> started_{false};  // release-published after stripes_ built
   std::vector<std::unique_ptr<Stripe>> stripes_;
+
+  // Per-stripe redial periodics on the stripes' shard wheels; cancelled at
+  // destruction (the pollers outlive the pool by contract, so the wheels are
+  // still valid then).
+  struct RedialTicker {
+    runtime::TimerWheel* wheel;
+    uint64_t token;
+  };
+  std::vector<RedialTicker> redial_tickers_;
 
   runtime::Scheduler* scheduler_ = nullptr;
 

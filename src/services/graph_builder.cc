@@ -86,6 +86,16 @@ GraphBuilder& GraphBuilder::FillWindow(size_t buffers) {
   return *this;
 }
 
+GraphBuilder& GraphBuilder::IdleTimeout(uint64_t ns) {
+  idle_timeout_override_ = ns;
+  return *this;
+}
+
+GraphBuilder& GraphBuilder::HeaderDeadline(uint64_t ns) {
+  header_deadline_override_ = ns;
+  return *this;
+}
+
 ConnRef GraphBuilder::Adopt(std::unique_ptr<Connection> conn) {
   if (conn == nullptr) {
     Poison(InvalidArgument("Adopt: null connection"));
@@ -108,7 +118,11 @@ ConnRef GraphBuilder::Connect(uint16_t port) {
     Poison(conn.status());
     return ConnRef();
   }
-  return Adopt(std::move(conn).value());
+  const ConnRef ref = Adopt(std::move(conn).value());
+  if (ref.valid()) {
+    conns_[ref.index_].client = false;  // backend wire: no lifetime deadlines
+  }
+  return ref;
 }
 
 NodeRef GraphBuilder::Source(std::string name, ConnRef conn,
@@ -596,6 +610,30 @@ Status GraphBuilder::Launch(GraphRegistry& registry) {
       ++stats_.exclusive_legs;
     }
     use.pool->Attach(use.lease, binding.backend_index, requests, replies);
+  }
+
+  // Connection lifetime plane: platform policy with per-builder overrides,
+  // armed on every CLIENT leg's input task (backend wires are the service's
+  // own and must not be idle-closed under it). Close reasons count into the
+  // registry the graph retires through.
+  runtime::ConnLifetimeConfig lifetime;
+  if (env_.lifetime != nullptr) {
+    lifetime = *env_.lifetime;
+  }
+  if (idle_timeout_override_ != kInheritLifetime) {
+    lifetime.idle_timeout_ns = idle_timeout_override_;
+  }
+  if (header_deadline_override_ != kInheritLifetime) {
+    lifetime.header_deadline_ns = header_deadline_override_;
+  }
+  if (lifetime.deadlines_enabled()) {
+    for (const ConnSpec& conn : conns_) {
+      if (conn.client && conn.source_task != nullptr) {
+        conn.source_task->EnableLifetime(&env_.poller->wheel(), env_.scheduler,
+                                         lifetime,
+                                         &registry.lifetime_counters());
+      }
+    }
   }
 
   std::vector<runtime::IoBinding> bindings;

@@ -155,6 +155,13 @@ class GraphBuilder {
   // read-side mirror of FlushWatermark.
   GraphBuilder& FillWindow(size_t buffers);
 
+  // Connection-lifetime overrides for this graph's CLIENT legs (adopted
+  // connections; dialled/pooled backend wires are never deadline-closed by
+  // the builder). Default: inherit the platform policy
+  // (PlatformEnv::lifetime). 0 disables the window for this graph.
+  GraphBuilder& IdleTimeout(uint64_t ns);
+  GraphBuilder& HeaderDeadline(uint64_t ns);
+
   // --- connection legs -------------------------------------------------------
 
   // Takes ownership of an accepted connection (the client leg).
@@ -280,6 +287,7 @@ class GraphBuilder {
     size_t source_node = static_cast<size_t>(-1);   // reading node, if any
     size_t sink_node = static_cast<size_t>(-1);     // writing node, if any
     bool referenced = false;                        // used by any node
+    bool client = true;  // adopted leg (false = dialled backend wire)
     runtime::InputTask* source_task = nullptr;      // filled during Launch
   };
 
@@ -322,6 +330,9 @@ class GraphBuilder {
   size_t default_capacity_ = 128;
   size_t flush_watermark_ = runtime::kDefaultFlushWatermark;
   size_t fill_window_ = runtime::kDefaultFillWindow;
+  static constexpr uint64_t kInheritLifetime = UINT64_MAX;
+  uint64_t idle_timeout_override_ = kInheritLifetime;
+  uint64_t header_deadline_override_ = kInheritLifetime;
   std::vector<ConnSpec> conns_;
   std::vector<NodeSpec> nodes_;
   std::vector<EdgeSpec> edges_;

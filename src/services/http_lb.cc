@@ -39,6 +39,12 @@ void HttpLbService::OnConnection(std::unique_ptr<Connection> conn,
   // One watermark for the whole write path: the pool config batches the
   // backend wires, this batches the client-facing sinks.
   b.FlushWatermark(options_.flush_watermark_bytes).FillWindow(options_.fill_window);
+  if (options_.idle_timeout_ns != kInheritLifetimeNs) {
+    b.IdleTimeout(options_.idle_timeout_ns);
+  }
+  if (options_.header_deadline_ns != kInheritLifetimeNs) {
+    b.HeaderDeadline(options_.header_deadline_ns);
+  }
   auto client = b.Adopt(std::move(conn));
 
   auto request = b.Source(

@@ -41,6 +41,12 @@ class HttpLbService : public runtime::ServiceProgram {
     // Pool stripes (see BackendPoolConfig::io_shards; 0 = one stripe per
     // platform IO shard, derived when the pool starts).
     size_t io_shards = 0;
+    // Client-leg lifetime windows (see runtime/conn_lifetime.h): close idle
+    // keep-alive clients / stalled partial requests after this long. Default
+    // inherits the platform policy; 0 disables. Timer closes count into
+    // RegistryStats{idle_closed, deadline_closed}.
+    uint64_t idle_timeout_ns = kInheritLifetimeNs;
+    uint64_t header_deadline_ns = kInheritLifetimeNs;
   };
 
   // `backend_ports`: the web servers to balance across.

@@ -91,6 +91,12 @@ void MemcachedProxyService::OnConnection(std::unique_ptr<Connection> conn,
   // One watermark for the whole write path: the pool config batches the
   // backend wires, this batches the client-facing sinks.
   b.FlushWatermark(options_.flush_watermark_bytes).FillWindow(options_.fill_window);
+  if (options_.idle_timeout_ns != kInheritLifetimeNs) {
+    b.IdleTimeout(options_.idle_timeout_ns);
+  }
+  if (options_.header_deadline_ns != kInheritLifetimeNs) {
+    b.HeaderDeadline(options_.header_deadline_ns);
+  }
   auto client = b.Adopt(std::move(conn));
 
   // Request path: parse with the projected unit (opcode/key only).

@@ -43,6 +43,12 @@ class MemcachedProxyService : public runtime::ServiceProgram {
     // Pool stripes (see BackendPoolConfig::io_shards; 0 = one stripe per
     // platform IO shard, derived when the pool starts).
     size_t io_shards = 0;
+    // Client-leg lifetime windows (see runtime/conn_lifetime.h): close idle
+    // keep-alive clients / stalled partial requests after this long. Default
+    // inherits the platform policy; 0 disables. Timer closes count into
+    // RegistryStats{idle_closed, deadline_closed}.
+    uint64_t idle_timeout_ns = kInheritLifetimeNs;
+    uint64_t header_deadline_ns = kInheritLifetimeNs;
   };
 
   explicit MemcachedProxyService(std::vector<uint16_t> backend_ports);
@@ -57,6 +63,8 @@ class MemcachedProxyService : public runtime::ServiceProgram {
 
   // Null in kPerClient mode.
   const BackendPool* pool() const { return pool_.get(); }
+  // Mutable view for test hooks (CloseConnectionForTest).
+  BackendPool* mutable_pool() { return pool_.get(); }
 
  private:
   NodeRef DispatchStage(GraphBuilder& b, size_t fan_out);

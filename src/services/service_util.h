@@ -17,6 +17,11 @@
 
 namespace flick::services {
 
+// Sentinel for service Options lifetime knobs: inherit the platform's
+// policy (PlatformConfig{idle_timeout_ns, header_deadline_ns}) instead of
+// overriding it per service. 0 explicitly disables the window.
+inline constexpr uint64_t kInheritLifetimeNs = UINT64_MAX;
+
 // Non-owning connection proxy: lets an OutputTask write to a connection whose
 // lifetime is owned by the peer InputTask of the same graph.
 class SharedConn : public Connection {
@@ -34,6 +39,9 @@ class SharedConn : public Connection {
   void Close() override { conn_->Close(); }
   bool IsOpen() const override { return conn_->IsOpen(); }
   bool ReadReady() const override { return conn_->ReadReady(); }
+  bool SetReadReadyHook(std::function<void()> hook) override {
+    return conn_->SetReadReadyHook(std::move(hook));
+  }
   uint64_t id() const override { return conn_->id(); }
 
  private:
@@ -69,6 +77,21 @@ struct RegistryStats {
   uint64_t readv_calls = 0;
   uint64_t bytes_per_readv = 0;  // high-water, not a sum
   uint64_t fills_short = 0;
+
+  // Connection lifetime plane (see runtime/conn_lifetime.h). idle_closed /
+  // deadline_closed count this registry's graphs whose client leg was closed
+  // by a timer; the rest are summed over the IO shards this registry has
+  // adopted graphs from: admission sheds (the conn never reached a service,
+  // so attribution is per-shard), sweep duty cycle, and wheel health.
+  uint64_t idle_closed = 0;
+  uint64_t deadline_closed = 0;
+  uint64_t admissions_shed = 0;
+  uint64_t sweeps = 0;
+  uint64_t sweeps_idle = 0;
+  uint64_t timers_armed = 0;
+  uint64_t timers_fired = 0;
+  uint64_t timers_cancelled = 0;
+  uint64_t timer_cascades = 0;
 };
 
 // Tracks live graphs for a service and reaps them (unwatching their
@@ -82,20 +105,58 @@ class GraphRegistry {
   // dependency is wedged.
   static constexpr uint64_t kDetachReadyTimeoutNs = 30'000'000'000;
 
-  // Registers `graph` and arms a reaper. `conns` are the connections the
+  // Retirement runs in two phases on the shard's timer wheel:
+  //  - SCAN: ONE fixed-cadence periodic per (registry, shard) walks that
+  //    shard's live graphs asking "is this graph's IO closed yet?" — a couple
+  //    of atomic loads per graph. Per-graph timers don't scale here: 100k
+  //    mostly-idle graphs each polling even at a lazy 64ms cap meant ~1.6M
+  //    timer fires/s, saturating the poller; one scanner costs ~30 fires/s
+  //    regardless of graph count and keeps close-detection latency flat.
+  //  - CHECK (IO closed): a per-graph backoff poll running the staged
+  //    teardown below at a snappy cadence, registered by the scanner only
+  //    once the graph's IO is closed — so its fires are bounded by graph
+  //    TURNOVER, not graph count.
+  static constexpr uint64_t kRetireScanIntervalNs = 25'000'000;
+  static constexpr uint64_t kRetireCheckMinNs = 1'000'000;
+  static constexpr uint64_t kRetireCheckMaxNs = 64'000'000;
+
+  // Cancels the per-shard retirement scanners. The platform must be stopped
+  // (pollers joined) before a registry with adopted graphs is destroyed —
+  // the scanners and staged polls reference `this`.
+  ~GraphRegistry() {
+    std::lock_guard<std::mutex> lock(mutex_);
+    for (const TrackedPoller& tracked : pollers_) {
+      tracked.poller->wheel().CancelPeriodic(tracked.scan_token);
+    }
+    // Graphs that never reached retirement stage 1 (platform stopped first)
+    // still have their connections watched: an edge hook on such a conn
+    // captures a Task* about to be freed with the graph, and a peer that
+    // writes after the free fires the hook into dead memory. Unwatch here —
+    // SetReadReadyHook(nullptr) blocks until any in-flight fire drains — so
+    // no external writer can reach a graph task once destruction begins.
+    for (const PendingRetire& p : pending_retire_) {
+      for (Connection* conn : p.conns) {
+        p.poller->UnwatchConnection(conn);
+      }
+    }
+  }
+
+  // Registers `graph` with the adopting shard's retirement scanner (see the
+  // SCAN/CHECK phases above). `conns` are the connections the
   // graph's tasks watch (unwatched at retirement). `on_unwatch`, when set,
   // runs exactly once at retirement stage 1 — GraphBuilder uses it to return
   // pool leases, severing every producer/consumer the graph shares with
   // external tasks. `detach_ready`, when set, DELAYS stage 1 until it returns
   // true — pooled graphs use it (BackendPool::LeaseFinished) so a lease is
   // not returned while requests the graph committed still sit in its
-  // channels. It must be cheap and non-blocking; it is polled per sweep.
+  // channels. It must be cheap and non-blocking; it is polled per
+  // retirement check.
   // The delay is BOUNDED: after kDetachReadyTimeoutNs of refusals stage 1
   // proceeds anyway (counted in detaches_timed_out) — a pathologically
   // wedged dependency may cost a graph its queued output, never an unbounded
   // graph leak.
   //
-  // Retirement is staged and NON-BLOCKING (the reaper runs on the poller
+  // Retirement is staged and NON-BLOCKING (the check runs on the poller
   // thread, which must never spin-wait): once all IO tasks have closed (and
   // `detach_ready` holds), the graph's connections are unwatched and
   // `on_unwatch` runs — after that no external party (poller or backend pool)
@@ -110,13 +171,11 @@ class GraphRegistry {
     graphs_adopted_.fetch_add(1, std::memory_order_relaxed);
     tasks_adopted_.fetch_add(raw->tasks().size(), std::memory_order_relaxed);
     channels_adopted_.fetch_add(raw->channel_count(), std::memory_order_relaxed);
-    {
-      std::lock_guard<std::mutex> lock(mutex_);
-      graphs_.push_back(std::move(graph));
-    }
     runtime::IoPoller* poller = env.poller;
-    poller->AddReaper(
-        [this, raw, poller, conns = std::move(conns),
+    // Phase CHECK: staged teardown, registered only once the scan phase saw
+    // the graph's IO closed.
+    auto staged_retire =
+        [this, raw, poller, conns,
          on_unwatch = std::move(on_unwatch), detach_ready = std::move(detach_ready),
          unwatched = false, detach_deadline_ns = uint64_t{0}]() mutable -> bool {
           if (!raw->AllIoClosed()) {
@@ -144,7 +203,7 @@ class GraphRegistry {
             }
             unwatched = true;
             graphs_unwatched_.fetch_add(1, std::memory_order_relaxed);
-            return false;  // give in-flight notifications a sweep to settle
+            return false;  // give in-flight notifications a check to settle
           }
           for (const auto& task : raw->tasks()) {
             if (task->sched_state.load(std::memory_order_acquire) !=
@@ -161,13 +220,22 @@ class GraphRegistry {
           }
           graphs_retired_.fetch_add(1, std::memory_order_relaxed);
           return true;
-        });
+        };
+    std::lock_guard<std::mutex> lock(mutex_);
+    graphs_.push_back(std::move(graph));
+    TrackPollerLocked(env.poller);  // registers the shard's scanner on first sight
+    pending_retire_.push_back(
+        PendingRetire{raw, poller, std::move(staged_retire), std::move(conns)});
   }
 
   size_t live_graphs() const {
     std::lock_guard<std::mutex> lock(mutex_);
     return graphs_.size();
   }
+
+  // Close-reason counters for this registry's client legs; GraphBuilder
+  // hands this to every adopted leg's InputTask at Launch.
+  runtime::ConnLifetimeCounters& lifetime_counters() { return lifetime_; }
 
   RegistryStats stats() const {
     RegistryStats s;
@@ -178,8 +246,10 @@ class GraphRegistry {
     s.channels_adopted = channels_adopted_.load(std::memory_order_relaxed);
     s.detaches_run = detaches_run_.load(std::memory_order_relaxed);
     s.detaches_timed_out = detaches_timed_out_.load(std::memory_order_relaxed);
+    s.idle_closed = lifetime_.idle_closed.load(std::memory_order_relaxed);
+    s.deadline_closed = lifetime_.deadline_closed.load(std::memory_order_relaxed);
     // Batching counters: accumulators AND live-graph fold-in are read under
-    // the same lock the reaper folds+erases under, so a retiring graph is
+    // the same lock the retirement timer folds+erases under, so a retiring graph is
     // counted by exactly one of the two paths and the aggregate never
     // transiently dips.
     std::lock_guard<std::mutex> lock(mutex_);
@@ -205,10 +275,78 @@ class GraphRegistry {
         }
       }
     }
+    for (const TrackedPoller& tracked : pollers_) {
+      runtime::IoPoller* poller = tracked.poller;
+      s.admissions_shed += poller->admission().shed();
+      s.sweeps += poller->sweeps();
+      s.sweeps_idle += poller->sweeps_idle();
+      const runtime::TimerStats t = poller->wheel().stats();
+      s.timers_armed += t.armed;
+      s.timers_fired += t.fired;
+      s.timers_cancelled += t.cancelled;
+      s.timer_cascades += t.cascade_moves;
+    }
     return s;
   }
 
  private:
+  // A shard this registry has adopted graphs from, plus its retirement
+  // scanner's cancellation token.
+  struct TrackedPoller {
+    runtime::IoPoller* poller;
+    uint64_t scan_token;
+  };
+
+  // A graph awaiting IO close, owned by its shard's scanner.
+  struct PendingRetire {
+    runtime::TaskGraph* graph;
+    runtime::IoPoller* poller;
+    std::function<bool()> staged;  // the CHECK-phase teardown
+    std::vector<Connection*> conns;  // still watched until stage 1 unwatches
+  };
+
+  // Caller holds mutex_. Registries usually span a handful of shards, so a
+  // linear dedup beats a set. First sight of a shard registers its scanner
+  // periodic (mutex_ -> wheel lock; scanner fires take mutex_ with no wheel
+  // lock held, so the order never inverts).
+  void TrackPollerLocked(runtime::IoPoller* poller) {
+    for (const TrackedPoller& seen : pollers_) {
+      if (seen.poller == poller) {
+        return;
+      }
+    }
+    const uint64_t token = poller->wheel().AddPeriodic(
+        kRetireScanIntervalNs, [this, poller]() -> bool {
+          ScanForRetireOn(poller);
+          return false;  // runs until the registry cancels it
+        });
+    pollers_.push_back(TrackedPoller{poller, token});
+  }
+
+  // SCAN phase, on `poller`'s thread: hand every pending graph whose IO has
+  // closed to a CHECK-phase backoff poll. The wheel re-entry happens outside
+  // mutex_ (and outside the wheel lock — periodic callbacks fire unlocked).
+  void ScanForRetireOn(runtime::IoPoller* poller) {
+    std::vector<std::function<bool()>> ready;
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      for (size_t i = 0; i < pending_retire_.size();) {
+        PendingRetire& p = pending_retire_[i];
+        if (p.poller == poller && p.graph->AllIoClosed()) {
+          ready.push_back(std::move(p.staged));
+          p = std::move(pending_retire_.back());
+          pending_retire_.pop_back();
+        } else {
+          ++i;
+        }
+      }
+    }
+    for (auto& staged : ready) {
+      poller->wheel().AddBackoffPoll(kRetireCheckMinNs, kRetireCheckMaxNs,
+                                     std::move(staged));
+    }
+  }
+
   // Caller holds mutex_ (folded and erased in one critical section so a
   // concurrent stats() never counts a retiring graph twice).
   void AccumulateBatchStats(const runtime::TaskGraph& graph) {
@@ -226,6 +364,9 @@ class GraphRegistry {
 
   mutable std::mutex mutex_;
   std::vector<std::unique_ptr<runtime::TaskGraph>> graphs_;
+  std::vector<TrackedPoller> pollers_;  // shards graphs were adopted from
+  std::vector<PendingRetire> pending_retire_;  // live graphs awaiting IO close
+  runtime::ConnLifetimeCounters lifetime_;
   std::atomic<uint64_t> graphs_adopted_{0};
   std::atomic<uint64_t> graphs_unwatched_{0};
   std::atomic<uint64_t> graphs_retired_{0};

@@ -18,16 +18,29 @@ namespace flick::services {
 
 class StaticHttpService : public runtime::ServiceProgram {
  public:
+  struct Options {
+    // Client-leg lifetime windows (see runtime/conn_lifetime.h): close idle
+    // keep-alive clients / stalled partial requests after this long. Default
+    // inherits the platform policy; 0 disables. Timer closes count into
+    // RegistryStats{idle_closed, deadline_closed}.
+    uint64_t idle_timeout_ns = kInheritLifetimeNs;
+    uint64_t header_deadline_ns = kInheritLifetimeNs;
+  };
+
   explicit StaticHttpService(std::string body) : body_(std::move(body)) {}
+  StaticHttpService(std::string body, Options options)
+      : body_(std::move(body)), options_(options) {}
 
   const char* name() const override { return "static-http"; }
   void OnConnection(std::unique_ptr<Connection> conn, runtime::PlatformEnv& env) override;
 
   uint64_t requests() const { return requests_.load(std::memory_order_relaxed); }
   size_t live_graphs() const { return registry_.live_graphs(); }
+  const GraphRegistry& registry() const { return registry_; }
 
  private:
   std::string body_;
+  Options options_;
   std::atomic<uint64_t> requests_{0};
   GraphRegistry registry_;
 };

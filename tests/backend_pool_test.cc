@@ -405,6 +405,54 @@ TEST_F(BackendPoolTest, ReconnectsAfterBackendClose) {
   platform.Stop();
 }
 
+// Redial pacing now lives on the shard's timer wheel: a dropped wire with a
+// redial hold must stay down for the WHOLE hold (no eager per-sweep dialling)
+// and then come back via the wheel's periodic ticker — not a poller reaper.
+TEST_F(BackendPoolTest, RedialPacingIsDrivenByTheShardWheel) {
+  load::MemcachedBackend backend(&transport_, 11001);
+  ASSERT_TRUE(backend.Start().ok());
+  backend.Preload("key", "value");
+
+  auto& platform = MakePlatform();
+  services::MemcachedProxyService::Options options;
+  options.conns_per_backend = 1;
+  services::MemcachedProxyService proxy({11001}, options);
+  ASSERT_TRUE(platform.RegisterProgram(11211, &proxy).ok());
+  platform.Start();
+  ScopedPlatformStop stop_guard(platform);
+
+  TestClient client(&transport_, 11211);
+  ASSERT_TRUE(client.ok());
+  std::string value;
+  ASSERT_TRUE(client.Get("key", &value));
+  EXPECT_EQ(value, "value");
+
+  const uint64_t wheel_fired_before =
+      platform.poller(0).wheel().stats().fired;
+  constexpr auto kHold = 150ms;
+  const auto dropped_at = std::chrono::steady_clock::now();
+  proxy.mutable_pool()->CloseConnectionForTest(
+      /*backend_index=*/0, /*slot=*/0, /*stripe=*/0,
+      /*redial_hold_ns=*/std::chrono::nanoseconds(kHold).count());
+  ASSERT_TRUE(WaitFor([&] { return proxy.pool()->live_connections() == 0; }));
+
+  // Mid-hold: the ticker keeps firing but must NOT dial early.
+  std::this_thread::sleep_for(50ms);
+  EXPECT_EQ(proxy.pool()->live_connections(), 0u)
+      << "redial hold violated: dialled before the pacing window elapsed";
+
+  ASSERT_TRUE(WaitFor([&] { return proxy.pool()->live_connections() == 1; }));
+  EXPECT_GE(std::chrono::steady_clock::now() - dropped_at, kHold);
+  // The reconnect was driven by wheel fires (the pool has no other clock).
+  EXPECT_GT(platform.poller(0).wheel().stats().fired, wheel_fired_before);
+  EXPECT_GE(proxy.pool()->stats().reconnects, 1u);
+
+  ASSERT_TRUE(client.Get("key", &value));
+  EXPECT_EQ(value, "value");
+  client.conn().Close();
+  platform.Stop();
+}
+
 // Unified failure path: a dedicated Connect failing AFTER FanOutPooled must
 // close the client and dialled legs but only RETURN the pool lease — the
 // pooled wire stays connected and keeps serving.
@@ -709,7 +757,14 @@ TEST_F(BackendPoolTest, EofWhileBatchPendingStillFlushes) {
       << proxy.pool()->stats().responses_routed << ", dropped "
       << proxy.pool()->stats().responses_dropped << ", live_conns "
       << proxy.pool()->live_connections() << ")";
-  ASSERT_TRUE(WaitFor([&] { return proxy.live_graphs() == 0; }));
+  ASSERT_TRUE(WaitFor([&] { return proxy.live_graphs() == 0; }))
+      << "live " << proxy.live_graphs() << ", adopted "
+      << proxy.registry().stats().graphs_adopted << ", unwatched "
+      << proxy.registry().stats().graphs_unwatched << ", retired "
+      << proxy.registry().stats().graphs_retired << ", detaches "
+      << proxy.registry().stats().detaches_run << ", timed_out "
+      << proxy.registry().stats().detaches_timed_out << ", released "
+      << proxy.pool()->stats().leases_released;
   EXPECT_EQ(proxy.pool()->stats().disconnects, 0u);
   platform.Stop();
 }

@@ -18,6 +18,7 @@
 #include "runtime/scheduler.h"
 #include "runtime/state_store.h"
 #include "runtime/task_graph.h"
+#include "services/static_http.h"
 
 namespace flick::runtime {
 namespace {
@@ -382,20 +383,20 @@ TEST(IoPollerTest, ReadReadyNotifiesIdleTask) {
   sched.Stop();
 }
 
-TEST(IoPollerTest, ReaperRemovedWhenDone) {
+TEST(IoPollerTest, PeriodicTimerRemovedWhenDone) {
   Scheduler sched(SchedulerConfig{.num_workers = 1});
   IoPoller poller(&sched, 1000);
   poller.Start();
   std::atomic<int> calls{0};
-  poller.AddReaper([&] {
+  poller.wheel().AddPeriodic(1'000'000, [&] {
     calls.fetch_add(1);
-    return calls.load() >= 3;  // done on third sweep
+    return calls.load() >= 3;  // done on third firing
   });
   EXPECT_TRUE(WaitFor([&] { return calls.load() >= 3; }));
-  std::this_thread::sleep_for(5ms);
+  std::this_thread::sleep_for(10ms);
   const int after = calls.load();
-  std::this_thread::sleep_for(5ms);
-  EXPECT_EQ(calls.load(), after) << "reaper must not run after completing";
+  std::this_thread::sleep_for(10ms);
+  EXPECT_EQ(calls.load(), after) << "periodic must not fire after completing";
   poller.Stop();
 }
 
@@ -1003,6 +1004,154 @@ TEST(PlatformTest, RegisterOnBusyPortFails) {
   EchoService a, b;
   EXPECT_TRUE(platform.RegisterProgram(9300, &a).ok());
   EXPECT_FALSE(platform.RegisterProgram(9300, &b).ok());
+}
+
+// --------------------------------------------- Connection lifetime plane ----
+
+// Platform + static-http with aggressive lifetime windows: the timer wheel
+// must expire idle keep-alive clients, bound slowloris half-requests, and the
+// admission cap must shed accepts past it — all counted.
+TEST(ConnLifetimeTest, IdleKeepAliveConnectionIsClosedAndCounted) {
+  SimNetwork net;
+  SimTransport transport(&net, StackCostModel::Null());
+  PlatformConfig config;
+  config.scheduler.num_workers = 2;
+  config.idle_timeout_ns = 30'000'000;  // 30ms ≈ 28 wheel ticks
+  Platform platform(config, &transport);
+  services::StaticHttpService http("ok");
+  ASSERT_TRUE(platform.RegisterProgram(9500, &http).ok());
+  platform.Start();
+
+  auto client = transport.Connect(9500);
+  ASSERT_TRUE(client.ok());
+  const std::string req = "GET / HTTP/1.1\r\nHost: t\r\n\r\n";
+  ASSERT_TRUE((*client)->Write(req.data(), req.size()).ok());
+  std::string response;
+  char buf[256];
+  ASSERT_TRUE(WaitFor([&] {
+    auto got = (*client)->Read(buf, sizeof(buf));
+    if (got.ok() && *got > 0) {
+      response.append(buf, *got);
+    }
+    return response.find("\r\n\r\nok") != std::string::npos;
+  }));
+  EXPECT_EQ(http.registry().stats().idle_closed, 0u) << "served, not yet idle";
+
+  // Keep-alive client goes quiet: the idle deadline closes it server-side,
+  // which the client observes as peer-closed on its next read.
+  ASSERT_TRUE(WaitFor([&] {
+    auto got = (*client)->Read(buf, sizeof(buf));
+    return !got.ok();
+  }));
+  ASSERT_TRUE(WaitFor([&] { return http.registry().stats().idle_closed >= 1; }));
+  EXPECT_EQ(http.registry().stats().deadline_closed, 0u);
+  platform.Stop();
+}
+
+TEST(ConnLifetimeTest, SlowlorisHalfRequestLineHitsHeaderDeadline) {
+  SimNetwork net;
+  SimTransport transport(&net, StackCostModel::Null());
+  PlatformConfig config;
+  config.scheduler.num_workers = 2;
+  config.header_deadline_ns = 30'000'000;
+  Platform platform(config, &transport);
+  services::StaticHttpService http("ok");
+  ASSERT_TRUE(platform.RegisterProgram(9501, &http).ok());
+  platform.Start();
+
+  // Half a request line, then silence: never parses to a message, so only
+  // the progress (header) deadline can reap it.
+  auto client = transport.Connect(9501);
+  ASSERT_TRUE(client.ok());
+  ASSERT_TRUE((*client)->Write("GET /i", 6).ok());
+  char buf[64];
+  ASSERT_TRUE(WaitFor([&] {
+    auto got = (*client)->Read(buf, sizeof(buf));
+    return !got.ok();
+  }));
+  ASSERT_TRUE(
+      WaitFor([&] { return http.registry().stats().deadline_closed >= 1; }));
+  EXPECT_EQ(http.registry().stats().idle_closed, 0u);
+  platform.Stop();
+}
+
+TEST(ConnLifetimeTest, SlowTrickleStillHitsProgressDeadline) {
+  // Classic slowloris: one byte per ~10ms keeps the wire non-idle forever.
+  // The progress deadline must NOT slide on wakeups without fresh bytes, but
+  // byte arrivals do re-arm it — so a 30ms window with 10ms drips stays open
+  // until the drip stops.
+  SimNetwork net;
+  SimTransport transport(&net, StackCostModel::Null());
+  PlatformConfig config;
+  config.scheduler.num_workers = 2;
+  config.header_deadline_ns = 60'000'000;
+  Platform platform(config, &transport);
+  services::StaticHttpService http("ok");
+  ASSERT_TRUE(platform.RegisterProgram(9502, &http).ok());
+  platform.Start();
+
+  auto client = transport.Connect(9502);
+  ASSERT_TRUE(client.ok());
+  const std::string_view partial = "GET /slow HTTP/1.1\r\nHost:";
+  for (char c : partial) {
+    if (!(*client)->Write(&c, 1).ok()) {
+      break;  // already reaped: the drip outlived the deadline budget
+    }
+    std::this_thread::sleep_for(5ms);
+  }
+  char buf[64];
+  ASSERT_TRUE(WaitFor([&] {
+    auto got = (*client)->Read(buf, sizeof(buf));
+    return !got.ok();
+  }));
+  ASSERT_TRUE(
+      WaitFor([&] { return http.registry().stats().deadline_closed >= 1; }));
+  platform.Stop();
+}
+
+TEST(ConnLifetimeTest, AdmissionCapShedsExcessConnections) {
+  SimNetwork net;
+  SimTransport transport(&net, StackCostModel::Null());
+  PlatformConfig config;
+  config.scheduler.num_workers = 2;
+  config.io_shards = 1;
+  config.max_conns_per_shard = 2;
+  Platform platform(config, &transport);
+  services::StaticHttpService http("ok");
+  ASSERT_TRUE(platform.RegisterProgram(9503, &http).ok());
+  platform.Start();
+
+  auto c1 = transport.Connect(9503);
+  auto c2 = transport.Connect(9503);
+  ASSERT_TRUE(c1.ok() && c2.ok());
+  // Prove both admitted conns are live before pushing past the cap.
+  const std::string req = "GET / HTTP/1.1\r\nHost: t\r\n\r\n";
+  for (Connection* c : {c1->get(), c2->get()}) {
+    ASSERT_TRUE(c->Write(req.data(), req.size()).ok());
+    std::string response;
+    char buf[256];
+    ASSERT_TRUE(WaitFor([&] {
+      auto got = c->Read(buf, sizeof(buf));
+      if (got.ok() && *got > 0) {
+        response.append(buf, *got);
+      }
+      return response.find("\r\n\r\nok") != std::string::npos;
+    }));
+  }
+
+  // Third connection: accepted then shed (closed before any service graph).
+  auto c3 = transport.Connect(9503);
+  ASSERT_TRUE(c3.ok());
+  char buf[64];
+  ASSERT_TRUE(WaitFor([&] {
+    auto got = (*c3)->Read(buf, sizeof(buf));
+    return !got.ok();
+  }));
+  EXPECT_EQ(platform.poller(0).admission().shed(), 1u);
+  EXPECT_EQ(platform.poller(0).admission().live(), 2u);
+  EXPECT_EQ(http.registry().stats().admissions_shed, 1u);
+  EXPECT_EQ(http.live_graphs(), 2u) << "shed conn never reached the service";
+  platform.Stop();
 }
 
 }  // namespace
