@@ -64,6 +64,20 @@ inline void ReportPoolCounters(benchmark::State& state,
   state.counters["pool_stripe_spills"] = avg(pstats.stripe_spills);
 }
 
+// Exports the share-nothing plane counters of a platform: steals that
+// crossed a shard-group boundary (compute plane) and pool-slice acquires that
+// spilled to the global pool (memory plane). Both must read 0 on a healthy
+// sharded point — benches pin every task and size slices for the load — and
+// merge_bench_smoke.py asserts exactly that.
+inline void ReportShardCounters(benchmark::State& state, runtime::Platform& platform) {
+  state.counters["cross_shard_steals"] = benchmark::Counter(
+      static_cast<double>(platform.scheduler().stats().cross_shard_steals),
+      benchmark::Counter::kAvgIterations);
+  state.counters["pool_slice_spills"] = benchmark::Counter(
+      static_cast<double>(platform.pool_slice_spills()),
+      benchmark::Counter::kAvgIterations);
+}
+
 inline void ReportLoad(benchmark::State& state, const load::LoadResult& result) {
   state.counters["reqs_per_s"] =
       benchmark::Counter(result.RequestsPerSec(), benchmark::Counter::kAvgIterations);

@@ -50,7 +50,7 @@ void FlickLb(benchmark::State& state, StackCostModel middlebox_model, bool persi
     // Fig. 4c through it) — pooled transport is its own series, not a silent
     // replacement.
     services::HttpLbService::Options options;
-    options.mode = mode;
+    options.wire.mode = mode;
     services::HttpLbService lb(farm.ports, options);
     FLICK_CHECK(platform.RegisterProgram(80, &lb).ok());
     platform.Start();
@@ -119,7 +119,7 @@ void Fig4Smoke(benchmark::State& state, services::BackendMode mode) {
     BackendFarm farm(&edge_transport, std::string(137, 'x'));
     runtime::Platform platform(MakePlatformConfig(2), &mb_transport);
     services::HttpLbService::Options options;
-    options.mode = mode;
+    options.wire.mode = mode;
     services::HttpLbService lb(farm.ports, options);
     FLICK_CHECK(platform.RegisterProgram(80, &lb).ok());
     platform.Start();
@@ -181,7 +181,7 @@ void BM_Fig4Shards(benchmark::State& state) {
     BackendFarm farm(&edge_transport, std::string(137, 'x'));
     runtime::Platform platform(MakePlatformConfig(2, shards), &mb_transport);
     services::HttpLbService::Options options;
-    options.mode = services::BackendMode::kPooled;
+    options.wire.mode = services::BackendMode::kPooled;
     services::HttpLbService lb(farm.ports, options);
     FLICK_CHECK(platform.RegisterProgram(80, &lb).ok());
     platform.Start();
@@ -195,6 +195,7 @@ void BM_Fig4Shards(benchmark::State& state) {
     const load::LoadResult result = load::RunHttpLoad(&edge_transport, cfg);
     ReportLoad(state, result);
     ReportPoolCounters(state, lb.pool()->stats());
+    ReportShardCounters(state, platform);
     platform.Stop();
   }
 }

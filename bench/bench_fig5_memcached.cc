@@ -84,9 +84,9 @@ void FlickProxy(benchmark::State& state, StackCostModel middlebox_model,
     MemcachedFarm farm(&edge_transport);
     runtime::Platform platform(MakePlatformConfig(cores), &mb_transport);
     services::MemcachedProxyService::Options options;
-    options.mode = mode;
-    options.conns_per_backend = 2;
-    options.flush_watermark_bytes = flush_watermark;
+    options.wire.mode = mode;
+    options.wire.conns_per_backend = 2;
+    options.wire.flush_watermark_bytes = flush_watermark;
     services::MemcachedProxyService proxy(farm.ports, options);
     FLICK_CHECK(platform.RegisterProgram(11211, &proxy).ok());
     platform.Start();
@@ -137,8 +137,8 @@ void Fig5Conns(benchmark::State& state, services::BackendMode mode) {
     MemcachedFarm farm(&edge_transport);
     runtime::Platform platform(MakePlatformConfig(2), &mb_transport);
     services::MemcachedProxyService::Options options;
-    options.mode = mode;
-    options.conns_per_backend = 2;
+    options.wire.mode = mode;
+    options.wire.conns_per_backend = 2;
     services::MemcachedProxyService proxy(farm.ports, options);
     FLICK_CHECK(platform.RegisterProgram(11211, &proxy).ok());
     platform.Start();
@@ -202,8 +202,8 @@ void Fig5Shards(benchmark::State& state) {
     MemcachedFarm farm(&edge_transport);
     runtime::Platform platform(MakePlatformConfig(2, shards), &mb_transport);
     services::MemcachedProxyService::Options options;
-    options.mode = services::BackendMode::kPooled;
-    options.conns_per_backend = 2;  // per stripe
+    options.wire.mode = services::BackendMode::kPooled;
+    options.wire.conns_per_backend = 2;  // per stripe
     services::MemcachedProxyService proxy(farm.ports, options);
     FLICK_CHECK(platform.RegisterProgram(11211, &proxy).ok());
     platform.Start();
@@ -216,6 +216,7 @@ void Fig5Shards(benchmark::State& state) {
     state.counters["backend_conns"] = benchmark::Counter(
         static_cast<double>(farm.TotalAccepted()), benchmark::Counter::kAvgIterations);
     ReportPoolCounters(state, proxy.pool()->stats());
+    ReportShardCounters(state, platform);
     platform.Stop();
   }
 }

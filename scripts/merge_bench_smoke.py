@@ -38,6 +38,12 @@ Asserted invariants (smoke fails on violation):
      blow up from 10k to 100k conns, the adaptive sleep engages
      (idle_sweep_frac), one idle timer is armed per conn, and
      admissions_shed == 0 — the shard cap sits above N, nothing may shed.
+  7. Share-nothing planes: on every sharded point (BM_Fig5Shards and
+     BM_Fig4Shards, which export the platform counters)
+     cross_shard_steals == 0 — the benches pin every task to its accepting
+     shard, so a steal crossing a worker group means pinning leaked — and
+     pool_slice_spills == 0 — every buffer/msg acquire was served by the
+     shard's own pool slice, never the global spill pool.
 """
 
 import json
@@ -185,6 +191,32 @@ def main(argv):
         spills_checked += 1
         batching.setdefault(b["name"], {}).setdefault("pool_stripe_spills", spills)
 
+    # 7. Share-nothing planes: pinned compute never crosses a shard group,
+    # sliced memory never spills to the global pool, on any sharded point.
+    shard_plane_checked = 0
+    for b in merged["benchmarks"]:
+        c = counters_of(b)
+        steals = c.get("cross_shard_steals")
+        slice_spills = c.get("pool_slice_spills")
+        if steals is None and slice_spills is None:
+            continue
+        assert steals is not None and slice_spills is not None, \
+            f"{b['name']}: exports only one of the share-nothing counters"
+        assert steals == 0, (
+            f"{b['name']}: {steals:.0f} cross-shard steals — shard-pinned "
+            f"tasks are migrating off their home worker group")
+        assert slice_spills == 0, (
+            f"{b['name']}: {slice_spills:.0f} pool slice spills — shard "
+            f"pool slices are under-sized or leaking to the global pool")
+        shard_plane_checked += 1
+        batching.setdefault(b["name"], {}).update({
+            "cross_shard_steals": steals,
+            "pool_slice_spills": slice_spills,
+        })
+    if shard_points:
+        assert shard_plane_checked >= len(shard_points), \
+            "sharded points missing the share-nothing plane counters"
+
     # 6. Idle-conn plane: near-zero flat sweep cost, no shedding under cap.
     idle_points = {}
     for b in merged["benchmarks"]:
@@ -249,6 +281,7 @@ def main(argv):
           f"{fills_checked} pooled points fill-checked; "
           f"{len(shard_points)} shard-scaling points checked; "
           f"{spills_checked} points spill-checked; "
+          f"{shard_plane_checked} points share-nothing-checked; "
           f"{len(idle_points)} idle-conn points checked")
     return 0
 

@@ -50,6 +50,14 @@ class IntrusiveList {
 
   T* Front() { return empty() ? nullptr : static_cast<T*>(head_.next->owner); }
 
+  // Successor of a linked `item`, or nullptr at the tail. With Front() this
+  // gives bounded in-place scans (the scheduler's selective cross-group
+  // steal) without materialising an iterator type.
+  T* Next(const T* item) const {
+    const IntrusiveListNode* n = (item->*Node).next;
+    return n == &head_ ? nullptr : static_cast<T*>(n->owner);
+  }
+
   // Removes `item` from this list. `item` must be linked.
   void Remove(T* item) {
     IntrusiveListNode* n = &(item->*Node);

@@ -18,8 +18,9 @@ void BufferRef::Release() {
   }
 }
 
-BufferPool::BufferPool(size_t count, size_t buffer_capacity)
+BufferPool::BufferPool(size_t count, size_t buffer_capacity, BufferPool* spill)
     : buffer_capacity_(buffer_capacity),
+      spill_(spill),
       slab_(new uint8_t[count * buffer_capacity]),
       buffers_(count) {
   FLICK_CHECK(count > 0 && buffer_capacity > 0);
@@ -41,19 +42,26 @@ BufferPool::~BufferPool() {
 }
 
 BufferRef BufferPool::Acquire() {
-  std::lock_guard<std::mutex> lock(mutex_);
-  Buffer* b = free_list_.PopFront();
-  if (b == nullptr) {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    Buffer* b = free_list_.PopFront();
+    if (b != nullptr) {
+      b->Reset();
+      stats_.in_use++;
+      stats_.acquire_count++;
+      if (stats_.in_use > stats_.high_watermark) {
+        stats_.high_watermark = stats_.in_use;
+      }
+      return BufferRef(b);
+    }
     stats_.exhausted_count++;
-    return BufferRef();
+    if (spill_ != nullptr) {
+      stats_.slice_spills++;
+    }
   }
-  b->Reset();
-  stats_.in_use++;
-  stats_.acquire_count++;
-  if (stats_.in_use > stats_.high_watermark) {
-    stats_.high_watermark = stats_.in_use;
-  }
-  return BufferRef(b);
+  // Slice dry: delegate outside the lock (the spilled buffer's back-pointer
+  // routes its release straight to the spill pool, never through this slice).
+  return spill_ != nullptr ? spill_->Acquire() : BufferRef();
 }
 
 void BufferPool::Release(Buffer* buffer) {

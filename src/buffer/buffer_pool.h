@@ -89,12 +89,22 @@ struct BufferPoolStats {
   size_t high_watermark = 0;
   uint64_t acquire_count = 0;
   uint64_t exhausted_count = 0;
+  // Acquires this pool could not serve locally and delegated to its spill
+  // parent (share-nothing shard slices: a spill means the slice is under-
+  // sized or a shard is drawing another shard's traffic).
+  uint64_t slice_spills = 0;
 };
 
 class BufferPool {
  public:
   // `count` buffers of `buffer_capacity` bytes each, allocated up front.
-  BufferPool(size_t count, size_t buffer_capacity);
+  // `spill`, when set, makes this pool a SLICE of `spill`: Acquire falls back
+  // to the spill pool once the local free list is empty (counted in
+  // slice_spills) instead of failing. Released buffers always return to the
+  // pool that carved them (Buffer keeps a back-pointer), so a spilled
+  // acquisition never pollutes the slice's free list. The spill pool must
+  // outlive the slice.
+  BufferPool(size_t count, size_t buffer_capacity, BufferPool* spill = nullptr);
 
   BufferPool(const BufferPool&) = delete;
   BufferPool& operator=(const BufferPool&) = delete;
@@ -106,11 +116,15 @@ class BufferPool {
   size_t buffer_capacity() const { return buffer_capacity_; }
   BufferPoolStats stats() const;
 
+  // Spill parent (null for the global pool / non-slices).
+  BufferPool* spill() const { return spill_; }
+
  private:
   friend class BufferRef;
   void Release(Buffer* buffer);
 
   const size_t buffer_capacity_;
+  BufferPool* const spill_;
   std::unique_ptr<uint8_t[]> slab_;
   std::vector<Buffer> buffers_;
 

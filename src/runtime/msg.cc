@@ -25,7 +25,7 @@ void MsgRef::Release() {
   }
 }
 
-MsgPool::MsgPool(size_t count) {
+MsgPool::MsgPool(size_t count, MsgPool* spill) : spill_(spill) {
   storage_.reserve(count);
   free_.reserve(count);
   for (size_t i = 0; i < count; ++i) {
@@ -48,7 +48,17 @@ MsgRef MsgPool::Acquire() {
       msg->Clear();
       return MsgRef(msg, this);
     }
-    ++overflow_;
+    if (spill_ != nullptr) {
+      ++slice_spills_;
+    } else {
+      ++overflow_;
+    }
+  }
+  if (spill_ != nullptr) {
+    // Slice dry: the spill pool serves the acquire (and owns the release —
+    // MsgRef carries the acquiring pool). The spill pool counts its own miss
+    // if it is dry too.
+    return spill_->Acquire();
   }
   // Pool dry: heap-allocate an unpooled message (freed on release).
   return MsgRef(new Msg(), nullptr);
@@ -59,9 +69,14 @@ void MsgPool::Release(Msg* msg) {
   free_.push_back(msg);
 }
 
-size_t MsgPool::overflow_count() const {
+size_t MsgPool::pool_misses() const {
   std::lock_guard<std::mutex> lock(mutex_);
   return overflow_;
+}
+
+size_t MsgPool::slice_spills() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return slice_spills_;
 }
 
 }  // namespace flick::runtime

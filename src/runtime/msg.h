@@ -73,23 +73,42 @@ class MsgRef {
 // Pre-allocated message pool. Unlike BufferPool, exhaustion falls back to
 // heap allocation with a stat bump (messages are control-plane-sized; hard
 // failure would complicate every compute task for little gain).
+//
+// With `spill` set the pool is a SLICE of `spill` (share-nothing shard
+// slices): a dry free list delegates to the spill pool first (counted in
+// slice_spills) and only heap-allocates when the spill pool is dry too.
+// Released messages return to the pool they were acquired from (MsgRef
+// carries the owner), so spilled acquisitions never pollute the slice.
 class MsgPool {
  public:
-  explicit MsgPool(size_t count);
+  explicit MsgPool(size_t count, MsgPool* spill = nullptr);
   ~MsgPool();
 
   MsgRef Acquire();
 
-  size_t overflow_count() const;
+  // Acquires that found the free list dry and fell back to the HEAP — the
+  // uncounted-exhaustion fix: slice sizing is observable instead of silently
+  // degrading to malloc on the data path.
+  size_t pool_misses() const;
+  size_t overflow_count() const { return pool_misses(); }
+
+  // Acquires this slice delegated to its spill parent (0 for non-slices).
+  size_t slice_spills() const;
+
+  // Spill parent (null for the global pool). Stats aggregators walk this to
+  // reach the global pool's heap-miss counter through a slice.
+  MsgPool* spill() const { return spill_; }
 
  private:
   friend class MsgRef;
   void Release(Msg* msg);
 
   mutable std::mutex mutex_;
+  MsgPool* const spill_;
   std::vector<std::unique_ptr<Msg>> storage_;
   std::vector<Msg*> free_;
   size_t overflow_ = 0;
+  size_t slice_spills_ = 0;
 };
 
 }  // namespace flick::runtime

@@ -22,9 +22,35 @@ Platform::Platform(PlatformConfig config, Transport* transport)
   if (config_.io_shards == 0) {
     config_.io_shards = 1;
   }
+  // Sharded IO plane => matching compute plane by default: one worker group
+  // per shard (unless the caller chose a layout explicitly).
+  if (config_.scheduler.shard_groups == 0) {
+    config_.scheduler.shard_groups = config_.io_shards;
+  }
   scheduler_ = std::make_unique<Scheduler>(config_.scheduler);
   buffers_ = std::make_unique<BufferPool>(config_.io_buffer_count, config_.io_buffer_size);
   msgs_ = std::make_unique<MsgPool>(config_.msg_pool_size);
+  if (config_.io_shards > 1) {
+    // Share-nothing memory plane: each shard gets a slice sized total/N whose
+    // free list only that shard's ingest path touches; the full-size global
+    // pool behind it absorbs (counted) bursts. io_shards == 1 keeps the
+    // single-pool shape — no slices, no extra footprint.
+    const size_t buf_count =
+        config_.io_buffer_count / config_.io_shards > 0
+            ? config_.io_buffer_count / config_.io_shards : 1;
+    const size_t msg_count =
+        config_.msg_pool_size / config_.io_shards > 0
+            ? config_.msg_pool_size / config_.io_shards : 1;
+    buffer_slices_.reserve(config_.io_shards);
+    msg_slices_.reserve(config_.io_shards);
+    for (size_t s = 0; s < config_.io_shards; ++s) {
+      buffer_slices_.push_back(std::make_unique<BufferPool>(
+          buf_count, config_.io_buffer_size, buffers_.get()));
+      buffer_slice_ptrs_.push_back(buffer_slices_.back().get());
+      msg_slices_.push_back(std::make_unique<MsgPool>(msg_count, msgs_.get()));
+      msg_slice_ptrs_.push_back(msg_slices_.back().get());
+    }
+  }
   state_ = std::make_unique<StateStore>(config_.state_entries_per_dict);
   lifetime_config_.idle_timeout_ns = config_.idle_timeout_ns;
   lifetime_config_.header_deadline_ns = config_.header_deadline_ns;
@@ -38,13 +64,34 @@ Platform::Platform(PlatformConfig config, Transport* transport)
   }
   envs_.reserve(config_.io_shards);  // stable: env(k) references survive
   for (size_t s = 0; s < config_.io_shards; ++s) {
-    PlatformEnv env{scheduler_.get(), pollers_[s].get(), buffers_.get(),
-                    msgs_.get(),      state_.get(),      transport_};
+    // Sharded: the env's pools are shard s's slices, so everything built
+    // through this env (graph sources/sinks, pool stripes) allocates from
+    // shard-local free lists.
+    BufferPool* buffers = buffer_slices_.empty() ? buffers_.get()
+                                                 : buffer_slices_[s].get();
+    MsgPool* msgs = msg_slices_.empty() ? msgs_.get() : msg_slices_[s].get();
+    PlatformEnv env{scheduler_.get(), pollers_[s].get(), buffers,
+                    msgs,            state_.get(),       transport_};
     env.io_shard = s;
     env.io_pollers = &poller_ptrs_;
+    if (!buffer_slice_ptrs_.empty()) {
+      env.shard_buffer_pools = &buffer_slice_ptrs_;
+      env.shard_msg_pools = &msg_slice_ptrs_;
+    }
     env.lifetime = &lifetime_config_;
     envs_.push_back(env);
   }
+}
+
+uint64_t Platform::pool_slice_spills() const {
+  uint64_t n = 0;
+  for (const auto& b : buffer_slices_) {
+    n += b->stats().slice_spills;
+  }
+  for (const auto& m : msg_slices_) {
+    n += m->slice_spills();
+  }
+  return n;
 }
 
 Platform::~Platform() { Stop(); }

@@ -87,6 +87,14 @@ struct PlatformEnv {
   size_t io_shard = 0;
   const std::vector<IoPoller*>* io_pollers = nullptr;
 
+  // Per-shard memory-plane slices (null/empty when the IO plane is unsharded:
+  // `buffers`/`msgs` then ARE the whole pools). On a sharded platform
+  // `buffers`/`msgs` already point at THIS shard's slice; the vectors exist so
+  // cross-shard machinery (BackendPool stripes) can fetch a sibling shard's
+  // slice through any env.
+  const std::vector<BufferPool*>* shard_buffer_pools = nullptr;
+  const std::vector<MsgPool*>* shard_msg_pools = nullptr;
+
   // Platform-wide connection lifetime policy; null for hand-built envs means
   // "all disabled". Services/builders may override per graph.
   const ConnLifetimeConfig* lifetime = nullptr;
@@ -98,6 +106,16 @@ struct PlatformEnv {
     return io_pollers != nullptr && !io_pollers->empty()
                ? (*io_pollers)[shard % io_pollers->size()]
                : poller;
+  }
+  BufferPool* shard_buffers(size_t shard) const {
+    return shard_buffer_pools != nullptr && !shard_buffer_pools->empty()
+               ? (*shard_buffer_pools)[shard % shard_buffer_pools->size()]
+               : buffers;
+  }
+  MsgPool* shard_msgs(size_t shard) const {
+    return shard_msg_pools != nullptr && !shard_msg_pools->empty()
+               ? (*shard_msg_pools)[shard % shard_msg_pools->size()]
+               : msgs;
   }
 
   // Activates a graph's IO in one correctly ordered step: every watch is
@@ -142,9 +160,19 @@ class Platform {
   Scheduler& scheduler() { return *scheduler_; }
   IoPoller& poller(size_t shard = 0) { return *pollers_[shard]; }
   size_t io_shards() const { return pollers_.size(); }
+  // The GLOBAL pools. On a sharded platform these are the spill parents of
+  // the per-shard slices; env(s).buffers / env(s).msgs are shard s's slices.
   BufferPool& buffers() { return *buffers_; }
   MsgPool& msgs() { return *msgs_; }
   StateStore& state() { return *state_; }
+
+  // Acquires any shard slice (buffer or msg) could not serve locally and
+  // delegated to the global spill pool. 0 when unsharded, and 0 in a
+  // well-sized sharded steady state — the bench gate asserts exactly that.
+  uint64_t pool_slice_spills() const;
+  // Heap fallbacks of the message plane (counted on the global pool: slices
+  // spill there first and never heap-allocate themselves).
+  uint64_t msg_pool_misses() const { return msgs_->pool_misses(); }
 
  private:
   void AddAccept(size_t shard, Listener* listener, ServiceProgram* program);
@@ -156,6 +184,12 @@ class Platform {
   std::vector<IoPoller*> poller_ptrs_;  // the plane view shared by every env
   std::unique_ptr<BufferPool> buffers_;
   std::unique_ptr<MsgPool> msgs_;
+  // Per-shard slices (empty when io_shards == 1). Declared AFTER the global
+  // pools: slices spill into them, so they must be destroyed first.
+  std::vector<std::unique_ptr<BufferPool>> buffer_slices_;
+  std::vector<std::unique_ptr<MsgPool>> msg_slices_;
+  std::vector<BufferPool*> buffer_slice_ptrs_;  // shared by every env
+  std::vector<MsgPool*> msg_slice_ptrs_;
   std::unique_ptr<StateStore> state_;
   ConnLifetimeConfig lifetime_config_;  // referenced by every env
   std::vector<PlatformEnv> envs_;  // one per shard; stable after construction

@@ -12,9 +12,33 @@ namespace flick::runtime {
 
 Scheduler::Scheduler(SchedulerConfig config) : config_(config) {
   FLICK_CHECK(config_.num_workers > 0);
-  workers_.reserve(static_cast<size_t>(config_.num_workers));
-  for (int i = 0; i < config_.num_workers; ++i) {
+  const size_t n = static_cast<size_t>(config_.num_workers);
+  workers_.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
     workers_.push_back(std::make_unique<Worker>());
+  }
+
+  // Group layout: clamp to [1, num_workers] so every group owns at least one
+  // worker (a zero-width group would strand its pinned tasks forever), split
+  // as evenly as possible with the leading groups taking the remainder.
+  size_t groups = config_.shard_groups == 0 ? 1 : config_.shard_groups;
+  if (groups > n) {
+    groups = n;
+  }
+  group_begin_.reserve(groups);
+  const size_t base = n / groups;
+  const size_t rem = n % groups;
+  size_t begin = 0;
+  for (size_t g = 0; g < groups; ++g) {
+    group_begin_.push_back(static_cast<int>(begin));
+    begin += base + (g < rem ? 1 : 0);
+  }
+  for (size_t g = 0; g < groups; ++g) {
+    const int end =
+        g + 1 < groups ? group_begin_[g + 1] : config_.num_workers;
+    for (int w = group_begin_[g]; w < end; ++w) {
+      workers_[static_cast<size_t>(w)]->group = static_cast<int>(g);
+    }
   }
 }
 
@@ -51,10 +75,36 @@ void Scheduler::Stop() {
       w->thread.join();
     }
   }
+  // Workers are gone: drain leftovers so retirement paths (Quiesce) cannot
+  // hang on a task parked in kQueued forever, and count them instead of
+  // letting the drop pass silently.
+  for (auto& w : workers_) {
+    std::lock_guard<std::mutex> lock(w->mutex);
+    while (Task* task = w->queue.PopFront()) {
+      task->sched_state.store(Task::SchedState::kIdle, std::memory_order_release);
+      tasks_dropped_at_stop_.fetch_add(1, std::memory_order_relaxed);
+    }
+  }
+}
+
+int Scheduler::group_begin(size_t shard) const {
+  return group_begin_[shard % group_begin_.size()];
+}
+
+int Scheduler::group_end(size_t shard) const {
+  const size_t g = shard % group_begin_.size();
+  return g + 1 < group_begin_.size() ? group_begin_[g + 1] : config_.num_workers;
 }
 
 int Scheduler::HomeQueue(const Task* task) const {
   const uint64_t key = task->affinity_key != 0 ? task->affinity_key : task->id();
+  if (task->shard_affinity >= 0 && group_begin_.size() > 1) {
+    // Pinned: hash within the home group's worker range only.
+    const auto shard = static_cast<size_t>(task->shard_affinity);
+    const int begin = group_begin(shard);
+    const int size = group_end(shard) - begin;
+    return begin + static_cast<int>(MixU64(key) % static_cast<uint64_t>(size));
+  }
   return static_cast<int>(MixU64(key) % static_cast<uint64_t>(config_.num_workers));
 }
 
@@ -109,15 +159,43 @@ Task* Scheduler::PopLocal(Worker& w) {
 }
 
 Task* Scheduler::Steal(int thief_index) {
-  // Scan siblings round-robin starting after the thief (§5: "the worker
-  // attempts to scavenge work from other queues").
-  const int n = config_.num_workers;
-  for (int d = 1; d < n; ++d) {
-    Worker& victim = *workers_[static_cast<size_t>((thief_index + d) % n)];
+  // Shard-local first: scan the thief's own group round-robin starting after
+  // the thief (§5: "the worker attempts to scavenge work from other queues").
+  // Any task may move inside its group — pinning constrains the group, not
+  // the worker.
+  Worker& self = *workers_[static_cast<size_t>(thief_index)];
+  const int gbegin = group_begin(static_cast<size_t>(self.group));
+  const int gsize = group_end(static_cast<size_t>(self.group)) - gbegin;
+  for (int d = 1; d < gsize; ++d) {
+    const int v = gbegin + (thief_index - gbegin + d) % gsize;
+    Worker& victim = *workers_[static_cast<size_t>(v)];
     std::lock_guard<std::mutex> lock(victim.mutex);
     Task* task = victim.queue.PopFront();
     if (task != nullptr) {
       return task;
+    }
+  }
+  if (group_begin_.size() == 1) {
+    return nullptr;  // single group: the scan above covered every sibling
+  }
+  // Cross-group: take only UNPINNED tasks. Pinned work never leaves its home
+  // group, which is what keeps cross_shard_steals == 0 assertable when every
+  // task is pinned (the sharded benches).
+  const int n = config_.num_workers;
+  for (int d = 1; d < n; ++d) {
+    const int v = (thief_index + d) % n;
+    Worker& victim = *workers_[static_cast<size_t>(v)];
+    if (victim.group == self.group) {
+      continue;
+    }
+    std::lock_guard<std::mutex> lock(victim.mutex);
+    for (Task* task = victim.queue.Front(); task != nullptr;
+         task = victim.queue.Next(task)) {
+      if (task->shard_affinity < 0) {
+        victim.queue.Remove(task);
+        self.cross_shard_steals++;
+        return task;
+      }
     }
   }
   return nullptr;
@@ -179,8 +257,10 @@ SchedulerStats Scheduler::stats() const {
   for (const auto& w : workers_) {
     s.tasks_run += w->tasks_run;
     s.steals += w->steals;
+    s.cross_shard_steals += w->cross_shard_steals;
   }
   s.notifications = notifications_.load(std::memory_order_relaxed);
+  s.tasks_dropped_at_stop = tasks_dropped_at_stop_.load(std::memory_order_relaxed);
   return s;
 }
 

@@ -112,6 +112,15 @@ class Task {
   // instead of a cross-core wakeup). 0 = use the task's own id.
   uint64_t affinity_key = 0;
 
+  // IO-shard pinning (share-nothing compute plane). >= 0 routes the task to
+  // the worker GROUP serving shard `shard_affinity % groups` (see
+  // SchedulerConfig::shard_groups): the task runs only on that group's
+  // workers, so compute stays on the cores whose caches hold the shard's
+  // buffers. -1 = unpinned; the task hashes across the whole worker pool and
+  // any group may steal it. GraphBuilder stamps launched graphs with the
+  // accepting shard; BackendPool stamps each wire task with its stripe.
+  int shard_affinity = -1;
+
   // Aggregate runtime stats (relaxed; read for tests/benches).
   std::atomic<uint64_t> run_count{0};
   std::atomic<uint64_t> run_ns{0};

@@ -26,19 +26,23 @@ namespace internal {
 class PoolConnTask : public runtime::Task {
  public:
   // `poller` is the owning stripe's shard poller: this wire's watches and
-  // redial kicks stay on that shard.
+  // redial kicks stay on that shard. The stripe also picks the task's pools
+  // (shard `stripe`'s slices on a sharded platform) and pins its compute to
+  // that shard's worker group — the full share-nothing column.
   PoolConnTask(std::string name, BackendPool* pool, uint16_t port,
-               runtime::PlatformEnv& env, runtime::IoPoller* poller)
+               runtime::PlatformEnv& env, runtime::IoPoller* poller,
+               size_t stripe)
       : Task(std::move(name)),
         pool_(pool),
         port_(port),
         transport_(env.transport),
         poller_(poller),
-        msgs_(env.msgs),
-        rx_(env.buffers),
-        tx_(env.buffers),
+        msgs_(env.shard_msgs(stripe)),
+        rx_(env.shard_buffers(stripe)),
+        tx_(env.shard_buffers(stripe)),
         serializer_(pool->config_.make_serializer()),
         deserializer_(pool->config_.make_deserializer()) {
+    shard_affinity = static_cast<int>(stripe);
     fill_window_.set_max(pool->config_.fill_window);
   }
 
@@ -546,7 +550,7 @@ Status BackendPool::EnsureStarted(runtime::PlatformEnv& env) {
         backend.conns.push_back(std::make_unique<internal::PoolConnTask>(
             "pool-" + std::to_string(config_.ports[b]) + "-s" + std::to_string(s) +
                 "-" + std::to_string(c),
-            this, config_.ports[b], env, poller));
+            this, config_.ports[b], env, poller, s));
       }
       backend.exclusive_claimed.assign(backend.conns.size(), 0);
       backend.active_leases.assign(backend.conns.size(), 0);

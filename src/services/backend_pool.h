@@ -47,6 +47,7 @@
 
 #include "runtime/codec.h"
 #include "runtime/platform.h"
+#include "services/service_util.h"  // BackendMode, WireOptions
 
 namespace flick::services {
 
@@ -55,11 +56,6 @@ class BackendPool;
 namespace internal {
 class PoolConnTask;
 }  // namespace internal
-
-// How a service reaches its backends: through a shared BackendPool lease, or
-// through dedicated per-client-graph connections (the paper's original
-// kernel-stack shape).
-enum class BackendMode { kPooled, kPerClient };
 
 struct BackendPoolConfig {
   std::vector<uint16_t> ports;

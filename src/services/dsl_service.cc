@@ -44,7 +44,8 @@ fun test_cache: (-/cmd client, [-/cmd] backends, cache: ref dict<string*string>,
 
 Result<std::unique_ptr<DslService>> DslService::Create(const std::string& source,
                                                        const std::string& proc_name,
-                                                       std::vector<uint16_t> backend_ports) {
+                                                       std::vector<uint16_t> backend_ports,
+                                                       Options options) {
   auto compiled = lang::CompileSource(source);
   if (!compiled.ok()) {
     return compiled.status();
@@ -57,6 +58,7 @@ Result<std::unique_ptr<DslService>> DslService::Create(const std::string& source
   }
   service->name_ = "dsl:" + proc_name;
   service->backend_ports_ = std::move(backend_ports);
+  service->options_ = options;
 
   // Identify the scalar client channel and the backend channel array, and
   // the units for their inbound element types.
@@ -100,6 +102,7 @@ void DslService::OnConnection(std::unique_ptr<Connection> conn,
   }
 
   GraphBuilder b(name_, env);
+  options_.wire.ApplyTo(b);
   auto client = b.Adopt(std::move(conn));
 
   auto request = b.Source(

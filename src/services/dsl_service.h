@@ -23,12 +23,20 @@ extern const char kMemcachedRouterSource[];
 
 class DslService : public runtime::ServiceProgram {
  public:
+  struct Options {
+    // The shared wire-policy knobs — see services::WireOptions. DSL graphs
+    // dial dedicated backend legs (the paper's kernel-stack shape), so the
+    // client-facing subset applies: batching/fill and lifetime windows.
+    WireOptions wire;
+  };
+
   // `client_param` / `backends_param`: names of the proc's channel params.
   // The service opens one connection per entry of `backend_ports` for each
   // accepted client connection.
   static Result<std::unique_ptr<DslService>> Create(const std::string& source,
                                                     const std::string& proc_name,
-                                                    std::vector<uint16_t> backend_ports);
+                                                    std::vector<uint16_t> backend_ports,
+                                                    Options options = {});
 
   const char* name() const override { return name_.c_str(); }
   void OnConnection(std::unique_ptr<Connection> conn, runtime::PlatformEnv& env) override;
@@ -47,6 +55,7 @@ class DslService : public runtime::ServiceProgram {
   const grammar::Unit* client_in_unit_ = nullptr;
   const grammar::Unit* backend_in_unit_ = nullptr;
   std::vector<uint16_t> backend_ports_;
+  Options options_;
   GraphRegistry registry_;
 };
 

@@ -589,6 +589,14 @@ Status GraphBuilder::Launch(GraphRegistry& registry) {
     }
   }
 
+  // Pin every graph task to the accepting shard's worker group: the graph's
+  // buffers come from that shard's pool slice and its watches live on that
+  // shard's poller, so its compute must stay on the matching cores too
+  // (share-nothing column). One group (unsharded env) makes this a no-op.
+  for (const auto& task : graph->tasks()) {
+    task->shard_affinity = static_cast<int>(env_.io_shard);
+  }
+
   stats_.tasks = graph->tasks().size();
   stats_.channels = graph->channel_count();
   stats_.connections = conns_.size();

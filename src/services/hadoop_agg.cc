@@ -27,14 +27,11 @@ HadoopAggService::HadoopAggService(int expected_mappers, uint16_t reducer_port,
     : expected_mappers_(expected_mappers),
       reducer_port_(reducer_port),
       options_(options) {
-  if (options_.mode == BackendMode::kPooled) {
+  if (options_.wire.mode == BackendMode::kPooled) {
     const grammar::Unit* unit = &proto::HadoopKvUnit();
     BackendPoolConfig cfg;
     cfg.ports = {reducer_port_};
-    cfg.conns_per_backend = options_.reducer_conns;
-    cfg.flush_watermark_bytes = options_.flush_watermark_bytes;
-    cfg.fill_window = options_.fill_window;
-    cfg.io_shards = options_.io_shards;
+    options_.wire.ApplyTo(cfg);
     cfg.make_serializer = [unit] {
       return std::make_unique<runtime::GrammarSerializer>(unit);
     };
@@ -67,7 +64,8 @@ void HadoopAggService::BuildGraph(runtime::PlatformEnv& env) {
   }
 
   // Claim the reducer slot BEFORE wiring anything: if every pool slot is
-  // busy (more concurrent batches than reducer_conns), this batch falls back
+  // busy (more concurrent batches than wire.conns_per_backend), this batch
+  // falls back
   // to a dedicated dialled leg instead of being dropped — slot pressure must
   // never lose data the mappers already sent.
   PoolLease reducer_lease;
@@ -83,9 +81,7 @@ void HadoopAggService::BuildGraph(runtime::PlatformEnv& env) {
 
   const grammar::Unit* unit = &proto::HadoopKvUnit();
   GraphBuilder b("hadoop-agg", env);
-  b.DefaultCapacity(256)
-      .FlushWatermark(options_.flush_watermark_bytes)
-      .FillWindow(options_.fill_window);
+  options_.wire.ApplyTo(b.DefaultCapacity(256));
 
   // Leaves: one input task per mapper connection. If the reducer leg below
   // fails, Launch() closes every adopted mapper connection.

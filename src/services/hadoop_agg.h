@@ -33,23 +33,14 @@ namespace flick::services {
 class HadoopAggService : public runtime::ServiceProgram {
  public:
   struct Options {
-    // kPooled: stream to the reducer over an exclusive BackendPool lease.
-    // kPerClient: dial a dedicated reducer connection per graph (paper shape).
-    BackendMode mode = BackendMode::kPooled;
-
-    // Pool slots to the reducer == aggregation graphs that may stream
-    // concurrently (each claims one exclusively).
-    size_t reducer_conns = 2;
-
-    // Forced-flush threshold for the stream's batched writes (see
-    // BackendPoolConfig::flush_watermark_bytes).
-    size_t flush_watermark_bytes = runtime::kDefaultFlushWatermark;
-    // Adaptive rx fill-window cap for the mapper sources (see
-    // GraphBuilder::FillWindow; 1 = one-buffer reads).
-    size_t fill_window = runtime::kDefaultFillWindow;
-    // Pool stripes (see BackendPoolConfig::io_shards; 0 = one stripe per
-    // platform IO shard, derived when the pool starts).
-    size_t io_shards = 0;
+    // The shared wire-policy knobs — see services::WireOptions. Here
+    // wire.conns_per_backend is the number of pool slots to the reducer ==
+    // aggregation graphs that may stream concurrently (each claims one
+    // exclusively); wire.mode selects the pooled exclusive lease (default)
+    // vs a dedicated dialled reducer connection per graph (paper shape).
+    // Mapper legs are ingest-only, so the lifetime windows govern stalled
+    // mapper streams.
+    WireOptions wire;
   };
 
   // Builds the aggregation graph once `expected_mappers` connections arrived;

@@ -11,14 +11,10 @@ HttpLbService::HttpLbService(std::vector<uint16_t> backend_ports)
 
 HttpLbService::HttpLbService(std::vector<uint16_t> backend_ports, Options options)
     : backends_(std::move(backend_ports)), options_(options) {
-  if (options_.mode == BackendMode::kPooled) {
+  if (options_.wire.mode == BackendMode::kPooled) {
     BackendPoolConfig cfg;
     cfg.ports = backends_;
-    cfg.conns_per_backend = options_.conns_per_backend;
-    cfg.max_pipeline_depth = options_.max_pipeline_depth;
-    cfg.flush_watermark_bytes = options_.flush_watermark_bytes;
-    cfg.fill_window = options_.fill_window;
-    cfg.io_shards = options_.io_shards;
+    options_.wire.ApplyTo(cfg);
     cfg.make_serializer = [] { return std::make_unique<runtime::HttpSerializer>(); };
     cfg.make_deserializer = [] {
       return std::make_unique<runtime::HttpDeserializer>(
@@ -38,20 +34,14 @@ void HttpLbService::OnConnection(std::unique_ptr<Connection> conn,
   GraphBuilder b("http-lb", env);
   // One watermark for the whole write path: the pool config batches the
   // backend wires, this batches the client-facing sinks.
-  b.FlushWatermark(options_.flush_watermark_bytes).FillWindow(options_.fill_window);
-  if (options_.idle_timeout_ns != kInheritLifetimeNs) {
-    b.IdleTimeout(options_.idle_timeout_ns);
-  }
-  if (options_.header_deadline_ns != kInheritLifetimeNs) {
-    b.HeaderDeadline(options_.header_deadline_ns);
-  }
+  options_.wire.ApplyTo(b);
   auto client = b.Adopt(std::move(conn));
 
   auto request = b.Source(
       "client-in", client,
       std::make_unique<runtime::HttpDeserializer>(proto::HttpParser::Mode::kRequest));
 
-  if (options_.mode == BackendMode::kPooled) {
+  if (options_.wire.mode == BackendMode::kPooled) {
     // Pooled shape: dispatch sits on both directions because the shared
     // return path delivers framed responses, not raw bytes. Input 0 is the
     // client, input 1 the pooled responses; output 0 the pooled requests,

@@ -11,15 +11,11 @@ MemcachedProxyService::MemcachedProxyService(std::vector<uint16_t> backend_ports
 MemcachedProxyService::MemcachedProxyService(std::vector<uint16_t> backend_ports,
                                              Options options)
     : backends_(std::move(backend_ports)), options_(options) {
-  if (options_.mode == BackendMode::kPooled) {
+  if (options_.wire.mode == BackendMode::kPooled) {
     const grammar::Unit* unit = &proto::MemcachedUnit();
     BackendPoolConfig cfg;
     cfg.ports = backends_;
-    cfg.conns_per_backend = options_.conns_per_backend;
-    cfg.max_pipeline_depth = options_.max_pipeline_depth;
-    cfg.flush_watermark_bytes = options_.flush_watermark_bytes;
-    cfg.fill_window = options_.fill_window;
-    cfg.io_shards = options_.io_shards;
+    options_.wire.ApplyTo(cfg);
     cfg.make_serializer = [unit] {
       return std::make_unique<runtime::GrammarSerializer>(unit);
     };
@@ -90,13 +86,7 @@ void MemcachedProxyService::OnConnection(std::unique_ptr<Connection> conn,
   GraphBuilder b("memcached-proxy", env);
   // One watermark for the whole write path: the pool config batches the
   // backend wires, this batches the client-facing sinks.
-  b.FlushWatermark(options_.flush_watermark_bytes).FillWindow(options_.fill_window);
-  if (options_.idle_timeout_ns != kInheritLifetimeNs) {
-    b.IdleTimeout(options_.idle_timeout_ns);
-  }
-  if (options_.header_deadline_ns != kInheritLifetimeNs) {
-    b.HeaderDeadline(options_.header_deadline_ns);
-  }
+  options_.wire.ApplyTo(b);
   auto client = b.Adopt(std::move(conn));
 
   // Request path: parse with the projected unit (opcode/key only).
@@ -104,7 +94,7 @@ void MemcachedProxyService::OnConnection(std::unique_ptr<Connection> conn,
                           std::make_unique<runtime::GrammarDeserializer>(unit));
   auto dispatch = DispatchStage(b, n).From(request);
 
-  if (options_.mode == BackendMode::kPooled) {
+  if (options_.wire.mode == BackendMode::kPooled) {
     // Shared transport: one lease over the pool's persistent connections.
     // Nothing is dialled; a pool failure poisons the builder and Launch()
     // returns the lease.

@@ -31,24 +31,9 @@ namespace flick::services {
 class MemcachedProxyService : public runtime::ServiceProgram {
  public:
   struct Options {
-    BackendMode mode = BackendMode::kPooled;
-    size_t conns_per_backend = 2;
-    size_t max_pipeline_depth = 256;
-    // Forced-flush threshold for the pool's batched request writes (see
-    // BackendPoolConfig::flush_watermark_bytes; 1 = write per message).
-    size_t flush_watermark_bytes = runtime::kDefaultFlushWatermark;
-    // Adaptive rx fill-window cap for client sources and pooled reply legs
-    // (see BackendPoolConfig::fill_window; 1 = one-buffer reads).
-    size_t fill_window = runtime::kDefaultFillWindow;
-    // Pool stripes (see BackendPoolConfig::io_shards; 0 = one stripe per
-    // platform IO shard, derived when the pool starts).
-    size_t io_shards = 0;
-    // Client-leg lifetime windows (see runtime/conn_lifetime.h): close idle
-    // keep-alive clients / stalled partial requests after this long. Default
-    // inherits the platform policy; 0 disables. Timer closes count into
-    // RegistryStats{idle_closed, deadline_closed}.
-    uint64_t idle_timeout_ns = kInheritLifetimeNs;
-    uint64_t header_deadline_ns = kInheritLifetimeNs;
+    // The shared wire-policy knobs (transport mode, pooling, batching,
+    // sharding, lifetime windows) — see services::WireOptions.
+    WireOptions wire;
   };
 
   explicit MemcachedProxyService(std::vector<uint16_t> backend_ports);

@@ -3,6 +3,7 @@
 #ifndef FLICK_SERVICES_SERVICE_UTIL_H_
 #define FLICK_SERVICES_SERVICE_UTIL_H_
 
+#include <algorithm>
 #include <atomic>
 #include <cstdint>
 #include <functional>
@@ -21,6 +22,59 @@ namespace flick::services {
 // policy (PlatformConfig{idle_timeout_ns, header_deadline_ns}) instead of
 // overriding it per service. 0 explicitly disables the window.
 inline constexpr uint64_t kInheritLifetimeNs = UINT64_MAX;
+
+// How a service reaches its backends: through a shared BackendPool lease, or
+// through dedicated per-client-graph connections (the paper's original
+// kernel-stack shape).
+enum class BackendMode { kPooled, kPerClient };
+
+struct BackendPoolConfig;  // backend_pool.h
+class GraphBuilder;        // graph_builder.h
+
+// The wire-policy knobs every client-facing service shares, in ONE struct.
+// Each service embeds this as `Options::wire` instead of hand-copying the
+// fields (mode, conns_per_backend, pipelining, batching, sharding, lifetime
+// windows) into its own Options — adding a knob here reaches every service
+// and its two plumbing sinks at once via the ApplyTo overloads.
+struct WireOptions {
+  // Backend transport shape. Services without a backend leg ignore it.
+  BackendMode mode = BackendMode::kPooled;
+
+  // Multiplexed pool connections per backend per stripe (see
+  // BackendPoolConfig::conns_per_backend).
+  size_t conns_per_backend = 2;
+
+  // In-flight requests allowed per pooled connection (see
+  // BackendPoolConfig::max_pipeline_depth).
+  size_t max_pipeline_depth = 256;
+
+  // Forced-flush threshold for batched writes — pooled backend wires AND the
+  // service's client-facing sinks (1 = write per message).
+  size_t flush_watermark_bytes = runtime::kDefaultFlushWatermark;
+
+  // Adaptive rx fill-window cap for client sources and pooled reply legs
+  // (1 = one-buffer reads).
+  size_t fill_window = runtime::kDefaultFillWindow;
+
+  // Pool stripes (see BackendPoolConfig::io_shards; 0 = one stripe per
+  // platform IO shard, derived when the pool starts).
+  size_t io_shards = 0;
+
+  // Client-leg lifetime windows (see runtime/conn_lifetime.h): close idle
+  // keep-alive clients / stalled partial requests after this long. Default
+  // inherits the platform policy; 0 disables. Timer closes count into
+  // RegistryStats{idle_closed, deadline_closed}.
+  uint64_t idle_timeout_ns = kInheritLifetimeNs;
+  uint64_t header_deadline_ns = kInheritLifetimeNs;
+
+  // Copies the backend-facing knobs into a pool config (ports and codecs
+  // remain the service's business).
+  void ApplyTo(BackendPoolConfig& cfg) const;
+
+  // Applies the builder-facing knobs to one connection's graph build:
+  // batching/fill on every leg, lifetime overrides only when not inherited.
+  GraphBuilder& ApplyTo(GraphBuilder& b) const;
+};
 
 // Non-owning connection proxy: lets an OutputTask write to a connection whose
 // lifetime is owned by the peer InputTask of the same graph.
@@ -92,6 +146,14 @@ struct RegistryStats {
   uint64_t timers_fired = 0;
   uint64_t timers_cancelled = 0;
   uint64_t timer_cascades = 0;
+
+  // Memory plane, summed over the pools this registry's graphs draw from
+  // (shard slices and their global spill parents, deduped at Adopt):
+  // msg acquires that fell through to the HEAP, and acquires a shard slice
+  // could not serve locally (buffer or msg) and delegated to the global
+  // spill pool. Both 0 in a well-sized steady state.
+  uint64_t msg_pool_misses = 0;
+  uint64_t pool_slice_spills = 0;
 };
 
 // Tracks live graphs for a service and reaps them (unwatching their
@@ -224,6 +286,7 @@ class GraphRegistry {
     std::lock_guard<std::mutex> lock(mutex_);
     graphs_.push_back(std::move(graph));
     TrackPollerLocked(env.poller);  // registers the shard's scanner on first sight
+    TrackPoolsLocked(env);          // memory-plane pools for stats()
     pending_retire_.push_back(
         PendingRetire{raw, poller, std::move(staged_retire), std::move(conns)});
   }
@@ -286,6 +349,13 @@ class GraphRegistry {
       s.timers_cancelled += t.cancelled;
       s.timer_cascades += t.cascade_moves;
     }
+    for (runtime::MsgPool* pool : msg_pools_) {
+      s.msg_pool_misses += pool->pool_misses();
+      s.pool_slice_spills += pool->slice_spills();
+    }
+    for (BufferPool* pool : buffer_pools_) {
+      s.pool_slice_spills += pool->stats().slice_spills;
+    }
     return s;
   }
 
@@ -321,6 +391,25 @@ class GraphRegistry {
           return false;  // runs until the registry cancels it
         });
     pollers_.push_back(TrackedPoller{poller, token});
+  }
+
+  // Caller holds mutex_. Dedups the memory-plane pools an adopting env draws
+  // from, walking each slice's spill chain so the global parent (where msg
+  // heap misses are counted — slices spill, they never heap-allocate) is
+  // tracked even when every env hands out a slice. A registry spans at most
+  // shards + 1 pools of each kind, so linear dedup is fine.
+  void TrackPoolsLocked(runtime::PlatformEnv& env) {
+    for (runtime::MsgPool* pool = env.msgs; pool != nullptr; pool = pool->spill()) {
+      if (std::find(msg_pools_.begin(), msg_pools_.end(), pool) == msg_pools_.end()) {
+        msg_pools_.push_back(pool);
+      }
+    }
+    for (BufferPool* pool = env.buffers; pool != nullptr; pool = pool->spill()) {
+      if (std::find(buffer_pools_.begin(), buffer_pools_.end(), pool) ==
+          buffer_pools_.end()) {
+        buffer_pools_.push_back(pool);
+      }
+    }
   }
 
   // SCAN phase, on `poller`'s thread: hand every pending graph whose IO has
@@ -365,6 +454,8 @@ class GraphRegistry {
   mutable std::mutex mutex_;
   std::vector<std::unique_ptr<runtime::TaskGraph>> graphs_;
   std::vector<TrackedPoller> pollers_;  // shards graphs were adopted from
+  std::vector<runtime::MsgPool*> msg_pools_;  // slices + spill parents, deduped
+  std::vector<BufferPool*> buffer_pools_;
   std::vector<PendingRetire> pending_retire_;  // live graphs awaiting IO close
   runtime::ConnLifetimeCounters lifetime_;
   std::atomic<uint64_t> graphs_adopted_{0};

@@ -7,12 +7,7 @@ namespace flick::services {
 void StaticHttpService::OnConnection(std::unique_ptr<Connection> conn,
                                      runtime::PlatformEnv& env) {
   GraphBuilder b("static-http", env);
-  if (options_.idle_timeout_ns != kInheritLifetimeNs) {
-    b.IdleTimeout(options_.idle_timeout_ns);
-  }
-  if (options_.header_deadline_ns != kInheritLifetimeNs) {
-    b.HeaderDeadline(options_.header_deadline_ns);
-  }
+  options_.wire.ApplyTo(b);
   auto client = b.Adopt(std::move(conn));
 
   auto request = b.Source(

@@ -19,12 +19,12 @@ namespace flick::services {
 class StaticHttpService : public runtime::ServiceProgram {
  public:
   struct Options {
-    // Client-leg lifetime windows (see runtime/conn_lifetime.h): close idle
-    // keep-alive clients / stalled partial requests after this long. Default
-    // inherits the platform policy; 0 disables. Timer closes count into
-    // RegistryStats{idle_closed, deadline_closed}.
-    uint64_t idle_timeout_ns = kInheritLifetimeNs;
-    uint64_t header_deadline_ns = kInheritLifetimeNs;
+    // The shared wire-policy knobs — see services::WireOptions. No backend
+    // leg here, so only the client-facing subset applies: batching/fill on
+    // the response path and the lifetime windows (close idle keep-alive
+    // clients / stalled partial requests; timer closes count into
+    // RegistryStats{idle_closed, deadline_closed}).
+    WireOptions wire;
   };
 
   explicit StaticHttpService(std::string body) : body_(std::move(body)) {}

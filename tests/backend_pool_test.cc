@@ -262,7 +262,7 @@ TEST_F(BackendPoolTest, SharedConnectionsAcrossConcurrentClientGraphs) {
 
   auto& platform = MakePlatform();
   services::MemcachedProxyService::Options options;
-  options.conns_per_backend = 1;
+  options.wire.conns_per_backend = 1;
   services::MemcachedProxyService proxy({11001, 11002}, options);
   ASSERT_TRUE(platform.RegisterProgram(11211, &proxy).ok());
   platform.Start();
@@ -318,7 +318,7 @@ TEST_F(BackendPoolTest, PipelinedResponsesCorrelateAcrossSharedWire) {
 
   auto& platform = MakePlatform();
   services::MemcachedProxyService::Options options;
-  options.conns_per_backend = 1;  // force full sharing
+  options.wire.conns_per_backend = 1;  // force full sharing
   services::MemcachedProxyService proxy({11001}, options);
   ASSERT_TRUE(platform.RegisterProgram(11211, &proxy).ok());
   platform.Start();
@@ -372,7 +372,7 @@ TEST_F(BackendPoolTest, ReconnectsAfterBackendClose) {
 
   auto& platform = MakePlatform();
   services::MemcachedProxyService::Options options;
-  options.conns_per_backend = 1;
+  options.wire.conns_per_backend = 1;
   services::MemcachedProxyService proxy({11001}, options);
   ASSERT_TRUE(platform.RegisterProgram(11211, &proxy).ok());
   platform.Start();
@@ -415,7 +415,7 @@ TEST_F(BackendPoolTest, RedialPacingIsDrivenByTheShardWheel) {
 
   auto& platform = MakePlatform();
   services::MemcachedProxyService::Options options;
-  options.conns_per_backend = 1;
+  options.wire.conns_per_backend = 1;
   services::MemcachedProxyService proxy({11001}, options);
   ASSERT_TRUE(platform.RegisterProgram(11211, &proxy).ok());
   platform.Start();
@@ -545,7 +545,7 @@ TEST_F(BackendPoolTest, BatchedWritesCoalesceOnPooledWire) {
 
   auto& platform = MakePlatform();
   services::MemcachedProxyService::Options options;
-  options.conns_per_backend = 1;  // force full sharing
+  options.wire.conns_per_backend = 1;  // force full sharing
   services::MemcachedProxyService proxy({11001}, options);
   ASSERT_TRUE(platform.RegisterProgram(11211, &proxy).ok());
   platform.Start();
@@ -593,7 +593,7 @@ TEST_F(BackendPoolTest, PipelinedRepliesCoalesceIntoVectoredFills) {
 
   auto& platform = MakePlatform();
   services::MemcachedProxyService::Options options;
-  options.conns_per_backend = 1;  // force full sharing
+  options.wire.conns_per_backend = 1;  // force full sharing
   services::MemcachedProxyService proxy({11001}, options);
   ASSERT_TRUE(platform.RegisterProgram(11211, &proxy).ok());
   platform.Start();
@@ -652,7 +652,7 @@ TEST_F(BackendPoolTest, RepliesSplitMidFillStayCorrelated) {
 
   runtime::Platform platform(config_, &capped_transport);
   services::MemcachedProxyService::Options options;
-  options.conns_per_backend = 1;
+  options.wire.conns_per_backend = 1;
   services::MemcachedProxyService proxy({11001}, options);
   ASSERT_TRUE(platform.RegisterProgram(11211, &proxy).ok());
   platform.Start();
@@ -691,8 +691,8 @@ TEST_F(BackendPoolTest, TinyWatermarkForcesMidSliceFlushes) {
 
   auto& platform = MakePlatform();
   services::MemcachedProxyService::Options options;
-  options.conns_per_backend = 1;
-  options.flush_watermark_bytes = 48;  // below two serialized GETs
+  options.wire.conns_per_backend = 1;
+  options.wire.flush_watermark_bytes = 48;  // below two serialized GETs
   services::MemcachedProxyService proxy({11001}, options);
   ASSERT_TRUE(platform.RegisterProgram(11211, &proxy).ok());
   platform.Start();
@@ -718,7 +718,7 @@ TEST_F(BackendPoolTest, EofWhileBatchPendingStillFlushes) {
 
   auto& platform = MakePlatform();
   services::MemcachedProxyService::Options options;
-  options.conns_per_backend = 1;
+  options.wire.conns_per_backend = 1;
   services::MemcachedProxyService proxy({11001}, options);
   ASSERT_TRUE(platform.RegisterProgram(11211, &proxy).ok());
   platform.Start();
@@ -786,7 +786,7 @@ TEST_F(BackendPoolTest, PartialWritevMidIovecKeepsStreamCorrect) {
   platform_ = std::make_unique<runtime::Platform>(config_, &capped_transport);
   auto& platform = *platform_;
   services::MemcachedProxyService::Options options;
-  options.conns_per_backend = 1;
+  options.wire.conns_per_backend = 1;
   services::MemcachedProxyService proxy({11001}, options);
   ASSERT_TRUE(platform.RegisterProgram(11211, &proxy).ok());
   platform.Start();
@@ -881,7 +881,7 @@ TEST_F(BackendPoolTest, ExclusiveStreamingLegReusesReducerWireAcrossGraphs) {
 
   auto& platform = MakePlatform();
   services::HadoopAggService::Options options;
-  options.reducer_conns = 1;  // both batches must land on the SAME wire
+  options.wire.conns_per_backend = 1;  // both batches must land on the SAME wire
   services::HadoopAggService agg(/*expected_mappers=*/2, /*reducer_port=*/9900,
                                  options);
   ASSERT_TRUE(platform.RegisterProgram(9800, &agg).ok());

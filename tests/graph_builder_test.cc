@@ -445,7 +445,7 @@ TEST_F(GraphBuilderTest, MemcachedProxyBackendConnectFailureClosesAllLegs) {
 
   auto& platform = MakePlatform();
   services::MemcachedProxyService::Options options;
-  options.mode = services::BackendMode::kPerClient;  // dedicated dialled legs
+  options.wire.mode = services::BackendMode::kPerClient;  // dedicated dialled legs
   services::MemcachedProxyService proxy({7501, 7599}, options);
   ASSERT_TRUE(platform.RegisterProgram(7500, &proxy).ok());
   platform.Start();

@@ -997,6 +997,80 @@ TEST(PlatformTest, ShardEnvsShareStateButOwnPoller) {
   EXPECT_NE(&platform.poller(1), &platform.poller(2));
 }
 
+// Share-nothing memory plane: each shard env hands out its own pool slice; a
+// slice exhausted locally spills into the global pool (counted), releases
+// route back to the pool that served the acquire, and a slice's burst never
+// touches a sibling slice's free list.
+TEST(PlatformTest, ShardPoolSlicesSpillIntoGlobalAndRouteReleases) {
+  SimNetwork net;
+  SimTransport transport(&net, StackCostModel::Null());
+  PlatformConfig config;
+  config.io_shards = 2;
+  config.io_buffer_count = 4;  // -> 2 buffers per slice
+  config.io_buffer_size = 256;
+  config.msg_pool_size = 2;  // -> 1 msg per slice
+  Platform platform(config, &transport);
+
+  BufferPool* slice0 = platform.env(0).buffers;
+  BufferPool* slice1 = platform.env(1).buffers;
+  EXPECT_NE(slice0, slice1);
+  EXPECT_NE(slice0, &platform.buffers());
+  EXPECT_EQ(slice0->spill(), &platform.buffers());
+  EXPECT_EQ(platform.env(0).shard_buffers(1), slice1);  // cross-shard fetch
+
+  // Exhaust slice 0: the third acquire is served by the global spill pool.
+  BufferRef a = slice0->Acquire();
+  BufferRef b = slice0->Acquire();
+  ASSERT_TRUE(a && b);
+  EXPECT_EQ(slice0->stats().slice_spills, 0u);
+  BufferRef c = slice0->Acquire();
+  ASSERT_TRUE(c);
+  EXPECT_EQ(slice0->stats().slice_spills, 1u);
+  EXPECT_EQ(platform.buffers().stats().in_use, 1u);
+  EXPECT_EQ(platform.pool_slice_spills(), 1u);
+  EXPECT_EQ(slice1->stats().in_use, 0u);  // sibling slice untouched
+
+  // Releases route by owner: the spilled buffer returns to the GLOBAL pool,
+  // never the slice's free list.
+  c.Release();
+  EXPECT_EQ(platform.buffers().stats().in_use, 0u);
+  EXPECT_EQ(slice0->stats().in_use, 2u);
+  a.Release();
+  b.Release();
+  EXPECT_EQ(slice0->stats().in_use, 0u);
+
+  // Msg plane: slice of 1, global of 2. The second/third acquires spill to
+  // the global pool; the fourth finds the global dry too and falls back to a
+  // counted heap allocation (on the global pool — slices never heap).
+  MsgPool* msgs0 = platform.env(0).msgs;
+  EXPECT_EQ(msgs0->spill(), &platform.msgs());
+  MsgRef m1 = msgs0->Acquire();
+  MsgRef m2 = msgs0->Acquire();
+  MsgRef m3 = msgs0->Acquire();
+  MsgRef m4 = msgs0->Acquire();
+  ASSERT_TRUE(m1 && m2 && m3 && m4);
+  EXPECT_EQ(msgs0->slice_spills(), 3u);
+  EXPECT_EQ(msgs0->pool_misses(), 0u);
+  EXPECT_EQ(platform.msg_pool_misses(), 1u);
+  EXPECT_EQ(platform.pool_slice_spills(), 4u);  // 1 buffer + 3 msg
+}
+
+// io_shards == 1 keeps the single-pool shape: the env's pools ARE the global
+// pools, no slices are built, and the spill counter reads zero.
+TEST(PlatformTest, UnshardedPlatformBuildsNoSlices) {
+  SimNetwork net;
+  SimTransport transport(&net, StackCostModel::Null());
+  PlatformConfig config;
+  config.io_shards = 1;
+  Platform platform(config, &transport);
+  EXPECT_EQ(platform.env(0).buffers, &platform.buffers());
+  EXPECT_EQ(platform.env(0).msgs, &platform.msgs());
+  EXPECT_EQ(platform.env(0).shard_buffer_pools, nullptr);
+  EXPECT_EQ(platform.env(0).shard_msg_pools, nullptr);
+  EXPECT_EQ(platform.buffers().spill(), nullptr);
+  EXPECT_EQ(platform.pool_slice_spills(), 0u);
+}
+
 TEST(PlatformTest, RegisterOnBusyPortFails) {
   SimNetwork net;
   SimTransport transport(&net, StackCostModel::Null());
