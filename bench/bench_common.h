@@ -13,9 +13,11 @@
 #include <memory>
 
 #include "load/http_load.h"
+#include "load/open_loop.h"
 #include "net/sim_transport.h"
 #include "runtime/platform.h"
 #include "services/backend_pool.h"
+#include "services/service_util.h"
 
 namespace flick::bench {
 
@@ -86,8 +88,53 @@ inline void ReportLoad(benchmark::State& state, const load::LoadResult& result) 
   state.counters["p99_lat_ms"] = benchmark::Counter(
       static_cast<double>(result.latency.Quantile(0.99)) / 1e6,
       benchmark::Counter::kAvgIterations);
+  state.counters["p999_lat_ms"] = benchmark::Counter(
+      static_cast<double>(result.latency.Quantile(0.999)) / 1e6,
+      benchmark::Counter::kAvgIterations);
   state.counters["errors"] =
       benchmark::Counter(static_cast<double>(result.errors), benchmark::Counter::kAvgIterations);
+}
+
+// Exports an open-loop run: offered vs achieved rate, CO-free tail
+// percentiles (measured from scheduled arrival timestamps — see
+// load/open_loop.h and docs/BENCHMARKS.md), and the drain/error tallies.
+// Used by the figure sweeps; the gated CI smoke point instead exports
+// per-mode suffixed counters built from paired windows (see
+// bench_tail_latency.cc's ReportWindowSeries).
+inline void ReportOpenLoad(benchmark::State& state, const load::OpenLoopResult& result) {
+  auto avg = [](double v) {
+    return benchmark::Counter(v, benchmark::Counter::kAvgIterations);
+  };
+  state.counters["offered_rps"] = avg(result.OfferedRps());
+  state.counters["achieved_rps"] = avg(result.AchievedRps());
+  state.counters["p50_ms"] = avg(result.P50Ms());
+  state.counters["p99_ms"] = avg(result.P99Ms());
+  state.counters["p999_ms"] = avg(result.P999Ms());
+  state.counters["mean_ms"] = avg(result.MeanMs());
+  state.counters["errors"] = avg(static_cast<double>(result.errors));
+  state.counters["abandoned"] = avg(static_cast<double>(result.abandoned));
+  state.counters["backlog_peak"] =
+      benchmark::Counter(static_cast<double>(result.backlog_peak));
+}
+
+// Exports a service registry's look-aside cache counters (0s when the
+// service runs with the cache disabled — exporting them anyway keeps the
+// counter schema uniform across modes for the smoke invariants).
+inline void ReportCacheCounters(benchmark::State& state,
+                                const services::RegistryStats& rstats) {
+  auto avg = [](uint64_t v) {
+    return benchmark::Counter(static_cast<double>(v), benchmark::Counter::kAvgIterations);
+  };
+  state.counters["cache_hits"] = avg(rstats.cache_hits);
+  state.counters["cache_misses"] = avg(rstats.cache_misses);
+  state.counters["cache_invalidations"] = avg(rstats.cache_invalidations);
+  state.counters["cache_stale_populates_dropped"] =
+      avg(rstats.cache_stale_populates_dropped);
+  const uint64_t lookups = rstats.cache_hits + rstats.cache_misses;
+  state.counters["cache_hit_ratio"] = benchmark::Counter(
+      lookups == 0 ? 0.0
+                   : static_cast<double>(rstats.cache_hits) /
+                         static_cast<double>(lookups));
 }
 
 }  // namespace flick::bench

@@ -7,7 +7,10 @@ by more than the threshold on its throughput counter. Gated series: the fig5
 pooled connection-scaling points (the pooled+batched wire path whose
 trajectory this repo optimises for), the fig4 HTTP smoke points (the HTTP
 load-balancer series, pooled and per-client), and the fig5/fig4 IO-shard
-scaling points (the sharded-plane series at io_shards 1/2/4).
+scaling points (the sharded-plane series at io_shards 1/2/4). Lower-is-better
+series: the idle-conn per-connection pool-byte cost and the open-loop
+tail-latency p99 of both BM_TailSmoke modes (coordinated-omission-free, from
+scheduled arrival timestamps — see docs/BENCHMARKS.md).
 
 Rules:
   * a gated point slower than baseline * (1 - threshold)  -> FAIL
@@ -26,9 +29,11 @@ Regenerate the baseline via the workflow_dispatch input `regen_baseline`
       --benchmark_out=bench_fig4_smoke.json --benchmark_out_format=json
   ./build/bench_idle_conns \
       --benchmark_out=bench_idle_smoke.json --benchmark_out_format=json
+  ./build/bench_tail_latency --benchmark_filter='TailSmoke' \
+      --benchmark_out=bench_tail_smoke.json --benchmark_out_format=json
   python3 scripts/merge_bench_smoke.py bench_micro_smoke.json \
       bench_fig5_conns_smoke.json bench_fig4_smoke.json \
-      bench_idle_smoke.json  # -> bench_smoke.json
+      bench_idle_smoke.json bench_tail_smoke.json  # -> bench_smoke.json
 """
 
 import argparse
@@ -39,11 +44,26 @@ GATED_PREFIXES = ("BM_Fig5Conns_Pooled", "BM_Fig4Smoke", "BM_Fig5Shards",
                   "BM_Fig4Shards")
 METRIC = "reqs_per_s"
 
-# Lower-is-better series: the idle-conn points gate the pool bytes PINNED per
-# idle connection (the per-connection memory economics of the million-idle
-# scenario). A point exceeding baseline * (1 + threshold) fails.
-GATED_LOW_PREFIXES = ("BM_IdleConns",)
-LOW_METRIC = "rx_bytes_per_idle_conn"
+# Lower-is-better series, as (name-prefix, counter, threshold) triples. A
+# point exceeding baseline * (1 + threshold) on its counter fails; None means
+# use the --threshold default.
+#   * BM_IdleConns gates the pool bytes PINNED per idle connection (the
+#     per-connection memory economics of the million-idle scenario).
+#   * BM_TailSmokePair gates the open-loop, coordinated-omission-free p99
+#     (median of the point's interleaved windows) of the cache-hit and
+#     pooled-miss paths at a fixed offered load — the tail the look-aside
+#     cache plane exists to shrink. Even the median p99 swings run-to-run on
+#     shared CI runners, so this series gets a wide 5.0 threshold: it only
+#     trips on gross regressions (an order of magnitude, e.g. the hit path
+#     re-acquiring pool leases), while the tight RELATIVE check — cache p99
+#     strictly below pooled p99 within the same paired run — lives in
+#     merge_bench_smoke.py invariant 8 where both numbers share a runner and
+#     interleaved windows.
+GATED_LOW_SERIES = (
+    ("BM_IdleConns", "rx_bytes_per_idle_conn", None),
+    ("BM_TailSmokePair", "p99_ms_pooled_miss", 5.0),
+    ("BM_TailSmokePair", "p99_ms_cache_hit", 5.0),
+)
 
 
 def load_points(path):
@@ -58,9 +78,19 @@ def load_points(path):
         counters = bench.get("counters", bench)
         if name.startswith(GATED_PREFIXES) and METRIC in counters:
             points[name] = float(counters[METRIC])
-        elif name.startswith(GATED_LOW_PREFIXES) and LOW_METRIC in counters:
-            low_points[name] = float(counters[LOW_METRIC])
+        for prefix, metric, _ in GATED_LOW_SERIES:
+            if name.startswith(prefix) and metric in counters:
+                # Keyed by (name, metric) so one point could gate several
+                # lower-is-better counters without collision.
+                low_points[(name, metric)] = float(counters[metric])
     return points, low_points
+
+
+def low_threshold(name, metric, default):
+    for prefix, m, thresh in GATED_LOW_SERIES:
+        if name.startswith(prefix) and m == metric:
+            return default if thresh is None else thresh
+    return default
 
 
 def main():
@@ -104,23 +134,25 @@ def main():
     for name in sorted(set(current) - set(baseline)):
         print(f"WARN  {name}: not in baseline (gated after next regeneration)")
 
-    # Lower-is-better: idle-conn per-connection byte cost must not grow.
-    for name, base_val in sorted(baseline_low.items()):
-        if name not in current_low:
-            failures.append(f"{name}: present in baseline but missing from this run")
+    # Lower-is-better: idle-conn byte cost and open-loop p99 must not grow.
+    for (name, metric), base_val in sorted(baseline_low.items()):
+        if (name, metric) not in current_low:
+            failures.append(f"{name}: {metric} present in baseline but missing "
+                            f"from this run")
             continue
-        cur_val = current_low[name]
-        ceiling = base_val * (1.0 + args.threshold)
+        cur_val = current_low[(name, metric)]
+        ceiling = base_val * (1.0 + low_threshold(name, metric, args.threshold))
         delta = (cur_val - base_val) / base_val if base_val else 0.0
         verdict = "FAIL" if cur_val > ceiling else "ok"
-        print(f"{verdict:>4}  {name}: {LOW_METRIC} {cur_val:,.1f} vs baseline "
-              f"{base_val:,.1f} ({delta:+.1%}, ceiling {ceiling:,.1f})")
+        print(f"{verdict:>4}  {name}: {metric} {cur_val:,.2f} vs baseline "
+              f"{base_val:,.2f} ({delta:+.1%}, ceiling {ceiling:,.2f})")
         if cur_val > ceiling:
-            failures.append(f"{name}: {LOW_METRIC} {cur_val:,.1f} > ceiling "
-                            f"{ceiling:,.1f} ({delta:+.1%} vs baseline) — "
-                            f"idle connections are pinning more pool bytes")
-    for name in sorted(set(current_low) - set(baseline_low)):
-        print(f"WARN  {name}: not in baseline (gated after next regeneration)")
+            failures.append(f"{name}: {metric} {cur_val:,.2f} > ceiling "
+                            f"{ceiling:,.2f} ({delta:+.1%} vs baseline) — "
+                            f"lower-is-better series regressed")
+    for name, metric in sorted(set(current_low) - set(baseline_low)):
+        print(f"WARN  {name}: {metric} not in baseline (gated after next "
+              f"regeneration)")
 
     if failures:
         print("\nPerf regression gate FAILED:")

@@ -44,6 +44,17 @@ Asserted invariants (smoke fails on violation):
      shard, so a steal crossing a worker group means pinning leaked — and
      pool_slice_spills == 0 — every buffer/msg acquire was served by the
      shard's own pool slice, never the global spill pool.
+  8. Open-loop cache plane: the BM_TailSmokePair point is present and
+     carries CO-free percentiles (median-of-window p50/p99/p999_ms) and
+     achieved_rps > 0 for BOTH modes; the warmed cache side serves a
+     nonzero hit ratio with cache_stale_populates_dropped == 0 (a read-only
+     steady state must never race a populate against an invalidation); and
+     the cache-hit median p99 sits STRICTLY below the pooled-miss median
+     p99 at the same offered load — the look-aside hit path dodging the
+     pool lease + backend RTT is the whole point of cache mode, so losing
+     that ordering is a regression. (The point interleaves the two modes'
+     windows and compares medians precisely so this assertion is stable on
+     small runners — see bench/bench_tail_latency.cc.)
 """
 
 import json
@@ -259,6 +270,49 @@ def main(argv):
             f"{lo} conns vs {hi_ns:.1f} at {hi} — per-idle-conn wakeup work "
             f"must stay flat")
 
+    # 8. Open-loop cache plane: CO-free percentiles for both modes of the
+    # paired point, warmed-cache hit ratio > 0 with zero stale-populate
+    # drops, and the cache-hit median p99 strictly below the pooled-miss
+    # median p99 at equal offered load.
+    tail_points = {}
+    for b in merged["benchmarks"]:
+        if not b["name"].startswith("BM_TailSmokePair"):
+            continue
+        c = counters_of(b)
+        for mode in ("_pooled_miss", "_cache_hit"):
+            for key in ("p50_ms", "p99_ms", "p999_ms", "achieved_rps",
+                        "offered_rps"):
+                assert c.get(key + mode) is not None, \
+                    f"{b['name']}: open-loop counter {key}{mode} missing"
+            assert c["achieved_rps" + mode] > 0, (
+                f"{b['name']}: achieved_rps{mode} is 0 — that mode's "
+                f"open-loop windows completed nothing")
+        assert c.get("cache_hit_ratio", 0) > 0, (
+            f"{b['name']}: hit ratio is 0 — the warmed cache side served no "
+            f"hits, cache mode is not engaging")
+        assert c.get("cache_stale_populates_dropped") == 0, (
+            f"{b['name']}: {c['cache_stale_populates_dropped']:.0f} stale "
+            f"populates dropped on a read-only steady-state point — "
+            f"populates are racing invalidations that cannot exist here")
+        assert c["p99_ms_cache_hit"] < c["p99_ms_pooled_miss"], (
+            f"{b['name']}: cache-hit median p99 ({c['p99_ms_cache_hit']:.2f} "
+            f"ms) not strictly below pooled-miss median p99 "
+            f"({c['p99_ms_pooled_miss']:.2f} ms) at the same offered load — "
+            f"the look-aside hit path is not beating the pool-lease + "
+            f"backend-RTT path")
+        tail_points[b["name"]] = c
+        batching[b["name"]] = {
+            k: c.get(k)
+            for k in ("offered_rps_pooled_miss", "achieved_rps_pooled_miss",
+                      "p50_ms_pooled_miss", "p99_ms_pooled_miss",
+                      "p999_ms_pooled_miss", "offered_rps_cache_hit",
+                      "achieved_rps_cache_hit", "p50_ms_cache_hit",
+                      "p99_ms_cache_hit", "p999_ms_cache_hit",
+                      "cache_hit_ratio", "cache_stale_populates_dropped")
+        }
+    assert tail_points, \
+        "BM_TailSmokePair point missing — the open-loop cache plane is unchecked"
+
     for b in merged["benchmarks"]:
         if b["name"].startswith(("BM_WriteCoalescedWritev",
                                  "BM_WriteMessagePerSyscall")):
@@ -282,7 +336,8 @@ def main(argv):
           f"{len(shard_points)} shard-scaling points checked; "
           f"{spills_checked} points spill-checked; "
           f"{shard_plane_checked} points share-nothing-checked; "
-          f"{len(idle_points)} idle-conn points checked")
+          f"{len(idle_points)} idle-conn points checked; "
+          f"{len(tail_points)} open-loop tail points checked")
     return 0
 
 

@@ -3,7 +3,10 @@
 #include <pthread.h>
 
 #include <chrono>
+#include <deque>
+#include <utility>
 
+#include "base/time_util.h"
 #include "buffer/buffer_pool.h"
 #include "grammar/parser.h"
 #include "proto/hadoop.h"
@@ -177,6 +180,10 @@ void MemcachedBackend::Serve() {
   // One parse target per connection: the incremental parser resumes into the
   // SAME message across reads, so the message must live with the parser.
   std::vector<std::unique_ptr<grammar::Message>> parse_msgs;
+  // Per-connection replies held until their service-delay due time
+  // (set_service_delay_ns). All delays are equal, so due order == insert
+  // order and per-connection FIFO response order is preserved.
+  std::vector<std::deque<std::pair<uint64_t, std::string>>> deferred;
 
   while (running_.load(std::memory_order_acquire)) {
     bool did_work = false;
@@ -187,12 +194,23 @@ void MemcachedBackend::Serve() {
       conns.push_back(std::move(state));
       parsers.push_back(std::make_unique<grammar::UnitParser>(&proto::MemcachedUnit()));
       parse_msgs.push_back(std::make_unique<grammar::Message>());
+      deferred.emplace_back();
       accepts_.fetch_add(1, std::memory_order_relaxed);
       did_work = true;
     }
+    const uint64_t delay_ns = service_delay_ns_.load(std::memory_order_relaxed);
     for (size_t i = 0; i < conns.size();) {
       ConnState& state = *conns[i];
       bool dead = false;
+      // Release deferred replies that have reached their due time.
+      if (!deferred[i].empty()) {
+        const uint64_t now = MonotonicNanos();
+        while (!deferred[i].empty() && deferred[i].front().first <= now) {
+          state.tx += deferred[i].front().second;
+          deferred[i].pop_front();
+          did_work = true;
+        }
+      }
       if (!FlushTx(state)) {
         dead = true;
       }
@@ -238,7 +256,12 @@ void MemcachedBackend::Serve() {
                                  echo_key ? cmd.key() : std::string_view{},
                                  found ? value : "", cmd.opaque());
           }
-          state.tx += proto::ToWire(reply);
+          if (delay_ns == 0) {
+            state.tx += proto::ToWire(reply);
+          } else {
+            deferred[i].emplace_back(MonotonicNanos() + delay_ns,
+                                     proto::ToWire(reply));
+          }
         }
         FlushTx(state);
       }
@@ -246,6 +269,7 @@ void MemcachedBackend::Serve() {
         conns.erase(conns.begin() + static_cast<long>(i));
         parsers.erase(parsers.begin() + static_cast<long>(i));
         parse_msgs.erase(parse_msgs.begin() + static_cast<long>(i));
+        deferred.erase(deferred.begin() + static_cast<long>(i));
       } else {
         ++i;
       }

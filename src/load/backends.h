@@ -53,6 +53,15 @@ class MemcachedBackend {
   Status Start();
   void Stop();
   void Preload(const std::string& key, const std::string& value);
+  // Models backend service time (e.g. a LAN RTT + lookup): each reply is
+  // held for this long before it is written back, WITHOUT blocking the
+  // connection — other requests keep being parsed and served meanwhile, so
+  // the delay adds latency, not a capacity ceiling. Set before Start().
+  // The tail-latency benches use this to give the proxy's miss path a
+  // realistic backend RTT that the look-aside hit path gets to skip.
+  void set_service_delay_ns(uint64_t ns) {
+    service_delay_ns_.store(ns, std::memory_order_relaxed);
+  }
   uint64_t requests_served() const { return requests_.load(); }
   uint64_t connections_accepted() const { return accepts_.load(); }
 
@@ -66,6 +75,7 @@ class MemcachedBackend {
   std::atomic<bool> running_{false};
   std::atomic<uint64_t> requests_{0};
   std::atomic<uint64_t> accepts_{0};
+  std::atomic<uint64_t> service_delay_ns_{0};
   std::mutex mutex_;
   std::unordered_map<std::string, std::string> store_;
 };

@@ -1,0 +1,258 @@
+#include "load/open_loop.h"
+
+#include <pthread.h>
+
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <deque>
+#include <thread>
+#include <vector>
+
+#include "base/rng.h"
+#include "base/time_util.h"
+#include "buffer/buffer_pool.h"
+#include "grammar/parser.h"
+#include "proto/memcached.h"
+#include "runtime/timer_wheel.h"
+
+namespace flick::load {
+namespace {
+
+using namespace std::chrono_literals;
+
+struct Client {
+  enum State { kConnect, kIdle, kSend, kReceive };
+
+  std::unique_ptr<Connection> conn;
+  State state = kConnect;
+  std::string request;
+  size_t sent = 0;
+  uint64_t arrival_ns = 0;  // SCHEDULED arrival the in-flight request serves
+  grammar::UnitParser parser{&proto::MemcachedUnit()};
+  grammar::Message response;
+  BufferChain rx;
+};
+
+struct WorkerResult {
+  uint64_t offered = 0;
+  uint64_t completed = 0;
+  uint64_t errors = 0;
+  uint64_t abandoned = 0;
+  uint64_t backlog_peak = 0;
+  Histogram latency;
+};
+
+void RunWorker(Transport* transport, const OpenLoopConfig& config, int n_conns,
+               double rps, uint64_t seed, uint64_t window_end_ns,
+               WorkerResult* out) {
+  pthread_setname_np(pthread_self(), "lb-mc-open");
+  BufferPool pool(static_cast<size_t>(n_conns) * 4 + 64, 4096);
+  Rng rng(seed);
+  std::vector<Client> clients(static_cast<size_t>(n_conns));
+  for (Client& c : clients) {
+    c.rx.set_pool(&pool);
+  }
+
+  // Exponential inter-arrival gap for a Poisson process at `rps`.
+  const double mean_gap_ns = 1e9 / std::max(rps, 1e-9);
+  auto next_gap_ns = [&]() -> uint64_t {
+    const double u = rng.NextDouble();  // [0, 1)
+    const double gap = -std::log1p(-u) * mean_gap_ns;
+    return std::max<uint64_t>(1, static_cast<uint64_t>(gap));
+  };
+
+  // The arrival plane: a fine-tick wheel fires a self-rearming entry at each
+  // scheduled arrival instant. Arrivals are pushed by their SCHEDULED time —
+  // if the loop (or the server) falls behind, due arrivals are delivered in
+  // a burst with their original timestamps intact, never skipped and never
+  // re-timed. This is what makes the measurement open-loop.
+  const uint64_t start_ns = MonotonicNanos();
+  runtime::TimerWheel wheel(start_ns, config.arrival_tick_ns);
+  std::deque<uint64_t> backlog;  // scheduled arrival timestamps, FIFO
+  runtime::TimerEntry arrival;
+  uint64_t next_arrival_ns = start_ns + next_gap_ns();
+  arrival.on_fire = [&] {
+    const uint64_t now = MonotonicNanos();
+    // Deliver every arrival due by now (a burst can straddle one tick), then
+    // re-arm for the first future one — unless the window has closed.
+    while (next_arrival_ns <= now) {
+      if (next_arrival_ns >= window_end_ns) {
+        return;
+      }
+      backlog.push_back(next_arrival_ns);
+      ++out->offered;
+      next_arrival_ns += next_gap_ns();
+    }
+    if (next_arrival_ns < window_end_ns) {
+      wheel.Arm(&arrival, next_arrival_ns);
+    }
+  };
+  wheel.Arm(&arrival, next_arrival_ns);
+
+  auto make_request = [&](Client& c) {
+    grammar::Message msg;
+    const std::string key =
+        "key-" + std::to_string(rng.NextBelow(static_cast<uint64_t>(config.key_space)));
+    const bool is_set =
+        config.set_fraction > 0.0 && rng.NextDouble() < config.set_fraction;
+    if (is_set) {
+      proto::BuildRequest(&msg, proto::kMemcachedSet, key, config.set_value);
+    } else {
+      proto::BuildRequest(&msg, config.opcode, key);
+    }
+    c.request = proto::ToWire(msg);
+    c.sent = 0;
+  };
+
+  const uint64_t drain_end_ns = window_end_ns + config.drain_grace_ns;
+  while (true) {
+    const uint64_t now = MonotonicNanos();
+    if (now < window_end_ns) {
+      wheel.Advance(now);
+    }
+    out->backlog_peak = std::max<uint64_t>(out->backlog_peak, backlog.size());
+
+    bool did_work = false;
+    for (Client& c : clients) {
+      switch (c.state) {
+        case Client::kConnect: {
+          auto conn = transport->Connect(config.port);
+          if (!conn.ok()) {
+            ++out->errors;
+            continue;
+          }
+          c.conn = std::move(conn).value();
+          c.state = Client::kIdle;
+          did_work = true;
+          [[fallthrough]];
+        }
+        case Client::kIdle: {
+          if (backlog.empty()) {
+            continue;
+          }
+          c.arrival_ns = backlog.front();
+          backlog.pop_front();
+          make_request(c);
+          c.state = Client::kSend;
+          did_work = true;
+          [[fallthrough]];
+        }
+        case Client::kSend: {
+          auto wrote =
+              c.conn->Write(c.request.data() + c.sent, c.request.size() - c.sent);
+          if (!wrote.ok()) {
+            ++out->errors;
+            c.conn.reset();
+            c.state = Client::kConnect;
+            // The arrival this request served is lost with the wire.
+            ++out->abandoned;
+            continue;
+          }
+          c.sent += *wrote;
+          if (c.sent < c.request.size()) {
+            continue;
+          }
+          did_work = true;
+          c.state = Client::kReceive;
+          [[fallthrough]];
+        }
+        case Client::kReceive: {
+          char buf[4096];
+          auto got = c.conn->Read(buf, sizeof(buf));
+          if (!got.ok()) {
+            ++out->errors;
+            ++out->abandoned;
+            c.conn.reset();
+            c.rx.Clear();
+            c.parser.Reset();
+            c.state = Client::kConnect;
+            continue;
+          }
+          if (*got == 0) {
+            continue;
+          }
+          did_work = true;
+          c.rx.Append(buf, *got);
+          const auto status = c.parser.Feed(c.rx, &c.response);
+          if (status == grammar::ParseStatus::kError) {
+            ++out->errors;
+            ++out->abandoned;
+            c.conn.reset();
+            c.rx.Clear();
+            c.state = Client::kConnect;
+            continue;
+          }
+          if (status == grammar::ParseStatus::kDone) {
+            ++out->completed;
+            // CO-free: charge from the SCHEDULED arrival, so queueing behind
+            // a stalled server counts into this sample's latency.
+            out->latency.Record(std::max<uint64_t>(1, MonotonicNanos() - c.arrival_ns));
+            c.state = Client::kIdle;
+          }
+          break;
+        }
+      }
+    }
+
+    const bool any_busy =
+        std::any_of(clients.begin(), clients.end(), [](const Client& c) {
+          return c.state == Client::kSend || c.state == Client::kReceive;
+        });
+    if (now >= window_end_ns && backlog.empty() && !any_busy) {
+      break;  // window over and fully drained
+    }
+    if (now >= drain_end_ns) {
+      out->abandoned += backlog.size();
+      for (const Client& c : clients) {
+        if (c.state == Client::kSend || c.state == Client::kReceive) {
+          ++out->abandoned;
+        }
+      }
+      break;
+    }
+    if (!did_work) {
+      std::this_thread::sleep_for(5us);
+    }
+  }
+
+  wheel.Cancel(&arrival);  // entry is stack-owned; unlink before destruction
+  for (Client& c : clients) {
+    if (c.conn) {
+      c.conn->Close();
+    }
+  }
+}
+
+}  // namespace
+
+OpenLoopResult RunMemcachedOpenLoad(Transport* transport, const OpenLoopConfig& config) {
+  const int threads = std::max(1, config.threads);
+  std::vector<WorkerResult> results(static_cast<size_t>(threads));
+  std::vector<std::thread> workers;
+  const uint64_t window_end = MonotonicNanos() + config.duration_ns;
+  const Stopwatch clock;
+  for (int t = 0; t < threads; ++t) {
+    const int conns = config.connections / threads + (t < config.connections % threads);
+    workers.emplace_back(RunWorker, transport, std::cref(config),
+                         std::max(1, conns), config.offered_rps / threads,
+                         config.seed + static_cast<uint64_t>(t) * 7919 + 1,
+                         window_end, &results[static_cast<size_t>(t)]);
+  }
+  for (auto& w : workers) {
+    w.join();
+  }
+  OpenLoopResult total;
+  total.seconds = static_cast<double>(config.duration_ns) / 1e9;
+  for (const WorkerResult& r : results) {
+    total.offered += r.offered;
+    total.completed += r.completed;
+    total.errors += r.errors;
+    total.abandoned += r.abandoned;
+    total.backlog_peak += r.backlog_peak;
+    total.latency.Merge(r.latency);
+  }
+  return total;
+}
+
+}  // namespace flick::load

@@ -1,0 +1,88 @@
+// Open-loop Memcached load generator: Poisson arrivals at a fixed OFFERED
+// rate, measured free of coordinated omission.
+//
+// The closed-loop generators (http_load, memcached_load) send the next
+// request only after the previous response — so when the server stalls, the
+// generator politely stops offering load, and the stall's victims are never
+// measured. That "coordinated omission" makes closed-loop p99 a lie: the
+// worse the tail, the fewer samples land in it (see docs/BENCHMARKS.md).
+//
+// This generator is open-loop: arrival times are drawn from a Poisson
+// process (exponential inter-arrival gaps) and scheduled on a fine-tick
+// runtime::TimerWheel, so a slow response NEVER delays the next arrival.
+// When every connection is busy, due arrivals queue in a backlog; latency is
+// recorded from the SCHEDULED arrival timestamp (not the send timestamp), so
+// time spent queueing behind a stall is charged to the stall.
+#ifndef FLICK_LOAD_OPEN_LOOP_H_
+#define FLICK_LOAD_OPEN_LOOP_H_
+
+#include <cstdint>
+#include <string>
+
+#include "base/histogram.h"
+#include "net/transport.h"
+
+namespace flick::load {
+
+struct OpenLoopConfig {
+  uint16_t port = 11211;
+
+  // Total offered arrival rate (requests/second), split evenly over threads.
+  // Offered, not achieved: arrivals are scheduled at this rate whether or
+  // not the server keeps up.
+  double offered_rps = 2000.0;
+
+  // Persistent connections (total, split over threads). Bounds concurrency,
+  // not arrivals: when all are busy, arrivals queue in the backlog.
+  int connections = 32;
+  int threads = 2;
+
+  int key_space = 1000;   // keys key-0 .. key-(n-1)
+  uint8_t opcode = 0x0c;  // GETK by default (echoes the key)
+
+  // Fraction of arrivals issued as SET (write-through mix for cache-mode
+  // runs); the rest are `opcode` reads.
+  double set_fraction = 0.0;
+  std::string set_value = std::string(32, 'v');
+
+  // Measurement window: arrivals are scheduled for duration_ns, then the
+  // generator stops offering and drains in-flight work for up to
+  // drain_grace_ns. Undrained work counts as abandoned, never as latency.
+  uint64_t duration_ns = 1'000'000'000;
+  uint64_t drain_grace_ns = 250'000'000;
+
+  // Arrival wheel tick (~16us default). Much finer than the IO plane's ~1ms
+  // tick: arrival jitter must stay well below the latencies being measured.
+  uint64_t arrival_tick_ns = uint64_t{1} << 14;
+
+  uint64_t seed = 1;
+};
+
+struct OpenLoopResult {
+  uint64_t offered = 0;    // arrivals scheduled inside the window
+  uint64_t completed = 0;  // responses parsed (latency recorded)
+  uint64_t errors = 0;
+  uint64_t abandoned = 0;     // still queued or in flight when drain expired
+  uint64_t backlog_peak = 0;  // max arrivals queued waiting for a connection
+  double seconds = 0.0;
+
+  // Nanoseconds from SCHEDULED arrival to response parsed (CO-free).
+  Histogram latency;
+
+  double OfferedRps() const {
+    return seconds > 0 ? static_cast<double>(offered) / seconds : 0.0;
+  }
+  double AchievedRps() const {
+    return seconds > 0 ? static_cast<double>(completed) / seconds : 0.0;
+  }
+  double MeanMs() const { return latency.Mean() / 1e6; }
+  double P50Ms() const { return static_cast<double>(latency.Quantile(0.50)) / 1e6; }
+  double P99Ms() const { return static_cast<double>(latency.Quantile(0.99)) / 1e6; }
+  double P999Ms() const { return static_cast<double>(latency.Quantile(0.999)) / 1e6; }
+};
+
+OpenLoopResult RunMemcachedOpenLoad(Transport* transport, const OpenLoopConfig& config);
+
+}  // namespace flick::load
+
+#endif  // FLICK_LOAD_OPEN_LOOP_H_

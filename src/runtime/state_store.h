@@ -16,6 +16,18 @@
 // the FIFO's phantom size). Stale records are reclaimed when they reach the
 // FIFO front, and the FIFO is compacted outright when stale records
 // outnumber live entries, so erase-heavy workloads stay bounded too.
+//
+// Invalidation epochs: cache-style users populate asynchronously — a reader
+// misses, fetches from an authority, and Puts the fetched value later. If an
+// invalidation (Erase, or an authoritative Put) lands in between, the late
+// populate would resurrect the stale value. InvalidationEpoch() snapshots a
+// per-(shard, dict) epoch before the fetch; PutIfFresh() re-checks it under
+// the shard lock and DROPS the put if any invalidation touched the shard's
+// slice of the dict since — invalidate always wins. The epoch is per shard
+// slice, not per key, so a racing populate of an unrelated same-shard key
+// may also be dropped: conservative (the populate is retried as a miss),
+// never stale. Successful PutIfFresh does NOT bump the epoch — two racing
+// populates are both authority-fresh, so last-writer-wins is safe.
 #ifndef FLICK_RUNTIME_STATE_STORE_H_
 #define FLICK_RUNTIME_STATE_STORE_H_
 
@@ -48,46 +60,60 @@ class StateStore {
     return it->second.value;
   }
 
+  // Authoritative write: the caller holds the true value (DSL dict writes,
+  // direct state updates). Bumps the invalidation epoch so any in-flight
+  // cache populate snapshotted before this write is dropped by PutIfFresh.
   void Put(const std::string& dict, const std::string& key, std::string value) {
     const size_t shard = ShardIndex(dict, key);
     std::lock_guard<std::mutex> lock(shards_[shard].mutex);
     Dict& d = shards_[shard].dicts[dict];
-    if (const auto it = d.map.find(key); it != d.map.end()) {
-      // Overwrite keeps the original FIFO position AND generation: exactly
-      // one FIFO record stays live per entry.
-      it->second.value = std::move(value);
-      return;
-    }
-    const auto it = d.map.emplace(key, Entry{std::move(value), ++d.gen}).first;
-    d.fifo.emplace_back(key, it->second.gen);
+    ++d.invalidation_epoch;
+    PutLocked(d, key, std::move(value));
+  }
 
-    // Bounded: evict oldest live insertions. Sharding makes the bound
-    // per-shard. The bound is on LIVE entries (map size), not FIFO length —
-    // stale records must not count against it.
-    const size_t bound = max_entries_ / kShards + 1;
-    while (d.map.size() > bound && !d.fifo.empty()) {
-      PopFront(d);
+  // Snapshot the invalidation epoch covering (dict, key)'s shard slice.
+  // Take it BEFORE issuing the authoritative fetch a later PutIfFresh will
+  // deliver. Absent dicts report epoch 0, matching the epoch PutIfFresh
+  // observes when it creates the dict.
+  uint64_t InvalidationEpoch(const std::string& dict, const std::string& key) const {
+    const size_t shard = ShardIndex(dict, key);
+    std::lock_guard<std::mutex> lock(shards_[shard].mutex);
+    const auto dict_it = shards_[shard].dicts.find(dict);
+    if (dict_it == shards_[shard].dicts.end()) {
+      return 0;
     }
-    // Reclaim stale records that reached the front, then compact if erases
-    // have left more stale records than live entries.
-    while (!d.fifo.empty() && !IsLive(d, d.fifo.front())) {
-      d.fifo.pop_front();
+    return dict_it->second.invalidation_epoch;
+  }
+
+  // Cache populate: stores `value` only if no invalidation touched the
+  // (dict, key) shard slice since `epoch` was snapshotted. Returns false —
+  // and stores nothing — when an invalidation won the race. An overwrite via
+  // this path keeps the entry's original FIFO position and generation, the
+  // same as Put: a re-populate must not silently extend the entry's FIFO
+  // lifetime past its original admission.
+  bool PutIfFresh(const std::string& dict, const std::string& key, std::string value,
+                  uint64_t epoch) {
+    const size_t shard = ShardIndex(dict, key);
+    std::lock_guard<std::mutex> lock(shards_[shard].mutex);
+    Dict& d = shards_[shard].dicts[dict];
+    if (d.invalidation_epoch != epoch) {
+      return false;  // invalidate wins; the stale populate is dropped
     }
-    if (d.fifo.size() > 2 * d.map.size() + 8) {
-      Compact(d);
-    }
+    PutLocked(d, key, std::move(value));
+    return true;
   }
 
   bool Erase(const std::string& dict, const std::string& key) {
     const size_t shard = ShardIndex(dict, key);
     std::lock_guard<std::mutex> lock(shards_[shard].mutex);
-    auto dict_it = shards_[shard].dicts.find(dict);
-    if (dict_it == shards_[shard].dicts.end()) {
-      return false;
-    }
+    // Creates the dict if absent: the epoch must advance even when the key
+    // was never cached here — a miss-populate for it may be in flight, and
+    // without the bump PutIfFresh would admit the pre-invalidation value.
+    Dict& d = shards_[shard].dicts[dict];
+    ++d.invalidation_epoch;
     // The FIFO record turns stale (its generation no longer resolves) and is
     // reclaimed lazily; see the header comment.
-    return dict_it->second.map.erase(key) > 0;
+    return d.map.erase(key) > 0;
   }
 
   size_t Size(const std::string& dict) const {
@@ -113,11 +139,44 @@ class StateStore {
     std::unordered_map<std::string, Entry> map;
     std::deque<std::pair<std::string, uint64_t>> fifo;  // (key, generation)
     uint64_t gen = 0;
+    // Bumped by every invalidation (Erase or authoritative Put) that touches
+    // this shard's slice of the dict; snapshotted/checked by the
+    // InvalidationEpoch/PutIfFresh populate protocol above.
+    uint64_t invalidation_epoch = 0;
   };
   struct Shard {
     mutable std::mutex mutex;
     std::unordered_map<std::string, Dict> dicts;
   };
+
+  // Insert-or-overwrite under the shard lock; shared by Put and PutIfFresh.
+  void PutLocked(Dict& d, const std::string& key, std::string value) {
+    if (const auto it = d.map.find(key); it != d.map.end()) {
+      // Overwrite keeps the original FIFO position AND generation: exactly
+      // one FIFO record stays live per entry, and an overwrite never extends
+      // the entry's FIFO lifetime.
+      it->second.value = std::move(value);
+      return;
+    }
+    const auto it = d.map.emplace(key, Entry{std::move(value), ++d.gen}).first;
+    d.fifo.emplace_back(key, it->second.gen);
+
+    // Bounded: evict oldest live insertions. Sharding makes the bound
+    // per-shard. The bound is on LIVE entries (map size), not FIFO length —
+    // stale records must not count against it.
+    const size_t bound = max_entries_ / kShards + 1;
+    while (d.map.size() > bound && !d.fifo.empty()) {
+      PopFront(d);
+    }
+    // Reclaim stale records that reached the front, then compact if erases
+    // have left more stale records than live entries.
+    while (!d.fifo.empty() && !IsLive(d, d.fifo.front())) {
+      d.fifo.pop_front();
+    }
+    if (d.fifo.size() > 2 * d.map.size() + 8) {
+      Compact(d);
+    }
+  }
 
   static bool IsLive(const Dict& d, const std::pair<std::string, uint64_t>& rec) {
     const auto it = d.map.find(rec.first);

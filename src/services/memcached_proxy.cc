@@ -1,7 +1,13 @@
 #include "services/memcached_proxy.h"
 
+#include <deque>
+#include <optional>
+#include <string>
+#include <vector>
+
 #include "base/hash.h"
 #include "proto/memcached.h"
+#include "runtime/state_store.h"
 
 namespace flick::services {
 
@@ -78,6 +84,148 @@ NodeRef MemcachedProxyService::DispatchStage(GraphBuilder& b, size_t n) {
       });
 }
 
+// Look-aside cache variant of the dispatch stage. Same topology (input 0
+// client, inputs 1..n backends, outputs 0..n-1 backends, output n client),
+// plus:
+//  * GET/GETK hit: answered straight from the StateStore — build the
+//    response locally (mirroring the backend's reply shape: OK, key echoed
+//    only for GETK, requester's opaque) and emit to the client. No pool
+//    lease, no backend leg touched.
+//  * GET/GETK miss: snapshot the invalidation epoch, forward to the backend,
+//    and remember the flight in a per-leg FIFO so the response path can
+//    populate. Per-leg response order is FIFO (pool correlation for pooled
+//    legs, a dedicated pipelined wire per client otherwise), so a plain
+//    deque correlates responses to flights.
+//  * Keyed write (SET et al.): invalidate the entry BEFORE forwarding (stale
+//    hits stop immediately) and again on the response path (the backend has
+//    committed; the second bump widens invalidate-wins coverage to populates
+//    that read the pre-write value from the backend).
+//
+// Blocked-retry discipline (a kBlocked handler re-runs with the SAME
+// message): every side effect — counters, store writes, flight records —
+// happens only after the emit that commits the message has succeeded; the
+// hit path pre-checks CanEmit before building the reply.
+NodeRef MemcachedProxyService::CachingDispatchStage(GraphBuilder& b, size_t n,
+                                                    runtime::StateStore* store) {
+  struct Flight {
+    enum class Kind : uint8_t { kNone, kPopulate, kInvalidate };
+    std::string key;
+    uint64_t epoch = 0;  // kPopulate: epoch snapshotted before the fetch
+    Kind kind = Kind::kNone;
+  };
+  // Per-graph flight FIFOs, one per backend leg; the stage handler is the
+  // only reader and writer (a graph's stage runs single-threaded).
+  auto flights = std::make_shared<std::vector<std::deque<Flight>>>(n);
+  CacheCounters* counters = &registry_.cache_counters();
+  const CacheOptions cache = options_.cache;
+  return b.Stage(
+      "dispatch", [this, n, store, flights, counters, cache](
+                      runtime::Msg& msg, size_t input_index,
+                      runtime::EmitContext& emit) {
+        if (msg.kind == runtime::Msg::Kind::kEof) {
+          if (input_index != 0) {
+            return runtime::HandleResult::kConsumed;
+          }
+          // Client left: same all-or-nothing EOF broadcast as the plain
+          // dispatch stage.
+          for (size_t o = 0; o <= n; ++o) {
+            if (!emit.CanEmit(o)) {
+              return runtime::HandleResult::kBlocked;
+            }
+          }
+          for (size_t o = 0; o <= n; ++o) {
+            runtime::MsgRef eof = emit.NewMsg();
+            eof->kind = runtime::Msg::Kind::kEof;
+            emit.Emit(o, std::move(eof));
+          }
+          return runtime::HandleResult::kConsumed;
+        }
+        if (input_index == 0) {
+          proto::MemcachedCommand cmd(&msg.gmsg);
+          const uint8_t op = cmd.opcode();
+          const bool is_get =
+              op == proto::kMemcachedGet || op == proto::kMemcachedGetK;
+          if (is_get) {
+            const std::string key(cmd.key());
+            if (std::optional<std::string> hit = store->Get(cache.dict, key)) {
+              if (!emit.CanEmit(n)) {
+                return runtime::HandleResult::kBlocked;
+              }
+              runtime::MsgRef resp = emit.NewMsg();
+              resp->kind = runtime::Msg::Kind::kGrammar;
+              proto::BuildResponse(&resp->gmsg, op, proto::kMemcachedStatusOk,
+                                   op == proto::kMemcachedGetK
+                                       ? std::string_view(key)
+                                       : std::string_view{},
+                                   *hit, cmd.opaque());
+              emit.Emit(n, std::move(resp));
+              counters->hits.fetch_add(1, std::memory_order_relaxed);
+              requests_.fetch_add(1, std::memory_order_relaxed);
+              return runtime::HandleResult::kConsumed;
+            }
+          }
+          // Miss or non-GET: proxy through the backend plane.
+          const size_t target = HashBytes(cmd.key()) % n;
+          Flight flight;
+          if (is_get) {
+            flight.key = std::string(cmd.key());
+            // Snapshot BEFORE the fetch is issued: any invalidation that
+            // lands from here on must beat the populate.
+            flight.epoch = store->InvalidationEpoch(cache.dict, flight.key);
+            flight.kind = Flight::Kind::kPopulate;
+          } else if (!cmd.key().empty()) {
+            flight.key = std::string(cmd.key());
+            flight.kind = Flight::Kind::kInvalidate;
+          }
+          runtime::MsgRef fwd = emit.NewMsg();
+          fwd->kind = runtime::Msg::Kind::kGrammar;
+          fwd->gmsg = msg.gmsg;
+          if (!emit.Emit(target, std::move(fwd))) {
+            return runtime::HandleResult::kBlocked;
+          }
+          if (flight.kind == Flight::Kind::kPopulate) {
+            counters->misses.fetch_add(1, std::memory_order_relaxed);
+          } else if (flight.kind == Flight::Kind::kInvalidate) {
+            store->Erase(cache.dict, flight.key);
+            counters->invalidations.fetch_add(1, std::memory_order_relaxed);
+          }
+          (*flights)[target].push_back(std::move(flight));
+          requests_.fetch_add(1, std::memory_order_relaxed);
+          return runtime::HandleResult::kConsumed;
+        }
+        // Response from backend leg input_index-1. Pre-check the client
+        // output so the flight pop happens exactly once per response (this
+        // stage is output n's only producer, so CanEmit cannot be raced).
+        if (!emit.CanEmit(n)) {
+          return runtime::HandleResult::kBlocked;
+        }
+        std::deque<Flight>& leg = (*flights)[input_index - 1];
+        Flight flight;
+        if (!leg.empty()) {
+          flight = std::move(leg.front());
+          leg.pop_front();
+        }
+        if (flight.kind == Flight::Kind::kPopulate) {
+          proto::MemcachedCommand resp(&msg.gmsg);
+          if (resp.status() == proto::kMemcachedStatusOk &&
+              resp.value().size() <= cache.max_value_bytes) {
+            if (!store->PutIfFresh(cache.dict, flight.key,
+                                   std::string(resp.value()), flight.epoch)) {
+              counters->stale_populates_dropped.fetch_add(
+                  1, std::memory_order_relaxed);
+            }
+          }
+        } else if (flight.kind == Flight::Kind::kInvalidate) {
+          store->Erase(cache.dict, flight.key);
+        }
+        runtime::MsgRef resp = emit.NewMsg();
+        resp->kind = runtime::Msg::Kind::kGrammar;
+        resp->gmsg = msg.gmsg;
+        emit.Emit(n, std::move(resp));
+        return runtime::HandleResult::kConsumed;
+      });
+}
+
 void MemcachedProxyService::OnConnection(std::unique_ptr<Connection> conn,
                                          runtime::PlatformEnv& env) {
   const size_t n = backends_.size();
@@ -92,7 +240,10 @@ void MemcachedProxyService::OnConnection(std::unique_ptr<Connection> conn,
   // Request path: parse with the projected unit (opcode/key only).
   auto request = b.Source("client-in", client,
                           std::make_unique<runtime::GrammarDeserializer>(unit));
-  auto dispatch = DispatchStage(b, n).From(request);
+  auto dispatch = (options_.cache.enabled
+                       ? CachingDispatchStage(b, n, env.state)
+                       : DispatchStage(b, n))
+                      .From(request);
 
   if (options_.wire.mode == BackendMode::kPooled) {
     // Shared transport: one lease over the pool's persistent connections.

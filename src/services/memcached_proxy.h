@@ -14,6 +14,16 @@
 //     concurrency.
 //   * kPerClient: the paper's original shape — one dedicated connection per
 //     backend per client graph (Figure 3b), dialled by the builder's FanOut.
+//
+// Orthogonally, Options::cache enables LOOK-ASIDE CACHE MODE (the classic
+// memcached deployment shape, served in-path): GET/GETK hits are answered
+// from the platform StateStore without acquiring a pool lease or touching a
+// backend; misses are proxied as usual and populate the store on the
+// response path under the invalidate-wins epoch protocol
+// (StateStore::InvalidationEpoch / PutIfFresh); SET and other keyed writes
+// write through to the backend and invalidate the cached entry. Counters
+// land in RegistryStats{cache_hits, cache_misses, cache_invalidations,
+// cache_stale_populates_dropped}.
 #ifndef FLICK_SERVICES_MEMCACHED_PROXY_H_
 #define FLICK_SERVICES_MEMCACHED_PROXY_H_
 
@@ -30,10 +40,23 @@ namespace flick::services {
 
 class MemcachedProxyService : public runtime::ServiceProgram {
  public:
+  struct CacheOptions {
+    // Serve GET/GETK from the StateStore look-aside (see the header comment).
+    // Off by default: pooled and per-client proxy modes are unchanged.
+    bool enabled = false;
+    // StateStore dictionary the cached entries live in. Capacity is the
+    // platform's PlatformConfig::state_entries_per_dict (FIFO eviction).
+    std::string dict = "memcached-cache";
+    // Responses with values larger than this are proxied but never cached.
+    size_t max_value_bytes = 64 * 1024;
+  };
+
   struct Options {
     // The shared wire-policy knobs (transport mode, pooling, batching,
     // sharding, lifetime windows) — see services::WireOptions.
     WireOptions wire;
+    // Look-aside cache mode, orthogonal to the wire mode.
+    CacheOptions cache;
   };
 
   explicit MemcachedProxyService(std::vector<uint16_t> backend_ports);
@@ -53,6 +76,8 @@ class MemcachedProxyService : public runtime::ServiceProgram {
 
  private:
   NodeRef DispatchStage(GraphBuilder& b, size_t fan_out);
+  NodeRef CachingDispatchStage(GraphBuilder& b, size_t fan_out,
+                               runtime::StateStore* store);
 
   std::vector<uint16_t> backends_;
   Options options_;

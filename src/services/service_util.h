@@ -154,6 +154,29 @@ struct RegistryStats {
   // spill pool. Both 0 in a well-sized steady state.
   uint64_t msg_pool_misses = 0;
   uint64_t pool_slice_spills = 0;
+
+  // Look-aside cache plane (services running in cache mode; all 0 otherwise).
+  // hits: GETs answered from the StateStore without touching the backend
+  // plane. misses: GETs forwarded to a backend with a populate armed on the
+  // response path. invalidations: write-throughs (SET/DELETE) that purged the
+  // key before forwarding. stale_populates_dropped: response-path populates
+  // discarded because an invalidation won the race (the StateStore epoch
+  // moved between miss and response) — nonzero is correct behaviour under a
+  // racing write mix, but on a read-only steady state it must be exactly 0.
+  uint64_t cache_hits = 0;
+  uint64_t cache_misses = 0;
+  uint64_t cache_invalidations = 0;
+  uint64_t cache_stale_populates_dropped = 0;
+};
+
+// Cache-plane counters, owned by the GraphRegistry (like
+// runtime::ConnLifetimeCounters) and incremented by a service's dispatch
+// stages; folded into RegistryStats at stats() time.
+struct CacheCounters {
+  std::atomic<uint64_t> hits{0};
+  std::atomic<uint64_t> misses{0};
+  std::atomic<uint64_t> invalidations{0};
+  std::atomic<uint64_t> stale_populates_dropped{0};
 };
 
 // Tracks live graphs for a service and reaps them (unwatching their
@@ -300,6 +323,11 @@ class GraphRegistry {
   // hands this to every adopted leg's InputTask at Launch.
   runtime::ConnLifetimeCounters& lifetime_counters() { return lifetime_; }
 
+  // Cache-plane counters for this registry's dispatch stages (services
+  // running in look-aside cache mode increment these; see RegistryStats).
+  CacheCounters& cache_counters() { return cache_; }
+  const CacheCounters& cache_counters() const { return cache_; }
+
   RegistryStats stats() const {
     RegistryStats s;
     s.graphs_adopted = graphs_adopted_.load(std::memory_order_relaxed);
@@ -311,6 +339,11 @@ class GraphRegistry {
     s.detaches_timed_out = detaches_timed_out_.load(std::memory_order_relaxed);
     s.idle_closed = lifetime_.idle_closed.load(std::memory_order_relaxed);
     s.deadline_closed = lifetime_.deadline_closed.load(std::memory_order_relaxed);
+    s.cache_hits = cache_.hits.load(std::memory_order_relaxed);
+    s.cache_misses = cache_.misses.load(std::memory_order_relaxed);
+    s.cache_invalidations = cache_.invalidations.load(std::memory_order_relaxed);
+    s.cache_stale_populates_dropped =
+        cache_.stale_populates_dropped.load(std::memory_order_relaxed);
     // Batching counters: accumulators AND live-graph fold-in are read under
     // the same lock the retirement timer folds+erases under, so a retiring graph is
     // counted by exactly one of the two paths and the aggregate never
@@ -458,6 +491,7 @@ class GraphRegistry {
   std::vector<BufferPool*> buffer_pools_;
   std::vector<PendingRetire> pending_retire_;  // live graphs awaiting IO close
   runtime::ConnLifetimeCounters lifetime_;
+  CacheCounters cache_;
   std::atomic<uint64_t> graphs_adopted_{0};
   std::atomic<uint64_t> graphs_unwatched_{0};
   std::atomic<uint64_t> graphs_retired_{0};

@@ -226,6 +226,67 @@ TEST(HistogramTest, SummaryMentionsCount) {
   EXPECT_NE(h.Summary().find("n=1"), std::string::npos);
 }
 
+// Values below kMinor (16) land in width-1 buckets whose upper bound is the
+// value itself, so quantiles on a known small distribution are EXACT — this
+// pins the rank arithmetic (target rank floor(q*(n-1))+1 over cumulative
+// bucket counts) independent of bucket error.
+TEST(HistogramTest, ExactQuantilesOnSmallValues) {
+  Histogram h;
+  for (uint64_t v = 1; v <= 15; ++v) {
+    h.Record(v);
+  }
+  EXPECT_EQ(h.Quantile(0.0), 1u);   // rank 1
+  EXPECT_EQ(h.Quantile(0.50), 8u);  // rank 8: the true median of 1..15
+  EXPECT_EQ(h.Quantile(0.95), 14u);  // rank floor(0.95*14)+1 = 14
+  EXPECT_EQ(h.Quantile(1.0), 15u);  // rank 15
+}
+
+// Tail percentiles on a known trimodal distribution: 9800 fast ops at
+// ~1us, 189 at ~100us, 11 outliers at 10ms. p50 must report the fast mode,
+// p99 the slow mode, p999 the outliers — each within the documented <=~4%
+// relative bucket error (the outlier bucket's bound clamps to max, which is
+// exact here).
+TEST(HistogramTest, TailPercentilesOnTrimodalDistribution) {
+  Histogram h;
+  for (int i = 0; i < 9800; ++i) {
+    h.Record(1000);
+  }
+  for (int i = 0; i < 189; ++i) {
+    h.Record(100000);
+  }
+  for (int i = 0; i < 11; ++i) {
+    h.Record(10000000);
+  }
+  EXPECT_NEAR(static_cast<double>(h.Quantile(0.50)), 1000.0, 1000.0 * 0.05);
+  EXPECT_NEAR(static_cast<double>(h.Quantile(0.99)), 100000.0, 100000.0 * 0.05);
+  EXPECT_EQ(h.Quantile(0.999), 10000000u);
+}
+
+// Merging two histograms must be indistinguishable from recording every
+// sample into one: same count/sum/min/max and same quantiles at every probe.
+TEST(HistogramTest, MergeMatchesCombinedRecording) {
+  Histogram a, b, combined;
+  Rng rng(7);
+  for (int i = 0; i < 5000; ++i) {
+    const uint64_t v = rng.NextInRange(1, 1000000);
+    a.Record(v);
+    combined.Record(v);
+  }
+  for (int i = 0; i < 5000; ++i) {
+    const uint64_t v = rng.NextInRange(1, 1000000);
+    b.Record(v);
+    combined.Record(v);
+  }
+  a.Merge(b);
+  EXPECT_EQ(a.count(), combined.count());
+  EXPECT_EQ(a.sum(), combined.sum());
+  EXPECT_EQ(a.min(), combined.min());
+  EXPECT_EQ(a.max(), combined.max());
+  for (const double q : {0.0, 0.1, 0.5, 0.9, 0.99, 0.999, 1.0}) {
+    EXPECT_EQ(a.Quantile(q), combined.Quantile(q)) << "q=" << q;
+  }
+}
+
 // --------------------------------------------------------- IntrusiveList ----
 
 struct Item {

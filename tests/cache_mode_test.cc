@@ -1,0 +1,423 @@
+// Look-aside cache mode, end to end over the simulated fabric plus the
+// StateStore invalidate-wins epoch protocol it rides on:
+//   * a GET hit is served without touching the backend plane (pool lease and
+//     forward counters stay flat),
+//   * a miss populates the store so the next GET hits,
+//   * SET writes through and invalidates (the next GET re-fetches),
+//   * a populate racing an invalidation is dropped (invalidate wins),
+//   * FIFO eviction under a tiny max_entries keeps the proxy serving
+//     misses correctly,
+//   * an overwrite never extends an entry's FIFO lifetime.
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "load/backends.h"
+#include "net/sim_transport.h"
+#include "proto/memcached.h"
+#include "runtime/platform.h"
+#include "runtime/state_store.h"
+#include "services/memcached_proxy.h"
+#include "platform_stop_guard.h"
+
+namespace flick {
+namespace {
+
+using namespace std::chrono_literals;
+
+template <typename Cond>
+bool WaitFor(Cond cond, std::chrono::milliseconds timeout = 3000ms) {
+  const auto deadline = std::chrono::steady_clock::now() + timeout;
+  while (std::chrono::steady_clock::now() < deadline) {
+    if (cond()) {
+      return true;
+    }
+    std::this_thread::sleep_for(200us);
+  }
+  return cond();
+}
+
+// One persistent client connection to the proxy: sequential blocking round
+// trips over the SAME wire, so a test can issue many requests through one
+// client graph (a fresh connection per request would conflate graph churn
+// with the cache behaviour under test).
+class ProxyClient {
+ public:
+  ProxyClient(Transport* transport, uint16_t port)
+      : pool_(16, 4096), rx_(&pool_), parser_(&proto::MemcachedUnit()) {
+    auto conn = transport->Connect(port);
+    FLICK_CHECK(conn.ok());
+    conn_ = std::move(conn).value();
+  }
+  ~ProxyClient() { conn_->Close(); }
+
+  // Issues one request and returns the parsed response. On timeout the
+  // returned message is bound but zeroed (status reads as 0).
+  grammar::Message RoundTrip(uint8_t opcode, const std::string& key,
+                             const std::string& value = {}) {
+    grammar::Message req;
+    proto::BuildRequest(&req, opcode, key, value);
+    const std::string wire = proto::ToWire(req);
+    size_t off = 0;
+    while (off < wire.size()) {
+      auto wrote = conn_->Write(wire.data() + off, wire.size() - off);
+      FLICK_CHECK(wrote.ok());
+      off += *wrote;
+    }
+    grammar::Message resp;
+    resp.BindUnit(&proto::MemcachedUnit());
+    char buf[4096];
+    const auto deadline = std::chrono::steady_clock::now() + 3s;
+    while (std::chrono::steady_clock::now() < deadline) {
+      auto got = conn_->Read(buf, sizeof(buf));
+      if (!got.ok()) {
+        break;
+      }
+      if (*got == 0) {
+        std::this_thread::sleep_for(100us);
+        continue;
+      }
+      rx_.Append(buf, *got);
+      if (parser_.Feed(rx_, &resp) == grammar::ParseStatus::kDone) {
+        return resp;
+      }
+    }
+    return resp;
+  }
+
+ private:
+  BufferPool pool_;
+  BufferChain rx_;
+  grammar::UnitParser parser_;
+  std::unique_ptr<Connection> conn_;
+};
+
+class CacheModeTest : public ::testing::Test {
+ protected:
+  CacheModeTest() : transport_(&net_, StackCostModel::Null()) {
+    config_.scheduler.num_workers = 2;
+  }
+
+  void StartBackends(int n) {
+    for (int b = 0; b < n; ++b) {
+      backends_.push_back(std::make_unique<load::MemcachedBackend>(
+          &transport_, static_cast<uint16_t>(11000 + b)));
+      ASSERT_TRUE(backends_.back()->Start().ok());
+      ports_.push_back(static_cast<uint16_t>(11000 + b));
+    }
+  }
+
+  void PreloadAll(const std::string& key, const std::string& value) {
+    for (auto& b : backends_) {
+      b->Preload(key, value);
+    }
+  }
+
+  // Platform + cache-mode proxy; call after StartBackends.
+  services::MemcachedProxyService& StartProxy() {
+    platform_ = std::make_unique<runtime::Platform>(config_, &transport_);
+    services::MemcachedProxyService::Options options;
+    options.cache.enabled = true;
+    proxy_ = std::make_unique<services::MemcachedProxyService>(ports_, options);
+    FLICK_CHECK(platform_->RegisterProgram(11211, proxy_.get()).ok());
+    platform_->Start();
+    return *proxy_;
+  }
+
+  services::RegistryStats Stats() { return proxy_->registry().stats(); }
+
+  SimNetwork net_;
+  SimTransport transport_;
+  runtime::PlatformConfig config_;
+  std::unique_ptr<runtime::Platform> platform_;
+  std::unique_ptr<services::MemcachedProxyService> proxy_;
+  std::vector<std::unique_ptr<load::MemcachedBackend>> backends_;
+  std::vector<uint16_t> ports_;
+};
+
+// A cache hit must be served entirely from the StateStore: after the first
+// GET populates, repeated GETs on the same connection move NO pool counters
+// (no lease acquired, no request forwarded, no backend request served).
+TEST_F(CacheModeTest, HitServedWithoutPoolTraffic) {
+  StartBackends(4);
+  PreloadAll("hot", "hot-value");
+  auto& proxy = StartProxy();
+  ScopedPlatformStop stop_guard(*platform_);
+
+  ProxyClient client(&transport_, 11211);
+  // Miss + populate.
+  grammar::Message first = client.RoundTrip(proto::kMemcachedGet, "hot");
+  ASSERT_EQ(proto::MemcachedCommand(&first).status(), proto::kMemcachedStatusOk);
+  ASSERT_EQ(proto::MemcachedCommand(&first).value(), "hot-value");
+  // The populate happens on the response path, after the client sees the
+  // response bytes; wait for the counter rather than racing it.
+  ASSERT_TRUE(WaitFor([&] { return Stats().cache_misses == 1; }));
+
+  const services::BackendPoolStats before = proxy.pool()->stats();
+  const uint64_t backend_before = backends_[0]->requests_served() +
+                                  backends_[1]->requests_served() +
+                                  backends_[2]->requests_served() +
+                                  backends_[3]->requests_served();
+  constexpr int kHits = 50;
+  for (int i = 0; i < kHits; ++i) {
+    grammar::Message resp = client.RoundTrip(proto::kMemcachedGet, "hot");
+    proto::MemcachedCommand cmd(&resp);
+    EXPECT_EQ(cmd.status(), proto::kMemcachedStatusOk);
+    EXPECT_EQ(cmd.value(), "hot-value");
+    EXPECT_EQ(cmd.key(), "");  // GET responses do not echo the key
+  }
+  const services::BackendPoolStats after = proxy.pool()->stats();
+  EXPECT_EQ(after.leases_acquired, before.leases_acquired)
+      << "cache hits must not acquire pool leases";
+  EXPECT_EQ(after.requests_forwarded, before.requests_forwarded)
+      << "cache hits must not forward to a backend";
+  const uint64_t backend_after = backends_[0]->requests_served() +
+                                 backends_[1]->requests_served() +
+                                 backends_[2]->requests_served() +
+                                 backends_[3]->requests_served();
+  EXPECT_EQ(backend_after, backend_before);
+  const services::RegistryStats stats = Stats();
+  EXPECT_GE(stats.cache_hits, static_cast<uint64_t>(kHits));
+  EXPECT_EQ(stats.cache_misses, 1u);
+  EXPECT_EQ(stats.cache_stale_populates_dropped, 0u);
+}
+
+// GETK hits must mirror the backend's reply shape: key echoed back.
+TEST_F(CacheModeTest, GetkHitEchoesKey) {
+  StartBackends(2);
+  PreloadAll("echo", "echo-value");
+  StartProxy();
+  ScopedPlatformStop stop_guard(*platform_);
+
+  ProxyClient client(&transport_, 11211);
+  grammar::Message miss = client.RoundTrip(proto::kMemcachedGetK, "echo");
+  ASSERT_EQ(proto::MemcachedCommand(&miss).key(), "echo");
+  ASSERT_TRUE(WaitFor([&] { return Stats().cache_misses == 1; }));
+
+  grammar::Message hit = client.RoundTrip(proto::kMemcachedGetK, "echo");
+  proto::MemcachedCommand cmd(&hit);
+  EXPECT_EQ(cmd.status(), proto::kMemcachedStatusOk);
+  EXPECT_EQ(cmd.key(), "echo");
+  EXPECT_EQ(cmd.value(), "echo-value");
+  EXPECT_GE(Stats().cache_hits, 1u);
+}
+
+// First GET misses and populates; a second GET from a DIFFERENT client
+// connection (a different graph) hits the shared store.
+TEST_F(CacheModeTest, MissPopulatesThenSecondClientHits) {
+  StartBackends(4);
+  PreloadAll("shared", "shared-value");
+  StartProxy();
+  ScopedPlatformStop stop_guard(*platform_);
+
+  {
+    ProxyClient first(&transport_, 11211);
+    grammar::Message resp = first.RoundTrip(proto::kMemcachedGet, "shared");
+    ASSERT_EQ(proto::MemcachedCommand(&resp).value(), "shared-value");
+  }
+  ASSERT_TRUE(WaitFor([&] { return Stats().cache_misses == 1; }));
+
+  ProxyClient second(&transport_, 11211);
+  grammar::Message resp = second.RoundTrip(proto::kMemcachedGet, "shared");
+  EXPECT_EQ(proto::MemcachedCommand(&resp).value(), "shared-value");
+  const services::RegistryStats stats = Stats();
+  EXPECT_EQ(stats.cache_misses, 1u);
+  EXPECT_GE(stats.cache_hits, 1u);
+}
+
+// SET writes through to the backend AND invalidates the cached entry: the
+// next GET must see the new value (a stale cache would keep returning v1).
+TEST_F(CacheModeTest, SetWritesThroughAndInvalidates) {
+  StartBackends(4);
+  PreloadAll("mut", "v1");
+  StartProxy();
+  ScopedPlatformStop stop_guard(*platform_);
+
+  ProxyClient client(&transport_, 11211);
+  grammar::Message get1 = client.RoundTrip(proto::kMemcachedGet, "mut");
+  ASSERT_EQ(proto::MemcachedCommand(&get1).value(), "v1");
+  ASSERT_TRUE(WaitFor([&] { return Stats().cache_misses == 1; }));
+  // Cached now; prove it.
+  grammar::Message get2 = client.RoundTrip(proto::kMemcachedGet, "mut");
+  ASSERT_EQ(proto::MemcachedCommand(&get2).value(), "v1");
+  ASSERT_TRUE(WaitFor([&] { return Stats().cache_hits >= 1; }));
+
+  grammar::Message set = client.RoundTrip(proto::kMemcachedSet, "mut", "v2");
+  ASSERT_EQ(proto::MemcachedCommand(&set).status(), proto::kMemcachedStatusOk);
+
+  grammar::Message get3 = client.RoundTrip(proto::kMemcachedGet, "mut");
+  EXPECT_EQ(proto::MemcachedCommand(&get3).value(), "v2")
+      << "SET must invalidate the cached v1";
+  const services::RegistryStats stats = Stats();
+  EXPECT_GE(stats.cache_invalidations, 1u);
+  // Read-after-write re-populates: the final GET was a miss.
+  EXPECT_EQ(stats.cache_misses, 2u);
+}
+
+// Cache mode is orthogonal to the wire mode: the per-client (dedicated
+// connection) shape serves hits from the store too.
+TEST_F(CacheModeTest, PerClientModeServesHits) {
+  StartBackends(2);
+  PreloadAll("pc", "pc-value");
+  platform_ = std::make_unique<runtime::Platform>(config_, &transport_);
+  services::MemcachedProxyService::Options options;
+  options.wire.mode = services::BackendMode::kPerClient;
+  options.cache.enabled = true;
+  proxy_ = std::make_unique<services::MemcachedProxyService>(ports_, options);
+  ASSERT_TRUE(platform_->RegisterProgram(11211, proxy_.get()).ok());
+  platform_->Start();
+  ScopedPlatformStop stop_guard(*platform_);
+
+  ProxyClient client(&transport_, 11211);
+  grammar::Message miss = client.RoundTrip(proto::kMemcachedGet, "pc");
+  ASSERT_EQ(proto::MemcachedCommand(&miss).value(), "pc-value");
+  ASSERT_TRUE(WaitFor([&] { return Stats().cache_misses == 1; }));
+
+  const uint64_t served_before =
+      backends_[0]->requests_served() + backends_[1]->requests_served();
+  grammar::Message hit = client.RoundTrip(proto::kMemcachedGet, "pc");
+  EXPECT_EQ(proto::MemcachedCommand(&hit).value(), "pc-value");
+  EXPECT_GE(Stats().cache_hits, 1u);
+  EXPECT_EQ(backends_[0]->requests_served() + backends_[1]->requests_served(),
+            served_before);
+}
+
+// Eviction under a tiny per-dict bound: sweeping a key space far larger than
+// max_entries keeps every response correct (eviction must never corrupt a
+// served value, only force re-misses).
+TEST_F(CacheModeTest, EvictionUnderTinyBoundKeepsServingMisses) {
+  StartBackends(4);
+  for (int k = 0; k < 200; ++k) {
+    PreloadAll("key-" + std::to_string(k), "value-" + std::to_string(k));
+  }
+  config_.state_entries_per_dict = 16;  // per-shard bound: 16/16 + 1 = 2
+  StartProxy();
+  ScopedPlatformStop stop_guard(*platform_);
+
+  ProxyClient client(&transport_, 11211);
+  for (int pass = 0; pass < 2; ++pass) {
+    for (int k = 0; k < 200; ++k) {
+      grammar::Message resp =
+          client.RoundTrip(proto::kMemcachedGet, "key-" + std::to_string(k));
+      proto::MemcachedCommand cmd(&resp);
+      ASSERT_EQ(cmd.status(), proto::kMemcachedStatusOk) << "key-" << k;
+      ASSERT_EQ(cmd.value(), "value-" + std::to_string(k)) << "key-" << k;
+    }
+  }
+  const services::RegistryStats stats = Stats();
+  // The sweep thrashes the tiny cache: most lookups miss and re-populate.
+  EXPECT_GE(stats.cache_misses, 200u);
+  EXPECT_EQ(stats.cache_stale_populates_dropped, 0u);
+}
+
+// ------------------------------------------------ StateStore epoch protocol ----
+
+// The deterministic core of the populate-vs-invalidate race: a populate that
+// snapshotted its epoch before an Erase must be dropped; a fresh snapshot
+// succeeds.
+TEST(StateStoreEpochTest, InvalidateWinsPopulateRace) {
+  runtime::StateStore store(64);
+  store.Put("cache", "k", "stale");
+
+  // Miss path: snapshot, then the authority fetch happens... meanwhile an
+  // invalidation lands.
+  const uint64_t epoch = store.InvalidationEpoch("cache", "k");
+  ASSERT_TRUE(store.Erase("cache", "k"));
+
+  // The late populate must lose.
+  EXPECT_FALSE(store.PutIfFresh("cache", "k", "stale", epoch));
+  EXPECT_FALSE(store.Get("cache", "k").has_value());
+
+  // A populate that snapshotted AFTER the invalidation wins.
+  const uint64_t fresh = store.InvalidationEpoch("cache", "k");
+  EXPECT_TRUE(store.PutIfFresh("cache", "k", "fresh", fresh));
+  EXPECT_EQ(store.Get("cache", "k"), "fresh");
+}
+
+// An authoritative Put is an invalidation too: a populate snapshotted before
+// it must not clobber the newer authoritative value.
+TEST(StateStoreEpochTest, AuthoritativePutBeatsStalePopulate) {
+  runtime::StateStore store(64);
+  const uint64_t epoch = store.InvalidationEpoch("cache", "k");
+  store.Put("cache", "k", "authoritative");
+  EXPECT_FALSE(store.PutIfFresh("cache", "k", "stale", epoch));
+  EXPECT_EQ(store.Get("cache", "k"), "authoritative");
+}
+
+// Erase of an ABSENT key still invalidates: the write-through may race a
+// miss-populate for a key that was never cached, and the populate carries
+// the pre-write value.
+TEST(StateStoreEpochTest, EraseOfAbsentKeyStillInvalidates) {
+  runtime::StateStore store(64);
+  const uint64_t epoch = store.InvalidationEpoch("cache", "k");
+  EXPECT_FALSE(store.Erase("cache", "k"));  // nothing cached — but epoch moves
+  EXPECT_FALSE(store.PutIfFresh("cache", "k", "pre-write", epoch));
+  EXPECT_FALSE(store.Get("cache", "k").has_value());
+}
+
+// Two racing populates both succeed (last-writer-wins): both values are
+// authority-fresh, so a successful PutIfFresh must NOT bump the epoch.
+TEST(StateStoreEpochTest, RacingPopulatesBothSucceed) {
+  runtime::StateStore store(64);
+  const uint64_t epoch_a = store.InvalidationEpoch("cache", "k");
+  const uint64_t epoch_b = store.InvalidationEpoch("cache", "k");
+  EXPECT_TRUE(store.PutIfFresh("cache", "k", "a", epoch_a));
+  EXPECT_TRUE(store.PutIfFresh("cache", "k", "b", epoch_b));
+  EXPECT_EQ(store.Get("cache", "k"), "b");
+}
+
+// Epochs are per dict: invalidating one dict must not drop populates bound
+// for another.
+TEST(StateStoreEpochTest, EpochIsolatedPerDict) {
+  runtime::StateStore store(64);
+  const uint64_t epoch = store.InvalidationEpoch("cache-a", "k");
+  store.Erase("cache-b", "k");
+  EXPECT_TRUE(store.PutIfFresh("cache-a", "k", "v", epoch));
+  EXPECT_EQ(store.Get("cache-a", "k"), "v");
+}
+
+// A re-populate (overwrite) of a live entry must keep the entry's ORIGINAL
+// FIFO position — silently extending its lifetime would let a hot re-fetched
+// key starve colder keys of their slots forever. With a per-shard bound of 2,
+// insert a then b into one shard, overwrite a, insert c: a (the oldest
+// insertion) must be the one evicted, not b.
+TEST(StateStoreEpochTest, OverwriteDoesNotExtendFifoLifetime) {
+  // Find three keys landing in ONE of the 16 internal shards, using the
+  // store's shard hash (white-box, like the per-shard bound arithmetic in
+  // state_store_test.cc).
+  auto shard_of = [](const std::string& dict, const std::string& key) {
+    return (std::hash<std::string>{}(key) ^ (std::hash<std::string>{}(dict) << 1)) % 16;
+  };
+  std::vector<std::string> same_shard;
+  const size_t target = shard_of("d", "probe-0");
+  for (int i = 0; same_shard.size() < 3 && i < 4096; ++i) {
+    const std::string key = "probe-" + std::to_string(i);
+    if (shard_of("d", key) == target) {
+      same_shard.push_back(key);
+    }
+  }
+  ASSERT_EQ(same_shard.size(), 3u) << "could not find three same-shard keys";
+
+  runtime::StateStore store(16);  // per-shard bound: 16/16 + 1 = 2
+  store.PutIfFresh("d", same_shard[0], "a1",
+                   store.InvalidationEpoch("d", same_shard[0]));
+  store.PutIfFresh("d", same_shard[1], "b1",
+                   store.InvalidationEpoch("d", same_shard[1]));
+  // Re-populate the OLDER entry; its FIFO position must not move.
+  ASSERT_TRUE(store.PutIfFresh("d", same_shard[0], "a2",
+                               store.InvalidationEpoch("d", same_shard[0])));
+  // Third same-shard insert exceeds the bound: the oldest INSERTION
+  // (same_shard[0]) is evicted even though it was just overwritten.
+  store.PutIfFresh("d", same_shard[2], "c1",
+                   store.InvalidationEpoch("d", same_shard[2]));
+  EXPECT_FALSE(store.Get("d", same_shard[0]).has_value())
+      << "overwrite must not extend FIFO lifetime";
+  EXPECT_EQ(store.Get("d", same_shard[1]), "b1");
+  EXPECT_EQ(store.Get("d", same_shard[2]), "c1");
+}
+
+}  // namespace
+}  // namespace flick
