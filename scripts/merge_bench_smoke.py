@@ -55,6 +55,13 @@ Asserted invariants (smoke fails on violation):
      that ordering is a regression. (The point interleaves the two modes'
      windows and compares medians precisely so this assertion is stable on
      small runners — see bench/bench_tail_latency.cc.)
+  9. Health plane quiescence: the smoke benches run against HEALTHY backends
+     with the deadline/breaker/retry plane armed (services default a 2 s
+     response deadline), so on every point exporting the health counters
+     breaker_opens == 0, request_deadline_expiries == 0 and
+     retries_spent == 0 — a breaker trip, deadline expiry or retry under
+     clean steady-state load means the health plane is misfiring (false
+     positives would fail real traffic too).
 """
 
 import json
@@ -270,6 +277,37 @@ def main(argv):
             f"{lo} conns vs {hi_ns:.1f} at {hi} — per-idle-conn wakeup work "
             f"must stay flat")
 
+    # 9. Health plane quiescence: against healthy backends with the
+    # deadline/breaker/retry plane armed, no breaker may trip, no deadline
+    # may expire, no retry token may be spent.
+    health_checked = 0
+    for b in merged["benchmarks"]:
+        c = counters_of(b)
+        opens = c.get("breaker_opens")
+        if opens is None:
+            continue
+        expiries = c.get("request_deadline_expiries")
+        retries = c.get("retries_spent")
+        assert expiries is not None and retries is not None, \
+            f"{b['name']}: exports only part of the health counter set"
+        assert opens == 0, (
+            f"{b['name']}: {opens:.0f} breaker opens against healthy "
+            f"backends — the circuit breaker is tripping on clean load")
+        assert expiries == 0, (
+            f"{b['name']}: {expiries:.0f} request deadline expiries in "
+            f"steady state — responses are not beating the armed deadline")
+        assert retries == 0, (
+            f"{b['name']}: {retries:.0f} retry tokens spent with no faults "
+            f"injected — the retry plane is firing on clean load")
+        health_checked += 1
+        batching.setdefault(b["name"], {}).update({
+            "breaker_opens": opens,
+            "request_deadline_expiries": expiries,
+            "retries_spent": retries,
+        })
+    assert health_checked >= len(pooled), \
+        "pooled points missing the health plane counters"
+
     # 8. Open-loop cache plane: CO-free percentiles for both modes of the
     # paired point, warmed-cache hit ratio > 0 with zero stale-populate
     # drops, and the cache-hit median p99 strictly below the pooled-miss
@@ -337,7 +375,8 @@ def main(argv):
           f"{spills_checked} points spill-checked; "
           f"{shard_plane_checked} points share-nothing-checked; "
           f"{len(idle_points)} idle-conn points checked; "
-          f"{len(tail_points)} open-loop tail points checked")
+          f"{len(tail_points)} open-loop tail points checked; "
+          f"{health_checked} points health-checked")
     return 0
 
 

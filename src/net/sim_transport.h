@@ -45,6 +45,59 @@ struct StackCostModel {
   static StackCostModel Null();
 };
 
+// ---------------------------------------------------------------------------
+// Deterministic fault-injection plane.
+//
+// Chaos tests script failures against a port and then assert EXACT delivery:
+// every injected fault increments a queryable counter, so a test that refuses
+// 3 dials and RSTs 1 stream can check those numbers, not probabilistic hope.
+// Faults are scoped per port (connect refusal / blackhole budgets) and per
+// accepted dial (a FIFO of ConnFaultSpec applied to successive connections).
+// All byte thresholds are absolute offsets in the faulted direction; the
+// sentinel kFaultNever disables a trigger.
+// ---------------------------------------------------------------------------
+
+inline constexpr uint64_t kFaultNever = ~uint64_t{0};
+
+// Faults applied to ONE connection, observed from the dialing (client) side.
+// "rx" is what the client reads (the backend's responses), "tx" what it
+// writes — so `rst_after_rx_bytes = 100` means: deliver exactly 100 response
+// bytes, then every further read fails like a TCP RST.
+struct ConnFaultSpec {
+  uint64_t rst_after_rx_bytes = kFaultNever;       // then reads fail (reset)
+  uint64_t truncate_after_rx_bytes = kFaultNever;  // then reads see clean EOF
+  uint64_t corrupt_rx_at_byte = kFaultNever;       // XOR one byte at offset
+  uint64_t stall_rx_after_bytes = kFaultNever;     // reads would-block ...
+  uint64_t stall_rx_for_ns = 0;                    // ... for this long
+  uint64_t stall_tx_after_bytes = kFaultNever;     // writes would-block ...
+  uint64_t stall_tx_for_ns = 0;                    // ... for this long
+};
+
+// A port's scripted failure schedule. Connect-scoped budgets burn first-come
+// (every dial decrements under the fabric lock, so delivery is deterministic
+// even with concurrent dialers); conn_faults apply FIFO to dials that get
+// through, optionally repeating the last spec forever.
+struct FaultPlan {
+  uint64_t seed = 1;                // corruption mask derivation
+  uint32_t refuse_connects = 0;     // next N dials: immediate refusal
+  uint32_t blackhole_connects = 0;  // next N dials: accepted, never answered
+  std::vector<ConnFaultSpec> conn_faults;
+  bool repeat_last = false;
+};
+
+// Cumulative injected-fault tallies for one port. Plain struct snapshot
+// returned by SimNetwork::fault_counters().
+struct FaultCountersSnapshot {
+  uint64_t connects_refused = 0;
+  uint64_t connects_blackholed = 0;
+  uint64_t faulted_connects = 0;  // dials that picked up a ConnFaultSpec
+  uint64_t rsts = 0;
+  uint64_t truncations = 0;
+  uint64_t bytes_corrupted = 0;
+  uint64_t read_stalls = 0;
+  uint64_t write_stalls = 0;
+};
+
 namespace internal {
 
 // One side's readiness hook (see Connection::SetReadReadyHook). The mutex
@@ -53,6 +106,37 @@ namespace internal {
 struct ReadyHook {
   std::mutex mu;
   std::function<void()> fn;
+};
+
+// Shared per-port fault counters; connections outlive ClearFaults, so they
+// hold a shared_ptr and keep counting into the same tallies.
+struct FaultCounters {
+  std::atomic<uint64_t> connects_refused{0};
+  std::atomic<uint64_t> connects_blackholed{0};
+  std::atomic<uint64_t> faulted_connects{0};
+  std::atomic<uint64_t> rsts{0};
+  std::atomic<uint64_t> truncations{0};
+  std::atomic<uint64_t> bytes_corrupted{0};
+  std::atomic<uint64_t> read_stalls{0};
+  std::atomic<uint64_t> write_stalls{0};
+};
+
+// Per-connection fault progress. Byte cursors are only touched by the owning
+// side's Read/Write calls (caller-serialized, like the rings); the fields
+// ReadReady() may race against — stall deadlines and the sticky outcome
+// flags — are atomics.
+struct ConnFaultState {
+  ConnFaultSpec spec;
+  uint64_t seed = 1;
+  std::shared_ptr<FaultCounters> counters;
+  uint64_t rx_seen = 0;
+  uint64_t tx_seen = 0;
+  std::atomic<uint64_t> stall_rx_until_ns{0};  // 0 = stall not yet armed
+  std::atomic<uint64_t> stall_tx_until_ns{0};
+  bool rx_stall_done = false;
+  bool tx_stall_done = false;
+  std::atomic<bool> rst_fired{false};
+  std::atomic<bool> truncated{false};
 };
 
 // Shared state of one simulated connection: two byte rings + open flags +
@@ -91,6 +175,7 @@ class SimConnection : public Connection {
 
  private:
   friend class SimListener;
+  friend class SimNetwork;
 
   SpscByteRing& rx() const { return is_a_ ? state_->b_to_a : state_->a_to_b; }
   SpscByteRing& tx() const { return is_a_ ? state_->a_to_b : state_->b_to_a; }
@@ -103,10 +188,19 @@ class SimConnection : public Connection {
   // Wakes OUR watcher when a capped (injected-short) read left bytes in rx().
   void RearmIfResidual() const;
 
+  // Fault-plane gates. Each returns true when it fully decided the call's
+  // outcome (error or would-block) and wrote it to *out.
+  bool FaultGateRead(Result<size_t>* out, size_t* budget);
+  bool FaultGateWrite(Result<size_t>* out, size_t* budget);
+  void FaultCorrupt(uint8_t* p, size_t len, uint64_t start_offset);
+
   std::shared_ptr<internal::SimConnState> state_;
   const bool is_a_;
   const StackCostModel cost_;  // by value: connections may outlive transports
   const uint64_t id_;
+  // Installed by SimNetwork::Connect on dialing sides covered by a FaultPlan;
+  // null (the overwhelmingly common case) costs one branch per IO call.
+  std::shared_ptr<internal::ConnFaultState> faults_;
 };
 
 class SimListener : public Listener {
@@ -146,6 +240,18 @@ class SimNetwork {
 
   Result<std::unique_ptr<Connection>> Connect(uint16_t port, const StackCostModel& cost);
 
+  // Installs (replacing any prior plan) a scripted failure schedule for
+  // `port`. Applies to dials made AFTER the call; existing connections keep
+  // any spec they picked up at dial time. Counters are cumulative across
+  // InjectFaults calls on the same port.
+  void InjectFaults(uint16_t port, FaultPlan plan);
+  // Stops applying faults to new dials on `port`. Connections already
+  // carrying a spec keep it (and keep counting).
+  void ClearFaults(uint16_t port);
+  // Snapshot of the injected-fault tallies for `port` (zeros if no plan was
+  // ever installed).
+  FaultCountersSnapshot fault_counters(uint16_t port) const;
+
   // Fabric-wide connection accounting: cumulative successful dials and dials
   // that found no listener. Benches use these to show pooled backend fan-in
   // (connection count independent of client concurrency).
@@ -167,9 +273,19 @@ class SimNetwork {
     size_t next_rr = 0;
   };
 
+  // A port's installed fault plan plus its FIFO cursor. Counters live behind
+  // a shared_ptr so connections that outlive ClearFaults keep tallying.
+  struct PortFaults {
+    FaultPlan plan;
+    size_t next_spec = 0;
+    std::shared_ptr<internal::FaultCounters> counters =
+        std::make_shared<internal::FaultCounters>();
+  };
+
   const size_t ring_capacity_;
-  std::mutex mutex_;
+  mutable std::mutex mutex_;
   std::map<uint16_t, PortGroup> listeners_;
+  std::map<uint16_t, PortFaults> faults_;  // guarded by mutex_
   std::atomic<uint64_t> next_conn_id_{1};
   std::atomic<uint64_t> total_connects_{0};
   std::atomic<uint64_t> failed_connects_{0};

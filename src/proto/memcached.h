@@ -27,6 +27,9 @@ inline constexpr uint8_t kMemcachedMagicResponse = 0x81;
 
 inline constexpr uint16_t kMemcachedStatusOk = 0x0000;
 inline constexpr uint16_t kMemcachedStatusKeyNotFound = 0x0001;
+// Standard binary-protocol "internal error": the proxy answers this when a
+// backend leg fails a request (deadline, open circuit, lost wire).
+inline constexpr uint16_t kMemcachedStatusInternalError = 0x0084;
 
 inline constexpr size_t kMemcachedHeaderSize = 24;
 

@@ -23,7 +23,12 @@
 namespace flick::runtime {
 
 struct Msg {
-  enum class Kind { kGrammar, kHttp, kBytes, kEof };
+  // kError flows DOWN the reply path of a pooled backend leg in place of the
+  // response that will never arrive (wire lost, deadline expired, retries
+  // exhausted, circuit open). `bytes` carries a short reason; dispatch stages
+  // translate it into a protocol-level error (502, memcached error status) so
+  // clients fail fast instead of hanging to the detach timeout.
+  enum class Kind { kGrammar, kHttp, kBytes, kEof, kError };
 
   Kind kind = Kind::kBytes;
   grammar::Message gmsg;

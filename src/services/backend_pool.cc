@@ -1,5 +1,6 @@
 #include "services/backend_pool.h"
 
+#include <algorithm>
 #include <deque>
 #include <string>
 #include <unordered_map>
@@ -12,43 +13,170 @@
 #include "runtime/io_poller.h"
 #include "runtime/msg.h"
 #include "runtime/task.h"
+#include "runtime/timer_wheel.h"
 #include "runtime/wire_batch.h"
 #include "runtime/wire_fill.h"
 
 namespace flick::services {
 namespace internal {
 
+// One in-flight (sent, unanswered) request on a pooled wire. The FIFO of
+// these is the response-correlation state; the extra fields carry the health
+// plane: the absolute response deadline, the retained request (only when the
+// pool's retry policy re-issues, so the steady-state kNone path keeps zero
+// retention cost) and the ORIGIN conn task a re-issued request must hand its
+// response back to — the origin is the lease's bound reply producer, so a
+// foreign conn never pushes into the lease channel directly (SPSC contract).
+struct PendingEntry {
+  uint64_t lease_id = 0;
+  uint64_t deadline_ns = 0;      // absolute MonotonicNanos; 0 = no deadline
+  runtime::MsgRef request;       // retained iff retry_policy != kNone
+  PoolConnTask* origin = nullptr;  // null/this = local; else hand replies back
+  uint8_t attempts = 0;          // re-issues already consumed
+};
+
+// Cross-connection work a run slice produced but must NOT deliver while its
+// own mutex is held (locking another conn's mutex under ours is the deadlock
+// recipe). The Run wrapper drains it through BackendPool::DispatchOutbox
+// with no lock held.
+struct PoolOutbox {
+  struct ForeignReply {
+    PoolConnTask* origin;
+    uint64_t lease_id;
+    runtime::MsgRef msg;
+  };
+  struct ForeignFail {
+    PoolConnTask* origin;
+    uint64_t lease_id;
+  };
+  std::vector<PendingEntry> retries;  // wire died: re-issue elsewhere
+  std::vector<ForeignReply> replies;  // responses owed to another conn's lease
+  std::vector<ForeignFail> fails;     // failures owed to another conn's lease
+  bool empty() const {
+    return retries.empty() && replies.empty() && fails.empty();
+  }
+};
+
+// Per-(backend, stripe) circuit breaker: the single source of truth for
+// "this backend is down" (it replaced the per-conn 3-consecutive-dial-
+// failures counter).
+//
+//   kClosed ──failures reach threshold──▶ kOpen
+//   kOpen ──open window elapses (wheel timer)──▶ kHalfOpen
+//   kHalfOpen ──single probe dial succeeds / a response routes──▶ kClosed
+//   kHalfOpen ──probe dial fails or probe wire dies──▶ kOpen (full window)
+//
+// Failures are consecutive and shared by every conn of the backend in this
+// stripe: failed dials, lost wires, response deadline expiries and response
+// parse errors all count. Only a ROUTED RESPONSE resets the count — a
+// successful dial alone does not, so a backend that accepts and immediately
+// closes keeps counting toward open (the accept-then-RST accounting gap the
+// old dial-failure counter had).
+//
+// Locking: mu_ is a leaf — it is taken under a conn's mutex_ (Run-side
+// callbacks) and from the wheel's fire path (no wheel lock held, per the
+// TimerWheel contract) and itself takes only scheduler/wheel locks.
+class BackendHealth {
+ public:
+  enum class State : uint8_t { kClosed, kOpen, kHalfOpen };
+
+  void Init(BackendPool* pool, runtime::TimerWheel* wheel,
+            std::vector<PoolConnTask*> conns);
+
+  State state() const { return state_.load(std::memory_order_acquire); }
+  bool BreakerOpen() const { return state() == State::kOpen; }
+
+  // Dial admission. kClosed admits freely; kOpen refuses; kHalfOpen admits
+  // exactly ONE probe at a time (claimed under mu_, so concurrent conns
+  // never double-dial a half-open backend). `*is_probe` reports the claim
+  // and must be echoed into OnDialResult.
+  bool AllowDial(bool* is_probe);
+  void OnDialResult(bool ok, bool is_probe);
+
+  // A live wire failed: peer close / wire error, response deadline expiry,
+  // response parse error. Counts toward open; reopens a half-open circuit.
+  void OnWireFailure();
+
+  // A response was parsed off the wire — the only event that proves the
+  // backend healthy. Resets the failure run; closes a half-open circuit.
+  void OnResponseRouted();
+
+  // Safe to call any time before the wheel dies (pool dtor runs first by
+  // the platform lifetime contract).
+  void CancelTimer() {
+    if (wheel_ != nullptr) {
+      wheel_->Cancel(&open_entry_);
+    }
+  }
+
+  // --- stats (relaxed; summed by BackendPool::stats) -------------------------
+  std::atomic<uint64_t> opens{0};
+  std::atomic<uint64_t> half_opens{0};
+  std::atomic<uint64_t> closes{0};
+
+ private:
+  void OnOpenTimerFired();
+  void OpenLocked();   // mu_ held
+  void CloseLocked();  // mu_ held
+  void NotifyConns();  // scheduler locks only; safe under mu_
+  void MarkConnsDead();
+
+  std::mutex mu_;
+  std::atomic<State> state_{State::kClosed};
+  std::atomic<uint32_t> consecutive_failures_{0};
+  bool probe_outstanding_ = false;  // guarded by mu_
+  runtime::TimerEntry open_entry_;
+  BackendPool* pool_ = nullptr;
+  runtime::TimerWheel* wheel_ = nullptr;
+  std::vector<PoolConnTask*> conns_;
+};
+
 // Drives one persistent backend connection: drains the request channels of
 // every attached lease (round-robin), pipelines the serialized requests onto
-// the wire with a FIFO of pending lease ids, parses responses and routes
-// each to the reply channel of the lease at the FIFO head. Owns redial after
-// a lost wire. All state is guarded by mutex_, shared with attach/detach.
+// the wire with a FIFO of pending entries, parses responses and routes each
+// to the reply channel of the lease at the FIFO head. Owns redial after a
+// lost wire (gated by the backend's circuit breaker) and the response
+// deadline of the FIFO head (one wheel timer per conn, lazily re-armed).
+// All state is guarded by mutex_, shared with attach/detach.
 class PoolConnTask : public runtime::Task {
  public:
-  // `poller` is the owning stripe's shard poller: this wire's watches and
-  // redial kicks stay on that shard. The stripe also picks the task's pools
-  // (shard `stripe`'s slices on a sharded platform) and pins its compute to
-  // that shard's worker group — the full share-nothing column.
+  // `poller` is the owning stripe's shard poller: this wire's watches, its
+  // redial kicks and its deadline timer stay on that shard. The stripe also
+  // picks the task's pools (shard `stripe`'s slices on a sharded platform)
+  // and pins its compute to that shard's worker group — the full
+  // share-nothing column. `health` is the (backend, stripe) breaker shared
+  // with sibling conns.
   PoolConnTask(std::string name, BackendPool* pool, uint16_t port,
                runtime::PlatformEnv& env, runtime::IoPoller* poller,
-               size_t stripe)
+               size_t stripe, size_t backend_index, BackendHealth* health)
       : Task(std::move(name)),
         pool_(pool),
         port_(port),
         transport_(env.transport),
         poller_(poller),
         msgs_(env.shard_msgs(stripe)),
+        stripe_(stripe),
+        backend_index_(backend_index),
+        health_(health),
         rx_(env.shard_buffers(stripe)),
         tx_(env.shard_buffers(stripe)),
         serializer_(pool->config_.make_serializer()),
         deserializer_(pool->config_.make_deserializer()) {
     shard_affinity = static_cast<int>(stripe);
     fill_window_.set_max(pool->config_.fill_window);
+    deadline_entry_.on_fire = [this] {
+      deadline_fired_.store(true, std::memory_order_release);
+      runtime::Scheduler* scheduler = pool_->scheduler_;
+      if (scheduler != nullptr) {
+        scheduler->NotifyRunnable(this);
+      }
+    };
   }
 
   ~PoolConnTask() override {
     // Platform is stopped by the time the pool dies (documented contract),
-    // so unwatch is bookkeeping, not a race with the poller sweep.
+    // so unwatch/cancel are bookkeeping, not races with the poller sweep.
+    poller_->wheel().Cancel(&deadline_entry_);
     std::lock_guard<std::mutex> lock(mutex_);
     if (wire_ != nullptr) {
       poller_->UnwatchConnection(wire_.get());
@@ -105,12 +233,25 @@ class PoolConnTask : public runtime::Task {
 
   WireState wire_state() const { return wire_state_.load(std::memory_order_acquire); }
 
+  // Breaker opened for this backend: a never-connected conn is dead for
+  // retirement purposes (a refused backend must not pin departing graphs).
+  // A conn with a LIVE wire keeps it — open gates dials, not existing
+  // streams (the wire either keeps answering or dies organically).
+  void OnBreakerOpen() {
+    WireState expected = WireState::kNeverTried;
+    wire_state_.compare_exchange_strong(expected, WireState::kDead,
+                                        std::memory_order_acq_rel);
+  }
+
   // Test hook (BackendPool::CloseConnectionForTest): drops the wire as a
   // peer close would and defers the redial so the dead state is observable.
+  // Deliberately does NOT touch breaker accounting or fail the in-flight
+  // FIFO (legacy drop semantics): tests use it to construct dead-slot
+  // states, not to exercise the health plane.
   void ForceDropWireForTest(uint64_t redial_hold_ns) {
     std::lock_guard<std::mutex> lock(mutex_);
     if (wire_ != nullptr) {
-      Disconnect();
+      Disconnect(nullptr);
     } else {
       wire_state_.store(WireState::kDead, std::memory_order_release);
     }
@@ -124,12 +265,12 @@ class PoolConnTask : public runtime::Task {
   // request channel is FIFO, so everything the graph committed is already
   // serialized toward the wire) or is already detached. A DEAD wire also
   // counts as finished — one that was lost after being up (delivery is per
-  // byte stream, and the stream is gone) or whose dials are PERSISTENTLY
-  // failing (kDialFailuresUntilDead in a row; a never-answering backend must
-  // not pin departing graphs forever). "Not connected" merely because the
-  // first dial has not run yet — or missed once — does NOT count: graphs
-  // routinely finish before the initial dial on a loaded host, and their
-  // queued requests must survive until the wire comes up.
+  // byte stream, and the stream is gone) or whose backend's circuit breaker
+  // opened (a never-answering backend must not pin departing graphs
+  // forever). "Not connected" merely because the first dial has not run yet
+  // — or missed once — does NOT count: graphs routinely finish before the
+  // initial dial on a loaded host, and their queued requests must survive
+  // until the wire comes up.
   //
   // Runs on the poller thread from a wheel timer, so it must never wait on
   // mutex_ (held across whole run slices, including transport writes): a
@@ -160,6 +301,39 @@ class PoolConnTask : public runtime::Task {
 
   runtime::TaskRunResult Run(runtime::TaskContext& ctx) override;
 
+  // --- cross-conn hand-off (called by pool/siblings, NO conn lock held) -----
+
+  // Re-issue a request whose previous wire died. The entry keeps its origin
+  // so the response (or failure) is handed back there for reply routing.
+  void InjectRetry(PendingEntry&& entry) {
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      retry_inbox_.push_back(std::move(entry));
+    }
+    NotifySelf();
+  }
+
+  // A response another conn read for a lease WE own (retried request came
+  // home). Delivered through our Run slice: we are the lease's bound reply
+  // producer, so only we may push its channel.
+  void InjectForeignReply(uint64_t lease_id, runtime::MsgRef&& msg) {
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      foreign_replies_.emplace_back(lease_id, std::move(msg));
+    }
+    NotifySelf();
+  }
+
+  // A request of ours failed remotely (retry denied or re-failed): deliver
+  // the kError reply from our own slice.
+  void InjectFailure(uint64_t lease_id) {
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      fail_queue_.push_back(lease_id);
+    }
+    NotifySelf();
+  }
+
   // --- stats (relaxed; summed by BackendPool::stats) -------------------------
   std::atomic<uint64_t> dials_ok{0};
   std::atomic<uint64_t> dial_failures{0};
@@ -169,11 +343,15 @@ class PoolConnTask : public runtime::Task {
   std::atomic<uint64_t> responses_routed{0};
   std::atomic<uint64_t> responses_dropped{0};
   std::atomic<uint64_t> response_parse_errors{0};
+  std::atomic<uint64_t> request_deadline_expiries{0};
+  std::atomic<uint64_t> requests_failed{0};
   std::atomic<uint64_t> pipeline_hwm{0};
   runtime::WriteBatchCounters batch;
   runtime::ReadBatchCounters read_batch;
 
  private:
+  friend class BackendPool;
+
   struct LeaseSlot {
     uint64_t lease_id;
     runtime::Channel* requests;
@@ -182,7 +360,17 @@ class PoolConnTask : public runtime::Task {
     bool finished;  // streaming leg consumed its EOF
   };
 
-  // All helpers below run under mutex_.
+  // All helpers below run under mutex_ (except NotifySelf).
+
+  runtime::TaskRunResult RunLocked(runtime::TaskContext& ctx,
+                                   PoolOutbox& outbox);
+
+  void NotifySelf() {
+    runtime::Scheduler* scheduler = pool_->scheduler_;
+    if (scheduler != nullptr) {
+      scheduler->NotifyRunnable(this);
+    }
+  }
 
   bool EnsureWire() {
     if (wire_ != nullptr) {
@@ -191,19 +379,29 @@ class PoolConnTask : public runtime::Task {
     if (MonotonicNanos() < next_dial_at_ns_.load(std::memory_order_relaxed)) {
       return false;
     }
+    bool is_probe = false;
+    if (health_ != nullptr && !health_->AllowDial(&is_probe)) {
+      // Circuit open, or the half-open probe is already claimed by a
+      // sibling: do not dial. Pace the next check like a failed dial.
+      next_dial_at_ns_.store(
+          MonotonicNanos() + pool_->config_.redial_interval_ns,
+          std::memory_order_release);
+      return false;
+    }
     auto conn = transport_->Connect(port_);
     if (!conn.ok()) {
       dial_failures.fetch_add(1, std::memory_order_relaxed);
-      // PERSISTENTLY failing wires are dead for retirement purposes (a
-      // backend that never answers must not pin departing graphs), but one
-      // transient miss is not death — queued requests survive a blip and
-      // flush on the next dial, as Acquire()'s "requests queue until
-      // redial" promises.
-      if (++consecutive_dial_failures_ >= kDialFailuresUntilDead) {
-        wire_state_.store(WireState::kDead, std::memory_order_release);
+      if (health_ != nullptr) {
+        // Breaker accounting decides death now (it opens after the
+        // configured failure run and marks every sibling dead); one
+        // transient miss is not death — queued requests survive a blip
+        // and flush on the next dial, as Acquire()'s "requests queue
+        // until redial" promises.
+        health_->OnDialResult(false, is_probe);
       }
-      next_dial_at_ns_.store(MonotonicNanos() + pool_->config_.redial_interval_ns,
-                             std::memory_order_release);
+      next_dial_at_ns_.store(
+          MonotonicNanos() + pool_->config_.redial_interval_ns,
+          std::memory_order_release);
       return false;
     }
     wire_ = std::move(conn).value();
@@ -212,16 +410,21 @@ class PoolConnTask : public runtime::Task {
       reconnects.fetch_add(1, std::memory_order_relaxed);
     }
     ever_connected_ = true;
-    consecutive_dial_failures_ = 0;
     wire_state_.store(WireState::kConnected, std::memory_order_release);
+    if (health_ != nullptr) {
+      health_->OnDialResult(true, is_probe);
+    }
     poller_->WatchConnection(wire_.get(), this);
     return true;
   }
 
-  // Tears the wire down and abandons correlation state: every in-flight
-  // request's response is gone with the old byte stream, so the FIFO must be
-  // cleared or later responses would be routed to the wrong lease.
-  void Disconnect() {
+  // Tears the wire down and routes the abandoned correlation state: every
+  // in-flight request's response is gone with the old byte stream, so each
+  // FIFO entry either retries on another wire (policy + retained request +
+  // attempts left; the pool decides budget/target in DispatchOutbox), fails
+  // back to its origin conn, or fails locally as a kError reply. A null
+  // outbox (test hook) keeps the legacy drop-counting semantics.
+  void Disconnect(PoolOutbox* outbox) {
     if (wire_ != nullptr) {
       poller_->UnwatchConnection(wire_.get());
       wire_->Close();
@@ -229,8 +432,26 @@ class PoolConnTask : public runtime::Task {
     }
     wire_state_.store(WireState::kDead, std::memory_order_release);
     disconnects.fetch_add(1, std::memory_order_relaxed);
-    responses_dropped.fetch_add(pending_.size(), std::memory_order_relaxed);
-    pending_.clear();
+    if (outbox == nullptr) {
+      responses_dropped.fetch_add(pending_.size(), std::memory_order_relaxed);
+      pending_.clear();
+    } else {
+      const bool retryable = pool_->config_.retry_policy != RetryPolicy::kNone;
+      const uint32_t max_retries = pool_->config_.max_retries_per_request;
+      for (PendingEntry& entry : pending_) {
+        if (retryable && entry.request && entry.attempts < max_retries) {
+          if (entry.origin == nullptr) {
+            entry.origin = this;
+          }
+          outbox->retries.push_back(std::move(entry));
+        } else if (entry.origin != nullptr && entry.origin != this) {
+          outbox->fails.push_back({entry.origin, entry.lease_id});
+        } else {
+          fail_queue_.push_back(entry.lease_id);
+        }
+      }
+      pending_.clear();
+    }
     rx_.Clear();  // also returns the reserved fill window to the pool
     tx_.Clear();
     fill_window_.Reset();  // the next wire earns its window back
@@ -241,9 +462,11 @@ class PoolConnTask : public runtime::Task {
                            std::memory_order_release);
   }
 
-  // Delivers a parsed response to its lease. False when the reply channel is
-  // full (the channel wakes us as its bound producer once drained).
+  // Delivers a parsed response (or synthesized kError) to its lease. False
+  // when the reply channel is full (the channel wakes us as its bound
+  // producer once drained).
   bool RouteReply(runtime::MsgRef&& msg, uint64_t lease_id) {
+    const bool is_error = msg->kind == runtime::Msg::Kind::kError;
     const auto it = lease_index_.find(lease_id);
     if (it == lease_index_.end()) {
       responses_dropped.fetch_add(1, std::memory_order_relaxed);  // lease gone
@@ -260,8 +483,126 @@ class PoolConnTask : public runtime::Task {
       stalled_reply_lease_ = lease_id;
       return false;
     }
-    responses_routed.fetch_add(1, std::memory_order_relaxed);
+    if (is_error) {
+      requests_failed.fetch_add(1, std::memory_order_relaxed);
+    } else {
+      responses_routed.fetch_add(1, std::memory_order_relaxed);
+    }
     return true;
+  }
+
+  // Synthesizes and routes the queued kError replies (fail_queue_) and the
+  // foreign responses handed back by retry targets. Deliverable regardless
+  // of wire state — that is the point: a dead backend still answers its
+  // leases, with errors. False when a reply channel filled (stalled_reply_
+  // holds the undeliverable message).
+  bool DrainHandbacksLocked() {
+    while (!fail_queue_.empty()) {
+      const uint64_t lease_id = fail_queue_.front();
+      fail_queue_.pop_front();
+      runtime::MsgRef msg = msgs_->Acquire();
+      msg->kind = runtime::Msg::Kind::kError;
+      msg->bytes = "backend unavailable";
+      if (!RouteReply(std::move(msg), lease_id)) {
+        return false;
+      }
+    }
+    while (!foreign_replies_.empty()) {
+      const uint64_t lease_id = foreign_replies_.front().first;
+      runtime::MsgRef msg = std::move(foreign_replies_.front().second);
+      foreign_replies_.pop_front();
+      if (!RouteReply(std::move(msg), lease_id)) {
+        return false;
+      }
+    }
+    return true;
+  }
+
+  // Open circuit, wire down: everything queued fails fast instead of
+  // waiting out the open window. Retry-eligible requests go to the outbox
+  // (the pool may still re-issue them on a healthy sibling backend);
+  // everything else becomes a kError reply. EOFs still finish their leg —
+  // an open breaker must not pin a departing graph.
+  void FailFastLocked(PoolOutbox& outbox) {
+    for (PendingEntry& entry : retry_inbox_) {
+      if (entry.origin != nullptr && entry.origin != this) {
+        outbox.fails.push_back({entry.origin, entry.lease_id});
+      } else {
+        fail_queue_.push_back(entry.lease_id);
+      }
+    }
+    retry_inbox_.clear();
+    const bool retryable = pool_->config_.retry_policy != RetryPolicy::kNone;
+    for (LeaseSlot& slot : leases_) {
+      while (true) {
+        runtime::MsgRef msg = slot.requests->TryPop();
+        if (!msg) {
+          break;
+        }
+        if (msg->kind == runtime::Msg::Kind::kEof) {
+          slot.finished = true;
+          continue;
+        }
+        if (slot.streaming) {
+          // No response expected, so no kError either: the bytes just
+          // cannot be delivered.
+          requests_failed.fetch_add(1, std::memory_order_relaxed);
+          continue;
+        }
+        if (retryable && pool_->config_.max_retries_per_request > 0) {
+          PendingEntry entry;
+          entry.lease_id = slot.lease_id;
+          entry.request = std::move(msg);
+          entry.origin = this;
+          outbox.retries.push_back(std::move(entry));
+        } else {
+          fail_queue_.push_back(slot.lease_id);
+        }
+      }
+    }
+  }
+
+  // Serializes re-issued requests onto our (live) wire; each gets a fresh
+  // deadline and keeps its origin so the response routes home.
+  void DrainRetryInboxLocked(PoolOutbox& outbox) {
+    const uint64_t deadline_base = pool_->config_.request_deadline_ns;
+    while (!retry_inbox_.empty()) {
+      PendingEntry entry = std::move(retry_inbox_.front());
+      retry_inbox_.pop_front();
+      if (!entry.request || !serializer_->Serialize(*entry.request, tx_).ok()) {
+        if (entry.origin != nullptr && entry.origin != this) {
+          outbox.fails.push_back({entry.origin, entry.lease_id});
+        } else {
+          fail_queue_.push_back(entry.lease_id);
+        }
+        continue;
+      }
+      ++msgs_since_flush_;
+      entry.deadline_ns =
+          deadline_base > 0 ? MonotonicNanos() + deadline_base : 0;
+      requests_forwarded.fetch_add(1, std::memory_order_relaxed);
+      pending_.push_back(std::move(entry));
+      runtime::AtomicStoreMax(pipeline_hwm, pending_.size());
+    }
+  }
+
+  // Keeps the conn's single deadline timer tracking the FIFO head. Entries
+  // behind the head can only be LATER (FIFO append order with a fixed
+  // per-request budget), so one timer per conn suffices.
+  void ArmDeadlineLocked() {
+    const uint64_t want = pending_.empty() ? 0 : pending_.front().deadline_ns;
+    if (want == armed_deadline_) {
+      return;
+    }
+    runtime::TimerWheel& wheel = poller_->wheel();
+    if (want == 0) {
+      wheel.Cancel(&deadline_entry_);
+    } else if (deadline_entry_.pending()) {
+      wheel.Rearm(&deadline_entry_, want);
+    } else {
+      wheel.Arm(&deadline_entry_, want);
+    }
+    armed_deadline_ = want;
   }
 
   // Writes buffered bytes as vectored batches (one transport call covers up
@@ -275,16 +616,14 @@ class PoolConnTask : public runtime::Task {
   Transport* transport_;
   runtime::IoPoller* poller_;
   runtime::MsgPool* msgs_;
+  const size_t stripe_;
+  const size_t backend_index_;
+  BackendHealth* const health_;
 
   std::mutex mutex_;
   std::unique_ptr<Connection> wire_;
-  // Consecutive failed dials before the wire counts as dead for the
-  // retirement gate. With millisecond redial pacing a truly dead backend
-  // crosses this within a few ms; a single blip does not.
-  static constexpr uint32_t kDialFailuresUntilDead = 3;
 
   bool ever_connected_ = false;  // guarded by mutex_ (reconnect accounting)
-  uint32_t consecutive_dial_failures_ = 0;  // guarded by mutex_
   std::atomic<WireState> wire_state_{WireState::kNeverTried};
   std::atomic<uint64_t> next_dial_at_ns_{0};
 
@@ -298,26 +637,250 @@ class PoolConnTask : public runtime::Task {
   std::unordered_map<uint64_t, size_t> lease_index_;  // lease id -> leases_ slot
   size_t next_lease_ = 0;              // round-robin drain cursor
   uint64_t msgs_since_flush_ = 0;      // requests in the current write batch
-  std::deque<uint64_t> pending_;       // lease id per in-flight request (FIFO)
+  std::deque<PendingEntry> pending_;   // in-flight request FIFO
   runtime::MsgRef parse_msg_;          // in-progress response parse target
   runtime::MsgRef stalled_reply_;      // parsed response its channel rejected
   uint64_t stalled_reply_lease_ = 0;
+
+  // Response-deadline timer for the FIFO head (stripe's shard wheel).
+  runtime::TimerEntry deadline_entry_;
+  uint64_t armed_deadline_ = 0;             // guarded by mutex_
+  std::atomic<bool> deadline_fired_{false};  // set by the wheel fire path
+
+  // Cross-conn inboxes (guarded by mutex_; fed by Inject* with no other
+  // lock held, drained by RunLocked).
+  std::deque<PendingEntry> retry_inbox_;
+  std::deque<std::pair<uint64_t, runtime::MsgRef>> foreign_replies_;
+  std::deque<uint64_t> fail_queue_;
 };
 
+// ---------------------------------------------------------------------------
+// BackendHealth
+// ---------------------------------------------------------------------------
+
+void BackendHealth::Init(BackendPool* pool, runtime::TimerWheel* wheel,
+                         std::vector<PoolConnTask*> conns) {
+  pool_ = pool;
+  wheel_ = wheel;
+  conns_ = std::move(conns);
+  open_entry_.on_fire = [this] { OnOpenTimerFired(); };
+}
+
+bool BackendHealth::AllowDial(bool* is_probe) {
+  *is_probe = false;
+  const State s = state();
+  if (s == State::kClosed) {
+    return true;  // hot path: no lock while healthy
+  }
+  if (s == State::kOpen) {
+    return false;
+  }
+  std::lock_guard<std::mutex> lock(mu_);
+  if (state_.load(std::memory_order_relaxed) != State::kHalfOpen ||
+      probe_outstanding_) {
+    return false;
+  }
+  probe_outstanding_ = true;
+  *is_probe = true;
+  return true;
+}
+
+void BackendHealth::OnDialResult(bool ok, bool is_probe) {
+  bool closed = false;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (ok) {
+      if (is_probe) {
+        probe_outstanding_ = false;
+      }
+      if (state_.load(std::memory_order_relaxed) == State::kHalfOpen) {
+        CloseLocked();
+        closed = true;
+      }
+      // A successful dial in kClosed does NOT reset the failure run: a
+      // backend that accepts and immediately closes must keep counting
+      // (only a routed response proves health; see OnResponseRouted).
+    } else if (is_probe) {
+      probe_outstanding_ = false;
+      OpenLocked();  // probe failed: full open window again
+    } else if (state_.load(std::memory_order_relaxed) == State::kClosed &&
+               consecutive_failures_.fetch_add(1, std::memory_order_relaxed) +
+                       1 >=
+                   pool_->config_.breaker_failure_threshold) {
+      OpenLocked();
+    }
+  }
+  if (closed) {
+    NotifyConns();  // siblings may dial again immediately
+  }
+}
+
+void BackendHealth::OnWireFailure() {
+  std::lock_guard<std::mutex> lock(mu_);
+  const State s = state_.load(std::memory_order_relaxed);
+  if (s == State::kOpen) {
+    return;
+  }
+  if (s == State::kHalfOpen) {
+    OpenLocked();  // the probe's wire died before proving anything
+    return;
+  }
+  if (consecutive_failures_.fetch_add(1, std::memory_order_relaxed) + 1 >=
+      pool_->config_.breaker_failure_threshold) {
+    OpenLocked();
+  }
+}
+
+void BackendHealth::OnResponseRouted() {
+  if (consecutive_failures_.load(std::memory_order_relaxed) == 0 &&
+      state_.load(std::memory_order_relaxed) == State::kClosed) {
+    return;  // steady-state fast path: two relaxed loads, no lock
+  }
+  bool closed = false;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    consecutive_failures_.store(0, std::memory_order_relaxed);
+    if (state_.load(std::memory_order_relaxed) == State::kHalfOpen) {
+      CloseLocked();
+      closed = true;
+    }
+  }
+  if (closed) {
+    NotifyConns();
+  }
+}
+
+void BackendHealth::OpenLocked() {
+  if (state_.load(std::memory_order_relaxed) == State::kOpen) {
+    return;
+  }
+  state_.store(State::kOpen, std::memory_order_release);
+  opens.fetch_add(1, std::memory_order_relaxed);
+  consecutive_failures_.store(0, std::memory_order_relaxed);
+  probe_outstanding_ = false;
+  MarkConnsDead();
+  const uint64_t at = MonotonicNanos() + pool_->config_.breaker_open_ns;
+  if (open_entry_.pending()) {
+    wheel_->Rearm(&open_entry_, at);
+  } else {
+    wheel_->Arm(&open_entry_, at);
+  }
+  // Wake the conns so queued requests fail fast instead of waiting out the
+  // open window (NotifyRunnable takes only scheduler locks; safe under mu_).
+  NotifyConns();
+}
+
+void BackendHealth::CloseLocked() {
+  if (state_.load(std::memory_order_relaxed) == State::kClosed) {
+    return;
+  }
+  state_.store(State::kClosed, std::memory_order_release);
+  closes.fetch_add(1, std::memory_order_relaxed);
+  consecutive_failures_.store(0, std::memory_order_relaxed);
+  probe_outstanding_ = false;
+}
+
+void BackendHealth::OnOpenTimerFired() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (state_.load(std::memory_order_relaxed) != State::kOpen) {
+      return;
+    }
+    state_.store(State::kHalfOpen, std::memory_order_release);
+    half_opens.fetch_add(1, std::memory_order_relaxed);
+    probe_outstanding_ = false;
+  }
+  NotifyConns();  // exactly one of them will claim the probe dial
+}
+
+void BackendHealth::NotifyConns() {
+  runtime::Scheduler* scheduler = pool_ != nullptr ? pool_->scheduler_ : nullptr;
+  if (scheduler == nullptr) {
+    return;
+  }
+  for (PoolConnTask* conn : conns_) {
+    scheduler->NotifyRunnable(conn);
+  }
+}
+
+void BackendHealth::MarkConnsDead() {
+  for (PoolConnTask* conn : conns_) {
+    conn->OnBreakerOpen();
+  }
+}
+
+// ---------------------------------------------------------------------------
+// PoolConnTask::Run
+// ---------------------------------------------------------------------------
+
 runtime::TaskRunResult PoolConnTask::Run(runtime::TaskContext& ctx) {
-  std::lock_guard<std::mutex> lock(mutex_);
-  if (!EnsureWire()) {
-    return runtime::TaskRunResult::kIdle;  // redial ticker re-kicks us
+  PoolOutbox outbox;
+  runtime::TaskRunResult result;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    result = RunLocked(ctx, outbox);
+  }
+  // Cross-conn work leaves the slice with NO lock held: delivering it while
+  // holding mutex_ would lock another conn's mutex under ours — the classic
+  // two-conn deadlock.
+  if (!outbox.empty()) {
+    pool_->DispatchOutbox(this, stripe_, backend_index_, std::move(outbox));
+  }
+  return result;
+}
+
+runtime::TaskRunResult PoolConnTask::RunLocked(runtime::TaskContext& ctx,
+                                               PoolOutbox& outbox) {
+  if (deadline_fired_.exchange(false, std::memory_order_acq_rel)) {
+    armed_deadline_ = 0;  // the wheel entry is spent; re-arm below if needed
   }
 
   // A response parsed on a previous slice that its reply channel rejected
-  // gates all further reads (per-lease ordering).
+  // gates all further routing (per-lease ordering).
   if (stalled_reply_) {
     runtime::MsgRef msg = std::move(stalled_reply_);
     if (!RouteReply(std::move(msg), stalled_reply_lease_)) {
       return runtime::TaskRunResult::kIdle;  // reply channel wakes its producer
     }
   }
+  if (!DrainHandbacksLocked()) {
+    return runtime::TaskRunResult::kIdle;
+  }
+
+  // Head-of-line response deadline: once the oldest in-flight response is
+  // overdue the byte stream's correlation is unknowable (everything behind
+  // it is suspect too), so the whole wire is dropped — one expiry event, one
+  // breaker failure — and the FIFO fails or retries.
+  if (!pending_.empty() && pending_.front().deadline_ns != 0 &&
+      MonotonicNanos() >= pending_.front().deadline_ns) {
+    request_deadline_expiries.fetch_add(1, std::memory_order_relaxed);
+    if (health_ != nullptr) {
+      health_->OnWireFailure();
+    }
+    Disconnect(&outbox);
+    if (!DrainHandbacksLocked()) {
+      ArmDeadlineLocked();
+      return runtime::TaskRunResult::kIdle;
+    }
+  }
+
+  if (!EnsureWire()) {
+    if (health_ != nullptr && health_->BreakerOpen()) {
+      FailFastLocked(outbox);
+      if (!DrainHandbacksLocked()) {
+        ArmDeadlineLocked();
+        return runtime::TaskRunResult::kIdle;
+      }
+    }
+    ArmDeadlineLocked();
+    return runtime::TaskRunResult::kIdle;  // redial ticker re-kicks us
+  }
+
+  DrainRetryInboxLocked(outbox);
+
+  const uint64_t deadline_base = pool_->config_.request_deadline_ns;
+  const bool retain_requests =
+      pool_->config_.retry_policy != RetryPolicy::kNone;
 
   while (true) {
     bool progress = false;
@@ -347,18 +910,31 @@ runtime::TaskRunResult PoolConnTask::Run(runtime::TaskContext& ctx) {
           // Disconnect BEFORE counting: tests (and operators) key off the
           // error counter, so the wire drop must already be visible when the
           // counter moves.
-          Disconnect();
+          if (health_ != nullptr) {
+            health_->OnWireFailure();
+          }
+          Disconnect(&outbox);
           response_parse_errors.fetch_add(1, std::memory_order_relaxed);
           return runtime::TaskRunResult::kMoreWork;
         }
         progress = true;
         runtime::MsgRef msg = std::move(parse_msg_);
-        uint64_t lease_id = 0;
+        PendingEntry entry;
         if (!pending_.empty()) {
-          lease_id = pending_.front();
+          entry = std::move(pending_.front());
           pending_.pop_front();
         }
-        if (!RouteReply(std::move(msg), lease_id)) {
+        if (health_ != nullptr) {
+          health_->OnResponseRouted();
+        }
+        if (entry.origin != nullptr && entry.origin != this) {
+          // A retried request that came home: the ORIGIN conn is the
+          // lease's bound reply producer, so the response is handed back
+          // through the outbox instead of pushed here.
+          outbox.replies.push_back(
+              {entry.origin, entry.lease_id, std::move(msg)});
+        } else if (!RouteReply(std::move(msg), entry.lease_id)) {
+          ArmDeadlineLocked();
           return runtime::TaskRunResult::kIdle;  // backpressure: stop reading
         }
         ctx.ItemDone();
@@ -373,7 +949,10 @@ runtime::TaskRunResult PoolConnTask::Run(runtime::TaskContext& ctx) {
       const runtime::FillOutcome fill = runtime::FillChainVectored(
           rx_, *wire_, fill_window_, read_batch, &fill_bytes);
       if (fill == runtime::FillOutcome::kError) {
-        Disconnect();  // peer closed; redial next run / ticker kick
+        if (health_ != nullptr) {
+          health_->OnWireFailure();
+        }
+        Disconnect(&outbox);  // peer closed; redial next run / ticker kick
         return runtime::TaskRunResult::kMoreWork;
       }
       if (fill == runtime::FillOutcome::kNoBuffers) {
@@ -442,14 +1021,22 @@ runtime::TaskRunResult PoolConnTask::Run(runtime::TaskContext& ctx) {
       if (!serializer_->Serialize(*msg, tx_).ok()) {
         // Partial serialization would corrupt the shared stream for every
         // lease on this wire: drop it and redial clean.
-        Disconnect();
+        Disconnect(&outbox);
         return runtime::TaskRunResult::kMoreWork;
       }
       ++msgs_since_flush_;
       if (!slot.streaming) {
         // Streaming legs expect no response: no correlation slot, no
         // pipeline-depth charge — that is the "non-pipelined" mode.
-        pending_.push_back(slot.lease_id);
+        PendingEntry entry;
+        entry.lease_id = slot.lease_id;
+        if (deadline_base > 0) {
+          entry.deadline_ns = MonotonicNanos() + deadline_base;
+        }
+        if (retain_requests) {
+          entry.request = std::move(msg);
+        }
+        pending_.push_back(std::move(entry));
         runtime::AtomicStoreMax(pipeline_hwm, pending_.size());
       }
       requests_forwarded.fetch_add(1, std::memory_order_relaxed);
@@ -457,20 +1044,29 @@ runtime::TaskRunResult PoolConnTask::Run(runtime::TaskContext& ctx) {
       if (watermark > 0 && tx_.readable() >= watermark) {
         batch.flushes_forced.fetch_add(1, std::memory_order_relaxed);
         if (!FlushWire()) {
-          Disconnect();
+          if (health_ != nullptr) {
+            health_->OnWireFailure();
+          }
+          Disconnect(&outbox);
           return runtime::TaskRunResult::kMoreWork;
         }
       }
       if (ctx.ShouldYield()) {
         if (!FlushWire()) {
-          Disconnect();
+          if (health_ != nullptr) {
+            health_->OnWireFailure();
+          }
+          Disconnect(&outbox);
         }
         return runtime::TaskRunResult::kMoreWork;
       }
     }
 
     if (!FlushWire()) {
-      Disconnect();
+      if (health_ != nullptr) {
+        health_->OnWireFailure();
+      }
+      Disconnect(&outbox);
       return runtime::TaskRunResult::kMoreWork;
     }
 
@@ -479,8 +1075,11 @@ runtime::TaskRunResult PoolConnTask::Run(runtime::TaskContext& ctx) {
     }
   }
 
+  ArmDeadlineLocked();
+
   // Unsent bytes with a writable transport mean more work now; everything
-  // else waits on a notification (wire readable, channel push, drain wake).
+  // else waits on a notification (wire readable, channel push, drain wake,
+  // deadline fire).
   return tx_.empty() ? runtime::TaskRunResult::kIdle : runtime::TaskRunResult::kMoreWork;
 }
 
@@ -516,11 +1115,21 @@ BackendPool::BackendPool(BackendPoolConfig config) : config_(std::move(config)) 
   if (config_.max_pipeline_depth == 0) {
     config_.max_pipeline_depth = 1;
   }
+  if (config_.breaker_failure_threshold == 0) {
+    config_.breaker_failure_threshold = 1;
+  }
 }
 
 BackendPool::~BackendPool() {
   for (const RedialTicker& ticker : redial_tickers_) {
     ticker.wheel->CancelPeriodic(ticker.token);
+  }
+  for (const auto& stripe : stripes_) {
+    for (const StripeBackend& backend : stripe->backends) {
+      if (backend.health != nullptr) {
+        backend.health->CancelTimer();
+      }
+    }
   }
 }
 
@@ -546,12 +1155,19 @@ Status BackendPool::EnsureStarted(runtime::PlatformEnv& env) {
     for (size_t b = 0; b < config_.ports.size(); ++b) {
       StripeBackend backend;
       backend.port = config_.ports[b];
+      backend.health = std::make_unique<internal::BackendHealth>();
       for (size_t c = 0; c < config_.conns_per_backend; ++c) {
         backend.conns.push_back(std::make_unique<internal::PoolConnTask>(
             "pool-" + std::to_string(config_.ports[b]) + "-s" + std::to_string(s) +
                 "-" + std::to_string(c),
-            this, config_.ports[b], env, poller, s));
+            this, config_.ports[b], env, poller, s, b, backend.health.get()));
       }
+      std::vector<internal::PoolConnTask*> conn_ptrs;
+      conn_ptrs.reserve(backend.conns.size());
+      for (const auto& conn : backend.conns) {
+        conn_ptrs.push_back(conn.get());
+      }
+      backend.health->Init(this, &poller->wheel(), std::move(conn_ptrs));
       backend.exclusive_claimed.assign(backend.conns.size(), 0);
       backend.active_leases.assign(backend.conns.size(), 0);
       stripe->backends.push_back(std::move(backend));
@@ -592,6 +1208,108 @@ Status BackendPool::EnsureStarted(runtime::PlatformEnv& env) {
     redial_tickers_.push_back({&wheel, ticker_token});
   }
   return OkStatus();
+}
+
+void BackendPool::DispatchOutbox(internal::PoolConnTask* from,
+                                 size_t stripe_index, size_t backend_index,
+                                 internal::PoolOutbox&& outbox) {
+  // Hand-backs first: they are owed to origin conns regardless of retry
+  // admission.
+  for (auto& reply : outbox.replies) {
+    reply.origin->InjectForeignReply(reply.lease_id, std::move(reply.msg));
+  }
+  for (const auto& fail : outbox.fails) {
+    fail.origin->InjectFailure(fail.lease_id);
+  }
+  if (outbox.retries.empty()) {
+    return;
+  }
+
+  Stripe& stripe = *stripes_[stripe_index];
+  const RetryPolicy policy = config_.retry_policy;
+  const size_t n_backends = stripe.backends.size();
+
+  // A healthy target: closed breaker, live wire, not the conn that just
+  // failed. Retries stay within the failing conn's stripe (share-nothing:
+  // the origin's reply channel lives on this shard's column).
+  auto healthy_conn =
+      [&](StripeBackend& backend) -> internal::PoolConnTask* {
+    if (backend.health != nullptr &&
+        backend.health->state() != internal::BackendHealth::State::kClosed) {
+      return nullptr;
+    }
+    for (const auto& conn : backend.conns) {
+      if (conn.get() != from && conn->connected()) {
+        return conn.get();
+      }
+    }
+    return nullptr;
+  };
+
+  for (auto& entry : outbox.retries) {
+    internal::PoolConnTask* target = nullptr;
+    if (entry.attempts < config_.max_retries_per_request) {
+      if (policy == RetryPolicy::kSameBackend) {
+        target = healthy_conn(stripe.backends[backend_index]);
+      } else if (policy == RetryPolicy::kAnyBackend) {
+        // Prefer a DIFFERENT backend than the one that just failed.
+        for (size_t k = 1; k <= n_backends && target == nullptr; ++k) {
+          target = healthy_conn(stripe.backends[(backend_index + k) % n_backends]);
+        }
+      }
+    }
+    if (target == nullptr || !TryTakeRetryToken()) {
+      retries_denied_.fetch_add(1, std::memory_order_relaxed);
+      internal::PoolConnTask* origin =
+          entry.origin != nullptr ? entry.origin : from;
+      origin->InjectFailure(entry.lease_id);
+      continue;
+    }
+    ++entry.attempts;
+    if (entry.origin == nullptr) {
+      entry.origin = from;
+    }
+    retries_spent_.fetch_add(1, std::memory_order_relaxed);
+    target->InjectRetry(std::move(entry));
+  }
+}
+
+bool BackendPool::TryTakeRetryToken() {
+  if (config_.retry_policy == RetryPolicy::kNone) {
+    return false;
+  }
+  std::lock_guard<std::mutex> lock(retry_mutex_);
+  const uint64_t now = MonotonicNanos();
+  if (retry_refill_ns_ == 0) {
+    retry_tokens_ = static_cast<double>(config_.retry_burst);
+  } else {
+    const double elapsed_s =
+        static_cast<double>(now - retry_refill_ns_) * 1e-9;
+    retry_tokens_ = std::min(static_cast<double>(config_.retry_burst),
+                             retry_tokens_ + elapsed_s * config_.retry_budget_per_sec);
+  }
+  retry_refill_ns_ = now;
+  if (retry_tokens_ < 1.0) {
+    return false;
+  }
+  retry_tokens_ -= 1.0;
+  return true;
+}
+
+bool BackendPool::BackendBreakerOpen(size_t backend_index) const {
+  if (!started_.load(std::memory_order_acquire)) {
+    return false;
+  }
+  if (backend_index >= config_.ports.size()) {
+    return false;
+  }
+  for (const auto& stripe : stripes_) {
+    const StripeBackend& backend = stripe->backends[backend_index];
+    if (backend.health == nullptr || !backend.health->BreakerOpen()) {
+      return false;
+    }
+  }
+  return true;
 }
 
 Result<PoolLease> BackendPool::AcquireFromStripe(size_t stripe_index) {
@@ -871,8 +1589,16 @@ BackendPoolStats BackendPool::stats() const {
   s.lease_waits = lease_waits_.load(std::memory_order_relaxed);
   s.stripes = stripes_.size();
   s.stripe_spills = stripe_spills_.load(std::memory_order_relaxed);
+  s.retries_spent = retries_spent_.load(std::memory_order_relaxed);
+  s.retries_denied = retries_denied_.load(std::memory_order_relaxed);
   for (const auto& stripe : stripes_) {
     for (const StripeBackend& backend : stripe->backends) {
+      if (backend.health != nullptr) {
+        s.breaker_opens += backend.health->opens.load(std::memory_order_relaxed);
+        s.breaker_half_opens +=
+            backend.health->half_opens.load(std::memory_order_relaxed);
+        s.breaker_closes += backend.health->closes.load(std::memory_order_relaxed);
+      }
       for (const auto& conn : backend.conns) {
         s.conns_dialed += conn->dials_ok.load(std::memory_order_relaxed);
         s.dial_failures += conn->dial_failures.load(std::memory_order_relaxed);
@@ -883,6 +1609,9 @@ BackendPoolStats BackendPool::stats() const {
         s.responses_dropped += conn->responses_dropped.load(std::memory_order_relaxed);
         s.response_parse_errors +=
             conn->response_parse_errors.load(std::memory_order_relaxed);
+        s.request_deadline_expiries +=
+            conn->request_deadline_expiries.load(std::memory_order_relaxed);
+        s.requests_failed += conn->requests_failed.load(std::memory_order_relaxed);
         const uint64_t hwm = conn->pipeline_hwm.load(std::memory_order_relaxed);
         if (hwm > s.max_pipeline_depth) {
           s.max_pipeline_depth = hwm;

@@ -55,6 +55,8 @@ class BackendPool;
 
 namespace internal {
 class PoolConnTask;
+class BackendHealth;
+struct PoolOutbox;
 }  // namespace internal
 
 struct BackendPoolConfig {
@@ -94,6 +96,36 @@ struct BackendPoolConfig {
   // Minimum spacing between redial attempts for a disconnected connection.
   uint64_t redial_interval_ns = 1'000'000;
 
+  // --- health plane --------------------------------------------------------
+
+  // Response deadline per in-flight request, armed on the stripe's shard
+  // wheel when the request enters the wire FIFO. Expiry drops the wire (the
+  // byte stream's correlation is unknowable once the head response is
+  // overdue), fails or retries the in-flight entries, and counts a breaker
+  // failure. 0 disables (the raw-config default, so channel-level tests that
+  // deliberately park requests keep their semantics; services arm it via
+  // WireOptions).
+  uint64_t request_deadline_ns = 0;
+
+  // Circuit breaker per (backend, stripe): consecutive failures — failed
+  // dials, lost wires, deadline expiries, parse errors — before the circuit
+  // opens. While open every dial is refused and queued requests fail fast;
+  // after breaker_open_ns one half-open probe dial is allowed, its outcome
+  // closing or re-opening the circuit. This is the single source of truth
+  // for "this backend is down" (it replaced the per-conn 3-strikes counter).
+  uint32_t breaker_failure_threshold = 3;
+  uint64_t breaker_open_ns = 100'000'000;
+
+  // Retry policy for requests whose wire died or deadline expired (see
+  // services::RetryPolicy for semantics + the response-ordering caveat).
+  RetryPolicy retry_policy = RetryPolicy::kNone;
+  uint32_t max_retries_per_request = 1;
+
+  // Pool-wide retry token bucket: a flapping backend must not amplify load
+  // into a retry storm. Exhaustion fails the request (retries_denied).
+  double retry_budget_per_sec = 100.0;
+  uint32_t retry_burst = 32;
+
   // Wire codecs: requests out, responses in. The deserializer must frame
   // complete responses (response correlation is per-message).
   std::function<std::unique_ptr<runtime::Serializer>()> make_serializer;
@@ -124,6 +156,15 @@ struct BackendPoolStats {
   uint64_t stripes = 0;             // layout: stripes the pool was started with
   uint64_t stripe_spills = 0;       // leases that left their home stripe
   uint64_t live_connections = 0;    // snapshot, not monotonic
+
+  // --- health plane --------------------------------------------------------
+  uint64_t breaker_opens = 0;       // closed/half-open -> open transitions
+  uint64_t breaker_half_opens = 0;  // open -> half-open (probe window armed)
+  uint64_t breaker_closes = 0;      // half-open -> closed (probe succeeded)
+  uint64_t request_deadline_expiries = 0;  // deadline events (one per wire drop)
+  uint64_t requests_failed = 0;     // kError replies delivered to legs
+  uint64_t retries_spent = 0;       // re-issues that found a healthy target
+  uint64_t retries_denied = 0;      // budget/attempts/target exhausted
 };
 
 // Move-only claim on one pooled connection per backend. Handed out by
@@ -235,6 +276,12 @@ class BackendPool {
   // route correctly).
   void Release(PoolLease& lease);
 
+  // True when EVERY stripe's circuit breaker for `backend_index` is open —
+  // i.e. no stripe will dial or serve this backend right now. Services use
+  // it to drop open-circuit backends from rotation (http_lb) or to trigger
+  // degrade paths (memcached serve-stale). Lock-free (atomic state reads).
+  bool BackendBreakerOpen(size_t backend_index) const;
+
   size_t backend_count() const { return config_.ports.size(); }
   size_t conns_per_backend() const { return config_.conns_per_backend; }
   // Stripes the pool was started with (0 before EnsureStarted).
@@ -257,13 +304,16 @@ class BackendPool {
 
  private:
   friend class internal::PoolConnTask;
+  friend class internal::BackendHealth;
 
   // One backend's slice of one stripe. All fields are guarded by the owning
   // stripe's mutex except `conns`, whose LAYOUT is immutable after
-  // EnsureStarted (the tasks themselves carry their own locks/atomics).
+  // EnsureStarted (the tasks themselves carry their own locks/atomics), and
+  // `health`, which carries its own leaf lock.
   struct StripeBackend {
     uint16_t port = 0;
     std::vector<std::unique_ptr<internal::PoolConnTask>> conns;
+    std::unique_ptr<internal::BackendHealth> health;  // circuit breaker
     size_t next_rr = 0;  // round-robin lease placement cursor
     std::vector<uint8_t> exclusive_claimed;  // per slot
     std::vector<uint32_t> active_leases;     // per slot
@@ -281,6 +331,17 @@ class BackendPool {
   // lease bookkeeping only when every backend yielded a slot.
   Result<PoolLease> AcquireFromStripe(size_t stripe);
   Result<PoolLease> AcquireExclusiveFromStripe(size_t backend_index, size_t stripe);
+
+  // Delivers a run slice's cross-connection work — retries to re-issue,
+  // foreign replies/failures to hand back to origin tasks — with NO conn
+  // mutex held (the caller's Run wrapper already dropped its own). Retries
+  // take a budget token and a healthy target here; entries that get neither
+  // fail back to their origin.
+  void DispatchOutbox(internal::PoolConnTask* from, size_t stripe_index,
+                      size_t backend_index, internal::PoolOutbox&& outbox);
+
+  // Token-bucket admission for one retry. Lock-bound but failure-path only.
+  bool TryTakeRetryToken();
 
   BackendPoolConfig config_;
 
@@ -304,6 +365,13 @@ class BackendPool {
   std::atomic<uint64_t> leases_released_{0};
   std::atomic<uint64_t> lease_waits_{0};
   std::atomic<uint64_t> stripe_spills_{0};
+
+  // Retry token bucket (failure path only, so a plain mutex is fine).
+  std::mutex retry_mutex_;
+  double retry_tokens_ = 0.0;          // guarded by retry_mutex_
+  uint64_t retry_refill_ns_ = 0;       // guarded by retry_mutex_; 0 = unfilled
+  std::atomic<uint64_t> retries_spent_{0};
+  std::atomic<uint64_t> retries_denied_{0};
 };
 
 }  // namespace flick::services

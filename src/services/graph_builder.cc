@@ -26,6 +26,9 @@ void CopyMsg(runtime::Msg& dst, const runtime::Msg& src) {
       break;
     case runtime::Msg::Kind::kEof:
       break;
+    case runtime::Msg::Kind::kError:
+      dst.bytes = src.bytes;  // reason string
+      break;
   }
 }
 

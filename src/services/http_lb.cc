@@ -28,8 +28,35 @@ void HttpLbService::OnConnection(std::unique_ptr<Connection> conn,
                                  runtime::PlatformEnv& env) {
   // Backend selection: "a naive hash of the source IP and port and
   // destination IP and port" — the connection id plays the 4-tuple's role on
-  // the simulated fabric. Sticky for the connection's lifetime.
-  const size_t backend_index = MixU64(conn->id()) % backends_.size();
+  // the simulated fabric. Sticky for the connection's lifetime. With the
+  // health plane armed, open-circuit backends drop out of rotation: the
+  // probe walks forward from the hashed index to the first backend whose
+  // breaker is not open, so a downed backend sheds its share onto healthy
+  // siblings instead of queueing requests against a known outage.
+  size_t backend_index = MixU64(conn->id()) % backends_.size();
+  if (options_.wire.mode == BackendMode::kPooled) {
+    bool found = false;
+    for (size_t k = 0; k < backends_.size(); ++k) {
+      const size_t cand = (backend_index + k) % backends_.size();
+      if (!pool_->BackendBreakerOpen(cand)) {
+        backend_index = cand;
+        found = true;
+        break;
+      }
+    }
+    if (!found) {
+      // Every circuit is open: answer 502 immediately and close, without
+      // building a graph — a fleet-wide outage must fail fast, not pile
+      // connections onto dead wires until the detach timeout.
+      static constexpr char k502[] =
+          "HTTP/1.1 502 Bad Gateway\r\nContent-Length: 0\r\n"
+          "Connection: close\r\n\r\n";
+      (void)conn->Write(k502, sizeof(k502) - 1);
+      conn->Close();
+      fast_fails_.fetch_add(1, std::memory_order_relaxed);
+      return;
+    }
+  }
 
   GraphBuilder b("http-lb", env);
   // One watermark for the whole write path: the pool config batches the
@@ -70,6 +97,20 @@ void HttpLbService::OnConnection(std::unique_ptr<Connection> conn,
                       emit.Emit(o, std::move(eof));
                     }
                     return runtime::HandleResult::kConsumed;
+                  }
+                  if (msg.kind == runtime::Msg::Kind::kError) {
+                    // The pooled leg failed this request (deadline expiry,
+                    // open circuit, lost wire with no retry left): its FIFO
+                    // position is already spent, so answer 502 and ask the
+                    // client to close — a single emit keeps the failure
+                    // path idempotent under kBlocked retries.
+                    runtime::MsgRef rsp = emit.NewMsg();
+                    rsp->kind = runtime::Msg::Kind::kHttp;
+                    rsp->http = proto::MakeResponse(502, "",
+                                                    /*keep_alive=*/false);
+                    return emit.Emit(1, std::move(rsp))
+                               ? runtime::HandleResult::kConsumed
+                               : runtime::HandleResult::kBlocked;
                   }
                   const size_t out = input_index == 0 ? 0 : 1;
                   runtime::MsgRef fwd = emit.NewMsg();

@@ -42,6 +42,10 @@ class HttpLbService : public runtime::ServiceProgram {
   void OnConnection(std::unique_ptr<Connection> conn, runtime::PlatformEnv& env) override;
 
   uint64_t requests() const { return requests_.load(std::memory_order_relaxed); }
+
+  // Connections answered with an immediate 502 + close because every
+  // backend's circuit breaker was open at accept time (no graph is built).
+  uint64_t fast_fails() const { return fast_fails_.load(std::memory_order_relaxed); }
   size_t live_graphs() const { return registry_.live_graphs(); }
   const GraphRegistry& registry() const { return registry_; }
 
@@ -53,6 +57,7 @@ class HttpLbService : public runtime::ServiceProgram {
   Options options_;
   std::unique_ptr<BackendPool> pool_;
   std::atomic<uint64_t> requests_{0};
+  std::atomic<uint64_t> fast_fails_{0};
   GraphRegistry registry_;
 };
 

@@ -75,6 +75,20 @@ NodeRef MemcachedProxyService::DispatchStage(GraphBuilder& b, size_t n) {
           requests_.fetch_add(1, std::memory_order_relaxed);
           return runtime::HandleResult::kConsumed;
         }
+        if (msg.kind == runtime::Msg::Kind::kError) {
+          // The backend leg failed this request (deadline expiry, open
+          // circuit, lost wire): answer INTERNAL_ERROR in its FIFO position
+          // so the client fails fast instead of hanging. The plain stage
+          // keeps no per-request state, so opcode/opaque cannot be echoed.
+          runtime::MsgRef resp = emit.NewMsg();
+          resp->kind = runtime::Msg::Kind::kGrammar;
+          proto::BuildResponse(&resp->gmsg, proto::kMemcachedGet,
+                               proto::kMemcachedStatusInternalError,
+                               /*key=*/{}, /*value=*/msg.bytes);
+          return emit.Emit(n, std::move(resp))
+                     ? runtime::HandleResult::kConsumed
+                     : runtime::HandleResult::kBlocked;
+        }
         // Response from a backend: forward to the client (output n).
         runtime::MsgRef resp = emit.NewMsg();
         resp->kind = runtime::Msg::Kind::kGrammar;
@@ -112,14 +126,20 @@ NodeRef MemcachedProxyService::CachingDispatchStage(GraphBuilder& b, size_t n,
     std::string key;
     uint64_t epoch = 0;  // kPopulate: epoch snapshotted before the fetch
     Kind kind = Kind::kNone;
+    // Echoed into the synthesized reply when the leg FAILS the flight
+    // (degrade-to-cache / INTERNAL_ERROR paths).
+    uint8_t opcode = proto::kMemcachedGet;
+    uint32_t opaque = 0;
   };
   // Per-graph flight FIFOs, one per backend leg; the stage handler is the
   // only reader and writer (a graph's stage runs single-threaded).
   auto flights = std::make_shared<std::vector<std::deque<Flight>>>(n);
   CacheCounters* counters = &registry_.cache_counters();
   const CacheOptions cache = options_.cache;
+  // Last-known-good copies live beside the cache dict, never invalidated.
+  const std::string stale_dict = cache.dict + "/stale";
   return b.Stage(
-      "dispatch", [this, n, store, flights, counters, cache](
+      "dispatch", [this, n, store, flights, counters, cache, stale_dict](
                       runtime::Msg& msg, size_t input_index,
                       runtime::EmitContext& emit) {
         if (msg.kind == runtime::Msg::Kind::kEof) {
@@ -167,6 +187,8 @@ NodeRef MemcachedProxyService::CachingDispatchStage(GraphBuilder& b, size_t n,
           // Miss or non-GET: proxy through the backend plane.
           const size_t target = HashBytes(cmd.key()) % n;
           Flight flight;
+          flight.opcode = op;
+          flight.opaque = cmd.opaque();
           if (is_get) {
             flight.key = std::string(cmd.key());
             // Snapshot BEFORE the fetch is issued: any invalidation that
@@ -205,6 +227,34 @@ NodeRef MemcachedProxyService::CachingDispatchStage(GraphBuilder& b, size_t n,
           flight = std::move(leg.front());
           leg.pop_front();
         }
+        if (msg.kind == runtime::Msg::Kind::kError) {
+          // The leg failed this flight (deadline expiry, open circuit, lost
+          // wire with no retry left). A failed GET degrades to the
+          // last-known-good copy when one exists — outage availability over
+          // freshness; everything else answers INTERNAL_ERROR so the client
+          // fails fast instead of hanging to the detach timeout.
+          runtime::MsgRef resp = emit.NewMsg();
+          resp->kind = runtime::Msg::Kind::kGrammar;
+          if (flight.kind == Flight::Kind::kPopulate && cache.serve_stale) {
+            if (std::optional<std::string> stale =
+                    store->Get(stale_dict, flight.key)) {
+              proto::BuildResponse(&resp->gmsg, flight.opcode,
+                                   proto::kMemcachedStatusOk,
+                                   flight.opcode == proto::kMemcachedGetK
+                                       ? std::string_view(flight.key)
+                                       : std::string_view{},
+                                   *stale, flight.opaque);
+              emit.Emit(n, std::move(resp));
+              counters->stale_served.fetch_add(1, std::memory_order_relaxed);
+              return runtime::HandleResult::kConsumed;
+            }
+          }
+          proto::BuildResponse(&resp->gmsg, flight.opcode,
+                               proto::kMemcachedStatusInternalError,
+                               /*key=*/{}, /*value=*/msg.bytes, flight.opaque);
+          emit.Emit(n, std::move(resp));
+          return runtime::HandleResult::kConsumed;
+        }
         if (flight.kind == Flight::Kind::kPopulate) {
           proto::MemcachedCommand resp(&msg.gmsg);
           if (resp.status() == proto::kMemcachedStatusOk &&
@@ -213,6 +263,12 @@ NodeRef MemcachedProxyService::CachingDispatchStage(GraphBuilder& b, size_t n,
                                    std::string(resp.value()), flight.epoch)) {
               counters->stale_populates_dropped.fetch_add(
                   1, std::memory_order_relaxed);
+            }
+            if (cache.serve_stale) {
+              // Last-known-good copy for degrade-to-cache: a plain Put,
+              // deliberately exempt from invalidate-wins — staleness is the
+              // feature when the backend is gone.
+              store->Put(stale_dict, flight.key, std::string(resp.value()));
             }
           }
         } else if (flight.kind == Flight::Kind::kInvalidate) {

@@ -21,9 +21,11 @@
 // backend; misses are proxied as usual and populate the store on the
 // response path under the invalidate-wins epoch protocol
 // (StateStore::InvalidationEpoch / PutIfFresh); SET and other keyed writes
-// write through to the backend and invalidate the cached entry. Counters
-// land in RegistryStats{cache_hits, cache_misses, cache_invalidations,
-// cache_stale_populates_dropped}.
+// write through to the backend and invalidate the cached entry. When a
+// backend leg fails a GET outright (kError from the health plane), cache
+// mode degrades to the last-known-good copy (CacheOptions::serve_stale).
+// Counters land in RegistryStats{cache_hits, cache_misses,
+// cache_invalidations, cache_stale_populates_dropped, cache_stale_served}.
 #ifndef FLICK_SERVICES_MEMCACHED_PROXY_H_
 #define FLICK_SERVICES_MEMCACHED_PROXY_H_
 
@@ -49,6 +51,13 @@ class MemcachedProxyService : public runtime::ServiceProgram {
     std::string dict = "memcached-cache";
     // Responses with values larger than this are proxied but never cached.
     size_t max_value_bytes = 64 * 1024;
+    // Degrade-to-cache: keep a last-known-good copy of every populated
+    // value in `dict + "/stale"` (plain Put — deliberately exempt from the
+    // invalidate-wins protocol) and serve it when a backend leg FAILS a GET
+    // (deadline expiry, open circuit, lost wire with no retry left). Stale
+    // by design: outage availability over freshness. Counted in
+    // RegistryStats::cache_stale_served.
+    bool serve_stale = true;
   };
 
   struct Options {

@@ -28,6 +28,25 @@ inline constexpr uint64_t kInheritLifetimeNs = UINT64_MAX;
 // kernel-stack shape).
 enum class BackendMode { kPooled, kPerClient };
 
+// What the pool does with a request whose wire died or whose response
+// deadline expired before an answer arrived.
+//
+//   kNone        — fail fast: the issuing leg receives a kError reply and the
+//                  dispatch stage translates it (502 / memcached error).
+//                  Response order per lease is preserved, so this is the
+//                  default for protocol paths where clients correlate by
+//                  arrival order.
+//   kSameBackend — re-issue on a sibling connection of the SAME backend
+//                  (key-partitioned protocols must not change backend).
+//   kAnyBackend  — re-issue on any healthy (closed-breaker, connected)
+//                  backend, preferring a different one than the failed dial.
+//
+// Retried responses are handed back through the origin connection task (the
+// reply channel's bound producer), so a retry may REORDER responses within a
+// lease relative to requests that failed outright — only enable retries on
+// paths that correlate responses explicitly or serialize their requests.
+enum class RetryPolicy : uint8_t { kNone, kSameBackend, kAnyBackend };
+
 struct BackendPoolConfig;  // backend_pool.h
 class GraphBuilder;        // graph_builder.h
 
@@ -66,6 +85,24 @@ struct WireOptions {
   // RegistryStats{idle_closed, deadline_closed}.
   uint64_t idle_timeout_ns = kInheritLifetimeNs;
   uint64_t header_deadline_ns = kInheritLifetimeNs;
+
+  // --- backend health plane (see BackendPoolConfig for semantics) ----------
+  // Per-request response deadline on pooled wires, armed on the shard wheel
+  // when the request enters the wire FIFO. Services arm a generous default so
+  // a silently stalled backend fails requests instead of pinning leases to
+  // the 30 s detach timeout; 0 disables.
+  uint64_t request_deadline_ns = 2'000'000'000;
+  // Circuit breaker: consecutive failures per (backend, stripe) that open
+  // the circuit, and how long it stays open before a half-open probe.
+  uint32_t breaker_failure_threshold = 3;
+  uint64_t breaker_open_ns = 100'000'000;
+  // Budgeted retries for failed in-flight requests (see RetryPolicy for the
+  // ordering caveat; default off).
+  RetryPolicy retry_policy = RetryPolicy::kNone;
+  uint32_t max_retries_per_request = 1;
+  // Token bucket shared by the whole pool: sustained retries/sec and burst.
+  double retry_budget_per_sec = 100.0;
+  uint32_t retry_burst = 32;
 
   // Copies the backend-facing knobs into a pool config (ports and codecs
   // remain the service's business).
@@ -167,6 +204,9 @@ struct RegistryStats {
   uint64_t cache_misses = 0;
   uint64_t cache_invalidations = 0;
   uint64_t cache_stale_populates_dropped = 0;
+  // GETs answered from the stale fallback dict while the backend's circuit
+  // was open (memcached_proxy cache mode degrade path). 0 outside outages.
+  uint64_t cache_stale_served = 0;
 };
 
 // Cache-plane counters, owned by the GraphRegistry (like
@@ -177,6 +217,7 @@ struct CacheCounters {
   std::atomic<uint64_t> misses{0};
   std::atomic<uint64_t> invalidations{0};
   std::atomic<uint64_t> stale_populates_dropped{0};
+  std::atomic<uint64_t> stale_served{0};  // degrade path: see RegistryStats
 };
 
 // Tracks live graphs for a service and reaps them (unwatching their
@@ -344,6 +385,7 @@ class GraphRegistry {
     s.cache_invalidations = cache_.invalidations.load(std::memory_order_relaxed);
     s.cache_stale_populates_dropped =
         cache_.stale_populates_dropped.load(std::memory_order_relaxed);
+    s.cache_stale_served = cache_.stale_served.load(std::memory_order_relaxed);
     // Batching counters: accumulators AND live-graph fold-in are read under
     // the same lock the retirement timer folds+erases under, so a retiring graph is
     // counted by exactly one of the two paths and the aggregate never
