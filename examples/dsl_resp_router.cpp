@@ -1,0 +1,111 @@
+// RESP (Redis) GET/SET router written in FLICK, compiled and run end to end
+// on the pooled runtime. The program (services::kRespRouterSource) declares
+// the fixed-arity-3 RESP subset with {ascii=true} integer fields — decimal
+// digit runs + CRLF on the wire — hash-routes requests on the key, and
+// forwards backend bulk-string replies to the client. Both pipeline rules
+// lower to native dispatch handlers: the run ends with interp fallbacks = 0.
+#include <cstdio>
+#include <string>
+
+#include "load/backends.h"
+#include "net/sim_transport.h"
+#include "runtime/platform.h"
+#include "services/dsl_service.h"
+
+namespace {
+
+std::string RespCommand(const std::string& cmd, const std::string& key,
+                        const std::string& value) {
+  std::string s = "*3\r\n";
+  for (const std::string* part : {&cmd, &key, &value}) {
+    s += '$';
+    s += std::to_string(part->size());
+    s += "\r\n";
+    s += *part;
+    s += "\r\n";
+  }
+  return s;
+}
+
+// Sends one command and reads back one bulk-string reply's payload.
+std::string RoundTrip(flick::Connection& conn, const std::string& request) {
+  using namespace flick;
+  size_t off = 0;
+  while (off < request.size()) {
+    auto wrote = conn.Write(request.data() + off, request.size() - off);
+    FLICK_CHECK(wrote.ok());
+    off += *wrote;
+  }
+  std::string rx;
+  char buf[4096];
+  while (true) {
+    auto got = conn.Read(buf, sizeof(buf));
+    FLICK_CHECK(got.ok());
+    if (*got > 0) {
+      rx.append(buf, *got);
+    }
+    // Bulk string: $<len>\r\n<data>\r\n
+    const size_t hdr_end = rx.find("\r\n");
+    if (hdr_end == std::string::npos || rx[0] != '$') {
+      continue;
+    }
+    const size_t len = std::stoul(rx.substr(1, hdr_end - 1));
+    if (rx.size() >= hdr_end + 2 + len + 2) {
+      return rx.substr(hdr_end + 2, len);
+    }
+  }
+}
+
+}  // namespace
+
+int main() {
+  using namespace flick;
+
+  SimNetwork net;
+  SimTransport transport(&net, StackCostModel::Mtcp());
+
+  load::RespBackend b0(&transport, 6400), b1(&transport, 6401);
+  FLICK_CHECK(b0.Start().ok() && b1.Start().ok());
+
+  runtime::Platform platform(runtime::PlatformConfig{}, &transport);
+  auto service = services::DslService::Create(services::kRespRouterSource,
+                                              "resp_router", {6400, 6401});
+  FLICK_CHECK(service.ok());
+  FLICK_CHECK(platform.RegisterProgram(6379, service->get()).ok());
+  platform.Start();
+
+  auto conn = transport.Connect(6379);
+  FLICK_CHECK(conn.ok());
+
+  // SET a few keys, then read them back — each key hash-routes to one of the
+  // two backends, replies come back through the same pooled graph.
+  const char* keys[] = {"alpha", "beta", "gamma"};
+  for (const char* key : keys) {
+    const std::string stored =
+        RoundTrip(**conn, RespCommand("SET", key, std::string("value-of-") + key));
+    std::printf("SET %-5s -> %s\n", key, stored.c_str());
+  }
+  bool ok = true;
+  for (const char* key : keys) {
+    const std::string value = RoundTrip(**conn, RespCommand("GET", key, ""));
+    const std::string want = std::string("value-of-") + key;
+    std::printf("GET %-5s -> '%s'%s\n", key, value.c_str(),
+                value == want ? "" : "  MISMATCH");
+    ok = ok && value == want;
+  }
+  (*conn)->Close();
+
+  const services::RegistryStats stats = (*service)->stats();
+  std::printf("backend split: b0=%llu b1=%llu requests\n",
+              static_cast<unsigned long long>(b0.requests_served()),
+              static_cast<unsigned long long>(b1.requests_served()));
+  std::printf("dispatch: %llu lowered msgs, %llu interp fallbacks%s\n",
+              static_cast<unsigned long long>(stats.dsl_lowered_msgs),
+              static_cast<unsigned long long>(stats.dsl_interp_fallbacks),
+              stats.dsl_interp_fallbacks == 0 ? " (fully lowered)" : "");
+
+  platform.Stop();
+  b0.Stop();
+  b1.Stop();
+  return ok && stats.dsl_interp_fallbacks == 0 ? 0 : 1;
+}

@@ -6,11 +6,15 @@ checked-in BENCH_BASELINE.json and fails when a gated series point regresses
 by more than the threshold on its throughput counter. Gated series: the fig5
 pooled connection-scaling points (the pooled+batched wire path whose
 trajectory this repo optimises for), the fig4 HTTP smoke points (the HTTP
-load-balancer series, pooled and per-client), and the fig5/fig4 IO-shard
-scaling points (the sharded-plane series at io_shards 1/2/4). Lower-is-better
-series: the idle-conn per-connection pool-byte cost and the open-loop
-tail-latency p99 of both BM_TailSmoke modes (coordinated-omission-free, from
-scheduled arrival timestamps — see docs/BENCHMARKS.md).
+load-balancer series, pooled and per-client), the fig5/fig4 IO-shard
+scaling points (the sharded-plane series at io_shards 1/2/4), and the DSL
+ablation's lowered arm (compiled FLICK dispatch on the pooled plane — the
+point the compile story stands on; the interp and hand-written arms serve
+as in-run reference points and are gated relatively, not absolutely, by
+merge_bench_smoke.py invariant 10). Lower-is-better series: the idle-conn
+per-connection pool-byte cost and the open-loop tail-latency p99 of both
+BM_TailSmoke modes (coordinated-omission-free, from scheduled arrival
+timestamps — see docs/BENCHMARKS.md).
 
 Rules:
   * a gated point slower than baseline * (1 - threshold)  -> FAIL
@@ -31,9 +35,12 @@ Regenerate the baseline via the workflow_dispatch input `regen_baseline`
       --benchmark_out=bench_idle_smoke.json --benchmark_out_format=json
   ./build/bench_tail_latency --benchmark_filter='TailSmoke' \
       --benchmark_out=bench_tail_smoke.json --benchmark_out_format=json
+  ./build/bench_dsl_ablation --benchmark_filter='DslAblation' \
+      --benchmark_out=bench_dsl_smoke.json --benchmark_out_format=json
   python3 scripts/merge_bench_smoke.py bench_micro_smoke.json \
       bench_fig5_conns_smoke.json bench_fig4_smoke.json \
-      bench_idle_smoke.json bench_tail_smoke.json  # -> bench_smoke.json
+      bench_idle_smoke.json bench_tail_smoke.json \
+      bench_dsl_smoke.json  # -> bench_smoke.json
 """
 
 import argparse
@@ -41,7 +48,7 @@ import json
 import sys
 
 GATED_PREFIXES = ("BM_Fig5Conns_Pooled", "BM_Fig4Smoke", "BM_Fig5Shards",
-                  "BM_Fig4Shards")
+                  "BM_Fig4Shards", "BM_DslAblation_Lowered")
 METRIC = "reqs_per_s"
 
 # Lower-is-better series, as (name-prefix, counter, threshold) triples. A

@@ -62,6 +62,17 @@ Asserted invariants (smoke fails on violation):
      retries_spent == 0 — a breaker trip, deadline expiry or retry under
      clean steady-state load means the health plane is misfiring (false
      positives would fail real traffic too).
+ 10. DSL ablation: the BM_DslAblation triple (same FLICK program, same
+     pooled topology, three arms) must show the compile story working:
+     the Lowered arm never LOSES to the Interp arm beyond noise (on a
+     quiet host it wins ~1.1-1.3x; small CI runners invert single runs,
+     so the check is a don't-lose floor like invariant 4, not a
+     must-win), the Lowered arm lands within the documented gap of the
+     hand-written ceiling, the Lowered point reports
+     dsl_interp_fallbacks == 0 with dsl_lowered_msgs > 0 (every message
+     took the native path, none leaked back to the evaluator), the
+     Interp point reports dsl_lowered_msgs == 0 (the ablation arms are
+     actually distinct), and no arm records a launch failure.
 """
 
 import json
@@ -85,6 +96,18 @@ IDLE_SWEEP_NS_CAP = 40.0
 IDLE_SWEEP_FLAT_RATIO = 8.0
 IDLE_SWEEP_NOISE_NS = 15.0
 IDLE_SLEEP_FRAC_FLOOR = 0.5
+
+# DSL ablation (invariant 10). On a quiet host the lowered arm beats the
+# interpreter ~1.1-1.3x, but the three arms are single-iteration
+# closed-loop runs and 1-2 core CI runners invert individual runs on
+# scheduling noise — so, like the shard floor, the assertion is "never
+# LOSE beyond noise", not "must win". The ceiling gap bounds how far the
+# lowered arm may trail the hand-written proxy (the bench header
+# documents ~1.5x on a quiet host; the floor leaves noise headroom and
+# still catches the failure mode that matters — lowered dispatch
+# collapsing back to evaluator-class cost, a 3x+ gap).
+DSL_NOISE_FLOOR = 0.35
+DSL_CEILING_GAP = 2.0
 
 
 def counters_of(bench):
@@ -351,6 +374,71 @@ def main(argv):
     assert tail_points, \
         "BM_TailSmokePair point missing — the open-loop cache plane is unchecked"
 
+    # 10. DSL ablation: interp vs lowered vs hand-written on the identical
+    # pooled topology. The lowered arm must not lose to the interpreter
+    # beyond noise, must sit within the ceiling gap of the hand-written
+    # proxy, and the counters must prove the arms are what they claim:
+    # lowered took the native path for every message, interp lowered none.
+    dsl_arms = {}
+    for b in merged["benchmarks"]:
+        for arm in ("Interp", "Lowered", "HandWritten"):
+            if b["name"].startswith(f"BM_DslAblation_{arm}"):
+                dsl_arms[arm] = b
+    if dsl_arms:
+        assert set(dsl_arms) == {"Interp", "Lowered", "HandWritten"}, (
+            f"DSL ablation arms missing from smoke: have {sorted(dsl_arms)}, "
+            f"need all three — a dropped arm makes the ablation unreadable")
+        interp = counters_of(dsl_arms["Interp"])
+        lowered = counters_of(dsl_arms["Lowered"])
+        hand = counters_of(dsl_arms["HandWritten"])
+        for arm, c in (("Interp", interp), ("Lowered", lowered),
+                       ("HandWritten", hand)):
+            for key in ("reqs_per_s", "dsl_lowered_msgs",
+                        "dsl_interp_fallbacks", "launch_failures"):
+                assert c.get(key) is not None, \
+                    f"BM_DslAblation_{arm}: counter {key} missing"
+            assert c["launch_failures"] == 0, (
+                f"BM_DslAblation_{arm}: {c['launch_failures']:.0f} launch "
+                f"failures — the ablation graphs are not even starting")
+        # Arm identity: the only difference between the DSL arms is the
+        # `lower` flag, and the counters must reflect it.
+        assert lowered["dsl_interp_fallbacks"] == 0, (
+            f"Lowered arm leaked {lowered['dsl_interp_fallbacks']:.0f} "
+            f"messages back to the evaluator — the lowering pass is "
+            f"declining plans it should own")
+        assert lowered["dsl_lowered_msgs"] > 0, (
+            "Lowered arm reports 0 lowered messages — native dispatch "
+            "never ran, the arm degenerated to the interpreter")
+        assert interp["dsl_lowered_msgs"] == 0, (
+            f"Interp arm reports {interp['dsl_lowered_msgs']:.0f} lowered "
+            f"messages — lower=false is not disabling the lowering pass, "
+            f"the ablation arms are measuring the same thing")
+        # Perf ordering, with the shard-style noise floor.
+        i_rps, l_rps, h_rps = (interp["reqs_per_s"], lowered["reqs_per_s"],
+                               hand["reqs_per_s"])
+        floor = i_rps * (1.0 - DSL_NOISE_FLOOR)
+        assert l_rps >= floor, (
+            f"BM_DslAblation_Lowered: {l_rps:,.0f} req/s vs interp "
+            f"{i_rps:,.0f} (floor {floor:,.0f}) — compiled dispatch LOSES "
+            f"to the bounded evaluator")
+        ceiling_floor = h_rps / DSL_CEILING_GAP
+        assert l_rps >= ceiling_floor, (
+            f"BM_DslAblation_Lowered: {l_rps:,.0f} req/s is more than "
+            f"{DSL_CEILING_GAP}x below the hand-written ceiling "
+            f"({h_rps:,.0f}) — lowered dispatch is paying evaluator-class "
+            f"overhead")
+        batching["BM_DslAblation"] = {
+            "interp_reqs_per_s": i_rps,
+            "lowered_reqs_per_s": l_rps,
+            "handwritten_reqs_per_s": h_rps,
+            "lowered_speedup_vs_interp": l_rps / i_rps if i_rps else None,
+            "lowered_frac_of_handwritten": l_rps / h_rps if h_rps else None,
+            "lowered_msgs": lowered["dsl_lowered_msgs"],
+            "interp_fallbacks_on_lowered_arm": lowered["dsl_interp_fallbacks"],
+        }
+    assert dsl_arms, \
+        "BM_DslAblation points missing — the interp-vs-compiled plane is unchecked"
+
     for b in merged["benchmarks"]:
         if b["name"].startswith(("BM_WriteCoalescedWritev",
                                  "BM_WriteMessagePerSyscall")):
@@ -376,7 +464,8 @@ def main(argv):
           f"{shard_plane_checked} points share-nothing-checked; "
           f"{len(idle_points)} idle-conn points checked; "
           f"{len(tail_points)} open-loop tail points checked; "
-          f"{health_checked} points health-checked")
+          f"{health_checked} points health-checked; "
+          f"{len(dsl_arms)} DSL ablation arms checked")
     return 0
 
 

@@ -8,6 +8,9 @@ void UnitParser::Reset() {
   field_size_ = 0;
   field_started_ = false;
   message_bytes_ = 0;
+  ascii_value_ = 0;
+  ascii_digits_ = 0;
+  ascii_seen_cr_ = false;
 }
 
 ParseStatus UnitParser::Feed(BufferChain& input, Message* out) {
@@ -36,7 +39,12 @@ ParseStatus UnitParser::Feed(BufferChain& input, Message* out) {
     if (!field_started_) {
       // Resolve this field's size; dynamic lengths depend only on earlier
       // numeric fields, already present in `out`.
-      if (f.kind == FieldKind::kUInt) {
+      if (f.kind == FieldKind::kUInt && f.ascii) {
+        field_size_ = 0;  // variable: digits + CRLF, consumed byte-by-byte
+        ascii_value_ = 0;
+        ascii_digits_ = 0;
+        ascii_seen_cr_ = false;
+      } else if (f.kind == FieldKind::kUInt) {
         field_size_ = f.fixed_size;
       } else if (f.length.is_const()) {
         field_size_ = f.length.const_value();
@@ -52,6 +60,49 @@ ParseStatus UnitParser::Feed(BufferChain& input, Message* out) {
       if (f.kind == FieldKind::kBytes) {
         out->BeginBytesField(index);
       }
+    }
+
+    if (f.kind == FieldKind::kUInt && f.ascii) {
+      // ASCII decimal digits terminated by CRLF; digits and the terminator
+      // may straddle reads, so consume one byte at a time.
+      bool done = false;
+      while (!done) {
+        std::string_view front = input.FrontView();
+        if (front.empty()) {
+          return ParseStatus::kNeedMore;
+        }
+        const uint8_t c = static_cast<uint8_t>(front[0]);
+        if (ascii_seen_cr_) {
+          if (c != '\n') {
+            Reset();
+            return ParseStatus::kError;
+          }
+          done = true;
+        } else if (c == '\r') {
+          if (ascii_digits_ == 0) {
+            Reset();
+            return ParseStatus::kError;
+          }
+          ascii_seen_cr_ = true;
+        } else if (c >= '0' && c <= '9') {
+          if (++ascii_digits_ > 19) {  // uint64 overflow guard
+            Reset();
+            return ParseStatus::kError;
+          }
+          ascii_value_ = ascii_value_ * 10 + (c - '0');
+        } else {
+          Reset();
+          return ParseStatus::kError;
+        }
+        input.Consume(1);
+        ++field_consumed_;
+        ++message_bytes_;
+      }
+      out->SetUInt(index, ascii_value_);
+      field_started_ = false;
+      field_consumed_ = 0;
+      ++field_index_;
+      continue;
     }
 
     if (f.kind == FieldKind::kUInt) {

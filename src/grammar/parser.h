@@ -50,6 +50,12 @@ class UnitParser {
   bool field_started_ = false;
   size_t message_bytes_ = 0;   // wire bytes consumed for this message
   size_t max_field_size_ = 64 * 1024 * 1024;
+
+  // ascii integer in flight (digits and the CRLF terminator may arrive split
+  // across reads).
+  uint64_t ascii_value_ = 0;
+  size_t ascii_digits_ = 0;
+  bool ascii_seen_cr_ = false;
 };
 
 }  // namespace flick::grammar

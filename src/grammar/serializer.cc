@@ -1,6 +1,23 @@
 #include "grammar/serializer.h"
 
 namespace flick::grammar {
+namespace {
+
+// Renders `v` as ASCII decimal into `buf` (no terminator); returns digit count.
+size_t RenderAsciiUInt(uint64_t v, char buf[20]) {
+  size_t n = 0;
+  char tmp[20];
+  do {
+    tmp[n++] = static_cast<char>('0' + v % 10);
+    v /= 10;
+  } while (v != 0);
+  for (size_t i = 0; i < n; ++i) {
+    buf[i] = tmp[n - 1 - i];
+  }
+  return n;
+}
+
+}  // namespace
 
 void UnitSerializer::FixupLengths(Message& msg) const {
   const auto& fields = unit_->fields();
@@ -40,7 +57,10 @@ size_t UnitSerializer::WireSize(const Message& msg) const {
   size_t total = 0;
   for (size_t i = 0; i < fields.size(); ++i) {
     const FieldSpec& f = fields[i];
-    if (f.kind == FieldKind::kUInt) {
+    if (f.kind == FieldKind::kUInt && f.ascii) {
+      char digits[20];
+      total += RenderAsciiUInt(msg.GetUInt(static_cast<int>(i)), digits) + 2;
+    } else if (f.kind == FieldKind::kUInt) {
       total += f.fixed_size;
     } else if (f.kind == FieldKind::kBytes) {
       total += msg.GetBytes(static_cast<int>(i)).size();
@@ -58,6 +78,16 @@ Status UnitSerializer::Serialize(Message& msg, BufferChain& out) const {
   for (size_t i = 0; i < fields.size(); ++i) {
     const FieldSpec& f = fields[i];
     if (f.kind == FieldKind::kVar) {
+      continue;
+    }
+    if (f.kind == FieldKind::kUInt && f.ascii) {
+      char wire[22];
+      const size_t n = RenderAsciiUInt(msg.GetUInt(static_cast<int>(i)), wire);
+      wire[n] = '\r';
+      wire[n + 1] = '\n';
+      if (!out.Append(wire, n + 2)) {
+        return ResourceExhausted("output buffer pool empty");
+      }
       continue;
     }
     if (f.kind == FieldKind::kUInt) {

@@ -13,6 +13,15 @@ UnitBuilder& UnitBuilder::UInt(std::string name, size_t bytes) {
   return *this;
 }
 
+UnitBuilder& UnitBuilder::AsciiUInt(std::string name) {
+  FieldSpec f;
+  f.name = std::move(name);
+  f.kind = FieldKind::kUInt;
+  f.ascii = true;
+  fields_.push_back(std::move(f));
+  return *this;
+}
+
 UnitBuilder& UnitBuilder::Bytes(std::string name, LenExpr length) {
   FieldSpec f;
   f.name = std::move(name);
@@ -72,9 +81,10 @@ Result<Unit> UnitBuilder::Build() {
     }
   }
 
-  // Integer widths must be 1..8.
+  // Integer widths must be 1..8 (ascii integers have no fixed wire width).
   for (const FieldSpec& f : unit.fields_) {
-    if (f.kind == FieldKind::kUInt && (f.fixed_size == 0 || f.fixed_size > 8)) {
+    if (f.kind == FieldKind::kUInt && !f.ascii &&
+        (f.fixed_size == 0 || f.fixed_size > 8)) {
       return InvalidArgument("integer field width out of range: " + f.name);
     }
   }
@@ -129,10 +139,11 @@ Result<Unit> UnitBuilder::Build() {
     if (f.kind == FieldKind::kVar) {
       continue;  // no wire bytes
     }
-    if (f.kind == FieldKind::kUInt || f.length.is_const()) {
+    if ((f.kind == FieldKind::kUInt && !f.ascii) ||
+        (f.kind == FieldKind::kBytes && f.length.is_const())) {
       prefix += f.fixed_size;
     } else {
-      break;
+      break;  // ascii ints and expression-sized bytes have variable width
     }
   }
   unit.fixed_prefix_size_ = prefix;

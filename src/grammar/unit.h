@@ -32,6 +32,11 @@ struct FieldSpec {
   // kUInt: byte width. kBytes with !length.is_const(): ignored.
   size_t fixed_size = 0;
 
+  // kUInt only: wire form is ASCII decimal digits terminated by "\r\n"
+  // (the terminator is consumed with the field). Wire width is variable,
+  // so ascii fields end the unit's fixed prefix. fixed_size is ignored.
+  bool ascii = false;
+
   // kBytes: length in bytes (may reference earlier numeric fields).
   LenExpr length;
 
@@ -65,6 +70,10 @@ class UnitBuilder {
   UnitBuilder& UInt(std::string name, size_t bytes);
   // Anonymous fixed-width integer (reserved wire space).
   UnitBuilder& SkipUInt(size_t bytes) { return UInt("", bytes); }
+
+  // ASCII-decimal unsigned integer terminated by "\r\n" (RESP-style line
+  // framing). Participates in length expressions like any numeric field.
+  UnitBuilder& AsciiUInt(std::string name);
 
   // Byte/string field with constant or computed length.
   UnitBuilder& Bytes(std::string name, LenExpr length);

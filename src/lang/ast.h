@@ -95,6 +95,7 @@ struct Stmt {
 struct FieldAnnotation {
   ExprPtr size;        // integer expr over literals and earlier field names
   bool is_signed = false;
+  bool is_ascii = false;  // integer encoded as ASCII decimal + CRLF (RESP)
 };
 
 struct FieldDecl {

@@ -1,24 +1,37 @@
 #include "lang/codegen_cpp.h"
 
+#include <optional>
 #include <sstream>
+#include <string>
+#include <vector>
+
+#include "lang/lower.h"
 
 namespace flick::lang {
 namespace {
 
-// C++ rendering of a size expression (field names become GetUInt calls).
-void EmitSizeExpr(const Expr& expr, std::ostringstream& out) {
+// ----------------------------------------------------- size / pseudo-code ----
+
+// C++ rendering of a size annotation as a grammar::LenExpr value. At the top
+// level a plain integer literal uses the Bytes(name, uint64_t) overload
+// (identical to LenExpr::Const); nested literals must spell the constructor.
+void EmitLenExpr(const Expr& expr, std::ostringstream& out, bool top_level) {
   switch (expr.kind) {
     case ExprKind::kIntLit:
-      out << expr.int_value;
+      if (top_level) {
+        out << expr.int_value;
+      } else {
+        out << "grammar::LenExpr::Const(" << expr.int_value << ")";
+      }
       return;
     case ExprKind::kVar:
       out << "grammar::LenExpr::Field(\"" << expr.text << "\")";
       return;
     case ExprKind::kBinary: {
       out << "(";
-      EmitSizeExpr(*expr.base, out);
+      EmitLenExpr(*expr.base, out, /*top_level=*/false);
       out << (expr.op == BinOp::kAdd ? " + " : expr.op == BinOp::kSub ? " - " : " * ");
-      EmitSizeExpr(*expr.index, out);
+      EmitLenExpr(*expr.index, out, /*top_level=*/false);
       out << ")";
       return;
     }
@@ -27,6 +40,10 @@ void EmitSizeExpr(const Expr& expr, std::ostringstream& out) {
   }
 }
 
+// The pseudo-code renderer for the `#if 0` reference block: the checked fun
+// and proc bodies as readable C++-ish statements. Not part of the compiled
+// surface — the executable logic ships in the handlers rendered from the
+// lowering plans below.
 void EmitExpr(const Expr& expr, std::ostringstream& out) {
   switch (expr.kind) {
     case ExprKind::kIntLit: out << expr.int_value; return;
@@ -156,20 +173,239 @@ void EmitStmt(const Stmt& stmt, std::ostringstream& out, int indent) {
   }
 }
 
+// --------------------------------------------------------- canonical shape ----
+
+// The canonical service wiring: scalar channels take compute indices in
+// declaration order; the (single) channel array takes the tail block starting
+// at `array_base` — one slot per backend, count known only at graph-build
+// time. Matches services::DslService::OnConnection.
+struct CanonicalShape {
+  ProcWiring wiring;                  // array gets ONE analysis slot at array_base
+  std::vector<const Param*> scalars;  // channel params, index = position in list
+  const Param* array = nullptr;
+  int array_base = -1;
+  bool supported = false;  // false: >1 array — only pseudo-code is emitted
+};
+
+CanonicalShape ShapeOf(const ProcDecl& proc) {
+  CanonicalShape shape;
+  size_t arrays = 0;
+  for (const Param& p : proc.params) {
+    if (!p.channel.has_value()) {
+      continue;
+    }
+    if (p.channel->is_array) {
+      ++arrays;
+      shape.array = &p;
+    } else {
+      shape.scalars.push_back(&p);
+    }
+  }
+  shape.supported = arrays <= 1;
+  if (!shape.supported) {
+    return shape;
+  }
+  int next = 0;
+  for (const Param* p : shape.scalars) {
+    shape.wiring.endpoints[p->name].inputs = {static_cast<size_t>(next)};
+    shape.wiring.endpoints[p->name].outputs = {static_cast<size_t>(next)};
+    ++next;
+  }
+  if (shape.array != nullptr) {
+    shape.array_base = next;
+    shape.wiring.endpoints[shape.array->name].inputs = {static_cast<size_t>(next)};
+    shape.wiring.endpoints[shape.array->name].outputs = {static_cast<size_t>(next)};
+  }
+  return shape;
+}
+
+// ----------------------------------------------------------- native handler ----
+
+const char* ShapeName(RulePlan::Shape shape) {
+  switch (shape) {
+    case RulePlan::Shape::kForward: return "forward";
+    case RulePlan::Shape::kHashRoute: return "hash-route";
+    case RulePlan::Shape::kCacheUpdateForward: return "cache-update + forward";
+    case RulePlan::Shape::kCacheTestRoute: return "cache-test / hash-route";
+  }
+  return "?";
+}
+
+std::string FieldComment(const grammar::Unit* unit, int index) {
+  if (unit == nullptr || index < 0 ||
+      static_cast<size_t>(index) >= unit->fields().size()) {
+    return "";
+  }
+  return " /* " + unit->fields()[static_cast<size_t>(index)].name + " */";
+}
+
+// Renders the hash-route tail of a plan: interp-parity hash (masked positive,
+// int64 mod), target = array_base + idx.
+void EmitRouteTail(const RulePlan& plan, const CanonicalShape& shape,
+                   const grammar::Unit* unit, std::ostringstream& out,
+                   const std::string& pad) {
+  out << pad << "if (backend_count == 0) {\n"
+      << pad << "  return runtime::HandleResult::kConsumed;  // route with no targets: drop\n"
+      << pad << "}\n";
+  if (plan.key_is_bytes) {
+    out << pad << "const uint64_t h = flick::HashBytes(m.GetBytes(" << plan.key_field
+        << FieldComment(unit, plan.key_field) << ")) & 0x7fffffffffffffffull;\n";
+  } else {
+    out << pad << "const uint64_t h = flick::MixU64(m.GetUInt(" << plan.key_field
+        << FieldComment(unit, plan.key_field) << ")) >> 1;\n";
+  }
+  out << pad << "const size_t target = " << shape.array_base
+      << " + static_cast<size_t>(static_cast<int64_t>(h) % "
+         "static_cast<int64_t>(backend_count));\n"
+      << pad << "if (!emit.CanEmit(target)) {\n"
+      << pad << "  return runtime::HandleResult::kBlocked;\n"
+      << pad << "}\n"
+      << pad << "(void)EmitRecordCopy(emit, target, m);\n"
+      << pad << "return runtime::HandleResult::kConsumed;\n";
+}
+
+// Renders one lowered plan as straight-line handler code. Same semantics as
+// lang/lower.cc's RunPlan, with every field index baked as a constant.
+void EmitPlanBody(const RulePlan& plan, const CanonicalShape& shape,
+                  const std::string& proc_name, const grammar::Unit* unit,
+                  std::ostringstream& out, const std::string& pad) {
+  switch (plan.shape) {
+    case RulePlan::Shape::kForward:
+      out << pad << "if (!emit.CanEmit(" << plan.forward_out << ")) {\n"
+          << pad << "  return runtime::HandleResult::kBlocked;\n"
+          << pad << "}\n"
+          << pad << "(void)EmitRecordCopy(emit, " << plan.forward_out << ", m);\n"
+          << pad << "return runtime::HandleResult::kConsumed;\n";
+      return;
+    case RulePlan::Shape::kHashRoute:
+      EmitRouteTail(plan, shape, unit, out, pad);
+      return;
+    case RulePlan::Shape::kCacheUpdateForward:
+      out << pad << "if (!emit.CanEmit(" << plan.forward_out << ")) {\n"
+          << pad << "  return runtime::HandleResult::kBlocked;\n"
+          << pad << "}\n"
+          << pad << "uint64_t cmp = 0;\n"
+          << pad << "if (state != nullptr && FieldU64(m, " << plan.cmp_field << ", "
+          << (plan.cmp_is_bytes ? "true" : "false") << FieldComment(unit, plan.cmp_field)
+          << ", &cmp) && cmp == " << plan.cmp_value << "u) {\n"
+          << pad << "  state->Put(\"" << plan.dict << "\", std::string(m.GetBytes("
+          << plan.key_field << FieldComment(unit, plan.key_field)
+          << ")), SerializeRecord(m));\n"
+          << pad << "}\n"
+          << pad << "(void)EmitRecordCopy(emit, " << plan.forward_out << ", m);\n"
+          << pad << "return runtime::HandleResult::kConsumed;\n";
+      return;
+    case RulePlan::Shape::kCacheTestRoute:
+      out << pad << "uint64_t cmp = 0;\n"
+          << pad << "if (state != nullptr && FieldU64(m, " << plan.cmp_field << ", "
+          << (plan.cmp_is_bytes ? "true" : "false") << FieldComment(unit, plan.cmp_field)
+          << ", &cmp) && cmp == " << plan.cmp_value << "u) {\n"
+          << pad << "  if (auto cached = state->Get(\"" << plan.dict
+          << "\", std::string(m.GetBytes(" << plan.key_field
+          << FieldComment(unit, plan.key_field) << "))); cached.has_value()) {\n"
+          << pad << "    if (!emit.CanEmit(" << plan.forward_out << ")) {\n"
+          << pad << "      return runtime::HandleResult::kBlocked;\n"
+          << pad << "    }\n"
+          << pad << "    runtime::MsgRef hit = emit.NewMsg();\n"
+          << pad << "    hit->kind = runtime::Msg::Kind::kBytes;  // cached wire form\n"
+          << pad << "    hit->bytes = std::move(*cached);\n"
+          << pad << "    (void)emit.Emit(" << plan.forward_out << ", std::move(hit));\n"
+          << pad << "    return runtime::HandleResult::kConsumed;\n"
+          << pad << "  }\n"
+          << pad << "}\n";
+      EmitRouteTail(plan, shape, unit, out, pad);
+      return;
+  }
+  (void)proc_name;
+}
+
+// The run-time support helpers every generated handler leans on. Emitted once
+// per translation unit, in an anonymous namespace.
+constexpr const char kSupportHelpers[] = R"cpp(namespace {
+
+// Interpreter-parity numeric view of a field: uint fields read directly,
+// short byte fields (1..8 bytes) compare big-endian, anything else is
+// incomparable and the guard fails closed.
+[[maybe_unused]] inline bool FieldU64(const grammar::Message& m, int field,
+                                      bool is_bytes, uint64_t* out) {
+  if (!is_bytes) {
+    *out = m.GetUInt(field);
+    return true;
+  }
+  const std::string_view bytes = m.GetBytes(field);
+  if (bytes.empty() || bytes.size() > 8) {
+    return false;
+  }
+  uint64_t v = 0;
+  for (const char c : bytes) {
+    v = (v << 8) | static_cast<uint8_t>(c);
+  }
+  *out = v;
+  return true;
+}
+
+// Dict values for records are the serialized wire form (interp parity;
+// serialisation mutates length fields by design).
+[[maybe_unused]] inline std::string SerializeRecord(grammar::Message& m) {
+  static thread_local BufferPool pool(64, 16 * 1024);
+  BufferChain chain(&pool);
+  grammar::UnitSerializer serializer(m.unit());
+  FLICK_CHECK(serializer.Serialize(m, chain).ok());
+  return chain.ToString();
+}
+
+[[maybe_unused]] inline bool EmitRecordCopy(runtime::EmitContext& emit, size_t out,
+                                            const grammar::Message& m) {
+  runtime::MsgRef ref = emit.NewMsg();
+  ref->kind = runtime::Msg::Kind::kGrammar;
+  ref->gmsg = m;  // deep copy into the outgoing message
+  return emit.Emit(out, std::move(ref));
+}
+
+}  // namespace
+)cpp";
+
 }  // namespace
 
 std::string GenerateCpp(const CompiledProgram& program) {
   std::ostringstream out;
-  out << "// Generated by the FLICK compiler (codegen_cpp pass).\n";
-  out << "// Types -> grammar units; procs -> ComputeTask handlers.\n\n";
+  out << "// Generated by the FLICK compiler (codegen_cpp pass).\n"
+         "// Types -> grammar units; procs -> native ComputeTask handlers rendered\n"
+         "// from the lowering pass's rule plans (field indices baked as constants);\n"
+         "// graphs -> GraphBuilder wiring on the pooled runtime. Rules the lowering\n"
+         "// pass could not prove dispatch to the optional `fallback` handler.\n"
+         "#include <cstdint>\n"
+         "#include <memory>\n"
+         "#include <string>\n"
+         "#include <string_view>\n"
+         "#include <utility>\n"
+         "\n"
+         "#include \"base/check.h\"\n"
+         "#include \"base/hash.h\"\n"
+         "#include \"buffer/buffer_chain.h\"\n"
+         "#include \"buffer/buffer_pool.h\"\n"
+         "#include \"grammar/serializer.h\"\n"
+         "#include \"grammar/unit.h\"\n"
+         "#include \"runtime/compute_task.h\"\n"
+         "#include \"runtime/state_store.h\"\n"
+         "#include \"services/graph_builder.h\"\n"
+         "\n"
+         "namespace flick::flickgen {\n\n";
+  out << kSupportHelpers << "\n";
 
+  // ------------------------------------------------------------- units ------
   for (const TypeDecl& type : program.ast.types) {
     out << "// type " << type.name << "\n";
     out << "grammar::Unit Make_" << type.name << "_Unit() {\n";
     out << "  return grammar::UnitBuilder(\"" << type.name << "\")\n";
+    out << "      .ByteOrder(ByteOrder::kBig)\n";
     for (const FieldDecl& field : type.fields) {
-      const std::string name = field.name.empty() ? "" : field.name;
+      const std::string& name = field.name;
       if (field.type == "integer") {
+        if (field.annotation.is_ascii) {
+          out << "      .AsciiUInt(\"" << name << "\")\n";
+          continue;
+        }
         uint64_t width = 8;
         if (field.annotation.size != nullptr &&
             field.annotation.size->kind == ExprKind::kIntLit) {
@@ -178,12 +414,8 @@ std::string GenerateCpp(const CompiledProgram& program) {
         out << "      .UInt(\"" << name << "\", " << width << ")\n";
       } else if (field.annotation.size != nullptr) {
         std::ostringstream size;
-        EmitSizeExpr(*field.annotation.size, size);
-        out << "      .Bytes(\"" << name << "\", "
-            << (field.annotation.size->kind == ExprKind::kIntLit
-                    ? size.str()
-                    : size.str())
-            << ")\n";
+        EmitLenExpr(*field.annotation.size, size, /*top_level=*/true);
+        out << "      .Bytes(\"" << name << "\", " << size.str() << ")\n";
       } else {
         out << "      .UInt(\"__len_" << name << "\", 4)\n";
         out << "      .Bytes(\"" << name << "\", grammar::LenExpr::Field(\"__len_"
@@ -191,8 +423,17 @@ std::string GenerateCpp(const CompiledProgram& program) {
       }
     }
     out << "      .Build().value();\n}\n\n";
+    out << "const grammar::Unit& " << type.name << "_Unit() {\n"
+        << "  static const grammar::Unit unit = Make_" << type.name << "_Unit();\n"
+        << "  return unit;\n}\n\n";
   }
 
+  // -------------------------------------------- reference pseudo-code ------
+  // The checked source-level bodies, for inspection. The executable logic is
+  // in the handlers below; anything here that did NOT lower is reachable only
+  // through the fallback handler.
+  out << "// Checked fun/proc bodies (reference rendering, not compiled).\n";
+  out << "#if 0\n";
   for (const FunDecl& fun : program.ast.funs) {
     out << "// fun " << fun.name << "\n";
     out << "auto " << fun.name << " = [](";
@@ -208,17 +449,154 @@ std::string GenerateCpp(const CompiledProgram& program) {
     }
     out << "};\n\n";
   }
-
   for (const ProcDecl& proc : program.ast.procs) {
-    out << "// proc " << proc.name << " -> ComputeTask handler\n";
-    out << "runtime::ComputeTask::Handler Make_" << proc.name
-        << "_Handler(/* wiring, state */) {\n";
-    out << "  return [](runtime::Msg& msg, size_t input, runtime::EmitContext& emit) {\n";
+    out << "// proc " << proc.name << "\n";
     for (const StmtPtr& stmt : proc.body) {
-      EmitStmt(*stmt, out, 2);
+      EmitStmt(*stmt, out, 0);
     }
-    out << "    return runtime::HandleResult::kConsumed;\n  };\n}\n\n";
+    out << "\n";
   }
+  out << "#endif\n\n";
+
+  // ----------------------------------------------------------- handlers ------
+  for (const ProcDecl& proc : program.ast.procs) {
+    const CanonicalShape shape = ShapeOf(proc);
+    ProcPlan plan;
+    if (shape.supported) {
+      plan = AnalyzeProc(program, proc, shape.wiring);
+    }
+
+    out << "// proc " << proc.name << " -> ComputeTask handler. `backend_count` is\n"
+           "// the size of the backend channel array at graph-build time (0 if the\n"
+           "// proc has none); un-lowered inputs dispatch to `fallback` (pass the\n"
+           "// interpreter handler, or {} to drop).\n";
+    out << "runtime::ComputeTask::Handler Make_" << proc.name << "_Handler(\n"
+           "    [[maybe_unused]] runtime::StateStore* state, size_t backend_count,\n"
+           "    runtime::ComputeTask::Handler fallback) {\n";
+    out << "  return [state, backend_count, fallback = std::move(fallback)](\n"
+           "             runtime::Msg& msg, size_t input,\n"
+           "             runtime::EmitContext& emit) -> runtime::HandleResult {\n"
+           "    (void)state;\n"
+           "    (void)backend_count;\n"
+           "    if (msg.kind == runtime::Msg::Kind::kEof) {\n"
+           "      // All-or-nothing EOF broadcast (hand-written-service discipline).\n"
+           "      for (size_t o = 0; o < emit.output_count(); ++o) {\n"
+           "        if (!emit.CanEmit(o)) {\n"
+           "          return runtime::HandleResult::kBlocked;\n"
+           "        }\n"
+           "      }\n"
+           "      for (size_t o = 0; o < emit.output_count(); ++o) {\n"
+           "        runtime::MsgRef eof = emit.NewMsg();\n"
+           "        eof->kind = runtime::Msg::Kind::kEof;\n"
+           "        (void)emit.Emit(o, std::move(eof));\n"
+           "      }\n"
+           "      return runtime::HandleResult::kConsumed;\n"
+           "    }\n"
+           "    if (msg.kind == runtime::Msg::Kind::kGrammar) {\n"
+           "      [[maybe_unused]] grammar::Message& m = msg.gmsg;\n";
+
+    bool emitted_any = false;
+    if (shape.supported) {
+      for (size_t si = 0; si < shape.scalars.size(); ++si) {
+        const auto& rules = plan.rules;
+        if (si < rules.size() && rules[si].has_value()) {
+          const Param* p = shape.scalars[si];
+          const grammar::Unit* unit = p->channel->in_type == "-"
+                                          ? nullptr
+                                          : program.UnitFor(p->channel->in_type);
+          out << "      if (input == " << si << ") {  // " << p->name << ": "
+              << ShapeName(rules[si]->shape) << "\n";
+          EmitPlanBody(*rules[si], shape, proc.name, unit, out, "        ");
+          out << "      }\n";
+          emitted_any = true;
+        }
+      }
+      if (shape.array != nullptr && shape.array_base >= 0 &&
+          static_cast<size_t>(shape.array_base) < plan.rules.size() &&
+          plan.rules[static_cast<size_t>(shape.array_base)].has_value()) {
+        const grammar::Unit* unit =
+            shape.array->channel->in_type == "-"
+                ? nullptr
+                : program.UnitFor(shape.array->channel->in_type);
+        out << "      if (input >= " << shape.array_base << ") {  // "
+            << shape.array->name << ": "
+            << ShapeName(plan.rules[static_cast<size_t>(shape.array_base)]->shape)
+            << "\n";
+        EmitPlanBody(*plan.rules[static_cast<size_t>(shape.array_base)], shape,
+                     proc.name, unit, out, "        ");
+        out << "      }\n";
+        emitted_any = true;
+      }
+    }
+    if (!emitted_any) {
+      out << "      // no rule of this proc lowered: everything runs through\n"
+             "      // the fallback handler below.\n";
+    }
+    out << "    }\n"
+           "    return fallback ? fallback(msg, input, emit)\n"
+           "                    : runtime::HandleResult::kConsumed;\n"
+           "  };\n}\n\n";
+
+    // ------------------------------------------------------ graph wiring ----
+    // Only the canonical middlebox shape gets wiring: one scalar channel the
+    // service reads from (the accepted client) plus an optional backend array.
+    const Param* client = nullptr;
+    for (const Param* p : shape.scalars) {
+      if (p->channel->in_type != "-") {
+        client = p;
+        break;
+      }
+    }
+    if (!shape.supported || client == nullptr || shape.scalars.size() != 1) {
+      out << "// proc " << proc.name << ": no canonical client/backends shape — "
+             "graph wiring not generated.\n\n";
+      continue;
+    }
+    const std::string in_unit = client->channel->in_type + "_Unit()";
+    const std::string out_unit = client->channel->out_type == "-"
+                                     ? in_unit
+                                     : client->channel->out_type + "_Unit()";
+    out << "// proc " << proc.name << " -> per-connection graph (Fig. 3 shape):\n"
+           "// client source -> proc stage -> client sink + pooled backend legs.\n"
+           "// Call per accepted connection, then b.Launch(registry).\n";
+    out << "void Build_" << proc.name << "_Graph(\n"
+           "    services::GraphBuilder& b, std::unique_ptr<Connection> client_conn,\n";
+    if (shape.array != nullptr) {
+      out << "    services::BackendPool& pool,\n";
+    }
+    out << "    runtime::StateStore* state, runtime::ComputeTask::Handler fallback) {\n";
+    out << "  auto client = b.Adopt(std::move(client_conn));\n";
+    out << "  auto request = b.Source(\n"
+           "      \"client-in\", client,\n"
+           "      std::make_unique<runtime::GrammarDeserializer>(&" << in_unit << "));\n";
+    if (shape.array != nullptr) {
+      out << "  auto legs = b.FanOutPooled(pool, /*capacity=*/64);\n";
+      out << "  auto proc = b.Stage(\"proc:" << proc.name << "\",\n"
+             "                      Make_" << proc.name << "_Handler(state, legs.size(),\n"
+             "                                                       std::move(fallback)))\n"
+             "                  .From(request);  // proc input 0\n";
+    } else {
+      out << "  auto proc = b.Stage(\"proc:" << proc.name << "\",\n"
+             "                      Make_" << proc.name << "_Handler(state, 0,\n"
+             "                                                       std::move(fallback)))\n"
+             "                  .From(request);  // proc input 0\n";
+    }
+    out << "  b.Sink(\"client-out\", client,\n"
+           "         std::make_unique<runtime::GrammarSerializer>(&" << out_unit
+        << "))\n"
+           "      .From(proc);  // proc output 0\n";
+    if (shape.array != nullptr) {
+      out << "  for (auto& leg : legs) {\n"
+             "    leg.sink.From(proc);  // proc outputs 1..n\n"
+             "  }\n"
+             "  for (auto& leg : legs) {\n"
+             "    proc.From(leg.source);  // proc inputs 1..n\n"
+             "  }\n";
+    }
+    out << "}\n\n";
+  }
+
+  out << "}  // namespace flick::flickgen\n";
   return out.str();
 }
 

@@ -1,11 +1,14 @@
 // C++ code generation (extension).
 //
 // The paper's compiler emits C++ that links against the platform runtime
-// (§5: "The FLICK compiler translates an input FLICK program to C++"). The
-// primary execution path in this repo is the bounded evaluator; this pass
-// emits the equivalent C++ a generated service would contain — useful for
-// inspection, documentation, and as a migration path to ahead-of-time
-// compilation.
+// (§5: "The FLICK compiler translates an input FLICK program to C++"). This
+// pass emits a COMPILABLE translation unit: grammar-unit builders for every
+// type, native ComputeTask handlers rendered from the lowering pass's rule
+// plans (lang/lower.h) with field indices baked as constants, and
+// GraphBuilder wiring for the canonical client + backend-array proc shape.
+// Rules the lowering pass cannot prove route through an optional fallback
+// handler the caller supplies (typically the interpreter); the checked
+// source-level fun bodies ride along in an `#if 0` reference block.
 #ifndef FLICK_LANG_CODEGEN_CPP_H_
 #define FLICK_LANG_CODEGEN_CPP_H_
 
@@ -15,9 +18,9 @@
 
 namespace flick::lang {
 
-// Renders the whole program: unit-builder code for every type and a
-// ComputeTask handler skeleton for every proc, with function bodies lowered
-// to C++ statements.
+// Renders the whole program as one self-contained C++ translation unit in
+// namespace flick::flickgen. Compiles against the project headers with no
+// further editing (the ctest codegen compile smoke asserts exactly that).
 std::string GenerateCpp(const CompiledProgram& program);
 
 }  // namespace flick::lang

@@ -43,6 +43,10 @@ Result<grammar::Unit> SynthesizeUnit(const TypeDecl& type) {
   builder.ByteOrder(ByteOrder::kBig);
   for (const FieldDecl& field : type.fields) {
     if (field.type == "integer") {
+      if (field.annotation.is_ascii) {
+        builder.AsciiUInt(field.name);
+        continue;
+      }
       uint64_t width = 8;
       if (field.annotation.size != nullptr) {
         if (field.annotation.size->kind != ExprKind::kIntLit) {

@@ -62,7 +62,10 @@ Value Interp::ExecBlock(const std::vector<StmtPtr>& block, Env& env, Effects& fx
           } else if (value.kind == Value::Kind::kInt) {
             stored = std::to_string(value.i);
           }
-          state_->Put(dict.dict, key.s, std::move(stored));
+          // No StateStore bound (e.g. stateless env): dict writes no-op.
+          if (state_ != nullptr) {
+            state_->Put(dict.dict, key.s, std::move(stored));
+          }
           fx.effects_done = true;
         }
         break;
@@ -243,7 +246,8 @@ Value Interp::EvalIndex(const Expr& expr, Env& env, Effects& fx) {
     if (idx.kind != Value::Kind::kString) {
       return Value::None();
     }
-    auto stored = state_->Get(base.dict, idx.s);
+    // No StateStore bound: every lookup misses.
+    auto stored = state_ != nullptr ? state_->Get(base.dict, idx.s) : std::nullopt;
     if (!stored.has_value()) {
       return Value::None();
     }

@@ -148,6 +148,14 @@ class Parser {
         } else {
           return Err("expected true/false for 'signed'");
         }
+      } else if (key == "ascii") {
+        if (Accept(TokenKind::kTrue)) {
+          field.annotation.is_ascii = true;
+        } else if (Accept(TokenKind::kFalse)) {
+          field.annotation.is_ascii = false;
+        } else {
+          return Err("expected true/false for 'ascii'");
+        }
       } else {
         return Err("unknown annotation '" + key + "'");
       }

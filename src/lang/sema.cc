@@ -50,6 +50,12 @@ class Checker {
         if (field.annotation.size != nullptr) {
           CheckSizeExpr(*field.annotation.size, numeric_so_far, field.line);
         }
+        if (field.annotation.is_ascii && field.type != "integer") {
+          Diag(field.line, "'ascii' annotation is only valid on integer fields");
+        }
+        if (field.annotation.is_ascii && field.annotation.size != nullptr) {
+          Diag(field.line, "'ascii' integer fields have variable width; drop the size annotation");
+        }
         if (field.type == "integer" && !field.name.empty()) {
           numeric_so_far.insert(field.name);
         }

@@ -80,6 +80,37 @@ class MemcachedBackend {
   std::unordered_map<std::string, std::string> store_;
 };
 
+// Minimal RESP (Redis) server over the fixed-arity-3 subset the DSL RESP
+// router speaks: every request is `*3\r\n$<n>\r\n<cmd>\r\n$<n>\r\n<key>\r\n
+// $<n>\r\n<val>\r\n` (GET carries an empty value). GET answers the stored
+// value as a bulk string (`$0\r\n\r\n` on miss — this subset has no null
+// bulk), SET stores and answers `$2\r\nOK\r\n`.
+class RespBackend {
+ public:
+  RespBackend(Transport* transport, uint16_t port);
+  ~RespBackend();
+
+  Status Start();
+  void Stop();
+  void Preload(const std::string& key, const std::string& value);
+  uint64_t requests_served() const { return requests_.load(); }
+  uint64_t connections_accepted() const { return accepts_.load(); }
+  uint16_t port() const { return port_; }
+
+ private:
+  void Serve();
+
+  Transport* transport_;
+  uint16_t port_;
+  std::unique_ptr<Listener> listener_;
+  std::thread thread_;
+  std::atomic<bool> running_{false};
+  std::atomic<uint64_t> requests_{0};
+  std::atomic<uint64_t> accepts_{0};
+  std::mutex mutex_;
+  std::unordered_map<std::string, std::string> store_;
+};
+
 // Accepts one connection and counts received bytes/pairs (Hadoop reducer).
 class ReducerSink {
  public:

@@ -193,7 +193,7 @@ Task* Scheduler::Steal(int thief_index) {
          task = victim.queue.Next(task)) {
       if (task->shard_affinity < 0) {
         victim.queue.Remove(task);
-        self.cross_shard_steals++;
+        self.cross_shard_steals.fetch_add(1, std::memory_order_relaxed);
         return task;
       }
     }
@@ -212,7 +212,7 @@ void Scheduler::WorkerLoop(int index) {
     if (task == nullptr) {
       task = Steal(index);
       if (task != nullptr) {
-        self.steals++;
+        self.steals.fetch_add(1, std::memory_order_relaxed);
       }
     }
     if (task == nullptr) {
@@ -237,7 +237,7 @@ void Scheduler::WorkerLoop(int index) {
     const TaskRunResult result = task->Run(ctx);
     task->run_ns.fetch_add(MonotonicNanos() - t0, std::memory_order_relaxed);
     task->run_count.fetch_add(1, std::memory_order_relaxed);
-    self.tasks_run++;
+    self.tasks_run.fetch_add(1, std::memory_order_relaxed);
 
     auto state = Task::SchedState::kRunning;
     if (result == TaskRunResult::kMoreWork) {
@@ -255,9 +255,9 @@ void Scheduler::WorkerLoop(int index) {
 SchedulerStats Scheduler::stats() const {
   SchedulerStats s;
   for (const auto& w : workers_) {
-    s.tasks_run += w->tasks_run;
-    s.steals += w->steals;
-    s.cross_shard_steals += w->cross_shard_steals;
+    s.tasks_run += w->tasks_run.load(std::memory_order_relaxed);
+    s.steals += w->steals.load(std::memory_order_relaxed);
+    s.cross_shard_steals += w->cross_shard_steals.load(std::memory_order_relaxed);
   }
   s.notifications = notifications_.load(std::memory_order_relaxed);
   s.tasks_dropped_at_stop = tasks_dropped_at_stop_.load(std::memory_order_relaxed);

@@ -106,9 +106,11 @@ class Scheduler {
     Notifier notifier;
     std::thread thread;
     int group = 0;  // immutable after construction
-    uint64_t tasks_run = 0;
-    uint64_t steals = 0;
-    uint64_t cross_shard_steals = 0;
+    // Relaxed atomics: bumped by the owning worker thread, summed by
+    // stats() from any thread while workers are still running.
+    std::atomic<uint64_t> tasks_run{0};
+    std::atomic<uint64_t> steals{0};
+    std::atomic<uint64_t> cross_shard_steals{0};
   };
 
   void WorkerLoop(int index);

@@ -106,7 +106,11 @@ void HadoopAggService::BuildGraph(runtime::PlatformEnv& env) {
         .From(root);
   }
 
-  (void)b.Launch(registry_);
+  if (const Status launched = b.Launch(registry_); !launched.ok()) {
+    // Launch already closed every leg (client conn included) and returned
+    // any pool leases; all that is left is to account for the failure.
+    registry_.CountLaunchFailure();
+  }
 }
 
 }  // namespace flick::services

@@ -333,7 +333,11 @@ void MemcachedProxyService::OnConnection(std::unique_ptr<Connection> conn,
     }
   }
 
-  (void)b.Launch(registry_);
+  if (const Status launched = b.Launch(registry_); !launched.ok()) {
+    // Launch already closed every leg (client conn included) and returned
+    // any pool leases; all that is left is to account for the failure.
+    registry_.CountLaunchFailure();
+  }
 }
 
 }  // namespace flick::services

@@ -207,6 +207,19 @@ struct RegistryStats {
   // GETs answered from the stale fallback dict while the backend's circuit
   // was open (memcached_proxy cache mode degrade path). 0 outside outages.
   uint64_t cache_stale_served = 0;
+
+  // Graph builds whose Launch failed (listener/dial/adopt error). The client
+  // connection is closed and the build discarded; nonzero under backend
+  // outages or port exhaustion, 0 in a healthy steady state.
+  uint64_t launch_failures = 0;
+
+  // DSL dispatch plane (DslService; all 0 otherwise). lowered_msgs: messages
+  // executed by a lowered native plan (lang/lower.h). interp_fallbacks:
+  // messages that fell back to the bounded evaluator — an unprovable rule
+  // shape or a non-grammar message. A fully lowered program under normal
+  // traffic keeps interp_fallbacks at exactly 0.
+  uint64_t dsl_lowered_msgs = 0;
+  uint64_t dsl_interp_fallbacks = 0;
 };
 
 // Cache-plane counters, owned by the GraphRegistry (like
@@ -218,6 +231,13 @@ struct CacheCounters {
   std::atomic<uint64_t> invalidations{0};
   std::atomic<uint64_t> stale_populates_dropped{0};
   std::atomic<uint64_t> stale_served{0};  // degrade path: see RegistryStats
+};
+
+// DSL dispatch counters, owned by the GraphRegistry like CacheCounters and
+// incremented by DslService's (lowered or interpreted) proc handlers.
+struct DslCounters {
+  std::atomic<uint64_t> lowered_msgs{0};
+  std::atomic<uint64_t> interp_fallbacks{0};
 };
 
 // Tracks live graphs for a service and reaps them (unwatching their
@@ -369,6 +389,16 @@ class GraphRegistry {
   CacheCounters& cache_counters() { return cache_; }
   const CacheCounters& cache_counters() const { return cache_; }
 
+  // DSL dispatch counters (DslService proc handlers; see RegistryStats).
+  DslCounters& dsl_counters() { return dsl_; }
+  const DslCounters& dsl_counters() const { return dsl_; }
+
+  // Records a failed GraphBuilder::Launch (the builder already closed the
+  // legs and returned any pool leases).
+  void CountLaunchFailure() {
+    launch_failures_.fetch_add(1, std::memory_order_relaxed);
+  }
+
   RegistryStats stats() const {
     RegistryStats s;
     s.graphs_adopted = graphs_adopted_.load(std::memory_order_relaxed);
@@ -386,6 +416,9 @@ class GraphRegistry {
     s.cache_stale_populates_dropped =
         cache_.stale_populates_dropped.load(std::memory_order_relaxed);
     s.cache_stale_served = cache_.stale_served.load(std::memory_order_relaxed);
+    s.launch_failures = launch_failures_.load(std::memory_order_relaxed);
+    s.dsl_lowered_msgs = dsl_.lowered_msgs.load(std::memory_order_relaxed);
+    s.dsl_interp_fallbacks = dsl_.interp_fallbacks.load(std::memory_order_relaxed);
     // Batching counters: accumulators AND live-graph fold-in are read under
     // the same lock the retirement timer folds+erases under, so a retiring graph is
     // counted by exactly one of the two paths and the aggregate never
@@ -534,6 +567,8 @@ class GraphRegistry {
   std::vector<PendingRetire> pending_retire_;  // live graphs awaiting IO close
   runtime::ConnLifetimeCounters lifetime_;
   CacheCounters cache_;
+  DslCounters dsl_;
+  std::atomic<uint64_t> launch_failures_{0};
   std::atomic<uint64_t> graphs_adopted_{0};
   std::atomic<uint64_t> graphs_unwatched_{0};
   std::atomic<uint64_t> graphs_retired_{0};

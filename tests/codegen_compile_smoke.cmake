@@ -1,0 +1,25 @@
+# Codegen compile smoke (ctest): emits the generated C++ for each built-in
+# FLICK program and compiles it to an object file against the project
+# headers. A failure means codegen_cpp no longer produces compilable output.
+#
+# Inputs: EMIT_TOOL (codegen_emit binary), CXX (compiler), SRC_DIR (project
+# src/), WORK_DIR (scratch directory).
+file(MAKE_DIRECTORY ${WORK_DIR})
+
+foreach(prog memcached resp)
+  set(gen ${WORK_DIR}/flickgen_${prog}.cc)
+  execute_process(COMMAND ${EMIT_TOOL} ${prog} ${gen} RESULT_VARIABLE rc)
+  if(NOT rc EQUAL 0)
+    message(FATAL_ERROR "codegen_emit ${prog} failed (rc=${rc})")
+  endif()
+  execute_process(
+    COMMAND ${CXX} -std=c++20 -Wall -Wextra -I ${SRC_DIR}
+            -c ${gen} -o ${WORK_DIR}/flickgen_${prog}.o
+    RESULT_VARIABLE rc
+    OUTPUT_VARIABLE out
+    ERROR_VARIABLE err)
+  if(NOT rc EQUAL 0)
+    message(FATAL_ERROR "generated ${prog} C++ does not compile:\n${out}\n${err}")
+  endif()
+  message(STATUS "generated ${prog} C++ compiles clean")
+endforeach()

@@ -37,6 +37,37 @@ TEST(CodegenTest, EmitsFunctionBodies) {
   EXPECT_NE(cpp.find("% std::size(backends)"), std::string::npos);
 }
 
+TEST(CodegenTest, EmitsNativeDispatchFromLoweringPlans) {
+  auto compiled = CompileSource(services::kMemcachedRouterSource);
+  ASSERT_TRUE(compiled.ok());
+  const std::string cpp = GenerateCpp(**compiled);
+  // Both rules lower: the client input runs the cache-test/route plan, the
+  // backend inputs run cache-update/forward — with interp-parity hashing.
+  EXPECT_NE(cpp.find("cache-test / hash-route"), std::string::npos);
+  EXPECT_NE(cpp.find("cache-update + forward"), std::string::npos);
+  EXPECT_NE(cpp.find("& 0x7fffffffffffffffull"), std::string::npos);
+  EXPECT_NE(cpp.find("state->Get(\"memcached.cache\""), std::string::npos);
+  EXPECT_NE(cpp.find("runtime::HandleResult::kBlocked"), std::string::npos);
+}
+
+TEST(CodegenTest, EmitsGraphWiringForCanonicalShape) {
+  auto compiled = CompileSource(services::kMemcachedRouterSource);
+  ASSERT_TRUE(compiled.ok());
+  const std::string cpp = GenerateCpp(**compiled);
+  EXPECT_NE(cpp.find("Build_memcached_Graph"), std::string::npos);
+  EXPECT_NE(cpp.find("FanOutPooled"), std::string::npos);
+  EXPECT_NE(cpp.find("GrammarDeserializer"), std::string::npos);
+}
+
+TEST(CodegenTest, RespProgramUsesAsciiIntegerFields) {
+  auto compiled = CompileSource(services::kRespRouterSource);
+  ASSERT_TRUE(compiled.ok());
+  const std::string cpp = GenerateCpp(**compiled);
+  EXPECT_NE(cpp.find(".AsciiUInt(\"keylen\")"), std::string::npos);
+  EXPECT_NE(cpp.find("Make_reply_Unit"), std::string::npos);
+  EXPECT_NE(cpp.find("Build_resp_router_Graph"), std::string::npos);
+}
+
 TEST(CodegenTest, AutoFramedStringsGetSynthesizedLengths) {
   auto compiled = CompileSource(
       "type kv: record\n"

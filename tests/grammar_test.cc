@@ -384,5 +384,102 @@ TEST_F(ParserTest, RandomRoundTripProperty) {
   }
 }
 
+// ---------------------------------------------------------- ASCII integers ----
+// RESP-style line framing: AsciiUInt fields are decimal digit runs whose CRLF
+// terminator is consumed with the field, and their value can drive the length
+// of a later Bytes field (the `$<len>\r\n<data>\r\n` bulk-string shape).
+
+class AsciiParserTest : public ::testing::Test {
+ protected:
+  AsciiParserTest() {
+    auto unit = UnitBuilder("bulk")
+                    .Bytes("marker", 1)
+                    .AsciiUInt("len")
+                    .Bytes("data", LenExpr::Field("len"))
+                    .Bytes("crlf", 2)
+                    .Build();
+    FLICK_CHECK(unit.ok());
+    unit_ = std::move(unit).value();
+  }
+  Unit unit_;
+  BufferPool pool_{256, 128};
+};
+
+TEST_F(AsciiParserTest, ParsesBulkString) {
+  BufferChain input(&pool_);
+  ASSERT_TRUE(input.Append("$5\r\nhello\r\n"));
+  UnitParser parser(&unit_);
+  Message msg;
+  ASSERT_EQ(parser.Feed(input, &msg), ParseStatus::kDone);
+  EXPECT_EQ(msg.GetUInt("len"), 5u);
+  EXPECT_EQ(msg.GetBytes("data"), "hello");
+}
+
+// Digits and the CRLF terminator may straddle reads at any byte boundary.
+TEST_F(AsciiParserTest, SplitAtEveryOffset) {
+  const std::string wire = "$12\r\nsplit-me-now\r\n";
+  for (size_t split = 1; split < wire.size(); ++split) {
+    BufferChain input(&pool_);
+    ASSERT_TRUE(input.Append(wire.substr(0, split)));
+    UnitParser parser(&unit_);
+    Message msg;
+    ASSERT_EQ(parser.Feed(input, &msg), ParseStatus::kNeedMore) << "split=" << split;
+    ASSERT_TRUE(input.Append(wire.substr(split)));
+    ASSERT_EQ(parser.Feed(input, &msg), ParseStatus::kDone) << "split=" << split;
+    EXPECT_EQ(msg.GetBytes("data"), "split-me-now");
+  }
+}
+
+TEST_F(AsciiParserTest, NonDigitIsError) {
+  BufferChain input(&pool_);
+  ASSERT_TRUE(input.Append("$x5\r\nhello\r\n"));
+  UnitParser parser(&unit_);
+  Message msg;
+  EXPECT_EQ(parser.Feed(input, &msg), ParseStatus::kError);
+}
+
+TEST_F(AsciiParserTest, EmptyDigitRunIsError) {
+  BufferChain input(&pool_);
+  ASSERT_TRUE(input.Append("$\r\n\r\n"));
+  UnitParser parser(&unit_);
+  Message msg;
+  EXPECT_EQ(parser.Feed(input, &msg), ParseStatus::kError);
+}
+
+TEST_F(AsciiParserTest, BareCarriageReturnIsError) {
+  BufferChain input(&pool_);
+  ASSERT_TRUE(input.Append("$5\rXhello\r\n"));
+  UnitParser parser(&unit_);
+  Message msg;
+  EXPECT_EQ(parser.Feed(input, &msg), ParseStatus::kError);
+}
+
+TEST_F(AsciiParserTest, OverflowGuardIsError) {
+  BufferChain input(&pool_);
+  ASSERT_TRUE(input.Append("$" + std::string(20, '9') + "\r\n"));
+  UnitParser parser(&unit_);
+  Message msg;
+  EXPECT_EQ(parser.Feed(input, &msg), ParseStatus::kError);
+}
+
+TEST_F(AsciiParserTest, SerializeRecomputesDigitRun) {
+  Message msg;
+  msg.BindUnit(&unit_);
+  msg.SetBytes("marker", "$");
+  msg.SetUInt("len", 999);  // stale on purpose; serializer must fix it up
+  msg.SetBytes("data", "abcdefghij");
+  msg.SetBytes("crlf", "\r\n");
+  BufferChain out(&pool_);
+  UnitSerializer serializer(&unit_);
+  ASSERT_TRUE(serializer.Serialize(msg, out).ok());
+  EXPECT_EQ(out.ToString(), "$10\r\nabcdefghij\r\n");
+
+  UnitParser parser(&unit_);
+  Message parsed;
+  ASSERT_EQ(parser.Feed(out, &parsed), ParseStatus::kDone);
+  EXPECT_EQ(parsed.GetUInt("len"), 10u);
+  EXPECT_EQ(parsed.GetBytes("data"), "abcdefghij");
+}
+
 }  // namespace
 }  // namespace flick::grammar

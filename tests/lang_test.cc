@@ -3,12 +3,15 @@
 // interpreted execution of the paper's programs (Listings 1 & 3).
 #include <gtest/gtest.h>
 
+#include <atomic>
 #include <string>
 
 #include "lang/compile.h"
 #include "lang/lexer.h"
+#include "lang/lower.h"
 #include "lang/parser.h"
 #include "lang/sema.h"
+#include "services/dsl_service.h"
 #include "proto/memcached.h"
 #include "runtime/channel.h"
 #include "runtime/compute_task.h"
@@ -386,7 +389,11 @@ TEST(CompileTest, RoundTripThroughSynthesizedUnit) {
 class DslExecTest : public ::testing::Test {
  protected:
   // Builds the handler for `proc_name` with `n_backends` backend channels.
-  void Setup(const char* source, const std::string& proc_name, size_t n_backends) {
+  // `lowered` swaps the interpreter for the lowering pass's handler (with
+  // dispatch counters); `with_state` = false exercises the null-StateStore
+  // demotion path. Callable repeatedly (interp-vs-lowered parity tests).
+  void Setup(const char* source, const std::string& proc_name, size_t n_backends,
+             bool lowered = false, bool with_state = true) {
     auto compiled = CompileSource(source);
     ASSERT_TRUE(compiled.ok()) << compiled.status().ToString();
     program_ = std::move(compiled).value();
@@ -403,8 +410,16 @@ class DslExecTest : public ::testing::Test {
       wiring.endpoints["backends"].outputs.push_back(1 + b);
     }
 
-    handler_ = MakeProcHandler(program_, proc_, wiring, &state_, proc_name);
+    runtime::StateStore* state = with_state ? &state_ : nullptr;
+    if (lowered) {
+      handler_ = MakeLoweredProcHandler(program_, proc_, wiring, state, proc_name,
+                                        {&lowered_msgs_, &interp_fallbacks_});
+    } else {
+      handler_ = MakeProcHandler(program_, proc_, wiring, state, proc_name);
+    }
 
+    outputs_.clear();
+    backend_outs_.clear();
     client_out_ = std::make_unique<runtime::Channel>(64);
     outputs_.push_back(client_out_.get());
     for (size_t b = 0; b < n_backends; ++b) {
@@ -439,6 +454,8 @@ class DslExecTest : public ::testing::Test {
   std::unique_ptr<runtime::Channel> client_out_;
   std::vector<std::unique_ptr<runtime::Channel>> backend_outs_;
   std::vector<runtime::Channel*> outputs_;
+  std::atomic<uint64_t> lowered_msgs_{0};
+  std::atomic<uint64_t> interp_fallbacks_{0};
 };
 
 // Wire encoding for the proxy's 3-field cmd: opcode(1) keylen(2) key.
@@ -571,6 +588,159 @@ TEST_F(DslExecTest, EofFansOutToAllOutputs) {
     ASSERT_TRUE(m);
     EXPECT_EQ(m->kind, runtime::Msg::Kind::kEof);
   }
+}
+
+// ------------------------------------------------------------ lowering pass ----
+
+TEST(LoweringTest, RouterRulesLowerToCacheShapes) {
+  auto compiled = CompileSource(kRouterSource);
+  ASSERT_TRUE(compiled.ok());
+  const ProcDecl* proc = (*compiled)->ast.FindProc("memcached");
+  ASSERT_NE(proc, nullptr);
+  ProcWiring wiring;
+  wiring.endpoints["client"].inputs = {0};
+  wiring.endpoints["client"].outputs = {0};
+  wiring.endpoints["backends"].inputs = {1, 2};
+  wiring.endpoints["backends"].outputs = {1, 2};
+
+  const ProcPlan plan = AnalyzeProc(**compiled, *proc, wiring);
+  ASSERT_EQ(plan.rules.size(), 3u);
+  EXPECT_TRUE(plan.fully_lowered());
+  ASSERT_TRUE(plan.rules[0].has_value());
+  EXPECT_EQ(plan.rules[0]->shape, RulePlan::Shape::kCacheTestRoute);
+  EXPECT_EQ(plan.rules[0]->forward_out, 0);
+  EXPECT_EQ(plan.rules[0]->route_outs, (std::vector<int>{1, 2}));
+  EXPECT_EQ(plan.rules[0]->dict, "memcached.cache");
+  ASSERT_TRUE(plan.rules[1].has_value());
+  EXPECT_EQ(plan.rules[1]->shape, RulePlan::Shape::kCacheUpdateForward);
+  EXPECT_EQ(plan.rules[1]->forward_out, 0);
+  EXPECT_EQ(plan.rules[2]->shape, RulePlan::Shape::kCacheUpdateForward);
+}
+
+TEST(LoweringTest, FoldtProcDoesNotLower) {
+  auto compiled = CompileSource(kHadoopSource);
+  ASSERT_TRUE(compiled.ok());
+  const ProcDecl* proc = (*compiled)->ast.FindProc("hadoop");
+  ASSERT_NE(proc, nullptr);
+  ProcWiring wiring;
+  wiring.endpoints["mappers"].inputs = {0, 1};
+  wiring.endpoints["reducer"].outputs = {0};
+
+  const ProcPlan plan = AnalyzeProc(**compiled, *proc, wiring);
+  EXPECT_FALSE(plan.fully_lowered());
+  EXPECT_EQ(plan.lowered_inputs(), 0u);
+}
+
+// Interp and lowered handlers must route every key to the same backend (same
+// hash mask, same int64 mod) — the ablation is only meaningful if the two
+// arms are observationally identical.
+TEST_F(DslExecTest, LoweredRoutingMatchesInterp) {
+  constexpr int kKeys = 32;
+  std::vector<int> interp_choice(kKeys, -1);
+  Setup(kRouterSource, "memcached", 4);
+  for (int i = 0; i < kKeys; ++i) {
+    runtime::MsgRef req = ParseCmd(RouterCmdWire(0x00, "key-" + std::to_string(i), ""));
+    ASSERT_EQ(Deliver(std::move(req), 0), runtime::HandleResult::kConsumed);
+    for (size_t b = 0; b < backend_outs_.size(); ++b) {
+      if (backend_outs_[b]->TryPop()) {
+        interp_choice[i] = static_cast<int>(b);
+      }
+    }
+    ASSERT_GE(interp_choice[i], 0);
+  }
+
+  Setup(kRouterSource, "memcached", 4, /*lowered=*/true);
+  for (int i = 0; i < kKeys; ++i) {
+    runtime::MsgRef req = ParseCmd(RouterCmdWire(0x00, "key-" + std::to_string(i), ""));
+    ASSERT_EQ(Deliver(std::move(req), 0), runtime::HandleResult::kConsumed);
+    int got = -1;
+    for (size_t b = 0; b < backend_outs_.size(); ++b) {
+      if (backend_outs_[b]->TryPop()) {
+        got = static_cast<int>(b);
+      }
+    }
+    EXPECT_EQ(got, interp_choice[i]) << "key-" << i;
+  }
+  EXPECT_EQ(lowered_msgs_.load(), static_cast<uint64_t>(kKeys));
+  EXPECT_EQ(interp_fallbacks_.load(), 0u);
+}
+
+TEST_F(DslExecTest, LoweredRouterCachesAndServesHits) {
+  Setup(kRouterSource, "memcached", 2, /*lowered=*/true);
+  runtime::MsgRef resp = ParseCmd(RouterCmdWire(0x0c, "hot-key", "value!"));
+  ASSERT_EQ(Deliver(std::move(resp), /*input=*/1), runtime::HandleResult::kConsumed);
+  EXPECT_TRUE(client_out_->TryPop());
+  EXPECT_TRUE(state_.Get("memcached.cache", "hot-key").has_value());
+
+  runtime::MsgRef req = ParseCmd(RouterCmdWire(0x0c, "hot-key", ""));
+  ASSERT_EQ(Deliver(std::move(req), /*input=*/0), runtime::HandleResult::kConsumed);
+  runtime::MsgRef cached = client_out_->TryPop();
+  ASSERT_TRUE(cached);
+  EXPECT_EQ(cached->kind, runtime::Msg::Kind::kBytes);  // interp-parity hit form
+  EXPECT_FALSE(backend_outs_[0]->TryPop());
+  EXPECT_FALSE(backend_outs_[1]->TryPop());
+  EXPECT_EQ(lowered_msgs_.load(), 2u);
+  EXPECT_EQ(interp_fallbacks_.load(), 0u);
+}
+
+TEST_F(DslExecTest, NullStateDemotesCachePlansToInterp) {
+  Setup(kRouterSource, "memcached", 2, /*lowered=*/true, /*with_state=*/false);
+  runtime::MsgRef resp = ParseCmd(RouterCmdWire(0x0c, "some-key", "v"));
+  ASSERT_EQ(Deliver(std::move(resp), 1), runtime::HandleResult::kConsumed);
+  EXPECT_EQ(lowered_msgs_.load(), 0u);
+  EXPECT_EQ(interp_fallbacks_.load(), 1u);
+}
+
+TEST_F(DslExecTest, LoweredEofFansOutToAllOutputs) {
+  Setup(kRouterSource, "memcached", 2, /*lowered=*/true);
+  runtime::MsgRef eof = msgs_.Acquire();
+  eof->kind = runtime::Msg::Kind::kEof;
+  ASSERT_EQ(Deliver(std::move(eof), 0), runtime::HandleResult::kConsumed);
+  runtime::MsgRef c = client_out_->TryPop();
+  ASSERT_TRUE(c);
+  EXPECT_EQ(c->kind, runtime::Msg::Kind::kEof);
+  for (auto& b : backend_outs_) {
+    runtime::MsgRef m = b->TryPop();
+    ASSERT_TRUE(m);
+    EXPECT_EQ(m->kind, runtime::Msg::Kind::kEof);
+  }
+}
+
+// ------------------------------------------------------------- diagnostics ----
+// Compiler errors must surface as clean InvalidArgument statuses with
+// "line N:" position info — never a crash, never a silent mis-compile.
+
+TEST(DiagnosticsTest, UnknownFieldInSizeExprHasPosition) {
+  auto compiled = CompileSource(
+      "type t: record\n"
+      "    key : string {size=ghostlen}\n");
+  ASSERT_FALSE(compiled.ok());
+  EXPECT_EQ(compiled.status().code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(compiled.status().message().find("line 2:"), std::string::npos)
+      << compiled.status().ToString();
+  EXPECT_NE(compiled.status().message().find("ghostlen"), std::string::npos);
+}
+
+TEST(DiagnosticsTest, UndeclaredChannelTypeHasPosition) {
+  auto compiled = CompileSource(
+      "type t: record\n"
+      "    k : string {size=1}\n"
+      "proc p: (ghost/ghost client)\n"
+      "    client => client\n");
+  ASSERT_FALSE(compiled.ok());
+  EXPECT_EQ(compiled.status().code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(compiled.status().message().find("line 3:"), std::string::npos)
+      << compiled.status().ToString();
+  EXPECT_NE(compiled.status().message().find("ghost"), std::string::npos);
+}
+
+TEST(DiagnosticsTest, BackendArrayWithoutPortsIsCreateError) {
+  auto service = services::DslService::Create(services::kMemcachedRouterSource,
+                                              "memcached", {});
+  ASSERT_FALSE(service.ok());
+  EXPECT_EQ(service.status().code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(service.status().message().find("backend"), std::string::npos)
+      << service.status().ToString();
 }
 
 // -------------------------------------------------------------- foldt parts ----
